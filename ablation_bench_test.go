@@ -1,0 +1,164 @@
+package redundancy_test
+
+// Ablation benchmarks: cost of the design choices DESIGN.md calls out —
+// adjudicator selection, checkpoint interval, ensemble size, and
+// rewriting-rule budget.
+
+import (
+	"fmt"
+	"testing"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+// BenchmarkAblationAdjudicators compares the adjudication cost of the
+// voting disciplines over the same 5-result vector.
+func BenchmarkAblationAdjudicators(b *testing.B) {
+	results := []redundancy.Result[int]{
+		{Variant: "a", Value: 1},
+		{Variant: "b", Value: 1},
+		{Variant: "c", Value: 1},
+		{Variant: "d", Value: 2},
+		{Variant: "e", Value: 2},
+	}
+	adjudicators := []struct {
+		name string
+		adj  redundancy.Adjudicator[int]
+	}{
+		{"majority", redundancy.Majority(redundancy.EqualOf[int]())},
+		{"plurality", redundancy.Plurality(redundancy.EqualOf[int]())},
+		{"m-of-n(3)", redundancy.MOfN(3, redundancy.EqualOf[int]())},
+		{"weighted", redundancy.Weighted(map[string]float64{"a": 2}, 1, redundancy.EqualOf[int]())},
+		{"first-success", redundancy.FirstSuccess[int]()},
+	}
+	for _, a := range adjudicators {
+		b.Run(a.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.adj.Adjudicate(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMedianVote measures the inexact-voting alternative.
+func BenchmarkAblationMedianVote(b *testing.B) {
+	results := []redundancy.Result[float64]{
+		{Variant: "a", Value: 1.0},
+		{Variant: "b", Value: 1.01},
+		{Variant: "c", Value: 99.0},
+	}
+	adj := redundancy.MedianAdjudicator()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := adj.Adjudicate(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCheckpointInterval measures how the checkpoint period
+// trades steady-state step cost (snapshot frequency) for recovery work.
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	type state struct{ Values [64]int }
+	for _, interval := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("interval=%d", interval), func(b *testing.B) {
+			runner, err := redundancy.NewCheckpointRunner(state{},
+				func(s state, op int) (state, error) {
+					s.Values[op%64]++
+					return s, nil
+				}, interval)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runner.Step(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReplicatedStoreSize measures voting and reconciliation
+// cost as the replica count grows.
+func BenchmarkAblationReplicatedStoreSize(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			replicas := make([]redundancy.StoreReplica, n)
+			for i := range replicas {
+				replicas[i] = redundancy.NewSimStoreReplica(fmt.Sprintf("r%d", i))
+			}
+			store, err := redundancy.NewReplicatedStore(replicas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Put("key", "value"); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Get("key"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWorkaroundRuleBudget measures candidate generation as
+// the rewriting-rule set grows.
+func BenchmarkAblationWorkaroundRuleBudget(b *testing.B) {
+	rules := intSetRules()
+	seq := redundancy.WorkaroundSequence{
+		{Name: "add", Args: []int{1}},
+		{Name: "addrange", Args: []int{0, 5}},
+		{Name: "addrange", Args: []int{10, 15}},
+	}
+	for k := 1; k <= len(rules); k++ {
+		b.Run(fmt.Sprintf("rules=%d", k), func(b *testing.B) {
+			engine, err := redundancy.NewWorkaroundEngine(rules[:k])
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if cands := engine.Candidates(seq); len(cands) == 0 {
+					b.Fatal("no candidates")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRejuvenationPeriod measures the completion-time model
+// cost across rejuvenation periods (the E6 sweep's inner loop).
+func BenchmarkAblationRejuvenationPeriod(b *testing.B) {
+	for _, n := range []int{0, 3, 12} {
+		b.Run(fmt.Sprintf("everyN=%d", n), func(b *testing.B) {
+			cfg := redundancy.CompletionConfig{
+				Work:               1000,
+				CheckpointInterval: 20,
+				CheckpointCost:     1,
+				RejuvenateEveryN:   n,
+				RejuvenationCost:   25,
+				RecoveryCost:       200,
+				Fault:              redundancy.AgingFault{ID: 1, HazardAtScale: 0.02, Scale: 200, Shape: 4},
+			}
+			rng := redundancy.NewRand(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := redundancy.SimulateCompletion(cfg, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

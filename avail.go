@@ -1,0 +1,46 @@
+package redundancy
+
+import (
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/avail"
+)
+
+// Classical dependability algebra: the structural formulas the
+// experiments cross-check against.
+
+// SteadyStateAvailability returns MTBF / (MTBF + MTTR).
+func SteadyStateAvailability(mtbf, mttr time.Duration) (float64, error) {
+	return avail.Availability(mtbf, mttr)
+}
+
+// SeriesAvailability composes availabilities (or reliabilities) in
+// series: all components must be up.
+func SeriesAvailability(values ...float64) (float64, error) {
+	return avail.Series(values...)
+}
+
+// ParallelAvailability composes availabilities in parallel redundancy:
+// the system is down only when every component is down.
+func ParallelAvailability(values ...float64) (float64, error) {
+	return avail.Parallel(values...)
+}
+
+// KOfNReliability returns the probability that at least k of n
+// independent components with per-component probability p are up.
+func KOfNReliability(n, k int, p float64) (float64, error) {
+	return avail.KOfN(n, k, p)
+}
+
+// MajorityReliability returns the structural reliability of an
+// n-component majority-voting system with per-component success
+// probability p.
+func MajorityReliability(n int, p float64) (float64, error) {
+	return avail.Majority(n, p)
+}
+
+// DowntimePerYear converts an availability into expected downtime per
+// 365-day year.
+func DowntimePerYear(availability float64) (time.Duration, error) {
+	return avail.DowntimePerYear(availability)
+}

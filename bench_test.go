@@ -1,0 +1,574 @@
+package redundancy_test
+
+// Benchmark harness: one benchmark group per paper artifact. The
+// Figure 1 benches measure the per-request overhead of each architectural
+// pattern; the Table 2 benches measure the per-operation overhead of each
+// technique family's executor. Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+func okVariant(name string) redundancy.Variant[int, int] {
+	return redundancy.NewVariant(name, func(_ context.Context, x int) (int, error) {
+		return x * 2, nil
+	})
+}
+
+func acceptAll(_ int, _ int) error { return nil }
+
+// ---- Figure 1: architectural patterns ----
+
+func BenchmarkFigure1Single(b *testing.B) {
+	exec, err := redundancy.NewSingle(okVariant("v1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Execute(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1ParallelEvaluation(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			vs := make([]redundancy.Variant[int, int], n)
+			for i := range vs {
+				vs[i] = okVariant(fmt.Sprintf("v%d", i))
+			}
+			exec, err := redundancy.NewParallelEvaluation(vs,
+				redundancy.Majority(redundancy.EqualOf[int]()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Execute(ctx, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure1ParallelSelection(b *testing.B) {
+	const n = 3
+	vs := make([]redundancy.Variant[int, int], n)
+	tests := make([]redundancy.AcceptanceTest[int, int], n)
+	for i := range vs {
+		vs[i] = okVariant(fmt.Sprintf("v%d", i))
+		tests[i] = acceptAll
+	}
+	exec, err := redundancy.NewParallelSelection(vs, tests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Execute(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1SequentialAlternatives(b *testing.B) {
+	const n = 3
+	vs := make([]redundancy.Variant[int, int], n)
+	for i := range vs {
+		vs[i] = okVariant(fmt.Sprintf("v%d", i))
+	}
+	exec, err := redundancy.NewSequentialAlternatives(vs, acceptAll, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Execute(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Table 2 rows ----
+
+func BenchmarkTable2NVersion(b *testing.B) {
+	sys, err := redundancy.NewNVersion(
+		[]redundancy.Variant[int, int]{okVariant("a"), okVariant("b"), okVariant("c")},
+		redundancy.EqualOf[int]())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2RecoveryBlocks(b *testing.B) {
+	state := struct{ N int }{}
+	primaryFails := redundancy.NewVariant("primary", func(_ context.Context, _ int) (int, error) {
+		return 0, errors.New("primary bug")
+	})
+	blk, err := redundancy.NewRecoveryBlock("blk", &state, acceptAll,
+		[]redundancy.Variant[int, int]{primaryFails, okVariant("alt")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blk.Execute(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2SelfChecking(b *testing.B) {
+	acting, err := redundancy.NewCheckedComponent(okVariant("acting"), acceptAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spare, err := redundancy.NewComparedPair(okVariant("s1"), okVariant("s2"), redundancy.EqualOf[int]())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := redundancy.NewSelfCheckingSystem(
+		[]redundancy.SelfCheckingComponent[int, int]{acting, spare})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2SelfOpt(b *testing.B) {
+	opt, err := redundancy.NewOptimizer(
+		[]redundancy.OptimizerProfile[int, int]{
+			{Variant: okVariant("light"), Latency: func(l float64) float64 { return 1 + 20*l }},
+			{Variant: okVariant("heavy"), Latency: func(float64) float64 { return 6 }},
+		}, 8, 4, func() float64 { return 0.5 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Execute(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2RuleEngine(b *testing.B) {
+	engine, err := redundancy.NewRuleEngine(redundancy.RecoveryRule{
+		Name:  "r",
+		Match: redundancy.MatchComponent("svc"),
+		Actions: []redundancy.RecoveryAction{{
+			Name: "retry",
+			Run:  func(context.Context, *redundancy.Incident) error { return nil },
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc := redundancy.Incident{Component: "svc"}
+		if _, err := engine.Handle(ctx, &inc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Wrappers(b *testing.B) {
+	h, err := redundancy.NewHeap(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk, err := h.Alloc(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	healer, err := redundancy.NewHeapHealer(h, redundancy.RejectOverflow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := healer.Write(blk, 0, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2RobustDataAudit(b *testing.B) {
+	l := redundancy.NewRobustList()
+	for i := 0; i < 100; i++ {
+		l.Append(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if defects := l.Audit(); len(defects) != 0 {
+			b.Fatal("unexpected defects")
+		}
+	}
+}
+
+func BenchmarkTable2RobustDataRepair(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := redundancy.NewRobustList()
+		for v := 0; v < 50; v++ {
+			l.Append(v)
+		}
+		ids := l.NodeIDs()
+		l.CorruptNext(ids[10], 99999)
+		b.StartTimer()
+		if err := l.Repair(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2DataDiversityRetryBlock(b *testing.B) {
+	rng := redundancy.NewRand(1)
+	program := redundancy.NewVariant("p", func(_ context.Context, x int) (int, error) {
+		if x%97 == 13 {
+			return 0, errors.New("failure region")
+		}
+		return x, nil
+	})
+	rb, err := redundancy.NewRetryBlock(program, acceptAll,
+		[]redundancy.Reexpression[int]{{
+			Name:  "shift",
+			Apply: func(x int, r *redundancy.Rand) int { return x + 1 + r.Intn(96) },
+			Exact: false,
+		}}, 3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rb.Execute(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2NVariantData(b *testing.B) {
+	cell, err := redundancy.NewNVariantCell(3, redundancy.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell.Set(uint64(i))
+		if _, err := cell.Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Rejuvenation(b *testing.B) {
+	cfg := redundancy.CompletionConfig{
+		Work:               500,
+		CheckpointInterval: 20,
+		CheckpointCost:     1,
+		RejuvenateEveryN:   3,
+		RejuvenationCost:   10,
+		RecoveryCost:       100,
+		Fault:              redundancy.AgingFault{ID: 1, HazardAtScale: 0.02, Scale: 200, Shape: 4},
+	}
+	rng := redundancy.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := redundancy.SimulateCompletion(cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2EnvPerturbation(b *testing.B) {
+	prog := func(_ context.Context, env *redundancy.Env, x int) (int, error) {
+		if env.AllocPadding < 64 {
+			return 0, errors.New("overflow")
+		}
+		return x, nil
+	}
+	exec, err := redundancy.NewPerturbationExecutor(prog, redundancy.DefaultEnv(),
+		redundancy.DefaultPerturbationLadder())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Execute(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2CheckpointRecovery(b *testing.B) {
+	runner, err := redundancy.NewCheckpointRunner(0,
+		func(s int, op int) (int, error) { return s + op, nil }, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner.Step(1); err != nil {
+			b.Fatal(err)
+		}
+		if i%100 == 99 {
+			if _, err := runner.Recover(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2ProcessReplicas(b *testing.B) {
+	sys, err := redundancy.NewReplicaSystem(3, 1<<12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(redundancy.ReplicaRequest{
+			Op: redundancy.ReplicaWrite, Addr: uint64(i % 512), Value: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ServiceSubstitution(b *testing.B) {
+	sig := redundancy.ServiceSignature{Name: "svc", Ops: []string{"op"}}
+	reg := redundancy.NewServiceRegistry()
+	for i := 0; i < 3; i++ {
+		s, err := redundancy.NewSimService(fmt.Sprintf("p%d", i), sig,
+			map[string]func(int) (int, error){
+				"op": func(x int) (int, error) { return x, nil },
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.Register(s, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	proxy, err := redundancy.NewServiceProxy(reg, sig, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.Invoke(ctx, "op", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2GeneticFix(b *testing.B) {
+	cfg := redundancy.DefaultRepairConfig([]string{"x", "y"})
+	cfg.PopulationSize = 32
+	cfg.MaxGenerations = 30
+	suite := []redundancy.ProgramTest{
+		{Vars: map[string]int{"x": 1, "y": 2}, Want: 3},
+		{Vars: map[string]int{"x": 4, "y": 5}, Want: 9},
+		{Vars: map[string]int{"x": -1, "y": 1}, Want: 0},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		faulty := faultySum()
+		if _, err := redundancy.RepairProgram(faulty, suite, cfg, redundancy.NewRand(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Workarounds(b *testing.B) {
+	engine, err := redundancy.NewWorkaroundEngine(intSetRules())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := redundancy.WorkaroundSequence{{Name: "addrange", Args: []int{0, 5}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cands := engine.Candidates(seq); len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+func BenchmarkTable2Microreboot(b *testing.B) {
+	sys, err := redundancy.NewComponentSystem(redundancy.ComponentSpec{
+		Name: "root", InitCost: 50,
+		Children: []redundancy.ComponentSpec{
+			{Name: "mid", InitCost: 10, Children: []redundancy.ComponentSpec{
+				{Name: "leaf", InitCost: 1},
+			}},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Fail("leaf"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.MicroReboot("leaf"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Section 4.1 cost comparison ----
+
+func BenchmarkCostsOfCodeRedundancy(b *testing.B) {
+	ctx := context.Background()
+	b.Run("nvp-3-versions", func(b *testing.B) {
+		sys, err := redundancy.NewNVersion(
+			[]redundancy.Variant[int, int]{okVariant("a"), okVariant("b"), okVariant("c")},
+			redundancy.EqualOf[int]())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Execute(ctx, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recovery-block-primary-ok", func(b *testing.B) {
+		state := struct{}{}
+		blk, err := redundancy.NewRecoveryBlock("blk", &state, acceptAll,
+			[]redundancy.Variant[int, int]{okVariant("primary"), okVariant("alt")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := blk.Execute(ctx, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- quorum math (Section 4.1, 2k+1) ----
+
+func BenchmarkQuorumAdjudication(b *testing.B) {
+	for _, n := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			adj := redundancy.Majority(redundancy.EqualOf[int]())
+			results := make([]redundancy.Result[int], n)
+			for i := range results {
+				results[i] = redundancy.Result[int]{Variant: "v", Value: 1}
+			}
+			results[n-1].Value = 2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := adj.Adjudicate(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// faultySum is x - y where the spec wants x + y.
+func faultySum() redundancy.ProgramNode {
+	return &redundancy.ProgramBin{
+		Op: redundancy.OpSub,
+		L:  redundancy.ProgramVar{Name: "x"},
+		R:  redundancy.ProgramVar{Name: "y"},
+	}
+}
+
+// intSetRules mirrors the IntSet rewriting rules through the public API.
+func intSetRules() []redundancy.RewritingRule {
+	return []redundancy.RewritingRule{
+		{
+			Name:     "split-range",
+			Match:    []string{"addrange"},
+			Priority: 10,
+			Replace: func(w []redundancy.WorkaroundOp) []redundancy.WorkaroundOp {
+				lo, hi := w[0].Args[0], w[0].Args[1]
+				if hi <= lo {
+					return nil
+				}
+				mid := lo + (hi-lo)/2
+				return []redundancy.WorkaroundOp{
+					{Name: "addrange", Args: []int{lo, mid}},
+					{Name: "addrange", Args: []int{mid + 1, hi}},
+				}
+			},
+		},
+		{
+			Name:     "expand-range",
+			Match:    []string{"addrange"},
+			Priority: 5,
+			Replace: func(w []redundancy.WorkaroundOp) []redundancy.WorkaroundOp {
+				lo, hi := w[0].Args[0], w[0].Args[1]
+				out := make([]redundancy.WorkaroundOp, 0, hi-lo+1)
+				for v := lo; v <= hi; v++ {
+					out = append(out, redundancy.WorkaroundOp{Name: "add", Args: []int{v}})
+				}
+				return out
+			},
+		},
+	}
+}

@@ -1,0 +1,91 @@
+// Command experiments runs the reproduction experiments: one per table,
+// figure, or quantitative claim of the paper (see DESIGN.md for the
+// index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments -list          # list all experiments
+//	experiments -run fig1      # run one experiment by id
+//	experiments -all           # run every experiment
+//	experiments -seed 42 -all  # choose the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/softwarefaults/redundancy/internal/sim"
+	"github.com/softwarefaults/redundancy/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list available experiments")
+		id     = fs.String("run", "", "run the experiment with this id")
+		all    = fs.Bool("all", false, "run every experiment")
+		seed   = fs.Uint64("seed", 1, "deterministic seed")
+		format = fs.String("format", "table", `output format: "table" or "csv"`)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		tbl := stats.NewTable("Experiments", "index", "id", "artifact", "title")
+		for _, e := range sim.All() {
+			tbl.AddRow(e.Index, e.ID, e.Artifact, e.Title)
+		}
+		fmt.Println(tbl)
+		return nil
+	case *id != "":
+		e, err := sim.ByID(*id)
+		if err != nil {
+			return err
+		}
+		return runOne(e, *seed, *format)
+	case *all:
+		for _, e := range sim.All() {
+			if err := runOne(e, *seed, *format); err != nil {
+				return fmt.Errorf("experiment %s: %w", e.ID, err)
+			}
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -run <id>, or -all")
+	}
+}
+
+func runOne(e sim.Experiment, seed uint64, format string) error {
+	switch format {
+	case "table":
+		fmt.Printf("=== %s (%s) — %s ===\n", e.Index, e.ID, e.Artifact)
+		fmt.Printf("%s\n\n", e.Title)
+	case "csv":
+		// CSV output stays machine-readable: a comment line per table.
+	default:
+		return fmt.Errorf("unknown format %q (want table or csv)", format)
+	}
+	tables, err := e.Run(seed)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", e.ID, t.Title(), t.CSV())
+			continue
+		}
+		fmt.Println(t)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Errorf("run(-list) = %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// quorum is the cheapest, fully deterministic experiment.
+	if err := run([]string{"-run", "quorum"}); err != nil {
+		t.Errorf("run(-run quorum) = %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no action should be an error")
+	}
+}
+
+func TestRunSeedFlag(t *testing.T) {
+	if err := run([]string{"-seed", "42", "-run", "quorum"}); err != nil {
+		t.Errorf("seeded run = %v", err)
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	if err := run([]string{"-run", "quorum", "-format", "csv"}); err != nil {
+		t.Errorf("csv run = %v", err)
+	}
+	if err := run([]string{"-run", "quorum", "-format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command faultsim is an ad-hoc Monte Carlo reliability calculator for
+// redundant configurations: pick a pattern, the number of variants, the
+// per-variant failure probability (and optionally a failure correlation),
+// and compare the simulated reliability against the analytic model.
+//
+// Usage:
+//
+//	faultsim -pattern nvp -n 3 -p 0.05
+//	faultsim -pattern nvp -n 5 -p 0.1 -rho 0.4
+//	faultsim -pattern sequential -n 3 -p 0.2 -trials 100000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	redundancy "github.com/softwarefaults/redundancy"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/nvp"
+	"github.com/softwarefaults/redundancy/internal/stats"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	var (
+		patternName = fs.String("pattern", "nvp", "pattern: single, nvp, selection, sequential")
+		n           = fs.Int("n", 3, "number of variants")
+		p           = fs.Float64("p", 0.05, "per-variant failure probability")
+		rho         = fs.Float64("rho", 0, "failure correlation (nvp only)")
+		trials      = fs.Int("trials", 50000, "Monte Carlo trials")
+		seed        = fs.Uint64("seed", 1, "deterministic seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 || *p < 0 || *p > 1 || *rho < 0 || *rho > 1 || *trials < 1 {
+		return fmt.Errorf("invalid parameters: n=%d p=%f rho=%f trials=%d", *n, *p, *rho, *trials)
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Reliability of %s (n=%d, p=%.3f, rho=%.2f, %d trials)",
+			*patternName, *n, *p, *rho, *trials),
+		"measure", "value")
+
+	switch *patternName {
+	case "nvp":
+		law := faultmodel.CorrelatedFailures{N: *n, P: *p, Rho: *rho}
+		ens, err := nvp.NewEnsemble(law, xrand.New(*seed))
+		if err != nil {
+			return err
+		}
+		ok := 0
+		for i := 0; i < *trials; i++ {
+			if _, correct := ens.Round(1); correct {
+				ok++
+			}
+		}
+		prop, err := stats.NewProportion(ok, *trials)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow("simulated reliability", prop.Estimate)
+		tbl.AddRow("95% interval", fmt.Sprintf("[%.4f, %.4f]", prop.Lo, prop.Hi))
+		tbl.AddRow("analytic reliability", nvp.ReliabilityCorrelated(*n, *p, *rho))
+		tbl.AddRow("single-version baseline", 1-*p)
+		tbl.AddRow("tolerable faults k", redundancy.TolerableFaults(*n))
+	case "single", "selection", "sequential":
+		ok, execs, err := simulateDetected(*patternName, *n, *p, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		prop, err := stats.NewProportion(ok, *trials)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow("simulated reliability", prop.Estimate)
+		tbl.AddRow("95% interval", fmt.Sprintf("[%.4f, %.4f]", prop.Lo, prop.Hi))
+		analytic := 1 - *p
+		if *patternName != "single" {
+			analytic = 1 - pow(*p, *n)
+		}
+		tbl.AddRow("analytic reliability", analytic)
+		tbl.AddRow("mean executions/request", execs)
+	default:
+		return fmt.Errorf("unknown pattern %q", *patternName)
+	}
+	fmt.Println(tbl)
+	return nil
+}
+
+// simulateDetected runs the detected-failure patterns (failures are
+// errors, not wrong values).
+func simulateDetected(patternName string, n int, p float64, trials int, seed uint64) (ok int, execsPerReq float64, err error) {
+	master := xrand.New(seed)
+	mk := func(i int) redundancy.Variant[int, int] {
+		rng := master.Split()
+		return redundancy.NewVariant(fmt.Sprintf("v%d", i), func(_ context.Context, x int) (int, error) {
+			if rng.Bool(p) {
+				return 0, fmt.Errorf("variant failure")
+			}
+			return x, nil
+		})
+	}
+	accept := func(_ int, _ int) error { return nil }
+	var (
+		m    redundancy.Metrics
+		exec redundancy.Executor[int, int]
+	)
+	switch patternName {
+	case "single":
+		exec, err = redundancy.NewSingle(mk(1), redundancy.WithMetrics(&m))
+	case "sequential":
+		vs := make([]redundancy.Variant[int, int], n)
+		for i := range vs {
+			vs[i] = mk(i + 1)
+		}
+		exec, err = redundancy.NewSequentialAlternatives(vs, accept, nil, redundancy.WithMetrics(&m))
+	case "selection":
+		vs := make([]redundancy.Variant[int, int], n)
+		tests := make([]redundancy.AcceptanceTest[int, int], n)
+		for i := range vs {
+			vs[i] = mk(i + 1)
+			tests[i] = accept
+		}
+		var ps *redundancy.ParallelSelection[int, int]
+		ps, err = redundancy.NewParallelSelection(vs, tests, redundancy.WithMetrics(&m))
+		if err == nil {
+			exec = redundancy.ExecutorFunc[int, int](func(ctx context.Context, x int) (int, error) {
+				defer ps.Reset() // failures are transient in this model
+				return ps.Execute(ctx, x)
+			})
+		}
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx := context.Background()
+	for i := 0; i < trials; i++ {
+		if _, err := exec.Execute(ctx, i); err == nil {
+			ok++
+		}
+	}
+	return ok, m.Snapshot().ExecutionsPerRequest(), nil
+}
+
+func pow(b float64, e int) float64 {
+	out := 1.0
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}

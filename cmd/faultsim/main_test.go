@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestRunNVP(t *testing.T) {
+	if err := run([]string{"-pattern", "nvp", "-n", "3", "-p", "0.1", "-trials", "2000"}); err != nil {
+		t.Errorf("nvp run = %v", err)
+	}
+}
+
+func TestRunNVPCorrelated(t *testing.T) {
+	if err := run([]string{"-pattern", "nvp", "-n", "5", "-p", "0.1", "-rho", "0.5", "-trials", "2000"}); err != nil {
+		t.Errorf("correlated run = %v", err)
+	}
+}
+
+func TestRunDetectedPatterns(t *testing.T) {
+	for _, p := range []string{"single", "selection", "sequential"} {
+		if err := run([]string{"-pattern", p, "-n", "3", "-p", "0.2", "-trials", "500"}); err != nil {
+			t.Errorf("%s run = %v", p, err)
+		}
+	}
+}
+
+func TestRunUnknownPattern(t *testing.T) {
+	if err := run([]string{"-pattern", "nope"}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestRunInvalidParameters(t *testing.T) {
+	bad := [][]string{
+		{"-n", "0"},
+		{"-p", "1.5"},
+		{"-rho", "-0.1"},
+		{"-trials", "0"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if pow(2, 3) != 8 || pow(0.5, 2) != 0.25 || pow(7, 0) != 1 {
+		t.Error("pow incorrect")
+	}
+}

@@ -1,0 +1,48 @@
+// Command taxonomy regenerates the paper's taxonomy tables from the
+// technique records encoded in the library.
+//
+// Usage:
+//
+//	taxonomy            # print Table 1, Table 2 and the implementation map
+//	taxonomy -table 1   # only Table 1 (the classification scheme)
+//	taxonomy -table 2   # only Table 2 (all seventeen techniques)
+//	taxonomy -table map # only the technique-to-package map
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "taxonomy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("taxonomy", flag.ContinueOnError)
+	table := fs.String("table", "all", `which table to print: "1", "2", "map", or "all"`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *table {
+	case "1":
+		fmt.Println(redundancy.Table1())
+	case "2":
+		fmt.Println(redundancy.Table2())
+	case "map":
+		fmt.Println(redundancy.ImplementationTable())
+	case "all":
+		fmt.Println(redundancy.Table1())
+		fmt.Println(redundancy.Table2())
+		fmt.Println(redundancy.ImplementationTable())
+	default:
+		return fmt.Errorf("unknown table %q (want 1, 2, map, or all)", *table)
+	}
+	return nil
+}

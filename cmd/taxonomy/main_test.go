@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunTables(t *testing.T) {
+	for _, args := range [][]string{
+		{"-table", "1"},
+		{"-table", "2"},
+		{"-table", "map"},
+		{"-table", "all"},
+		nil,
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+}
+
+func TestRunUnknownTable(t *testing.T) {
+	if err := run([]string{"-table", "9"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

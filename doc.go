@@ -1,0 +1,55 @@
+// Package redundancy is a general-purpose framework for handling software
+// faults with redundancy, reproducing the taxonomy and the seventeen
+// technique families surveyed by Carzaniga, Gorla and Pezzè in "Handling
+// Software Faults with Redundancy".
+//
+// A system is redundant when it is capable of executing the same,
+// logically unique functionality in multiple ways or in multiple
+// instances. This package models the alternative implementations as
+// Variant values, the mechanisms that select or validate results as
+// Adjudicator and AcceptanceTest values, and offers executors for the
+// three inter-component architectural patterns of the paper's Figure 1:
+//
+//   - parallel evaluation (NewParallelEvaluation): all variants run
+//     concurrently and one adjudicator — typically a Majority vote —
+//     selects the result, as in N-version programming;
+//   - parallel selection (NewParallelSelection): variants run
+//     concurrently, each validated by its own acceptance test, with
+//     failing components disabled, as in self-checking programming;
+//   - sequential alternatives (NewSequentialAlternatives): variants run
+//     one at a time with rollback between attempts, as in recovery
+//     blocks.
+//
+// On top of the patterns, the package exposes every technique of the
+// paper's Table 2: N-version programming (NewNVersion), recovery blocks
+// (NewRecoveryBlock), self-checking programming (NewSelfCheckingSystem),
+// self-optimizing code (NewOptimizer), rule engines (NewRuleEngine),
+// wrappers (NewHeapHealer, NewProtocolWrapper), robust data structures
+// (NewRobustList, NewRobustMap), data diversity (NewRetryBlock, NewNCopy,
+// NewNVariantCell), rejuvenation (NewRejuvenator, SimulateCompletion),
+// environment perturbation (NewPerturbationExecutor), checkpoint-recovery
+// (NewCheckpointRecovery, NewCheckpointStore), process replicas
+// (NewReplicaSystem), dynamic service substitution (NewServiceRegistry,
+// NewServiceProxy), genetic-programming fault fixing (RepairProgram), and
+// automatic workarounds (NewWorkaroundEngine).
+//
+// The taxonomy itself is a first-class value: Techniques returns the
+// classified technique records (queryable by dimension with
+// TechniquesByIntention, TechniquesByType, TechniquesByFaultClass and
+// TechniquesByPattern) and Table1/Table2 regenerate the paper's tables.
+//
+// Beyond the Table 2 rows, the package offers the supporting layers a
+// deployment needs: BPEL-style compensable process composition
+// (NewCompositeProcess with RetryInvoke / AlternatesInvoke / VotingInvoke
+// / HotSparesInvoke steps), a replicated stateful store with read voting
+// and state reconciliation (NewReplicatedStore), reusable re-expression
+// families for data diversity (TranslateInts, PermuteInts, JitterFloat,
+// NewScaleFamily), classical dependability algebra
+// (SteadyStateAvailability, KOfNReliability, MajorityReliability), panic
+// containment for untrusted variants (GuardVariant), inexact comparison
+// for numeric voting (ApproxEqual), and structured observability for all
+// pattern executors (WithLogger).
+//
+// Everything is deterministic: components that need randomness accept an
+// explicit *Rand created with NewRand(seed).
+package redundancy

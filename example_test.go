@@ -1,0 +1,146 @@
+package redundancy_test
+
+// Runnable godoc examples for the main entry points.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+// ExampleNewNVersion shows classic N-version programming: three versions,
+// one buggy, adjudicated by majority vote.
+func ExampleNewNVersion() {
+	versions := []redundancy.Variant[int, int]{
+		redundancy.NewVariant("v1", func(_ context.Context, x int) (int, error) { return x * x, nil }),
+		redundancy.NewVariant("v2", func(_ context.Context, x int) (int, error) { return x * x, nil }),
+		redundancy.NewVariant("v3-buggy", func(_ context.Context, x int) (int, error) { return x + x, nil }),
+	}
+	system, _ := redundancy.NewNVersion(versions, redundancy.EqualOf[int]())
+	out, _ := system.Execute(context.Background(), 9)
+	fmt.Println(out)
+	// Output: 81
+}
+
+// ExampleNewRecoveryBlock shows a recovery block: the primary fails, the
+// state is rolled back, and the alternate's accepted result is returned.
+func ExampleNewRecoveryBlock() {
+	state := struct{ Attempts int }{}
+	primary := redundancy.NewVariant("fast-path", func(_ context.Context, _ int) (int, error) {
+		return 0, errors.New("fast path broken today")
+	})
+	alternate := redundancy.NewVariant("slow-path", func(_ context.Context, x int) (int, error) {
+		return x + 1, nil
+	})
+	block, _ := redundancy.NewRecoveryBlock("increment", &state,
+		func(_ int, out int) error {
+			if out <= 0 {
+				return redundancy.ErrNotAccepted
+			}
+			return nil
+		},
+		[]redundancy.Variant[int, int]{primary, alternate})
+	out, _ := block.Execute(context.Background(), 41)
+	fmt.Println(out)
+	// Output: 42
+}
+
+// ExampleMajority shows direct use of the implicit voting adjudicator.
+func ExampleMajority() {
+	adj := redundancy.Majority(redundancy.EqualOf[string]())
+	verdict, _ := adj.Adjudicate([]redundancy.Result[string]{
+		{Variant: "a", Value: "yes"},
+		{Variant: "b", Value: "yes"},
+		{Variant: "c", Value: "no"},
+	})
+	fmt.Println(verdict)
+	// Output: yes
+}
+
+// ExampleNewCheckpointRunner shows checkpoint-recovery over a
+// deterministic state machine.
+func ExampleNewCheckpointRunner() {
+	runner, _ := redundancy.NewCheckpointRunner(0,
+		func(total int, op int) (int, error) { return total + op, nil },
+		2 /* checkpoint every 2 ops */)
+	for _, op := range []int{10, 20, 12} {
+		_ = runner.Step(op)
+	}
+	replayed, _ := runner.Recover() // rollback + replay the uncommitted tail
+	fmt.Println(runner.State(), replayed)
+	// Output: 42 1
+}
+
+// ExampleNewPerturbationExecutor shows RX-style recovery: the overflow is
+// deterministic under the plain environment but masked by the padding
+// perturbation.
+func ExampleNewPerturbationExecutor() {
+	program := func(_ context.Context, env *redundancy.Env, x int) (int, error) {
+		if env.AllocPadding < 64 {
+			return 0, errors.New("buffer overflow")
+		}
+		return x, nil
+	}
+	exec, _ := redundancy.NewPerturbationExecutor(program, redundancy.DefaultEnv(),
+		redundancy.DefaultPerturbationLadder())
+	out, _ := exec.Execute(context.Background(), 7)
+	fmt.Println(out, exec.LastRung())
+	// Output: 7 pad-64
+}
+
+// ExampleNewRobustList shows audit-and-repair on a robust structure.
+func ExampleNewRobustList() {
+	list := redundancy.NewRobustList()
+	for _, v := range []int{1, 2, 3} {
+		list.Append(v)
+	}
+	ids := list.NodeIDs()
+	list.CorruptNext(ids[0], 9999) // stray write
+	fmt.Println("defects:", len(list.Audit()))
+	_ = list.Repair()
+	values, _ := list.Values()
+	fmt.Println("repaired:", values)
+	// Output:
+	// defects: 1
+	// repaired: [1 2 3]
+}
+
+// ExampleVersionsNeeded states the paper's 2k+1 rule.
+func ExampleVersionsNeeded() {
+	fmt.Println(redundancy.VersionsNeeded(2), "versions tolerate 2 faults")
+	// Output: 5 versions tolerate 2 faults
+}
+
+// ExampleNewReplicaSystem shows secretless attack detection by replica
+// divergence.
+func ExampleNewReplicaSystem() {
+	sys, _ := redundancy.NewReplicaSystem(3, 1<<12)
+	// Benign request: relative addressing behaves identically everywhere.
+	v, _ := sys.Execute(redundancy.ReplicaRequest{Op: redundancy.ReplicaWrite, Addr: 8, Value: 5})
+	fmt.Println("benign:", v)
+	// Exploit payload: an absolute address is valid in one partition only.
+	_, err := sys.Execute(redundancy.ReplicaRequest{
+		Op: redundancy.ReplicaWrite, Addr: sys.Process(0).Base(), Absolute: true, Value: 5,
+	})
+	fmt.Println("attack detected:", errors.Is(err, redundancy.ErrAttackDetected))
+	// Output:
+	// benign: 5
+	// attack detected: true
+}
+
+// ExampleChainedAdjudicator shows a strict-then-lenient voting cascade.
+func ExampleChainedAdjudicator() {
+	adj := redundancy.ChainedAdjudicator(
+		redundancy.Majority(redundancy.EqualOf[int]()),
+		redundancy.Plurality(redundancy.EqualOf[int]()),
+	)
+	// 2-of-5 agreement: no strict majority, but a unique plurality.
+	verdict, _ := adj.Adjudicate([]redundancy.Result[int]{
+		{Variant: "a", Value: 7}, {Variant: "b", Value: 7},
+		{Variant: "c", Value: 1}, {Variant: "d", Value: 2}, {Variant: "e", Value: 3},
+	})
+	fmt.Println(verdict)
+	// Output: 7
+}

@@ -1,0 +1,124 @@
+// Composite saga: fault-tolerant process composition with compensation.
+//
+// An order-processing pipeline composes the paper's web-service
+// fault-tolerance constructs: a retried inventory reservation, a
+// majority-voted price quote over three independent quote services, and a
+// shipping step. When shipping fails irrecoverably, the compensation
+// handlers of the completed steps undo their effects in reverse order.
+// Run it with:
+//
+//	go run ./examples/composite-saga
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "composite-saga:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := redundancy.NewRand(1)
+
+	// Step 1: inventory reservation against a flaky backend, healed by
+	// the retry construct.
+	reserved := 0
+	reserve := redundancy.NewVariant("inventory", func(_ context.Context, qty int) (int, error) {
+		if rng.Bool(0.4) {
+			return 0, errors.New("inventory backend timeout")
+		}
+		reserved += qty
+		return qty, nil
+	})
+	reserveStep, err := redundancy.RetryInvoke(reserve, 5)
+	if err != nil {
+		return err
+	}
+
+	// Step 2: price quote voted across three independent quote services,
+	// one of which mis-prices.
+	quote := func(name string, perUnit int) redundancy.Variant[int, int] {
+		return redundancy.NewVariant(name, func(_ context.Context, qty int) (int, error) {
+			return qty * perUnit, nil
+		})
+	}
+	votedQuote, err := redundancy.VotingInvoke(redundancy.EqualOf[int](),
+		quote("quotes-eu", 20), quote("quotes-us", 20), quote("quotes-buggy", 23))
+	if err != nil {
+		return err
+	}
+
+	// Step 3: shipping, hard down today.
+	shipping := redundancy.NewVariant("shipping", func(_ context.Context, total int) (int, error) {
+		return 0, errors.New("carrier API down")
+	})
+	shipStep, err := redundancy.RetryInvoke(shipping, 2)
+	if err != nil {
+		return err
+	}
+
+	process, err := redundancy.NewCompositeProcess("order",
+		redundancy.ProcessStep[int]{
+			Name:   "reserve",
+			Invoke: reserveStep,
+			Compensate: func(_ context.Context, qty int) error {
+				reserved -= qty
+				fmt.Printf("  compensation: released %d reserved unit(s)\n", qty)
+				return nil
+			},
+		},
+		redundancy.ProcessStep[int]{
+			Name:   "quote",
+			Invoke: votedQuote,
+			Compensate: func(_ context.Context, _ int) error {
+				fmt.Println("  compensation: voided the quote")
+				return nil
+			},
+		},
+		redundancy.ProcessStep[int]{Name: "ship", Invoke: shipStep},
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("executing order process (shipping carrier is down):")
+	_, err = process.Execute(context.Background(), 3)
+	if !errors.Is(err, redundancy.ErrProcessFailed) {
+		return fmt.Errorf("expected a compensated process failure, got %v", err)
+	}
+	fmt.Printf("process failed as expected: %v\n", err)
+	fmt.Printf("compensations run: %d; reserved units after undo: %d\n",
+		process.CompensationsRun, reserved)
+
+	// Same pipeline with shipping healthy.
+	shippingOK := redundancy.NewVariant("shipping", func(_ context.Context, total int) (int, error) {
+		return total, nil
+	})
+	shipOK, err := redundancy.RetryInvoke(shippingOK, 2)
+	if err != nil {
+		return err
+	}
+	process2, err := redundancy.NewCompositeProcess("order",
+		redundancy.ProcessStep[int]{Name: "reserve", Invoke: reserveStep},
+		redundancy.ProcessStep[int]{Name: "quote", Invoke: votedQuote},
+		redundancy.ProcessStep[int]{Name: "ship", Invoke: shipOK},
+	)
+	if err != nil {
+		return err
+	}
+	total, err := process2.Execute(context.Background(), 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nretry with healthy carrier: order completed, voted total %d (buggy quote outvoted)\n", total)
+	return nil
+}

@@ -1,0 +1,119 @@
+// Flaky services: dynamic service substitution plus recovery blocks.
+//
+// A composite application depends on a "rates" service that is available
+// from three independent providers of varying quality. A transparent
+// proxy substitutes providers when the bound one fails; a recovery block
+// guards the application-level computation with an acceptance test and an
+// alternate algorithm. Run it with:
+//
+//	go run ./examples/flakyservices
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flakyservices:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := redundancy.NewRand(2024)
+	sig := redundancy.ServiceSignature{Name: "rates", Ops: []string{"convert"}}
+
+	// Three independently operated providers of the same interface. The
+	// primary is down; the second is flaky; the third offers a similar
+	// interface under a different operation name, adapted by a converter.
+	primary, err := redundancy.NewSimService("rates-primary", sig,
+		map[string]func(int) (int, error){
+			"convert": func(cents int) (int, error) { return cents * 2, nil },
+		})
+	if err != nil {
+		return err
+	}
+	primary.SetDown(true)
+
+	flaky, err := redundancy.NewSimService("rates-flaky", sig,
+		map[string]func(int) (int, error){
+			"convert": func(cents int) (int, error) { return cents * 2, nil },
+		})
+	if err != nil {
+		return err
+	}
+	flaky.SetFlaky(0.4, rng)
+
+	similar, err := redundancy.NewSimService("fx-gateway",
+		redundancy.ServiceSignature{Name: "fx", Ops: []string{"exchange"}},
+		map[string]func(int) (int, error){
+			"exchange": func(cents int) (int, error) { return cents * 2, nil },
+		})
+	if err != nil {
+		return err
+	}
+
+	registry := redundancy.NewServiceRegistry()
+	if err := registry.Register(primary, nil); err != nil {
+		return err
+	}
+	if err := registry.Register(flaky, nil); err != nil {
+		return err
+	}
+	if err := registry.Register(similar, redundancy.ServiceConverter{"convert": "exchange"}); err != nil {
+		return err
+	}
+
+	proxy, err := redundancy.NewServiceProxy(registry, sig, 0.0)
+	if err != nil {
+		return err
+	}
+
+	// The application computes an order total through a recovery block:
+	// the primary algorithm uses the remote rates service; the alternate
+	// falls back to a conservative local estimate. The acceptance test
+	// rejects non-positive totals.
+	state := struct{ OrdersPriced int }{}
+	remote := redundancy.NewVariant("price-via-service",
+		func(ctx context.Context, cents int) (int, error) {
+			state.OrdersPriced++
+			return proxy.Invoke(ctx, "convert", cents)
+		})
+	local := redundancy.NewVariant("price-local-estimate",
+		func(_ context.Context, cents int) (int, error) {
+			state.OrdersPriced++
+			return cents*2 + 1, nil // conservative rounding
+		})
+	block, err := redundancy.NewRecoveryBlock("pricing", &state,
+		func(_ int, total int) error {
+			if total <= 0 {
+				return redundancy.ErrNotAccepted
+			}
+			return nil
+		},
+		[]redundancy.Variant[int, int]{remote, local})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	priced, failed := 0, 0
+	for order := 1; order <= 20; order++ {
+		total, err := block.Execute(ctx, order*100)
+		if err != nil {
+			failed++
+			fmt.Printf("order %2d: FAILED (%v)\n", order, err)
+			continue
+		}
+		priced++
+		fmt.Printf("order %2d: total %5d  (bound to %s)\n", order, total, proxy.Bound())
+	}
+	fmt.Printf("\npriced %d/20 orders; proxy performed %d substitutions; final binding: %s\n",
+		priced, proxy.Substitutions, proxy.Bound())
+	return nil
+}

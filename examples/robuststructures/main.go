@@ -1,0 +1,83 @@
+// Robust structures: deliberate data redundancy with audits and repair.
+//
+// A robust doubly-linked list survives pointer and counter corruption by
+// reconstructing itself from its redundant structural data, and a
+// checksummed, shadowed map serves correct reads through a corrupted
+// primary copy. Run it with:
+//
+//	go run ./examples/robuststructures
+package main
+
+import (
+	"fmt"
+	"os"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "robuststructures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- robust list ---
+	list := redundancy.NewRobustList()
+	for i := 1; i <= 5; i++ {
+		list.Append(i * 10)
+	}
+	fmt.Println("robust list:", mustValues(list))
+
+	// A stray write smashes a next pointer.
+	ids := list.NodeIDs()
+	list.CorruptNext(ids[1], 424242)
+	defects := list.Audit()
+	fmt.Printf("after corruption: audit found %d defect(s): %v\n", len(defects), defects)
+	if _, err := list.Values(); err != nil {
+		fmt.Println("traversal now fails:", err)
+	}
+
+	if err := list.Repair(); err != nil {
+		return fmt.Errorf("repair: %w", err)
+	}
+	fmt.Println("after repair:", mustValues(list))
+
+	// Counter drift is detected and fixed too.
+	list.CorruptCount(+2)
+	if len(list.Audit()) == 0 {
+		return fmt.Errorf("count drift went undetected")
+	}
+	if err := list.Repair(); err != nil {
+		return fmt.Errorf("repair count: %w", err)
+	}
+	fmt.Println("count drift repaired; len =", list.Len())
+
+	// --- robust map ---
+	m := redundancy.NewRobustMap()
+	m.Put("alpha", 1)
+	m.Put("beta", 2)
+	m.CorruptPrimary("alpha", 999)
+
+	v, err := m.Get("alpha")
+	if err != nil {
+		return fmt.Errorf("get alpha: %w", err)
+	}
+	fmt.Printf("\nrobust map: alpha = %d (served from shadow; %d transparent repair(s))\n",
+		v, m.Repairs)
+
+	// Audit-and-repair sweep.
+	m.CorruptShadow("beta", 999)
+	repaired, lost := m.RepairAll()
+	fmt.Printf("audit sweep: repaired %d entr(ies), lost %d\n", repaired, lost)
+	return nil
+}
+
+func mustValues(l *redundancy.RobustList) []int {
+	vs, err := l.Values()
+	if err != nil {
+		panic(err)
+	}
+	return vs
+}

@@ -1,0 +1,122 @@
+// Self-healing: a rule-engine registry driving micro-reboot recovery.
+//
+// A three-tier application suffers component failures; a failure-handling
+// registry (exception handling / rule engine) maps each incident to an
+// ordered list of recovery actions — micro-reboot the failed component
+// first, escalate to a full reboot if that does not clear the fault. Run
+// it with:
+//
+//	go run ./examples/selfhealing
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "selfhealing:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := redundancy.NewComponentSystem(redundancy.ComponentSpec{
+		Name: "shop", InitCost: 80,
+		Children: []redundancy.ComponentSpec{
+			{Name: "storefront", InitCost: 20, Children: []redundancy.ComponentSpec{
+				{Name: "cart", InitCost: 3},
+				{Name: "search", InitCost: 5},
+			}},
+			{Name: "inventory", InitCost: 35},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// The registry: cart/search incidents are micro-rebooted; if the
+	// same incident resists, the second action reboots the storefront
+	// subtree; anything else gets a full reboot.
+	microReboot := redundancy.RecoveryAction{
+		Name: "micro-reboot component",
+		Run: func(_ context.Context, inc *redundancy.Incident) error {
+			cost, err := sys.MicroReboot(inc.Component)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("    micro-rebooted %s (cost %.0f)\n", inc.Component, cost)
+			return sys.Serve(inc.Component)
+		},
+	}
+	rebootParent := redundancy.RecoveryAction{
+		Name: "reboot storefront subtree",
+		Run: func(_ context.Context, inc *redundancy.Incident) error {
+			cost, err := sys.MicroReboot("storefront")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("    escalated: rebooted storefront (cost %.0f)\n", cost)
+			return sys.Serve(inc.Component)
+		},
+	}
+	fullReboot := redundancy.RecoveryAction{
+		Name: "full reboot",
+		Run: func(_ context.Context, inc *redundancy.Incident) error {
+			cost := sys.Reboot()
+			fmt.Printf("    last resort: full reboot (cost %.0f)\n", cost)
+			return sys.Serve(inc.Component)
+		},
+	}
+
+	engine, err := redundancy.NewRuleEngine(
+		redundancy.RecoveryRule{
+			Name: "frontend components",
+			Match: redundancy.MatchAny(
+				redundancy.MatchComponent("cart"),
+				redundancy.MatchComponent("search"),
+			),
+			Actions: []redundancy.RecoveryAction{microReboot, rebootParent, fullReboot},
+		},
+		redundancy.RecoveryRule{
+			Name:    "everything else",
+			Match:   func(*redundancy.Incident) bool { return true },
+			Actions: []redundancy.RecoveryAction{microReboot, fullReboot},
+		},
+	)
+	if err != nil {
+		return err
+	}
+
+	// Inject a series of failures and let the registry heal them.
+	ctx := context.Background()
+	for _, failure := range []string{"cart", "search", "inventory", "cart"} {
+		if err := sys.Fail(failure); err != nil {
+			return err
+		}
+		serveErr := sys.Serve(failure)
+		if serveErr == nil {
+			continue
+		}
+		fmt.Printf("incident: %s unavailable (%v)\n", failure, errors.Unwrap(serveErr))
+		outcome, err := engine.Handle(ctx, &redundancy.Incident{
+			Component: failure,
+			Err:       serveErr,
+		})
+		if err != nil {
+			return fmt.Errorf("unhealed incident: %w", err)
+		}
+		fmt.Printf("  healed by rule %q, action %q (%d action(s) tried)\n",
+			outcome.Rule, outcome.Action, outcome.ActionsTried)
+	}
+
+	fmt.Printf("\ntotal recovery downtime: %.0f cost units (full reboot would cost %.0f per incident)\n",
+		sys.Downtime, sys.FullRebootCost())
+	fmt.Printf("incidents handled: %d, unresolved: %d\n", engine.Handled, engine.Unresolved)
+	return nil
+}

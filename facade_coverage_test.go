@@ -1,0 +1,220 @@
+package redundancy_test
+
+// Exercises the thin facade wrappers not covered by the scenario tests,
+// so the public surface stays wired to the right internals.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+func TestFacadePatternWrappers(t *testing.T) {
+	ctx := context.Background()
+	ok := redundancy.NewVariant("ok", func(_ context.Context, x int) (int, error) { return x, nil })
+	accept := func(_ int, _ int) error { return nil }
+
+	single, err := redundancy.NewSingle(ok, redundancy.WithVariantTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := single.Execute(ctx, 3); err != nil || got != 3 {
+		t.Errorf("single = (%d, %v)", got, err)
+	}
+
+	ps, err := redundancy.NewParallelSelection(
+		[]redundancy.Variant[int, int]{ok},
+		[]redundancy.AcceptanceTest[int, int]{accept})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ps.Execute(ctx, 4); err != nil || got != 4 {
+		t.Errorf("selection = (%d, %v)", got, err)
+	}
+
+	sa, err := redundancy.NewSequentialAlternatives(
+		[]redundancy.Variant[int, int]{ok}, accept, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sa.Execute(ctx, 5); err != nil || got != 5 {
+		t.Errorf("sequential = (%d, %v)", got, err)
+	}
+}
+
+func TestFacadeAdjudicatorWrappers(t *testing.T) {
+	rs := []redundancy.Result[int]{
+		{Variant: "a", Value: 1}, {Variant: "b", Value: 1}, {Variant: "c", Value: 2},
+	}
+	if v, err := redundancy.MOfN(2, redundancy.EqualOf[int]()).Adjudicate(rs); err != nil || v != 1 {
+		t.Errorf("MOfN = (%d, %v)", v, err)
+	}
+	if v, err := redundancy.Weighted(map[string]float64{"a": 5}, 1, redundancy.EqualOf[int]()).Adjudicate(rs); err != nil || v != 1 {
+		t.Errorf("Weighted = (%d, %v)", v, err)
+	}
+	if v, err := redundancy.FirstSuccess[int]().Adjudicate(rs); err != nil || v != 1 {
+		t.Errorf("FirstSuccess = (%d, %v)", v, err)
+	}
+	acc := redundancy.AcceptanceAdjudicator(0, func(_ int, out int) error {
+		if out != 2 {
+			return redundancy.ErrNotAccepted
+		}
+		return nil
+	})
+	if v, err := acc.Adjudicate(rs); err != nil || v != 2 {
+		t.Errorf("Acceptance = (%d, %v)", v, err)
+	}
+}
+
+func TestFacadeCompositeWrappers(t *testing.T) {
+	ctx := context.Background()
+	ok := redundancy.NewVariant("ok", func(_ context.Context, x int) (int, error) { return x + 1, nil })
+	down := redundancy.NewVariant("down", func(_ context.Context, _ int) (int, error) {
+		return 0, errors.New("down")
+	})
+	accept := func(_ int, _ int) error { return nil }
+
+	alt, err := redundancy.AlternatesInvoke(accept, down, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := alt.Execute(ctx, 1); err != nil || got != 2 {
+		t.Errorf("alternates = (%d, %v)", got, err)
+	}
+	spares, err := redundancy.HotSparesInvoke(accept, down, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := spares.Execute(ctx, 1); err != nil || got != 2 {
+		t.Errorf("hot spares = (%d, %v)", got, err)
+	}
+}
+
+func TestFacadeNVersionWithAdjudicator(t *testing.T) {
+	mk := func(name string, v float64) redundancy.Variant[int, float64] {
+		return redundancy.NewVariant(name, func(_ context.Context, _ int) (float64, error) {
+			return v, nil
+		})
+	}
+	sys, err := redundancy.NewNVersionWithAdjudicator(
+		[]redundancy.Variant[int, float64]{mk("a", 1), mk("b", 1.01), mk("c", 50)},
+		redundancy.MedianAdjudicator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Execute(context.Background(), 0)
+	if err != nil || got != 1.01 {
+		t.Errorf("= (%f, %v)", got, err)
+	}
+}
+
+func TestFacadeMatchersAndServiceHelpers(t *testing.T) {
+	boom := errors.New("boom")
+	inc := &redundancy.Incident{
+		Component: "svc", Err: boom, Labels: map[string]string{"tier": "db"},
+	}
+	if !redundancy.MatchErrorIs(boom)(inc) {
+		t.Error("MatchErrorIs")
+	}
+	if !redundancy.MatchLabel("tier", "db")(inc) {
+		t.Error("MatchLabel")
+	}
+	if !redundancy.MatchAll(redundancy.MatchComponent("svc"), redundancy.MatchErrorIs(boom))(inc) {
+		t.Error("MatchAll")
+	}
+
+	a := redundancy.ServiceSignature{Name: "x", Ops: []string{"op"}}
+	b := redundancy.ServiceSignature{Name: "y", Ops: []string{"op", "other"}}
+	if redundancy.InterfaceSimilarity(a, b) != 1 {
+		t.Error("InterfaceSimilarity")
+	}
+	svc, err := redundancy.NewSimService("s", redundancy.ServiceSignature{Name: "y", Ops: []string{"operate"}},
+		map[string]func(int) (int, error){"operate": func(x int) (int, error) { return x, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted := redundancy.AdaptService(svc, redundancy.ServiceConverter{"op": "operate"})
+	if got, err := adapted.Invoke(context.Background(), "op", 5); err != nil || got != 5 {
+		t.Errorf("adapted = (%d, %v)", got, err)
+	}
+}
+
+func TestFacadeGeneticHelpers(t *testing.T) {
+	prog := redundancy.FaultyMaxProgram()
+	suite := redundancy.MaxTestSuite()
+	fit := redundancy.ProgramFitness(prog, suite)
+	if fit >= len(suite) {
+		t.Errorf("faulty program fitness = %d, should fail tests", fit)
+	}
+	res, err := redundancy.RepairProgram(prog, suite,
+		redundancy.DefaultRepairConfig([]string{"x", "y"}), redundancy.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Repaired {
+		t.Errorf("not repaired: %s", res)
+	}
+}
+
+func TestFacadeEnvironmentHelpers(t *testing.T) {
+	env := redundancy.DefaultEnv()
+	env.Load = 0.8
+	redundancy.PadAllocations(32)(env)
+	redundancy.ShuffleMessages()(env)
+	redundancy.RaisePriority(1)(env)
+	redundancy.ShedLoad(0.5)(env)
+	if env.AllocPadding != 32 || env.Priority != 1 || env.Load != 0.4 {
+		t.Errorf("perturbed env = %+v", env)
+	}
+
+	prog := func(_ context.Context, _ *redundancy.Env, x int) (int, error) { return x, nil }
+	ckp, err := redundancy.NewCheckpointRecovery(prog, redundancy.DefaultEnv(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ckp.Execute(context.Background(), 8); err != nil || got != 8 {
+		t.Errorf("= (%d, %v)", got, err)
+	}
+
+	store := redundancy.NewCheckpointStore[int](2)
+	id, err := store.Save(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := store.Restore(id); err != nil || v != 9 {
+		t.Errorf("restore = (%d, %v)", v, err)
+	}
+	log := redundancy.NewMessageLog[string]()
+	log.Append("m")
+	if log.Len() != 1 {
+		t.Error("message log")
+	}
+	if _, _, err := redundancy.NewCheckpointStore[int](1).Latest(); !errors.Is(err, redundancy.ErrNoCheckpoint) {
+		t.Errorf("Latest on empty store: %v", err)
+	}
+}
+
+func TestFacadeNCopy(t *testing.T) {
+	program := redundancy.NewVariant("p", func(_ context.Context, x int) (int, error) {
+		if x == 5 {
+			return 0, errors.New("region")
+		}
+		return 42, nil
+	})
+	nc, err := redundancy.NewNCopy(program,
+		[]redundancy.Reexpression[int]{{
+			Name:  "shift",
+			Apply: func(x int, _ *redundancy.Rand) int { return x + 100 },
+			Exact: true,
+		}},
+		2, redundancy.FirstSuccess[int](), redundancy.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := nc.Execute(context.Background(), 5); err != nil || got != 42 {
+		t.Errorf("= (%d, %v)", got, err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/softwarefaults/redundancy
+
+go 1.24

@@ -1,0 +1,100 @@
+// Package avail provides the classical dependability algebra the
+// experiments reason with: steady-state availability from MTBF/MTTR,
+// series/parallel composition, and k-of-n voting reliability. These are
+// the standard structural formulas of the fault-tolerance literature the
+// paper builds on; the Monte Carlo experiments cross-check against them.
+package avail
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// ErrBadParameter reports an out-of-domain argument.
+var ErrBadParameter = errors.New("avail: parameter out of domain")
+
+// Availability returns the steady-state availability of a component with
+// the given mean time between failures and mean time to repair:
+// MTBF / (MTBF + MTTR).
+func Availability(mtbf, mttr time.Duration) (float64, error) {
+	if mtbf <= 0 || mttr < 0 {
+		return 0, ErrBadParameter
+	}
+	return float64(mtbf) / float64(mtbf+mttr), nil
+}
+
+// Series returns the availability (or reliability) of components composed
+// in series: all must be up, so the values multiply.
+func Series(values ...float64) (float64, error) {
+	out := 1.0
+	for _, v := range values {
+		if v < 0 || v > 1 {
+			return 0, ErrBadParameter
+		}
+		out *= v
+	}
+	return out, nil
+}
+
+// Parallel returns the availability of components composed in parallel
+// redundancy: the system is down only when all components are down.
+func Parallel(values ...float64) (float64, error) {
+	down := 1.0
+	for _, v := range values {
+		if v < 0 || v > 1 {
+			return 0, ErrBadParameter
+		}
+		down *= 1 - v
+	}
+	return 1 - down, nil
+}
+
+// KOfN returns the probability that at least k of n independent
+// components with per-component probability p are up — the structural
+// reliability of a k-of-n voting system.
+func KOfN(n, k int, p float64) (float64, error) {
+	if n < 1 || k < 0 || k > n || p < 0 || p > 1 {
+		return 0, ErrBadParameter
+	}
+	total := 0.0
+	for i := k; i <= n; i++ {
+		total += binom(n, i) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(n-i))
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// Majority returns the reliability of an n-component majority-voting
+// system (k = floor(n/2)+1), the structural model of N-version
+// programming with per-version success probability p.
+func Majority(n int, p float64) (float64, error) {
+	return KOfN(n, n/2+1, p)
+}
+
+// DowntimePerYear converts an availability into expected downtime per
+// (365-day) year.
+func DowntimePerYear(availability float64) (time.Duration, error) {
+	if availability < 0 || availability > 1 {
+		return 0, ErrBadParameter
+	}
+	year := 365 * 24 * time.Hour
+	return time.Duration((1 - availability) * float64(year)), nil
+}
+
+// binom returns the binomial coefficient C(n, k) as a float.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package avail
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/nvp"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAvailability(t *testing.T) {
+	a, err := Availability(99*time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(a, 0.99) {
+		t.Errorf("availability = %f, want 0.99", a)
+	}
+	if _, err := Availability(0, time.Hour); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("zero MTBF: %v", err)
+	}
+	if _, err := Availability(time.Hour, -time.Second); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("negative MTTR: %v", err)
+	}
+	// Zero repair time means perfect availability.
+	a, err = Availability(time.Hour, 0)
+	if err != nil || a != 1 {
+		t.Errorf("instant repair availability = (%f, %v)", a, err)
+	}
+}
+
+func TestSeriesAndParallel(t *testing.T) {
+	s, err := Series(0.9, 0.9)
+	if err != nil || !almost(s, 0.81) {
+		t.Errorf("series = (%f, %v)", s, err)
+	}
+	p, err := Parallel(0.9, 0.9)
+	if err != nil || !almost(p, 0.99) {
+		t.Errorf("parallel = (%f, %v)", p, err)
+	}
+	if s1, _ := Series(); s1 != 1 {
+		t.Error("empty series should be 1")
+	}
+	if p0, _ := Parallel(); p0 != 0 {
+		t.Error("empty parallel should be 0")
+	}
+	if _, err := Series(1.5); !errors.Is(err, ErrBadParameter) {
+		t.Error("out-of-range series value accepted")
+	}
+	if _, err := Parallel(-0.1); !errors.Is(err, ErrBadParameter) {
+		t.Error("out-of-range parallel value accepted")
+	}
+}
+
+func TestKOfNKnownValues(t *testing.T) {
+	// 2-of-3 at p=0.9: 3*0.81*0.1 + 0.729 = 0.972.
+	r, err := KOfN(3, 2, 0.9)
+	if err != nil || !almost(r, 0.972) {
+		t.Errorf("KOfN(3,2,0.9) = (%f, %v), want 0.972", r, err)
+	}
+	// 1-of-n is parallel; n-of-n is series.
+	r1, _ := KOfN(3, 1, 0.8)
+	par, _ := Parallel(0.8, 0.8, 0.8)
+	if !almost(r1, par) {
+		t.Errorf("1-of-3 (%f) != parallel (%f)", r1, par)
+	}
+	rn, _ := KOfN(3, 3, 0.8)
+	ser, _ := Series(0.8, 0.8, 0.8)
+	if !almost(rn, ser) {
+		t.Errorf("3-of-3 (%f) != series (%f)", rn, ser)
+	}
+	// 0-of-n is certain.
+	r0, _ := KOfN(5, 0, 0.1)
+	if !almost(r0, 1) {
+		t.Errorf("0-of-5 = %f", r0)
+	}
+}
+
+func TestKOfNValidation(t *testing.T) {
+	cases := []struct {
+		n, k int
+		p    float64
+	}{
+		{0, 0, 0.5}, {3, -1, 0.5}, {3, 4, 0.5}, {3, 2, -0.1}, {3, 2, 1.1},
+	}
+	for _, c := range cases {
+		if _, err := KOfN(c.n, c.k, c.p); !errors.Is(err, ErrBadParameter) {
+			t.Errorf("KOfN(%d,%d,%f) accepted", c.n, c.k, c.p)
+		}
+	}
+}
+
+// TestMajorityAgreesWithNVPModel cross-checks the structural formula with
+// the nvp package's analytic reliability model: Majority(n, 1-p) must
+// equal ReliabilityIndependent(n, p).
+func TestMajorityAgreesWithNVPModel(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7} {
+		for _, p := range []float64{0.01, 0.1, 0.3, 0.5} {
+			want := nvp.ReliabilityIndependent(n, p)
+			got, err := Majority(n, 1-p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("Majority(%d, %f) = %f, nvp model %f", n, 1-p, got, want)
+			}
+		}
+	}
+}
+
+func TestDowntimePerYear(t *testing.T) {
+	d, err := DowntimePerYear(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1% of a year ≈ 87.6 hours.
+	want := time.Duration(0.01 * float64(365*24*time.Hour))
+	if d < want-time.Minute || d > want+time.Minute {
+		t.Errorf("downtime = %v, want ≈%v", d, want)
+	}
+	if _, err := DowntimePerYear(1.5); !errors.Is(err, ErrBadParameter) {
+		t.Error("bad availability accepted")
+	}
+}
+
+// Properties of the algebra.
+func TestAlgebraProperties(t *testing.T) {
+	clamp := func(x float64) float64 { return math.Abs(math.Mod(x, 1)) }
+	// Parallel composition never decreases availability; series never
+	// increases it.
+	f := func(aRaw, bRaw float64) bool {
+		a, b := clamp(aRaw), clamp(bRaw)
+		p, err := Parallel(a, b)
+		if err != nil {
+			return false
+		}
+		s, err := Series(a, b)
+		if err != nil {
+			return false
+		}
+		return p >= math.Max(a, b)-1e-12 && s <= math.Min(a, b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// KOfN is monotone in p and antitone in k.
+	g := func(pRaw float64) bool {
+		p := clamp(pRaw)
+		lo, err := KOfN(5, 3, p*0.5)
+		if err != nil {
+			return false
+		}
+		hi, err := KOfN(5, 3, p)
+		if err != nil {
+			return false
+		}
+		k2, _ := KOfN(5, 2, p)
+		k4, _ := KOfN(5, 4, p)
+		return lo <= hi+1e-12 && k4 <= k2+1e-12
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinom(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {3, 4, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binom(c.n, c.k); !almost(got, c.want) {
+			t.Errorf("binom(%d,%d) = %f, want %f", c.n, c.k, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package checkpoint implements the checkpoint-recovery substrate of the
+// framework: serialized state snapshots, a message log, and a replayer
+// that restores the latest consistent state and re-applies logged
+// operations.
+//
+// In the paper's taxonomy, checkpoint-recovery opportunistically exploits
+// environment redundancy: after a failure the system is brought back to a
+// consistent state and re-executed, relying on spontaneous changes in the
+// environment to avoid the conditions that produced the failure. The same
+// substrate also provides the rollback mechanism that recovery blocks
+// require and the basis for checkpoint-assisted rejuvenation (Garg et
+// al.).
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Sentinel errors for checkpoint stores and logs.
+var (
+	// ErrNoCheckpoint is returned when no snapshot is available.
+	ErrNoCheckpoint = errors.New("checkpoint: no checkpoint available")
+	// ErrUnknownCheckpoint is returned for an id that does not exist.
+	ErrUnknownCheckpoint = errors.New("checkpoint: unknown checkpoint id")
+)
+
+// Store keeps serialized snapshots of a process state. Snapshots are deep
+// copies (gob round-trips), so later mutations of the live state cannot
+// corrupt a saved checkpoint — the property rollback correctness depends
+// on. The zero value is not usable; create stores with NewStore.
+type Store[S any] struct {
+	mu       sync.Mutex
+	blobs    map[int][]byte
+	order    []int
+	nextID   int
+	capacity int
+}
+
+// NewStore creates a snapshot store that retains at most capacity
+// snapshots (older ones are evicted first). capacity <= 0 means unbounded.
+func NewStore[S any](capacity int) *Store[S] {
+	return &Store[S]{
+		blobs:    make(map[int][]byte),
+		capacity: capacity,
+	}
+}
+
+// Save snapshots state and returns the checkpoint id.
+func (s *Store[S]) Save(state S) (int, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&state); err != nil {
+		return 0, fmt.Errorf("encode checkpoint: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.blobs[id] = buf.Bytes()
+	s.order = append(s.order, id)
+	if s.capacity > 0 && len(s.order) > s.capacity {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.blobs, evict)
+	}
+	return id, nil
+}
+
+// Restore decodes the snapshot with the given id into a fresh state value.
+func (s *Store[S]) Restore(id int) (S, error) {
+	var state S
+	s.mu.Lock()
+	blob, ok := s.blobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return state, fmt.Errorf("id %d: %w", id, ErrUnknownCheckpoint)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&state); err != nil {
+		return state, fmt.Errorf("decode checkpoint %d: %w", id, err)
+	}
+	return state, nil
+}
+
+// Latest restores the most recent snapshot.
+func (s *Store[S]) Latest() (S, int, error) {
+	s.mu.Lock()
+	if len(s.order) == 0 {
+		s.mu.Unlock()
+		var zero S
+		return zero, 0, ErrNoCheckpoint
+	}
+	id := s.order[len(s.order)-1]
+	s.mu.Unlock()
+	state, err := s.Restore(id)
+	return state, id, err
+}
+
+// Len reports the number of retained snapshots.
+func (s *Store[S]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Log records the operations applied since the last checkpoint so they
+// can be replayed after a rollback (message logging in rollback-recovery
+// protocols).
+type Log[M any] struct {
+	mu      sync.Mutex
+	entries []entry[M]
+	nextSeq int
+}
+
+type entry[M any] struct {
+	seq int
+	msg M
+}
+
+// NewLog creates an empty message log.
+func NewLog[M any]() *Log[M] {
+	return &Log[M]{}
+}
+
+// Append records a message and returns its sequence number.
+func (l *Log[M]) Append(msg M) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.nextSeq
+	l.nextSeq++
+	l.entries = append(l.entries, entry[M]{seq: seq, msg: msg})
+	return seq
+}
+
+// Since returns the messages with sequence number > seq, in order.
+// Pass -1 for all messages.
+func (l *Log[M]) Since(seq int) []M {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []M
+	for _, e := range l.entries {
+		if e.seq > seq {
+			out = append(out, e.msg)
+		}
+	}
+	return out
+}
+
+// TruncateThrough discards messages with sequence number <= seq; they are
+// covered by a checkpoint and no longer needed for replay.
+func (l *Log[M]) TruncateThrough(seq int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keep := l.entries[:0]
+	for _, e := range l.entries {
+		if e.seq > seq {
+			keep = append(keep, e)
+		}
+	}
+	l.entries = keep
+}
+
+// Len reports the number of retained log entries.
+func (l *Log[M]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Runner drives a deterministic state machine with periodic checkpoints
+// and operation logging, and recovers it after failures by rolling back
+// to the latest checkpoint and replaying the logged operations.
+//
+// Apply must be a pure transition function: given the same state and
+// operation it must produce the same next state. Failures are reported by
+// Apply returning an error; the state passed to Apply is a working copy,
+// so a failed application never corrupts the committed state.
+type Runner[S, M any] struct {
+	// Apply is the state transition function.
+	Apply func(state S, op M) (S, error)
+	// Interval is the number of operations between checkpoints. Values
+	// below 1 checkpoint on every operation.
+	Interval int
+
+	store    *Store[S]
+	log      *Log[M]
+	state    S
+	sinceCkp int
+	lastSeq  int // highest sequence number covered by the latest checkpoint
+}
+
+// NewRunner creates a runner with the given initial state. An initial
+// checkpoint of that state is taken immediately so recovery is always
+// possible.
+func NewRunner[S, M any](initial S, apply func(S, M) (S, error), interval int) (*Runner[S, M], error) {
+	if apply == nil {
+		return nil, errors.New("checkpoint: nil apply function")
+	}
+	r := &Runner[S, M]{
+		Apply:    apply,
+		Interval: interval,
+		store:    NewStore[S](2),
+		log:      NewLog[M](),
+		state:    initial,
+		lastSeq:  -1,
+	}
+	if _, err := r.store.Save(initial); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// State returns the current committed state.
+func (r *Runner[S, M]) State() S { return r.state }
+
+// Step applies one operation. On success the operation is logged and, at
+// the configured interval, a checkpoint is taken. On failure the
+// committed state is unchanged and the caller decides whether to Recover
+// and retry.
+func (r *Runner[S, M]) Step(op M) error {
+	next, err := r.Apply(r.state, op)
+	if err != nil {
+		return err
+	}
+	r.state = next
+	seq := r.log.Append(op)
+	r.sinceCkp++
+	if r.Interval < 1 || r.sinceCkp >= r.Interval {
+		if _, err := r.store.Save(r.state); err != nil {
+			return fmt.Errorf("checkpointing after op %d: %w", seq, err)
+		}
+		r.sinceCkp = 0
+		r.lastSeq = seq
+		r.log.TruncateThrough(seq)
+	}
+	return nil
+}
+
+// Recover rolls back to the latest checkpoint and replays the logged
+// operations. It returns the number of replayed operations. Replay
+// re-executes Apply, so a deterministic failure will fail again — the
+// reason checkpoint-recovery cannot mask Bohrbugs.
+func (r *Runner[S, M]) Recover() (replayed int, err error) {
+	state, _, err := r.store.Latest()
+	if err != nil {
+		return 0, err
+	}
+	ops := r.log.Since(r.lastSeq)
+	for i, op := range ops {
+		state, err = r.Apply(state, op)
+		if err != nil {
+			return i, fmt.Errorf("replaying op %d of %d: %w", i+1, len(ops), err)
+		}
+	}
+	r.state = state
+	return len(ops), nil
+}

@@ -1,0 +1,164 @@
+// Package composite implements fault-tolerant process composition in the
+// style of the paper's web-service sources: Dobson's WS-BPEL realization
+// of the classic fault-tolerance patterns (retry, sequential alternates à
+// la recovery blocks, parallel voting à la N-version programming, and
+// hot-spare self-checking invocations), plus BPEL-style compensation
+// handlers that undo the completed steps of a process when a later step
+// fails irrecoverably.
+//
+// A Process is an ordered pipeline of Steps over a flowing value. Each
+// step's invocation strategy is one of the framework's pattern executors,
+// so the package is a thin composition layer demonstrating how the
+// Figure 1 patterns embed in a service orchestration.
+package composite
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+	"github.com/softwarefaults/redundancy/internal/vote"
+)
+
+// Process errors.
+var (
+	// ErrProcessFailed reports an unrecoverable step failure (after
+	// compensation has run).
+	ErrProcessFailed = errors.New("composite: process failed")
+	// ErrCompensationFailed reports that undoing completed steps failed;
+	// the process state may be inconsistent.
+	ErrCompensationFailed = errors.New("composite: compensation failed")
+)
+
+// Step is one unit of a process: an invocation strategy plus an optional
+// compensation handler that undoes the step's effect. T is the value type
+// flowing through the pipeline.
+type Step[T any] struct {
+	// Name identifies the step.
+	Name string
+	// Invoke executes the step's logic (built by the strategy helpers).
+	Invoke core.Executor[T, T]
+	// Compensate undoes the step after a later step fails; nil means the
+	// step needs no compensation.
+	Compensate func(ctx context.Context, input T) error
+}
+
+// Retry wraps a single endpoint with up to retries re-invocations (the
+// BPEL retry command).
+func Retry[T any](v core.Variant[T, T], retries int) (core.Executor[T, T], error) {
+	if v == nil {
+		return nil, core.ErrNoVariants
+	}
+	if retries < 0 {
+		return nil, errors.New("composite: negative retries")
+	}
+	return core.ExecutorFunc[T, T](func(ctx context.Context, in T) (T, error) {
+		var (
+			zero    T
+			lastErr error
+		)
+		for attempt := 0; attempt <= retries; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return zero, err
+			}
+			out, err := core.Guard(v).Execute(ctx, in)
+			if err == nil {
+				return out, nil
+			}
+			lastErr = err
+		}
+		return zero, fmt.Errorf("retries exhausted: %w", lastErr)
+	}), nil
+}
+
+// Alternates builds a sequential-alternates invocation (statically
+// provided alternate services, as in Dobson's recovery-block flavor).
+func Alternates[T any](test core.AcceptanceTest[T, T], endpoints ...core.Variant[T, T]) (core.Executor[T, T], error) {
+	return pattern.NewSequentialAlternatives(endpoints, test, nil)
+}
+
+// Voting builds a parallel voting invocation over independently operated
+// endpoints (Dobson's N-version flavor; WS-FTM's consensus voting).
+func Voting[T any](eq core.Equal[T], endpoints ...core.Variant[T, T]) (core.Executor[T, T], error) {
+	return pattern.NewParallelEvaluation(endpoints, vote.Majority(eq))
+}
+
+// HotSpares builds a parallel-selection invocation: the acting endpoint's
+// validated result is preferred, spares run in parallel (Dobson's
+// self-checking flavor). Failed endpoints are re-enabled per invocation
+// because service failures are treated as transient here.
+func HotSpares[T any](test core.AcceptanceTest[T, T], endpoints ...core.Variant[T, T]) (core.Executor[T, T], error) {
+	tests := make([]core.AcceptanceTest[T, T], len(endpoints))
+	for i := range tests {
+		tests[i] = test
+	}
+	ps, err := pattern.NewParallelSelection(endpoints, tests)
+	if err != nil {
+		return nil, err
+	}
+	return core.ExecutorFunc[T, T](func(ctx context.Context, in T) (T, error) {
+		defer ps.Reset()
+		return ps.Execute(ctx, in)
+	}), nil
+}
+
+// Process is an ordered, compensable pipeline over values of type T.
+type Process[T any] struct {
+	name  string
+	steps []Step[T]
+
+	// CompensationsRun counts compensation handlers executed.
+	CompensationsRun int
+}
+
+// NewProcess builds a process from steps.
+func NewProcess[T any](name string, steps ...Step[T]) (*Process[T], error) {
+	if len(steps) == 0 {
+		return nil, errors.New("composite: no steps")
+	}
+	for i, s := range steps {
+		if s.Invoke == nil {
+			return nil, fmt.Errorf("composite: step %d (%s) has nil Invoke", i, s.Name)
+		}
+	}
+	ss := make([]Step[T], len(steps))
+	copy(ss, steps)
+	return &Process[T]{name: name, steps: ss}, nil
+}
+
+// Name returns the process name.
+func (p *Process[T]) Name() string { return p.name }
+
+// Execute runs the pipeline. On an unrecoverable step failure, the
+// compensation handlers of all previously completed steps run in reverse
+// order (the BPEL compensation semantics), and the returned error wraps
+// ErrProcessFailed — or ErrCompensationFailed if undo itself failed.
+func (p *Process[T]) Execute(ctx context.Context, input T) (T, error) {
+	var zero T
+	value := input
+	inputs := make([]T, 0, len(p.steps))
+	for i, s := range p.steps {
+		inputs = append(inputs, value)
+		out, err := s.Invoke.Execute(ctx, value)
+		if err == nil {
+			value = out
+			continue
+		}
+		// Compensate completed steps in reverse.
+		for j := i - 1; j >= 0; j-- {
+			comp := p.steps[j].Compensate
+			if comp == nil {
+				continue
+			}
+			p.CompensationsRun++
+			if cerr := comp(ctx, inputs[j]); cerr != nil {
+				return zero, fmt.Errorf("step %s failed (%v); undoing %s: %w: %w",
+					s.Name, err, p.steps[j].Name, ErrCompensationFailed, cerr)
+			}
+		}
+		return zero, fmt.Errorf("step %s: %w: %w", s.Name, ErrProcessFailed, err)
+	}
+	return value, nil
+}

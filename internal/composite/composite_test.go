@@ -1,0 +1,261 @@
+package composite
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func fn(name string, f func(int) (int, error)) core.Variant[int, int] {
+	return core.NewVariant(name, func(_ context.Context, x int) (int, error) {
+		return f(x)
+	})
+}
+
+func add(n int) core.Variant[int, int] {
+	return fn("add", func(x int) (int, error) { return x + n, nil })
+}
+
+func acceptAll(_ int, _ int) error { return nil }
+
+func TestRetrySucceedsEventually(t *testing.T) {
+	rng := xrand.New(1)
+	flaky := fn("flaky", func(x int) (int, error) {
+		if rng.Bool(0.7) {
+			return 0, errors.New("transient")
+		}
+		return x * 2, nil
+	})
+	exec, err := Retry(flaky, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Execute(context.Background(), 5)
+	if err != nil || got != 10 {
+		t.Errorf("= (%d, %v)", got, err)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	always := fn("dead", func(int) (int, error) { return 0, errors.New("down") })
+	exec, err := Retry(always, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Execute(context.Background(), 1); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestRetryContainsPanics(t *testing.T) {
+	crashing := fn("crash", func(int) (int, error) { panic("boom") })
+	exec, err := Retry(crashing, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = exec.Execute(context.Background(), 1)
+	if !errors.Is(err, core.ErrVariantPanicked) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetryValidation(t *testing.T) {
+	if _, err := Retry[int](nil, 1); !errors.Is(err, core.ErrNoVariants) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Retry(add(1), -1); err == nil {
+		t.Error("negative retries accepted")
+	}
+}
+
+func TestRetryContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	failing := fn("fail", func(int) (int, error) {
+		calls++
+		cancel()
+		return 0, errors.New("x")
+	})
+	exec, err := Retry(failing, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Execute(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d after cancellation", calls)
+	}
+}
+
+func TestAlternatesAndVotingAndHotSpares(t *testing.T) {
+	ctx := context.Background()
+
+	alt, err := Alternates(acceptAll,
+		fn("down", func(int) (int, error) { return 0, errors.New("down") }),
+		add(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := alt.Execute(ctx, 1); err != nil || got != 4 {
+		t.Errorf("alternates = (%d, %v)", got, err)
+	}
+
+	voting, err := Voting(core.EqualOf[int](),
+		add(1), add(1),
+		fn("wrong", func(x int) (int, error) { return x + 99, nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := voting.Execute(ctx, 1); err != nil || got != 2 {
+		t.Errorf("voting = (%d, %v)", got, err)
+	}
+
+	spares, err := HotSpares(acceptAll,
+		fn("acting-down", func(int) (int, error) { return 0, errors.New("down") }),
+		add(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot spares re-enable per invocation: both calls succeed via the spare.
+	for i := 0; i < 2; i++ {
+		if got, err := spares.Execute(ctx, 1); err != nil || got != 8 {
+			t.Errorf("hot spares call %d = (%d, %v)", i, got, err)
+		}
+	}
+}
+
+func TestProcessHappyPath(t *testing.T) {
+	step := func(name string, exec core.Executor[int, int]) Step[int] {
+		return Step[int]{Name: name, Invoke: exec}
+	}
+	retry, err := Retry(add(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voting, err := Voting(core.EqualOf[int](), add(10), add(10), add(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProcess("order",
+		step("reserve", retry),
+		step("price", voting),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "order" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	got, err := p.Execute(context.Background(), 0)
+	if err != nil || got != 11 {
+		t.Errorf("= (%d, %v), want (11, nil)", got, err)
+	}
+	if p.CompensationsRun != 0 {
+		t.Errorf("compensations = %d", p.CompensationsRun)
+	}
+}
+
+func TestProcessCompensationOnFailure(t *testing.T) {
+	var undone []string
+	mkStep := func(name string, exec core.Executor[int, int]) Step[int] {
+		return Step[int]{
+			Name:   name,
+			Invoke: exec,
+			Compensate: func(_ context.Context, input int) error {
+				undone = append(undone, name)
+				return nil
+			},
+		}
+	}
+	ok1, _ := Retry(add(1), 0)
+	ok2, _ := Retry(add(2), 0)
+	dead, _ := Retry(fn("dead", func(int) (int, error) { return 0, errors.New("down") }), 0)
+	p, err := NewProcess("saga",
+		mkStep("reserve", ok1),
+		mkStep("charge", ok2),
+		mkStep("ship", dead),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Execute(context.Background(), 0)
+	if !errors.Is(err, ErrProcessFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	// Completed steps undone in reverse order.
+	if len(undone) != 2 || undone[0] != "charge" || undone[1] != "reserve" {
+		t.Errorf("undo order = %v, want [charge reserve]", undone)
+	}
+	if p.CompensationsRun != 2 {
+		t.Errorf("CompensationsRun = %d", p.CompensationsRun)
+	}
+}
+
+func TestProcessCompensationReceivesStepInput(t *testing.T) {
+	var sawInput int
+	ok, _ := Retry(add(5), 0)
+	dead, _ := Retry(fn("dead", func(int) (int, error) { return 0, errors.New("x") }), 0)
+	p, err := NewProcess("p",
+		Step[int]{Name: "s1", Invoke: ok, Compensate: func(_ context.Context, in int) error {
+			sawInput = in
+			return nil
+		}},
+		Step[int]{Name: "s2", Invoke: dead},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = p.Execute(context.Background(), 42)
+	if sawInput != 42 {
+		t.Errorf("compensation input = %d, want the step's original input 42", sawInput)
+	}
+}
+
+func TestProcessCompensationFailure(t *testing.T) {
+	ok, _ := Retry(add(1), 0)
+	dead, _ := Retry(fn("dead", func(int) (int, error) { return 0, errors.New("x") }), 0)
+	p, err := NewProcess("p",
+		Step[int]{Name: "s1", Invoke: ok, Compensate: func(context.Context, int) error {
+			return errors.New("undo broken")
+		}},
+		Step[int]{Name: "s2", Invoke: dead},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Execute(context.Background(), 0)
+	if !errors.Is(err, ErrCompensationFailed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestProcessStepsWithoutCompensationSkipped(t *testing.T) {
+	ok, _ := Retry(add(1), 0)
+	dead, _ := Retry(fn("dead", func(int) (int, error) { return 0, errors.New("x") }), 0)
+	p, err := NewProcess("p",
+		Step[int]{Name: "s1", Invoke: ok}, // no compensation
+		Step[int]{Name: "s2", Invoke: dead},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(context.Background(), 0); !errors.Is(err, ErrProcessFailed) {
+		t.Errorf("err = %v", err)
+	}
+	if p.CompensationsRun != 0 {
+		t.Errorf("CompensationsRun = %d", p.CompensationsRun)
+	}
+}
+
+func TestNewProcessValidation(t *testing.T) {
+	if _, err := NewProcess[int]("p"); err == nil {
+		t.Error("no steps accepted")
+	}
+	if _, err := NewProcess("p", Step[int]{Name: "bad"}); err == nil {
+		t.Error("nil Invoke accepted")
+	}
+}

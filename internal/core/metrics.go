@@ -1,0 +1,80 @@
+package core
+
+import "sync/atomic"
+
+// Metrics accumulates concurrency-safe counters for a redundant executor.
+// The cost model of the paper's Section 4.1 ("Costs and efficacy of code
+// redundancy") is computed from these counters: execution cost is
+// VariantExecutions per Request, and the residual-failure rate is
+// Failures per Request.
+type Metrics struct {
+	requests          atomic.Int64
+	variantExecutions atomic.Int64
+	failuresDetected  atomic.Int64
+	failuresMasked    atomic.Int64
+	failures          atomic.Int64
+}
+
+// RecordRequest notes one request handled by the executor.
+func (m *Metrics) RecordRequest() { m.requests.Add(1) }
+
+// RecordVariantExecutions notes n variant executions performed for a
+// request.
+func (m *Metrics) RecordVariantExecutions(n int) { m.variantExecutions.Add(int64(n)) }
+
+// RecordFailureDetected notes that an adjudicator rejected at least one
+// variant result during a request.
+func (m *Metrics) RecordFailureDetected() { m.failuresDetected.Add(1) }
+
+// RecordFailureMasked notes a request on which some variant failed but the
+// executor still delivered a correct-by-adjudication result.
+func (m *Metrics) RecordFailureMasked() { m.failuresMasked.Add(1) }
+
+// RecordFailure notes a request on which the executor itself failed.
+func (m *Metrics) RecordFailure() { m.failures.Add(1) }
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	// Requests is the number of requests handled.
+	Requests int64
+	// VariantExecutions is the total number of variant executions.
+	VariantExecutions int64
+	// FailuresDetected counts requests on which an adjudicator rejected
+	// at least one variant result.
+	FailuresDetected int64
+	// FailuresMasked counts requests on which at least one variant failed
+	// but the executor still succeeded.
+	FailuresMasked int64
+	// Failures counts requests on which the executor failed.
+	Failures int64
+}
+
+// Snapshot returns a consistent-enough copy of the counters for reporting.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Requests:          m.requests.Load(),
+		VariantExecutions: m.variantExecutions.Load(),
+		FailuresDetected:  m.failuresDetected.Load(),
+		FailuresMasked:    m.failuresMasked.Load(),
+		Failures:          m.failures.Load(),
+	}
+}
+
+// ExecutionsPerRequest is the paper's execution-cost measure: the average
+// number of variant executions needed to serve one request. It returns 0
+// before any request has been recorded.
+func (s Snapshot) ExecutionsPerRequest() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.VariantExecutions) / float64(s.Requests)
+}
+
+// Reliability is the fraction of requests served successfully. It returns
+// 0 before any request has been recorded.
+func (s Snapshot) Reliability() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return 1 - float64(s.Failures)/float64(s.Requests)
+}

@@ -1,0 +1,185 @@
+package core
+
+// This file defines the four dimensions of the paper's taxonomy (Table 1)
+// and the architectural patterns of Figure 1. Every technique package
+// exposes a TechniqueInfo (see internal/taxonomy) positioned along these
+// dimensions; the taxonomy tables of the paper are regenerated from those
+// records.
+
+// Intention distinguishes redundancy that is deliberately added to a
+// system at design time from redundancy that is implicitly present and
+// opportunistically exploited.
+type Intention int
+
+const (
+	// Deliberate redundancy is introduced by design, as in N-version
+	// programming or recovery blocks.
+	Deliberate Intention = iota + 1
+	// Opportunistic redundancy is latent in the system and exploited
+	// without having been designed in, as in automatic workarounds or
+	// micro-reboots.
+	Opportunistic
+)
+
+// String implements fmt.Stringer.
+func (i Intention) String() string {
+	switch i {
+	case Deliberate:
+		return "deliberate"
+	case Opportunistic:
+		return "opportunistic"
+	default:
+		return "unknown"
+	}
+}
+
+// RedundancyType identifies which element of the execution is replicated:
+// the code, the data, or the execution environment.
+type RedundancyType int
+
+const (
+	// CodeRedundancy replicates functionality in the program text
+	// (multiple versions, alternates, equivalent operation sequences).
+	CodeRedundancy RedundancyType = iota + 1
+	// DataRedundancy replicates or re-expresses the data the program
+	// operates on (robust structures, data diversity).
+	DataRedundancy
+	// EnvironmentRedundancy varies the execution environment or execution
+	// instances (rejuvenation, perturbation, replicas, reboots).
+	EnvironmentRedundancy
+)
+
+// String implements fmt.Stringer.
+func (t RedundancyType) String() string {
+	switch t {
+	case CodeRedundancy:
+		return "code"
+	case DataRedundancy:
+		return "data"
+	case EnvironmentRedundancy:
+		return "environment"
+	default:
+		return "unknown"
+	}
+}
+
+// AdjudicatorKind classifies how redundancy is activated and how results
+// are judged: preventively (no failure detection involved) or reactively,
+// with an adjudicator that is implicit (built into the mechanism, such as
+// a vote) or explicit (designed per application, such as an acceptance
+// test).
+type AdjudicatorKind int
+
+const (
+	// Preventive mechanisms act before failures occur and need no
+	// failure-triggered adjudication (rejuvenation, wrappers).
+	Preventive AdjudicatorKind = iota + 1
+	// ReactiveImplicit mechanisms react to failures detected by an
+	// adjudicator built into the mechanism itself (majority voting).
+	ReactiveImplicit
+	// ReactiveExplicit mechanisms react to failures detected by an
+	// application-specific adjudicator (acceptance tests, monitors).
+	ReactiveExplicit
+	// ReactiveBoth marks mechanisms whose adjudicator may be implicit or
+	// explicit depending on the concrete design (self-checking
+	// programming, data diversity).
+	ReactiveBoth
+)
+
+// String implements fmt.Stringer.
+func (k AdjudicatorKind) String() string {
+	switch k {
+	case Preventive:
+		return "preventive"
+	case ReactiveImplicit:
+		return "reactive, implicit"
+	case ReactiveExplicit:
+		return "reactive, explicit"
+	case ReactiveBoth:
+		return "reactive, expl./impl."
+	default:
+		return "unknown"
+	}
+}
+
+// FaultClass identifies the primary class of faults a mechanism addresses,
+// following Avizienis et al.'s taxonomy restricted to software faults as
+// the paper does: development faults split into Bohrbugs and Heisenbugs,
+// and malicious interaction faults.
+type FaultClass int
+
+const (
+	// DevelopmentFaults covers design and implementation faults in
+	// general, without committing to deterministic or non-deterministic
+	// manifestation.
+	DevelopmentFaults FaultClass = iota + 1
+	// Bohrbugs are development faults that manifest deterministically
+	// under well-defined conditions.
+	Bohrbugs
+	// Heisenbugs are development faults whose manifestation is
+	// non-deterministic, typically environment-dependent.
+	Heisenbugs
+	// MaliciousFaults are interaction faults introduced with malicious
+	// objectives (attacks).
+	MaliciousFaults
+)
+
+// String implements fmt.Stringer.
+func (c FaultClass) String() string {
+	switch c {
+	case DevelopmentFaults:
+		return "development"
+	case Bohrbugs:
+		return "Bohrbugs"
+	case Heisenbugs:
+		return "Heisenbugs"
+	case MaliciousFaults:
+		return "malicious"
+	default:
+		return "unknown"
+	}
+}
+
+// Pattern identifies the architectural pattern (paper Figure 1) a
+// technique instantiates, or the intra-component case for techniques that
+// do not alter inter-component structure.
+type Pattern int
+
+const (
+	// ParallelEvaluationPattern executes all alternatives in parallel and
+	// adjudicates over the full result set (Figure 1a).
+	ParallelEvaluationPattern Pattern = iota + 1
+	// ParallelSelectionPattern executes alternatives in parallel, each
+	// validated by its own adjudicator; the first acceptable result wins
+	// (Figure 1b).
+	ParallelSelectionPattern
+	// SequentialAlternativesPattern executes alternatives one at a time,
+	// moving to the next when the adjudicator rejects the current result
+	// (Figure 1c).
+	SequentialAlternativesPattern
+	// IntraComponentPattern marks redundancy confined within a component
+	// (wrappers, robust data structures, automatic workarounds).
+	IntraComponentPattern
+	// EnvironmentPattern marks techniques acting on execution instances
+	// rather than component structure (rejuvenation, reboots,
+	// checkpoint-recovery).
+	EnvironmentPattern
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case ParallelEvaluationPattern:
+		return "parallel evaluation"
+	case ParallelSelectionPattern:
+		return "parallel selection"
+	case SequentialAlternativesPattern:
+		return "sequential alternatives"
+	case IntraComponentPattern:
+		return "intra-component"
+	case EnvironmentPattern:
+		return "environment"
+	default:
+		return "unknown"
+	}
+}

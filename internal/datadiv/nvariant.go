@@ -1,0 +1,95 @@
+package datadiv
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// Data diversity for security: N-variant data representations
+// (Nguyen-Tuong, Evans, Knight, Cox, Davidson — "Security through
+// redundant data diversity"). A value is stored in N variants under
+// variant-specific transformations (here XOR masks), with the property
+// that identical concrete representations have different interpretations.
+// An attacker who corrupts the stored representations with the same
+// concrete value in every variant — the only thing a single exploit
+// payload can do — necessarily produces diverging interpretations, which
+// the comparison detects.
+
+// ErrCorruptionDetected reports that the variant interpretations of a
+// cell diverge: the stored data was corrupted.
+var ErrCorruptionDetected = errors.New("datadiv: data corruption detected by variant comparison")
+
+// NVariantCell stores one uint64 value under n variant-specific XOR
+// masks. The zero value is unusable; create cells with NewNVariantCell.
+type NVariantCell struct {
+	masks []uint64
+	cells []uint64
+}
+
+// NewNVariantCell creates a cell with n variants whose masks are drawn
+// from rng. n must be at least 2 for corruption to be detectable.
+func NewNVariantCell(n int, rng *xrand.Rand) (*NVariantCell, error) {
+	if n < 2 {
+		return nil, errors.New("datadiv: n-variant cell needs at least 2 variants")
+	}
+	if rng == nil {
+		return nil, errors.New("datadiv: nil rng")
+	}
+	masks := make([]uint64, n)
+	seen := make(map[uint64]bool, n)
+	for i := range masks {
+		m := rng.Uint64()
+		for seen[m] {
+			m = rng.Uint64()
+		}
+		seen[m] = true
+		masks[i] = m
+	}
+	c := &NVariantCell{masks: masks, cells: make([]uint64, n)}
+	c.Set(0)
+	return c, nil
+}
+
+// N returns the number of variants.
+func (c *NVariantCell) N() int { return len(c.masks) }
+
+// Set stores value in every variant under its mask.
+func (c *NVariantCell) Set(value uint64) {
+	for i, m := range c.masks {
+		c.cells[i] = value ^ m
+	}
+}
+
+// Get decodes all variants and compares their interpretations. If they
+// agree, the common value is returned; any divergence reports
+// ErrCorruptionDetected.
+func (c *NVariantCell) Get() (uint64, error) {
+	v0 := c.cells[0] ^ c.masks[0]
+	for i := 1; i < len(c.cells); i++ {
+		if c.cells[i]^c.masks[i] != v0 {
+			return 0, fmt.Errorf("variant %d disagrees: %w", i, ErrCorruptionDetected)
+		}
+	}
+	return v0, nil
+}
+
+// CorruptUniform simulates a data-corruption attack that overwrites the
+// concrete representation of every variant with the same raw value — the
+// best a mask-oblivious exploit can achieve.
+func (c *NVariantCell) CorruptUniform(raw uint64) {
+	for i := range c.cells {
+		c.cells[i] = raw
+	}
+}
+
+// CorruptVariant simulates corrupting the concrete representation of a
+// single variant.
+func (c *NVariantCell) CorruptVariant(i int, raw uint64) error {
+	if i < 0 || i >= len(c.cells) {
+		return fmt.Errorf("datadiv: variant %d out of range", i)
+	}
+	c.cells[i] = raw
+	return nil
+}

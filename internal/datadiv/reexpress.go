@@ -1,0 +1,98 @@
+package datadiv
+
+import (
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// Reusable re-expression families. Ammann and Knight's data diversity
+// requires per-application re-expression algorithms; the families below
+// cover the standard cases their paper discusses for numeric programs —
+// translation, scaling, and permutation — as exact re-expressions (paired
+// with output decoders where needed) and small random perturbations as
+// approximate ones.
+
+// TranslateInts returns an exact re-expression for integer-slice inputs
+// of translation-invariant computations (e.g. variance, range): every
+// element is shifted by a random offset in [1, maxOffset].
+func TranslateInts(maxOffset int) Reexpression[[]int] {
+	return Reexpression[[]int]{
+		Name: "translate",
+		Apply: func(in []int, rng *xrand.Rand) []int {
+			offset := 1 + rng.Intn(maxOffset)
+			out := make([]int, len(in))
+			for i, v := range in {
+				out[i] = v + offset
+			}
+			return out
+		},
+		Exact: true,
+	}
+}
+
+// PermuteInts returns an exact re-expression for integer-slice inputs of
+// order-invariant computations (e.g. sum, min, max, median): the elements
+// are randomly permuted.
+func PermuteInts() Reexpression[[]int] {
+	return Reexpression[[]int]{
+		Name: "permute",
+		Apply: func(in []int, rng *xrand.Rand) []int {
+			out := make([]int, len(in))
+			copy(out, in)
+			rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+			return out
+		},
+		Exact: true,
+	}
+}
+
+// ScaleFloat returns an exact re-expression for scale-equivariant
+// float computations f with f(c*x) = c*f(x) (e.g. sqrt is equivariant
+// with c² scaling; absolute value, max). The caller decodes the output by
+// dividing by the factor it registered; Factor reports the scale used on
+// the most recent application.
+type ScaleFloat struct {
+	// Factors are the candidate scale factors drawn uniformly.
+	Factors []float64
+
+	lastFactor float64
+}
+
+// NewScaleFloat builds a scaling re-expression family with the given
+// candidate factors (defaults to {2, 4, 8} when empty).
+func NewScaleFloat(factors ...float64) *ScaleFloat {
+	if len(factors) == 0 {
+		factors = []float64{2, 4, 8}
+	}
+	fs := make([]float64, len(factors))
+	copy(fs, factors)
+	return &ScaleFloat{Factors: fs, lastFactor: 1}
+}
+
+// LastFactor reports the factor used by the most recent Apply.
+func (s *ScaleFloat) LastFactor() float64 { return s.lastFactor }
+
+// Reexpression returns the re-expression view of the family.
+func (s *ScaleFloat) Reexpression() Reexpression[float64] {
+	return Reexpression[float64]{
+		Name: "scale",
+		Apply: func(in float64, rng *xrand.Rand) float64 {
+			s.lastFactor = s.Factors[rng.Intn(len(s.Factors))]
+			return in * s.lastFactor
+		},
+		Exact: true,
+	}
+}
+
+// JitterFloat returns an approximate re-expression perturbing the input
+// by a uniform relative amount within ±magnitude (e.g. 0.001 for 0.1%),
+// for programs whose outputs are acceptable within a tolerance.
+func JitterFloat(magnitude float64) Reexpression[float64] {
+	return Reexpression[float64]{
+		Name: "jitter",
+		Apply: func(in float64, rng *xrand.Rand) float64 {
+			rel := (2*rng.Float64() - 1) * magnitude
+			return in * (1 + rel)
+		},
+		Exact: false,
+	}
+}

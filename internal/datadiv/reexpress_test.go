@@ -1,0 +1,148 @@
+package datadiv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func TestTranslateIntsShiftsUniformly(t *testing.T) {
+	re := TranslateInts(10)
+	rng := xrand.New(1)
+	in := []int{1, 5, 9}
+	out := re.Apply(in, rng)
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %v", out)
+	}
+	offset := out[0] - in[0]
+	if offset < 1 || offset > 10 {
+		t.Errorf("offset %d out of range", offset)
+	}
+	for i := range in {
+		if out[i]-in[i] != offset {
+			t.Errorf("non-uniform shift: %v -> %v", in, out)
+		}
+	}
+	if in[0] != 1 {
+		t.Error("input mutated")
+	}
+	if !re.Exact {
+		t.Error("translation should be exact")
+	}
+}
+
+// Property: variance (a translation-invariant statistic) is preserved by
+// TranslateInts.
+func TestTranslateIntsPreservesVariance(t *testing.T) {
+	variance := func(xs []int) float64 {
+		if len(xs) < 2 {
+			return 0
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += float64(x)
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			d := float64(x) - mean
+			ss += d * d
+		}
+		return ss / float64(len(xs))
+	}
+	re := TranslateInts(100)
+	rng := xrand.New(2)
+	f := func(raw []int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		in := make([]int, len(raw))
+		for i, v := range raw {
+			in[i] = int(v)
+		}
+		out := re.Apply(in, rng)
+		return math.Abs(variance(in)-variance(out)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteIntsIsPermutation(t *testing.T) {
+	re := PermuteInts()
+	rng := xrand.New(3)
+	in := []int{5, 3, 9, 3, 1}
+	out := re.Apply(in, rng)
+	if len(out) != len(in) {
+		t.Fatal("length changed")
+	}
+	count := func(xs []int) map[int]int {
+		m := map[int]int{}
+		for _, x := range xs {
+			m[x]++
+		}
+		return m
+	}
+	ci, co := count(in), count(out)
+	for k, v := range ci {
+		if co[k] != v {
+			t.Fatalf("multiset changed: %v -> %v", in, out)
+		}
+	}
+	// Sum (order-invariant) must be preserved trivially.
+	sum := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if sum(in) != sum(out) {
+		t.Error("sum changed")
+	}
+}
+
+func TestScaleFloatRoundTrip(t *testing.T) {
+	family := NewScaleFloat(4, 16)
+	re := family.Reexpression()
+	rng := xrand.New(4)
+	// sqrt is equivariant: sqrt(c^2 * x) = c * sqrt(x). Using factors
+	// that are perfect squares, the decoder divides by sqrt(factor).
+	x := 9.0
+	scaled := re.Apply(x, rng)
+	factor := family.LastFactor()
+	if factor != 4 && factor != 16 {
+		t.Fatalf("factor = %f", factor)
+	}
+	got := math.Sqrt(scaled) / math.Sqrt(factor)
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("decoded sqrt = %f, want 3", got)
+	}
+}
+
+func TestScaleFloatDefaults(t *testing.T) {
+	family := NewScaleFloat()
+	if len(family.Factors) != 3 {
+		t.Errorf("default factors = %v", family.Factors)
+	}
+	if family.LastFactor() != 1 {
+		t.Errorf("initial LastFactor = %f", family.LastFactor())
+	}
+}
+
+func TestJitterFloatBounded(t *testing.T) {
+	re := JitterFloat(0.01)
+	rng := xrand.New(5)
+	if re.Exact {
+		t.Error("jitter must be approximate")
+	}
+	for i := 0; i < 200; i++ {
+		x := 100.0
+		y := re.Apply(x, rng)
+		if math.Abs(y-x)/x > 0.01+1e-12 {
+			t.Fatalf("jitter exceeded bound: %f", y)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package des
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	_ = s.At(3, func() { order = append(order, 3) })
+	_ = s.At(1, func() { order = append(order, 1) })
+	_ = s.At(2, func() { order = append(order, 2) })
+	s.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %f", s.Now())
+	}
+	if s.Processed != 3 {
+		t.Errorf("Processed = %d", s.Processed)
+	}
+}
+
+func TestTieBreakByScheduleOrder(t *testing.T) {
+	s := New()
+	var order []string
+	_ = s.At(5, func() { order = append(order, "first") })
+	_ = s.At(5, func() { order = append(order, "second") })
+	s.Run(0)
+	if order[0] != "first" || order[1] != "second" {
+		t.Errorf("tie order = %v", order)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			if err := s.After(10, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	_ = s.After(10, tick)
+	s.Run(0)
+	if count != 5 {
+		t.Errorf("ticks = %d", count)
+	}
+	if s.Now() != 50 {
+		t.Errorf("Now = %f", s.Now())
+	}
+}
+
+func TestRunMaxEventsBound(t *testing.T) {
+	s := New()
+	var tick func()
+	tick = func() { _ = s.After(1, tick) } // never terminates on its own
+	_ = s.After(1, tick)
+	s.Run(100)
+	if s.Processed != 100 {
+		t.Errorf("Processed = %d, want bounded 100", s.Processed)
+	}
+	if s.Pending() == 0 {
+		t.Error("pending event should remain")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	ran := []float64{}
+	for _, at := range []float64{1, 2, 8, 9} {
+		at := at
+		_ = s.At(at, func() { ran = append(ran, at) })
+	}
+	if err := s.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 {
+		t.Errorf("ran = %v, want events at 1 and 2", ran)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %f, want 5", s.Now())
+	}
+	if err := s.RunUntil(4); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("backwards RunUntil err = %v", err)
+	}
+	if err := s.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 4 {
+		t.Errorf("ran = %v", ran)
+	}
+}
+
+func TestSchedulingValidation(t *testing.T) {
+	s := New()
+	_ = s.At(5, func() {})
+	s.Run(0)
+	if err := s.At(1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("past event err = %v", err)
+	}
+	if err := s.After(-1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("negative delay err = %v", err)
+	}
+	if err := s.At(10, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+}
+
+// Property: however events are scheduled, execution times are
+// non-decreasing.
+func TestMonotoneClockProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var times []float64
+		for _, d := range delays {
+			at := float64(d % 1000)
+			if err := s.At(at, func() { times = append(times, s.Now()) }); err != nil {
+				return false
+			}
+		}
+		s.Run(0)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

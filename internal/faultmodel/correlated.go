@@ -1,0 +1,57 @@
+package faultmodel
+
+import (
+	"errors"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// CorrelatedFailures draws joint failure outcomes for the N versions of an
+// N-version system. Each version fails with marginal probability P; the
+// pairwise correlation between any two versions' failure indicators is
+// exactly Rho.
+//
+// The generator uses a common-shock mixture: with probability Rho all
+// versions share a single Bernoulli(P) draw (a common-mode failure of the
+// kind Brilliant, Knight and Leveson observed experimentally); with
+// probability 1-Rho the versions draw independently. Both mixture
+// components have marginal P, and the mixture's pairwise correlation is
+// Rho by construction.
+type CorrelatedFailures struct {
+	// N is the number of versions.
+	N int
+	// P is the marginal per-version failure probability.
+	P float64
+	// Rho is the pairwise failure correlation in [0,1].
+	Rho float64
+}
+
+// ErrBadCorrelationConfig reports an invalid CorrelatedFailures setup.
+var ErrBadCorrelationConfig = errors.New("faultmodel: invalid correlated-failure configuration")
+
+// Validate checks the configuration.
+func (c CorrelatedFailures) Validate() error {
+	if c.N <= 0 || c.P < 0 || c.P > 1 || c.Rho < 0 || c.Rho > 1 {
+		return ErrBadCorrelationConfig
+	}
+	return nil
+}
+
+// Draw returns one joint outcome: fails[i] reports whether version i fails
+// on this invocation, and common reports whether the outcome came from the
+// common-mode branch (in which case all failing versions produce the
+// *same* wrong answer, the case that defeats majority voting).
+func (c CorrelatedFailures) Draw(rng *xrand.Rand) (fails []bool, common bool) {
+	fails = make([]bool, c.N)
+	if rng.Bool(c.Rho) {
+		shared := rng.Bool(c.P)
+		for i := range fails {
+			fails[i] = shared
+		}
+		return fails, true
+	}
+	for i := range fails {
+		fails[i] = rng.Bool(c.P)
+	}
+	return fails, false
+}

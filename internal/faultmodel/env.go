@@ -1,0 +1,157 @@
+// Package faultmodel provides the fault-injection substrate used by every
+// experiment in the repository.
+//
+// The paper distinguishes development faults that manifest
+// deterministically (Bohrbugs) from development faults with
+// non-deterministic, typically environment-dependent manifestation
+// (Heisenbugs), plus malicious interaction faults and aging-related
+// failures. This package models all four classes as first-class values
+// that can be attached to variants, components, and simulated processes.
+// Faults activate as a function of a deterministic input key, an explicit
+// execution-environment model, and an injected PRNG, so every experiment
+// is exactly reproducible.
+package faultmodel
+
+import "github.com/softwarefaults/redundancy/internal/xrand"
+
+// MessageOrder is the delivery order of inter-component messages in the
+// environment model. Shuffling message order is one of the perturbations
+// the RX system applies to survive concurrency bugs.
+type MessageOrder int
+
+const (
+	// FIFOOrder delivers messages in submission order.
+	FIFOOrder MessageOrder = iota + 1
+	// ShuffledOrder delivers messages in a randomized order.
+	ShuffledOrder
+)
+
+// String implements fmt.Stringer.
+func (o MessageOrder) String() string {
+	switch o {
+	case FIFOOrder:
+		return "fifo"
+	case ShuffledOrder:
+		return "shuffled"
+	default:
+		return "unknown"
+	}
+}
+
+// Env models the execution environment of a simulated process. It carries
+// exactly the dimensions the surveyed techniques manipulate:
+//
+//   - rejuvenation resets Age and Fragmentation;
+//   - RX-style perturbation changes AllocPadding, Order, Priority and
+//     sheds Load;
+//   - process replicas run with different AddressBase partitions;
+//   - Heisenbugs read Load and Fragmentation to decide activation.
+type Env struct {
+	// AllocPadding is the number of padding bytes added around each
+	// allocation. Padding can mask small buffer overflows.
+	AllocPadding int
+	// Order is the message delivery order.
+	Order MessageOrder
+	// Priority is the scheduling priority of the process (higher runs
+	// more predictably; low priority increases interleaving variety).
+	Priority int
+	// Load is the normalized request load in [0,1]. High load widens the
+	// window for race conditions and resource exhaustion.
+	Load float64
+	// Fragmentation is the normalized memory fragmentation in [0,1]. It
+	// grows with Age and is reset by rejuvenation or reboot.
+	Fragmentation float64
+	// Age counts requests served since the last (re)initialization of
+	// the process; aging faults activate with hazard increasing in Age.
+	Age int
+	// AddressBase is the base of the simulated address-space partition,
+	// used by process replicas: variants with disjoint bases force
+	// absolute-address attacks to diverge.
+	AddressBase uint64
+	// LeakedBytes models unreclaimed resources accumulated with Age.
+	LeakedBytes int
+}
+
+// DefaultEnv returns the baseline environment: FIFO delivery, no padding,
+// normal priority, fresh process.
+func DefaultEnv() *Env {
+	return &Env{
+		Order:    FIFOOrder,
+		Priority: 0,
+	}
+}
+
+// Clone returns an independent copy of the environment.
+func (e *Env) Clone() *Env {
+	clone := *e
+	return &clone
+}
+
+// Tick advances process age by one served request, growing fragmentation
+// and leaked resources. growth is the per-request fragmentation increment
+// (a property of the workload's leakiness).
+func (e *Env) Tick(growth float64, leakBytes int) {
+	e.Age++
+	e.Fragmentation += growth
+	if e.Fragmentation > 1 {
+		e.Fragmentation = 1
+	}
+	e.LeakedBytes += leakBytes
+}
+
+// Rejuvenate models a software rejuvenation of the process: the volatile
+// state is cleaned, resetting the aging-related dimensions while leaving
+// the configuration (padding, order, priority) intact.
+func (e *Env) Rejuvenate() {
+	e.Age = 0
+	e.Fragmentation = 0
+	e.LeakedBytes = 0
+}
+
+// Perturbation is one deliberate change of environment conditions, as
+// applied by the RX mechanism before re-executing failing code.
+type Perturbation func(*Env)
+
+// PadAllocations returns a perturbation that adds n bytes of padding
+// around allocations.
+func PadAllocations(n int) Perturbation {
+	return func(e *Env) { e.AllocPadding += n }
+}
+
+// ShuffleMessages returns a perturbation that randomizes message delivery
+// order.
+func ShuffleMessages() Perturbation {
+	return func(e *Env) { e.Order = ShuffledOrder }
+}
+
+// RaisePriority returns a perturbation that raises process priority by n.
+func RaisePriority(n int) Perturbation {
+	return func(e *Env) { e.Priority += n }
+}
+
+// ShedLoad returns a perturbation that multiplies load by factor in [0,1].
+func ShedLoad(factor float64) Perturbation {
+	return func(e *Env) { e.Load *= factor }
+}
+
+// Invocation carries everything a fault needs to decide whether it
+// activates on one execution: a deterministic key of the input, the
+// current environment, and a PRNG for non-deterministic manifestation.
+type Invocation struct {
+	// InputKey is a deterministic 64-bit key of the input value.
+	InputKey uint64
+	// Env is the environment of the executing process; may be nil, in
+	// which case faults treat it as DefaultEnv.
+	Env *Env
+	// Rand drives non-deterministic activation; must not be nil for
+	// faults with probabilistic manifestation.
+	Rand *xrand.Rand
+}
+
+// env returns the invocation's environment, defaulting to a fresh one.
+func (inv Invocation) env() *Env {
+	if inv.Env != nil {
+		return inv.Env
+	}
+	return DefaultEnv()
+}

@@ -1,0 +1,217 @@
+package faultmodel
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// Fault is a latent software fault. Activated reports whether the fault
+// manifests as an error on the given invocation. Implementations must be
+// deterministic given (InputKey, Env, Rand stream position).
+type Fault interface {
+	// Name identifies the fault in experiment reports.
+	Name() string
+	// Class is the fault's position in the paper's fault dimension.
+	Class() core.FaultClass
+	// Activated reports whether the fault manifests on this invocation.
+	Activated(inv Invocation) bool
+}
+
+// Bohrbug is a development fault that manifests deterministically: it
+// activates if and only if the input key falls in the fault's trigger
+// region. Re-executing the same input always fails again, which is why
+// plain checkpoint-recovery cannot mask Bohrbugs.
+type Bohrbug struct {
+	// ID makes distinct Bohrbugs trigger on distinct input regions.
+	ID uint64
+	// TriggerFraction is the fraction of the input space that triggers
+	// the fault, in [0,1].
+	TriggerFraction float64
+}
+
+var _ Fault = Bohrbug{}
+
+// Name implements Fault.
+func (b Bohrbug) Name() string { return fmt.Sprintf("bohrbug-%d", b.ID) }
+
+// Class implements Fault.
+func (b Bohrbug) Class() core.FaultClass { return core.Bohrbugs }
+
+// Activated implements Fault: deterministic in the input key only.
+func (b Bohrbug) Activated(inv Invocation) bool {
+	if b.TriggerFraction <= 0 {
+		return false
+	}
+	if b.TriggerFraction >= 1 {
+		return true
+	}
+	h := mix(inv.InputKey ^ (b.ID * 0x9e3779b97f4a7c15))
+	return float64(h)/float64(math.MaxUint64) < b.TriggerFraction
+}
+
+// EnvBohrbug is a deterministic fault whose manifestation additionally
+// depends on environment conditions: it always fails on its trigger
+// inputs *under the triggering environment*, but a suitable perturbation
+// (e.g. allocation padding masking a small overflow) prevents it. The RX
+// system targets exactly this class, which plain re-execution cannot
+// survive.
+type EnvBohrbug struct {
+	// ID distinguishes trigger regions.
+	ID uint64
+	// TriggerFraction is the triggering fraction of the input space.
+	TriggerFraction float64
+	// MaskedByPadding is the minimum AllocPadding that prevents the
+	// failure (0 means padding does not help).
+	MaskedByPadding int
+	// MaskedByShuffle reports whether shuffled message order prevents
+	// the failure (deadlock-style bugs).
+	MaskedByShuffle bool
+	// MaskedByLoadBelow prevents the failure when Env.Load is strictly
+	// below this threshold (resource-exhaustion bugs). Zero disables.
+	MaskedByLoadBelow float64
+}
+
+var _ Fault = EnvBohrbug{}
+
+// Name implements Fault.
+func (b EnvBohrbug) Name() string { return fmt.Sprintf("env-bohrbug-%d", b.ID) }
+
+// Class implements Fault.
+func (b EnvBohrbug) Class() core.FaultClass { return core.Bohrbugs }
+
+// Activated implements Fault.
+func (b EnvBohrbug) Activated(inv Invocation) bool {
+	if !(Bohrbug{ID: b.ID, TriggerFraction: b.TriggerFraction}).Activated(inv) {
+		return false
+	}
+	env := inv.env()
+	if b.MaskedByPadding > 0 && env.AllocPadding >= b.MaskedByPadding {
+		return false
+	}
+	if b.MaskedByShuffle && env.Order == ShuffledOrder {
+		return false
+	}
+	if b.MaskedByLoadBelow > 0 && env.Load < b.MaskedByLoadBelow {
+		return false
+	}
+	return true
+}
+
+// Heisenbug is a development fault with non-deterministic manifestation.
+// Its base activation probability grows with load and memory
+// fragmentation, matching the common observation that races and
+// resource-exhaustion bugs appear under stress. Re-executing the same
+// input gives an independent draw, which is why checkpoint-recovery and
+// reboots work against Heisenbugs.
+type Heisenbug struct {
+	// ID identifies the bug in reports.
+	ID uint64
+	// Prob is the base activation probability in a fresh, idle process.
+	Prob float64
+	// LoadWeight scales how much Env.Load adds to the probability.
+	LoadWeight float64
+	// FragWeight scales how much Env.Fragmentation adds.
+	FragWeight float64
+}
+
+var _ Fault = Heisenbug{}
+
+// Name implements Fault.
+func (h Heisenbug) Name() string { return fmt.Sprintf("heisenbug-%d", h.ID) }
+
+// Class implements Fault.
+func (h Heisenbug) Class() core.FaultClass { return core.Heisenbugs }
+
+// Activated implements Fault.
+func (h Heisenbug) Activated(inv Invocation) bool {
+	env := inv.env()
+	p := h.Prob + h.LoadWeight*env.Load + h.FragWeight*env.Fragmentation
+	if inv.Rand == nil {
+		return false
+	}
+	return inv.Rand.Bool(p)
+}
+
+// AgingFault models software aging: the activation probability follows a
+// discrete Weibull-like hazard that increases with process age, so a
+// young (recently rejuvenated) process almost never fails while an old
+// one fails often. Rejuvenation resets Env.Age and hence the hazard.
+type AgingFault struct {
+	// ID identifies the fault in reports.
+	ID uint64
+	// HazardAtScale is the activation probability when Age == Scale.
+	HazardAtScale float64
+	// Scale is the characteristic age (in requests).
+	Scale float64
+	// Shape > 1 makes the hazard increase with age.
+	Shape float64
+}
+
+var _ Fault = AgingFault{}
+
+// Name implements Fault.
+func (a AgingFault) Name() string { return fmt.Sprintf("aging-%d", a.ID) }
+
+// Class implements Fault. Aging failures manifest non-deterministically,
+// so they sit in the Heisenbug class, as in Grottke and Trivedi's
+// "Fighting Bugs" taxonomy the paper cites.
+func (a AgingFault) Class() core.FaultClass { return core.Heisenbugs }
+
+// Hazard returns the activation probability at the given age.
+func (a AgingFault) Hazard(age int) float64 {
+	if a.Scale <= 0 {
+		return 0
+	}
+	p := a.HazardAtScale * math.Pow(float64(age)/a.Scale, a.Shape)
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Activated implements Fault.
+func (a AgingFault) Activated(inv Invocation) bool {
+	if inv.Rand == nil {
+		return false
+	}
+	return inv.Rand.Bool(a.Hazard(inv.env().Age))
+}
+
+// mix is a 64-bit finalizer (SplitMix64's) used to hash input keys into
+// uniform trigger coordinates.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 produces a deterministic 64-bit key from raw bytes (FNV-1a
+// followed by a finalizer). Use it to derive Invocation.InputKey from
+// arbitrary inputs.
+func Hash64(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return mix(h)
+}
+
+// HashInt returns a deterministic key for an integer input.
+func HashInt(v int) uint64 {
+	return mix(uint64(v) * 0x9e3779b97f4a7c15)
+}
+
+// HashString returns a deterministic key for a string input.
+func HashString(s string) uint64 {
+	return Hash64([]byte(s))
+}

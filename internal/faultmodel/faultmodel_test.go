@@ -1,0 +1,502 @@
+package faultmodel
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/stats"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func TestBohrbugDeterminism(t *testing.T) {
+	b := Bohrbug{ID: 1, TriggerFraction: 0.3}
+	for key := uint64(0); key < 100; key++ {
+		inv := Invocation{InputKey: key}
+		first := b.Activated(inv)
+		for i := 0; i < 5; i++ {
+			if b.Activated(inv) != first {
+				t.Fatalf("Bohrbug non-deterministic on key %d", key)
+			}
+		}
+	}
+}
+
+func TestBohrbugTriggerFraction(t *testing.T) {
+	b := Bohrbug{ID: 7, TriggerFraction: 0.2}
+	const n = 100000
+	hits := 0
+	for key := uint64(0); key < n; key++ {
+		if b.Activated(Invocation{InputKey: key}) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.2) > 0.01 {
+		t.Errorf("trigger rate %f, want ~0.2", rate)
+	}
+}
+
+func TestBohrbugEdgeFractions(t *testing.T) {
+	never := Bohrbug{ID: 1, TriggerFraction: 0}
+	always := Bohrbug{ID: 1, TriggerFraction: 1}
+	for key := uint64(0); key < 50; key++ {
+		if never.Activated(Invocation{InputKey: key}) {
+			t.Fatal("TriggerFraction 0 activated")
+		}
+		if !always.Activated(Invocation{InputKey: key}) {
+			t.Fatal("TriggerFraction 1 did not activate")
+		}
+	}
+}
+
+func TestDistinctBohrbugsHaveDistinctRegions(t *testing.T) {
+	a := Bohrbug{ID: 1, TriggerFraction: 0.5}
+	b := Bohrbug{ID: 2, TriggerFraction: 0.5}
+	same := 0
+	const n = 10000
+	for key := uint64(0); key < n; key++ {
+		inv := Invocation{InputKey: key}
+		if a.Activated(inv) == b.Activated(inv) {
+			same++
+		}
+	}
+	// Independent regions agree about half the time; identical regions
+	// would agree always.
+	if float64(same)/n > 0.6 {
+		t.Errorf("bug regions look identical: agreement %f", float64(same)/n)
+	}
+}
+
+func TestEnvBohrbugMaskedByPadding(t *testing.T) {
+	b := EnvBohrbug{ID: 3, TriggerFraction: 1, MaskedByPadding: 16}
+	plain := DefaultEnv()
+	if !b.Activated(Invocation{InputKey: 1, Env: plain}) {
+		t.Fatal("should activate without padding")
+	}
+	padded := DefaultEnv()
+	padded.AllocPadding = 16
+	if b.Activated(Invocation{InputKey: 1, Env: padded}) {
+		t.Fatal("should be masked by sufficient padding")
+	}
+	thin := DefaultEnv()
+	thin.AllocPadding = 8
+	if !b.Activated(Invocation{InputKey: 1, Env: thin}) {
+		t.Fatal("insufficient padding should not mask")
+	}
+}
+
+func TestEnvBohrbugMaskedByShuffle(t *testing.T) {
+	b := EnvBohrbug{ID: 4, TriggerFraction: 1, MaskedByShuffle: true}
+	if !b.Activated(Invocation{InputKey: 1, Env: DefaultEnv()}) {
+		t.Fatal("should activate under FIFO")
+	}
+	env := DefaultEnv()
+	env.Order = ShuffledOrder
+	if b.Activated(Invocation{InputKey: 1, Env: env}) {
+		t.Fatal("should be masked by shuffled order")
+	}
+}
+
+func TestEnvBohrbugMaskedByLoad(t *testing.T) {
+	b := EnvBohrbug{ID: 5, TriggerFraction: 1, MaskedByLoadBelow: 0.5}
+	busy := DefaultEnv()
+	busy.Load = 0.8
+	if !b.Activated(Invocation{InputKey: 1, Env: busy}) {
+		t.Fatal("should activate under load")
+	}
+	idle := DefaultEnv()
+	idle.Load = 0.1
+	if b.Activated(Invocation{InputKey: 1, Env: idle}) {
+		t.Fatal("should be masked when load shed below threshold")
+	}
+}
+
+func TestEnvBohrbugRespectsTriggerRegion(t *testing.T) {
+	b := EnvBohrbug{ID: 6, TriggerFraction: 0, MaskedByPadding: 16}
+	if b.Activated(Invocation{InputKey: 1, Env: DefaultEnv()}) {
+		t.Fatal("outside trigger region must never activate")
+	}
+}
+
+func TestHeisenbugProbability(t *testing.T) {
+	h := Heisenbug{ID: 1, Prob: 0.3}
+	rng := xrand.New(1)
+	const n = 50000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if h.Activated(Invocation{InputKey: 42, Rand: rng}) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("activation rate %f, want ~0.3", rate)
+	}
+}
+
+func TestHeisenbugLoadSensitivity(t *testing.T) {
+	h := Heisenbug{ID: 2, Prob: 0.05, LoadWeight: 0.5}
+	rng := xrand.New(2)
+	count := func(env *Env) int {
+		hits := 0
+		for i := 0; i < 20000; i++ {
+			if h.Activated(Invocation{InputKey: 1, Env: env, Rand: rng}) {
+				hits++
+			}
+		}
+		return hits
+	}
+	idle := DefaultEnv()
+	busy := DefaultEnv()
+	busy.Load = 1
+	if count(busy) <= count(idle) {
+		t.Error("Heisenbug should activate more often under load")
+	}
+}
+
+func TestHeisenbugNilRand(t *testing.T) {
+	h := Heisenbug{ID: 3, Prob: 1}
+	if h.Activated(Invocation{InputKey: 1}) {
+		t.Error("nil Rand must not activate (fail safe)")
+	}
+}
+
+func TestAgingHazardMonotone(t *testing.T) {
+	a := AgingFault{ID: 1, HazardAtScale: 0.1, Scale: 100, Shape: 2}
+	prev := -1.0
+	for age := 0; age <= 500; age += 50 {
+		h := a.Hazard(age)
+		if h < prev {
+			t.Fatalf("hazard decreased at age %d: %f < %f", age, h, prev)
+		}
+		if h < 0 || h > 1 {
+			t.Fatalf("hazard out of range at age %d: %f", age, h)
+		}
+		prev = h
+	}
+	if a.Hazard(0) != 0 {
+		t.Error("fresh process should have zero aging hazard")
+	}
+	if got := a.Hazard(100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Hazard(Scale) = %f, want 0.1", got)
+	}
+}
+
+func TestAgingFaultActivation(t *testing.T) {
+	a := AgingFault{ID: 2, HazardAtScale: 0.5, Scale: 10, Shape: 1}
+	rng := xrand.New(3)
+	old := DefaultEnv()
+	old.Age = 10
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if a.Activated(Invocation{InputKey: 1, Env: old, Rand: rng}) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-0.5) > 0.02 {
+		t.Errorf("aged activation rate %f, want ~0.5", rate)
+	}
+	young := DefaultEnv()
+	if a.Activated(Invocation{InputKey: 1, Env: young, Rand: rng}) {
+		t.Error("age-0 process must not trigger aging fault")
+	}
+}
+
+func TestEnvTickAndRejuvenate(t *testing.T) {
+	e := DefaultEnv()
+	for i := 0; i < 10; i++ {
+		e.Tick(0.05, 100)
+	}
+	if e.Age != 10 || e.LeakedBytes != 1000 {
+		t.Errorf("after ticks: %+v", e)
+	}
+	if math.Abs(e.Fragmentation-0.5) > 1e-9 {
+		t.Errorf("fragmentation = %f, want 0.5", e.Fragmentation)
+	}
+	for i := 0; i < 20; i++ {
+		e.Tick(0.05, 0)
+	}
+	if e.Fragmentation > 1 {
+		t.Errorf("fragmentation exceeded 1: %f", e.Fragmentation)
+	}
+	e.Rejuvenate()
+	if e.Age != 0 || e.Fragmentation != 0 || e.LeakedBytes != 0 {
+		t.Errorf("after rejuvenation: %+v", e)
+	}
+}
+
+func TestEnvClone(t *testing.T) {
+	e := DefaultEnv()
+	e.Load = 0.7
+	c := e.Clone()
+	c.Load = 0.1
+	if e.Load != 0.7 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestPerturbations(t *testing.T) {
+	e := DefaultEnv()
+	e.Load = 0.8
+	PadAllocations(32)(e)
+	ShuffleMessages()(e)
+	RaisePriority(2)(e)
+	ShedLoad(0.5)(e)
+	if e.AllocPadding != 32 || e.Order != ShuffledOrder || e.Priority != 2 {
+		t.Errorf("perturbed env: %+v", e)
+	}
+	if math.Abs(e.Load-0.4) > 1e-12 {
+		t.Errorf("load = %f, want 0.4", e.Load)
+	}
+}
+
+func TestCorrelatedFailuresMarginal(t *testing.T) {
+	for _, rho := range []float64{0, 0.5, 1} {
+		c := CorrelatedFailures{N: 3, P: 0.2, Rho: rho}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(uint64(rho*10) + 1)
+		const n = 60000
+		hits := 0
+		for i := 0; i < n; i++ {
+			fails, _ := c.Draw(rng)
+			if fails[0] {
+				hits++
+			}
+		}
+		rate := float64(hits) / n
+		if math.Abs(rate-0.2) > 0.01 {
+			t.Errorf("rho=%f: marginal %f, want ~0.2", rho, rate)
+		}
+	}
+}
+
+func TestCorrelatedFailuresCorrelation(t *testing.T) {
+	for _, rho := range []float64{0, 0.4, 0.8} {
+		c := CorrelatedFailures{N: 2, P: 0.3, Rho: rho}
+		rng := xrand.New(99)
+		const n = 80000
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			fails, _ := c.Draw(rng)
+			if fails[0] {
+				xs[i] = 1
+			}
+			if fails[1] {
+				ys[i] = 1
+			}
+		}
+		got, err := stats.Correlation(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-rho) > 0.03 {
+			t.Errorf("rho=%f: measured correlation %f", rho, got)
+		}
+	}
+}
+
+func TestCorrelatedFailuresValidate(t *testing.T) {
+	bad := []CorrelatedFailures{
+		{N: 0, P: 0.5, Rho: 0},
+		{N: 3, P: -0.1, Rho: 0},
+		{N: 3, P: 1.1, Rho: 0},
+		{N: 3, P: 0.5, Rho: -0.1},
+		{N: 3, P: 0.5, Rho: 1.1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrBadCorrelationConfig) {
+			t.Errorf("%+v: want ErrBadCorrelationConfig, got %v", c, err)
+		}
+	}
+}
+
+func TestCorrelatedFailuresCommonMode(t *testing.T) {
+	c := CorrelatedFailures{N: 5, P: 0.5, Rho: 1}
+	rng := xrand.New(4)
+	for i := 0; i < 100; i++ {
+		fails, common := c.Draw(rng)
+		if !common {
+			t.Fatal("rho=1 must always be common mode")
+		}
+		for _, f := range fails[1:] {
+			if f != fails[0] {
+				t.Fatal("common-mode draw not identical across versions")
+			}
+		}
+	}
+}
+
+func TestHash64Properties(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ha, hb := Hash64(a), Hash64(b)
+		if string(a) == string(b) {
+			return ha == hb
+		}
+		return true // distinct inputs may collide, but determinism must hold
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Hash64([]byte("x")) == Hash64([]byte("y")) {
+		t.Error("trivial collision")
+	}
+	if HashInt(1) == HashInt(2) {
+		t.Error("HashInt trivial collision")
+	}
+	if HashString("a") != Hash64([]byte("a")) {
+		t.Error("HashString inconsistent with Hash64")
+	}
+}
+
+func TestInjectorErrorMode(t *testing.T) {
+	base := core.NewVariant("id", func(_ context.Context, x int) (int, error) { return x, nil })
+	inj := &Injector[int, int]{
+		Base:   base,
+		Faults: []Fault{Bohrbug{ID: 1, TriggerFraction: 1}},
+		Mode:   FailError,
+		Key:    HashInt,
+	}
+	if inj.Name() != "id" {
+		t.Errorf("Name = %q", inj.Name())
+	}
+	_, err := inj.Execute(context.Background(), 5)
+	var act *ActivatedError
+	if !errors.As(err, &act) {
+		t.Fatalf("want ActivatedError, got %v", err)
+	}
+	if act.Fault != "bohrbug-1" || act.Variant != "id" {
+		t.Errorf("ActivatedError = %+v", act)
+	}
+}
+
+func TestInjectorWrongValueMode(t *testing.T) {
+	base := core.NewVariant("id", func(_ context.Context, x int) (int, error) { return x, nil })
+	inj := &Injector[int, int]{
+		Base:    base,
+		Faults:  []Fault{Bohrbug{ID: 1, TriggerFraction: 1}},
+		Mode:    FailWrongValue,
+		Corrupt: func(_ int, correct int) int { return correct + 1000 },
+		Key:     HashInt,
+	}
+	got, err := inj.Execute(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1005 {
+		t.Errorf("corrupted value = %d, want 1005", got)
+	}
+}
+
+func TestInjectorWrongValueNilCorrupt(t *testing.T) {
+	base := core.NewVariant("id", func(_ context.Context, x int) (int, error) { return x, nil })
+	inj := &Injector[int, int]{
+		Base:   base,
+		Faults: []Fault{Bohrbug{ID: 1, TriggerFraction: 1}},
+		Mode:   FailWrongValue,
+		Key:    HashInt,
+	}
+	got, err := inj.Execute(context.Background(), 5)
+	if err != nil || got != 0 {
+		t.Errorf("= (%d, %v), want zero value", got, err)
+	}
+}
+
+func TestInjectorHangMode(t *testing.T) {
+	base := core.NewVariant("id", func(_ context.Context, x int) (int, error) { return x, nil })
+	inj := &Injector[int, int]{
+		Base:   base,
+		Faults: []Fault{Bohrbug{ID: 1, TriggerFraction: 1}},
+		Mode:   FailHang,
+		Key:    HashInt,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := inj.Execute(ctx, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestInjectorCleanPath(t *testing.T) {
+	base := core.NewVariant("id", func(_ context.Context, x int) (int, error) { return x * 2, nil })
+	inj := &Injector[int, int]{
+		Base:   base,
+		Faults: []Fault{Bohrbug{ID: 1, TriggerFraction: 0}},
+		Mode:   FailError,
+		Key:    HashInt,
+	}
+	got, err := inj.Execute(context.Background(), 21)
+	if err != nil || got != 42 {
+		t.Errorf("clean path = (%d, %v)", got, err)
+	}
+}
+
+func TestFailureModeAndOrderStrings(t *testing.T) {
+	if FailError.String() != "error" || FailWrongValue.String() != "wrong-value" ||
+		FailHang.String() != "hang" || FailureMode(0).String() != "unknown" {
+		t.Error("FailureMode.String incorrect")
+	}
+	if FIFOOrder.String() != "fifo" || ShuffledOrder.String() != "shuffled" ||
+		MessageOrder(0).String() != "unknown" {
+		t.Error("MessageOrder.String incorrect")
+	}
+}
+
+func TestFaultClassReporting(t *testing.T) {
+	if (Bohrbug{}).Class() != core.Bohrbugs {
+		t.Error("Bohrbug class")
+	}
+	if (EnvBohrbug{}).Class() != core.Bohrbugs {
+		t.Error("EnvBohrbug class")
+	}
+	if (Heisenbug{}).Class() != core.Heisenbugs {
+		t.Error("Heisenbug class")
+	}
+	if (AgingFault{}).Class() != core.Heisenbugs {
+		t.Error("AgingFault class")
+	}
+}
+
+func TestFaultNamesAndErrors(t *testing.T) {
+	if got := (Bohrbug{ID: 1}).Name(); got != "bohrbug-1" {
+		t.Errorf("Bohrbug name = %q", got)
+	}
+	if got := (EnvBohrbug{ID: 4}).Name(); got != "env-bohrbug-4" {
+		t.Errorf("EnvBohrbug name = %q", got)
+	}
+	if got := (Heisenbug{ID: 2}).Name(); got != "heisenbug-2" {
+		t.Errorf("Heisenbug name = %q", got)
+	}
+	if got := (AgingFault{ID: 3}).Name(); got != "aging-3" {
+		t.Errorf("AgingFault name = %q", got)
+	}
+	err := &ActivatedError{Fault: "bohrbug-1", Variant: "v1"}
+	if err.Error() == "" {
+		t.Error("empty ActivatedError message")
+	}
+}
+
+func TestAgingHazardEdgeCases(t *testing.T) {
+	if (AgingFault{Scale: 0}).Hazard(10) != 0 {
+		t.Error("zero scale should yield zero hazard")
+	}
+	a := AgingFault{HazardAtScale: 2, Scale: 10, Shape: 1}
+	if a.Hazard(100) != 1 {
+		t.Error("hazard should clamp to 1")
+	}
+	withNegShape := AgingFault{HazardAtScale: -1, Scale: 10, Shape: 1}
+	if withNegShape.Hazard(5) != 0 {
+		t.Error("negative hazard should clamp to 0")
+	}
+	if (AgingFault{HazardAtScale: 1, Scale: 10, Shape: 2}).Activated(Invocation{}) {
+		t.Error("nil Rand must not activate")
+	}
+}

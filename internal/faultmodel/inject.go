@@ -1,0 +1,108 @@
+package faultmodel
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// FailureMode is how an activated fault manifests at the variant boundary.
+type FailureMode int
+
+const (
+	// FailError makes the variant return an error (a detected failure,
+	// e.g. a crash turned into an error by the runtime).
+	FailError FailureMode = iota + 1
+	// FailWrongValue makes the variant silently return a corrupted value
+	// (an undetected erroneous result — the dangerous case for voting).
+	FailWrongValue
+	// FailHang makes the variant block until the context is canceled
+	// (models deadlocks and infinite loops; requires a timeout upstream).
+	FailHang
+)
+
+// String implements fmt.Stringer.
+func (m FailureMode) String() string {
+	switch m {
+	case FailError:
+		return "error"
+	case FailWrongValue:
+		return "wrong-value"
+	case FailHang:
+		return "hang"
+	default:
+		return "unknown"
+	}
+}
+
+// ActivatedError is returned by injected variants when a fault manifests
+// in FailError mode. Callers can extract the fault with errors.As.
+type ActivatedError struct {
+	// Fault is the name of the activated fault.
+	Fault string
+	// Variant is the name of the variant that failed.
+	Variant string
+}
+
+// Error implements error.
+func (e *ActivatedError) Error() string {
+	return fmt.Sprintf("fault %s activated in variant %s", e.Fault, e.Variant)
+}
+
+// Injector decorates a correct Variant with a set of latent faults. It is
+// the standard way experiments obtain "faulty versions": start from a
+// correct implementation, attach faults with known activation behaviour.
+type Injector[I, O any] struct {
+	// Base is the correct implementation.
+	Base core.Variant[I, O]
+	// Faults are the latent faults attached to this variant.
+	Faults []Fault
+	// Mode selects the failure manifestation.
+	Mode FailureMode
+	// Corrupt produces the wrong value for FailWrongValue mode. If nil,
+	// the zero value of O is returned as the wrong value.
+	Corrupt func(input I, correct O) O
+	// Key derives the deterministic input key; required.
+	Key func(I) uint64
+	// Env is the environment the variant executes in; may be nil.
+	Env *Env
+	// Rand drives probabilistic activation; required for Heisenbugs and
+	// aging faults.
+	Rand *xrand.Rand
+}
+
+var _ core.Variant[int, int] = (*Injector[int, int])(nil)
+
+// Name implements core.Variant.
+func (j *Injector[I, O]) Name() string { return j.Base.Name() }
+
+// Execute implements core.Variant: it first checks fault activation, then
+// delegates to the base implementation when no fault manifests.
+func (j *Injector[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	var zero O
+	inv := Invocation{InputKey: j.Key(input), Env: j.Env, Rand: j.Rand}
+	for _, f := range j.Faults {
+		if !f.Activated(inv) {
+			continue
+		}
+		switch j.Mode {
+		case FailWrongValue:
+			correct, err := j.Base.Execute(ctx, input)
+			if err != nil {
+				return zero, err
+			}
+			if j.Corrupt == nil {
+				return zero, nil
+			}
+			return j.Corrupt(input, correct), nil
+		case FailHang:
+			<-ctx.Done()
+			return zero, ctx.Err()
+		default:
+			return zero, &ActivatedError{Fault: f.Name(), Variant: j.Base.Name()}
+		}
+	}
+	return j.Base.Execute(ctx, input)
+}

@@ -1,0 +1,301 @@
+// Package geneticfix implements automatic fault fixing with genetic
+// programming (Weimer et al.'s "Automatically finding patches using
+// genetic programming"; Arcuri and Yao's co-evolutionary bug fixing). The
+// runtime keeps a test suite as the explicit adjudicator; when the
+// program fails, a population of variants of the faulty program is
+// evolved — mutation and crossover over the program's expression tree,
+// tournament selection guided by the number of passing tests — until a
+// variant passes the whole suite.
+//
+// The package defines a small integer expression language (constants,
+// variables, arithmetic/min/max operators, and comparisons via If nodes)
+// standing in for the subject programs of the paper's sources, plus the
+// GP loop itself.
+//
+// Taxonomy position (paper Table 2): opportunistic intention, code
+// redundancy (variants of the program are generated from the program
+// itself), reactive explicit adjudicator (the test suite), Bohrbugs.
+package geneticfix
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Op is a binary arithmetic operator.
+type Op int
+
+const (
+	// OpAdd is addition.
+	OpAdd Op = iota + 1
+	// OpSub is subtraction.
+	OpSub
+	// OpMul is multiplication.
+	OpMul
+	// OpMin is the minimum.
+	OpMin
+	// OpMax is the maximum.
+	OpMax
+)
+
+// allOps lists the operators mutation can choose from.
+var allOps = []Op{OpAdd, OpSub, OpMul, OpMin, OpMax}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	default:
+		return "?"
+	}
+}
+
+// Cmp is a comparison operator used in If conditions.
+type Cmp int
+
+const (
+	// CmpLT is <.
+	CmpLT Cmp = iota + 1
+	// CmpLE is <=.
+	CmpLE
+	// CmpEQ is ==.
+	CmpEQ
+	// CmpGT is >.
+	CmpGT
+)
+
+// allCmps lists the comparators mutation can choose from.
+var allCmps = []Cmp{CmpLT, CmpLE, CmpEQ, CmpGT}
+
+// String implements fmt.Stringer.
+func (c Cmp) String() string {
+	switch c {
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpEQ:
+		return "=="
+	case CmpGT:
+		return ">"
+	default:
+		return "?"
+	}
+}
+
+// Node is one node of a program's expression tree.
+type Node interface {
+	// Eval computes the node's value in the given variable environment.
+	Eval(vars map[string]int) int
+	// Clone returns a deep copy.
+	Clone() Node
+	// String renders the expression.
+	String() string
+}
+
+// Const is an integer literal.
+type Const struct {
+	// Value is the literal value.
+	Value int
+}
+
+var _ Node = Const{}
+
+// Eval implements Node.
+func (c Const) Eval(map[string]int) int { return c.Value }
+
+// Clone implements Node.
+func (c Const) Clone() Node { return c }
+
+// String implements Node.
+func (c Const) String() string { return strconv.Itoa(c.Value) }
+
+// Var is a variable reference; unbound variables evaluate to 0.
+type Var struct {
+	// Name is the variable name.
+	Name string
+}
+
+var _ Node = Var{}
+
+// Eval implements Node.
+func (v Var) Eval(vars map[string]int) int { return vars[v.Name] }
+
+// Clone implements Node.
+func (v Var) Clone() Node { return v }
+
+// String implements Node.
+func (v Var) String() string { return v.Name }
+
+// Bin is a binary operation.
+type Bin struct {
+	// Op is the operator.
+	Op Op
+	// L and R are the operands.
+	L, R Node
+}
+
+var _ Node = (*Bin)(nil)
+
+// Eval implements Node.
+func (b *Bin) Eval(vars map[string]int) int {
+	l, r := b.L.Eval(vars), b.R.Eval(vars)
+	switch b.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpMin:
+		if l < r {
+			return l
+		}
+		return r
+	case OpMax:
+		if l > r {
+			return l
+		}
+		return r
+	default:
+		return 0
+	}
+}
+
+// Clone implements Node.
+func (b *Bin) Clone() Node {
+	return &Bin{Op: b.Op, L: b.L.Clone(), R: b.R.Clone()}
+}
+
+// String implements Node.
+func (b *Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// If is a conditional expression: if (L cmp R) then Then else Else.
+type If struct {
+	// Cmp is the comparison operator.
+	Cmp Cmp
+	// L and R are the compared expressions.
+	L, R Node
+	// Then and Else are the branches.
+	Then, Else Node
+}
+
+var _ Node = (*If)(nil)
+
+// Eval implements Node.
+func (n *If) Eval(vars map[string]int) int {
+	l, r := n.L.Eval(vars), n.R.Eval(vars)
+	var cond bool
+	switch n.Cmp {
+	case CmpLT:
+		cond = l < r
+	case CmpLE:
+		cond = l <= r
+	case CmpEQ:
+		cond = l == r
+	case CmpGT:
+		cond = l > r
+	}
+	if cond {
+		return n.Then.Eval(vars)
+	}
+	return n.Else.Eval(vars)
+}
+
+// Clone implements Node.
+func (n *If) Clone() Node {
+	return &If{
+		Cmp: n.Cmp,
+		L:   n.L.Clone(), R: n.R.Clone(),
+		Then: n.Then.Clone(), Else: n.Else.Clone(),
+	}
+}
+
+// String implements Node.
+func (n *If) String() string {
+	return fmt.Sprintf("(if %s %s %s then %s else %s)", n.L, n.Cmp, n.R, n.Then, n.Else)
+}
+
+// size returns the number of nodes in the tree.
+func size(n Node) int {
+	switch t := n.(type) {
+	case *Bin:
+		return 1 + size(t.L) + size(t.R)
+	case *If:
+		return 1 + size(t.L) + size(t.R) + size(t.Then) + size(t.Else)
+	default:
+		return 1
+	}
+}
+
+// nodeAt returns the i-th node in preorder (0-based), or nil when i is
+// out of range.
+func nodeAt(n Node, i int) Node {
+	idx := 0
+	var found Node
+	var rec func(Node)
+	rec = func(cur Node) {
+		if found != nil {
+			return
+		}
+		if idx == i {
+			found = cur
+			return
+		}
+		idx++
+		switch t := cur.(type) {
+		case *Bin:
+			rec(t.L)
+			rec(t.R)
+		case *If:
+			rec(t.L)
+			rec(t.R)
+			rec(t.Then)
+			rec(t.Else)
+		}
+	}
+	rec(n)
+	return found
+}
+
+// replaceAt returns a deep copy of the tree with the i-th preorder node
+// replaced by a clone of repl.
+func replaceAt(n Node, i int, repl Node) Node {
+	idx := 0
+	var rec func(Node) Node
+	rec = func(cur Node) Node {
+		if idx == i {
+			idx++
+			// Skip the subtree being replaced in the preorder count.
+			idx += size(cur) - 1
+			return repl.Clone()
+		}
+		idx++
+		switch t := cur.(type) {
+		case *Bin:
+			l := rec(t.L)
+			r := rec(t.R)
+			return &Bin{Op: t.Op, L: l, R: r}
+		case *If:
+			l := rec(t.L)
+			r := rec(t.R)
+			th := rec(t.Then)
+			el := rec(t.Else)
+			return &If{Cmp: t.Cmp, L: l, R: r, Then: th, Else: el}
+		default:
+			return cur.Clone()
+		}
+	}
+	return rec(n)
+}

@@ -1,0 +1,293 @@
+package geneticfix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func TestEval(t *testing.T) {
+	vars := map[string]int{"x": 3, "y": 5}
+	tests := []struct {
+		name string
+		prog Node
+		want int
+	}{
+		{"const", Const{Value: 7}, 7},
+		{"var", Var{Name: "x"}, 3},
+		{"unbound var", Var{Name: "z"}, 0},
+		{"add", &Bin{Op: OpAdd, L: Var{Name: "x"}, R: Var{Name: "y"}}, 8},
+		{"sub", &Bin{Op: OpSub, L: Var{Name: "y"}, R: Var{Name: "x"}}, 2},
+		{"mul", &Bin{Op: OpMul, L: Var{Name: "x"}, R: Const{Value: 4}}, 12},
+		{"min", &Bin{Op: OpMin, L: Var{Name: "x"}, R: Var{Name: "y"}}, 3},
+		{"max", &Bin{Op: OpMax, L: Var{Name: "x"}, R: Var{Name: "y"}}, 5},
+		{"if lt", &If{Cmp: CmpLT, L: Var{Name: "x"}, R: Var{Name: "y"},
+			Then: Const{Value: 1}, Else: Const{Value: 2}}, 1},
+		{"if gt", &If{Cmp: CmpGT, L: Var{Name: "x"}, R: Var{Name: "y"},
+			Then: Const{Value: 1}, Else: Const{Value: 2}}, 2},
+		{"if eq", &If{Cmp: CmpEQ, L: Var{Name: "x"}, R: Const{Value: 3},
+			Then: Const{Value: 9}, Else: Const{Value: 0}}, 9},
+		{"if le", &If{Cmp: CmpLE, L: Var{Name: "x"}, R: Const{Value: 3},
+			Then: Const{Value: 9}, Else: Const{Value: 0}}, 9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.prog.Eval(vars); got != tt.want {
+				t.Errorf("Eval = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := &Bin{Op: OpAdd, L: Var{Name: "x"}, R: &Bin{Op: OpMul, L: Const{Value: 2}, R: Var{Name: "y"}}}
+	clone, ok := orig.Clone().(*Bin)
+	if !ok {
+		t.Fatal("clone type changed")
+	}
+	clone.Op = OpSub
+	inner, ok := clone.R.(*Bin)
+	if !ok {
+		t.Fatal("inner type changed")
+	}
+	inner.Op = OpAdd
+	if orig.Op != OpAdd {
+		t.Error("clone aliases root")
+	}
+	if orig.R.(*Bin).Op != OpMul {
+		t.Error("clone aliases inner node")
+	}
+}
+
+func TestSizeAndNodeAt(t *testing.T) {
+	prog := FaultyMax() // If with 4 leaf children: size 5
+	if got := size(prog); got != 5 {
+		t.Errorf("size = %d, want 5", got)
+	}
+	if n := nodeAt(prog, 0); n == nil {
+		t.Fatal("nodeAt(0) = nil")
+	}
+	if _, ok := nodeAt(prog, 0).(*If); !ok {
+		t.Error("preorder root should be the If")
+	}
+	if v, ok := nodeAt(prog, 1).(Var); !ok || v.Name != "x" {
+		t.Errorf("nodeAt(1) = %v", nodeAt(prog, 1))
+	}
+	if nodeAt(prog, 99) != nil {
+		t.Error("out-of-range index should yield nil")
+	}
+}
+
+func TestReplaceAt(t *testing.T) {
+	prog := &Bin{Op: OpAdd, L: Var{Name: "x"}, R: Var{Name: "y"}}
+	// Replace the right operand (preorder index 2).
+	out := replaceAt(prog, 2, Const{Value: 9})
+	if got := out.Eval(map[string]int{"x": 1, "y": 100}); got != 10 {
+		t.Errorf("after replace: Eval = %d, want 10", got)
+	}
+	// Original untouched.
+	if got := prog.Eval(map[string]int{"x": 1, "y": 100}); got != 101 {
+		t.Errorf("original mutated: %d", got)
+	}
+}
+
+func TestReplaceAtRoot(t *testing.T) {
+	prog := &Bin{Op: OpAdd, L: Var{Name: "x"}, R: Var{Name: "y"}}
+	out := replaceAt(prog, 0, Const{Value: 5})
+	if got := out.Eval(nil); got != 5 {
+		t.Errorf("Eval = %d", got)
+	}
+}
+
+// Property: replaceAt preserves total size when replacing a leaf with a
+// leaf, and nodeAt visits exactly size(n) distinct positions.
+func TestTreeWalkProperty(t *testing.T) {
+	prog := FaultyMax()
+	f := func(posRaw uint8) bool {
+		pos := int(posRaw) % size(prog)
+		out := replaceAt(prog, pos, Const{Value: 42})
+		if nodeAt(prog, pos) == nil {
+			return false
+		}
+		// Replacing any single node with a leaf can only shrink or keep
+		// the size.
+		return size(out) <= size(prog)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitness(t *testing.T) {
+	suite := MaxSuite()
+	correct := &If{
+		Cmp: CmpLT, L: Var{Name: "x"}, R: Var{Name: "y"},
+		Then: Var{Name: "y"}, Else: Var{Name: "x"},
+	}
+	if got := Fitness(correct, suite); got != len(suite) {
+		t.Errorf("correct program fitness = %d, want %d", got, len(suite))
+	}
+	faulty := FaultyMax()
+	if got := Fitness(faulty, suite); got >= len(suite) {
+		t.Errorf("faulty program fitness = %d, should fail some tests", got)
+	}
+}
+
+func TestRepairFixesSwappedBranches(t *testing.T) {
+	cfg := DefaultConfig([]string{"x", "y"})
+	res, err := Repair(FaultyMax(), MaxSuite(), cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Repaired {
+		t.Fatalf("not repaired: %s", res)
+	}
+	if got := Fitness(res.Fixed, MaxSuite()); got != len(MaxSuite()) {
+		t.Errorf("fixed program fitness = %d", got)
+	}
+	// The fix must generalize beyond the suite.
+	checks := [][3]int{{13, 4, 13}, {-9, -1, -1}, {50, 50, 50}}
+	for _, c := range checks {
+		if got := res.Fixed.Eval(map[string]int{"x": c[0], "y": c[1]}); got != c[2] {
+			t.Errorf("fixed(%d, %d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestRepairWrongOperator(t *testing.T) {
+	// sum(x, y) seeded with the wrong operator: x - y.
+	faulty := &Bin{Op: OpSub, L: Var{Name: "x"}, R: Var{Name: "y"}}
+	suite := []TestCase{
+		{Vars: map[string]int{"x": 1, "y": 2}, Want: 3},
+		{Vars: map[string]int{"x": 5, "y": 5}, Want: 10},
+		{Vars: map[string]int{"x": -2, "y": 7}, Want: 5},
+		{Vars: map[string]int{"x": 0, "y": 0}, Want: 0},
+		{Vars: map[string]int{"x": 10, "y": -10}, Want: 0},
+	}
+	cfg := DefaultConfig([]string{"x", "y"})
+	res, err := Repair(faulty, suite, cfg, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Repaired {
+		t.Fatalf("not repaired: %s", res)
+	}
+}
+
+func TestRepairAlreadyCorrectProgram(t *testing.T) {
+	correct := &Bin{Op: OpAdd, L: Var{Name: "x"}, R: Var{Name: "y"}}
+	suite := []TestCase{{Vars: map[string]int{"x": 1, "y": 2}, Want: 3}}
+	res, err := Repair(correct, suite, DefaultConfig([]string{"x", "y"}), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Repaired || res.Generations != 0 {
+		t.Errorf("result = %+v, want immediate success", res)
+	}
+}
+
+func TestRepairValidation(t *testing.T) {
+	cfg := DefaultConfig([]string{"x"})
+	suite := []TestCase{{Vars: map[string]int{"x": 1}, Want: 1}}
+	if _, err := Repair(nil, suite, cfg, xrand.New(1)); err == nil {
+		t.Error("nil program accepted")
+	}
+	if _, err := Repair(Var{Name: "x"}, nil, cfg, xrand.New(1)); err == nil {
+		t.Error("empty suite accepted")
+	}
+	if _, err := Repair(Var{Name: "x"}, suite, cfg, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	bad := cfg
+	bad.PopulationSize = 1
+	if _, err := Repair(Var{Name: "x"}, suite, bad, xrand.New(1)); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig([]string{"x"})
+	if err := base.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.PopulationSize = 1 },
+		func(c *Config) { c.MaxGenerations = 0 },
+		func(c *Config) { c.TournamentSize = 0 },
+		func(c *Config) { c.TournamentSize = c.PopulationSize + 1 },
+		func(c *Config) { c.CrossoverProb = 1.5 },
+		func(c *Config) { c.MaxNodes = 1 },
+		func(c *Config) { c.Vars = nil },
+		func(c *Config) { c.Consts = nil },
+	}
+	for i, m := range mutations {
+		c := DefaultConfig([]string{"x"})
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestMutateProducesValidPrograms(t *testing.T) {
+	cfg := DefaultConfig([]string{"x", "y"})
+	rng := xrand.New(5)
+	prog := FaultyMax()
+	for i := 0; i < 200; i++ {
+		m := mutate(prog, cfg, rng)
+		if m == nil {
+			t.Fatal("mutate returned nil")
+		}
+		_ = m.Eval(map[string]int{"x": 1, "y": 2}) // must not panic
+	}
+}
+
+func TestCrossoverProducesValidPrograms(t *testing.T) {
+	rng := xrand.New(6)
+	a := FaultyMax()
+	b := &Bin{Op: OpAdd, L: Var{Name: "x"}, R: Const{Value: 1}}
+	for i := 0; i < 200; i++ {
+		c := crossover(a, b, rng)
+		if c == nil {
+			t.Fatal("crossover returned nil")
+		}
+		_ = c.Eval(map[string]int{"x": 1, "y": 2})
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	prog := FaultyMax()
+	if prog.String() == "" {
+		t.Error("empty program rendering")
+	}
+	if OpAdd.String() != "+" || OpMin.String() != "min" || Op(0).String() != "?" {
+		t.Error("Op.String incorrect")
+	}
+	if CmpLT.String() != "<" || CmpEQ.String() != "==" || Cmp(0).String() != "?" {
+		t.Error("Cmp.String incorrect")
+	}
+	r := Result{Repaired: true, Generations: 3, Fixed: Const{Value: 1}}
+	if r.String() == "" {
+		t.Error("Result.String empty")
+	}
+	r2 := Result{Repaired: false, Generations: 100, BestFitness: 8}
+	if r2.String() == "" {
+		t.Error("Result.String empty for failure")
+	}
+}
+
+func TestRepairDeterministicForSeed(t *testing.T) {
+	cfg := DefaultConfig([]string{"x", "y"})
+	r1, err := Repair(FaultyMax(), MaxSuite(), cfg, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Repair(FaultyMax(), MaxSuite(), cfg, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Generations != r2.Generations || r1.Repaired != r2.Repaired {
+		t.Errorf("nondeterministic repair: %+v vs %+v", r1, r2)
+	}
+}

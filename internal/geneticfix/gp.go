@@ -1,0 +1,272 @@
+package geneticfix
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// TestCase is one adjudicating test: the program must produce Want when
+// evaluated in Vars.
+type TestCase struct {
+	// Vars is the variable environment.
+	Vars map[string]int
+	// Want is the expected result.
+	Want int
+}
+
+// Fitness counts the test cases prog passes.
+func Fitness(prog Node, suite []TestCase) int {
+	passed := 0
+	for _, tc := range suite {
+		if prog.Eval(tc.Vars) == tc.Want {
+			passed++
+		}
+	}
+	return passed
+}
+
+// Config parameterizes the GP repair loop.
+type Config struct {
+	// PopulationSize is the number of program variants per generation.
+	PopulationSize int
+	// MaxGenerations bounds the evolution.
+	MaxGenerations int
+	// TournamentSize is the selection-tournament size.
+	TournamentSize int
+	// CrossoverProb is the probability an offspring is produced by
+	// crossover (otherwise it is a mutated clone of one parent).
+	CrossoverProb float64
+	// MaxNodes bounds program growth (bloat control).
+	MaxNodes int
+	// Vars are the variable names mutation may introduce.
+	Vars []string
+	// Consts are the constant values mutation may introduce.
+	Consts []int
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig(vars []string) Config {
+	vs := make([]string, len(vars))
+	copy(vs, vars)
+	return Config{
+		PopulationSize: 64,
+		MaxGenerations: 100,
+		TournamentSize: 4,
+		CrossoverProb:  0.5,
+		MaxNodes:       40,
+		Vars:           vs,
+		Consts:         []int{0, 1, 2},
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PopulationSize < 2 {
+		return errors.New("geneticfix: population too small")
+	}
+	if c.MaxGenerations < 1 {
+		return errors.New("geneticfix: need at least one generation")
+	}
+	if c.TournamentSize < 1 || c.TournamentSize > c.PopulationSize {
+		return errors.New("geneticfix: bad tournament size")
+	}
+	if c.CrossoverProb < 0 || c.CrossoverProb > 1 {
+		return errors.New("geneticfix: crossover probability out of range")
+	}
+	if c.MaxNodes < 3 {
+		return errors.New("geneticfix: MaxNodes too small")
+	}
+	if len(c.Vars) == 0 {
+		return errors.New("geneticfix: no variables")
+	}
+	if len(c.Consts) == 0 {
+		return errors.New("geneticfix: no constants")
+	}
+	return nil
+}
+
+// Result reports a repair attempt.
+type Result struct {
+	// Fixed is the repaired program (nil when repair failed).
+	Fixed Node
+	// Generations is the number of generations evolved.
+	Generations int
+	// BestFitness is the best fitness reached.
+	BestFitness int
+	// Repaired reports whether the full suite passes.
+	Repaired bool
+}
+
+// Repair evolves variants of the faulty program until one passes the
+// whole test suite or the generation budget is exhausted. The initial
+// population is seeded with the faulty program and mutants of it, as in
+// Weimer et al.: the buggy program is mostly correct, so search starts
+// near it.
+func Repair(faulty Node, suite []TestCase, cfg Config, rng *xrand.Rand) (Result, error) {
+	if faulty == nil {
+		return Result{}, errors.New("geneticfix: nil program")
+	}
+	if len(suite) == 0 {
+		return Result{}, errors.New("geneticfix: empty test suite")
+	}
+	if rng == nil {
+		return Result{}, errors.New("geneticfix: nil rng")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	target := len(suite)
+	pop := make([]Node, cfg.PopulationSize)
+	pop[0] = faulty.Clone()
+	for i := 1; i < cfg.PopulationSize; i++ {
+		pop[i] = mutate(faulty, cfg, rng)
+	}
+
+	fitness := make([]int, cfg.PopulationSize)
+	evaluate := func() (bestIdx int) {
+		for i, p := range pop {
+			fitness[i] = Fitness(p, suite)
+			if fitness[i] > fitness[bestIdx] {
+				bestIdx = i
+			}
+		}
+		return bestIdx
+	}
+
+	best := evaluate()
+	if fitness[best] == target {
+		return Result{Fixed: pop[best], Generations: 0, BestFitness: target, Repaired: true}, nil
+	}
+
+	for gen := 1; gen <= cfg.MaxGenerations; gen++ {
+		next := make([]Node, cfg.PopulationSize)
+		// Elitism: carry the best program over unchanged.
+		next[0] = pop[best].Clone()
+		for i := 1; i < cfg.PopulationSize; i++ {
+			if rng.Float64() < cfg.CrossoverProb {
+				a := pop[tournament(fitness, cfg.TournamentSize, rng)]
+				b := pop[tournament(fitness, cfg.TournamentSize, rng)]
+				next[i] = limit(crossover(a, b, rng), faulty, cfg)
+			} else {
+				parent := pop[tournament(fitness, cfg.TournamentSize, rng)]
+				next[i] = limit(mutate(parent, cfg, rng), faulty, cfg)
+			}
+		}
+		pop = next
+		best = evaluate()
+		if fitness[best] == target {
+			return Result{Fixed: pop[best], Generations: gen, BestFitness: target, Repaired: true}, nil
+		}
+	}
+	return Result{
+		Fixed:       nil,
+		Generations: cfg.MaxGenerations,
+		BestFitness: fitness[best],
+		Repaired:    false,
+	}, nil
+}
+
+// tournament returns the index of the fittest of k random contenders.
+func tournament(fitness []int, k int, rng *xrand.Rand) int {
+	best := rng.Intn(len(fitness))
+	for i := 1; i < k; i++ {
+		c := rng.Intn(len(fitness))
+		if fitness[c] > fitness[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// limit enforces the node bound, falling back to a fresh mutant of the
+// original when an offspring bloats past it.
+func limit(n Node, faulty Node, cfg Config) Node {
+	if size(n) <= cfg.MaxNodes {
+		return n
+	}
+	return faulty.Clone()
+}
+
+// mutate applies one random edit: operator swap, comparator swap,
+// constant perturbation, variable swap, or leaf replacement.
+func mutate(n Node, cfg Config, rng *xrand.Rand) Node {
+	c := n.Clone()
+	pos := rng.Intn(size(c))
+	target := nodeAt(c, pos)
+	switch t := target.(type) {
+	case *Bin:
+		mutated := &Bin{Op: allOps[rng.Intn(len(allOps))], L: t.L, R: t.R}
+		return replaceAt(c, pos, mutated)
+	case *If:
+		mutated := &If{Cmp: allCmps[rng.Intn(len(allCmps))], L: t.L, R: t.R, Then: t.Then, Else: t.Else}
+		return replaceAt(c, pos, mutated)
+	case Const:
+		switch rng.Intn(3) {
+		case 0:
+			return replaceAt(c, pos, Const{Value: t.Value + 1})
+		case 1:
+			return replaceAt(c, pos, Const{Value: t.Value - 1})
+		default:
+			return replaceAt(c, pos, randomLeaf(cfg, rng))
+		}
+	case Var:
+		return replaceAt(c, pos, randomLeaf(cfg, rng))
+	default:
+		return c
+	}
+}
+
+// randomLeaf draws a random variable or constant.
+func randomLeaf(cfg Config, rng *xrand.Rand) Node {
+	if rng.Bool(0.5) {
+		return Var{Name: cfg.Vars[rng.Intn(len(cfg.Vars))]}
+	}
+	return Const{Value: cfg.Consts[rng.Intn(len(cfg.Consts))]}
+}
+
+// crossover grafts a random subtree of b into a random position of a.
+func crossover(a, b Node, rng *xrand.Rand) Node {
+	posA := rng.Intn(size(a))
+	posB := rng.Intn(size(b))
+	graft := nodeAt(b, posB)
+	if graft == nil {
+		return a.Clone()
+	}
+	return replaceAt(a, posA, graft)
+}
+
+// FaultyMax builds the canonical faulty max(x, y) program with the
+// branches swapped — the seeded Bohrbug used in tests and experiments.
+func FaultyMax() Node {
+	return &If{
+		Cmp:  CmpLT,
+		L:    Var{Name: "x"},
+		R:    Var{Name: "y"},
+		Then: Var{Name: "x"}, // bug: should be y
+		Else: Var{Name: "y"}, // bug: should be x
+	}
+}
+
+// MaxSuite returns a test suite for two-variable max.
+func MaxSuite() []TestCase {
+	cases := [][3]int{
+		{1, 2, 2}, {2, 1, 2}, {0, 0, 0}, {-3, 5, 5}, {5, -3, 5},
+		{7, 7, 7}, {-2, -8, -2}, {100, 99, 100}, {0, 1, 1}, {1, 0, 1},
+	}
+	suite := make([]TestCase, len(cases))
+	for i, c := range cases {
+		suite[i] = TestCase{Vars: map[string]int{"x": c[0], "y": c[1]}, Want: c[2]}
+	}
+	return suite
+}
+
+// String renders a Result for reports.
+func (r Result) String() string {
+	if r.Repaired {
+		return fmt.Sprintf("repaired in %d generations: %s", r.Generations, r.Fixed)
+	}
+	return fmt.Sprintf("not repaired after %d generations (best fitness %d)", r.Generations, r.BestFitness)
+}

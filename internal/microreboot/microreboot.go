@@ -1,0 +1,259 @@
+// Package microreboot implements reboot and micro-reboot recovery
+// (Candea et al., JAGR; extended to multi-tier services by Zhang): the
+// classic brute-force reboot made affordable by rebooting only the
+// minimal failed component subtree instead of the whole system.
+// Micro-rebootable systems require a careful modular design — components
+// with explicit initialization costs, a dependency tree, and session
+// state that a reboot destroys — which this package models directly, so
+// the recovery-time and disruption accounting of the paper's sources can
+// be reproduced.
+//
+// Taxonomy position (paper Table 2): opportunistic intention, environment
+// redundancy, reactive explicit adjudicator (an external failure detector
+// triggers the reboot), Heisenbugs.
+package microreboot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors reported by the system.
+var (
+	// ErrUnknownComponent reports a name not present in the tree.
+	ErrUnknownComponent = errors.New("microreboot: unknown component")
+	// ErrComponentFailed reports a request that hit a failed component.
+	ErrComponentFailed = errors.New("microreboot: component failed")
+	// ErrDuplicateComponent reports a component name used twice in a spec.
+	ErrDuplicateComponent = errors.New("microreboot: duplicate component name")
+)
+
+// Spec declares one component and its children.
+type Spec struct {
+	// Name is the unique component name.
+	Name string
+	// InitCost is the time (in abstract cost units) to initialize the
+	// component during a reboot.
+	InitCost float64
+	// Children are the components that depend on this one.
+	Children []Spec
+}
+
+// component is a node of the runtime tree.
+type component struct {
+	name     string
+	initCost float64
+	parent   *component
+	children []*component
+
+	healthy  bool
+	sessions int // session state destroyed by a reboot
+}
+
+// System is a component tree with reboot-based recovery.
+type System struct {
+	root  *component
+	index map[string]*component
+
+	// Downtime accumulates the total recovery cost paid so far.
+	Downtime float64
+	// SessionsLost accumulates sessions destroyed by reboots.
+	SessionsLost int
+}
+
+// NewSystem builds the runtime tree from a spec.
+func NewSystem(spec Spec) (*System, error) {
+	s := &System{index: make(map[string]*component)}
+	root, err := s.build(spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.root = root
+	return s, nil
+}
+
+func (s *System) build(spec Spec, parent *component) (*component, error) {
+	if spec.Name == "" {
+		return nil, errors.New("microreboot: empty component name")
+	}
+	if _, dup := s.index[spec.Name]; dup {
+		return nil, fmt.Errorf("%q: %w", spec.Name, ErrDuplicateComponent)
+	}
+	if spec.InitCost < 0 {
+		return nil, fmt.Errorf("microreboot: negative init cost for %q", spec.Name)
+	}
+	c := &component{name: spec.Name, initCost: spec.InitCost, parent: parent, healthy: true}
+	s.index[spec.Name] = c
+	for _, child := range spec.Children {
+		cc, err := s.build(child, c)
+		if err != nil {
+			return nil, err
+		}
+		c.children = append(c.children, cc)
+	}
+	return c, nil
+}
+
+// Healthy reports whether the named component is healthy.
+func (s *System) Healthy(name string) (bool, error) {
+	c, ok := s.index[name]
+	if !ok {
+		return false, fmt.Errorf("%q: %w", name, ErrUnknownComponent)
+	}
+	return c.healthy, nil
+}
+
+// Fail marks the named component as failed (the fault injection hook).
+func (s *System) Fail(name string) error {
+	c, ok := s.index[name]
+	if !ok {
+		return fmt.Errorf("%q: %w", name, ErrUnknownComponent)
+	}
+	c.healthy = false
+	return nil
+}
+
+// OpenSession records an active session on the named component.
+func (s *System) OpenSession(name string) error {
+	c, ok := s.index[name]
+	if !ok {
+		return fmt.Errorf("%q: %w", name, ErrUnknownComponent)
+	}
+	c.sessions++
+	return nil
+}
+
+// Sessions returns the number of live sessions on the component.
+func (s *System) Sessions(name string) (int, error) {
+	c, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("%q: %w", name, ErrUnknownComponent)
+	}
+	return c.sessions, nil
+}
+
+// Serve routes one request along the path from the root to the named
+// component; it fails if any component on the path is unhealthy.
+func (s *System) Serve(name string) error {
+	c, ok := s.index[name]
+	if !ok {
+		return fmt.Errorf("%q: %w", name, ErrUnknownComponent)
+	}
+	for n := c; n != nil; n = n.parent {
+		if !n.healthy {
+			return fmt.Errorf("%q on request path: %w", n.name, ErrComponentFailed)
+		}
+	}
+	return nil
+}
+
+// Failed returns the names of all failed components.
+func (s *System) Failed() []string {
+	var out []string
+	var walk func(c *component)
+	walk = func(c *component) {
+		if !c.healthy {
+			out = append(out, c.name)
+		}
+		for _, ch := range c.children {
+			walk(ch)
+		}
+	}
+	walk(s.root)
+	return out
+}
+
+// subtreeCost is the initialization cost of a subtree reboot.
+func subtreeCost(c *component) float64 {
+	cost := c.initCost
+	for _, ch := range c.children {
+		cost += subtreeCost(ch)
+	}
+	return cost
+}
+
+// rebootSubtree restores health, destroys session state, and accounts
+// cost for the whole subtree rooted at c.
+func (s *System) rebootSubtree(c *component) float64 {
+	cost := subtreeCost(c)
+	var walk func(n *component)
+	walk = func(n *component) {
+		n.healthy = true
+		s.SessionsLost += n.sessions
+		n.sessions = 0
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	walk(c)
+	s.Downtime += cost
+	return cost
+}
+
+// MicroReboot reboots only the named component's subtree and returns the
+// recovery cost paid.
+func (s *System) MicroReboot(name string) (float64, error) {
+	c, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("%q: %w", name, ErrUnknownComponent)
+	}
+	return s.rebootSubtree(c), nil
+}
+
+// Reboot restarts the whole system and returns the recovery cost paid.
+func (s *System) Reboot() float64 {
+	return s.rebootSubtree(s.root)
+}
+
+// FullRebootCost returns the cost a full reboot would pay, without
+// performing it.
+func (s *System) FullRebootCost() float64 {
+	return subtreeCost(s.root)
+}
+
+// Manager implements Candea-style recursive recovery: first micro-reboot
+// the minimal failed components; if the same component fails again within
+// the escalation window, reboot progressively larger subtrees, up to the
+// full system.
+type Manager struct {
+	sys *System
+	// escalation counts consecutive recoveries per component name.
+	escalation map[string]int
+	// Window is the number of repeated recoveries of the same component
+	// that triggers escalation to its parent.
+	Window int
+}
+
+// NewManager wraps sys with the default escalation window of 2.
+func NewManager(sys *System) (*Manager, error) {
+	if sys == nil {
+		return nil, errors.New("microreboot: nil system")
+	}
+	return &Manager{sys: sys, escalation: make(map[string]int), Window: 2}, nil
+}
+
+// Recover heals all currently failed components using recursive recovery
+// and returns the total recovery cost paid.
+func (m *Manager) Recover() float64 {
+	var total float64
+	for _, name := range m.sys.Failed() {
+		c := m.sys.index[name]
+		if c.healthy {
+			continue // already healed as part of an earlier subtree reboot
+		}
+		m.escalation[name]++
+		target := c
+		// Escalate one ancestor level per Window repeated failures.
+		for hops := (m.escalation[name] - 1) / m.Window; hops > 0 && target.parent != nil; hops-- {
+			target = target.parent
+		}
+		total += m.sys.rebootSubtree(target)
+	}
+	return total
+}
+
+// ResetEscalation clears the escalation history (e.g. after a period of
+// stability).
+func (m *Manager) ResetEscalation() {
+	m.escalation = make(map[string]int)
+}

@@ -1,0 +1,261 @@
+package microreboot
+
+import (
+	"errors"
+	"testing"
+)
+
+// threeTier is the canonical application-server shape: a root with a
+// middle tier and leaves.
+func threeTier(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(Spec{
+		Name: "server", InitCost: 50,
+		Children: []Spec{
+			{Name: "web", InitCost: 10, Children: []Spec{
+				{Name: "session-a", InitCost: 2},
+				{Name: "session-b", InitCost: 2},
+			}},
+			{Name: "db", InitCost: 30},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestServeHealthySystem(t *testing.T) {
+	s := threeTier(t)
+	for _, name := range []string{"server", "web", "session-a", "db"} {
+		if err := s.Serve(name); err != nil {
+			t.Errorf("Serve(%s) = %v", name, err)
+		}
+	}
+}
+
+func TestFailureBlocksPath(t *testing.T) {
+	s := threeTier(t)
+	if err := s.Fail("web"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve("session-a"); !errors.Is(err, ErrComponentFailed) {
+		t.Errorf("Serve through failed parent = %v", err)
+	}
+	// The db path does not cross web.
+	if err := s.Serve("db"); err != nil {
+		t.Errorf("Serve(db) = %v", err)
+	}
+	if h, _ := s.Healthy("web"); h {
+		t.Error("web should be unhealthy")
+	}
+}
+
+func TestMicroRebootCheaperThanFullReboot(t *testing.T) {
+	s := threeTier(t)
+	if err := s.Fail("session-a"); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := s.MicroReboot("session-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("micro-reboot cost = %f, want 2", cost)
+	}
+	if full := s.FullRebootCost(); full != 94 {
+		t.Errorf("full reboot cost = %f, want 94", full)
+	}
+	if err := s.Serve("session-a"); err != nil {
+		t.Errorf("Serve after micro-reboot = %v", err)
+	}
+	if s.Downtime != 2 {
+		t.Errorf("downtime = %f", s.Downtime)
+	}
+}
+
+func TestMicroRebootSubtreeCost(t *testing.T) {
+	s := threeTier(t)
+	cost, err := s.MicroReboot("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 14 { // web(10) + session-a(2) + session-b(2)
+		t.Errorf("subtree cost = %f, want 14", cost)
+	}
+}
+
+func TestRebootHealsEverythingAtFullCost(t *testing.T) {
+	s := threeTier(t)
+	s.Fail("web")
+	s.Fail("db")
+	cost := s.Reboot()
+	if cost != 94 {
+		t.Errorf("reboot cost = %f, want 94", cost)
+	}
+	if failed := s.Failed(); len(failed) != 0 {
+		t.Errorf("failed after reboot: %v", failed)
+	}
+}
+
+func TestSessionLossAccounting(t *testing.T) {
+	s := threeTier(t)
+	for i := 0; i < 5; i++ {
+		if err := s.OpenSession("session-a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.OpenSession("session-b"); err != nil {
+		t.Fatal(err)
+	}
+	// Micro-rebooting session-a destroys only its 5 sessions.
+	if _, err := s.MicroReboot("session-a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.SessionsLost != 5 {
+		t.Errorf("SessionsLost = %d, want 5", s.SessionsLost)
+	}
+	if n, _ := s.Sessions("session-b"); n != 1 {
+		t.Errorf("session-b sessions = %d, want untouched 1", n)
+	}
+	// A full reboot destroys the rest.
+	s.Reboot()
+	if s.SessionsLost != 6 {
+		t.Errorf("SessionsLost = %d, want 6", s.SessionsLost)
+	}
+}
+
+func TestFailedLists(t *testing.T) {
+	s := threeTier(t)
+	s.Fail("db")
+	s.Fail("session-b")
+	failed := s.Failed()
+	if len(failed) != 2 {
+		t.Errorf("Failed = %v", failed)
+	}
+}
+
+func TestUnknownComponentErrors(t *testing.T) {
+	s := threeTier(t)
+	if err := s.Fail("nope"); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("Fail = %v", err)
+	}
+	if err := s.Serve("nope"); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("Serve = %v", err)
+	}
+	if _, err := s.MicroReboot("nope"); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("MicroReboot = %v", err)
+	}
+	if _, err := s.Healthy("nope"); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("Healthy = %v", err)
+	}
+	if err := s.OpenSession("nope"); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("OpenSession = %v", err)
+	}
+	if _, err := s.Sessions("nope"); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("Sessions = %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := NewSystem(Spec{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewSystem(Spec{Name: "a", InitCost: -1}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	_, err := NewSystem(Spec{Name: "a", Children: []Spec{{Name: "a"}}})
+	if !errors.Is(err, ErrDuplicateComponent) {
+		t.Errorf("duplicate name: %v", err)
+	}
+}
+
+func TestManagerRecoversMinimalSubtree(t *testing.T) {
+	s := threeTier(t)
+	m, err := NewManager(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Fail("session-a")
+	cost := m.Recover()
+	if cost != 2 {
+		t.Errorf("recovery cost = %f, want leaf cost 2", cost)
+	}
+	if err := s.Serve("session-a"); err != nil {
+		t.Errorf("Serve after recovery = %v", err)
+	}
+}
+
+func TestManagerEscalation(t *testing.T) {
+	s := threeTier(t)
+	m, err := NewManager(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First two failures: leaf reboots (cost 2 each). Third failure of
+	// the same component escalates to the parent subtree (cost 14).
+	costs := make([]float64, 0, 3)
+	for i := 0; i < 3; i++ {
+		s.Fail("session-a")
+		costs = append(costs, m.Recover())
+	}
+	if costs[0] != 2 || costs[1] != 2 {
+		t.Errorf("early recoveries = %v, want leaf cost", costs)
+	}
+	if costs[2] != 14 {
+		t.Errorf("escalated recovery = %f, want parent subtree 14", costs[2])
+	}
+}
+
+func TestManagerEscalatesToFullReboot(t *testing.T) {
+	s := threeTier(t)
+	m, _ := NewManager(s)
+	m.Window = 1
+	var last float64
+	for i := 0; i < 3; i++ {
+		s.Fail("session-a")
+		last = m.Recover()
+	}
+	// Window 1: recovery 1 = leaf, 2 = web subtree, 3 = full system.
+	if last != 94 {
+		t.Errorf("third recovery = %f, want full reboot 94", last)
+	}
+}
+
+func TestManagerResetEscalation(t *testing.T) {
+	s := threeTier(t)
+	m, _ := NewManager(s)
+	s.Fail("session-a")
+	m.Recover()
+	s.Fail("session-a")
+	m.Recover()
+	m.ResetEscalation()
+	s.Fail("session-a")
+	if cost := m.Recover(); cost != 2 {
+		t.Errorf("post-reset recovery = %f, want leaf cost", cost)
+	}
+}
+
+func TestManagerSkipsAlreadyHealedComponents(t *testing.T) {
+	s := threeTier(t)
+	m, _ := NewManager(s)
+	m.Window = 1
+	// Fail parent and child: recovering the parent's subtree heals the
+	// child, which must not be rebooted again.
+	s.Fail("web")
+	s.Fail("session-a")
+	cost := m.Recover()
+	if cost != 14 && cost != 16 {
+		t.Errorf("cost = %f", cost)
+	}
+	// web is visited first (pre-order), so one subtree reboot suffices.
+	if cost != 14 {
+		t.Errorf("cost = %f, want 14 (single subtree reboot)", cost)
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil); err == nil {
+		t.Error("nil system accepted")
+	}
+}

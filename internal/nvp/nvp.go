@@ -1,0 +1,185 @@
+// Package nvp implements N-version programming (Avizienis), the classic
+// deliberate code-redundancy technique: N independently developed versions
+// of the same program execute in parallel on the same input and a general
+// voting algorithm selects the final result from the majority output.
+//
+// Taxonomy position (paper Table 2): deliberate intention, code
+// redundancy, reactive implicit adjudicator, development faults.
+// Architectural pattern: parallel evaluation (Figure 1a).
+//
+// The package also provides the analytic reliability model used by the
+// experiments: the probability that a majority vote delivers the correct
+// result for independent version failures, and its degradation under
+// correlated (common-mode) failures as observed by Brilliant, Knight and
+// Leveson.
+package nvp
+
+import (
+	"context"
+	"math"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+	"github.com/softwarefaults/redundancy/internal/vote"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// System is an N-version programming executor: a parallel-evaluation
+// pattern with a majority-voting implicit adjudicator.
+type System[I, O any] struct {
+	exec *pattern.ParallelEvaluation[I, O]
+	n    int
+}
+
+var _ core.Executor[int, int] = (*System[int, int])(nil)
+
+// New builds an N-version system over the given versions. eq defines
+// result equivalence for the vote. Options are forwarded to the
+// underlying pattern executor (metrics, per-version timeout).
+func New[I, O any](versions []core.Variant[I, O], eq core.Equal[O], opts ...pattern.Option) (*System[I, O], error) {
+	exec, err := pattern.NewParallelEvaluation(versions, vote.Majority(eq), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &System[I, O]{exec: exec, n: len(versions)}, nil
+}
+
+// NewWithAdjudicator builds an N-version system with a custom implicit
+// adjudicator (e.g. vote.MOfN for consensus voting à la WS-FTM, or
+// vote.MedianAdjudicator for inexact numeric voting).
+func NewWithAdjudicator[I, O any](versions []core.Variant[I, O], adj core.Adjudicator[O], opts ...pattern.Option) (*System[I, O], error) {
+	exec, err := pattern.NewParallelEvaluation(versions, adj, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &System[I, O]{exec: exec, n: len(versions)}, nil
+}
+
+// N returns the number of versions.
+func (s *System[I, O]) N() int { return s.n }
+
+// TolerableFaults returns how many faulty version results the system's
+// majority vote can outvote: floor((N-1)/2).
+func (s *System[I, O]) TolerableFaults() int { return vote.TolerableFaults(s.n) }
+
+// Execute implements core.Executor.
+func (s *System[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	return s.exec.Execute(ctx, input)
+}
+
+// ExecuteAll exposes the raw per-version results for inspection.
+func (s *System[I, O]) ExecuteAll(ctx context.Context, input I) []core.Result[O] {
+	return s.exec.ExecuteAll(ctx, input)
+}
+
+// binomialTail returns P[X <= k] for X ~ Binomial(n, p).
+func binomialTail(n, k int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	total := 0.0
+	for i := 0; i <= k; i++ {
+		total += math.Exp(lnChoose(n, i) + float64(i)*math.Log(p) + float64(n-i)*math.Log1p(-p))
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}
+
+// lnChoose returns ln(C(n, k)) via log-gamma.
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// ReliabilityIndependent returns the probability that a majority vote over
+// n versions delivers the correct result when each version independently
+// fails with probability p and wrong results never accidentally agree
+// with the correct value. The vote succeeds when at most
+// TolerableFaults(n) versions fail.
+func ReliabilityIndependent(n int, p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	return binomialTail(n, vote.TolerableFaults(n), p)
+}
+
+// ReliabilityCorrelated returns the majority-vote success probability
+// under the common-shock correlation model of
+// faultmodel.CorrelatedFailures: with probability rho all versions share
+// one failure draw (the vote then succeeds iff that draw succeeds), and
+// with probability 1-rho versions fail independently.
+//
+// The gap between ReliabilityIndependent and ReliabilityCorrelated is the
+// reliability erosion Brilliant et al. measured: at rho=1 the N-version
+// system is no more reliable than a single version.
+func ReliabilityCorrelated(n int, p, rho float64) float64 {
+	return rho*(1-p) + (1-rho)*ReliabilityIndependent(n, p)
+}
+
+// Ensemble is the Monte Carlo vehicle for the correlation experiment: it
+// simulates an N-version system whose joint version failures follow a
+// CorrelatedFailures law. Failing versions return an agreed-upon wrong
+// value when the failure is common-mode (the case that defeats voting)
+// and version-specific wrong values otherwise.
+type Ensemble struct {
+	// Law is the joint failure distribution.
+	Law faultmodel.CorrelatedFailures
+	// Rand drives the joint draws.
+	Rand *xrand.Rand
+
+	adj core.Adjudicator[int]
+}
+
+// NewEnsemble builds an ensemble with a majority-vote adjudicator.
+func NewEnsemble(law faultmodel.CorrelatedFailures, rng *xrand.Rand) (*Ensemble, error) {
+	if err := law.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ensemble{
+		Law:  law,
+		Rand: rng,
+		adj:  vote.Majority(core.EqualOf[int]()),
+	}, nil
+}
+
+// Round simulates one voted request. correct is the right answer every
+// healthy version produces. It returns the voted value and whether the
+// system delivered the correct result.
+func (e *Ensemble) Round(correct int) (voted int, ok bool) {
+	fails, common := e.Law.Draw(e.Rand)
+	results := make([]core.Result[int], len(fails))
+	for i, failed := range fails {
+		value := correct
+		if failed {
+			if common {
+				// Common-mode failures produce an identical wrong answer.
+				value = correct + 1
+			} else {
+				// Independent failures produce version-specific wrong
+				// answers that do not form a block.
+				value = correct + 2 + i
+			}
+		}
+		results[i] = core.Result[int]{Variant: "v", Value: value}
+	}
+	v, err := e.adj.Adjudicate(results)
+	if err != nil {
+		return 0, false
+	}
+	return v, v == correct
+}

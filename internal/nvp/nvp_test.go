@@ -1,0 +1,219 @@
+package nvp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/vote"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func version(name string, v int) core.Variant[int, int] {
+	return core.NewVariant(name, func(_ context.Context, _ int) (int, error) {
+		return v, nil
+	})
+}
+
+func TestSystemMajorityMasksMinorityFault(t *testing.T) {
+	sys, err := New(
+		[]core.Variant[int, int]{version("v1", 42), version("v2", 42), version("v3", 0)},
+		core.EqualOf[int](),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 3 || sys.TolerableFaults() != 1 {
+		t.Errorf("N=%d, TolerableFaults=%d", sys.N(), sys.TolerableFaults())
+	}
+	got, err := sys.Execute(context.Background(), 0)
+	if err != nil || got != 42 {
+		t.Errorf("= (%d, %v), want (42, nil)", got, err)
+	}
+}
+
+func TestSystemNoMajority(t *testing.T) {
+	sys, err := New(
+		[]core.Variant[int, int]{version("v1", 1), version("v2", 2), version("v3", 3)},
+		core.EqualOf[int](),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Execute(context.Background(), 0); !errors.Is(err, core.ErrNoConsensus) {
+		t.Errorf("err = %v, want ErrNoConsensus", err)
+	}
+}
+
+func TestSystemFiveVersionsTolerateTwo(t *testing.T) {
+	vs := []core.Variant[int, int]{
+		version("v1", 7), version("v2", 7), version("v3", 7),
+		version("v4", 1), version("v5", 2),
+	}
+	sys, err := New(vs, core.EqualOf[int]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.TolerableFaults() != 2 {
+		t.Errorf("TolerableFaults = %d, want 2", sys.TolerableFaults())
+	}
+	got, err := sys.Execute(context.Background(), 0)
+	if err != nil || got != 7 {
+		t.Errorf("= (%d, %v), want (7, nil)", got, err)
+	}
+}
+
+func TestNewWithAdjudicatorMedian(t *testing.T) {
+	mk := func(name string, v float64) core.Variant[int, float64] {
+		return core.NewVariant(name, func(_ context.Context, _ int) (float64, error) {
+			return v, nil
+		})
+	}
+	sys, err := NewWithAdjudicator(
+		[]core.Variant[int, float64]{mk("a", 1.0), mk("b", 1.05), mk("c", 99)},
+		vote.MedianAdjudicator(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.Execute(context.Background(), 0)
+	if err != nil || got != 1.05 {
+		t.Errorf("= (%f, %v), want (1.05, nil)", got, err)
+	}
+}
+
+func TestExecuteAllExposesRawResults(t *testing.T) {
+	sys, err := New(
+		[]core.Variant[int, int]{version("v1", 1), version("v2", 2), version("v3", 2)},
+		core.EqualOf[int](),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sys.ExecuteAll(context.Background(), 0)
+	if len(rs) != 3 || rs[0].Value != 1 || rs[1].Value != 2 {
+		t.Errorf("raw results = %+v", rs)
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := New[int, int](nil, core.EqualOf[int]()); !errors.Is(err, core.ErrNoVariants) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NewWithAdjudicator[int, int](nil, vote.FirstSuccess[int]()); !errors.Is(err, core.ErrNoVariants) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReliabilityIndependentKnownValues(t *testing.T) {
+	// n=3, p=0.1: success = P[0 or 1 failures]
+	// = 0.9^3 + 3*0.1*0.9^2 = 0.729 + 0.243 = 0.972.
+	if got := ReliabilityIndependent(3, 0.1); math.Abs(got-0.972) > 1e-9 {
+		t.Errorf("R(3, 0.1) = %f, want 0.972", got)
+	}
+	// n=1: reliability equals 1-p.
+	if got := ReliabilityIndependent(1, 0.3); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("R(1, 0.3) = %f, want 0.7", got)
+	}
+	if ReliabilityIndependent(5, 0) != 1 {
+		t.Error("p=0 must give reliability 1")
+	}
+	if ReliabilityIndependent(5, 1) != 0 {
+		t.Error("p=1 must give reliability 0")
+	}
+}
+
+func TestReliabilityImprovesWithVersionsWhenPSmall(t *testing.T) {
+	p := 0.05
+	r1 := ReliabilityIndependent(1, p)
+	r3 := ReliabilityIndependent(3, p)
+	r5 := ReliabilityIndependent(5, p)
+	if !(r5 > r3 && r3 > r1) {
+		t.Errorf("reliability should grow with n for small p: %f, %f, %f", r1, r3, r5)
+	}
+}
+
+func TestReliabilityDegradesWithVersionsWhenPLarge(t *testing.T) {
+	// Above p = 0.5 voting makes things worse — the classic crossover.
+	p := 0.7
+	r1 := ReliabilityIndependent(1, p)
+	r5 := ReliabilityIndependent(5, p)
+	if r5 >= r1 {
+		t.Errorf("for p > 0.5, voting should hurt: r1=%f, r5=%f", r1, r5)
+	}
+}
+
+func TestReliabilityCorrelatedEndpoints(t *testing.T) {
+	n, p := 3, 0.1
+	if got := ReliabilityCorrelated(n, p, 0); math.Abs(got-ReliabilityIndependent(n, p)) > 1e-12 {
+		t.Errorf("rho=0 should match independent: %f", got)
+	}
+	if got := ReliabilityCorrelated(n, p, 1); math.Abs(got-(1-p)) > 1e-12 {
+		t.Errorf("rho=1 should match single version: %f", got)
+	}
+}
+
+func TestReliabilityCorrelatedMonotoneDecay(t *testing.T) {
+	n, p := 5, 0.1
+	prev := math.Inf(1)
+	for _, rho := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		r := ReliabilityCorrelated(n, p, rho)
+		if r > prev {
+			t.Errorf("reliability gain should decay with correlation: rho=%f r=%f prev=%f", rho, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestEnsembleMatchesAnalyticModel(t *testing.T) {
+	for _, rho := range []float64{0, 0.5, 1} {
+		law := faultmodel.CorrelatedFailures{N: 3, P: 0.1, Rho: rho}
+		ens, err := NewEnsemble(law, xrand.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 60000
+		okCount := 0
+		for i := 0; i < trials; i++ {
+			if _, ok := ens.Round(100); ok {
+				okCount++
+			}
+		}
+		got := float64(okCount) / trials
+		want := ReliabilityCorrelated(3, 0.1, rho)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rho=%f: simulated %f, analytic %f", rho, got, want)
+		}
+	}
+}
+
+func TestEnsembleInvalidLaw(t *testing.T) {
+	if _, err := NewEnsemble(faultmodel.CorrelatedFailures{N: 0}, xrand.New(1)); err == nil {
+		t.Error("want error for invalid law")
+	}
+}
+
+func TestEnsembleCommonModeDefeatsVote(t *testing.T) {
+	// With rho=1 and p=1 every round is a unanimous wrong answer: the
+	// vote "succeeds" but delivers the wrong value.
+	law := faultmodel.CorrelatedFailures{N: 3, P: 1, Rho: 1}
+	ens, err := NewEnsemble(law, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	voted, ok := ens.Round(100)
+	if ok {
+		t.Error("common-mode wrong answer reported as correct")
+	}
+	if voted != 0 {
+		// The adjudicator reaches consensus on the wrong value; Round
+		// reports !ok and a zero voted value only when the vote errs.
+		// Consensus on a wrong value returns that value with ok=false.
+		if voted != 101 {
+			t.Errorf("voted = %d, want the common wrong answer 101", voted)
+		}
+	}
+}

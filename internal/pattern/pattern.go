@@ -1,0 +1,449 @@
+// Package pattern implements the three inter-component architectural
+// patterns of the paper's Figure 1:
+//
+//   - parallel evaluation (Figure 1a): all alternatives execute in
+//     parallel and a single adjudicator evaluates the full result set, as
+//     in N-version programming;
+//   - parallel selection (Figure 1b): alternatives execute in parallel,
+//     each validated by its own adjudicator, and failing components are
+//     disabled, as in self-checking programming;
+//   - sequential alternatives (Figure 1c): alternatives execute one at a
+//     time and the next is activated when the adjudicator detects a
+//     failure, as in recovery blocks.
+//
+// All executors manage their goroutines: Execute never returns while a
+// worker goroutine it spawned is still running, and workers receive a
+// cancelable context so that canceled variants can stop early.
+package pattern
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// config carries options shared by the pattern executors.
+type config struct {
+	metrics        *core.Metrics
+	variantTimeout time.Duration
+	logger         *slog.Logger
+}
+
+// Option configures a pattern executor.
+type Option func(*config)
+
+// WithMetrics attaches a metrics collector to the executor.
+func WithMetrics(m *core.Metrics) Option {
+	return func(c *config) { c.metrics = m }
+}
+
+// WithVariantTimeout bounds each variant execution. A zero duration means
+// no per-variant timeout; the ambient context still applies.
+func WithVariantTimeout(d time.Duration) Option {
+	return func(c *config) { c.variantTimeout = d }
+}
+
+// WithLogger attaches a structured logger; executors emit debug-level
+// events for variant failures and info-level events when redundancy masks
+// a failure or an executor fails outright.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) { c.logger = l }
+}
+
+// logVariantFailure emits one event per failed variant result.
+func (c config) logVariantFailure(executor, variant string, err error) {
+	if c.logger == nil || err == nil {
+		return
+	}
+	c.logger.Debug("variant failed",
+		"executor", executor, "variant", variant, "err", err.Error())
+}
+
+// logOutcome emits an event when redundancy masked a failure or when the
+// executor failed.
+func (c config) logOutcome(executor string, masked bool, err error) {
+	if c.logger == nil {
+		return
+	}
+	switch {
+	case err != nil:
+		c.logger.Info("redundant execution failed", "executor", executor, "err", err.Error())
+	case masked:
+		c.logger.Info("failure masked by redundancy", "executor", executor)
+	}
+}
+
+func newConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// runVariant executes one variant with latency accounting, the configured
+// timeout, and panic containment: a panicking variant yields an ordinary
+// failed Result instead of crashing the executor.
+func runVariant[I, O any](ctx context.Context, cfg config, v core.Variant[I, O], input I) core.Result[O] {
+	if cfg.variantTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.variantTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	value, err := core.Guard(v).Execute(ctx, input)
+	return core.Result[O]{
+		Variant: v.Name(),
+		Value:   value,
+		Err:     err,
+		Latency: time.Since(start),
+	}
+}
+
+// ParallelEvaluation is the Figure 1a executor: it runs every variant on
+// the same input concurrently and hands all results to one adjudicator.
+type ParallelEvaluation[I, O any] struct {
+	cfg         config
+	variants    []core.Variant[I, O]
+	adjudicator core.Adjudicator[O]
+}
+
+var _ core.Executor[int, int] = (*ParallelEvaluation[int, int])(nil)
+
+// NewParallelEvaluation builds a parallel-evaluation executor. It returns
+// an error if no variants or no adjudicator are supplied.
+func NewParallelEvaluation[I, O any](variants []core.Variant[I, O], adj core.Adjudicator[O], opts ...Option) (*ParallelEvaluation[I, O], error) {
+	if len(variants) == 0 {
+		return nil, core.ErrNoVariants
+	}
+	if adj == nil {
+		return nil, fmt.Errorf("pattern: nil adjudicator")
+	}
+	vs := make([]core.Variant[I, O], len(variants))
+	copy(vs, variants)
+	return &ParallelEvaluation[I, O]{cfg: newConfig(opts), variants: vs, adjudicator: adj}, nil
+}
+
+// Execute implements core.Executor.
+func (p *ParallelEvaluation[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	results := p.ExecuteAll(ctx, input)
+	value, err := p.adjudicator.Adjudicate(results)
+	anyFailed := false
+	for _, r := range results {
+		if !r.OK() {
+			anyFailed = true
+			p.cfg.logVariantFailure("parallel-evaluation", r.Variant, r.Err)
+		}
+	}
+	p.cfg.logOutcome("parallel-evaluation", anyFailed, err)
+	if m := p.cfg.metrics; m != nil {
+		m.RecordRequest()
+		m.RecordVariantExecutions(len(results))
+		if anyFailed {
+			m.RecordFailureDetected()
+		}
+		switch {
+		case err != nil:
+			m.RecordFailure()
+		case anyFailed:
+			m.RecordFailureMasked()
+		}
+	}
+	return value, err
+}
+
+// ExecuteAll runs every variant concurrently and returns all results in
+// variant order. It is exposed so callers (e.g. experiments) can inspect
+// the raw result vector.
+func (p *ParallelEvaluation[I, O]) ExecuteAll(ctx context.Context, input I) []core.Result[O] {
+	results := make([]core.Result[O], len(p.variants))
+	var wg sync.WaitGroup
+	for i, v := range p.variants {
+		wg.Add(1)
+		go func(i int, v core.Variant[I, O]) {
+			defer wg.Done()
+			results[i] = runVariant(ctx, p.cfg, v, input)
+		}(i, v)
+	}
+	wg.Wait()
+	return results
+}
+
+// ParallelSelection is the Figure 1b executor: variants run concurrently,
+// each result is validated by the variant's own acceptance test, the
+// first acceptable result (in completion order) is returned, and variants
+// whose results are rejected are disabled for subsequent requests.
+type ParallelSelection[I, O any] struct {
+	cfg      config
+	variants []core.Variant[I, O]
+	tests    []core.AcceptanceTest[I, O]
+
+	mu       sync.Mutex
+	disabled map[string]bool
+}
+
+var _ core.Executor[int, int] = (*ParallelSelection[int, int])(nil)
+
+// NewParallelSelection builds a parallel-selection executor. tests[i]
+// validates variants[i]; the slices must have equal length.
+func NewParallelSelection[I, O any](variants []core.Variant[I, O], tests []core.AcceptanceTest[I, O], opts ...Option) (*ParallelSelection[I, O], error) {
+	if len(variants) == 0 {
+		return nil, core.ErrNoVariants
+	}
+	if len(tests) != len(variants) {
+		return nil, fmt.Errorf("pattern: %d variants but %d acceptance tests", len(variants), len(tests))
+	}
+	vs := make([]core.Variant[I, O], len(variants))
+	copy(vs, variants)
+	ts := make([]core.AcceptanceTest[I, O], len(tests))
+	copy(ts, tests)
+	return &ParallelSelection[I, O]{
+		cfg:      newConfig(opts),
+		variants: vs,
+		tests:    ts,
+		disabled: make(map[string]bool),
+	}, nil
+}
+
+// Disabled returns the names of currently disabled variants.
+func (p *ParallelSelection[I, O]) Disabled() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var names []string
+	for _, v := range p.variants {
+		if p.disabled[v.Name()] {
+			names = append(names, v.Name())
+		}
+	}
+	return names
+}
+
+// Reset re-enables all variants.
+func (p *ParallelSelection[I, O]) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.disabled = make(map[string]bool)
+}
+
+// Execute implements core.Executor. All live variants run in parallel;
+// every result is validated by its variant's own acceptance test, and
+// rejected variants are disabled. The result of the highest-priority
+// (earliest-configured) acceptable variant is returned: the "acting"
+// component's result is used unless it failed, in which case the next
+// "hot spare" takes over without any rollback.
+func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	var zero O
+
+	p.mu.Lock()
+	var live []int
+	for i, v := range p.variants {
+		if !p.disabled[v.Name()] {
+			live = append(live, i)
+		}
+	}
+	p.mu.Unlock()
+
+	if m := p.cfg.metrics; m != nil {
+		m.RecordRequest()
+		m.RecordVariantExecutions(len(live))
+	}
+	if len(live) == 0 {
+		if m := p.cfg.metrics; m != nil {
+			m.RecordFailure()
+		}
+		return zero, fmt.Errorf("all variants disabled: %w", core.ErrAllVariantsFailed)
+	}
+
+	results := make([]core.Result[O], len(live))
+	var wg sync.WaitGroup
+	for slot, i := range live {
+		wg.Add(1)
+		go func(slot, i int) {
+			defer wg.Done()
+			results[slot] = runVariant(ctx, p.cfg, p.variants[i], input)
+		}(slot, i)
+	}
+	wg.Wait()
+
+	var (
+		accepted    bool
+		value       O
+		anyRejected bool
+	)
+	for slot, i := range live {
+		r := results[slot]
+		err := r.Err
+		if err == nil {
+			err = p.tests[i](input, r.Value)
+		}
+		if err != nil {
+			anyRejected = true
+			p.cfg.logVariantFailure("parallel-selection", p.variants[i].Name(), err)
+			p.disable(p.variants[i].Name())
+			continue
+		}
+		if !accepted {
+			accepted = true
+			value = r.Value
+		}
+	}
+
+	if !accepted {
+		p.cfg.logOutcome("parallel-selection", anyRejected, core.ErrAllVariantsFailed)
+	} else {
+		p.cfg.logOutcome("parallel-selection", anyRejected, nil)
+	}
+	if m := p.cfg.metrics; m != nil {
+		if anyRejected {
+			m.RecordFailureDetected()
+		}
+		switch {
+		case !accepted:
+			m.RecordFailure()
+		case anyRejected:
+			m.RecordFailureMasked()
+		}
+	}
+	if !accepted {
+		return zero, core.ErrAllVariantsFailed
+	}
+	return value, nil
+}
+
+func (p *ParallelSelection[I, O]) disable(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.disabled[name] = true
+}
+
+// SequentialAlternatives is the Figure 1c executor: it runs alternatives
+// one at a time, validating each result with the acceptance test and
+// moving to the next alternative on rejection, optionally restoring state
+// between attempts (the recovery-block rollback).
+type SequentialAlternatives[I, O any] struct {
+	cfg      config
+	variants []core.Variant[I, O]
+	test     core.AcceptanceTest[I, O]
+	rollback func(ctx context.Context) error
+}
+
+var _ core.Executor[int, int] = (*SequentialAlternatives[int, int])(nil)
+
+// NewSequentialAlternatives builds a sequential-alternatives executor.
+// rollback, if non-nil, is invoked before each retry to restore a
+// consistent state.
+func NewSequentialAlternatives[I, O any](variants []core.Variant[I, O], test core.AcceptanceTest[I, O], rollback func(ctx context.Context) error, opts ...Option) (*SequentialAlternatives[I, O], error) {
+	if len(variants) == 0 {
+		return nil, core.ErrNoVariants
+	}
+	if test == nil {
+		return nil, fmt.Errorf("pattern: nil acceptance test")
+	}
+	vs := make([]core.Variant[I, O], len(variants))
+	copy(vs, variants)
+	return &SequentialAlternatives[I, O]{
+		cfg:      newConfig(opts),
+		variants: vs,
+		test:     test,
+		rollback: rollback,
+	}, nil
+}
+
+// Execute implements core.Executor.
+func (s *SequentialAlternatives[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	var zero O
+	if m := s.cfg.metrics; m != nil {
+		m.RecordRequest()
+	}
+	var lastErr error
+	attempts := 0
+	for i, v := range s.variants {
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
+		if i > 0 && s.rollback != nil {
+			if err := s.rollback(ctx); err != nil {
+				lastErr = fmt.Errorf("rollback before alternate %s: %w", v.Name(), err)
+				break
+			}
+		}
+		attempts++
+		r := runVariant(ctx, s.cfg, v, input)
+		if !r.OK() {
+			lastErr = r.Err
+			s.cfg.logVariantFailure("sequential-alternatives", v.Name(), r.Err)
+			continue
+		}
+		if err := s.test(input, r.Value); err != nil {
+			lastErr = err
+			s.cfg.logVariantFailure("sequential-alternatives", v.Name(), err)
+			continue
+		}
+		s.cfg.logOutcome("sequential-alternatives", attempts > 1, nil)
+		s.recordOutcome(attempts, true)
+		return r.Value, nil
+	}
+	s.recordOutcome(attempts, false)
+	if lastErr == nil {
+		lastErr = core.ErrAllVariantsFailed
+	}
+	s.cfg.logOutcome("sequential-alternatives", attempts > 1, lastErr)
+	return zero, fmt.Errorf("%w: %w", core.ErrAllVariantsFailed, lastErr)
+}
+
+func (s *SequentialAlternatives[I, O]) recordOutcome(attempts int, succeeded bool) {
+	m := s.cfg.metrics
+	if m == nil {
+		return
+	}
+	m.RecordVariantExecutions(attempts)
+	if attempts > 1 {
+		m.RecordFailureDetected()
+	}
+	switch {
+	case !succeeded:
+		m.RecordFailure()
+	case attempts > 1:
+		m.RecordFailureMasked()
+	}
+}
+
+// Single wraps one variant as a non-redundant executor. Experiments use
+// it as the baseline against which the redundant patterns are compared.
+type Single[I, O any] struct {
+	cfg     config
+	variant core.Variant[I, O]
+}
+
+var _ core.Executor[int, int] = (*Single[int, int])(nil)
+
+// NewSingle builds the baseline executor.
+func NewSingle[I, O any](v core.Variant[I, O], opts ...Option) (*Single[I, O], error) {
+	if v == nil {
+		return nil, core.ErrNoVariants
+	}
+	return &Single[I, O]{cfg: newConfig(opts), variant: v}, nil
+}
+
+// Execute implements core.Executor.
+func (s *Single[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	if m := s.cfg.metrics; m != nil {
+		m.RecordRequest()
+		m.RecordVariantExecutions(1)
+	}
+	r := runVariant(ctx, s.cfg, s.variant, input)
+	if !r.OK() {
+		s.cfg.logVariantFailure("single", r.Variant, r.Err)
+		s.cfg.logOutcome("single", false, r.Err)
+	}
+	if m := s.cfg.metrics; m != nil && !r.OK() {
+		m.RecordFailureDetected()
+		m.RecordFailure()
+	}
+	return r.Value, r.Err
+}

@@ -1,0 +1,181 @@
+// Package registry implements exception handling and rule engines: the
+// registry-based recovery approaches of Baresi et al. and Pernici et al.,
+// which enhance composite processes with a developer-filled registry of
+// failure-matching rules, each carrying an ordered list of recovery
+// actions to execute at runtime. Exception handling is the degenerate
+// case of a registry with error-class rules.
+//
+// Taxonomy position (paper Table 2): deliberate intention, code
+// redundancy (the recovery actions are redundant code provided at design
+// time), reactive explicit adjudicator (failures are detected by
+// observing violations of predetermined conditions), development faults.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Registry errors.
+var (
+	// ErrNoMatchingRule reports an incident no rule matches.
+	ErrNoMatchingRule = errors.New("registry: no matching rule")
+	// ErrActionsExhausted reports that every action of the matching rule
+	// failed.
+	ErrActionsExhausted = errors.New("registry: all recovery actions failed")
+)
+
+// Incident describes one detected failure.
+type Incident struct {
+	// Component is the failing component's name.
+	Component string
+	// Err is the observed failure.
+	Err error
+	// Attempt counts how many times this incident has been handled.
+	Attempt int
+	// Labels carries application-specific context for matchers.
+	Labels map[string]string
+}
+
+// Matcher decides whether a rule applies to an incident.
+type Matcher func(*Incident) bool
+
+// MatchComponent matches incidents from the named component.
+func MatchComponent(name string) Matcher {
+	return func(inc *Incident) bool { return inc.Component == name }
+}
+
+// MatchErrorIs matches incidents whose error wraps target.
+func MatchErrorIs(target error) Matcher {
+	return func(inc *Incident) bool { return errors.Is(inc.Err, target) }
+}
+
+// MatchLabel matches incidents carrying the given label value.
+func MatchLabel(key, value string) Matcher {
+	return func(inc *Incident) bool { return inc.Labels[key] == value }
+}
+
+// MatchAll combines matchers conjunctively.
+func MatchAll(ms ...Matcher) Matcher {
+	return func(inc *Incident) bool {
+		for _, m := range ms {
+			if !m(inc) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// MatchAny combines matchers disjunctively.
+func MatchAny(ms ...Matcher) Matcher {
+	return func(inc *Incident) bool {
+		for _, m := range ms {
+			if m(inc) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Action is one recovery action (retry, rebind, reboot, compensate, ...).
+type Action struct {
+	// Name identifies the action in reports.
+	Name string
+	// Run performs the recovery; a nil return means the incident is
+	// resolved.
+	Run func(ctx context.Context, inc *Incident) error
+}
+
+// Rule pairs a failure matcher with an ordered list of recovery actions.
+type Rule struct {
+	// Name identifies the rule.
+	Name string
+	// Match selects the incidents this rule handles.
+	Match Matcher
+	// Actions are tried in order until one succeeds.
+	Actions []Action
+}
+
+// Outcome reports how an incident was handled.
+type Outcome struct {
+	// Rule is the name of the rule that matched.
+	Rule string
+	// Action is the name of the action that resolved the incident.
+	Action string
+	// ActionsTried is the number of actions executed.
+	ActionsTried int
+}
+
+// Engine is the rule registry. Rules are evaluated in registration order;
+// the first matching rule handles the incident.
+type Engine struct {
+	rules []Rule
+
+	// Handled counts resolved incidents.
+	Handled int
+	// Unresolved counts incidents no rule or action could resolve.
+	Unresolved int
+}
+
+// NewEngine creates an engine with the given rules.
+func NewEngine(rules ...Rule) (*Engine, error) {
+	for i, r := range rules {
+		if r.Match == nil {
+			return nil, fmt.Errorf("registry: rule %d (%s) has nil matcher", i, r.Name)
+		}
+		if len(r.Actions) == 0 {
+			return nil, fmt.Errorf("registry: rule %d (%s) has no actions", i, r.Name)
+		}
+		for j, a := range r.Actions {
+			if a.Run == nil {
+				return nil, fmt.Errorf("registry: rule %s action %d (%s) has nil Run", r.Name, j, a.Name)
+			}
+		}
+	}
+	rs := make([]Rule, len(rules))
+	copy(rs, rules)
+	return &Engine{rules: rs}, nil
+}
+
+// AddRule appends a rule at the lowest priority.
+func (e *Engine) AddRule(r Rule) error {
+	if r.Match == nil || len(r.Actions) == 0 {
+		return errors.New("registry: rule needs a matcher and at least one action")
+	}
+	e.rules = append(e.rules, r)
+	return nil
+}
+
+// Handle resolves an incident: the first matching rule's actions run in
+// order until one succeeds.
+func (e *Engine) Handle(ctx context.Context, inc *Incident) (Outcome, error) {
+	if inc == nil {
+		return Outcome{}, errors.New("registry: nil incident")
+	}
+	inc.Attempt++
+	for _, r := range e.rules {
+		if !r.Match(inc) {
+			continue
+		}
+		var lastErr error
+		for i, a := range r.Actions {
+			if err := ctx.Err(); err != nil {
+				return Outcome{Rule: r.Name, ActionsTried: i}, err
+			}
+			if err := a.Run(ctx, inc); err != nil {
+				lastErr = fmt.Errorf("action %s: %w", a.Name, err)
+				continue
+			}
+			e.Handled++
+			return Outcome{Rule: r.Name, Action: a.Name, ActionsTried: i + 1}, nil
+		}
+		e.Unresolved++
+		return Outcome{Rule: r.Name, ActionsTried: len(r.Actions)},
+			fmt.Errorf("%w: %w", ErrActionsExhausted, lastErr)
+	}
+	e.Unresolved++
+	return Outcome{}, fmt.Errorf("component %s, error %v: %w", inc.Component, inc.Err, ErrNoMatchingRule)
+}

@@ -1,0 +1,211 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+var (
+	errTimeout = errors.New("timeout")
+	errCrash   = errors.New("crash")
+)
+
+func okAction(name string, log *[]string) Action {
+	return Action{Name: name, Run: func(_ context.Context, _ *Incident) error {
+		*log = append(*log, name)
+		return nil
+	}}
+}
+
+func failAction(name string, log *[]string) Action {
+	return Action{Name: name, Run: func(_ context.Context, _ *Incident) error {
+		*log = append(*log, name)
+		return errors.New(name + " failed")
+	}}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	var log []string
+	e, err := NewEngine(
+		Rule{Name: "timeouts", Match: MatchErrorIs(errTimeout), Actions: []Action{okAction("retry", &log)}},
+		Rule{Name: "crashes", Match: MatchErrorIs(errCrash), Actions: []Action{okAction("reboot", &log)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Handle(context.Background(), &Incident{Component: "svc", Err: errCrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rule != "crashes" || out.Action != "reboot" || out.ActionsTried != 1 {
+		t.Errorf("outcome = %+v", out)
+	}
+	if e.Handled != 1 {
+		t.Errorf("Handled = %d", e.Handled)
+	}
+}
+
+func TestActionsTriedInOrder(t *testing.T) {
+	var log []string
+	e, err := NewEngine(Rule{
+		Name:  "r",
+		Match: MatchComponent("svc"),
+		Actions: []Action{
+			failAction("retry", &log),
+			failAction("rebind", &log),
+			okAction("reboot", &log),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Handle(context.Background(), &Incident{Component: "svc", Err: errCrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Action != "reboot" || out.ActionsTried != 3 {
+		t.Errorf("outcome = %+v", out)
+	}
+	want := []string{"retry", "rebind", "reboot"}
+	for i, w := range want {
+		if log[i] != w {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestActionsExhausted(t *testing.T) {
+	var log []string
+	e, err := NewEngine(Rule{
+		Name:    "r",
+		Match:   MatchComponent("svc"),
+		Actions: []Action{failAction("a", &log), failAction("b", &log)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Handle(context.Background(), &Incident{Component: "svc"})
+	if !errors.Is(err, ErrActionsExhausted) {
+		t.Errorf("err = %v", err)
+	}
+	if e.Unresolved != 1 {
+		t.Errorf("Unresolved = %d", e.Unresolved)
+	}
+}
+
+func TestNoMatchingRule(t *testing.T) {
+	e, err := NewEngine(Rule{
+		Name:    "r",
+		Match:   MatchComponent("other"),
+		Actions: []Action{{Name: "a", Run: func(context.Context, *Incident) error { return nil }}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Handle(context.Background(), &Incident{Component: "svc"})
+	if !errors.Is(err, ErrNoMatchingRule) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMatchers(t *testing.T) {
+	inc := &Incident{
+		Component: "db",
+		Err:       errTimeout,
+		Labels:    map[string]string{"tier": "backend"},
+	}
+	if !MatchComponent("db")(inc) || MatchComponent("web")(inc) {
+		t.Error("MatchComponent")
+	}
+	if !MatchErrorIs(errTimeout)(inc) || MatchErrorIs(errCrash)(inc) {
+		t.Error("MatchErrorIs")
+	}
+	if !MatchLabel("tier", "backend")(inc) || MatchLabel("tier", "front")(inc) {
+		t.Error("MatchLabel")
+	}
+	if !MatchAll(MatchComponent("db"), MatchErrorIs(errTimeout))(inc) {
+		t.Error("MatchAll positive")
+	}
+	if MatchAll(MatchComponent("db"), MatchErrorIs(errCrash))(inc) {
+		t.Error("MatchAll negative")
+	}
+	if !MatchAny(MatchComponent("web"), MatchErrorIs(errTimeout))(inc) {
+		t.Error("MatchAny positive")
+	}
+	if MatchAny(MatchComponent("web"), MatchErrorIs(errCrash))(inc) {
+		t.Error("MatchAny negative")
+	}
+}
+
+func TestIncidentAttemptIncrements(t *testing.T) {
+	e, _ := NewEngine(Rule{
+		Name:  "r",
+		Match: func(*Incident) bool { return true },
+		Actions: []Action{{Name: "a", Run: func(_ context.Context, inc *Incident) error {
+			if inc.Attempt < 2 {
+				return errors.New("not yet")
+			}
+			return nil
+		}}},
+	})
+	inc := &Incident{Component: "svc"}
+	if _, err := e.Handle(context.Background(), inc); err == nil {
+		t.Fatal("first attempt should fail")
+	}
+	if _, err := e.Handle(context.Background(), inc); err != nil {
+		t.Fatalf("second attempt: %v", err)
+	}
+	if inc.Attempt != 2 {
+		t.Errorf("Attempt = %d", inc.Attempt)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	ok := Action{Name: "a", Run: func(context.Context, *Incident) error { return nil }}
+	if _, err := NewEngine(Rule{Name: "r", Actions: []Action{ok}}); err == nil {
+		t.Error("nil matcher accepted")
+	}
+	if _, err := NewEngine(Rule{Name: "r", Match: func(*Incident) bool { return true }}); err == nil {
+		t.Error("no actions accepted")
+	}
+	if _, err := NewEngine(Rule{
+		Name:    "r",
+		Match:   func(*Incident) bool { return true },
+		Actions: []Action{{Name: "bad"}},
+	}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	e, _ := NewEngine()
+	if _, err := e.Handle(context.Background(), nil); err == nil {
+		t.Error("nil incident accepted")
+	}
+	if err := e.AddRule(Rule{}); err == nil {
+		t.Error("AddRule accepted invalid rule")
+	}
+	if err := e.AddRule(Rule{Match: func(*Incident) bool { return true }, Actions: []Action{ok}}); err != nil {
+		t.Errorf("AddRule rejected valid rule: %v", err)
+	}
+}
+
+func TestContextCancellationDuringActions(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e, _ := NewEngine(Rule{
+		Name:  "r",
+		Match: func(*Incident) bool { return true },
+		Actions: []Action{
+			{Name: "first", Run: func(context.Context, *Incident) error {
+				cancel()
+				return errors.New("failed")
+			}},
+			{Name: "second", Run: func(context.Context, *Incident) error {
+				t.Error("second action ran after cancellation")
+				return nil
+			}},
+		},
+	})
+	_, err := e.Handle(ctx, &Incident{Component: "svc"})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,315 @@
+// Package repstore applies N-version programming to stateful services:
+// the "diverse off-the-shelf SQL servers" design of Gashi, Popov,
+// Stankovic and Strigini that the paper cites as a typical modern
+// application of N-version programming. N independently implemented
+// replicas of a key-value store execute every operation; read results are
+// adjudicated by majority vote, and replica states are compared through
+// digests after every write. A replica whose results or state diverge
+// from the majority is marked suspect and repaired by state transfer from
+// a majority-consistent peer — the output/state reconciliation problem
+// the paper notes is "not trivial" for heterogeneous servers.
+//
+// Taxonomy position: deliberate code redundancy with a reactive implicit
+// adjudicator (as N-version programming), applied to stateful components.
+package repstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/vote"
+)
+
+// Errors reported by the replicated store.
+var (
+	// ErrKeyNotFound reports a read of an absent key.
+	ErrKeyNotFound = errors.New("repstore: key not found")
+	// ErrNoQuorum reports that no majority of replicas agreed.
+	ErrNoQuorum = errors.New("repstore: no replica quorum")
+	// ErrReplicaDown reports an operation on a crashed replica.
+	ErrReplicaDown = errors.New("repstore: replica down")
+)
+
+// Replica is one independently implemented store replica.
+type Replica interface {
+	// Name identifies the replica.
+	Name() string
+	// Get reads a key.
+	Get(key string) (string, error)
+	// Put writes a key.
+	Put(key, value string) error
+	// Delete removes a key.
+	Delete(key string) error
+	// Digest summarizes the replica's full state for comparison.
+	Digest() uint64
+	// Export returns a copy of the full state (for repair transfers).
+	Export() map[string]string
+	// Import replaces the full state (the repair target side).
+	Import(state map[string]string)
+}
+
+// SimReplica is a simulated replica with seeded faults: a value-corruption
+// Bohrbug that mangles writes for keys in its trigger region, and a crash
+// switch.
+type SimReplica struct {
+	name string
+	data map[string]string
+
+	// CorruptionBug, when non-zero TriggerFraction, mangles the stored
+	// value for keys whose hash falls in the bug's trigger region.
+	CorruptionBug faultmodel.Bohrbug
+	down          bool
+}
+
+var _ Replica = (*SimReplica)(nil)
+
+// NewSimReplica creates an empty simulated replica.
+func NewSimReplica(name string) *SimReplica {
+	return &SimReplica{name: name, data: make(map[string]string)}
+}
+
+// SetDown crashes (or revives) the replica.
+func (r *SimReplica) SetDown(down bool) { r.down = down }
+
+// Name implements Replica.
+func (r *SimReplica) Name() string { return r.name }
+
+// Get implements Replica.
+func (r *SimReplica) Get(key string) (string, error) {
+	if r.down {
+		return "", fmt.Errorf("%s: %w", r.name, ErrReplicaDown)
+	}
+	v, ok := r.data[key]
+	if !ok {
+		return "", fmt.Errorf("%s key %q: %w", r.name, key, ErrKeyNotFound)
+	}
+	return v, nil
+}
+
+// Put implements Replica. The seeded corruption bug deterministically
+// mangles values for keys in its trigger region — this replica's
+// version-specific failure region.
+func (r *SimReplica) Put(key, value string) error {
+	if r.down {
+		return fmt.Errorf("%s: %w", r.name, ErrReplicaDown)
+	}
+	inv := faultmodel.Invocation{InputKey: faultmodel.HashString(key)}
+	if r.CorruptionBug.Activated(inv) {
+		value += "\x00corrupt"
+	}
+	r.data[key] = value
+	return nil
+}
+
+// Delete implements Replica.
+func (r *SimReplica) Delete(key string) error {
+	if r.down {
+		return fmt.Errorf("%s: %w", r.name, ErrReplicaDown)
+	}
+	delete(r.data, key)
+	return nil
+}
+
+// Digest implements Replica: an order-independent FNV digest of the
+// state.
+func (r *SimReplica) Digest() uint64 {
+	keys := make([]string, 0, len(r.data))
+	for k := range r.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var h uint64 = 14695981039346656037
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	for _, k := range keys {
+		mix(k)
+		mix(r.data[k])
+	}
+	return h
+}
+
+// Export implements Replica.
+func (r *SimReplica) Export() map[string]string {
+	out := make(map[string]string, len(r.data))
+	for k, v := range r.data {
+		out[k] = v
+	}
+	return out
+}
+
+// Import implements Replica.
+func (r *SimReplica) Import(state map[string]string) {
+	r.data = make(map[string]string, len(state))
+	for k, v := range state {
+		r.data[k] = v
+	}
+}
+
+// System is the replicated store: the middleware that fans out operations
+// and reconciles results and state.
+type System struct {
+	replicas []Replica
+
+	// SuspectThreshold is the number of divergences after which a replica
+	// is repaired by state transfer.
+	SuspectThreshold int
+
+	suspects map[string]int
+
+	// Divergences counts observed result/state divergences.
+	Divergences int
+	// Repairs counts state-transfer repairs performed.
+	Repairs int
+}
+
+// NewSystem builds a replicated store over the given replicas (at least
+// 3 for meaningful voting).
+func NewSystem(replicas []Replica) (*System, error) {
+	if len(replicas) < 3 {
+		return nil, errors.New("repstore: need at least 3 replicas")
+	}
+	rs := make([]Replica, len(replicas))
+	copy(rs, replicas)
+	return &System{
+		replicas:         rs,
+		SuspectThreshold: 2,
+		suspects:         make(map[string]int),
+	}, nil
+}
+
+// N returns the number of replicas.
+func (s *System) N() int { return len(s.replicas) }
+
+// Get reads a key through all replicas and majority-votes the result.
+// Replicas that disagree with the quorum are marked suspect (and repaired
+// once past the threshold).
+func (s *System) Get(key string) (string, error) {
+	results := make([]core.Result[string], len(s.replicas))
+	for i, r := range s.replicas {
+		v, err := r.Get(key)
+		results[i] = core.Result[string]{Variant: r.Name(), Value: v, Err: err}
+	}
+	adj := vote.Majority(core.EqualOf[string]())
+	value, err := adj.Adjudicate(results)
+	if err != nil {
+		// Distinguish unanimous not-found from true quorum loss.
+		notFound := 0
+		for _, res := range results {
+			if errors.Is(res.Err, ErrKeyNotFound) {
+				notFound++
+			}
+		}
+		if notFound > len(results)/2 {
+			return "", fmt.Errorf("key %q: %w", key, ErrKeyNotFound)
+		}
+		return "", fmt.Errorf("read %q: %w", key, ErrNoQuorum)
+	}
+	for i, res := range results {
+		if !res.OK() || res.Value != value {
+			s.flagSuspect(s.replicas[i])
+		}
+	}
+	return value, nil
+}
+
+// Put writes a key through all replicas, then compares state digests and
+// repairs minority-divergent replicas past the suspect threshold.
+func (s *System) Put(key, value string) error {
+	up := 0
+	for _, r := range s.replicas {
+		if err := r.Put(key, value); err == nil {
+			up++
+		}
+	}
+	if up <= len(s.replicas)/2 {
+		return fmt.Errorf("write %q: only %d replicas accepted: %w", key, up, ErrNoQuorum)
+	}
+	s.reconcile()
+	return nil
+}
+
+// Delete removes a key through all replicas.
+func (s *System) Delete(key string) error {
+	up := 0
+	for _, r := range s.replicas {
+		if err := r.Delete(key); err == nil {
+			up++
+		}
+	}
+	if up <= len(s.replicas)/2 {
+		return fmt.Errorf("delete %q: only %d replicas accepted: %w", key, up, ErrNoQuorum)
+	}
+	s.reconcile()
+	return nil
+}
+
+// reconcile compares state digests across replicas and flags the
+// minority.
+func (s *System) reconcile() {
+	counts := make(map[uint64]int, len(s.replicas))
+	for _, r := range s.replicas {
+		counts[r.Digest()]++
+	}
+	var majorityDigest uint64
+	best := 0
+	for d, c := range counts {
+		if c > best {
+			best, majorityDigest = c, d
+		}
+	}
+	if best <= len(s.replicas)/2 {
+		// No state quorum; nothing safe to repair from.
+		s.Divergences++
+		return
+	}
+	for _, r := range s.replicas {
+		if r.Digest() != majorityDigest {
+			s.flagSuspect(r)
+		}
+	}
+}
+
+// flagSuspect records a divergence and repairs the replica once it passes
+// the threshold.
+func (s *System) flagSuspect(r Replica) {
+	s.Divergences++
+	s.suspects[r.Name()]++
+	if s.suspects[r.Name()] < s.SuspectThreshold {
+		return
+	}
+	// Repair by state transfer from a majority-consistent peer.
+	counts := make(map[uint64]int, len(s.replicas))
+	for _, p := range s.replicas {
+		counts[p.Digest()]++
+	}
+	var majorityDigest uint64
+	best := 0
+	for d, c := range counts {
+		if c > best {
+			best, majorityDigest = c, d
+		}
+	}
+	if best <= len(s.replicas)/2 {
+		return
+	}
+	for _, p := range s.replicas {
+		if p.Digest() == majorityDigest && p.Name() != r.Name() {
+			r.Import(p.Export())
+			s.Repairs++
+			s.suspects[r.Name()] = 0
+			return
+		}
+	}
+}
+
+// SuspectCount reports the current divergence count for a replica.
+func (s *System) SuspectCount(name string) int { return s.suspects[name] }

@@ -1,0 +1,256 @@
+package repstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+)
+
+func healthySystem(t *testing.T, n int) (*System, []*SimReplica) {
+	t.Helper()
+	replicas := make([]Replica, n)
+	sims := make([]*SimReplica, n)
+	for i := range replicas {
+		sims[i] = NewSimReplica(fmt.Sprintf("replica-%d", i+1))
+		replicas[i] = sims[i]
+	}
+	sys, err := NewSystem(replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, sims
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	sys, _ := healthySystem(t, 3)
+	if err := sys.Put("user:1", "ada"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.Get("user:1")
+	if err != nil || v != "ada" {
+		t.Errorf("Get = (%q, %v)", v, err)
+	}
+	if sys.Divergences != 0 {
+		t.Errorf("healthy system recorded %d divergences", sys.Divergences)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	sys, _ := healthySystem(t, 3)
+	if _, err := sys.Get("nope"); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	sys, _ := healthySystem(t, 3)
+	if err := sys.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Get("k"); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCorruptReplicaOutvotedOnRead(t *testing.T) {
+	sys, sims := healthySystem(t, 3)
+	// Replica 3 corrupts every write (trigger fraction 1).
+	sims[2].CorruptionBug = faultmodel.Bohrbug{ID: 1, TriggerFraction: 1}
+	if err := sys.Put("k", "clean"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.Get("k")
+	if err != nil || v != "clean" {
+		t.Fatalf("Get = (%q, %v), want clean value", v, err)
+	}
+	if sys.Divergences == 0 {
+		t.Error("divergence not recorded")
+	}
+}
+
+func TestStateReconciliationRepairsCorruptReplica(t *testing.T) {
+	sys, sims := healthySystem(t, 3)
+	sys.SuspectThreshold = 2
+	sims[2].CorruptionBug = faultmodel.Bohrbug{ID: 1, TriggerFraction: 1}
+	// Two writes: the second reconciliation passes the threshold and
+	// repairs replica 3 from a majority peer.
+	if err := sys.Put("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Put("b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Repairs == 0 {
+		t.Fatal("no repair performed")
+	}
+	// After repair, replica 3's state matches the majority.
+	if sims[2].Digest() != sims[0].Digest() {
+		t.Error("repaired replica still divergent")
+	}
+	v, err := sims[2].Get("a")
+	if err != nil || v != "1" {
+		t.Errorf("repaired replica Get = (%q, %v)", v, err)
+	}
+}
+
+func TestCrashedReplicaToleratedByQuorum(t *testing.T) {
+	sys, sims := healthySystem(t, 3)
+	if err := sys.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	sims[1].SetDown(true)
+	// Reads still reach quorum 2/3.
+	v, err := sys.Get("k")
+	if err != nil || v != "v" {
+		t.Errorf("Get = (%q, %v)", v, err)
+	}
+	// Writes still reach quorum.
+	if err := sys.Put("k2", "v2"); err != nil {
+		t.Errorf("Put with one replica down: %v", err)
+	}
+}
+
+func TestQuorumLoss(t *testing.T) {
+	sys, sims := healthySystem(t, 3)
+	if err := sys.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	sims[0].SetDown(true)
+	sims[1].SetDown(true)
+	if _, err := sys.Get("k"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("read err = %v", err)
+	}
+	if err := sys.Put("k", "v2"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("write err = %v", err)
+	}
+	if err := sys.Delete("k"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("delete err = %v", err)
+	}
+}
+
+func TestRevivedReplicaRepairedAfterMissedWrites(t *testing.T) {
+	sys, sims := healthySystem(t, 3)
+	sims[2].SetDown(true)
+	for i := 0; i < 3; i++ {
+		if err := sys.Put(fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sims[2].SetDown(false)
+	// The revived replica has stale state; reads flag it and the next
+	// reconciliations repair it.
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Get("k0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Put("k3", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if sims[2].Digest() != sims[0].Digest() {
+		t.Error("revived replica not repaired by state transfer")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil); err == nil {
+		t.Error("empty replica set accepted")
+	}
+	if _, err := NewSystem([]Replica{NewSimReplica("a"), NewSimReplica("b")}); err == nil {
+		t.Error("2 replicas accepted")
+	}
+}
+
+func TestDigestOrderIndependence(t *testing.T) {
+	a := NewSimReplica("a")
+	b := NewSimReplica("b")
+	_ = a.Put("x", "1")
+	_ = a.Put("y", "2")
+	_ = b.Put("y", "2")
+	_ = b.Put("x", "1")
+	if a.Digest() != b.Digest() {
+		t.Error("digest depends on insertion order")
+	}
+	_ = b.Put("z", "3")
+	if a.Digest() == b.Digest() {
+		t.Error("digest blind to extra key")
+	}
+}
+
+func TestDigestSeparatorAmbiguity(t *testing.T) {
+	// "ab"+"c" must not collide with "a"+"bc".
+	a := NewSimReplica("a")
+	b := NewSimReplica("b")
+	_ = a.Put("ab", "c")
+	_ = b.Put("a", "bc")
+	if a.Digest() == b.Digest() {
+		t.Error("digest boundary ambiguity")
+	}
+}
+
+func TestExportImportDeepCopy(t *testing.T) {
+	a := NewSimReplica("a")
+	_ = a.Put("k", "v")
+	state := a.Export()
+	state["k"] = "tampered"
+	if v, _ := a.Get("k"); v != "v" {
+		t.Error("Export aliases internal state")
+	}
+	b := NewSimReplica("b")
+	b.Import(state)
+	state["k"] = "tampered-again"
+	if v, _ := b.Get("k"); v != "tampered" {
+		t.Error("Import aliases caller state")
+	}
+}
+
+// Property: for any sequence of puts on a system with one fully corrupt
+// replica, every read returns the clean value and the corrupt replica
+// converges to the majority state after repairs.
+func TestCorruptReplicaNeverWinsProperty(t *testing.T) {
+	f := func(keys []string, values []string) bool {
+		n := len(keys)
+		if len(values) < n {
+			n = len(values)
+		}
+		if n == 0 {
+			return true
+		}
+		if n > 8 {
+			n = 8
+		}
+		sys, sims := func() (*System, []*SimReplica) {
+			replicas := make([]Replica, 3)
+			sims := make([]*SimReplica, 3)
+			for i := range replicas {
+				sims[i] = NewSimReplica(fmt.Sprintf("r%d", i))
+				replicas[i] = sims[i]
+			}
+			s, _ := NewSystem(replicas)
+			return s, sims
+		}()
+		sims[1].CorruptionBug = faultmodel.Bohrbug{ID: 7, TriggerFraction: 1}
+		for i := 0; i < n; i++ {
+			if keys[i] == "" {
+				continue
+			}
+			if err := sys.Put(keys[i], values[i]); err != nil {
+				return false
+			}
+			got, err := sys.Get(keys[i])
+			if err != nil || got != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package robustdata implements robust data structures and software
+// audits: deliberate data redundancy in the sense of Taylor, Morgan and
+// Black ("Redundancy in data structures: improving software fault
+// tolerance") and of Connet et al.'s software audits. Structural
+// information is stored redundantly — double links, node identifiers, an
+// element count, checksums and shadow copies — so that an audit can
+// detect corrupted instances and a repair procedure can reconstruct them
+// from the surviving redundancy.
+//
+// Taxonomy position (paper Table 2): deliberate intention, data
+// redundancy, reactive implicit adjudicator (the redundant information
+// itself reveals the failure), development faults.
+package robustdata
+
+import (
+	"errors"
+	"fmt"
+)
+
+// List errors.
+var (
+	// ErrCorrupted reports that an audit found inconsistencies.
+	ErrCorrupted = errors.New("robustdata: structure corrupted")
+	// ErrUnrepairable reports damage exceeding the redundancy available
+	// for reconstruction.
+	ErrUnrepairable = errors.New("robustdata: corruption not repairable")
+)
+
+// nilRef is the null node reference.
+const nilRef = -1
+
+// listNode is one node of the robust list. Structural redundancy per
+// Taylor et al.: every node carries a unique identifier that marks it as
+// a valid member, and the list is doubly linked so either direction can
+// reconstruct the other.
+type listNode struct {
+	id    int
+	value int
+	next  int
+	prev  int
+}
+
+// RobustList is a doubly linked list with redundant structural data: node
+// identifiers, double links, and a stored element count.
+type RobustList struct {
+	nodes map[int]*listNode // simulated memory pool, keyed by node id
+	head  int
+	tail  int
+	count int // redundant element count
+	nexID int
+}
+
+// NewRobustList creates an empty robust list.
+func NewRobustList() *RobustList {
+	return &RobustList{
+		nodes: make(map[int]*listNode),
+		head:  nilRef,
+		tail:  nilRef,
+	}
+}
+
+// Len returns the stored (redundant) element count.
+func (l *RobustList) Len() int { return l.count }
+
+// Append adds a value at the tail.
+func (l *RobustList) Append(value int) {
+	n := &listNode{id: l.nexID, value: value, next: nilRef, prev: l.tail}
+	l.nexID++
+	l.nodes[n.id] = n
+	if l.tail != nilRef {
+		l.nodes[l.tail].next = n.id
+	} else {
+		l.head = n.id
+	}
+	l.tail = n.id
+	l.count++
+}
+
+// Values traverses the list forward and returns the values. It returns
+// ErrCorrupted if the traversal is inconsistent with the redundant data.
+func (l *RobustList) Values() ([]int, error) {
+	var out []int
+	seen := make(map[int]bool, l.count)
+	cur := l.head
+	for cur != nilRef {
+		n, ok := l.nodes[cur]
+		if !ok {
+			return nil, fmt.Errorf("dangling reference %d: %w", cur, ErrCorrupted)
+		}
+		if seen[cur] {
+			return nil, fmt.Errorf("cycle at node %d: %w", cur, ErrCorrupted)
+		}
+		seen[cur] = true
+		if len(out) > l.count {
+			return nil, fmt.Errorf("traversal exceeds stored count %d: %w", l.count, ErrCorrupted)
+		}
+		out = append(out, n.value)
+		cur = n.next
+	}
+	if len(out) != l.count {
+		return nil, fmt.Errorf("traversed %d nodes, stored count %d: %w", len(out), l.count, ErrCorrupted)
+	}
+	return out, nil
+}
+
+// Defect describes one inconsistency found by an audit.
+type Defect struct {
+	// Kind classifies the inconsistency.
+	Kind DefectKind
+	// Node is the id of the affected node (or -1 for list-level defects).
+	Node int
+}
+
+// DefectKind classifies audit findings.
+type DefectKind int
+
+const (
+	// DefectDanglingNext is a next reference to a nonexistent node.
+	DefectDanglingNext DefectKind = iota + 1
+	// DefectDanglingPrev is a prev reference to a nonexistent node.
+	DefectDanglingPrev
+	// DefectLinkMismatch is a next/prev pair that disagrees.
+	DefectLinkMismatch
+	// DefectBadCount is a stored count differing from the node total.
+	DefectBadCount
+)
+
+// String implements fmt.Stringer.
+func (k DefectKind) String() string {
+	switch k {
+	case DefectDanglingNext:
+		return "dangling-next"
+	case DefectDanglingPrev:
+		return "dangling-prev"
+	case DefectLinkMismatch:
+		return "link-mismatch"
+	case DefectBadCount:
+		return "bad-count"
+	default:
+		return "unknown"
+	}
+}
+
+// Audit checks all redundant structural data and returns every defect
+// found; an empty result means the structure is consistent.
+func (l *RobustList) Audit() []Defect {
+	var defects []Defect
+	for id, n := range l.nodes {
+		if n.next != nilRef {
+			m, ok := l.nodes[n.next]
+			if !ok {
+				defects = append(defects, Defect{Kind: DefectDanglingNext, Node: id})
+			} else if m.prev != id {
+				defects = append(defects, Defect{Kind: DefectLinkMismatch, Node: id})
+			}
+		}
+		if n.prev != nilRef {
+			if _, ok := l.nodes[n.prev]; !ok {
+				defects = append(defects, Defect{Kind: DefectDanglingPrev, Node: id})
+			}
+		}
+	}
+	if l.count != len(l.nodes) {
+		defects = append(defects, Defect{Kind: DefectBadCount, Node: nilRef})
+	}
+	return defects
+}
+
+// Repair reconstructs the structure from the surviving redundancy. It
+// handles any single corruption (one next pointer, one prev pointer, or
+// the count) and many multi-defect cases, returning ErrUnrepairable when
+// the redundancy is insufficient.
+//
+// Strategy: if one link direction still forms a complete chain over all
+// nodes, it is trusted and the other direction plus the count are rebuilt
+// from it; otherwise both directions are merged pointwise.
+func (l *RobustList) Repair() error {
+	if chain, ok := l.validChain(l.head, func(n *listNode) int { return n.next }); ok {
+		l.rebuildFromChain(chain)
+		return nil
+	}
+	if back, ok := l.validChain(l.tail, func(n *listNode) int { return n.prev }); ok {
+		chain := make([]int, len(back))
+		for i, id := range back {
+			chain[len(back)-1-i] = id
+		}
+		l.rebuildFromChain(chain)
+		return nil
+	}
+	return l.repairByMerge()
+}
+
+// validChain follows dir from start and reports whether it visits every
+// node exactly once.
+func (l *RobustList) validChain(start int, dir func(*listNode) int) ([]int, bool) {
+	if len(l.nodes) == 0 {
+		return nil, start == nilRef
+	}
+	seen := make(map[int]bool, len(l.nodes))
+	var chain []int
+	cur := start
+	for cur != nilRef {
+		n, ok := l.nodes[cur]
+		if !ok || seen[cur] || len(chain) >= len(l.nodes) {
+			return nil, false
+		}
+		seen[cur] = true
+		chain = append(chain, cur)
+		cur = dir(n)
+	}
+	return chain, len(chain) == len(l.nodes)
+}
+
+// rebuildFromChain rewrites all redundant data from a trusted forward
+// chain.
+func (l *RobustList) rebuildFromChain(chain []int) {
+	if len(chain) == 0 {
+		l.head, l.tail, l.count = nilRef, nilRef, 0
+		return
+	}
+	for i, id := range chain {
+		n := l.nodes[id]
+		if i == 0 {
+			n.prev = nilRef
+		} else {
+			n.prev = chain[i-1]
+		}
+		if i == len(chain)-1 {
+			n.next = nilRef
+		} else {
+			n.next = chain[i+1]
+		}
+	}
+	l.head, l.tail = chain[0], chain[len(chain)-1]
+	l.count = len(chain)
+}
+
+// repairByMerge reconstructs links pointwise when neither direction forms
+// a complete chain: each node's successor is recovered from the unique
+// node claiming it as predecessor.
+func (l *RobustList) repairByMerge() error {
+	// Repair dangling or mismatched next pointers using prev redundancy:
+	// node X's correct successor is the unique node whose prev is X.
+	successorOf := make(map[int]int, len(l.nodes))
+	for id, n := range l.nodes {
+		if n.prev != nilRef {
+			if _, dup := successorOf[n.prev]; dup {
+				return fmt.Errorf("two nodes claim the same predecessor %d: %w", n.prev, ErrUnrepairable)
+			}
+			successorOf[n.prev] = id
+		}
+	}
+	for id, n := range l.nodes {
+		want, hasSucc := successorOf[id]
+		switch {
+		case hasSucc && n.next != want:
+			n.next = want
+		case !hasSucc && n.next != nilRef:
+			if _, ok := l.nodes[n.next]; !ok {
+				n.next = nilRef // was dangling and is really the tail
+			}
+		}
+	}
+	// Rebuild every prev pointer from the (now consistent) next pointers,
+	// including resetting the head's prev to nil.
+	predecessorOf := make(map[int]int, len(l.nodes))
+	for id, n := range l.nodes {
+		if n.next != nilRef {
+			if _, ok := l.nodes[n.next]; !ok {
+				return fmt.Errorf("next reference %d still dangling: %w", n.next, ErrUnrepairable)
+			}
+			predecessorOf[n.next] = id
+		}
+	}
+	for id, n := range l.nodes {
+		if p, ok := predecessorOf[id]; ok {
+			n.prev = p
+		} else {
+			n.prev = nilRef
+		}
+	}
+	// Recompute head, tail, count from node-local data.
+	head, tail := nilRef, nilRef
+	for id, n := range l.nodes {
+		if _, ok := predecessorOf[id]; !ok {
+			if head != nilRef {
+				return fmt.Errorf("multiple head candidates: %w", ErrUnrepairable)
+			}
+			head = id
+		}
+		if n.next == nilRef {
+			if tail != nilRef {
+				return fmt.Errorf("multiple tail candidates: %w", ErrUnrepairable)
+			}
+			tail = id
+		}
+	}
+	if len(l.nodes) > 0 && (head == nilRef || tail == nilRef) {
+		return fmt.Errorf("no head/tail found: %w", ErrUnrepairable)
+	}
+	l.head, l.tail = head, tail
+	l.count = len(l.nodes)
+	if defects := l.Audit(); len(defects) > 0 {
+		return fmt.Errorf("%d defects remain after repair: %w", len(defects), ErrUnrepairable)
+	}
+	return nil
+}
+
+// Corruption API: experiments use these to damage the structure in
+// controlled ways. Each returns false if the target node does not exist.
+
+// CorruptNext overwrites a node's next reference with garbage.
+func (l *RobustList) CorruptNext(id, garbage int) bool {
+	n, ok := l.nodes[id]
+	if !ok {
+		return false
+	}
+	n.next = garbage
+	return true
+}
+
+// CorruptPrev overwrites a node's prev reference with garbage.
+func (l *RobustList) CorruptPrev(id, garbage int) bool {
+	n, ok := l.nodes[id]
+	if !ok {
+		return false
+	}
+	n.prev = garbage
+	return true
+}
+
+// CorruptCount adds delta to the stored count.
+func (l *RobustList) CorruptCount(delta int) {
+	l.count += delta
+}
+
+// NodeIDs returns the ids of all nodes in forward order (for targeting
+// corruption in experiments); it tolerates corruption by bounding the
+// walk.
+func (l *RobustList) NodeIDs() []int {
+	var ids []int
+	cur := l.head
+	for cur != nilRef && len(ids) <= len(l.nodes) {
+		n, ok := l.nodes[cur]
+		if !ok {
+			break
+		}
+		ids = append(ids, cur)
+		cur = n.next
+	}
+	return ids
+}

@@ -1,0 +1,130 @@
+package robustdata
+
+import (
+	"fmt"
+	"hash/crc32"
+	"strconv"
+)
+
+// RobustMap is a checksummed, shadowed key-value store: every entry is
+// stored twice (primary and shadow), each with a CRC32 checksum. A read
+// verifies the primary checksum and transparently repairs the primary
+// from the shadow when the audit fails — Connet-style software defenses
+// applied at the data-structure level.
+type RobustMap struct {
+	primary map[string]entry
+	shadow  map[string]entry
+
+	// Repairs counts transparent repairs performed by Get.
+	Repairs int
+}
+
+type entry struct {
+	value int
+	sum   uint32
+}
+
+func checksum(key string, value int) uint32 {
+	return crc32.ChecksumIEEE([]byte(key + "\x00" + strconv.Itoa(value)))
+}
+
+// NewRobustMap creates an empty robust map.
+func NewRobustMap() *RobustMap {
+	return &RobustMap{
+		primary: make(map[string]entry),
+		shadow:  make(map[string]entry),
+	}
+}
+
+// Len returns the number of keys.
+func (m *RobustMap) Len() int { return len(m.primary) }
+
+// Put stores key=value in both copies with fresh checksums.
+func (m *RobustMap) Put(key string, value int) {
+	e := entry{value: value, sum: checksum(key, value)}
+	m.primary[key] = e
+	m.shadow[key] = e
+}
+
+// Get returns the value for key. A corrupted primary entry is detected by
+// its checksum and repaired from the shadow; if both copies are corrupted
+// the error wraps ErrUnrepairable.
+func (m *RobustMap) Get(key string) (int, error) {
+	p, ok := m.primary[key]
+	if !ok {
+		return 0, fmt.Errorf("key %q not found: %w", key, ErrCorrupted)
+	}
+	if p.sum == checksum(key, p.value) {
+		return p.value, nil
+	}
+	s, ok := m.shadow[key]
+	if ok && s.sum == checksum(key, s.value) {
+		m.primary[key] = s
+		m.Repairs++
+		return s.value, nil
+	}
+	return 0, fmt.Errorf("key %q corrupted in both copies: %w", key, ErrUnrepairable)
+}
+
+// AuditMap scans all entries in both copies and returns the keys with
+// checksum mismatches, primary first, then shadow.
+func (m *RobustMap) AuditMap() (badPrimary, badShadow []string) {
+	for k, e := range m.primary {
+		if e.sum != checksum(k, e.value) {
+			badPrimary = append(badPrimary, k)
+		}
+	}
+	for k, e := range m.shadow {
+		if e.sum != checksum(k, e.value) {
+			badShadow = append(badShadow, k)
+		}
+	}
+	return badPrimary, badShadow
+}
+
+// RepairAll repairs every corrupted entry that still has one good copy
+// and reports how many were repaired and how many are lost.
+func (m *RobustMap) RepairAll() (repaired, lost int) {
+	for k := range m.primary {
+		p := m.primary[k]
+		s, hasShadow := m.shadow[k]
+		pOK := p.sum == checksum(k, p.value)
+		sOK := hasShadow && s.sum == checksum(k, s.value)
+		switch {
+		case pOK && sOK:
+		case pOK && !sOK:
+			m.shadow[k] = p
+			repaired++
+		case !pOK && sOK:
+			m.primary[k] = s
+			repaired++
+		default:
+			lost++
+		}
+	}
+	m.Repairs += repaired
+	return repaired, lost
+}
+
+// CorruptPrimary overwrites the primary copy's value without updating the
+// checksum (a stray-write corruption). It reports whether the key exists.
+func (m *RobustMap) CorruptPrimary(key string, garbage int) bool {
+	e, ok := m.primary[key]
+	if !ok {
+		return false
+	}
+	e.value = garbage
+	m.primary[key] = e
+	return true
+}
+
+// CorruptShadow corrupts the shadow copy's value.
+func (m *RobustMap) CorruptShadow(key string, garbage int) bool {
+	e, ok := m.shadow[key]
+	if !ok {
+		return false
+	}
+	e.value = garbage
+	m.shadow[key] = e
+	return true
+}

@@ -1,0 +1,469 @@
+package robustdata
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func buildList(t *testing.T, values ...int) *RobustList {
+	t.Helper()
+	l := NewRobustList()
+	for _, v := range values {
+		l.Append(v)
+	}
+	return l
+}
+
+func wantValues(t *testing.T, l *RobustList, want ...int) {
+	t.Helper()
+	got, err := l.Values()
+	if err != nil {
+		t.Fatalf("Values: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestListAppendAndTraverse(t *testing.T) {
+	l := buildList(t, 1, 2, 3)
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	wantValues(t, l, 1, 2, 3)
+}
+
+func TestEmptyListIsConsistent(t *testing.T) {
+	l := NewRobustList()
+	if defects := l.Audit(); len(defects) != 0 {
+		t.Errorf("defects on empty list: %v", defects)
+	}
+	vals, err := l.Values()
+	if err != nil || len(vals) != 0 {
+		t.Errorf("Values = (%v, %v)", vals, err)
+	}
+	if err := l.Repair(); err != nil {
+		t.Errorf("Repair on empty list: %v", err)
+	}
+}
+
+func TestAuditDetectsDanglingNext(t *testing.T) {
+	l := buildList(t, 1, 2, 3)
+	ids := l.NodeIDs()
+	if !l.CorruptNext(ids[0], 999) {
+		t.Fatal("corruption target missing")
+	}
+	defects := l.Audit()
+	if len(defects) == 0 {
+		t.Fatal("dangling next not detected")
+	}
+	if defects[0].Kind != DefectDanglingNext {
+		t.Errorf("kind = %v", defects[0].Kind)
+	}
+	if _, err := l.Values(); !errors.Is(err, ErrCorrupted) {
+		t.Errorf("Values err = %v", err)
+	}
+}
+
+func TestRepairDanglingNext(t *testing.T) {
+	l := buildList(t, 1, 2, 3, 4)
+	ids := l.NodeIDs()
+	l.CorruptNext(ids[1], 12345)
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	wantValues(t, l, 1, 2, 3, 4)
+	if len(l.Audit()) != 0 {
+		t.Error("defects remain after repair")
+	}
+}
+
+func TestRepairLinkMismatch(t *testing.T) {
+	l := buildList(t, 10, 20, 30)
+	ids := l.NodeIDs()
+	// Point node 0's next at node 2, skipping node 1.
+	l.CorruptNext(ids[0], ids[2])
+	if len(l.Audit()) == 0 {
+		t.Fatal("mismatch not detected")
+	}
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	wantValues(t, l, 10, 20, 30)
+}
+
+func TestRepairCorruptPrev(t *testing.T) {
+	l := buildList(t, 1, 2, 3)
+	ids := l.NodeIDs()
+	l.CorruptPrev(ids[2], 777)
+	if len(l.Audit()) == 0 {
+		t.Fatal("dangling prev not detected")
+	}
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	wantValues(t, l, 1, 2, 3)
+}
+
+func TestRepairBadCount(t *testing.T) {
+	l := buildList(t, 5, 6)
+	l.CorruptCount(+3)
+	if _, err := l.Values(); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("Values err = %v", err)
+	}
+	found := false
+	for _, d := range l.Audit() {
+		if d.Kind == DefectBadCount {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("bad count not detected")
+	}
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	wantValues(t, l, 5, 6)
+}
+
+func TestRepairSingleNodeListTailCorruption(t *testing.T) {
+	l := buildList(t, 42)
+	ids := l.NodeIDs()
+	l.CorruptNext(ids[0], 55)
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	wantValues(t, l, 42)
+}
+
+// Property: any single corruption (next, prev, or count) of any node is
+// detected by Audit and fixed by Repair.
+func TestSingleCorruptionAlwaysRepairableProperty(t *testing.T) {
+	f := func(sizeRaw, nodeRaw, kindRaw uint8, garbage int16) bool {
+		size := int(sizeRaw%8) + 2
+		l := NewRobustList()
+		want := make([]int, size)
+		for i := 0; i < size; i++ {
+			l.Append(i * 10)
+			want[i] = i * 10
+		}
+		ids := l.NodeIDs()
+		target := ids[int(nodeRaw)%len(ids)]
+		bad := int(garbage)
+		if bad >= 0 && bad < size {
+			bad = size + 100 // ensure the reference is actually dangling
+		}
+		switch kindRaw % 3 {
+		case 0:
+			l.CorruptNext(target, bad)
+		case 1:
+			l.CorruptPrev(target, bad)
+		default:
+			delta := int(garbage % 7)
+			if delta == 0 {
+				delta = 3
+			}
+			l.CorruptCount(delta)
+		}
+		if len(l.Audit()) == 0 {
+			return false // corruption must be detected
+		}
+		if err := l.Repair(); err != nil {
+			return false
+		}
+		got, err := l.Values()
+		if err != nil || len(got) != size {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptionTargetsMissing(t *testing.T) {
+	l := buildList(t, 1)
+	if l.CorruptNext(999, 0) || l.CorruptPrev(999, 0) {
+		t.Error("corrupting a missing node should report false")
+	}
+}
+
+func TestMapPutGet(t *testing.T) {
+	m := NewRobustMap()
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if m.Len() != 2 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	v, err := m.Get("a")
+	if err != nil || v != 1 {
+		t.Errorf("Get = (%d, %v)", v, err)
+	}
+	if _, err := m.Get("missing"); !errors.Is(err, ErrCorrupted) {
+		t.Errorf("missing key err = %v", err)
+	}
+}
+
+func TestMapTransparentRepair(t *testing.T) {
+	m := NewRobustMap()
+	m.Put("k", 42)
+	if !m.CorruptPrimary("k", 13) {
+		t.Fatal("corruption failed")
+	}
+	v, err := m.Get("k")
+	if err != nil || v != 42 {
+		t.Fatalf("Get after corruption = (%d, %v), want shadow value", v, err)
+	}
+	if m.Repairs != 1 {
+		t.Errorf("Repairs = %d", m.Repairs)
+	}
+	// The repaired primary must now verify.
+	v, err = m.Get("k")
+	if err != nil || v != 42 {
+		t.Errorf("Get after repair = (%d, %v)", v, err)
+	}
+}
+
+func TestMapBothCopiesCorrupted(t *testing.T) {
+	m := NewRobustMap()
+	m.Put("k", 42)
+	m.CorruptPrimary("k", 1)
+	m.CorruptShadow("k", 2)
+	if _, err := m.Get("k"); !errors.Is(err, ErrUnrepairable) {
+		t.Errorf("err = %v, want ErrUnrepairable", err)
+	}
+}
+
+func TestMapAuditAndRepairAll(t *testing.T) {
+	m := NewRobustMap()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		m.Put(k, 7)
+	}
+	m.CorruptPrimary("a", 0)
+	m.CorruptShadow("b", 0)
+	m.CorruptPrimary("c", 0)
+	m.CorruptShadow("c", 0)
+	badP, badS := m.AuditMap()
+	if len(badP) != 2 || len(badS) != 2 {
+		t.Errorf("audit = (%v, %v)", badP, badS)
+	}
+	repaired, lost := m.RepairAll()
+	if repaired != 2 || lost != 1 {
+		t.Errorf("RepairAll = (%d, %d), want (2, 1)", repaired, lost)
+	}
+	if v, err := m.Get("a"); err != nil || v != 7 {
+		t.Errorf("a after repair = (%d, %v)", v, err)
+	}
+	if v, err := m.Get("d"); err != nil || v != 7 {
+		t.Errorf("untouched d = (%d, %v)", v, err)
+	}
+}
+
+func TestMapCorruptMissingKeys(t *testing.T) {
+	m := NewRobustMap()
+	if m.CorruptPrimary("x", 0) || m.CorruptShadow("x", 0) {
+		t.Error("corrupting missing keys should report false")
+	}
+}
+
+func TestDefectKindString(t *testing.T) {
+	kinds := map[DefectKind]string{
+		DefectDanglingNext: "dangling-next",
+		DefectDanglingPrev: "dangling-prev",
+		DefectLinkMismatch: "link-mismatch",
+		DefectBadCount:     "bad-count",
+		DefectKind(0):      "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// Property: RobustMap round-trips arbitrary keys/values and survives
+// primary corruption of every key.
+func TestMapProperty(t *testing.T) {
+	f := func(keys []string, values []int16) bool {
+		m := NewRobustMap()
+		n := len(keys)
+		if len(values) < n {
+			n = len(values)
+		}
+		expect := map[string]int{}
+		for i := 0; i < n; i++ {
+			m.Put(keys[i], int(values[i]))
+			expect[keys[i]] = int(values[i])
+		}
+		for k, want := range expect {
+			m.CorruptPrimary(k, int(^values[0]))
+			got, err := m.Get(k)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepairPrevCorruptedToValidNode(t *testing.T) {
+	// prev corrupted to a *valid* node id: the forward chain is intact,
+	// so Repair must trust it and rebuild prev from it.
+	l := buildList(t, 1, 2, 3)
+	ids := l.NodeIDs()
+	l.CorruptPrev(ids[2], ids[0]) // node2.prev wrongly points at node0
+	if len(l.Audit()) == 0 {
+		t.Fatal("valid-target prev corruption not detected")
+	}
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	wantValues(t, l, 1, 2, 3)
+}
+
+func TestRepairNextCorruptedToValidNode(t *testing.T) {
+	// next corrupted to a valid node (creating a skip): backward chain is
+	// intact and must win.
+	l := buildList(t, 1, 2, 3, 4)
+	ids := l.NodeIDs()
+	l.CorruptNext(ids[0], ids[2])
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	wantValues(t, l, 1, 2, 3, 4)
+}
+
+func TestRepairByMergeDoubleCorruption(t *testing.T) {
+	// Corrupting one next AND one prev breaks both traversal directions,
+	// forcing the pointwise merge strategy.
+	l := buildList(t, 0, 10, 20, 30, 40)
+	ids := l.NodeIDs()
+	l.CorruptNext(ids[1], 9999)
+	l.CorruptPrev(ids[3], 8888)
+	if len(l.Audit()) < 2 {
+		t.Fatal("double corruption under-detected")
+	}
+	if err := l.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	wantValues(t, l, 0, 10, 20, 30, 40)
+}
+
+func TestRepairByMergeUnrepairableDuplicatePredecessor(t *testing.T) {
+	// Two nodes claiming the same predecessor plus a broken next chain is
+	// beyond the available redundancy.
+	l := buildList(t, 1, 2, 3, 4, 5)
+	ids := l.NodeIDs()
+	l.CorruptPrev(ids[2], ids[0]) // node2 also claims node0 as predecessor
+	l.CorruptNext(ids[3], 9999)   // and the forward chain is broken
+	if err := l.Repair(); !errors.Is(err, ErrUnrepairable) {
+		t.Errorf("err = %v, want ErrUnrepairable", err)
+	}
+}
+
+func TestValuesDetectsCycle(t *testing.T) {
+	l := buildList(t, 1, 2, 3)
+	ids := l.NodeIDs()
+	l.CorruptNext(ids[2], ids[0]) // tail loops back to head
+	if _, err := l.Values(); !errors.Is(err, ErrCorrupted) {
+		t.Errorf("cycle err = %v, want ErrCorrupted", err)
+	}
+}
+
+func TestNodeIDsBoundedUnderCorruption(t *testing.T) {
+	l := buildList(t, 1, 2, 3)
+	ids := l.NodeIDs()
+	l.CorruptNext(ids[0], 424242)
+	got := l.NodeIDs() // must stop at the dangling reference, not hang
+	if len(got) != 1 {
+		t.Errorf("NodeIDs under corruption = %v", got)
+	}
+	l2 := buildList(t, 1, 2)
+	ids2 := l2.NodeIDs()
+	l2.CorruptNext(ids2[1], ids2[0]) // cycle
+	if got := l2.NodeIDs(); len(got) > 3 {
+		t.Errorf("NodeIDs did not bound a cyclic walk: %v", got)
+	}
+}
+
+func TestAuditSchedulerPeriodicRepair(t *testing.T) {
+	l := buildList(t, 1, 2, 3, 4)
+	sched, err := NewAuditScheduler(AsAuditable(l), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt, then tick through one period: the audit must detect and
+	// repair within Period operations.
+	ids := l.NodeIDs()
+	l.CorruptNext(ids[1], 9999)
+	audited := false
+	for i := 0; i < 5; i++ {
+		a, err := sched.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		audited = audited || a
+	}
+	if !audited {
+		t.Fatal("no audit ran within the period")
+	}
+	if sched.Audits != 1 || sched.DefectsFound == 0 || sched.Repairs != 1 {
+		t.Errorf("scheduler counters = %+v", sched)
+	}
+	wantValues(t, l, 1, 2, 3, 4)
+}
+
+func TestAuditSchedulerCleanPassesAreCheap(t *testing.T) {
+	l := buildList(t, 1)
+	sched, err := NewAuditScheduler(AsAuditable(l), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sched.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sched.Audits != 5 || sched.DefectsFound != 0 || sched.Repairs != 0 {
+		t.Errorf("counters = %+v", sched)
+	}
+}
+
+func TestAuditSchedulerRepairFailureReported(t *testing.T) {
+	l := buildList(t, 1, 2, 3, 4, 5)
+	ids := l.NodeIDs()
+	// Unrepairable double corruption (duplicate predecessor + broken next).
+	l.CorruptPrev(ids[2], ids[0])
+	l.CorruptNext(ids[3], 9999)
+	sched, err := NewAuditScheduler(AsAuditable(l), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Tick(); !errors.Is(err, ErrUnrepairable) {
+		t.Errorf("err = %v, want ErrUnrepairable", err)
+	}
+}
+
+func TestAuditSchedulerValidation(t *testing.T) {
+	if _, err := NewAuditScheduler(nil, 1); err == nil {
+		t.Error("nil target accepted")
+	}
+	if _, err := NewAuditScheduler(AsAuditable(NewRobustList()), 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package robustdata
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Software audits in the sense of Connet et al. run *periodically*: the
+// system checks its own integrity every so many operations, trading audit
+// overhead against the latency between a corruption and its detection
+// (during which reads may return wrong data or fail). AuditScheduler
+// packages that policy around any auditable structure.
+
+// Auditable is a structure that can check and repair its own redundant
+// data.
+type Auditable interface {
+	// Audit returns the number of defects found (0 means consistent).
+	AuditCount() int
+	// Repair reconstructs the structure from its redundancy.
+	Repair() error
+}
+
+// robustListAuditable adapts RobustList to the Auditable interface.
+type robustListAuditable struct{ l *RobustList }
+
+func (a robustListAuditable) AuditCount() int { return len(a.l.Audit()) }
+func (a robustListAuditable) Repair() error   { return a.l.Repair() }
+
+// AsAuditable exposes a RobustList through the Auditable interface.
+func AsAuditable(l *RobustList) Auditable { return robustListAuditable{l: l} }
+
+// AuditScheduler runs an audit-and-repair pass every Period operations.
+type AuditScheduler struct {
+	target Auditable
+	// Period is the number of operations between audits.
+	Period int
+
+	sinceAudit int
+	// Audits counts audit passes performed.
+	Audits int
+	// DefectsFound accumulates defects detected across all passes.
+	DefectsFound int
+	// Repairs counts repair invocations that succeeded.
+	Repairs int
+}
+
+// NewAuditScheduler builds a scheduler over target with the given period.
+func NewAuditScheduler(target Auditable, period int) (*AuditScheduler, error) {
+	if target == nil {
+		return nil, errors.New("robustdata: nil audit target")
+	}
+	if period < 1 {
+		return nil, errors.New("robustdata: audit period must be at least 1")
+	}
+	return &AuditScheduler{target: target, Period: period}, nil
+}
+
+// Tick records one structure operation; when the period elapses it audits
+// and, if defects are found, repairs. It reports whether an audit ran and
+// any repair error.
+func (s *AuditScheduler) Tick() (audited bool, err error) {
+	s.sinceAudit++
+	if s.sinceAudit < s.Period {
+		return false, nil
+	}
+	s.sinceAudit = 0
+	s.Audits++
+	defects := s.target.AuditCount()
+	if defects == 0 {
+		return true, nil
+	}
+	s.DefectsFound += defects
+	if err := s.target.Repair(); err != nil {
+		return true, fmt.Errorf("audit repair: %w", err)
+	}
+	s.Repairs++
+	return true, nil
+}

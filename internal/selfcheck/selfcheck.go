@@ -1,0 +1,272 @@
+// Package selfcheck implements self-checking programming (Laprie et al.):
+// each functionality is delivered by self-checking components that are
+// executed in parallel. A self-checking component is either an
+// implementation with a built-in acceptance test (an explicit
+// adjudicator) or a pair of independently designed implementations with a
+// final comparison (an implicit adjudicator). At runtime one component is
+// "acting" while the others are "hot spares"; when the acting component
+// fails its own check, it is discarded and the highest-priority healthy
+// spare is promoted, with no rollback needed because the spares computed
+// the result in parallel.
+//
+// Taxonomy position (paper Table 2): deliberate intention, code
+// redundancy, reactive explicit-or-implicit adjudicator, development
+// faults. Architectural pattern: parallel selection (Figure 1b).
+package selfcheck
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// Component is a self-checking component: it computes a result and judges
+// its own correctness.
+type Component[I, O any] interface {
+	// Name identifies the component.
+	Name() string
+	// Run computes the result and applies the component's built-in
+	// check. A non-nil error means the component detected its own
+	// failure.
+	Run(ctx context.Context, input I) (O, error)
+}
+
+// testedComponent is an implementation guarded by a built-in acceptance
+// test (explicit adjudicator).
+type testedComponent[I, O any] struct {
+	impl core.Variant[I, O]
+	test core.AcceptanceTest[I, O]
+}
+
+var _ Component[int, int] = (*testedComponent[int, int])(nil)
+
+// WithTest builds a self-checking component from an implementation and a
+// built-in acceptance test.
+func WithTest[I, O any](impl core.Variant[I, O], test core.AcceptanceTest[I, O]) (Component[I, O], error) {
+	if impl == nil {
+		return nil, core.ErrNoVariants
+	}
+	if test == nil {
+		return nil, fmt.Errorf("selfcheck: nil acceptance test")
+	}
+	return &testedComponent[I, O]{impl: impl, test: test}, nil
+}
+
+func (c *testedComponent[I, O]) Name() string { return c.impl.Name() }
+
+func (c *testedComponent[I, O]) Run(ctx context.Context, input I) (O, error) {
+	var zero O
+	out, err := c.impl.Execute(ctx, input)
+	if err != nil {
+		return zero, err
+	}
+	if err := c.test(input, out); err != nil {
+		return zero, fmt.Errorf("built-in test of %s: %w", c.impl.Name(), err)
+	}
+	return out, nil
+}
+
+// pairComponent is a pair of independently designed implementations with
+// a final comparison (implicit adjudicator).
+type pairComponent[I, O any] struct {
+	a, b core.Variant[I, O]
+	eq   core.Equal[O]
+}
+
+var _ Component[int, int] = (*pairComponent[int, int])(nil)
+
+// Pair builds a self-checking component from two independently designed
+// implementations whose results are compared with eq.
+func Pair[I, O any](a, b core.Variant[I, O], eq core.Equal[O]) (Component[I, O], error) {
+	if a == nil || b == nil {
+		return nil, core.ErrNoVariants
+	}
+	if eq == nil {
+		return nil, fmt.Errorf("selfcheck: nil equality")
+	}
+	return &pairComponent[I, O]{a: a, b: b, eq: eq}, nil
+}
+
+func (c *pairComponent[I, O]) Name() string {
+	return c.a.Name() + "+" + c.b.Name()
+}
+
+func (c *pairComponent[I, O]) Run(ctx context.Context, input I) (O, error) {
+	var zero O
+	var (
+		wg         sync.WaitGroup
+		outA, outB O
+		errA, errB error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		outA, errA = c.a.Execute(ctx, input)
+	}()
+	go func() {
+		defer wg.Done()
+		outB, errB = c.b.Execute(ctx, input)
+	}()
+	wg.Wait()
+	if errA != nil {
+		return zero, fmt.Errorf("half %s: %w", c.a.Name(), errA)
+	}
+	if errB != nil {
+		return zero, fmt.Errorf("half %s: %w", c.b.Name(), errB)
+	}
+	if !c.eq(outA, outB) {
+		return zero, fmt.Errorf("pair %s: %w", c.Name(), core.ErrDivergence)
+	}
+	return outA, nil
+}
+
+// System executes self-checking components in parallel with hot-spare
+// promotion: the first configured healthy component is the acting one;
+// components whose self-check fails are discarded permanently, consuming
+// the initial redundancy, as the paper notes for deliberate code
+// redundancy.
+type System[I, O any] struct {
+	metrics *core.Metrics
+
+	mu         sync.Mutex
+	components []Component[I, O]
+	discarded  map[string]bool
+}
+
+var _ core.Executor[int, int] = (*System[int, int])(nil)
+
+// Option configures a System.
+type Option[I, O any] func(*System[I, O])
+
+// WithMetrics attaches a metrics collector.
+func WithMetrics[I, O any](m *core.Metrics) Option[I, O] {
+	return func(s *System[I, O]) { s.metrics = m }
+}
+
+// NewSystem builds a self-checking system; the first component acts, the
+// rest are hot spares in promotion order.
+func NewSystem[I, O any](components []Component[I, O], opts ...Option[I, O]) (*System[I, O], error) {
+	if len(components) == 0 {
+		return nil, core.ErrNoVariants
+	}
+	cs := make([]Component[I, O], len(components))
+	copy(cs, components)
+	s := &System[I, O]{
+		components: cs,
+		discarded:  make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Acting returns the name of the current acting component, or "" if all
+// components have been discarded.
+func (s *System[I, O]) Acting() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.components {
+		if !s.discarded[c.Name()] {
+			return c.Name()
+		}
+	}
+	return ""
+}
+
+// Discarded returns the names of discarded components in configuration
+// order.
+func (s *System[I, O]) Discarded() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for _, c := range s.components {
+		if s.discarded[c.Name()] {
+			names = append(names, c.Name())
+		}
+	}
+	return names
+}
+
+// Execute implements core.Executor: all healthy components run in
+// parallel; the acting component's result is delivered if its self-check
+// passes, otherwise the component is discarded and the next healthy
+// spare's result is delivered, and so on.
+func (s *System[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	var zero O
+
+	s.mu.Lock()
+	var live []Component[I, O]
+	for _, c := range s.components {
+		if !s.discarded[c.Name()] {
+			live = append(live, c)
+		}
+	}
+	s.mu.Unlock()
+
+	if s.metrics != nil {
+		s.metrics.RecordRequest()
+		s.metrics.RecordVariantExecutions(len(live))
+	}
+	if len(live) == 0 {
+		if s.metrics != nil {
+			s.metrics.RecordFailure()
+		}
+		return zero, fmt.Errorf("all self-checking components discarded: %w", core.ErrAllVariantsFailed)
+	}
+
+	type outcome struct {
+		value O
+		err   error
+	}
+	outcomes := make([]outcome, len(live))
+	var wg sync.WaitGroup
+	for i, c := range live {
+		wg.Add(1)
+		go func(i int, c Component[I, O]) {
+			defer wg.Done()
+			v, err := c.Run(ctx, input)
+			outcomes[i] = outcome{value: v, err: err}
+		}(i, c)
+	}
+	wg.Wait()
+
+	delivered := false
+	var value O
+	failures := 0
+	for i, c := range live {
+		if outcomes[i].err != nil {
+			failures++
+			s.discard(c.Name())
+			continue
+		}
+		if !delivered {
+			delivered = true
+			value = outcomes[i].value
+		}
+	}
+
+	if s.metrics != nil {
+		if failures > 0 {
+			s.metrics.RecordFailureDetected()
+		}
+		switch {
+		case !delivered:
+			s.metrics.RecordFailure()
+		case failures > 0:
+			s.metrics.RecordFailureMasked()
+		}
+	}
+	if !delivered {
+		return zero, core.ErrAllVariantsFailed
+	}
+	return value, nil
+}
+
+func (s *System[I, O]) discard(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.discarded[name] = true
+}

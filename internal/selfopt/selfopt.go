@@ -1,0 +1,145 @@
+// Package selfopt implements self-optimizing code (Diaconescu et al.;
+// Naccache and Gannod for web services): the same functionality is
+// implemented by several components, each optimized for different runtime
+// conditions, and a monitoring framework switches the active
+// implementation when the observed quality of service crosses a
+// threshold.
+//
+// Taxonomy position (paper Table 2): deliberate intention, code
+// redundancy, reactive explicit adjudicator (a QoS monitor with an
+// explicit threshold), development faults (here: performance faults).
+package selfopt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// Profile couples an implementation with its latency model: the latency
+// (in abstract time units) the implementation exhibits as a function of
+// the current load in [0,1]. Profiles let experiments model components
+// "optimized for different runtime conditions" — e.g. an implementation
+// with low constant overhead that degrades steeply under load versus a
+// heavier implementation that scales flatly.
+type Profile[I, O any] struct {
+	// Variant is the implementation.
+	Variant core.Variant[I, O]
+	// Latency models the implementation's response time under load.
+	Latency func(load float64) float64
+}
+
+// Optimizer serves requests through the currently selected implementation
+// and switches implementations when the moving average of observed
+// latencies exceeds the QoS threshold.
+type Optimizer[I, O any] struct {
+	profiles  []Profile[I, O]
+	current   int
+	threshold float64
+	window    int
+	loadProbe func() float64
+
+	observed []float64
+	// Switches counts implementation changes.
+	Switches int
+	// LastLatency is the latency observed for the most recent request.
+	LastLatency float64
+}
+
+var _ core.Executor[int, int] = (*Optimizer[int, int])(nil)
+
+// NewOptimizer builds a self-optimizing executor.
+//
+// threshold is the QoS bound on the moving-average latency; window is the
+// number of recent requests averaged; loadProbe samples the current load
+// (in [0,1]) before each request.
+func NewOptimizer[I, O any](profiles []Profile[I, O], threshold float64, window int, loadProbe func() float64) (*Optimizer[I, O], error) {
+	if len(profiles) == 0 {
+		return nil, core.ErrNoVariants
+	}
+	for i, p := range profiles {
+		if p.Variant == nil || p.Latency == nil {
+			return nil, fmt.Errorf("selfopt: profile %d incomplete", i)
+		}
+	}
+	if threshold <= 0 {
+		return nil, errors.New("selfopt: threshold must be positive")
+	}
+	if window < 1 {
+		return nil, errors.New("selfopt: window must be at least 1")
+	}
+	if loadProbe == nil {
+		return nil, errors.New("selfopt: nil load probe")
+	}
+	ps := make([]Profile[I, O], len(profiles))
+	copy(ps, profiles)
+	return &Optimizer[I, O]{
+		profiles:  ps,
+		threshold: threshold,
+		window:    window,
+		loadProbe: loadProbe,
+	}, nil
+}
+
+// Current returns the name of the active implementation.
+func (o *Optimizer[I, O]) Current() string {
+	return o.profiles[o.current].Variant.Name()
+}
+
+// Execute implements core.Executor: it serves the request with the active
+// implementation, records the modeled latency, and re-selects the best
+// implementation for the present load when QoS degrades.
+func (o *Optimizer[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	load := o.loadProbe()
+	p := o.profiles[o.current]
+	o.LastLatency = p.Latency(load)
+	o.observe(o.LastLatency)
+
+	out, err := p.Variant.Execute(ctx, input)
+	if err != nil {
+		var zero O
+		return zero, err
+	}
+
+	if o.movingAverage() > o.threshold {
+		if best := o.bestFor(load); best != o.current {
+			o.current = best
+			o.Switches++
+			o.observed = o.observed[:0] // fresh window for the new impl
+		}
+	}
+	return out, nil
+}
+
+func (o *Optimizer[I, O]) observe(latency float64) {
+	o.observed = append(o.observed, latency)
+	if len(o.observed) > o.window {
+		o.observed = o.observed[len(o.observed)-o.window:]
+	}
+}
+
+func (o *Optimizer[I, O]) movingAverage() float64 {
+	if len(o.observed) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range o.observed {
+		sum += v
+	}
+	return sum / float64(len(o.observed))
+}
+
+// bestFor returns the index of the profile with the lowest modeled
+// latency at the given load.
+func (o *Optimizer[I, O]) bestFor(load float64) int {
+	best := 0
+	bestLat := o.profiles[0].Latency(load)
+	for i := 1; i < len(o.profiles); i++ {
+		if lat := o.profiles[i].Latency(load); lat < bestLat {
+			best, bestLat = i, lat
+		}
+	}
+	return best
+}

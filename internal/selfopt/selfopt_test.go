@@ -1,0 +1,156 @@
+package selfopt
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+func impl(name string) core.Variant[int, int] {
+	return core.NewVariant(name, func(_ context.Context, x int) (int, error) {
+		return x, nil
+	})
+}
+
+// twoProfiles models the classic trade-off: "light" is fast when idle but
+// degrades steeply with load; "heavy" has higher constant cost but scales
+// flat.
+func twoProfiles() []Profile[int, int] {
+	return []Profile[int, int]{
+		{Variant: impl("light"), Latency: func(load float64) float64 { return 1 + 20*load }},
+		{Variant: impl("heavy"), Latency: func(load float64) float64 { return 6 }},
+	}
+}
+
+func TestStaysOnBestImplementationWhenIdle(t *testing.T) {
+	load := 0.1
+	o, err := NewOptimizer(twoProfiles(), 5, 3, func() float64 { return load })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := o.Execute(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Current() != "light" || o.Switches != 0 {
+		t.Errorf("current = %s, switches = %d", o.Current(), o.Switches)
+	}
+}
+
+func TestSwitchesUnderLoad(t *testing.T) {
+	load := 0.1
+	o, err := NewOptimizer(twoProfiles(), 5, 3, func() float64 { return load })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := o.Execute(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load = 0.9 // light now costs 19 > threshold 5; heavy costs 6
+	for i := 0; i < 5; i++ {
+		if _, err := o.Execute(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Current() != "heavy" {
+		t.Errorf("current = %s, want heavy under load", o.Current())
+	}
+	if o.Switches != 1 {
+		t.Errorf("switches = %d, want 1", o.Switches)
+	}
+}
+
+func TestSwitchImprovesQoS(t *testing.T) {
+	load := 0.9
+	o, err := NewOptimizer(twoProfiles(), 5, 1, func() float64 { return load })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First request on light at high load: latency 19.
+	if _, err := o.Execute(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	first := o.LastLatency
+	// Second request should already use heavy: latency 6.
+	if _, err := o.Execute(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.LastLatency >= first {
+		t.Errorf("latency did not improve: %f -> %f", first, o.LastLatency)
+	}
+}
+
+func TestSwitchesBackWhenLoadDrops(t *testing.T) {
+	load := 0.9
+	o, err := NewOptimizer(twoProfiles(), 5, 1, func() float64 { return load })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = o.Execute(context.Background(), 0) // switches to heavy
+	if o.Current() != "heavy" {
+		t.Fatalf("setup failed: current = %s", o.Current())
+	}
+	load = 0.05
+	// heavy's latency 6 still exceeds threshold 5, prompting re-selection
+	// toward light (latency 2 at load 0.05).
+	_, _ = o.Execute(context.Background(), 1)
+	if o.Current() != "light" {
+		t.Errorf("current = %s, want light after load drop", o.Current())
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	bad := core.NewVariant("bad", func(_ context.Context, _ int) (int, error) {
+		return 0, boom
+	})
+	o, err := NewOptimizer([]Profile[int, int]{
+		{Variant: bad, Latency: func(float64) float64 { return 1 }},
+	}, 10, 2, func() float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Execute(context.Background(), 0); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	ps := twoProfiles()
+	probe := func() float64 { return 0 }
+	if _, err := NewOptimizer[int, int](nil, 5, 3, probe); !errors.Is(err, core.ErrNoVariants) {
+		t.Errorf("no profiles: %v", err)
+	}
+	if _, err := NewOptimizer([]Profile[int, int]{{Variant: impl("x")}}, 5, 3, probe); err == nil {
+		t.Error("nil latency model accepted")
+	}
+	if _, err := NewOptimizer(ps, 0, 3, probe); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewOptimizer(ps, 5, 0, probe); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewOptimizer(ps, 5, 3, nil); err == nil {
+		t.Error("nil probe accepted")
+	}
+}
+
+func TestWindowBoundsObservations(t *testing.T) {
+	o, err := NewOptimizer(twoProfiles(), 1000, 4, func() float64 { return 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := o.Execute(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(o.observed) > 4 {
+		t.Errorf("window grew to %d", len(o.observed))
+	}
+}

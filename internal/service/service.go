@@ -1,0 +1,367 @@
+// Package service implements dynamic service substitution: the
+// opportunistic exploitation of independently developed services that
+// implement the same or similar interfaces. On failure of the bound
+// provider, a registry lookup finds an alternative implementation —
+// exact-interface matches first (Subramanian et al.), then services with
+// sufficiently similar interfaces adapted through converters (Taher et
+// al.) — and a transparent proxy rebinds the application without manual
+// modification (Sadjadi's transparent shaping, Mosincat's dynamic
+// binding, including stateful services via a state-transfer hook).
+//
+// Taxonomy position (paper Table 2): opportunistic intention, code
+// redundancy, reactive explicit adjudicator, development faults.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// Service errors.
+var (
+	// ErrServiceDown reports an unavailable provider.
+	ErrServiceDown = errors.New("service: provider down")
+	// ErrUnknownOp reports an operation the provider does not implement.
+	ErrUnknownOp = errors.New("service: unknown operation")
+	// ErrNoProvider reports that no (further) substitute could be found.
+	ErrNoProvider = errors.New("service: no provider available")
+)
+
+// Signature describes a service interface: a name and its operation set.
+type Signature struct {
+	// Name is the interface name.
+	Name string
+	// Ops are the operation names the interface offers.
+	Ops []string
+}
+
+// Similarity returns the fraction of s's operations that t also offers —
+// the interface-similarity measure used to search substitute services
+// beyond exact matches.
+func Similarity(s, t Signature) float64 {
+	if len(s.Ops) == 0 {
+		return 0
+	}
+	offered := make(map[string]bool, len(t.Ops))
+	for _, op := range t.Ops {
+		offered[op] = true
+	}
+	matched := 0
+	for _, op := range s.Ops {
+		if offered[op] {
+			matched++
+		}
+	}
+	return float64(matched) / float64(len(s.Ops))
+}
+
+// Service is one provider of an interface.
+type Service interface {
+	// Name identifies the provider.
+	Name() string
+	// Signature returns the provider's interface.
+	Signature() Signature
+	// Invoke performs one operation.
+	Invoke(ctx context.Context, op string, arg int) (int, error)
+}
+
+// SimService is a simulated provider with an availability model: it can
+// be hard down (SetDown) or flaky (failing each invocation with a fixed
+// probability), which is how experiments model server and network
+// problems of real service-oriented systems.
+type SimService struct {
+	name     string
+	sig      Signature
+	handlers map[string]func(arg int) (int, error)
+
+	down     bool
+	failProb float64
+	rng      *xrand.Rand
+
+	// Invocations counts Invoke calls (including failed ones).
+	Invocations int
+}
+
+var _ Service = (*SimService)(nil)
+
+// NewSimService creates a provider for the given interface with one
+// handler per operation.
+func NewSimService(name string, sig Signature, handlers map[string]func(int) (int, error)) (*SimService, error) {
+	if name == "" {
+		return nil, errors.New("service: empty name")
+	}
+	for _, op := range sig.Ops {
+		if handlers[op] == nil {
+			return nil, fmt.Errorf("service: %s lacks a handler for op %q", name, op)
+		}
+	}
+	hs := make(map[string]func(int) (int, error), len(handlers))
+	for k, v := range handlers {
+		hs[k] = v
+	}
+	ops := make([]string, len(sig.Ops))
+	copy(ops, sig.Ops)
+	return &SimService{
+		name:     name,
+		sig:      Signature{Name: sig.Name, Ops: ops},
+		handlers: hs,
+	}, nil
+}
+
+// SetDown marks the provider hard down (or up again).
+func (s *SimService) SetDown(down bool) { s.down = down }
+
+// SetFlaky makes each invocation fail with probability p, drawn from rng.
+func (s *SimService) SetFlaky(p float64, rng *xrand.Rand) {
+	s.failProb = p
+	s.rng = rng
+}
+
+// Name implements Service.
+func (s *SimService) Name() string { return s.name }
+
+// Signature implements Service.
+func (s *SimService) Signature() Signature {
+	ops := make([]string, len(s.sig.Ops))
+	copy(ops, s.sig.Ops)
+	return Signature{Name: s.sig.Name, Ops: ops}
+}
+
+// Invoke implements Service.
+func (s *SimService) Invoke(_ context.Context, op string, arg int) (int, error) {
+	s.Invocations++
+	if s.down {
+		return 0, fmt.Errorf("%s: %w", s.name, ErrServiceDown)
+	}
+	if s.failProb > 0 && s.rng != nil && s.rng.Bool(s.failProb) {
+		return 0, fmt.Errorf("%s transient failure: %w", s.name, ErrServiceDown)
+	}
+	h, ok := s.handlers[op]
+	if !ok {
+		return 0, fmt.Errorf("%s op %q: %w", s.name, op, ErrUnknownOp)
+	}
+	return h(arg)
+}
+
+// Converter renames operations so a similar-but-different interface can
+// substitute the wanted one (Taher-style adaptation): keys are wanted op
+// names, values the provider's op names.
+type Converter map[string]string
+
+// adapted wraps a provider with a converter.
+type adapted struct {
+	inner Service
+	conv  Converter
+}
+
+var _ Service = (*adapted)(nil)
+
+// Adapt wraps svc so that wanted operation names are converted before
+// invocation.
+func Adapt(svc Service, conv Converter) Service {
+	c := make(Converter, len(conv))
+	for k, v := range conv {
+		c[k] = v
+	}
+	return &adapted{inner: svc, conv: c}
+}
+
+func (a *adapted) Name() string { return a.inner.Name() + "(adapted)" }
+
+func (a *adapted) Signature() Signature { return a.inner.Signature() }
+
+func (a *adapted) Invoke(ctx context.Context, op string, arg int) (int, error) {
+	if target, ok := a.conv[op]; ok {
+		op = target
+	}
+	return a.inner.Invoke(ctx, op, arg)
+}
+
+// Registry indexes available providers.
+type Registry struct {
+	services []Service
+	// converters[provider name] adapts that provider to wanted interfaces.
+	converters map[string]Converter
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{converters: make(map[string]Converter)}
+}
+
+// Register adds a provider, optionally with a converter that adapts it to
+// interfaces it does not match exactly (pass nil when not needed).
+func (r *Registry) Register(svc Service, conv Converter) error {
+	if svc == nil {
+		return errors.New("service: nil service")
+	}
+	r.services = append(r.services, svc)
+	if conv != nil {
+		c := make(Converter, len(conv))
+		for k, v := range conv {
+			c[k] = v
+		}
+		r.converters[svc.Name()] = c
+	}
+	return nil
+}
+
+// FindExact returns the providers whose interface offers every wanted
+// operation, in registration order.
+func (r *Registry) FindExact(want Signature) []Service {
+	var out []Service
+	for _, s := range r.services {
+		if Similarity(want, s.Signature()) == 1 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FindSimilar returns providers with interface similarity of at least
+// minSim (exclusive of exact matches), adapted through their registered
+// converters, best match first.
+func (r *Registry) FindSimilar(want Signature, minSim float64) []Service {
+	type scored struct {
+		svc Service
+		sim float64
+	}
+	var candidates []scored
+	for _, s := range r.services {
+		sim := Similarity(want, s.Signature())
+		if sim >= 1 || sim < minSim {
+			continue
+		}
+		svc := s
+		if conv, ok := r.converters[s.Name()]; ok {
+			svc = Adapt(s, conv)
+			// With the converter, coverage may become complete.
+			candidates = append(candidates, scored{svc: svc, sim: sim + 0.5})
+			continue
+		}
+		candidates = append(candidates, scored{svc: svc, sim: sim})
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return candidates[i].sim > candidates[j].sim
+	})
+	out := make([]Service, len(candidates))
+	for i, c := range candidates {
+		out[i] = c.svc
+	}
+	return out
+}
+
+// Proxy is the transparent rebinding client: it invokes the bound
+// provider and, on failure, substitutes an alternative found in the
+// registry, transferring state through the optional hook.
+type Proxy struct {
+	registry *Registry
+	want     Signature
+	bound    Service
+	minSim   float64
+
+	// OnRebind, if set, transfers state from the failed provider to the
+	// substitute before the retry (stateful services à la Mosincat).
+	OnRebind func(from, to Service) error
+
+	// Substitutions counts successful rebinds.
+	Substitutions int
+}
+
+// NewProxy binds the first exact provider for want.
+func NewProxy(registry *Registry, want Signature, minSim float64) (*Proxy, error) {
+	if registry == nil {
+		return nil, errors.New("service: nil registry")
+	}
+	p := &Proxy{registry: registry, want: want, minSim: minSim}
+	if err := p.rebind(nil); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Bound returns the currently bound provider's name.
+func (p *Proxy) Bound() string {
+	if p.bound == nil {
+		return ""
+	}
+	return p.bound.Name()
+}
+
+// rebind selects the best provider, skipping the failed one.
+func (p *Proxy) rebind(failed Service) error {
+	candidates := append(p.registry.FindExact(p.want), p.registry.FindSimilar(p.want, p.minSim)...)
+	for _, c := range candidates {
+		if failed != nil && c.Name() == failed.Name() {
+			continue
+		}
+		if p.bound != nil && failed != nil && c.Name() == p.bound.Name() {
+			continue
+		}
+		if failed != nil && p.OnRebind != nil {
+			if err := p.OnRebind(failed, c); err != nil {
+				return fmt.Errorf("state transfer to %s: %w", c.Name(), err)
+			}
+		}
+		p.bound = c
+		return nil
+	}
+	return ErrNoProvider
+}
+
+// Invoke performs op through the bound provider, substituting on failure.
+// Each failure triggers at most one substitution per remaining candidate.
+func (p *Proxy) Invoke(ctx context.Context, op string, arg int) (int, error) {
+	if p.bound == nil {
+		return 0, ErrNoProvider
+	}
+	tried := map[string]bool{}
+	for {
+		out, err := p.bound.Invoke(ctx, op, arg)
+		if err == nil {
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		tried[p.bound.Name()] = true
+		failed := p.bound
+		if rerr := p.rebindSkipping(failed, tried); rerr != nil {
+			return 0, fmt.Errorf("%w: last error: %w", ErrNoProvider, err)
+		}
+		p.Substitutions++
+	}
+}
+
+// rebindSkipping rebinds to a provider not yet tried in this invocation.
+func (p *Proxy) rebindSkipping(failed Service, tried map[string]bool) error {
+	candidates := append(p.registry.FindExact(p.want), p.registry.FindSimilar(p.want, p.minSim)...)
+	for _, c := range candidates {
+		base := c.Name()
+		if tried[base] || tried[trimAdapted(base)] {
+			continue
+		}
+		if p.OnRebind != nil {
+			if err := p.OnRebind(failed, c); err != nil {
+				return fmt.Errorf("state transfer to %s: %w", c.Name(), err)
+			}
+		}
+		p.bound = c
+		return nil
+	}
+	return ErrNoProvider
+}
+
+// trimAdapted strips the "(adapted)" suffix so an adapted provider is not
+// retried when its raw form already failed.
+func trimAdapted(name string) string {
+	const suffix = "(adapted)"
+	if len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix {
+		return name[:len(name)-len(suffix)]
+	}
+	return name
+}

@@ -1,0 +1,319 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+var calcSig = Signature{Name: "calculator", Ops: []string{"add", "mul"}}
+
+func calcService(t *testing.T, name string) *SimService {
+	t.Helper()
+	s, err := NewSimService(name, calcSig, map[string]func(int) (int, error){
+		"add": func(x int) (int, error) { return x + 1, nil },
+		"mul": func(x int) (int, error) { return x * 2, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// arithService offers a similar interface with different op names.
+func arithService(t *testing.T, name string) *SimService {
+	t.Helper()
+	s, err := NewSimService(name, Signature{Name: "arith", Ops: []string{"plus", "mul"}},
+		map[string]func(int) (int, error){
+			"plus": func(x int) (int, error) { return x + 1, nil },
+			"mul":  func(x int) (int, error) { return x * 2, nil },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimilarity(t *testing.T) {
+	a := Signature{Ops: []string{"x", "y"}}
+	b := Signature{Ops: []string{"x", "y", "z"}}
+	c := Signature{Ops: []string{"x"}}
+	if got := Similarity(a, b); got != 1 {
+		t.Errorf("Similarity(a, b) = %f", got)
+	}
+	if got := Similarity(a, c); got != 0.5 {
+		t.Errorf("Similarity(a, c) = %f", got)
+	}
+	if got := Similarity(Signature{}, b); got != 0 {
+		t.Errorf("empty wanted = %f", got)
+	}
+}
+
+func TestSimServiceInvoke(t *testing.T) {
+	s := calcService(t, "c1")
+	got, err := s.Invoke(context.Background(), "add", 4)
+	if err != nil || got != 5 {
+		t.Errorf("= (%d, %v)", got, err)
+	}
+	if _, err := s.Invoke(context.Background(), "div", 4); !errors.Is(err, ErrUnknownOp) {
+		t.Errorf("err = %v", err)
+	}
+	s.SetDown(true)
+	if _, err := s.Invoke(context.Background(), "add", 4); !errors.Is(err, ErrServiceDown) {
+		t.Errorf("err = %v", err)
+	}
+	if s.Invocations != 3 {
+		t.Errorf("Invocations = %d", s.Invocations)
+	}
+}
+
+func TestSimServiceFlaky(t *testing.T) {
+	s := calcService(t, "c1")
+	s.SetFlaky(0.5, xrand.New(1))
+	failures := 0
+	for i := 0; i < 2000; i++ {
+		if _, err := s.Invoke(context.Background(), "add", 1); err != nil {
+			failures++
+		}
+	}
+	rate := float64(failures) / 2000
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Errorf("flaky rate = %f, want ~0.5", rate)
+	}
+}
+
+func TestSimServiceValidation(t *testing.T) {
+	if _, err := NewSimService("", calcSig, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewSimService("x", calcSig, map[string]func(int) (int, error){}); err == nil {
+		t.Error("missing handlers accepted")
+	}
+}
+
+func TestRegistryFindExact(t *testing.T) {
+	r := NewRegistry()
+	c1 := calcService(t, "c1")
+	a1 := arithService(t, "a1")
+	if err := r.Register(c1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(a1, nil); err != nil {
+		t.Fatal(err)
+	}
+	exact := r.FindExact(calcSig)
+	if len(exact) != 1 || exact[0].Name() != "c1" {
+		t.Errorf("exact = %v", exact)
+	}
+}
+
+func TestRegistryFindSimilarWithConverter(t *testing.T) {
+	r := NewRegistry()
+	a1 := arithService(t, "a1")
+	if err := r.Register(a1, Converter{"add": "plus"}); err != nil {
+		t.Fatal(err)
+	}
+	similar := r.FindSimilar(calcSig, 0.4)
+	if len(similar) != 1 {
+		t.Fatalf("similar = %v", similar)
+	}
+	got, err := similar[0].Invoke(context.Background(), "add", 4)
+	if err != nil || got != 5 {
+		t.Errorf("adapted invoke = (%d, %v)", got, err)
+	}
+}
+
+func TestRegistryFindSimilarThreshold(t *testing.T) {
+	r := NewRegistry()
+	a1 := arithService(t, "a1") // similarity 0.5 ("mul" matches, "add" doesn't)
+	if err := r.Register(a1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.FindSimilar(calcSig, 0.9); len(got) != 0 {
+		t.Errorf("threshold not enforced: %v", got)
+	}
+	if got := r.FindSimilar(calcSig, 0.5); len(got) != 1 {
+		t.Errorf("qualifying provider missed: %v", got)
+	}
+}
+
+func TestRegistryRegisterNil(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(nil, nil); err == nil {
+		t.Error("nil service accepted")
+	}
+}
+
+func TestProxyBindsExactProvider(t *testing.T) {
+	r := NewRegistry()
+	c1 := calcService(t, "c1")
+	if err := r.Register(c1, nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy(r, calcSig, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bound() != "c1" {
+		t.Errorf("bound = %s", p.Bound())
+	}
+	got, err := p.Invoke(context.Background(), "mul", 3)
+	if err != nil || got != 6 {
+		t.Errorf("= (%d, %v)", got, err)
+	}
+}
+
+func TestProxySubstitutesOnFailure(t *testing.T) {
+	r := NewRegistry()
+	c1 := calcService(t, "c1")
+	c2 := calcService(t, "c2")
+	if err := r.Register(c1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(c2, nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy(r, calcSig, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.SetDown(true)
+	got, err := p.Invoke(context.Background(), "add", 1)
+	if err != nil || got != 2 {
+		t.Fatalf("= (%d, %v)", got, err)
+	}
+	if p.Bound() != "c2" || p.Substitutions != 1 {
+		t.Errorf("bound = %s, substitutions = %d", p.Bound(), p.Substitutions)
+	}
+}
+
+func TestProxyFallsBackToSimilarService(t *testing.T) {
+	r := NewRegistry()
+	c1 := calcService(t, "c1")
+	a1 := arithService(t, "a1")
+	if err := r.Register(c1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(a1, Converter{"add": "plus"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy(r, calcSig, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.SetDown(true)
+	got, err := p.Invoke(context.Background(), "add", 10)
+	if err != nil || got != 11 {
+		t.Fatalf("= (%d, %v)", got, err)
+	}
+	if p.Bound() != "a1(adapted)" {
+		t.Errorf("bound = %s", p.Bound())
+	}
+}
+
+func TestProxyAllProvidersDown(t *testing.T) {
+	r := NewRegistry()
+	c1 := calcService(t, "c1")
+	c2 := calcService(t, "c2")
+	_ = r.Register(c1, nil)
+	_ = r.Register(c2, nil)
+	p, err := NewProxy(r, calcSig, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.SetDown(true)
+	c2.SetDown(true)
+	if _, err := p.Invoke(context.Background(), "add", 1); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestProxyNoProviderAtConstruction(t *testing.T) {
+	r := NewRegistry()
+	if _, err := NewProxy(r, calcSig, 0.5); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NewProxy(nil, calcSig, 0.5); err == nil {
+		t.Error("nil registry accepted")
+	}
+}
+
+func TestProxyStatefulRebindHook(t *testing.T) {
+	r := NewRegistry()
+	c1 := calcService(t, "c1")
+	c2 := calcService(t, "c2")
+	_ = r.Register(c1, nil)
+	_ = r.Register(c2, nil)
+	p, err := NewProxy(r, calcSig, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var transferred []string
+	p.OnRebind = func(from, to Service) error {
+		transferred = append(transferred, from.Name()+"->"+to.Name())
+		return nil
+	}
+	c1.SetDown(true)
+	if _, err := p.Invoke(context.Background(), "add", 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(transferred) != 1 || transferred[0] != "c1->c2" {
+		t.Errorf("transfers = %v", transferred)
+	}
+}
+
+func TestProxyStateTransferFailureAborts(t *testing.T) {
+	r := NewRegistry()
+	c1 := calcService(t, "c1")
+	c2 := calcService(t, "c2")
+	_ = r.Register(c1, nil)
+	_ = r.Register(c2, nil)
+	p, err := NewProxy(r, calcSig, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.OnRebind = func(_, _ Service) error { return errors.New("state too large") }
+	c1.SetDown(true)
+	if _, err := p.Invoke(context.Background(), "add", 1); !errors.Is(err, ErrNoProvider) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestProxyRecoveredProviderReusedNextInvocation(t *testing.T) {
+	r := NewRegistry()
+	c1 := calcService(t, "c1")
+	c2 := calcService(t, "c2")
+	_ = r.Register(c1, nil)
+	_ = r.Register(c2, nil)
+	p, err := NewProxy(r, calcSig, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.SetDown(true)
+	if _, err := p.Invoke(context.Background(), "add", 1); err != nil {
+		t.Fatal(err)
+	}
+	// c2 now bound; if c2 later fails and c1 recovered, the proxy finds
+	// c1 again on the next invocation.
+	c1.SetDown(false)
+	c2.SetDown(true)
+	got, err := p.Invoke(context.Background(), "add", 5)
+	if err != nil || got != 6 {
+		t.Fatalf("= (%d, %v)", got, err)
+	}
+	if p.Bound() != "c1" {
+		t.Errorf("bound = %s", p.Bound())
+	}
+}
+
+func TestAdaptPassthroughForUnmappedOps(t *testing.T) {
+	a1 := arithService(t, "a1")
+	ad := Adapt(a1, Converter{"add": "plus"})
+	got, err := ad.Invoke(context.Background(), "mul", 3)
+	if err != nil || got != 6 {
+		t.Errorf("= (%d, %v)", got, err)
+	}
+}

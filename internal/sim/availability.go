@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/avail"
+	"github.com/softwarefaults/redundancy/internal/des"
+	"github.com/softwarefaults/redundancy/internal/service"
+	"github.com/softwarefaults/redundancy/internal/stats"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// availabilityExperiment runs the time-based counterpart of E13: service
+// providers alternate between up and down states with exponential holding
+// times (MTBF/MTTR) on a discrete-event clock; a client samples the
+// composite availability with and without substitution. The measured
+// availabilities must match the closed-form dependability algebra: A =
+// MTBF/(MTBF+MTTR) for a single binding, and (with fast rebinding)
+// approximately 1-(1-A)^n for n independently failing providers.
+func availabilityExperiment() Experiment {
+	return Experiment{
+		ID:       "availability",
+		Index:    "E21",
+		Artifact: "Section 5.1 (service substitution, time-based availability model)",
+		Title:    "Measured vs analytic availability under failure/repair processes",
+		Run: func(seed uint64) ([]*stats.Table, error) {
+			const (
+				mtbf     = 900.0
+				mttr     = 100.0
+				horizon  = 200000.0
+				sampleDt = 10.0
+			)
+			analyticSingle, err := avail.Availability(
+				time.Duration(mtbf)*time.Second, time.Duration(mttr)*time.Second)
+			if err != nil {
+				return nil, err
+			}
+
+			table := stats.NewTable(
+				fmt.Sprintf("Availability over %d time units (MTBF %.0f, MTTR %.0f, per-provider A=%.3f)",
+					int(horizon), mtbf, mttr, analyticSingle),
+				"providers", "binding", "measured availability", "analytic")
+			for _, n := range []int{1, 2, 3} {
+				measuredSingle, measuredProxy, err := simulateAvailability(seed, n, mtbf, mttr, horizon, sampleDt)
+				if err != nil {
+					return nil, err
+				}
+				table.AddRow(n, "single (provider 1)", measuredSingle, analyticSingle)
+				if n > 1 {
+					vals := make([]float64, n)
+					for i := range vals {
+						vals[i] = analyticSingle
+					}
+					analyticPar, err := avail.Parallel(vals...)
+					if err != nil {
+						return nil, err
+					}
+					table.AddRow(n, "with substitution", measuredProxy, analyticPar)
+				}
+			}
+			return []*stats.Table{table}, nil
+		},
+	}
+}
+
+// simulateAvailability runs one failure/repair simulation and returns the
+// fraction of sampling instants at which (a) provider 1 alone and (b) the
+// substituting proxy could serve a request.
+func simulateAvailability(seed uint64, n int, mtbf, mttr, horizon, sampleDt float64) (single, proxyAvail float64, err error) {
+	rng := xrand.New(seed + uint64(n))
+	clock := des.New()
+	sig := service.Signature{Name: "feed", Ops: []string{"get"}}
+
+	providers := make([]*service.SimService, n)
+	reg := service.NewRegistry()
+	for i := range providers {
+		p, err := service.NewSimService(fmt.Sprintf("provider-%d", i+1), sig,
+			map[string]func(int) (int, error){
+				"get": func(x int) (int, error) { return x, nil },
+			})
+		if err != nil {
+			return 0, 0, err
+		}
+		providers[i] = p
+		if err := reg.Register(p, nil); err != nil {
+			return 0, 0, err
+		}
+	}
+	proxy, err := service.NewProxy(reg, sig, 0.5)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Failure/repair processes: one alternating renewal process per
+	// provider with exponential holding times.
+	for i := range providers {
+		p := providers[i]
+		r := rng.Split()
+		var fail, repair func()
+		fail = func() {
+			p.SetDown(true)
+			if err := clock.After(r.ExpFloat64()*mttr, repair); err != nil {
+				panic(err) // unreachable: delays are non-negative
+			}
+		}
+		repair = func() {
+			p.SetDown(false)
+			if err := clock.After(r.ExpFloat64()*mtbf, fail); err != nil {
+				panic(err)
+			}
+		}
+		if err := clock.After(r.ExpFloat64()*mtbf, fail); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Sampling process.
+	var (
+		samples     int
+		upSingle    int
+		upViaProxy  int
+		samplerStop bool
+	)
+	ctx := context.Background()
+	var sample func()
+	sample = func() {
+		if samplerStop {
+			return
+		}
+		samples++
+		if _, err := providers[0].Invoke(ctx, "get", samples); err == nil {
+			upSingle++
+		}
+		if _, err := proxy.Invoke(ctx, "get", samples); err == nil {
+			upViaProxy++
+		}
+		if clock.Now()+sampleDt <= horizon {
+			if err := clock.After(sampleDt, sample); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := clock.After(sampleDt, sample); err != nil {
+		return 0, 0, err
+	}
+
+	if err := clock.RunUntil(horizon); err != nil {
+		return 0, 0, err
+	}
+	samplerStop = true
+	if samples == 0 {
+		return 0, 0, fmt.Errorf("sim: no samples taken")
+	}
+	return float64(upSingle) / float64(samples), float64(upViaProxy) / float64(samples), nil
+}

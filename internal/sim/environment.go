@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"context"
+	"errors"
+
+	"github.com/softwarefaults/redundancy/internal/envperturb"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/microreboot"
+	"github.com/softwarefaults/redundancy/internal/rejuv"
+	"github.com/softwarefaults/redundancy/internal/stats"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// rejuvenationExperiment reproduces the result of Garg, Huang, Kintala
+// and Trivedi (paper Section 4.3): the expected completion time of a
+// checkpointed program as a function of the rejuvenation period is
+// U-shaped — rejuvenating every N checkpoints for some interior N
+// minimizes completion time.
+func rejuvenationExperiment() Experiment {
+	return Experiment{
+		ID:       "rejuvenation",
+		Index:    "E6",
+		Artifact: "Section 4.3 (Garg et al. completion time)",
+		Title:    "Completion time vs rejuvenation period",
+		Run: func(seed uint64) ([]*stats.Table, error) {
+			base := rejuv.CompletionConfig{
+				Work:               2000,
+				CheckpointInterval: 20,
+				CheckpointCost:     1,
+				RejuvenationCost:   25,
+				RecoveryCost:       200,
+				Fault:              faultmodel.AgingFault{ID: 1, HazardAtScale: 0.02, Scale: 200, Shape: 4},
+			}
+			table := stats.NewTable(
+				"Expected completion time vs rejuvenation period (work=2000, ckp every 20)",
+				"rejuvenate every N ckps", "mean completion time", "overhead vs raw work")
+			bestN, bestT := -1, 0.0
+			for _, n := range []int{0, 1, 2, 3, 4, 6, 8, 12, 20} {
+				cfg := base
+				cfg.RejuvenateEveryN = n
+				mean, err := rejuv.MeanCompletion(cfg, 100, xrand.New(seed+uint64(n)))
+				if err != nil {
+					return nil, err
+				}
+				label := n
+				table.AddRow(label, mean, mean/float64(base.Work)-1)
+				if bestN < 0 || mean < bestT {
+					bestN, bestT = n, mean
+				}
+			}
+			summary := stats.NewTable("Optimum", "best N", "completion time")
+			summary.AddRow(bestN, bestT)
+			return []*stats.Table{table, summary}, nil
+		},
+	}
+}
+
+// microrebootExperiment reproduces the recovery-cost comparison behind
+// micro-reboots (paper Section 5.2, Candea et al.): rebooting only the
+// minimal failed subtree recovers faster and destroys far less session
+// state than a full reboot.
+func microrebootExperiment() Experiment {
+	return Experiment{
+		ID:       "microreboot",
+		Index:    "E7",
+		Artifact: "Section 5.2 (reboot vs micro-reboot)",
+		Title:    "Recovery cost and session loss: full reboot vs micro-reboot",
+		Run: func(seed uint64) ([]*stats.Table, error) {
+			spec := microreboot.Spec{
+				Name: "appserver", InitCost: 60,
+				Children: []microreboot.Spec{
+					{Name: "web", InitCost: 15, Children: []microreboot.Spec{
+						{Name: "sess-1", InitCost: 2},
+						{Name: "sess-2", InitCost: 2},
+						{Name: "sess-3", InitCost: 2},
+					}},
+					{Name: "db", InitCost: 40},
+				},
+			}
+			leaves := []string{"sess-1", "sess-2", "sess-3"}
+			const faults = 200
+
+			run := func(policy string) (downtime float64, collateral int, err error) {
+				sys, err := microreboot.NewSystem(spec)
+				if err != nil {
+					return 0, 0, err
+				}
+				mgr, err := microreboot.NewManager(sys)
+				if err != nil {
+					return 0, 0, err
+				}
+				rng := xrand.New(seed)
+				for i := 0; i < faults; i++ {
+					for _, l := range leaves {
+						if err := sys.OpenSession(l); err != nil {
+							return 0, 0, err
+						}
+					}
+					target := leaves[rng.Intn(len(leaves))]
+					if err := sys.Fail(target); err != nil {
+						return 0, 0, err
+					}
+					// Sessions on the failed component are doomed either
+					// way; only losses on healthy components are
+					// collateral damage of the recovery policy.
+					doomed, err := sys.Sessions(target)
+					if err != nil {
+						return 0, 0, err
+					}
+					before := sys.SessionsLost
+					switch policy {
+					case "full-reboot":
+						sys.Reboot()
+					case "micro-reboot":
+						if _, err := sys.MicroReboot(target); err != nil {
+							return 0, 0, err
+						}
+					case "recursive":
+						mgr.Recover()
+						mgr.ResetEscalation()
+					}
+					collateral += (sys.SessionsLost - before) - doomed
+				}
+				return sys.Downtime, collateral, nil
+			}
+
+			table := stats.NewTable(
+				"Recovery over 200 leaf faults (3-tier tree, full reboot cost 121)",
+				"policy", "total downtime", "mean recovery cost", "collateral sessions lost")
+			for _, policy := range []string{"full-reboot", "micro-reboot", "recursive"} {
+				downtime, collateral, err := run(policy)
+				if err != nil {
+					return nil, err
+				}
+				table.AddRow(policy, downtime, downtime/faults, collateral)
+			}
+			return []*stats.Table{table}, nil
+		},
+	}
+}
+
+// perturbationExperiment reproduces the paper's contrast between plain
+// checkpoint-recovery (opportunistic environment redundancy, effective
+// for Heisenbugs only) and RX-style deliberate environment perturbation
+// (also effective for environment-dependent deterministic bugs): the
+// recovery rate per fault class per strategy.
+func perturbationExperiment() Experiment {
+	return Experiment{
+		ID:       "perturbation",
+		Index:    "E9",
+		Artifact: "Sections 4.3/5.2 (RX vs checkpoint-recovery per fault class)",
+		Title:    "Recovery rate by fault class: re-execution vs environment perturbation",
+		Run: func(seed uint64) ([]*stats.Table, error) {
+			const trials = 4000
+
+			type class struct {
+				name string
+				prog func(*xrand.Rand) envperturb.EnvProgram[int, int]
+			}
+			classes := []class{
+				{
+					name: "Bohrbug (pure deterministic)",
+					prog: func(*xrand.Rand) envperturb.EnvProgram[int, int] {
+						return func(_ context.Context, _ *faultmodel.Env, x int) (int, error) {
+							return 0, errors.New("deterministic failure")
+						}
+					},
+				},
+				{
+					name: "env-dependent Bohrbug (overflow)",
+					prog: func(*xrand.Rand) envperturb.EnvProgram[int, int] {
+						bug := faultmodel.EnvBohrbug{ID: 2, TriggerFraction: 1, MaskedByPadding: 64}
+						return func(_ context.Context, env *faultmodel.Env, x int) (int, error) {
+							if bug.Activated(faultmodel.Invocation{InputKey: faultmodel.HashInt(x), Env: env}) {
+								return 0, errors.New("overflow")
+							}
+							return x, nil
+						}
+					},
+				},
+				{
+					name: "env-dependent Bohrbug (deadlock)",
+					prog: func(*xrand.Rand) envperturb.EnvProgram[int, int] {
+						bug := faultmodel.EnvBohrbug{ID: 3, TriggerFraction: 1, MaskedByShuffle: true}
+						return func(_ context.Context, env *faultmodel.Env, x int) (int, error) {
+							if bug.Activated(faultmodel.Invocation{InputKey: faultmodel.HashInt(x), Env: env}) {
+								return 0, errors.New("deadlock")
+							}
+							return x, nil
+						}
+					},
+				},
+				{
+					name: "Heisenbug (p=0.6)",
+					prog: func(r *xrand.Rand) envperturb.EnvProgram[int, int] {
+						bug := faultmodel.Heisenbug{ID: 4, Prob: 0.6}
+						return func(_ context.Context, env *faultmodel.Env, x int) (int, error) {
+							if bug.Activated(faultmodel.Invocation{Env: env, Rand: r}) {
+								return 0, errors.New("race")
+							}
+							return x, nil
+						}
+					},
+				},
+			}
+
+			table := stats.NewTable(
+				"Recovery rate per fault class (4000 failing requests each)",
+				"fault class", "no redundancy", "checkpoint-recovery (3 retries)", "RX perturbation ladder")
+			for _, cl := range classes {
+				// Count only requests whose *first* execution fails, then
+				// ask each strategy to recover; all strategies see the
+				// same program construction.
+				recoverRate := func(build func(prog envperturb.EnvProgram[int, int]) (*envperturb.Executor[int, int], error)) (float64, error) {
+					r := xrand.New(seed + 1)
+					prog := cl.prog(r)
+					exec, err := build(prog)
+					failures, recovered := 0, 0
+					if err != nil {
+						return 0, err
+					}
+					for i := 0; i < trials; i++ {
+						// Determine first-execution failure on a probe env.
+						if _, err := prog(context.Background(), faultmodel.DefaultEnv(), i); err == nil {
+							continue
+						}
+						failures++
+						if _, err := exec.Execute(context.Background(), i); err == nil {
+							recovered++
+						}
+					}
+					if failures == 0 {
+						return 1, nil
+					}
+					return float64(recovered) / float64(failures), nil
+				}
+
+				none, err := recoverRate(func(p envperturb.EnvProgram[int, int]) (*envperturb.Executor[int, int], error) {
+					return envperturb.NewCheckpointRecovery(p, faultmodel.DefaultEnv(), 0)
+				})
+				if err != nil {
+					return nil, err
+				}
+				ckp, err := recoverRate(func(p envperturb.EnvProgram[int, int]) (*envperturb.Executor[int, int], error) {
+					return envperturb.NewCheckpointRecovery(p, faultmodel.DefaultEnv(), 3)
+				})
+				if err != nil {
+					return nil, err
+				}
+				rx, err := recoverRate(func(p envperturb.EnvProgram[int, int]) (*envperturb.Executor[int, int], error) {
+					return envperturb.New(p, faultmodel.DefaultEnv(), envperturb.DefaultLadder())
+				})
+				if err != nil {
+					return nil, err
+				}
+				table.AddRow(cl.name, none, ckp, rx)
+			}
+			return []*stats.Table{table}, nil
+		},
+	}
+}

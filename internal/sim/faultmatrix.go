@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/envperturb"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+	"github.com/softwarefaults/redundancy/internal/stats"
+	"github.com/softwarefaults/redundancy/internal/vote"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// faultComponent is one faulty component instance for the matrix: the
+// program plus a rejuvenation hook resetting its volatile aging state
+// (a no-op for classes without aging).
+type faultComponent struct {
+	prog       envperturb.EnvProgram[int, int]
+	rejuvenate func()
+}
+
+// faultClass builds independent component instances for one fault class.
+type faultClass struct {
+	name string
+	make func(instance uint64) faultComponent
+}
+
+// faultMatrixExperiment is the capstone: it validates the paper's central
+// artifact — the "Faults" column of Table 2 — empirically. Each technique
+// serves the same request stream through components afflicted by each
+// fault class, with the redundancy the technique prescribes (independent
+// versions for code redundancy, re-execution or perturbation for
+// environment redundancy, preventive rejuvenation for aging). The
+// success-rate matrix must reproduce the paper's qualitative assignments.
+func faultMatrixExperiment() Experiment {
+	return Experiment{
+		ID:       "faultmatrix",
+		Index:    "E20",
+		Artifact: "Table 2 fault column (empirical validation)",
+		Title:    "Technique × fault-class success matrix",
+		Run: func(seed uint64) ([]*stats.Table, error) {
+			const (
+				requests = 4000
+				pFault   = 0.3
+			)
+
+			classes := []faultClass{
+				{
+					name: "Bohrbug",
+					make: func(instance uint64) faultComponent {
+						bug := faultmodel.Bohrbug{ID: instance, TriggerFraction: pFault}
+						return faultComponent{
+							prog: func(_ context.Context, _ *faultmodel.Env, x int) (int, error) {
+								if bug.Activated(faultmodel.Invocation{InputKey: faultmodel.HashInt(x)}) {
+									return 0, errors.New("bohrbug")
+								}
+								return x * 2, nil
+							},
+							rejuvenate: func() {},
+						}
+					},
+				},
+				{
+					name: "env-Bohrbug",
+					make: func(instance uint64) faultComponent {
+						bug := faultmodel.EnvBohrbug{ID: instance, TriggerFraction: pFault, MaskedByPadding: 64}
+						return faultComponent{
+							prog: func(_ context.Context, env *faultmodel.Env, x int) (int, error) {
+								if bug.Activated(faultmodel.Invocation{InputKey: faultmodel.HashInt(x), Env: env}) {
+									return 0, errors.New("overflow")
+								}
+								return x * 2, nil
+							},
+							rejuvenate: func() {},
+						}
+					},
+				},
+				{
+					name: "Heisenbug",
+					make: func(instance uint64) faultComponent {
+						bug := faultmodel.Heisenbug{ID: instance, Prob: pFault}
+						rng := xrand.New(seed ^ (instance * 0x9e3779b9))
+						return faultComponent{
+							prog: func(_ context.Context, env *faultmodel.Env, x int) (int, error) {
+								if bug.Activated(faultmodel.Invocation{Env: env, Rand: rng}) {
+									return 0, errors.New("race")
+								}
+								return x * 2, nil
+							},
+							rejuvenate: func() {},
+						}
+					},
+				},
+				{
+					name: "aging",
+					make: func(instance uint64) faultComponent {
+						bug := faultmodel.AgingFault{ID: instance, HazardAtScale: 1, Scale: 100, Shape: 4}
+						rng := xrand.New(seed ^ (instance * 0x7f4a7c15))
+						age := 0
+						return faultComponent{
+							prog: func(_ context.Context, _ *faultmodel.Env, x int) (int, error) {
+								age++
+								env := faultmodel.DefaultEnv()
+								env.Age = age
+								if bug.Activated(faultmodel.Invocation{Env: env, Rand: rng}) {
+									return 0, errors.New("aging failure")
+								}
+								return x * 2, nil
+							},
+							rejuvenate: func() { age = 0 },
+						}
+					},
+				},
+			}
+
+			asVariant := func(name string, c faultComponent) core.Variant[int, int] {
+				return core.NewVariant(name, func(ctx context.Context, x int) (int, error) {
+					return c.prog(ctx, faultmodel.DefaultEnv(), x)
+				})
+			}
+			countSuccess := func(exec core.Executor[int, int]) float64 {
+				ok := 0
+				for i := 0; i < requests; i++ {
+					if out, err := exec.Execute(context.Background(), i); err == nil && out == i*2 {
+						ok++
+					}
+				}
+				return float64(ok) / requests
+			}
+
+			type technique struct {
+				name  string
+				serve func(cl faultClass) (float64, error)
+			}
+			techniques := []technique{
+				{
+					name: "none (single component)",
+					serve: func(cl faultClass) (float64, error) {
+						exec, err := pattern.NewSingle(asVariant("c", cl.make(1)))
+						if err != nil {
+							return 0, err
+						}
+						return countSuccess(exec), nil
+					},
+				},
+				{
+					name: "N-version programming (3 versions)",
+					serve: func(cl faultClass) (float64, error) {
+						vs := make([]core.Variant[int, int], 3)
+						for i := range vs {
+							vs[i] = asVariant(fmt.Sprintf("v%d", i+1), cl.make(uint64(i+1)))
+						}
+						exec, err := pattern.NewParallelEvaluation(vs, vote.Majority(core.EqualOf[int]()))
+						if err != nil {
+							return 0, err
+						}
+						return countSuccess(exec), nil
+					},
+				},
+				{
+					name: "recovery blocks (3 alternates)",
+					serve: func(cl faultClass) (float64, error) {
+						vs := make([]core.Variant[int, int], 3)
+						for i := range vs {
+							vs[i] = asVariant(fmt.Sprintf("alt%d", i+1), cl.make(uint64(i+20)))
+						}
+						exec, err := pattern.NewSequentialAlternatives(vs,
+							func(_ int, _ int) error { return nil }, nil)
+						if err != nil {
+							return 0, err
+						}
+						return countSuccess(exec), nil
+					},
+				},
+				{
+					name: "checkpoint-recovery (3 retries)",
+					serve: func(cl faultClass) (float64, error) {
+						exec, err := envperturb.NewCheckpointRecovery(cl.make(1).prog, faultmodel.DefaultEnv(), 3)
+						if err != nil {
+							return 0, err
+						}
+						return countSuccess(exec), nil
+					},
+				},
+				{
+					name: "RX environment perturbation",
+					serve: func(cl faultClass) (float64, error) {
+						exec, err := envperturb.New(cl.make(1).prog, faultmodel.DefaultEnv(), envperturb.DefaultLadder())
+						if err != nil {
+							return 0, err
+						}
+						return countSuccess(exec), nil
+					},
+				},
+				{
+					name: "rejuvenation (every 20 requests)",
+					serve: func(cl faultClass) (float64, error) {
+						c := cl.make(1)
+						ok := 0
+						for i := 0; i < requests; i++ {
+							if i > 0 && i%20 == 0 {
+								c.rejuvenate()
+							}
+							if out, err := c.prog(context.Background(), faultmodel.DefaultEnv(), i); err == nil && out == i*2 {
+								ok++
+							}
+						}
+						return float64(ok) / requests, nil
+					},
+				},
+			}
+
+			headers := []string{"technique"}
+			for _, cl := range classes {
+				headers = append(headers, cl.name)
+			}
+			table := stats.NewTable(
+				"Success rate: technique × fault class (4000 requests, per-component fault rate 0.3)",
+				headers...)
+			for _, tech := range techniques {
+				row := make([]any, 0, len(classes)+1)
+				row = append(row, tech.name)
+				for _, cl := range classes {
+					rate, err := tech.serve(cl)
+					if err != nil {
+						return nil, fmt.Errorf("%s × %s: %w", tech.name, cl.name, err)
+					}
+					row = append(row, rate)
+				}
+				table.AddRow(row...)
+			}
+			return []*stats.Table{table}, nil
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/nvp"
+	"github.com/softwarefaults/redundancy/internal/stats"
+	"github.com/softwarefaults/redundancy/internal/vote"
+	"github.com/softwarefaults/redundancy/internal/workload"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// realWorkloadExperiment exercises N-version programming on real subject
+// programs rather than coin-flip variants: the Knight-Leveson-style
+// triangle classifier in four versions with genuine seeded logic bugs,
+// and a square-root routine voted through an inexact median. Unlike the
+// synthetic experiments, failure regions here arise from actual code
+// paths, so overlaps between versions' bugs (the correlation of E5)
+// appear naturally.
+func realWorkloadExperiment() Experiment {
+	return Experiment{
+		ID:       "realworkload",
+		Index:    "E19",
+		Artifact: "Section 4.1 (N-version programming on real subject programs)",
+		Title:    "Triangle-classifier and sqrt version ensembles under random inputs",
+		Run: func(seed uint64) ([]*stats.Table, error) {
+			const trials = 20000
+			ctx := context.Background()
+			rng := xrand.New(seed)
+			versions := workload.TriangleVersions()
+
+			table := stats.NewTable(
+				"Triangle classifier (20000 random inputs, boundary-biased)",
+				"configuration", "correct", "wrong", "no consensus")
+
+			// Individual versions first.
+			inputs := make([]workload.TriangleInput, trials)
+			for i := range inputs {
+				inputs[i] = workload.RandomTriangle(rng, 12)
+			}
+			for _, v := range versions {
+				correct, wrong := 0, 0
+				for _, in := range inputs {
+					got, err := v.Execute(ctx, in)
+					if err == nil && got == workload.ClassifyTriangle(in) {
+						correct++
+					} else {
+						wrong++
+					}
+				}
+				table.AddRow(v.Name(), correct, wrong, 0)
+			}
+
+			// Voted ensembles.
+			ensembles := []struct {
+				name     string
+				versions []core.Variant[workload.TriangleInput, workload.Triangle]
+			}{
+				{"vote(v1,v2,v3)", versions[:3]},
+				{"vote(v2,v3,v4) — no correct version", versions[1:4]},
+			}
+			for _, e := range ensembles {
+				sys, err := nvp.New(e.versions, core.EqualOf[workload.Triangle]())
+				if err != nil {
+					return nil, err
+				}
+				correct, wrong, noCons := 0, 0, 0
+				for _, in := range inputs {
+					got, err := sys.Execute(ctx, in)
+					switch {
+					case err != nil:
+						noCons++
+					case got == workload.ClassifyTriangle(in):
+						correct++
+					default:
+						wrong++
+					}
+				}
+				table.AddRow(e.name, correct, wrong, noCons)
+			}
+
+			// Median voting over numeric versions.
+			sqrtTable := stats.NewTable(
+				"Square root, 3 versions incl. one with a (0, 0.25) failure region (5000 inputs)",
+				"configuration", "max abs error")
+			sqrtVersions := workload.SqrtVersions()
+			maxErr := func(exec core.Executor[float64, float64]) (float64, error) {
+				worst := 0.0
+				for i := 0; i < 5000; i++ {
+					x := rng.Float64() * 2 // half the inputs fall in/near the bug region
+					got, err := exec.Execute(ctx, x)
+					if err != nil {
+						return 0, err
+					}
+					if d := math.Abs(got - math.Sqrt(x)); d > worst {
+						worst = d
+					}
+				}
+				return worst, nil
+			}
+			for _, v := range sqrtVersions {
+				single, err := nvp.NewWithAdjudicator(
+					[]core.Variant[float64, float64]{v}, vote.FirstSuccess[float64]())
+				if err != nil {
+					return nil, err
+				}
+				worst, err := maxErr(single)
+				if err != nil {
+					return nil, err
+				}
+				sqrtTable.AddRow(v.Name(), fmt.Sprintf("%.2e", worst))
+			}
+			median, err := nvp.NewWithAdjudicator(sqrtVersions, vote.MedianAdjudicator())
+			if err != nil {
+				return nil, err
+			}
+			worst, err := maxErr(median)
+			if err != nil {
+				return nil, err
+			}
+			sqrtTable.AddRow("median vote over all 3", fmt.Sprintf("%.2e", worst))
+
+			// Expression calculator: two independently designed correct
+			// parsers plus a precedence-bugged evaluator.
+			calcTable := stats.NewTable(
+				"Infix calculator, 3 versions incl. a precedence bug (10000 random expressions)",
+				"configuration", "correct", "wrong/rejected")
+			calcVersions := workload.CalcVersions()
+			exprs := make([]string, 10000)
+			wants := make([]int64, len(exprs))
+			for i := range exprs {
+				exprs[i] = workload.RandomExpr(rng, 1+rng.Intn(6))
+				w, err := workload.EvalExpr(exprs[i])
+				if err != nil {
+					return nil, err
+				}
+				wants[i] = w
+			}
+			for _, v := range calcVersions {
+				correct, wrong := 0, 0
+				for i, expr := range exprs {
+					got, err := v.Execute(ctx, expr)
+					if err == nil && got == wants[i] {
+						correct++
+					} else {
+						wrong++
+					}
+				}
+				calcTable.AddRow(v.Name(), correct, wrong)
+			}
+			calcSys, err := nvp.New(calcVersions, core.EqualOf[int64]())
+			if err != nil {
+				return nil, err
+			}
+			correct, wrong := 0, 0
+			for i, expr := range exprs {
+				got, err := calcSys.Execute(ctx, expr)
+				if err == nil && got == wants[i] {
+					correct++
+				} else {
+					wrong++
+				}
+			}
+			calcTable.AddRow("vote over all 3", correct, wrong)
+			return []*stats.Table{table, sqrtTable, calcTable}, nil
+		},
+	}
+}

@@ -1,0 +1,89 @@
+// Package sim is the experiment harness: it regenerates every table and
+// figure of the paper (and the quantitative claims of the paper's cited
+// sources) from the technique implementations in this repository. Each
+// experiment is deterministic given its seed and reports its results as
+// plain-text tables whose rows mirror the paper's artifacts.
+//
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records the
+// measured outputs against the expected shapes.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/softwarefaults/redundancy/internal/stats"
+)
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the short identifier used by cmd/experiments -run.
+	ID string
+	// Index is the DESIGN.md experiment index entry (E3, E4, ...).
+	Index string
+	// Artifact names the paper artifact the experiment reproduces.
+	Artifact string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment with the given seed and returns its
+	// result tables.
+	Run func(seed uint64) ([]*stats.Table, error)
+}
+
+// registry is populated by experimentList; experiments are pure values,
+// so no init() is needed.
+func registry() []Experiment {
+	return []Experiment{
+		figure1Experiment(),
+		quorumExperiment(),
+		correlationExperiment(),
+		rejuvenationExperiment(),
+		microrebootExperiment(),
+		dataDiversityExperiment(),
+		perturbationExperiment(),
+		nvariantExperiment(),
+		workaroundExperiment(),
+		geneticFixExperiment(),
+		substitutionExperiment(),
+		costsExperiment(),
+		robustDataExperiment(),
+		wrapperExperiment(),
+		selfOptExperiment(),
+		replicationExperiment(),
+		realWorkloadExperiment(),
+		faultMatrixExperiment(),
+		availabilityExperiment(),
+	}
+}
+
+// All returns every experiment, sorted by numeric index (E3 before E10).
+func All() []Experiment {
+	es := registry()
+	sort.SliceStable(es, func(i, j int) bool {
+		return indexNumber(es[i].Index) < indexNumber(es[j].Index)
+	})
+	return es
+}
+
+// indexNumber extracts the numeric part of an index like "E12".
+func indexNumber(index string) int {
+	n := 0
+	for i := 1; i < len(index); i++ {
+		c := index[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("sim: unknown experiment %q", id)
+}

@@ -1,0 +1,676 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runExperiment executes an experiment and returns its tables rendered
+// and raw.
+func runExperiment(t *testing.T, id string, seed uint64) []string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(seed)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s returned no tables", id)
+	}
+	out := make([]string, len(tables))
+	for i, tbl := range tables {
+		out[i] = tbl.String()
+		if tbl.NumRows() == 0 {
+			t.Errorf("%s table %d is empty", id, i)
+		}
+	}
+	return out
+}
+
+// parseCells extracts the whitespace-separated cells of a rendered table
+// row identified by its first-cell prefix.
+func findRow(t *testing.T, rendered, prefix string) []string {
+	t.Helper()
+	for _, line := range strings.Split(rendered, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, prefix) {
+			rest := strings.TrimSpace(strings.TrimPrefix(trimmed, prefix))
+			return strings.Fields(rest)
+		}
+	}
+	t.Fatalf("row %q not found in:\n%s", prefix, rendered)
+	return nil
+}
+
+func cellFloat(t *testing.T, cells []string, idx int) float64 {
+	t.Helper()
+	if idx >= len(cells) {
+		t.Fatalf("cell %d missing in %v", idx, cells)
+	}
+	v, err := strconv.ParseFloat(cells[idx], 64)
+	if err != nil {
+		t.Fatalf("cell %d (%q): %v", idx, cells[idx], err)
+	}
+	return v
+}
+
+func TestAllRegistered(t *testing.T) {
+	es := All()
+	if len(es) != 19 {
+		t.Errorf("registered experiments = %d, want 19", len(es))
+	}
+	seen := map[string]bool{}
+	for _, e := range es {
+		if e.ID == "" || e.Index == "" || e.Artifact == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("nonexistent"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	out := runExperiment(t, "fig1", 1)[0]
+	// At p=0.05: majority voting and the selection/sequential patterns
+	// must beat the single baseline; parallel patterns pay ~3
+	// executions, sequential ~1/(1-p).
+	lines := strings.Split(out, "\n")
+	var single, pe, ps, sa []string
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) < 3 || f[0] != "0.0500" {
+			continue
+		}
+		switch {
+		case strings.Contains(line, "single"):
+			single = f
+		case strings.Contains(line, "parallel evaluation"):
+			pe = f
+		case strings.Contains(line, "parallel selection"):
+			ps = f
+		case strings.Contains(line, "sequential"):
+			sa = f
+		}
+	}
+	if single == nil || pe == nil || ps == nil || sa == nil {
+		t.Fatalf("missing rows in:\n%s", out)
+	}
+	rel := func(f []string) float64 {
+		v, err := strconv.ParseFloat(f[len(f)-3], 64)
+		if err != nil {
+			t.Fatalf("parse %v: %v", f, err)
+		}
+		return v
+	}
+	execs := func(f []string) float64 {
+		v, err := strconv.ParseFloat(f[len(f)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %v: %v", f, err)
+		}
+		return v
+	}
+	if !(rel(pe) > rel(single)) {
+		t.Errorf("parallel evaluation (%f) should beat single (%f)", rel(pe), rel(single))
+	}
+	if !(rel(ps) > rel(single)) || !(rel(sa) > rel(single)) {
+		t.Error("redundant patterns should beat the baseline")
+	}
+	if execs(pe) != 3 || execs(ps) != 3 {
+		t.Errorf("parallel patterns should cost 3 execs, got %f and %f", execs(pe), execs(ps))
+	}
+	if !(execs(sa) < 1.2) {
+		t.Errorf("sequential cost %f should be ~1.05 at p=0.05", execs(sa))
+	}
+	if !(rel(ps) >= rel(pe)) {
+		t.Errorf("any-success patterns (%f) should be at least as reliable as majority (%f)", rel(ps), rel(pe))
+	}
+}
+
+func TestQuorumBoundary(t *testing.T) {
+	out := runExperiment(t, "quorum", 1)[0]
+	// Every (n, f) row with f <= k must be "correct"; f = k+1 must not.
+	lines := strings.Split(out, "\n")
+	checked := 0
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		n, err1 := strconv.Atoi(f[0])
+		k, err2 := strconv.Atoi(f[1])
+		inj, err3 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
+		outcome := strings.Join(f[3:], " ")
+		if inj <= k && outcome != "correct" {
+			t.Errorf("n=%d f=%d: outcome %q, want correct", n, inj, outcome)
+		}
+		if inj > k && outcome == "correct" {
+			t.Errorf("n=%d f=%d: vote should not be correct", n, inj)
+		}
+		checked++
+	}
+	if checked < 15 {
+		t.Errorf("only %d rows checked:\n%s", checked, out)
+	}
+}
+
+func TestCorrelationDecay(t *testing.T) {
+	out := runExperiment(t, "correlation", 1)[0]
+	rho0 := cellFloat(t, findRow(t, out, "0  "), 0)
+	rho1 := cellFloat(t, findRow(t, out, "1  "), 0)
+	if !(rho0 > rho1) {
+		t.Errorf("reliability should decay with correlation: rho0=%f rho1=%f", rho0, rho1)
+	}
+	// At rho=1 the gain over a single version vanishes (last column ~0).
+	row1 := findRow(t, out, "1  ")
+	gain := cellFloat(t, row1, len(row1)-1)
+	if gain > 0.01 {
+		t.Errorf("residual gain at rho=1 = %f, want ~0", gain)
+	}
+}
+
+func TestRejuvenationUCurve(t *testing.T) {
+	tables := runExperiment(t, "rejuvenation", 1)
+	optimum := tables[1]
+	// Line layout: title, underline, header, separator, data row.
+	cells := strings.Fields(strings.Split(optimum, "\n")[4])
+	bestN, err := strconv.Atoi(cells[0])
+	if err != nil {
+		t.Fatalf("optimum row: %v", cells)
+	}
+	if bestN <= 0 {
+		t.Errorf("optimal rejuvenation period N = %d, want interior (> 0)", bestN)
+	}
+	if bestN >= 20 {
+		t.Errorf("optimal N = %d suggests rejuvenation never helps", bestN)
+	}
+}
+
+func TestMicrorebootBeatsFullReboot(t *testing.T) {
+	out := runExperiment(t, "microreboot", 1)[0]
+	full := cellFloat(t, findRow(t, out, "full-reboot"), 0)
+	micro := cellFloat(t, findRow(t, out, "micro-reboot"), 0)
+	if !(micro < full/10) {
+		t.Errorf("micro-reboot downtime %f should be far below full reboot %f", micro, full)
+	}
+	fullLost := cellFloat(t, findRow(t, out, "full-reboot"), 2)
+	microLost := cellFloat(t, findRow(t, out, "micro-reboot"), 2)
+	if microLost != 0 {
+		t.Errorf("micro-reboot collateral session loss = %f, want 0", microLost)
+	}
+	if fullLost == 0 {
+		t.Error("full reboot should destroy sessions on healthy components")
+	}
+}
+
+func TestPerturbationPerFaultClass(t *testing.T) {
+	out := runExperiment(t, "perturbation", 1)[0]
+	// Pure Bohrbug: nothing recovers.
+	bohr := findRow(t, out, "Bohrbug (pure deterministic)")
+	if cellFloat(t, bohr, len(bohr)-1) > 0.01 || cellFloat(t, bohr, len(bohr)-2) > 0.01 {
+		t.Errorf("pure Bohrbug should resist recovery: %v", bohr)
+	}
+	// Overflow bug: only RX recovers.
+	overflow := findRow(t, out, "env-dependent Bohrbug (overflow)")
+	rx := cellFloat(t, overflow, len(overflow)-1)
+	ckp := cellFloat(t, overflow, len(overflow)-2)
+	if rx < 0.99 {
+		t.Errorf("RX should heal the overflow bug, rate %f", rx)
+	}
+	if ckp > 0.01 {
+		t.Errorf("plain re-execution should not heal the overflow bug, rate %f", ckp)
+	}
+	// Heisenbug: both re-execution strategies work well.
+	heis := findRow(t, out, "Heisenbug (p=0.6)")
+	if cellFloat(t, heis, len(heis)-2) < 0.8 {
+		t.Errorf("checkpoint-recovery should usually heal Heisenbugs: %v", heis)
+	}
+}
+
+func TestNVariantDetection(t *testing.T) {
+	tables := runExperiment(t, "nvariant", 1)
+	out := tables[0]
+	benign := findRow(t, out, "benign read/write")
+	if cellFloat(t, benign, len(benign)-3) != 0 { // detected column
+		t.Errorf("false positives on benign workload: %v", benign)
+	}
+	if cellFloat(t, benign, len(benign)-1) != 0 {
+		t.Errorf("undetected compromises on benign workload: %v", benign)
+	}
+	for _, attack := range []string{"absolute-address attack", "code-injection attack"} {
+		row := findRow(t, out, attack)
+		if cellFloat(t, row, len(row)-4) != 0 { // served column
+			t.Errorf("%s: some attacks were served: %v", attack, row)
+		}
+		if cellFloat(t, row, len(row)-1) != 0 {
+			t.Errorf("%s: undetected compromises: %v", attack, row)
+		}
+	}
+	// Data variants: all uniform corruptions detected.
+	cells := tables[1]
+	for _, n := range []string{"2", "3"} {
+		row := findRow(t, cells, n)
+		if cellFloat(t, row, len(row)-1) != 0 {
+			t.Errorf("n=%s: undetected corruptions: %v", n, row)
+		}
+	}
+}
+
+func TestWorkaroundsImproveWithRules(t *testing.T) {
+	out := runExperiment(t, "workarounds", 1)[0]
+	split := findRow(t, out, "split only")
+	all := findRow(t, out, "all three rules")
+	// Column layout: bugSpan2, bugSpan3, meanTried.
+	splitSpan2 := cellFloat(t, split, len(split)-3)
+	allSpan2 := cellFloat(t, all, len(all)-3)
+	if !(allSpan2 >= splitSpan2) {
+		t.Errorf("more rules should heal at least as much: %f vs %f", allSpan2, splitSpan2)
+	}
+	if allSpan2 < 0.95 {
+		t.Errorf("full rule set should heal nearly everything at span 2: %f", allSpan2)
+	}
+	allSpan3 := cellFloat(t, all, len(all)-2)
+	if allSpan3 < 0.95 {
+		t.Errorf("full rule set should heal nearly everything at span 3: %f", allSpan3)
+	}
+}
+
+func TestGeneticFixRepairs(t *testing.T) {
+	out := runExperiment(t, "geneticfix", 1)[0]
+	for _, fault := range []string{"swapped branches (max)", "wrong operator (sum as sub)", "wrong constant"} {
+		row := findRow(t, out, fault)
+		rate := cellFloat(t, row, len(row)-2)
+		if rate < 0.5 {
+			t.Errorf("%s: repair rate %f too low", fault, rate)
+		}
+	}
+}
+
+func TestSubstitutionAvailability(t *testing.T) {
+	out := runExperiment(t, "substitution", 1)[0]
+	row := findRow(t, out, "0.2000")
+	single := cellFloat(t, row, 0)
+	proxy := cellFloat(t, row, 1)
+	if !(proxy > single) {
+		t.Errorf("substitution should raise availability: %f vs %f", proxy, single)
+	}
+	if proxy < 0.99 {
+		t.Errorf("3 providers at p=0.2 should yield ~0.992 availability, got %f", proxy)
+	}
+}
+
+func TestCostsShape(t *testing.T) {
+	out := runExperiment(t, "costs", 1)[0]
+	lines := strings.Split(out, "\n")
+	var nvpExecs, rbExecs float64
+	var nvpRel, rbRel, scRel float64
+	for _, line := range lines {
+		if !strings.HasPrefix(strings.TrimSpace(line), "0.0500") {
+			continue
+		}
+		f := strings.Fields(line)
+		rel, err := strconv.ParseFloat(f[len(f)-4], 64)
+		if err != nil {
+			// Adjudicator column has multiple words; reliability and
+			// execs sit right after the p column in fixed positions.
+			continue
+		}
+		_ = rel
+	}
+	// Parse via known prefixes instead.
+	get := func(tech string) (rel, execs float64) {
+		for _, line := range lines {
+			if !strings.Contains(line, tech) || !strings.HasPrefix(strings.TrimSpace(line), "0.0500") {
+				continue
+			}
+			f := strings.Fields(line)
+			// layout: p, technique..., reliability, execs, adjudicator...
+			for i := range f {
+				v, err := strconv.ParseFloat(f[i], 64)
+				if err == nil && i > 0 && v <= 1 && v >= 0.5 {
+					rel = v
+					execs, _ = strconv.ParseFloat(f[i+1], 64)
+					return rel, execs
+				}
+			}
+		}
+		t.Fatalf("technique %q not found:\n%s", tech, out)
+		return 0, 0
+	}
+	nvpRel, nvpExecs = get("N-version")
+	rbRel, rbExecs = get("recovery blocks")
+	scRel, _ = get("self-checking")
+	if nvpExecs != 3 {
+		t.Errorf("NVP execs = %f, want 3", nvpExecs)
+	}
+	if !(rbExecs < 1.2) {
+		t.Errorf("recovery-block execs = %f, want ~1.05", rbExecs)
+	}
+	if nvpRel < 0.98 || rbRel < 0.98 || scRel < 0.98 {
+		t.Errorf("reliabilities too low: %f %f %f", nvpRel, rbRel, scRel)
+	}
+	// With a perfect acceptance test, recovery blocks beat majority
+	// voting in reliability (they tolerate n-1 wrong versions).
+	if !(rbRel >= nvpRel) {
+		t.Errorf("recovery blocks (%f) should be at least as reliable as NVP (%f)", rbRel, nvpRel)
+	}
+}
+
+func TestRobustDataCoverage(t *testing.T) {
+	tables := runExperiment(t, "robustdata", 1)
+	out := tables[0]
+	for _, kind := range []string{"next->garbage", "prev->garbage", "next->valid-skip", "count drift"} {
+		row := findRow(t, out, kind)
+		detected := cellFloat(t, row, len(row)-3)
+		repaired := cellFloat(t, row, len(row)-2)
+		intact := cellFloat(t, row, len(row)-1)
+		if detected < 1 {
+			t.Errorf("%s: detection rate %f, want 1", kind, detected)
+		}
+		if repaired < 1 || intact < 1 {
+			t.Errorf("%s: repair %f intact %f, want 1", kind, repaired, intact)
+		}
+	}
+	mapOut := tables[1]
+	primary := findRow(t, mapOut, "primary only")
+	if cellFloat(t, primary, len(primary)-2) < 1 {
+		t.Errorf("primary-only corruption should always be served: %v", primary)
+	}
+	both := findRow(t, mapOut, "both copies")
+	if cellFloat(t, both, len(both)-1) < 1 {
+		t.Errorf("both-copies corruption should always be unrepairable: %v", both)
+	}
+}
+
+func TestWrapperPrevention(t *testing.T) {
+	tables := runExperiment(t, "wrappers", 1)
+	heap := tables[0]
+	raw := findRow(t, heap, "raw (unwrapped)")
+	healer := findRow(t, heap, "healer (boundary checks)")
+	if cellFloat(t, raw, len(raw)-2) == 0 {
+		t.Errorf("raw writes should smash blocks: %v", raw)
+	}
+	if cellFloat(t, healer, len(healer)-2) != 0 {
+		t.Errorf("healer should prevent all smashing: %v", healer)
+	}
+	if cellFloat(t, healer, len(healer)-1) == 0 {
+		t.Errorf("healer should report prevented overflows: %v", healer)
+	}
+	proto := tables[1]
+	direct := findRow(t, proto, "direct calls")
+	wrapped := findRow(t, proto, "protocol wrapper")
+	if cellFloat(t, direct, len(direct)-2) == 0 {
+		t.Errorf("direct misuse should break components: %v", direct)
+	}
+	if cellFloat(t, wrapped, len(wrapped)-2) != 0 {
+		t.Errorf("wrapper should prevent all breakage: %v", wrapped)
+	}
+}
+
+func TestSelfOptMaintainsQoS(t *testing.T) {
+	out := runExperiment(t, "selfopt", 1)[0]
+	light := findRow(t, out, "fixed light")
+	selfopt := findRow(t, out, "self-optimizing")
+	lightViolations := cellFloat(t, light, len(light)-2)
+	optViolations := cellFloat(t, selfopt, len(selfopt)-2)
+	if !(optViolations < lightViolations/10) {
+		t.Errorf("self-optimization should nearly eliminate violations: %f vs %f",
+			optViolations, lightViolations)
+	}
+	switches := cellFloat(t, selfopt, len(selfopt)-1)
+	if switches < 1 {
+		t.Error("optimizer never switched")
+	}
+}
+
+func TestDataDiversityEscape(t *testing.T) {
+	tables := runExperiment(t, "datadiversity", 1)
+	retry := tables[0]
+	b1 := findRow(t, retry, "1 ")
+	b5 := findRow(t, retry, "5 ")
+	if cellFloat(t, b1, 0) != 0 {
+		t.Errorf("budget 1 cannot escape (first attempt always in region): %v", b1)
+	}
+	if cellFloat(t, b5, 0) < 0.99 {
+		t.Errorf("budget 5 should almost always escape: %v", b5)
+	}
+	ncopy := tables[1]
+	n2 := findRow(t, ncopy, "2 ")
+	if cellFloat(t, n2, 0) < 0.95 {
+		t.Errorf("2-copy should usually escape: %v", n2)
+	}
+}
+
+func TestExperimentsAreDeterministic(t *testing.T) {
+	for _, id := range []string{"quorum", "correlation", "workarounds"} {
+		a := runExperiment(t, id, 99)
+		b := runExperiment(t, id, 99)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s table %d differs across runs with same seed", id, i)
+			}
+		}
+	}
+}
+
+func TestReplicationMasksAndRepairs(t *testing.T) {
+	out := runExperiment(t, "replication", 1)[0]
+	for _, frac := range []string{"0.0500", "0.2000", "0.5000"} {
+		row := findRow(t, out, frac)
+		wrong := cellFloat(t, row, 0)
+		if wrong != 0 {
+			t.Errorf("frac %s: %f wrong reads served, want 0", frac, wrong)
+		}
+		repairs := cellFloat(t, row, 2)
+		if repairs == 0 {
+			t.Errorf("frac %s: no repairs performed", frac)
+		}
+		if row[len(row)-1] != "true" {
+			t.Errorf("frac %s: final states not reconciled: %v", frac, row)
+		}
+	}
+}
+
+func TestRealWorkloadEnsembles(t *testing.T) {
+	tables := runExperiment(t, "realworkload", 1)
+	out := tables[0]
+	full := findRow(t, out, "vote(v1,v2,v3)")
+	if cellFloat(t, full, len(full)-2) != 0 { // wrong column
+		t.Errorf("3-version vote produced wrong classifications: %v", full)
+	}
+	// Each buggy version alone must fail somewhere.
+	for _, v := range []string{"classifier-2-partial-inequality", "classifier-3-partial-isosceles", "classifier-4-degenerate-accepted"} {
+		row := findRow(t, out, v)
+		if cellFloat(t, row, len(row)-2) == 0 {
+			t.Errorf("%s never failed; bug not exercised", v)
+		}
+	}
+}
+
+func TestRealWorkloadCalculator(t *testing.T) {
+	tables := runExperiment(t, "realworkload", 1)
+	if len(tables) < 3 {
+		t.Fatalf("want 3 tables, got %d", len(tables))
+	}
+	calc := tables[2]
+	voted := findRow(t, calc, "vote over all 3")
+	if cellFloat(t, voted, len(voted)-1) != 0 {
+		t.Errorf("voted calculator produced wrong results: %v", voted)
+	}
+	buggy := findRow(t, calc, "calc-left-to-right-buggy")
+	if cellFloat(t, buggy, len(buggy)-1) == 0 {
+		t.Errorf("precedence bug never exercised: %v", buggy)
+	}
+}
+
+func TestFaultMatrixMatchesTable2FaultColumn(t *testing.T) {
+	out := runExperiment(t, "faultmatrix", 1)[0]
+	row := func(name string) []string { return findRow(t, out, name) }
+	// Column order: Bohrbug, env-Bohrbug, Heisenbug, aging (last 4 cells).
+	get := func(cells []string, col int) float64 {
+		return cellFloat(t, cells, len(cells)-4+col)
+	}
+	baseline := row("none (single component)")
+	nvp := row("N-version programming")
+	rb := row("recovery blocks")
+	ckp := row("checkpoint-recovery")
+	rx := row("RX environment perturbation")
+	rj := row("rejuvenation")
+
+	// Code redundancy masks development faults (all but aging).
+	for col := 0; col < 3; col++ {
+		if !(get(nvp, col) > get(baseline, col)) {
+			t.Errorf("NVP should beat baseline on class %d", col)
+		}
+		if !(get(rb, col) > get(nvp, col)) {
+			t.Errorf("any-of-3 recovery blocks should beat majority NVP on class %d", col)
+		}
+	}
+	// Checkpoint-recovery masks only Heisenbugs.
+	if get(ckp, 0) > get(baseline, 0)+0.02 || get(ckp, 1) > get(baseline, 1)+0.02 {
+		t.Errorf("checkpoint-recovery should not mask deterministic bugs: %v", ckp)
+	}
+	if !(get(ckp, 2) > 0.95) {
+		t.Errorf("checkpoint-recovery should mask Heisenbugs: %v", ckp)
+	}
+	// RX additionally masks env-dependent Bohrbugs.
+	if get(rx, 1) < 0.99 {
+		t.Errorf("RX should mask env-Bohrbugs: %v", rx)
+	}
+	if get(rx, 0) > get(baseline, 0)+0.02 {
+		t.Errorf("RX should not mask pure Bohrbugs: %v", rx)
+	}
+	// Rejuvenation masks aging and nothing else.
+	if get(rj, 3) < 0.95 {
+		t.Errorf("rejuvenation should prevent aging failures: %v", rj)
+	}
+	if get(rj, 0) > get(baseline, 0)+0.02 {
+		t.Errorf("rejuvenation should not affect Bohrbugs: %v", rj)
+	}
+	// Aging defeats code redundancy (correlated age across versions).
+	if get(nvp, 3) > 0.2 {
+		t.Errorf("same-age version ensemble should not survive aging: %v", nvp)
+	}
+}
+
+func TestAvailabilityMatchesAlgebra(t *testing.T) {
+	out := runExperiment(t, "availability", 1)[0]
+	lines := strings.Split(out, "\n")
+	checked := 0
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		if _, err := strconv.Atoi(f[0]); err != nil {
+			continue
+		}
+		measured, err1 := strconv.ParseFloat(f[len(f)-2], 64)
+		analytic, err2 := strconv.ParseFloat(f[len(f)-1], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if measured < analytic-0.03 || measured > analytic+0.03 {
+			t.Errorf("measured %f deviates from analytic %f: %v", measured, analytic, f)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Errorf("checked only %d rows:\n%s", checked, out)
+	}
+	// Substitution must beat single binding at 3 providers.
+	rows := strings.Split(out, "\n")
+	var single3, proxy3 float64
+	for _, line := range rows {
+		f := strings.Fields(line)
+		if len(f) < 4 || f[0] != "3" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f[len(f)-2], 64)
+		if err != nil {
+			continue
+		}
+		if strings.Contains(line, "single") {
+			single3 = v
+		} else {
+			proxy3 = v
+		}
+	}
+	if !(proxy3 > single3) {
+		t.Errorf("substitution (%f) should beat single binding (%f)", proxy3, single3)
+	}
+}
+
+func TestExperimentsSortedNumerically(t *testing.T) {
+	es := All()
+	prev := 0
+	for _, e := range es {
+		n := indexNumber(e.Index)
+		if n < prev {
+			t.Fatalf("index %s out of order (prev %d)", e.Index, prev)
+		}
+		prev = n
+	}
+	if es[0].Index != "E3" {
+		t.Errorf("first experiment = %s, want E3", es[0].Index)
+	}
+}
+
+func TestRedundancyDepletionGrowsWithSpares(t *testing.T) {
+	tables := runExperiment(t, "costs", 1)
+	if len(tables) < 2 {
+		t.Fatal("missing depletion table")
+	}
+	out := tables[1]
+	mean := func(n string) float64 {
+		row := findRow(t, out, n)
+		return cellFloat(t, row, 0)
+	}
+	m1, m2, m5 := mean("1 "), mean("2 "), mean("5 ")
+	if !(m1 < m2 && m2 < m5) {
+		t.Errorf("exhaustion time should grow with spares: %f, %f, %f", m1, m2, m5)
+	}
+	// Hot spares running in parallel deplete per the max-of-geometrics
+	// law: E[max] ≈ (1/p)·H_n, so 5 components last ~2.3x one component,
+	// far below 5x (the cost of hot standby vs cold standby).
+	if m5 > 4*m1 {
+		t.Errorf("hot spares should not multiply lifetime linearly: %f vs %f", m5, m1)
+	}
+}
+
+func TestAuditLatencyScalesWithPeriod(t *testing.T) {
+	tables := runExperiment(t, "robustdata", 1)
+	if len(tables) < 3 {
+		t.Fatal("missing audit table")
+	}
+	out := tables[2]
+	lat := func(period string) float64 {
+		row := findRow(t, out, period)
+		return cellFloat(t, row, 0)
+	}
+	l1, l10, l50 := lat("1 "), lat("10 "), lat("50 ")
+	if l1 != 0 {
+		t.Errorf("audit-every-op latency = %f, want 0", l1)
+	}
+	// Mean latency ≈ period/2 for uniformly timed corruption.
+	if l10 < 3 || l10 > 7 {
+		t.Errorf("period-10 latency = %f, want ≈5", l10)
+	}
+	if l50 < 15 || l50 > 35 {
+		t.Errorf("period-50 latency = %f, want ≈25", l50)
+	}
+	if !(l1 < l10 && l10 < l50) {
+		t.Errorf("latency must grow with period: %f %f %f", l1, l10, l50)
+	}
+}

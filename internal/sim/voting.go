@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/nvp"
+	"github.com/softwarefaults/redundancy/internal/stats"
+	"github.com/softwarefaults/redundancy/internal/vote"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// quorumExperiment reproduces the paper's Section 4.1 claim: "in order to
+// tolerate k failures, a system must consist of 2k+1 versions". For each
+// n it injects f agreeing wrong results and checks whether the majority
+// vote still delivers the correct value — the boundary must sit exactly
+// at f = (n-1)/2.
+func quorumExperiment() Experiment {
+	return Experiment{
+		ID:       "quorum",
+		Index:    "E4",
+		Artifact: "Section 4.1 claim (2k+1 versions tolerate k faults)",
+		Title:    "Majority-vote fault-tolerance boundary",
+		Run: func(uint64) ([]*stats.Table, error) {
+			table := stats.NewTable(
+				"Quorum boundary — n versions, f agreeing wrong results",
+				"n", "tolerable k=(n-1)/2", "f injected", "vote outcome")
+			adj := vote.Majority(core.EqualOf[int]())
+			for _, n := range []int{3, 5, 7} {
+				k := vote.TolerableFaults(n)
+				for f := 0; f <= n; f++ {
+					results := make([]core.Result[int], 0, n)
+					for i := 0; i < n-f; i++ {
+						results = append(results, core.Result[int]{Variant: "good", Value: 1})
+					}
+					for i := 0; i < f; i++ {
+						results = append(results, core.Result[int]{Variant: "bad", Value: 2})
+					}
+					v, err := adj.Adjudicate(results)
+					outcome := "correct"
+					switch {
+					case err != nil:
+						outcome = "no consensus"
+					case v != 1:
+						outcome = "WRONG VALUE"
+					}
+					table.AddRow(n, k, f, outcome)
+				}
+			}
+			return []*stats.Table{table}, nil
+		},
+	}
+}
+
+// correlationExperiment reproduces the observation of Brilliant, Knight
+// and Leveson (paper Section 4.1, "costs and efficacy"): correlated
+// failures among independently developed versions erode the N-version
+// reliability gain; at full correlation the system is no better than a
+// single version.
+func correlationExperiment() Experiment {
+	return Experiment{
+		ID:       "correlation",
+		Index:    "E5",
+		Artifact: "Section 4.1 (Brilliant et al. correlated failures)",
+		Title:    "N-version reliability vs failure correlation",
+		Run: func(seed uint64) ([]*stats.Table, error) {
+			const (
+				n      = 3
+				p      = 0.05
+				trials = 60000
+			)
+			table := stats.NewTable(
+				"N-version reliability under correlated failures (n=3, p=0.05)",
+				"rho", "simulated", "analytic", "single version", "residual gain")
+			for _, rho := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+				law := faultmodel.CorrelatedFailures{N: n, P: p, Rho: rho}
+				ens, err := nvp.NewEnsemble(law, xrand.New(seed+uint64(rho*100)))
+				if err != nil {
+					return nil, err
+				}
+				ok := 0
+				for i := 0; i < trials; i++ {
+					if _, correct := ens.Round(7); correct {
+						ok++
+					}
+				}
+				simulated := float64(ok) / trials
+				analytic := nvp.ReliabilityCorrelated(n, p, rho)
+				single := 1 - p
+				table.AddRow(rho, simulated, analytic, single, analytic-single)
+			}
+			return []*stats.Table{table}, nil
+		},
+	}
+}

@@ -1,0 +1,182 @@
+// Package stats provides the small set of statistical primitives the
+// experiment harness needs: summary statistics, binomial confidence
+// intervals for reliability estimates, and Pearson correlation for
+// validating the correlated-failure generator.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+// It returns 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It returns an error for an
+// empty sample or p outside [0, 100].
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// Correlation returns the Pearson correlation coefficient of the paired
+// samples (xs[i], ys[i]). It returns an error if the slices differ in
+// length, have fewer than two samples, or either sample has zero variance.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: sample length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Proportion is a binomial success-rate estimate with a confidence
+// interval, used to report reliability from Monte Carlo trials.
+type Proportion struct {
+	Successes int
+	Trials    int
+	// Estimate is Successes/Trials.
+	Estimate float64
+	// Lo and Hi bound the 95% Wilson score interval.
+	Lo, Hi float64
+}
+
+// z95 is the standard normal quantile for a two-sided 95% interval.
+const z95 = 1.959963984540054
+
+// NewProportion estimates a binomial proportion with a 95% Wilson score
+// interval. The Wilson interval behaves well even for estimates at or near
+// 0 and 1, which reliability experiments routinely produce.
+func NewProportion(successes, trials int) (Proportion, error) {
+	if trials <= 0 {
+		return Proportion{}, ErrEmpty
+	}
+	if successes < 0 || successes > trials {
+		return Proportion{}, errors.New("stats: successes out of range")
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z := z95
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	return Proportion{
+		Successes: successes,
+		Trials:    trials,
+		Estimate:  p,
+		Lo:        math.Max(0, center-half),
+		Hi:        math.Min(1, center+half),
+	}, nil
+}
+
+// Summary bundles the descriptive statistics reported for a latency or
+// cost sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+}
+
+// Summarize computes a Summary for xs. It returns ErrEmpty for an empty
+// sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	minV, maxV := xs[0], xs[0]
+	for _, x := range xs {
+		minV = math.Min(minV, x)
+		maxV = math.Max(maxV, x)
+	}
+	p50, err := Percentile(xs, 50)
+	if err != nil {
+		return Summary{}, err
+	}
+	p95, err := Percentile(xs, 95)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    minV,
+		Max:    maxV,
+		P50:    p50,
+		P95:    p95,
+	}, nil
+}

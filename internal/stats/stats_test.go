@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"symmetric", []float64{1, 2, 3}, 2},
+		{"negative", []float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %f, want %f", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Known sample variance (unbiased) of this classic data set is 4.571428...
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-9) {
+		t.Errorf("Variance = %f, want %f", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7.0), 1e-9) {
+		t.Errorf("StdDev = %f", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance of single sample = %f, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%f): %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%f) = %f, want %f", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty sample: want error")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("p < 0: want error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("p > 100: want error")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	m, err := Median([]float64{1, 9, 5})
+	if err != nil || m != 5 {
+		t.Errorf("median odd = %f, err %v", m, err)
+	}
+	m, err = Median([]float64{1, 3})
+	if err != nil || m != 2 {
+		t.Errorf("median even = %f, err %v", m, err)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %f, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Correlation(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %f, want -1", r)
+	}
+}
+
+func TestCorrelationErrors(t *testing.T) {
+	if _, err := Correlation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Correlation([]float64{1}, []float64{2}); err == nil {
+		t.Error("too few samples: want error")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero variance: want error")
+	}
+}
+
+func TestNewProportion(t *testing.T) {
+	p, err := NewProportion(95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Estimate != 0.95 {
+		t.Errorf("estimate = %f", p.Estimate)
+	}
+	if !(p.Lo < 0.95 && 0.95 < p.Hi) {
+		t.Errorf("interval [%f, %f] does not contain the estimate", p.Lo, p.Hi)
+	}
+	if p.Lo < 0 || p.Hi > 1 {
+		t.Errorf("interval [%f, %f] escapes [0,1]", p.Lo, p.Hi)
+	}
+}
+
+func TestNewProportionEdges(t *testing.T) {
+	for _, s := range []int{0, 100} {
+		p, err := NewProportion(s, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Lo < 0 || p.Hi > 1 || p.Lo > p.Hi {
+			t.Errorf("successes=%d: bad interval [%f, %f]", s, p.Lo, p.Hi)
+		}
+	}
+	if _, err := NewProportion(1, 0); err == nil {
+		t.Error("zero trials: want error")
+	}
+	if _, err := NewProportion(-1, 10); err == nil {
+		t.Error("negative successes: want error")
+	}
+	if _, err := NewProportion(11, 10); err == nil {
+		t.Error("successes > trials: want error")
+	}
+}
+
+func TestProportionIntervalShrinksWithTrials(t *testing.T) {
+	small, _ := NewProportion(50, 100)
+	large, _ := NewProportion(5000, 10000)
+	if large.Hi-large.Lo >= small.Hi-small.Lo {
+		t.Errorf("interval did not shrink: small width %f, large width %f",
+			small.Hi-small.Lo, large.Hi-large.Lo)
+	}
+}
+
+// Property: the Wilson interval always contains the point estimate and
+// stays within [0,1].
+func TestProportionProperty(t *testing.T) {
+	f := func(s uint16, extra uint16) bool {
+		trials := int(s) + int(extra) + 1
+		succ := int(s)
+		p, err := NewProportion(succ, trials)
+		if err != nil {
+			return false
+		}
+		return p.Lo >= 0 && p.Hi <= 1 && p.Lo <= p.Estimate && p.Estimate <= p.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample: want error")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("b", 2)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5000") {
+		t.Errorf("missing cells in output:\n%s", out)
+	}
+	if !strings.Contains(out, "2") {
+		t.Errorf("integer float not rendered compactly:\n%s", out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+	if tbl.Title() != "Demo" {
+		t.Errorf("Title = %q", tbl.Title())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("", "col", "x")
+	tbl.AddRow("longvalue", "y")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	// Header's second column should be aligned with the row's second column.
+	if strings.Index(lines[0], "x") != strings.Index(lines[2], "y") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("Title Ignored", "name", "value")
+	tbl.AddRow("plain", 1.5)
+	tbl.AddRow("with,comma", `say "hi"`)
+	got := tbl.CSV()
+	want := "name,value\nplain,1.5000\n\"with,comma\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

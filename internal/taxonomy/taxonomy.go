@@ -1,0 +1,297 @@
+// Package taxonomy encodes the paper's taxonomy itself: the
+// classification scheme of Table 1 and the classification of all
+// seventeen surveyed technique families of Table 2, each mapped to the
+// package of this repository that implements it. The tables are
+// regenerated from these records (cmd/taxonomy), and golden tests assert
+// every cell against the paper.
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/stats"
+)
+
+// Technique is one row of the paper's Table 2, extended with the
+// implementing package and the architectural pattern discussed in the
+// paper's Sections 2-3.
+type Technique struct {
+	// Name is the technique family name as printed in Table 2.
+	Name string
+	// References cites the technique's primary sources (paper reference
+	// numbers).
+	References string
+	// Intention is the intention dimension (deliberate/opportunistic).
+	Intention core.Intention
+	// Type is the redundancy-type dimension (code/data/environment).
+	Type core.RedundancyType
+	// Adjudicator is the triggers-and-adjudicators dimension.
+	Adjudicator core.AdjudicatorKind
+	// Faults is the fault-class dimension.
+	Faults []core.FaultClass
+	// Pattern is the architectural pattern the technique instantiates.
+	Pattern core.Pattern
+	// Package is the implementing package in this repository.
+	Package string
+	// Experiment is the id of the experiment exercising the technique.
+	Experiment string
+}
+
+// faultsString renders the fault classes as in the paper ("Bohrbugs
+// malicious" for multi-class rows).
+func (t Technique) faultsString() string {
+	parts := make([]string, len(t.Faults))
+	for i, f := range t.Faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// All returns the seventeen technique families in the paper's Table 2
+// order.
+func All() []Technique {
+	return []Technique{
+		{
+			Name: "N-version programming", References: "[9,29-31]",
+			Intention: core.Deliberate, Type: core.CodeRedundancy,
+			Adjudicator: core.ReactiveImplicit,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.ParallelEvaluationPattern,
+			Package:     "internal/nvp", Experiment: "E4/E5",
+		},
+		{
+			Name: "Recovery blocks", References: "[28,29]",
+			Intention: core.Deliberate, Type: core.CodeRedundancy,
+			Adjudicator: core.ReactiveExplicit,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.SequentialAlternativesPattern,
+			Package:     "internal/recovery", Experiment: "E14",
+		},
+		{
+			Name: "Self-checking programming", References: "[32,29,33]",
+			Intention: core.Deliberate, Type: core.CodeRedundancy,
+			Adjudicator: core.ReactiveBoth,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.ParallelSelectionPattern,
+			Package:     "internal/selfcheck", Experiment: "E14",
+		},
+		{
+			Name: "Self-optimizing code", References: "[34,35]",
+			Intention: core.Deliberate, Type: core.CodeRedundancy,
+			Adjudicator: core.ReactiveExplicit,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.SequentialAlternativesPattern,
+			Package:     "internal/selfopt", Experiment: "E17",
+		},
+		{
+			Name: "Exception handling, rule engines", References: "[36-38]",
+			Intention: core.Deliberate, Type: core.CodeRedundancy,
+			Adjudicator: core.ReactiveExplicit,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.SequentialAlternativesPattern,
+			Package:     "internal/registry", Experiment: "E13",
+		},
+		{
+			Name: "Wrappers", References: "[39-42]",
+			Intention: core.Deliberate, Type: core.CodeRedundancy,
+			Adjudicator: core.Preventive,
+			Faults:      []core.FaultClass{core.Bohrbugs, core.MaliciousFaults},
+			Pattern:     core.IntraComponentPattern,
+			Package:     "internal/wrapper", Experiment: "E16",
+		},
+		{
+			Name: "Robust data structures, audits", References: "[43,44]",
+			Intention: core.Deliberate, Type: core.DataRedundancy,
+			Adjudicator: core.ReactiveImplicit,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.IntraComponentPattern,
+			Package:     "internal/robustdata", Experiment: "E15",
+		},
+		{
+			Name: "Data diversity", References: "[26]",
+			Intention: core.Deliberate, Type: core.DataRedundancy,
+			Adjudicator: core.ReactiveBoth,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.SequentialAlternativesPattern,
+			Package:     "internal/datadiv", Experiment: "E8",
+		},
+		{
+			Name: "Data diversity for security", References: "[45]",
+			Intention: core.Deliberate, Type: core.DataRedundancy,
+			Adjudicator: core.ReactiveImplicit,
+			Faults:      []core.FaultClass{core.MaliciousFaults},
+			Pattern:     core.ParallelEvaluationPattern,
+			Package:     "internal/datadiv", Experiment: "E10",
+		},
+		{
+			Name: "Rejuvenation", References: "[46,15,17]",
+			Intention: core.Deliberate, Type: core.EnvironmentRedundancy,
+			Adjudicator: core.Preventive,
+			Faults:      []core.FaultClass{core.Heisenbugs},
+			Pattern:     core.EnvironmentPattern,
+			Package:     "internal/rejuv", Experiment: "E6",
+		},
+		{
+			Name: "Environment perturbation", References: "[27]",
+			Intention: core.Deliberate, Type: core.EnvironmentRedundancy,
+			Adjudicator: core.ReactiveExplicit,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.EnvironmentPattern,
+			Package:     "internal/envperturb", Experiment: "E9",
+		},
+		{
+			Name: "Process replicas", References: "[47,48]",
+			Intention: core.Deliberate, Type: core.EnvironmentRedundancy,
+			Adjudicator: core.ReactiveImplicit,
+			Faults:      []core.FaultClass{core.MaliciousFaults},
+			Pattern:     core.ParallelEvaluationPattern,
+			Package:     "internal/replica", Experiment: "E10",
+		},
+		{
+			Name: "Dynamic service substitution", References: "[10,49,11,50]",
+			Intention: core.Opportunistic, Type: core.CodeRedundancy,
+			Adjudicator: core.ReactiveExplicit,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.SequentialAlternativesPattern,
+			Package:     "internal/service", Experiment: "E13",
+		},
+		{
+			Name: "Fault fixing, genetic programming", References: "[51,52]",
+			Intention: core.Opportunistic, Type: core.CodeRedundancy,
+			Adjudicator: core.ReactiveExplicit,
+			Faults:      []core.FaultClass{core.Bohrbugs},
+			Pattern:     core.IntraComponentPattern,
+			Package:     "internal/geneticfix", Experiment: "E12",
+		},
+		{
+			Name: "Automatic workarounds", References: "[53,25]",
+			Intention: core.Opportunistic, Type: core.CodeRedundancy,
+			Adjudicator: core.ReactiveExplicit,
+			Faults:      []core.FaultClass{core.DevelopmentFaults},
+			Pattern:     core.IntraComponentPattern,
+			Package:     "internal/workaround", Experiment: "E11",
+		},
+		{
+			Name: "Checkpoint-recovery", References: "[21]",
+			Intention: core.Opportunistic, Type: core.EnvironmentRedundancy,
+			Adjudicator: core.ReactiveExplicit,
+			Faults:      []core.FaultClass{core.Heisenbugs},
+			Pattern:     core.EnvironmentPattern,
+			Package:     "internal/checkpoint", Experiment: "E9",
+		},
+		{
+			Name: "Reboot and micro-reboot", References: "[12,13]",
+			Intention: core.Opportunistic, Type: core.EnvironmentRedundancy,
+			Adjudicator: core.ReactiveExplicit,
+			Faults:      []core.FaultClass{core.Heisenbugs},
+			Pattern:     core.EnvironmentPattern,
+			Package:     "internal/microreboot", Experiment: "E7",
+		},
+	}
+}
+
+// ByName returns the technique with the given Table 2 name.
+func ByName(name string) (Technique, error) {
+	for _, t := range All() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Technique{}, fmt.Errorf("taxonomy: unknown technique %q", name)
+}
+
+// Table1 regenerates the paper's Table 1: the classification scheme for
+// redundancy-based mechanisms.
+func Table1() *stats.Table {
+	t := stats.NewTable("Table 1. Taxonomy for redundancy based mechanisms",
+		"Dimension", "Values")
+	t.AddRow("Intention", "deliberate")
+	t.AddRow("", "opportunistic")
+	t.AddRow("Type", "code")
+	t.AddRow("", "data")
+	t.AddRow("", "environment")
+	t.AddRow("Triggers and adjudicators", "preventive (implicit adjudicator)")
+	t.AddRow("", "reactive: implicit adjudicator")
+	t.AddRow("", "reactive: explicit adjudicator")
+	t.AddRow("Faults addressed by redundancy", "interaction - malicious")
+	t.AddRow("", "development: Bohrbugs")
+	t.AddRow("", "development: Heisenbugs")
+	return t
+}
+
+// Table2 regenerates the paper's Table 2: the classification of all
+// seventeen technique families on the four dimensions.
+func Table2() *stats.Table {
+	t := stats.NewTable("Table 2. A taxonomy of redundancy for fault tolerance and self-managed systems",
+		"Technique", "Intention", "Type", "Adjudicator", "Faults")
+	for _, tech := range All() {
+		t.AddRow(tech.Name, tech.Intention.String(), tech.Type.String(),
+			tech.Adjudicator.String(), tech.faultsString())
+	}
+	return t
+}
+
+// TableImplementation renders the extended mapping from techniques to
+// implementing packages, patterns and experiments — the repository's
+// per-experiment index.
+func TableImplementation() *stats.Table {
+	t := stats.NewTable("Technique implementations in this repository",
+		"Technique", "Pattern", "Package", "Experiment")
+	for _, tech := range All() {
+		t.AddRow(tech.Name, tech.Pattern.String(), tech.Package, tech.Experiment)
+	}
+	return t
+}
+
+// ByIntention returns the techniques with the given intention, in Table 2
+// order.
+func ByIntention(i core.Intention) []Technique {
+	var out []Technique
+	for _, t := range All() {
+		if t.Intention == i {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ByType returns the techniques with the given redundancy type, in
+// Table 2 order.
+func ByType(rt core.RedundancyType) []Technique {
+	var out []Technique
+	for _, t := range All() {
+		if t.Type == rt {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ByFaultClass returns the techniques addressing the given fault class,
+// in Table 2 order.
+func ByFaultClass(fc core.FaultClass) []Technique {
+	var out []Technique
+	for _, t := range All() {
+		for _, f := range t.Faults {
+			if f == fc {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ByPattern returns the techniques instantiating the given architectural
+// pattern, in Table 2 order.
+func ByPattern(p core.Pattern) []Technique {
+	var out []Technique
+	for _, t := range All() {
+		if t.Pattern == p {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// TestTable2MatchesPaper is the golden test for the reproduction's
+// central artifact: every cell of Table 2 as printed in the paper.
+func TestTable2MatchesPaper(t *testing.T) {
+	// name -> {intention, type, adjudicator, faults} exactly as in the
+	// paper's Table 2.
+	want := map[string][4]string{
+		"N-version programming":             {"deliberate", "code", "reactive, implicit", "development"},
+		"Recovery blocks":                   {"deliberate", "code", "reactive, explicit", "development"},
+		"Self-checking programming":         {"deliberate", "code", "reactive, expl./impl.", "development"},
+		"Self-optimizing code":              {"deliberate", "code", "reactive, explicit", "development"},
+		"Exception handling, rule engines":  {"deliberate", "code", "reactive, explicit", "development"},
+		"Wrappers":                          {"deliberate", "code", "preventive", "Bohrbugs, malicious"},
+		"Robust data structures, audits":    {"deliberate", "data", "reactive, implicit", "development"},
+		"Data diversity":                    {"deliberate", "data", "reactive, expl./impl.", "development"},
+		"Data diversity for security":       {"deliberate", "data", "reactive, implicit", "malicious"},
+		"Rejuvenation":                      {"deliberate", "environment", "preventive", "Heisenbugs"},
+		"Environment perturbation":          {"deliberate", "environment", "reactive, explicit", "development"},
+		"Process replicas":                  {"deliberate", "environment", "reactive, implicit", "malicious"},
+		"Dynamic service substitution":      {"opportunistic", "code", "reactive, explicit", "development"},
+		"Fault fixing, genetic programming": {"opportunistic", "code", "reactive, explicit", "Bohrbugs"},
+		"Automatic workarounds":             {"opportunistic", "code", "reactive, explicit", "development"},
+		"Checkpoint-recovery":               {"opportunistic", "environment", "reactive, explicit", "Heisenbugs"},
+		"Reboot and micro-reboot":           {"opportunistic", "environment", "reactive, explicit", "Heisenbugs"},
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("got %d techniques, paper lists %d", len(all), len(want))
+	}
+	for _, tech := range all {
+		w, ok := want[tech.Name]
+		if !ok {
+			t.Errorf("unexpected technique %q", tech.Name)
+			continue
+		}
+		if got := tech.Intention.String(); got != w[0] {
+			t.Errorf("%s intention = %q, want %q", tech.Name, got, w[0])
+		}
+		if got := tech.Type.String(); got != w[1] {
+			t.Errorf("%s type = %q, want %q", tech.Name, got, w[1])
+		}
+		if got := tech.Adjudicator.String(); got != w[2] {
+			t.Errorf("%s adjudicator = %q, want %q", tech.Name, got, w[2])
+		}
+		if got := tech.faultsString(); got != w[3] {
+			t.Errorf("%s faults = %q, want %q", tech.Name, got, w[3])
+		}
+	}
+}
+
+// TestTable2PaperOrder asserts the paper's row order is preserved.
+func TestTable2PaperOrder(t *testing.T) {
+	wantOrder := []string{
+		"N-version programming",
+		"Recovery blocks",
+		"Self-checking programming",
+		"Self-optimizing code",
+		"Exception handling, rule engines",
+		"Wrappers",
+		"Robust data structures, audits",
+		"Data diversity",
+		"Data diversity for security",
+		"Rejuvenation",
+		"Environment perturbation",
+		"Process replicas",
+		"Dynamic service substitution",
+		"Fault fixing, genetic programming",
+		"Automatic workarounds",
+		"Checkpoint-recovery",
+		"Reboot and micro-reboot",
+	}
+	all := All()
+	for i, name := range wantOrder {
+		if all[i].Name != name {
+			t.Errorf("row %d = %q, want %q", i, all[i].Name, name)
+		}
+	}
+}
+
+func TestEveryTechniqueHasImplementationMetadata(t *testing.T) {
+	for _, tech := range All() {
+		if tech.Package == "" {
+			t.Errorf("%s has no implementing package", tech.Name)
+		}
+		if !strings.HasPrefix(tech.Package, "internal/") {
+			t.Errorf("%s package %q is not internal", tech.Name, tech.Package)
+		}
+		if tech.Experiment == "" {
+			t.Errorf("%s has no experiment", tech.Name)
+		}
+		if tech.References == "" {
+			t.Errorf("%s has no references", tech.Name)
+		}
+		if tech.Pattern == 0 {
+			t.Errorf("%s has no pattern", tech.Name)
+		}
+	}
+}
+
+func TestPatternsMatchPaperSection2(t *testing.T) {
+	wantPatterns := map[string]core.Pattern{
+		"N-version programming":       core.ParallelEvaluationPattern,
+		"Recovery blocks":             core.SequentialAlternativesPattern,
+		"Self-checking programming":   core.ParallelSelectionPattern,
+		"Self-optimizing code":        core.SequentialAlternativesPattern,
+		"Automatic workarounds":       core.IntraComponentPattern,
+		"Wrappers":                    core.IntraComponentPattern,
+		"Data diversity for security": core.ParallelEvaluationPattern,
+	}
+	for name, want := range wantPatterns {
+		tech, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tech.Pattern != want {
+			t.Errorf("%s pattern = %v, want %v", name, tech.Pattern, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("Rejuvenation"); err != nil {
+		t.Errorf("ByName(Rejuvenation) = %v", err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1().String()
+	for _, fragment := range []string{
+		"Intention", "deliberate", "opportunistic",
+		"Type", "code", "data", "environment",
+		"Triggers and adjudicators", "preventive", "reactive",
+		"Faults addressed by redundancy", "Bohrbugs", "Heisenbugs", "malicious",
+	} {
+		if !strings.Contains(out, fragment) {
+			t.Errorf("Table 1 misses %q:\n%s", fragment, out)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	tbl := Table2()
+	if tbl.NumRows() != 17 {
+		t.Errorf("Table 2 has %d rows, want 17", tbl.NumRows())
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "N-version programming") ||
+		!strings.Contains(out, "Reboot and micro-reboot") {
+		t.Errorf("Table 2 missing rows:\n%s", out)
+	}
+}
+
+func TestTableImplementationRendering(t *testing.T) {
+	tbl := TableImplementation()
+	if tbl.NumRows() != 17 {
+		t.Errorf("implementation table has %d rows", tbl.NumRows())
+	}
+	out := tbl.String()
+	for _, pkg := range []string{
+		"internal/nvp", "internal/recovery", "internal/selfcheck",
+		"internal/selfopt", "internal/registry", "internal/wrapper",
+		"internal/robustdata", "internal/datadiv", "internal/rejuv",
+		"internal/envperturb", "internal/replica", "internal/service",
+		"internal/geneticfix", "internal/workaround", "internal/checkpoint",
+		"internal/microreboot",
+	} {
+		if !strings.Contains(out, pkg) {
+			t.Errorf("implementation table misses %s", pkg)
+		}
+	}
+}
+
+func TestDimensionQueries(t *testing.T) {
+	deliberate := ByIntention(core.Deliberate)
+	opportunistic := ByIntention(core.Opportunistic)
+	if len(deliberate)+len(opportunistic) != len(All()) {
+		t.Errorf("intention partition broken: %d + %d != %d",
+			len(deliberate), len(opportunistic), len(All()))
+	}
+	if len(deliberate) != 12 || len(opportunistic) != 5 {
+		t.Errorf("intention counts = (%d, %d), paper has (12, 5)",
+			len(deliberate), len(opportunistic))
+	}
+
+	code := ByType(core.CodeRedundancy)
+	data := ByType(core.DataRedundancy)
+	env := ByType(core.EnvironmentRedundancy)
+	if len(code) != 9 || len(data) != 3 || len(env) != 5 {
+		t.Errorf("type counts = (%d, %d, %d), paper has (9, 3, 5)",
+			len(code), len(data), len(env))
+	}
+
+	heisen := ByFaultClass(core.Heisenbugs)
+	if len(heisen) != 3 { // rejuvenation, checkpoint-recovery, reboot
+		t.Errorf("Heisenbug techniques = %d, want 3", len(heisen))
+	}
+	malicious := ByFaultClass(core.MaliciousFaults)
+	if len(malicious) != 3 { // wrappers, data div for security, process replicas
+		t.Errorf("malicious techniques = %d, want 3", len(malicious))
+	}
+
+	pe := ByPattern(core.ParallelEvaluationPattern)
+	if len(pe) != 3 { // NVP, data div for security, process replicas
+		t.Errorf("parallel-evaluation techniques = %d, want 3", len(pe))
+	}
+}

@@ -1,0 +1,164 @@
+package workaround
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// IntSet is the reference intrinsically-redundant component used by
+// tests, examples and experiments: a set of integers whose interface
+// offers the same functionality through different operation combinations
+// (add one element, add a whole range), which is precisely the redundancy
+// automatic workarounds exploit.
+//
+// The component ships with a seeded Bohrbug: AddRange silently drops the
+// upper bound of spans of at least BugSpan elements — the kind of
+// off-by-one boundary fault that survives testing on small inputs.
+type IntSet struct {
+	values map[int]bool
+
+	// BugSpan activates the seeded bug for ranges where hi-lo >=
+	// BugSpan; 0 disables the bug.
+	BugSpan int
+}
+
+var _ Component = (*IntSet)(nil)
+
+// NewIntSet creates an empty set with the seeded bug active for spans of
+// at least bugSpan (0 disables the bug).
+func NewIntSet(bugSpan int) *IntSet {
+	return &IntSet{values: make(map[int]bool), BugSpan: bugSpan}
+}
+
+// Apply implements Component. Supported operations:
+//
+//	add(x)          — insert x
+//	remove(x)       — delete x
+//	clear()         — empty the set
+//	addrange(lo,hi) — insert lo..hi inclusive (bugged for wide spans)
+func (s *IntSet) Apply(_ context.Context, op Op) error {
+	switch op.Name {
+	case "add":
+		if len(op.Args) != 1 {
+			return fmt.Errorf("add wants 1 arg, got %d", len(op.Args))
+		}
+		s.values[op.Args[0]] = true
+	case "remove":
+		if len(op.Args) != 1 {
+			return fmt.Errorf("remove wants 1 arg, got %d", len(op.Args))
+		}
+		delete(s.values, op.Args[0])
+	case "clear":
+		s.values = make(map[int]bool)
+	case "addrange":
+		if len(op.Args) != 2 {
+			return fmt.Errorf("addrange wants 2 args, got %d", len(op.Args))
+		}
+		lo, hi := op.Args[0], op.Args[1]
+		if lo > hi {
+			return fmt.Errorf("addrange %d > %d", lo, hi)
+		}
+		end := hi
+		if s.BugSpan > 0 && hi-lo >= s.BugSpan {
+			end = hi - 1 // seeded bug: the upper bound is dropped
+		}
+		for v := lo; v <= end; v++ {
+			s.values[v] = true
+		}
+	default:
+		return fmt.Errorf("unknown op %q", op.Name)
+	}
+	return nil
+}
+
+// Reset implements Component.
+func (s *IntSet) Reset(context.Context) error {
+	s.values = make(map[int]bool)
+	return nil
+}
+
+// Contents returns the sorted set contents.
+func (s *IntSet) Contents() []int {
+	out := make([]int, 0, len(s.values))
+	for v := range s.values {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Contains reports membership.
+func (s *IntSet) Contains(v int) bool { return s.values[v] }
+
+// IntSetRules returns the rewriting rules encoding IntSet's intrinsic
+// redundancy, ranked by likelihood of success:
+//
+//   - split-range: addrange(lo,hi) ≡ addrange(lo,mid); addrange(mid+1,hi)
+//   - expand-range: addrange(lo,hi) ≡ add(lo); ...; add(hi) for narrow
+//     spans
+//   - add-as-range: add(x) ≡ addrange(x,x)
+func IntSetRules() []Rule {
+	return []Rule{
+		{
+			Name:     "split-range",
+			Match:    []string{"addrange"},
+			Priority: 10,
+			Replace: func(w []Op) []Op {
+				lo, hi := w[0].Args[0], w[0].Args[1]
+				if hi <= lo {
+					return nil
+				}
+				mid := lo + (hi-lo)/2
+				return []Op{
+					{Name: "addrange", Args: []int{lo, mid}},
+					{Name: "addrange", Args: []int{mid + 1, hi}},
+				}
+			},
+		},
+		{
+			Name:     "expand-range",
+			Match:    []string{"addrange"},
+			Priority: 5,
+			Replace: func(w []Op) []Op {
+				lo, hi := w[0].Args[0], w[0].Args[1]
+				if hi-lo > 16 {
+					return nil // too long to expand
+				}
+				out := make([]Op, 0, hi-lo+1)
+				for v := lo; v <= hi; v++ {
+					out = append(out, Op{Name: "add", Args: []int{v}})
+				}
+				return out
+			},
+		},
+		{
+			Name:     "add-as-range",
+			Match:    []string{"add"},
+			Priority: 1,
+			Replace: func(w []Op) []Op {
+				x := w[0].Args[0]
+				return []Op{{Name: "addrange", Args: []int{x, x}}}
+			},
+		},
+	}
+}
+
+// RangeOracle returns an oracle asserting the set contains exactly lo..hi.
+func RangeOracle(lo, hi int) Oracle {
+	return func(_ context.Context, c Component) error {
+		s, ok := c.(*IntSet)
+		if !ok {
+			return fmt.Errorf("oracle wants *IntSet, got %T", c)
+		}
+		for v := lo; v <= hi; v++ {
+			if !s.Contains(v) {
+				return fmt.Errorf("missing element %d", v)
+			}
+		}
+		if got := len(s.Contents()); got != hi-lo+1 {
+			return fmt.Errorf("set has %d elements, want %d", got, hi-lo+1)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,267 @@
+package workaround
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func engine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(IntSetRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestIntSetBasicOps(t *testing.T) {
+	s := NewIntSet(0)
+	ctx := context.Background()
+	ops := Sequence{
+		{Name: "add", Args: []int{3}},
+		{Name: "add", Args: []int{1}},
+		{Name: "remove", Args: []int{3}},
+		{Name: "addrange", Args: []int{5, 7}},
+	}
+	for _, op := range ops {
+		if err := s.Apply(ctx, op); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+	}
+	got := s.Contents()
+	want := []int{1, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("contents = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("contents = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIntSetSeededBug(t *testing.T) {
+	s := NewIntSet(3)
+	ctx := context.Background()
+	if err := s.Apply(ctx, Op{Name: "addrange", Args: []int{0, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(5) {
+		t.Error("bug did not drop the upper bound")
+	}
+	if !s.Contains(4) {
+		t.Error("bug dropped more than the upper bound")
+	}
+	// Narrow spans are unaffected.
+	if err := s.Apply(ctx, Op{Name: "addrange", Args: []int{10, 11}}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(11) {
+		t.Error("narrow span affected by bug")
+	}
+}
+
+func TestIntSetApplyValidation(t *testing.T) {
+	s := NewIntSet(0)
+	ctx := context.Background()
+	bad := []Op{
+		{Name: "add"},
+		{Name: "remove", Args: []int{1, 2}},
+		{Name: "addrange", Args: []int{1}},
+		{Name: "addrange", Args: []int{5, 1}},
+		{Name: "nosuch"},
+	}
+	for _, op := range bad {
+		if err := s.Apply(ctx, op); err == nil {
+			t.Errorf("op %s accepted", op)
+		}
+	}
+}
+
+func TestCandidatesGeneratedAndRanked(t *testing.T) {
+	e := engine(t)
+	seq := Sequence{{Name: "addrange", Args: []int{0, 5}}}
+	cands := e.Candidates(seq)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d, want 2 (split + expand)", len(cands))
+	}
+	if cands[0].Rule != "split-range" || cands[1].Rule != "expand-range" {
+		t.Errorf("ranking = [%s, %s], want [split-range, expand-range]",
+			cands[0].Rule, cands[1].Rule)
+	}
+}
+
+func TestCandidatesDeclineAndDedup(t *testing.T) {
+	e := engine(t)
+	// addrange(3,3) cannot be split (hi == lo declines) and its expansion
+	// is add(3); add-as-range of nothing (no "add" in original).
+	seq := Sequence{{Name: "addrange", Args: []int{3, 3}}}
+	cands := e.Candidates(seq)
+	if len(cands) != 1 || cands[0].Rule != "expand-range" {
+		t.Errorf("candidates = %+v", cands)
+	}
+}
+
+func TestCandidatesRespectMaxCandidates(t *testing.T) {
+	e := engine(t)
+	e.MaxCandidates = 1
+	seq := Sequence{{Name: "addrange", Args: []int{0, 5}}}
+	if got := len(e.Candidates(seq)); got != 1 {
+		t.Errorf("candidates = %d, want capped 1", got)
+	}
+}
+
+func TestExecuteHealthySequenceNeedsNoWorkaround(t *testing.T) {
+	e := engine(t)
+	s := NewIntSet(0) // bug disabled
+	out, err := e.Execute(context.Background(), s,
+		Sequence{{Name: "addrange", Args: []int{0, 5}}}, RangeOracle(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.WorkedAround || out.Tried != 0 {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+func TestExecuteFindsWorkaroundForSeededBug(t *testing.T) {
+	e := engine(t)
+	s := NewIntSet(3)
+	out, err := e.Execute(context.Background(), s,
+		Sequence{{Name: "addrange", Args: []int{0, 5}}}, RangeOracle(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.WorkedAround {
+		t.Fatal("no workaround found")
+	}
+	// split-range yields addrange(0,2); addrange(3,5): spans of 2 evade
+	// the bug and are tried first by priority.
+	if out.Rule != "split-range" {
+		t.Errorf("rule = %s, want split-range", out.Rule)
+	}
+	if !s.Contains(5) {
+		t.Error("workaround did not produce the full range")
+	}
+	if e.Healed != 1 || e.Attempted != 1 {
+		t.Errorf("engine counters = healed %d, attempted %d", e.Healed, e.Attempted)
+	}
+}
+
+func TestExecuteFallsThroughToLowerPriorityRule(t *testing.T) {
+	e := engine(t)
+	// Bug span 2: split of (0,5) gives spans of 2, still buggy; the
+	// expansion into single adds works.
+	s := NewIntSet(2)
+	out, err := e.Execute(context.Background(), s,
+		Sequence{{Name: "addrange", Args: []int{0, 5}}}, RangeOracle(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rule != "expand-range" {
+		t.Errorf("rule = %s, want expand-range", out.Rule)
+	}
+	if out.Tried != 2 {
+		t.Errorf("tried = %d, want 2", out.Tried)
+	}
+}
+
+func TestExecuteNoWorkaroundExists(t *testing.T) {
+	rules := []Rule{{
+		Name:  "futile",
+		Match: []string{"addrange"},
+		Replace: func(w []Op) []Op {
+			return []Op{w[0]} // rewriting to itself-equivalent buggy op
+		},
+	}}
+	// The futile rule rewrites to the identical op, which dedup removes,
+	// leaving no candidates.
+	e, err := NewEngine(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewIntSet(3)
+	_, err = e.Execute(context.Background(), s,
+		Sequence{{Name: "addrange", Args: []int{0, 5}}}, RangeOracle(0, 5))
+	if !errors.Is(err, ErrNoWorkaround) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExecuteResetsBetweenCandidates(t *testing.T) {
+	e := engine(t)
+	s := NewIntSet(2)
+	// With bug span 2 the original and the split both fail; ensure the
+	// final successful expansion starts from a clean state (no leftover
+	// partial elements beyond the oracle's exact-count check).
+	out, err := e.Execute(context.Background(), s,
+		Sequence{{Name: "addrange", Args: []int{10, 15}}}, RangeOracle(10, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.WorkedAround {
+		t.Fatal("no workaround")
+	}
+	if got := len(s.Contents()); got != 6 {
+		t.Errorf("contents = %v", s.Contents())
+	}
+}
+
+func TestExecuteContextCancellation(t *testing.T) {
+	e := engine(t)
+	s := NewIntSet(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.Execute(ctx, s,
+		Sequence{{Name: "addrange", Args: []int{0, 5}}}, RangeOracle(0, 5))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine([]Rule{{Name: "bad"}}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := NewEngine([]Rule{{Name: "bad", Match: []string{"x"}}}); err == nil {
+		t.Error("nil Replace accepted")
+	}
+	e := engine(t)
+	if _, err := e.Execute(context.Background(), nil, nil, RangeOracle(0, 0)); err == nil {
+		t.Error("nil component accepted")
+	}
+	if _, err := e.Execute(context.Background(), NewIntSet(0), nil, nil); err == nil {
+		t.Error("nil oracle accepted")
+	}
+}
+
+func TestSequenceAndOpString(t *testing.T) {
+	seq := Sequence{
+		{Name: "clear"},
+		{Name: "addrange", Args: []int{1, 3}},
+	}
+	if got := seq.String(); got != "clear; addrange(1,3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestWorkaroundInLongerSequence(t *testing.T) {
+	e := engine(t)
+	s := NewIntSet(3)
+	seq := Sequence{
+		{Name: "add", Args: []int{100}},
+		{Name: "addrange", Args: []int{0, 5}},
+		{Name: "remove", Args: []int{100}},
+	}
+	out, err := e.Execute(context.Background(), s, seq, RangeOracle(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.WorkedAround {
+		t.Fatal("no workaround in context")
+	}
+	if s.Contains(100) {
+		t.Error("surrounding operations were lost in the rewrite")
+	}
+}

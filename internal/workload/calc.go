@@ -1,0 +1,386 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// The calculator workload: an infix arithmetic evaluator over +, -, *,
+// parentheses and non-negative integer literals, implemented in three
+// "independently developed" versions. Version 1 is a recursive-descent
+// parser; version 2 is a shunting-yard evaluator (a genuinely different
+// algorithm); version 3 evaluates strictly left-to-right, ignoring
+// multiplication precedence — the classic integration-era bug whose
+// failure region is exactly the expressions where precedence matters.
+
+// Calculator errors.
+var (
+	// ErrBadExpression reports a syntactically invalid expression.
+	ErrBadExpression = errors.New("workload: bad expression")
+)
+
+// token kinds for the calculator lexer.
+type tokKind int
+
+const (
+	tokNum tokKind = iota + 1
+	tokOp
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	num  int64
+	op   byte
+}
+
+// lex splits an expression into tokens.
+func lex(expr string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == ' ':
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(expr) && expr[j] >= '0' && expr[j] <= '9' {
+				j++
+			}
+			n, err := strconv.ParseInt(expr[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("number %q: %w", expr[i:j], ErrBadExpression)
+			}
+			toks = append(toks, token{kind: tokNum, num: n})
+			i = j
+		case c == '+' || c == '-' || c == '*':
+			toks = append(toks, token{kind: tokOp, op: c})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen})
+			i++
+		default:
+			return nil, fmt.Errorf("character %q: %w", c, ErrBadExpression)
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("empty expression: %w", ErrBadExpression)
+	}
+	return toks, nil
+}
+
+// EvalExpr is the reference evaluator (recursive descent).
+func EvalExpr(expr string) (int64, error) {
+	toks, err := lex(expr)
+	if err != nil {
+		return 0, err
+	}
+	p := &rdParser{toks: toks}
+	v, err := p.parseSum()
+	if err != nil {
+		return 0, err
+	}
+	if p.pos != len(p.toks) {
+		return 0, fmt.Errorf("trailing tokens: %w", ErrBadExpression)
+	}
+	return v, nil
+}
+
+// rdParser is the recursive-descent implementation.
+type rdParser struct {
+	toks []token
+	pos  int
+}
+
+func (p *rdParser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *rdParser) parseSum() (int64, error) {
+	v, err := p.parseProduct()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOp || (t.op != '+' && t.op != '-') {
+			return v, nil
+		}
+		p.pos++
+		rhs, err := p.parseProduct()
+		if err != nil {
+			return 0, err
+		}
+		if t.op == '+' {
+			v += rhs
+		} else {
+			v -= rhs
+		}
+	}
+}
+
+func (p *rdParser) parseProduct() (int64, error) {
+	v, err := p.parseAtom()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOp || t.op != '*' {
+			return v, nil
+		}
+		p.pos++
+		rhs, err := p.parseAtom()
+		if err != nil {
+			return 0, err
+		}
+		v *= rhs
+	}
+}
+
+func (p *rdParser) parseAtom() (int64, error) {
+	t, ok := p.peek()
+	if !ok {
+		return 0, fmt.Errorf("unexpected end: %w", ErrBadExpression)
+	}
+	switch t.kind {
+	case tokNum:
+		p.pos++
+		return t.num, nil
+	case tokLParen:
+		p.pos++
+		v, err := p.parseSum()
+		if err != nil {
+			return 0, err
+		}
+		t, ok := p.peek()
+		if !ok || t.kind != tokRParen {
+			return 0, fmt.Errorf("missing ')': %w", ErrBadExpression)
+		}
+		p.pos++
+		return v, nil
+	default:
+		return 0, fmt.Errorf("unexpected token: %w", ErrBadExpression)
+	}
+}
+
+// evalShuntingYard evaluates with an operator-precedence stack machine —
+// an independently designed algorithm producing the same results.
+func evalShuntingYard(expr string) (int64, error) {
+	toks, err := lex(expr)
+	if err != nil {
+		return 0, err
+	}
+	prec := func(op byte) int {
+		if op == '*' {
+			return 2
+		}
+		return 1
+	}
+	var (
+		vals []int64
+		ops  []byte
+	)
+	applyTop := func() error {
+		if len(ops) == 0 || len(vals) < 2 {
+			return fmt.Errorf("unbalanced expression: %w", ErrBadExpression)
+		}
+		op := ops[len(ops)-1]
+		ops = ops[:len(ops)-1]
+		b, a := vals[len(vals)-1], vals[len(vals)-2]
+		vals = vals[:len(vals)-2]
+		switch op {
+		case '+':
+			vals = append(vals, a+b)
+		case '-':
+			vals = append(vals, a-b)
+		default:
+			vals = append(vals, a*b)
+		}
+		return nil
+	}
+	expectOperand := true
+	for _, t := range toks {
+		switch t.kind {
+		case tokNum:
+			if !expectOperand {
+				return 0, fmt.Errorf("consecutive operands: %w", ErrBadExpression)
+			}
+			vals = append(vals, t.num)
+			expectOperand = false
+		case tokOp:
+			if expectOperand {
+				return 0, fmt.Errorf("misplaced operator: %w", ErrBadExpression)
+			}
+			for len(ops) > 0 && ops[len(ops)-1] != '(' && prec(ops[len(ops)-1]) >= prec(t.op) {
+				if err := applyTop(); err != nil {
+					return 0, err
+				}
+			}
+			ops = append(ops, t.op)
+			expectOperand = true
+		case tokLParen:
+			if !expectOperand {
+				return 0, fmt.Errorf("missing operator before '(': %w", ErrBadExpression)
+			}
+			ops = append(ops, '(')
+		case tokRParen:
+			if expectOperand {
+				return 0, fmt.Errorf("empty parentheses: %w", ErrBadExpression)
+			}
+			for len(ops) > 0 && ops[len(ops)-1] != '(' {
+				if err := applyTop(); err != nil {
+					return 0, err
+				}
+			}
+			if len(ops) == 0 {
+				return 0, fmt.Errorf("unmatched ')': %w", ErrBadExpression)
+			}
+			ops = ops[:len(ops)-1]
+		}
+	}
+	if expectOperand {
+		return 0, fmt.Errorf("dangling operator: %w", ErrBadExpression)
+	}
+	for len(ops) > 0 {
+		if ops[len(ops)-1] == '(' {
+			return 0, fmt.Errorf("unmatched '(': %w", ErrBadExpression)
+		}
+		if err := applyTop(); err != nil {
+			return 0, err
+		}
+	}
+	if len(vals) != 1 {
+		return 0, fmt.Errorf("unbalanced expression: %w", ErrBadExpression)
+	}
+	return vals[0], nil
+}
+
+// evalLeftToRight carries the seeded bug: it handles parentheses but
+// applies all operators at equal precedence, strictly left to right, so
+// any expression mixing +/- with a later * is silently mis-evaluated.
+func evalLeftToRight(expr string) (int64, error) {
+	toks, err := lex(expr)
+	if err != nil {
+		return 0, err
+	}
+	pos := 0
+	var eval func() (int64, error)
+	eval = func() (int64, error) {
+		var (
+			acc     int64
+			have    bool
+			pending byte = '+'
+		)
+		for pos < len(toks) {
+			t := toks[pos]
+			switch t.kind {
+			case tokNum, tokLParen:
+				var v int64
+				if t.kind == tokNum {
+					v = t.num
+					pos++
+				} else {
+					pos++
+					inner, err := eval()
+					if err != nil {
+						return 0, err
+					}
+					if pos >= len(toks) || toks[pos].kind != tokRParen {
+						return 0, fmt.Errorf("missing ')': %w", ErrBadExpression)
+					}
+					pos++
+					v = inner
+				}
+				if !have {
+					acc, have = v, true
+					continue
+				}
+				switch pending {
+				case '+':
+					acc += v
+				case '-':
+					acc -= v
+				default:
+					acc *= v
+				}
+			case tokOp:
+				pending = t.op
+				pos++
+			case tokRParen:
+				if !have {
+					return 0, fmt.Errorf("empty parentheses: %w", ErrBadExpression)
+				}
+				return acc, nil
+			}
+		}
+		if !have {
+			return 0, fmt.Errorf("empty expression: %w", ErrBadExpression)
+		}
+		return acc, nil
+	}
+	v, err := eval()
+	if err != nil {
+		return 0, err
+	}
+	if pos != len(toks) {
+		return 0, fmt.Errorf("trailing tokens: %w", ErrBadExpression)
+	}
+	return v, nil
+}
+
+// CalcVersions returns the three calculator versions:
+// recursive descent (correct), shunting-yard (correct, independently
+// designed), and the left-to-right evaluator with the precedence bug.
+func CalcVersions() []core.Variant[string, int64] {
+	return []core.Variant[string, int64]{
+		core.NewVariant("calc-recursive-descent",
+			func(_ context.Context, expr string) (int64, error) { return EvalExpr(expr) }),
+		core.NewVariant("calc-shunting-yard",
+			func(_ context.Context, expr string) (int64, error) { return evalShuntingYard(expr) }),
+		core.NewVariant("calc-left-to-right-buggy",
+			func(_ context.Context, expr string) (int64, error) { return evalLeftToRight(expr) }),
+	}
+}
+
+// RandomExpr generates a random well-formed expression with the given
+// number of operators, biased toward precedence-sensitive shapes.
+func RandomExpr(rng *xrand.Rand, operators int) string {
+	var b strings.Builder
+	depth := 0
+	writeOperand := func() {
+		if rng.Bool(0.2) {
+			b.WriteByte('(')
+			depth++
+		}
+		b.WriteString(strconv.Itoa(rng.Intn(20)))
+	}
+	writeOperand()
+	for i := 0; i < operators; i++ {
+		if depth > 0 && rng.Bool(0.4) {
+			b.WriteByte(')')
+			depth--
+		}
+		b.WriteByte([]byte{'+', '-', '*'}[rng.Intn(3)])
+		writeOperand()
+	}
+	for depth > 0 {
+		b.WriteByte(')')
+		depth--
+	}
+	return b.String()
+}

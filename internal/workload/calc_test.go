@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/nvp"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func TestEvalExprReference(t *testing.T) {
+	tests := []struct {
+		expr string
+		want int64
+	}{
+		{"1", 1},
+		{"1+2", 3},
+		{"2*3", 6},
+		{"1+2*3", 7},
+		{"2*3+1", 7},
+		{"(1+2)*3", 9},
+		{"10-2-3", 5},
+		{"10-2*3", 4},
+		{"2*(3+4)*5", 70},
+		{"((7))", 7},
+		{" 1 + 2 ", 3},
+		{"0*99+1", 1},
+	}
+	for _, tt := range tests {
+		got, err := EvalExpr(tt.expr)
+		if err != nil {
+			t.Errorf("EvalExpr(%q): %v", tt.expr, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("EvalExpr(%q) = %d, want %d", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestEvalExprRejectsBadInput(t *testing.T) {
+	bad := []string{"", "1+", "+1", "1 2", "(1+2", "1+2)", "a+b", "()", "1*/2", "((1)"}
+	for _, expr := range bad {
+		if _, err := EvalExpr(expr); !errors.Is(err, ErrBadExpression) {
+			t.Errorf("EvalExpr(%q) err = %v, want ErrBadExpression", expr, err)
+		}
+	}
+}
+
+func TestShuntingYardAgreesWithReference(t *testing.T) {
+	rng := xrand.New(7)
+	for i := 0; i < 3000; i++ {
+		expr := RandomExpr(rng, 1+rng.Intn(6))
+		want, err := EvalExpr(expr)
+		if err != nil {
+			t.Fatalf("reference rejected generated expr %q: %v", expr, err)
+		}
+		got, err := evalShuntingYard(expr)
+		if err != nil {
+			t.Fatalf("shunting-yard rejected %q: %v", expr, err)
+		}
+		if got != want {
+			t.Fatalf("shunting-yard(%q) = %d, reference %d", expr, got, want)
+		}
+	}
+}
+
+func TestShuntingYardRejectsBadInput(t *testing.T) {
+	bad := []string{"", "1+", "+1", "(1+2", "1+2)", "()", "1 2", "(+)"}
+	for _, expr := range bad {
+		if _, err := evalShuntingYard(expr); !errors.Is(err, ErrBadExpression) {
+			t.Errorf("shunting-yard(%q) err = %v", expr, err)
+		}
+	}
+}
+
+func TestLeftToRightBugManifests(t *testing.T) {
+	// The bug is precedence-sensitive: 1+2*3 evaluates to 9 (left to
+	// right) instead of 7.
+	got, err := evalLeftToRight("1+2*3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("buggy eval = %d, want the characteristic wrong answer 9", got)
+	}
+	// Outside the failure region (no precedence interaction) it is correct.
+	for _, expr := range []string{"1+2+3", "2*3*4", "(1+2)*3", "9-4-3"} {
+		want, err := EvalExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := evalLeftToRight(expr)
+		if err != nil || got != want {
+			t.Errorf("buggy eval(%q) = (%d, %v), want %d", expr, got, err, want)
+		}
+	}
+}
+
+func TestCalcVersionsVoteMasksPrecedenceBug(t *testing.T) {
+	sys, err := nvp.New(CalcVersions(), core.EqualOf[int64]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(11)
+	ctx := context.Background()
+	buggyWrong := 0
+	for i := 0; i < 2000; i++ {
+		expr := RandomExpr(rng, 1+rng.Intn(5))
+		want, err := EvalExpr(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.Execute(ctx, expr)
+		if err != nil || got != want {
+			t.Fatalf("voted eval(%q) = (%d, %v), want %d", expr, got, err, want)
+		}
+		if v, err := evalLeftToRight(expr); err != nil || v != want {
+			buggyWrong++
+		}
+	}
+	if buggyWrong == 0 {
+		t.Error("generator never exercised the precedence bug")
+	}
+}
+
+func TestCalcDisagreementDetectedByPair(t *testing.T) {
+	// A self-checking pair of the correct and the buggy version detects
+	// the bug as divergence on precedence-sensitive input.
+	versions := CalcVersions()
+	results := []core.Result[int64]{}
+	for _, v := range []core.Variant[string, int64]{versions[0], versions[2]} {
+		got, err := v.Execute(context.Background(), "1+2*3")
+		results = append(results, core.Result[int64]{Variant: v.Name(), Value: got, Err: err})
+	}
+	if results[0].Value == results[1].Value {
+		t.Fatal("versions unexpectedly agree")
+	}
+}
+
+// Property: the two correct versions agree on every generated expression,
+// and parenthesizing the whole expression never changes its value.
+func TestCalcProperties(t *testing.T) {
+	rng := xrand.New(23)
+	f := func(opsRaw uint8, seedRaw uint16) bool {
+		expr := RandomExpr(xrand.New(uint64(seedRaw)), int(opsRaw%6)+1)
+		a, errA := EvalExpr(expr)
+		b, errB := evalShuntingYard(expr)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA == nil && a != b {
+			return false
+		}
+		c, err := EvalExpr("(" + expr + ")")
+		return err == nil && c == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	_ = rng
+}
+
+func TestRandomExprAlwaysWellFormed(t *testing.T) {
+	rng := xrand.New(31)
+	for i := 0; i < 5000; i++ {
+		expr := RandomExpr(rng, 1+rng.Intn(8))
+		if _, err := EvalExpr(expr); err != nil {
+			t.Fatalf("generated invalid expression %q: %v", expr, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParsersAgree differentially fuzzes the two independently designed
+// correct calculator versions: on any input, they must agree on both the
+// accept/reject decision and, when accepting, the value. This is exactly
+// the self-checking-pair adjudication applied as a fuzz oracle.
+func FuzzParsersAgree(f *testing.F) {
+	for _, seed := range []string{
+		"1+2*3", "(1+2)*3", "10-2-3", "((7))", "", "1+", ")(",
+		"2*(3+4)*5", "0", "19*19*19", "1 + 2", "(((((1)))))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		if len(expr) > 256 {
+			return
+		}
+		a, errA := EvalExpr(expr)
+		b, errB := evalShuntingYard(expr)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("accept/reject disagreement on %q: rd=%v sy=%v", expr, errA, errB)
+		}
+		if errA != nil {
+			if !errors.Is(errA, ErrBadExpression) {
+				t.Fatalf("unexpected error class: %v", errA)
+			}
+			return
+		}
+		if a != b {
+			t.Fatalf("value disagreement on %q: rd=%d sy=%d", expr, a, b)
+		}
+	})
+}
+
+// FuzzReferenceNeverPanics asserts the reference evaluator is total: any
+// byte string either evaluates or returns ErrBadExpression.
+func FuzzReferenceNeverPanics(f *testing.F) {
+	for _, seed := range []string{"1", "((", "+*+", "9999999999999999999999", "1*)2("} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		if len(expr) > 256 {
+			return
+		}
+		if _, err := EvalExpr(expr); err != nil && !errors.Is(err, ErrBadExpression) {
+			t.Fatalf("non-sentinel error: %v", err)
+		}
+	})
+}

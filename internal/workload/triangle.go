@@ -1,0 +1,247 @@
+// Package workload provides the subject programs that examples and
+// experiments exercise the redundancy techniques on. Instead of
+// synthetic coin-flip failures, these are small real programs with
+// genuine seeded logic faults:
+//
+//   - the triangle classifier of Knight and Leveson's classic N-version
+//     experiment, in four "independently developed" versions, three of
+//     which carry a distinct, deterministic logic bug (a Bohrbug with its
+//     own failure region of the input space);
+//   - a Newton square-root routine in three versions for inexact
+//     (median) voting, one of which diverges on a boundary region.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// Triangle is the classification result.
+type Triangle int
+
+const (
+	// Invalid means the sides violate the triangle inequality.
+	Invalid Triangle = iota + 1
+	// Scalene means all sides differ.
+	Scalene
+	// Isosceles means exactly two sides are equal.
+	Isosceles
+	// Equilateral means all sides are equal.
+	Equilateral
+)
+
+// String implements fmt.Stringer.
+func (t Triangle) String() string {
+	switch t {
+	case Invalid:
+		return "invalid"
+	case Scalene:
+		return "scalene"
+	case Isosceles:
+		return "isosceles"
+	case Equilateral:
+		return "equilateral"
+	default:
+		return "unknown"
+	}
+}
+
+// TriangleInput is one classification request.
+type TriangleInput struct {
+	// A, B, C are the side lengths.
+	A, B, C int
+}
+
+// Key returns a deterministic key for fault models.
+func (in TriangleInput) Key() uint64 {
+	return faultmodel.HashInt(in.A)*3 ^ faultmodel.HashInt(in.B)*5 ^ faultmodel.HashInt(in.C)*7
+}
+
+// String implements fmt.Stringer.
+func (in TriangleInput) String() string {
+	return fmt.Sprintf("(%d, %d, %d)", in.A, in.B, in.C)
+}
+
+// ClassifyTriangle is the reference (correct) classifier.
+func ClassifyTriangle(in TriangleInput) Triangle {
+	a, b, c := in.A, in.B, in.C
+	if a <= 0 || b <= 0 || c <= 0 {
+		return Invalid
+	}
+	// Triangle inequality, all three orientations.
+	if a+b <= c || b+c <= a || a+c <= b {
+		return Invalid
+	}
+	switch {
+	case a == b && b == c:
+		return Equilateral
+	case a == b || b == c || a == c:
+		return Isosceles
+	default:
+		return Scalene
+	}
+}
+
+// TriangleVersions returns four "independently developed" classifier
+// versions. Version 1 is correct; versions 2-4 carry the classic faults
+// observed in N-version experiments:
+//
+//   - version 2 checks the triangle inequality in only one orientation,
+//     accepting some invalid triangles as scalene;
+//   - version 3 tests only a==b for isosceles, misclassifying b==c and
+//     a==c isosceles triangles as scalene;
+//   - version 4 uses a strict < in the triangle inequality, accepting
+//     degenerate (flat) triangles.
+//
+// Each bug has its own deterministic failure region, so a majority vote
+// over any three versions masks every single-version failure unless two
+// failure regions overlap on the same input.
+func TriangleVersions() []core.Variant[TriangleInput, Triangle] {
+	v1 := core.NewVariant("classifier-1-correct",
+		func(_ context.Context, in TriangleInput) (Triangle, error) {
+			return ClassifyTriangle(in), nil
+		})
+	v2 := core.NewVariant("classifier-2-partial-inequality",
+		func(_ context.Context, in TriangleInput) (Triangle, error) {
+			a, b, c := in.A, in.B, in.C
+			if a <= 0 || b <= 0 || c <= 0 {
+				return Invalid, nil
+			}
+			if a+b <= c { // bug: only one orientation checked
+				return Invalid, nil
+			}
+			switch {
+			case a == b && b == c:
+				return Equilateral, nil
+			case a == b || b == c || a == c:
+				return Isosceles, nil
+			default:
+				return Scalene, nil
+			}
+		})
+	v3 := core.NewVariant("classifier-3-partial-isosceles",
+		func(_ context.Context, in TriangleInput) (Triangle, error) {
+			a, b, c := in.A, in.B, in.C
+			if a <= 0 || b <= 0 || c <= 0 {
+				return Invalid, nil
+			}
+			if a+b <= c || b+c <= a || a+c <= b {
+				return Invalid, nil
+			}
+			switch {
+			case a == b && b == c:
+				return Equilateral, nil
+			case a == b: // bug: misses b==c and a==c
+				return Isosceles, nil
+			default:
+				return Scalene, nil
+			}
+		})
+	v4 := core.NewVariant("classifier-4-degenerate-accepted",
+		func(_ context.Context, in TriangleInput) (Triangle, error) {
+			a, b, c := in.A, in.B, in.C
+			if a <= 0 || b <= 0 || c <= 0 {
+				return Invalid, nil
+			}
+			if a+b < c || b+c < a || a+c < b { // bug: strict < accepts flat triangles
+				return Invalid, nil
+			}
+			switch {
+			case a == b && b == c:
+				return Equilateral, nil
+			case a == b || b == c || a == c:
+				return Isosceles, nil
+			default:
+				return Scalene, nil
+			}
+		})
+	return []core.Variant[TriangleInput, Triangle]{v1, v2, v3, v4}
+}
+
+// RandomTriangle draws sides uniformly from [1, maxSide], with a bias
+// toward the interesting boundary regions (degenerate and equal-side
+// triangles) so version bugs are actually exercised.
+func RandomTriangle(rng *xrand.Rand, maxSide int) TriangleInput {
+	a := 1 + rng.Intn(maxSide)
+	b := 1 + rng.Intn(maxSide)
+	var c int
+	switch rng.Intn(4) {
+	case 0:
+		c = a + b // degenerate (flat)
+	case 1:
+		c = a // isosceles-ish
+	default:
+		c = 1 + rng.Intn(maxSide)
+	}
+	return TriangleInput{A: a, B: b, C: c}
+}
+
+// SqrtVersions returns three square-root implementations for inexact
+// median voting: Newton iteration, the math library, and a bisection
+// version with a seeded bug that returns wildly wrong results for inputs
+// in (0, 0.25) (its initial bracket does not contain the root).
+func SqrtVersions() []core.Variant[float64, float64] {
+	newton := core.NewVariant("sqrt-newton",
+		func(_ context.Context, x float64) (float64, error) {
+			if x < 0 {
+				return 0, fmt.Errorf("sqrt of negative %f", x)
+			}
+			if x == 0 {
+				return 0, nil
+			}
+			z := x
+			for i := 0; i < 50; i++ {
+				z -= (z*z - x) / (2 * z)
+			}
+			return z, nil
+		})
+	lib := core.NewVariant("sqrt-lib",
+		func(_ context.Context, x float64) (float64, error) {
+			if x < 0 {
+				return 0, fmt.Errorf("sqrt of negative %f", x)
+			}
+			return math.Sqrt(x), nil
+		})
+	bisect := core.NewVariant("sqrt-bisect-buggy",
+		func(_ context.Context, x float64) (float64, error) {
+			if x < 0 {
+				return 0, fmt.Errorf("sqrt of negative %f", x)
+			}
+			// Bug: for x < 0.25 the bracket [0, 2x] excludes the root,
+			// because sqrt(x) > 2x exactly when x < 1/4; bisection then
+			// converges to the bracket edge and returns ~2x.
+			lo, hi := 0.0, x*2
+			if x >= 0.25 {
+				hi = x + 1
+			}
+			for i := 0; i < 200; i++ {
+				mid := (lo + hi) / 2
+				if mid*mid < x {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			return (lo + hi) / 2, nil
+		})
+	return []core.Variant[float64, float64]{newton, lib, bisect}
+}
+
+// MedianOfSlice is a tiny helper used by examples: the median of a
+// non-empty slice.
+func MedianOfSlice(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/nvp"
+	"github.com/softwarefaults/redundancy/internal/vote"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func TestClassifyTriangleReference(t *testing.T) {
+	tests := []struct {
+		in   TriangleInput
+		want Triangle
+	}{
+		{TriangleInput{3, 4, 5}, Scalene},
+		{TriangleInput{3, 3, 5}, Isosceles},
+		{TriangleInput{5, 3, 3}, Isosceles},
+		{TriangleInput{3, 5, 3}, Isosceles},
+		{TriangleInput{4, 4, 4}, Equilateral},
+		{TriangleInput{1, 2, 3}, Invalid}, // degenerate
+		{TriangleInput{1, 1, 5}, Invalid},
+		{TriangleInput{0, 1, 1}, Invalid},
+		{TriangleInput{-1, 2, 2}, Invalid},
+	}
+	for _, tt := range tests {
+		if got := ClassifyTriangle(tt.in); got != tt.want {
+			t.Errorf("Classify%s = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestVersionBugsHaveDistinctFailureRegions(t *testing.T) {
+	versions := TriangleVersions()
+	if len(versions) != 4 {
+		t.Fatalf("versions = %d", len(versions))
+	}
+	ctx := context.Background()
+	run := func(v core.Variant[TriangleInput, Triangle], in TriangleInput) Triangle {
+		got, err := v.Execute(ctx, in)
+		if err != nil {
+			t.Fatalf("%s%s: %v", v.Name(), in, err)
+		}
+		return got
+	}
+	// v2 fails on invalid triangles whose violated inequality is not
+	// a+b<=c.
+	in := TriangleInput{A: 5, B: 1, C: 1} // b+c <= a
+	if run(versions[1], in) == Invalid {
+		t.Error("v2 should accept this invalid triangle (its bug)")
+	}
+	if run(versions[0], in) != Invalid || run(versions[2], in) != Invalid || run(versions[3], in) != Invalid {
+		t.Error("v1, v3, v4 should classify it invalid")
+	}
+	// v3 fails on isosceles with b==c.
+	in = TriangleInput{A: 3, B: 5, C: 5}
+	if run(versions[2], in) != Scalene {
+		t.Error("v3 should misclassify b==c isosceles as scalene (its bug)")
+	}
+	if run(versions[0], in) != Isosceles || run(versions[1], in) != Isosceles || run(versions[3], in) != Isosceles {
+		t.Error("other versions should classify isosceles")
+	}
+	// v4 fails on degenerate triangles.
+	in = TriangleInput{A: 2, B: 3, C: 5}
+	if run(versions[3], in) == Invalid {
+		t.Error("v4 should accept the flat triangle (its bug)")
+	}
+	if run(versions[0], in) != Invalid {
+		t.Error("v1 should reject the flat triangle")
+	}
+}
+
+// TestThreeVersionVoteMasksEverySingleBug is the workload-level N-version
+// demonstration: a majority of versions 1-3 (or any three) classifies
+// correctly wherever at most one version's failure region covers the
+// input.
+func TestThreeVersionVoteMasksEverySingleBug(t *testing.T) {
+	versions := TriangleVersions()
+	sys, err := nvp.New(versions[:3], core.EqualOf[Triangle]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := xrand.New(17)
+	disagreements := 0
+	for i := 0; i < 5000; i++ {
+		in := RandomTriangle(rng, 10)
+		want := ClassifyTriangle(in)
+		got, err := sys.Execute(ctx, in)
+		if err != nil {
+			disagreements++
+			continue
+		}
+		if got != want {
+			t.Fatalf("voted classification of %s = %v, want %v", in, got, want)
+		}
+	}
+	// The two buggy versions have disjoint failure regions, so majority
+	// always exists.
+	if disagreements != 0 {
+		t.Errorf("unexpected vote failures: %d", disagreements)
+	}
+}
+
+func TestSingleVersionsActuallyFail(t *testing.T) {
+	versions := TriangleVersions()
+	ctx := context.Background()
+	rng := xrand.New(23)
+	for vi := 1; vi < 4; vi++ {
+		failures := 0
+		for i := 0; i < 5000; i++ {
+			in := RandomTriangle(rng, 10)
+			got, err := versions[vi].Execute(ctx, in)
+			if err != nil || got != ClassifyTriangle(in) {
+				failures++
+			}
+		}
+		if failures == 0 {
+			t.Errorf("version %d never failed; bug region not exercised", vi+1)
+		}
+	}
+}
+
+func TestTriangleInputKeyDeterministic(t *testing.T) {
+	a := TriangleInput{3, 4, 5}
+	b := TriangleInput{3, 4, 5}
+	if a.Key() != b.Key() {
+		t.Error("keys differ for equal inputs")
+	}
+	if a.Key() == (TriangleInput{5, 4, 3}).Key() {
+		t.Error("permuted sides should hash differently (orientation matters for bugs)")
+	}
+}
+
+func TestTriangleStringers(t *testing.T) {
+	if Invalid.String() != "invalid" || Scalene.String() != "scalene" ||
+		Isosceles.String() != "isosceles" || Equilateral.String() != "equilateral" ||
+		Triangle(0).String() != "unknown" {
+		t.Error("Triangle.String incorrect")
+	}
+	if (TriangleInput{1, 2, 3}).String() != "(1, 2, 3)" {
+		t.Error("TriangleInput.String incorrect")
+	}
+}
+
+func TestSqrtVersionsAgreeOutsideBugRegion(t *testing.T) {
+	versions := SqrtVersions()
+	ctx := context.Background()
+	for _, x := range []float64{0.25, 1, 2, 100, 12345.678} {
+		want := math.Sqrt(x)
+		for _, v := range versions {
+			got, err := v.Execute(ctx, x)
+			if err != nil {
+				t.Fatalf("%s(%f): %v", v.Name(), x, err)
+			}
+			if math.Abs(got-want) > 1e-6*want+1e-9 {
+				t.Errorf("%s(%f) = %f, want %f", v.Name(), x, got, want)
+			}
+		}
+	}
+}
+
+func TestSqrtBuggyVersionFailsInRegion(t *testing.T) {
+	versions := SqrtVersions()
+	buggy := versions[2]
+	got, err := buggy.Execute(context.Background(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) < 0.01 {
+		t.Errorf("buggy sqrt(0.01) = %f; the seeded bug should make it wrong", got)
+	}
+}
+
+func TestMedianVoteMasksSqrtBug(t *testing.T) {
+	sys, err := nvp.NewWithAdjudicator(SqrtVersions(), vote.MedianAdjudicator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.01, 0.1, 0.2, 1, 4} {
+		got, err := sys.Execute(context.Background(), x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-math.Sqrt(x)) > 1e-6 {
+			t.Errorf("median sqrt(%f) = %f, want %f", x, got, math.Sqrt(x))
+		}
+	}
+}
+
+func TestSqrtNegativeInput(t *testing.T) {
+	for _, v := range SqrtVersions() {
+		if _, err := v.Execute(context.Background(), -1); err == nil {
+			t.Errorf("%s accepted negative input", v.Name())
+		}
+	}
+}
+
+func TestMedianOfSlice(t *testing.T) {
+	if got := MedianOfSlice([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %f", got)
+	}
+	if got := MedianOfSlice([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %f", got)
+	}
+}
+
+// Property: the reference classifier is permutation-invariant.
+func TestClassifyPermutationInvariant(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		in1 := TriangleInput{int(a), int(b), int(c)}
+		in2 := TriangleInput{int(b), int(c), int(a)}
+		in3 := TriangleInput{int(c), int(a), int(b)}
+		r := ClassifyTriangle(in1)
+		return ClassifyTriangle(in2) == r && ClassifyTriangle(in3) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTriangleCoversBoundaryRegions(t *testing.T) {
+	rng := xrand.New(5)
+	sawInvalid, sawIso, sawEq := false, false, false
+	for i := 0; i < 2000; i++ {
+		in := RandomTriangle(rng, 8)
+		switch ClassifyTriangle(in) {
+		case Invalid:
+			sawInvalid = true
+		case Isosceles:
+			sawIso = true
+		case Equilateral:
+			sawEq = true
+		}
+	}
+	if !sawInvalid || !sawIso || !sawEq {
+		t.Errorf("generator coverage: invalid=%v isosceles=%v equilateral=%v",
+			sawInvalid, sawIso, sawEq)
+	}
+}

@@ -1,0 +1,204 @@
+// Package wrapper implements fault-containment wrappers: redundant code
+// deliberately inserted at component boundaries to prevent failures
+// before they occur. Two wrapper families from the paper are provided:
+//
+//   - Fetzer-style "healers": wrappers around heap-writing calls that
+//     perform boundary checks and prevent buffer overflows from smashing
+//     adjacent memory (targeting malicious faults and Bohrbugs);
+//   - protocol wrappers for incompletely specified COTS components
+//     (Popov et al., Chang et al.): interaction-protocol enforcement that
+//     detects and repairs common misuses such as using a resource before
+//     opening it.
+//
+// Taxonomy position (paper Table 2): deliberate intention, code
+// redundancy, preventive (the wrapper blocks the failure; no
+// failure-triggered adjudication), Bohrbugs and malicious faults.
+package wrapper
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Heap errors.
+var (
+	// ErrOutOfMemory reports heap exhaustion.
+	ErrOutOfMemory = errors.New("wrapper: out of memory")
+	// ErrBadHandle reports an unknown or freed block handle.
+	ErrBadHandle = errors.New("wrapper: bad block handle")
+	// ErrOverflowPrevented reports a write that the boundary-check healer
+	// refused because it would exceed the block.
+	ErrOverflowPrevented = errors.New("wrapper: buffer overflow prevented")
+)
+
+// canary is the guard byte written between blocks; a raw overflowing
+// write destroys it, which CheckIntegrity detects.
+const canary = 0xCC
+
+// Handle identifies an allocated block.
+type Handle int
+
+// Heap is a simulated C-like heap: blocks are laid out contiguously with
+// a single canary byte between them, and the raw write path performs no
+// bounds checking — exactly the substrate a heap-smashing overflow needs.
+type Heap struct {
+	mem    []byte
+	blocks map[Handle]heapBlock
+	order  []Handle
+	next   int // next free offset in mem
+	nextID Handle
+}
+
+type heapBlock struct {
+	start int
+	size  int
+}
+
+// NewHeap creates a heap of the given byte capacity.
+func NewHeap(capacity int) (*Heap, error) {
+	if capacity < 1 {
+		return nil, errors.New("wrapper: non-positive heap capacity")
+	}
+	return &Heap{
+		mem:    make([]byte, capacity),
+		blocks: make(map[Handle]heapBlock),
+	}, nil
+}
+
+// Alloc reserves a block of the given size and returns its handle.
+func (h *Heap) Alloc(size int) (Handle, error) {
+	if size < 1 {
+		return 0, errors.New("wrapper: non-positive allocation size")
+	}
+	if h.next+size+1 > len(h.mem) {
+		return 0, ErrOutOfMemory
+	}
+	id := h.nextID
+	h.nextID++
+	h.blocks[id] = heapBlock{start: h.next, size: size}
+	h.order = append(h.order, id)
+	h.next += size
+	h.mem[h.next] = canary
+	h.next++
+	return id, nil
+}
+
+// Size returns the size of the block.
+func (h *Heap) Size(id Handle) (int, error) {
+	b, ok := h.blocks[id]
+	if !ok {
+		return 0, ErrBadHandle
+	}
+	return b.size, nil
+}
+
+// RawWrite writes data at offset within the block with NO bounds check:
+// an overflowing write silently smashes the canary and any following
+// blocks, as an unguarded C memcpy would.
+func (h *Heap) RawWrite(id Handle, offset int, data []byte) error {
+	b, ok := h.blocks[id]
+	if !ok {
+		return ErrBadHandle
+	}
+	if offset < 0 {
+		return errors.New("wrapper: negative offset")
+	}
+	start := b.start + offset
+	if start+len(data) > len(h.mem) {
+		return fmt.Errorf("write past end of heap: %w", ErrOutOfMemory)
+	}
+	copy(h.mem[start:], data)
+	return nil
+}
+
+// Read returns n bytes at offset within the block, bounds-checked (reads
+// are not the attack vector in this model).
+func (h *Heap) Read(id Handle, offset, n int) ([]byte, error) {
+	b, ok := h.blocks[id]
+	if !ok {
+		return nil, ErrBadHandle
+	}
+	if offset < 0 || n < 0 || offset+n > b.size {
+		return nil, fmt.Errorf("read [%d, %d) outside block of %d bytes: %w",
+			offset, offset+n, b.size, ErrBadHandle)
+	}
+	out := make([]byte, n)
+	copy(out, h.mem[b.start+offset:])
+	return out, nil
+}
+
+// CheckIntegrity audits all inter-block canaries and returns the handles
+// of blocks whose trailing canary was destroyed by an overflow.
+func (h *Heap) CheckIntegrity() []Handle {
+	var smashed []Handle
+	for _, id := range h.order {
+		b := h.blocks[id]
+		if h.mem[b.start+b.size] != canary {
+			smashed = append(smashed, id)
+		}
+	}
+	return smashed
+}
+
+// OverflowPolicy selects how the healer handles an overflowing write.
+type OverflowPolicy int
+
+const (
+	// Reject refuses the whole write.
+	Reject OverflowPolicy = iota + 1
+	// Truncate writes only the in-bounds prefix.
+	Truncate
+)
+
+// Healer is the Fetzer-style boundary-check wrapper: it embeds every
+// heap-writing call and performs suitable boundary checks to prevent
+// buffer overflows.
+type Healer struct {
+	heap   *Heap
+	policy OverflowPolicy
+
+	// Prevented counts writes the healer rejected or truncated.
+	Prevented int
+}
+
+// NewHealer wraps heap with the given overflow policy.
+func NewHealer(heap *Heap, policy OverflowPolicy) (*Healer, error) {
+	if heap == nil {
+		return nil, errors.New("wrapper: nil heap")
+	}
+	if policy != Reject && policy != Truncate {
+		return nil, errors.New("wrapper: unknown overflow policy")
+	}
+	return &Healer{heap: heap, policy: policy}, nil
+}
+
+// Write is the guarded write path: in-bounds writes pass through; an
+// overflowing write is rejected or truncated per the policy, so the
+// canary and neighboring blocks always survive.
+func (w *Healer) Write(id Handle, offset int, data []byte) error {
+	size, err := w.heap.Size(id)
+	if err != nil {
+		return err
+	}
+	if offset < 0 {
+		return errors.New("wrapper: negative offset")
+	}
+	if offset+len(data) <= size {
+		return w.heap.RawWrite(id, offset, data)
+	}
+	w.Prevented++
+	switch w.policy {
+	case Truncate:
+		room := size - offset
+		if room <= 0 {
+			return fmt.Errorf("offset %d beyond block of %d bytes: %w", offset, size, ErrOverflowPrevented)
+		}
+		if err := w.heap.RawWrite(id, offset, data[:room]); err != nil {
+			return err
+		}
+		return fmt.Errorf("wrote %d of %d bytes: %w", room, len(data), ErrOverflowPrevented)
+	default:
+		return fmt.Errorf("write of %d bytes at offset %d into block of %d bytes: %w",
+			len(data), offset, size, ErrOverflowPrevented)
+	}
+}

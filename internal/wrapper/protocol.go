@@ -1,0 +1,146 @@
+package wrapper
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Protocol-enforcement wrappers for incompletely specified COTS
+// components: the wrapper mediates every interaction, detects classic
+// protocol mismatches (use-before-open, double-close, use-after-close)
+// and repairs them when a safe repair exists.
+
+// Protocol errors.
+var (
+	// ErrProtocolViolation reports a call sequence the component's
+	// interaction protocol forbids.
+	ErrProtocolViolation = errors.New("wrapper: protocol violation")
+)
+
+// ResourceState is the protocol state of a COTS resource component.
+type ResourceState int
+
+const (
+	// StateClosed means the resource is not open.
+	StateClosed ResourceState = iota + 1
+	// StateOpen means the resource is open and usable.
+	StateOpen
+	// StateBroken means a protocol violation corrupted the component.
+	StateBroken
+)
+
+// String implements fmt.Stringer.
+func (s ResourceState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateBroken:
+		return "broken"
+	default:
+		return "unknown"
+	}
+}
+
+// COTSResource is a simulated off-the-shelf component with an implicit
+// interaction protocol (Open → Use* → Close) that its specification does
+// not enforce: misuse silently corrupts it, modeling the
+// incomplete-specification integration problems wrappers target.
+type COTSResource struct {
+	state ResourceState
+	uses  int
+}
+
+// NewCOTSResource returns a closed resource.
+func NewCOTSResource() *COTSResource {
+	return &COTSResource{state: StateClosed}
+}
+
+// State returns the protocol state.
+func (r *COTSResource) State() ResourceState { return r.state }
+
+// Uses returns the number of successful Use calls.
+func (r *COTSResource) Uses() int { return r.uses }
+
+// Open makes the resource usable. Opening an open resource breaks it
+// (the undocumented behavior integrators trip over).
+func (r *COTSResource) Open() error {
+	if r.state == StateOpen {
+		r.state = StateBroken
+		return fmt.Errorf("double open corrupted the resource: %w", ErrProtocolViolation)
+	}
+	if r.state == StateBroken {
+		return fmt.Errorf("resource is broken: %w", ErrProtocolViolation)
+	}
+	r.state = StateOpen
+	return nil
+}
+
+// Use performs work. Using a closed resource breaks it.
+func (r *COTSResource) Use() error {
+	if r.state != StateOpen {
+		r.state = StateBroken
+		return fmt.Errorf("use while %s corrupted the resource: %w", r.state, ErrProtocolViolation)
+	}
+	r.uses++
+	return nil
+}
+
+// Close releases the resource. Closing a closed resource breaks it.
+func (r *COTSResource) Close() error {
+	if r.state != StateOpen {
+		r.state = StateBroken
+		return fmt.Errorf("close while %s corrupted the resource: %w", r.state, ErrProtocolViolation)
+	}
+	r.state = StateClosed
+	return nil
+}
+
+// ProtocolWrapper mediates all interactions with a COTSResource and
+// repairs the classic misuses: it auto-opens on use-before-open,
+// suppresses redundant opens and closes, and thereby keeps the component
+// out of the broken state.
+type ProtocolWrapper struct {
+	resource *COTSResource
+
+	// Repairs counts the misuses the wrapper absorbed.
+	Repairs int
+}
+
+// NewProtocolWrapper wraps resource.
+func NewProtocolWrapper(resource *COTSResource) (*ProtocolWrapper, error) {
+	if resource == nil {
+		return nil, errors.New("wrapper: nil resource")
+	}
+	return &ProtocolWrapper{resource: resource}, nil
+}
+
+// Open is idempotent through the wrapper.
+func (w *ProtocolWrapper) Open() error {
+	if w.resource.State() == StateOpen {
+		w.Repairs++
+		return nil
+	}
+	return w.resource.Open()
+}
+
+// Use auto-opens a closed resource before delegating.
+func (w *ProtocolWrapper) Use() error {
+	if w.resource.State() == StateClosed {
+		w.Repairs++
+		if err := w.resource.Open(); err != nil {
+			return err
+		}
+	}
+	return w.resource.Use()
+}
+
+// Close is idempotent through the wrapper.
+func (w *ProtocolWrapper) Close() error {
+	if w.resource.State() == StateClosed {
+		w.Repairs++
+		return nil
+	}
+	return w.resource.Close()
+}

@@ -1,0 +1,317 @@
+package wrapper
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newHeap(t *testing.T) *Heap {
+	t.Helper()
+	h, err := NewHeap(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHeapAllocWriteRead(t *testing.T) {
+	h := newHeap(t)
+	b, err := h.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RawWrite(b, 0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Read(b, 0, 5)
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Read = (%q, %v)", got, err)
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	h, err := NewHeap(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Alloc(32); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestHeapBadHandle(t *testing.T) {
+	h := newHeap(t)
+	if err := h.RawWrite(Handle(99), 0, []byte("x")); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := h.Read(Handle(99), 0, 1); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := h.Size(Handle(99)); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHeapInvalidArguments(t *testing.T) {
+	h := newHeap(t)
+	if _, err := h.Alloc(0); err == nil {
+		t.Error("zero alloc accepted")
+	}
+	b, _ := h.Alloc(8)
+	if err := h.RawWrite(b, -1, []byte("x")); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := h.Read(b, 4, 100); err == nil {
+		t.Error("out-of-bounds read accepted")
+	}
+	if _, err := NewHeap(0); err == nil {
+		t.Error("zero-capacity heap accepted")
+	}
+}
+
+func TestRawOverflowSmashesNeighbor(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Alloc(8)
+	b, _ := h.Alloc(8)
+	if err := h.RawWrite(b, 0, []byte("VICTIMOK")); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow block a by 16 bytes: destroys a's canary and block b.
+	if err := h.RawWrite(a, 0, bytes.Repeat([]byte{'X'}, 24)); err != nil {
+		t.Fatal(err)
+	}
+	smashed := h.CheckIntegrity()
+	if len(smashed) == 0 {
+		t.Fatal("overflow not detected by integrity audit")
+	}
+	got, err := h.Read(b, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, []byte("VICTIMOK")) {
+		t.Error("neighbor block survived a raw overflow; substrate too safe")
+	}
+}
+
+func TestHealerRejectPreventsOverflow(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Alloc(8)
+	b, _ := h.Alloc(8)
+	if err := h.RawWrite(b, 0, []byte("VICTIMOK")); err != nil {
+		t.Fatal(err)
+	}
+	healer, err := NewHealer(h, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = healer.Write(a, 0, bytes.Repeat([]byte{'X'}, 24))
+	if !errors.Is(err, ErrOverflowPrevented) {
+		t.Fatalf("err = %v, want ErrOverflowPrevented", err)
+	}
+	if healer.Prevented != 1 {
+		t.Errorf("Prevented = %d", healer.Prevented)
+	}
+	if smashed := h.CheckIntegrity(); len(smashed) != 0 {
+		t.Errorf("canaries smashed despite healer: %v", smashed)
+	}
+	got, _ := h.Read(b, 0, 8)
+	if !bytes.Equal(got, []byte("VICTIMOK")) {
+		t.Error("neighbor corrupted despite healer")
+	}
+}
+
+func TestHealerTruncateWritesPrefix(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Alloc(4)
+	healer, err := NewHealer(h, Truncate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = healer.Write(a, 0, []byte("toolongdata"))
+	if !errors.Is(err, ErrOverflowPrevented) {
+		t.Fatalf("err = %v", err)
+	}
+	got, _ := h.Read(a, 0, 4)
+	if !bytes.Equal(got, []byte("tool")) {
+		t.Errorf("prefix = %q, want %q", got, "tool")
+	}
+	if smashed := h.CheckIntegrity(); len(smashed) != 0 {
+		t.Errorf("canaries smashed: %v", smashed)
+	}
+}
+
+func TestHealerTruncateBeyondBlock(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Alloc(4)
+	healer, _ := NewHealer(h, Truncate)
+	if err := healer.Write(a, 10, []byte("x")); !errors.Is(err, ErrOverflowPrevented) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHealerInBoundsPassThrough(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Alloc(8)
+	healer, _ := NewHealer(h, Reject)
+	if err := healer.Write(a, 2, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if healer.Prevented != 0 {
+		t.Errorf("Prevented = %d for an in-bounds write", healer.Prevented)
+	}
+	got, _ := h.Read(a, 2, 2)
+	if !bytes.Equal(got, []byte("ok")) {
+		t.Errorf("Read = %q", got)
+	}
+}
+
+func TestHealerValidation(t *testing.T) {
+	if _, err := NewHealer(nil, Reject); err == nil {
+		t.Error("nil heap accepted")
+	}
+	h := newHeap(t)
+	if _, err := NewHealer(h, OverflowPolicy(9)); err == nil {
+		t.Error("bad policy accepted")
+	}
+	healer, _ := NewHealer(h, Reject)
+	if err := healer.Write(Handle(77), 0, []byte("x")); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("err = %v", err)
+	}
+	a, _ := h.Alloc(4)
+	if err := healer.Write(a, -1, []byte("x")); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+// Property: no sequence of healer writes can ever smash a canary.
+func TestHealerIntegrityProperty(t *testing.T) {
+	f := func(writes []struct {
+		Block  uint8
+		Offset uint8
+		Len    uint8
+	}) bool {
+		h, err := NewHeap(4096)
+		if err != nil {
+			return false
+		}
+		var handles []Handle
+		for i := 0; i < 8; i++ {
+			b, err := h.Alloc(16)
+			if err != nil {
+				return false
+			}
+			handles = append(handles, b)
+		}
+		healer, err := NewHealer(h, Truncate)
+		if err != nil {
+			return false
+		}
+		for _, w := range writes {
+			data := bytes.Repeat([]byte{0xAB}, int(w.Len))
+			_ = healer.Write(handles[int(w.Block)%len(handles)], int(w.Offset), data)
+		}
+		return len(h.CheckIntegrity()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCOTSMisuseBreaksUnwrappedResource(t *testing.T) {
+	r := NewCOTSResource()
+	if err := r.Use(); !errors.Is(err, ErrProtocolViolation) {
+		t.Fatalf("use-before-open: err = %v", err)
+	}
+	if r.State() != StateBroken {
+		t.Errorf("state = %v, want broken", r.State())
+	}
+	if err := r.Open(); !errors.Is(err, ErrProtocolViolation) {
+		t.Errorf("open of broken resource: err = %v", err)
+	}
+}
+
+func TestCOTSDoubleOpenBreaks(t *testing.T) {
+	r := NewCOTSResource()
+	if err := r.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Open(); !errors.Is(err, ErrProtocolViolation) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCOTSDoubleCloseBreaks(t *testing.T) {
+	r := NewCOTSResource()
+	if err := r.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); !errors.Is(err, ErrProtocolViolation) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCOTSHappyPath(t *testing.T) {
+	r := NewCOTSResource()
+	if err := r.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Use(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Uses() != 1 || r.State() != StateClosed {
+		t.Errorf("uses=%d state=%v", r.Uses(), r.State())
+	}
+}
+
+func TestProtocolWrapperRepairsMisuse(t *testing.T) {
+	r := NewCOTSResource()
+	w, err := NewProtocolWrapper(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// use-before-open: auto-opened.
+	if err := w.Use(); err != nil {
+		t.Fatalf("wrapped use-before-open: %v", err)
+	}
+	// double open: suppressed.
+	if err := w.Open(); err != nil {
+		t.Fatalf("wrapped double open: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// double close: suppressed.
+	if err := w.Close(); err != nil {
+		t.Fatalf("wrapped double close: %v", err)
+	}
+	if r.State() == StateBroken {
+		t.Error("resource broken despite wrapper")
+	}
+	if w.Repairs != 3 {
+		t.Errorf("Repairs = %d, want 3", w.Repairs)
+	}
+	if r.Uses() != 1 {
+		t.Errorf("Uses = %d", r.Uses())
+	}
+}
+
+func TestProtocolWrapperValidation(t *testing.T) {
+	if _, err := NewProtocolWrapper(nil); err == nil {
+		t.Error("nil resource accepted")
+	}
+}
+
+func TestResourceStateString(t *testing.T) {
+	if StateClosed.String() != "closed" || StateOpen.String() != "open" ||
+		StateBroken.String() != "broken" || ResourceState(0).String() != "unknown" {
+		t.Error("ResourceState.String incorrect")
+	}
+}

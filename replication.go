@@ -1,0 +1,34 @@
+package redundancy
+
+import "github.com/softwarefaults/redundancy/internal/repstore"
+
+// Replicated stateful store: N-version programming applied to diverse
+// storage servers (Gashi et al.), with result voting and state
+// reconciliation.
+type (
+	// StoreReplica is one independently implemented store replica.
+	StoreReplica = repstore.Replica
+	// SimStoreReplica is a simulated replica with seeded faults.
+	SimStoreReplica = repstore.SimReplica
+	// ReplicatedStore fans out operations over replicas, votes on reads,
+	// reconciles state after writes, and repairs divergent replicas.
+	ReplicatedStore = repstore.System
+)
+
+// Replicated-store errors.
+var (
+	// ErrKeyNotFound reports a read of an absent key.
+	ErrKeyNotFound = repstore.ErrKeyNotFound
+	// ErrNoQuorum reports that no replica majority agreed.
+	ErrNoQuorum = repstore.ErrNoQuorum
+)
+
+// NewSimStoreReplica creates an empty simulated store replica.
+func NewSimStoreReplica(name string) *SimStoreReplica {
+	return repstore.NewSimReplica(name)
+}
+
+// NewReplicatedStore builds a replicated store over at least 3 replicas.
+func NewReplicatedStore(replicas []StoreReplica) (*ReplicatedStore, error) {
+	return repstore.NewSystem(replicas)
+}

@@ -1,0 +1,38 @@
+package redundancy
+
+import (
+	"github.com/softwarefaults/redundancy/internal/taxonomy"
+)
+
+// Technique is one classified row of the paper's Table 2, extended with
+// the implementing package and architectural pattern.
+type Technique = taxonomy.Technique
+
+// Techniques returns the seventeen technique families in the paper's
+// Table 2 order, each positioned on the four taxonomy dimensions.
+func Techniques() []Technique { return taxonomy.All() }
+
+// TechniqueByName returns the technique with the given Table 2 name.
+func TechniqueByName(name string) (Technique, error) { return taxonomy.ByName(name) }
+
+// TechniquesByIntention returns the techniques with the given intention.
+func TechniquesByIntention(i Intention) []Technique { return taxonomy.ByIntention(i) }
+
+// TechniquesByType returns the techniques with the given redundancy type.
+func TechniquesByType(rt RedundancyType) []Technique { return taxonomy.ByType(rt) }
+
+// TechniquesByFaultClass returns the techniques addressing a fault class.
+func TechniquesByFaultClass(fc FaultClass) []Technique { return taxonomy.ByFaultClass(fc) }
+
+// TechniquesByPattern returns the techniques instantiating a pattern.
+func TechniquesByPattern(p Pattern) []Technique { return taxonomy.ByPattern(p) }
+
+// Table1 regenerates the paper's Table 1 (the classification scheme).
+func Table1() *Table { return taxonomy.Table1() }
+
+// Table2 regenerates the paper's Table 2 (all techniques classified).
+func Table2() *Table { return taxonomy.Table2() }
+
+// ImplementationTable renders the mapping from techniques to the
+// implementing packages, patterns and experiments of this repository.
+func ImplementationTable() *Table { return taxonomy.TableImplementation() }

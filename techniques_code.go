@@ -1,0 +1,283 @@
+package redundancy
+
+import (
+	"github.com/softwarefaults/redundancy/internal/geneticfix"
+	"github.com/softwarefaults/redundancy/internal/nvp"
+	"github.com/softwarefaults/redundancy/internal/recovery"
+	"github.com/softwarefaults/redundancy/internal/registry"
+	"github.com/softwarefaults/redundancy/internal/selfcheck"
+	"github.com/softwarefaults/redundancy/internal/selfopt"
+	"github.com/softwarefaults/redundancy/internal/service"
+	"github.com/softwarefaults/redundancy/internal/workaround"
+)
+
+// ---- N-version programming (deliberate code redundancy) ----
+
+// NVersionSystem is an N-version programming executor.
+type NVersionSystem[I, O any] = nvp.System[I, O]
+
+// NewNVersion builds an N-version system with a majority-voting implicit
+// adjudicator over the given independently developed versions.
+func NewNVersion[I, O any](versions []Variant[I, O], eq Equal[O], opts ...PatternOption) (*NVersionSystem[I, O], error) {
+	return nvp.New(versions, eq, opts...)
+}
+
+// NewNVersionWithAdjudicator builds an N-version system with a custom
+// implicit adjudicator (e.g. MOfN consensus or MedianAdjudicator).
+func NewNVersionWithAdjudicator[I, O any](versions []Variant[I, O], adj Adjudicator[O], opts ...PatternOption) (*NVersionSystem[I, O], error) {
+	return nvp.NewWithAdjudicator(versions, adj, opts...)
+}
+
+// NVersionReliability returns the analytic majority-vote success
+// probability for n independent versions failing with probability p.
+func NVersionReliability(n int, p float64) float64 {
+	return nvp.ReliabilityIndependent(n, p)
+}
+
+// NVersionReliabilityCorrelated returns the majority-vote success
+// probability under pairwise failure correlation rho (the erosion
+// observed by Brilliant, Knight and Leveson).
+func NVersionReliabilityCorrelated(n int, p, rho float64) float64 {
+	return nvp.ReliabilityCorrelated(n, p, rho)
+}
+
+// ---- Recovery blocks (deliberate code redundancy) ----
+
+// RecoveryBlock is a recovery block over shared mutable state S.
+type RecoveryBlock[S, I, O any] = recovery.Block[S, I, O]
+
+// NewRecoveryBlock builds a recovery block: the first variant is the
+// primary, the rest are alternates; test is the acceptance test; state is
+// checkpointed on entry and restored before each alternate.
+func NewRecoveryBlock[S, I, O any](name string, state *S, test AcceptanceTest[I, O], variants []Variant[I, O]) (*RecoveryBlock[S, I, O], error) {
+	return recovery.NewBlock(name, state, test, variants)
+}
+
+// ---- Self-checking programming (deliberate code redundancy) ----
+
+// SelfCheckingComponent is a component that judges its own results.
+type SelfCheckingComponent[I, O any] = selfcheck.Component[I, O]
+
+// SelfCheckingSystem executes self-checking components with hot-spare
+// promotion.
+type SelfCheckingSystem[I, O any] = selfcheck.System[I, O]
+
+// NewCheckedComponent builds a self-checking component from an
+// implementation and a built-in acceptance test (explicit adjudicator).
+func NewCheckedComponent[I, O any](impl Variant[I, O], test AcceptanceTest[I, O]) (SelfCheckingComponent[I, O], error) {
+	return selfcheck.WithTest(impl, test)
+}
+
+// NewComparedPair builds a self-checking component from two independently
+// designed implementations with a final comparison (implicit
+// adjudicator).
+func NewComparedPair[I, O any](a, b Variant[I, O], eq Equal[O]) (SelfCheckingComponent[I, O], error) {
+	return selfcheck.Pair(a, b, eq)
+}
+
+// NewSelfCheckingSystem builds a self-checking system; the first
+// component acts, the rest are hot spares in promotion order.
+func NewSelfCheckingSystem[I, O any](components []SelfCheckingComponent[I, O]) (*SelfCheckingSystem[I, O], error) {
+	return selfcheck.NewSystem(components)
+}
+
+// ---- Self-optimizing code (deliberate code redundancy) ----
+
+// OptimizerProfile couples an implementation with its latency model.
+type OptimizerProfile[I, O any] = selfopt.Profile[I, O]
+
+// Optimizer switches among implementations when QoS degrades.
+type Optimizer[I, O any] = selfopt.Optimizer[I, O]
+
+// NewOptimizer builds a self-optimizing executor: threshold bounds the
+// moving-average latency over window requests; loadProbe samples current
+// load.
+func NewOptimizer[I, O any](profiles []OptimizerProfile[I, O], threshold float64, window int, loadProbe func() float64) (*Optimizer[I, O], error) {
+	return selfopt.NewOptimizer(profiles, threshold, window, loadProbe)
+}
+
+// ---- Exception handling and rule engines (deliberate code redundancy) ----
+
+// Rule-engine types.
+type (
+	// Incident describes one detected failure.
+	Incident = registry.Incident
+	// RecoveryAction is one recovery action of a rule.
+	RecoveryAction = registry.Action
+	// RecoveryRule pairs a failure matcher with recovery actions.
+	RecoveryRule = registry.Rule
+	// RuleEngine resolves incidents through registered rules.
+	RuleEngine = registry.Engine
+	// RuleOutcome reports how an incident was handled.
+	RuleOutcome = registry.Outcome
+	// IncidentMatcher decides whether a rule applies to an incident.
+	IncidentMatcher = registry.Matcher
+)
+
+// Rule-engine errors.
+var (
+	// ErrNoMatchingRule reports an incident no rule matches.
+	ErrNoMatchingRule = registry.ErrNoMatchingRule
+	// ErrActionsExhausted reports a matching rule whose actions all
+	// failed.
+	ErrActionsExhausted = registry.ErrActionsExhausted
+)
+
+// NewRuleEngine builds a rule engine with the given recovery rules.
+func NewRuleEngine(rules ...RecoveryRule) (*RuleEngine, error) {
+	return registry.NewEngine(rules...)
+}
+
+// MatchComponent matches incidents from the named component.
+func MatchComponent(name string) IncidentMatcher { return registry.MatchComponent(name) }
+
+// MatchErrorIs matches incidents whose error wraps target.
+func MatchErrorIs(target error) IncidentMatcher { return registry.MatchErrorIs(target) }
+
+// MatchLabel matches incidents carrying the given label value.
+func MatchLabel(key, value string) IncidentMatcher { return registry.MatchLabel(key, value) }
+
+// MatchAll combines matchers conjunctively.
+func MatchAll(ms ...IncidentMatcher) IncidentMatcher { return registry.MatchAll(ms...) }
+
+// MatchAny combines matchers disjunctively.
+func MatchAny(ms ...IncidentMatcher) IncidentMatcher { return registry.MatchAny(ms...) }
+
+// ---- Dynamic service substitution (opportunistic code redundancy) ----
+
+// Service substitution types.
+type (
+	// Service is one provider of an interface.
+	Service = service.Service
+	// ServiceSignature describes a service interface.
+	ServiceSignature = service.Signature
+	// SimService is a simulated provider with an availability model.
+	SimService = service.SimService
+	// ServiceRegistry indexes available providers.
+	ServiceRegistry = service.Registry
+	// ServiceProxy is the transparent rebinding client.
+	ServiceProxy = service.Proxy
+	// ServiceConverter renames operations to adapt similar interfaces.
+	ServiceConverter = service.Converter
+)
+
+// Service substitution errors.
+var (
+	// ErrServiceDown reports an unavailable provider.
+	ErrServiceDown = service.ErrServiceDown
+	// ErrNoProvider reports that no substitute could be found.
+	ErrNoProvider = service.ErrNoProvider
+)
+
+// NewSimService creates a simulated provider for the given interface.
+func NewSimService(name string, sig ServiceSignature, handlers map[string]func(int) (int, error)) (*SimService, error) {
+	return service.NewSimService(name, sig, handlers)
+}
+
+// NewServiceRegistry creates an empty provider registry.
+func NewServiceRegistry() *ServiceRegistry { return service.NewRegistry() }
+
+// NewServiceProxy binds the best provider for want and substitutes on
+// failure; minSim is the minimum interface similarity for adapted
+// substitutes.
+func NewServiceProxy(reg *ServiceRegistry, want ServiceSignature, minSim float64) (*ServiceProxy, error) {
+	return service.NewProxy(reg, want, minSim)
+}
+
+// AdaptService wraps a provider with an operation-name converter.
+func AdaptService(svc Service, conv ServiceConverter) Service { return service.Adapt(svc, conv) }
+
+// InterfaceSimilarity returns the fraction of s's operations t offers.
+func InterfaceSimilarity(s, t ServiceSignature) float64 { return service.Similarity(s, t) }
+
+// ---- Fault fixing with genetic programming (opportunistic) ----
+
+// Genetic-programming types.
+type (
+	// ProgramNode is one node of a subject program's expression tree.
+	ProgramNode = geneticfix.Node
+	// ProgramConst is an integer literal node.
+	ProgramConst = geneticfix.Const
+	// ProgramVar is a variable-reference node.
+	ProgramVar = geneticfix.Var
+	// ProgramBin is a binary-operation node.
+	ProgramBin = geneticfix.Bin
+	// ProgramIf is a conditional node.
+	ProgramIf = geneticfix.If
+	// ProgramOp is a binary arithmetic operator.
+	ProgramOp = geneticfix.Op
+	// ProgramCmp is a comparison operator.
+	ProgramCmp = geneticfix.Cmp
+	// ProgramTest is one adjudicating test case.
+	ProgramTest = geneticfix.TestCase
+	// RepairConfig parameterizes the GP loop.
+	RepairConfig = geneticfix.Config
+	// RepairResult reports a repair attempt.
+	RepairResult = geneticfix.Result
+)
+
+// Program operators.
+const (
+	OpAdd = geneticfix.OpAdd
+	OpSub = geneticfix.OpSub
+	OpMul = geneticfix.OpMul
+	OpMin = geneticfix.OpMin
+	OpMax = geneticfix.OpMax
+
+	CmpLT = geneticfix.CmpLT
+	CmpLE = geneticfix.CmpLE
+	CmpEQ = geneticfix.CmpEQ
+	CmpGT = geneticfix.CmpGT
+)
+
+// FaultyMaxProgram returns the canonical faulty max(x, y) subject program
+// (branches swapped) used by tests, benches and experiments.
+func FaultyMaxProgram() ProgramNode { return geneticfix.FaultyMax() }
+
+// MaxTestSuite returns a test suite for two-variable max.
+func MaxTestSuite() []ProgramTest { return geneticfix.MaxSuite() }
+
+// RepairProgram evolves variants of the faulty program until one passes
+// the whole test suite.
+func RepairProgram(faulty ProgramNode, suite []ProgramTest, cfg RepairConfig, rng *Rand) (RepairResult, error) {
+	return geneticfix.Repair(faulty, suite, cfg, rng)
+}
+
+// DefaultRepairConfig returns the GP configuration used by the
+// experiments.
+func DefaultRepairConfig(vars []string) RepairConfig {
+	return geneticfix.DefaultConfig(vars)
+}
+
+// ProgramFitness counts the test cases prog passes.
+func ProgramFitness(prog ProgramNode, suite []ProgramTest) int {
+	return geneticfix.Fitness(prog, suite)
+}
+
+// ---- Automatic workarounds (opportunistic code redundancy) ----
+
+// Workaround types.
+type (
+	// WorkaroundOp is one elementary operation.
+	WorkaroundOp = workaround.Op
+	// WorkaroundSequence is an ordered operation list.
+	WorkaroundSequence = workaround.Sequence
+	// RewritingRule encodes one intrinsic equivalence.
+	RewritingRule = workaround.Rule
+	// WorkaroundComponent is the stateful component sequences drive.
+	WorkaroundComponent = workaround.Component
+	// WorkaroundOracle validates the component's final state.
+	WorkaroundOracle = workaround.Oracle
+	// WorkaroundEngine generates and executes workarounds.
+	WorkaroundEngine = workaround.Engine
+	// WorkaroundOutcome reports how a sequence was executed.
+	WorkaroundOutcome = workaround.Outcome
+)
+
+// ErrNoWorkaround reports that no equivalent sequence succeeded.
+var ErrNoWorkaround = workaround.ErrNoWorkaround
+
+// NewWorkaroundEngine builds a workaround engine from rewriting rules.
+func NewWorkaroundEngine(rules []RewritingRule) (*WorkaroundEngine, error) {
+	return workaround.NewEngine(rules)
+}

@@ -1,0 +1,329 @@
+package redundancy
+
+import (
+	"github.com/softwarefaults/redundancy/internal/checkpoint"
+	"github.com/softwarefaults/redundancy/internal/datadiv"
+	"github.com/softwarefaults/redundancy/internal/envperturb"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/microreboot"
+	"github.com/softwarefaults/redundancy/internal/rejuv"
+	"github.com/softwarefaults/redundancy/internal/replica"
+	"github.com/softwarefaults/redundancy/internal/robustdata"
+	"github.com/softwarefaults/redundancy/internal/wrapper"
+)
+
+// ---- Data diversity (deliberate data redundancy) ----
+
+// Data diversity types.
+type (
+	// Reexpression transforms an input into a logically equivalent one.
+	Reexpression[I any] = datadiv.Reexpression[I]
+	// RetryBlock is the retry-block discipline of data diversity.
+	RetryBlock[I, O any] = datadiv.RetryBlock[I, O]
+	// NCopy is N-copy programming, the data analogue of N-version
+	// programming.
+	NCopy[I, O any] = datadiv.NCopy[I, O]
+	// NVariantCell stores one value under N variant-specific masks
+	// (data diversity for security).
+	NVariantCell = datadiv.NVariantCell
+)
+
+// ErrCorruptionDetected reports diverging variant interpretations of an
+// N-variant data cell.
+var ErrCorruptionDetected = datadiv.ErrCorruptionDetected
+
+// NewRetryBlock builds a retry block over program with the given
+// re-expressions and total attempt budget.
+func NewRetryBlock[I, O any](program Variant[I, O], test AcceptanceTest[I, O], res []Reexpression[I], budget int, rng *Rand) (*RetryBlock[I, O], error) {
+	return datadiv.NewRetryBlock(program, test, res, budget, rng)
+}
+
+// NewNCopy builds an N-copy executor: n copies of the input (original
+// plus re-expressions), adjudicated by adj.
+func NewNCopy[I, O any](program Variant[I, O], res []Reexpression[I], n int, adj Adjudicator[O], rng *Rand) (*NCopy[I, O], error) {
+	return datadiv.NewNCopy(program, res, n, adj, rng)
+}
+
+// NewNVariantCell creates a security data-diversity cell with n variants.
+func NewNVariantCell(n int, rng *Rand) (*NVariantCell, error) {
+	return datadiv.NewNVariantCell(n, rng)
+}
+
+// ---- Robust data structures and audits (deliberate data redundancy) ----
+
+// Robust structure types.
+type (
+	// RobustList is a doubly linked list with redundant structural data.
+	RobustList = robustdata.RobustList
+	// RobustMap is a checksummed, shadowed key-value store.
+	RobustMap = robustdata.RobustMap
+	// StructureDefect describes one audit finding.
+	StructureDefect = robustdata.Defect
+)
+
+// Robust structure errors.
+var (
+	// ErrStructureCorrupted reports audit-detected inconsistencies.
+	ErrStructureCorrupted = robustdata.ErrCorrupted
+	// ErrUnrepairable reports damage beyond the available redundancy.
+	ErrUnrepairable = robustdata.ErrUnrepairable
+)
+
+// NewRobustList creates an empty robust list.
+func NewRobustList() *RobustList { return robustdata.NewRobustList() }
+
+// NewRobustMap creates an empty robust map.
+func NewRobustMap() *RobustMap { return robustdata.NewRobustMap() }
+
+// ---- Environment model (shared by the environment techniques) ----
+
+// Environment types.
+type (
+	// Env models the execution environment of a simulated process.
+	Env = faultmodel.Env
+	// Perturbation is one deliberate change of environment conditions.
+	Perturbation = faultmodel.Perturbation
+	// AgingFault models software aging with age-increasing hazard.
+	AgingFault = faultmodel.AgingFault
+)
+
+// DefaultEnv returns the baseline execution environment.
+func DefaultEnv() *Env { return faultmodel.DefaultEnv() }
+
+// PadAllocations returns a perturbation adding allocation padding.
+func PadAllocations(n int) Perturbation { return faultmodel.PadAllocations(n) }
+
+// ShuffleMessages returns a perturbation randomizing message order.
+func ShuffleMessages() Perturbation { return faultmodel.ShuffleMessages() }
+
+// RaisePriority returns a perturbation raising scheduling priority.
+func RaisePriority(n int) Perturbation { return faultmodel.RaisePriority(n) }
+
+// ShedLoad returns a perturbation multiplying load by factor.
+func ShedLoad(factor float64) Perturbation { return faultmodel.ShedLoad(factor) }
+
+// ---- Rejuvenation (deliberate environment redundancy, preventive) ----
+
+// Rejuvenation types.
+type (
+	// RejuvenationPolicy decides when to rejuvenate.
+	RejuvenationPolicy = rejuv.Policy
+	// PeriodicRejuvenation rejuvenates every fixed number of requests.
+	PeriodicRejuvenation = rejuv.PeriodicPolicy
+	// ThresholdRejuvenation rejuvenates on aging-indicator thresholds.
+	ThresholdRejuvenation = rejuv.ThresholdPolicy
+	// NeverRejuvenate is the no-rejuvenation baseline.
+	NeverRejuvenate = rejuv.NeverPolicy
+	// Rejuvenator serves requests through an aging process.
+	Rejuvenator[I, O any] = rejuv.Rejuvenator[I, O]
+	// CompletionConfig parameterizes the Garg et al. completion-time
+	// model.
+	CompletionConfig = rejuv.CompletionConfig
+)
+
+// NewRejuvenator wraps variant in an aging process governed by fault and
+// rejuvenated by policy.
+func NewRejuvenator[I, O any](variant Variant[I, O], fault AgingFault, policy RejuvenationPolicy, rng *Rand) (*Rejuvenator[I, O], error) {
+	return rejuv.NewRejuvenator(variant, fault, policy, rng)
+}
+
+// SimulateCompletion runs the checkpoint+rejuvenation completion-time
+// model once.
+func SimulateCompletion(cfg CompletionConfig, rng *Rand) (float64, error) {
+	return rejuv.SimulateCompletion(cfg, rng)
+}
+
+// MeanCompletion estimates expected completion time over trials runs.
+func MeanCompletion(cfg CompletionConfig, trials int, rng *Rand) (float64, error) {
+	return rejuv.MeanCompletion(cfg, trials, rng)
+}
+
+// ---- Environment perturbation and checkpoint-recovery ----
+
+// Perturbation executor types.
+type (
+	// EnvProgram is a program whose execution depends on environment
+	// conditions.
+	EnvProgram[I, O any] = envperturb.EnvProgram[I, O]
+	// PerturbationRung is one step of the perturbation ladder.
+	PerturbationRung = envperturb.Rung
+	// PerturbationExecutor re-executes failing programs under perturbed
+	// environments.
+	PerturbationExecutor[I, O any] = envperturb.Executor[I, O]
+)
+
+// DefaultPerturbationLadder returns the RX-inspired ladder: retry,
+// padding, shuffling, deprioritize+shed-load.
+func DefaultPerturbationLadder() []PerturbationRung { return envperturb.DefaultLadder() }
+
+// NewPerturbationExecutor builds an RX-style executor over program.
+func NewPerturbationExecutor[I, O any](program EnvProgram[I, O], baseEnv *Env, ladder []PerturbationRung) (*PerturbationExecutor[I, O], error) {
+	return envperturb.New(program, baseEnv, ladder)
+}
+
+// NewCheckpointRecovery builds the plain rollback-and-re-execute executor
+// (checkpoint-recovery): up to retries re-executions under the unchanged
+// environment.
+func NewCheckpointRecovery[I, O any](program EnvProgram[I, O], baseEnv *Env, retries int) (*PerturbationExecutor[I, O], error) {
+	return envperturb.NewCheckpointRecovery(program, baseEnv, retries)
+}
+
+// ---- Checkpoint substrate ----
+
+// Checkpoint types.
+type (
+	// CheckpointStore keeps serialized state snapshots.
+	CheckpointStore[S any] = checkpoint.Store[S]
+	// MessageLog records operations for post-rollback replay.
+	MessageLog[M any] = checkpoint.Log[M]
+	// CheckpointRunner drives a state machine with periodic checkpoints
+	// and recovery-by-replay.
+	CheckpointRunner[S, M any] = checkpoint.Runner[S, M]
+)
+
+// ErrNoCheckpoint is returned when no snapshot is available.
+var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+
+// NewCheckpointStore creates a snapshot store retaining up to capacity
+// snapshots (<= 0 means unbounded).
+func NewCheckpointStore[S any](capacity int) *CheckpointStore[S] {
+	return checkpoint.NewStore[S](capacity)
+}
+
+// NewMessageLog creates an empty operation log.
+func NewMessageLog[M any]() *MessageLog[M] { return checkpoint.NewLog[M]() }
+
+// NewCheckpointRunner creates a checkpointed state machine runner.
+func NewCheckpointRunner[S, M any](initial S, apply func(S, M) (S, error), interval int) (*CheckpointRunner[S, M], error) {
+	return checkpoint.NewRunner(initial, apply, interval)
+}
+
+// ---- Process replicas / N-variant systems (security) ----
+
+// Replica types.
+type (
+	// ReplicaSystem is the monitor plus N replicas with disjoint
+	// partitions and distinct instruction tags.
+	ReplicaSystem = replica.System
+	// ReplicaRequest is one input delivered to all replicas.
+	ReplicaRequest = replica.Request
+	// ReplicaInstruction is one unit of executable code.
+	ReplicaInstruction = replica.Instruction
+	// ReplicaOp is the kind of operation a request performs.
+	ReplicaOp = replica.OpKind
+)
+
+// Replica request operations.
+const (
+	ReplicaRead  = replica.OpRead
+	ReplicaWrite = replica.OpWrite
+	ReplicaExec  = replica.OpExec
+)
+
+// Replica errors.
+var (
+	// ErrAttackDetected reports behavioral divergence among replicas.
+	ErrAttackDetected = replica.ErrAttackDetected
+	// ErrSegfault reports an access outside a replica's partition.
+	ErrSegfault = replica.ErrSegfault
+	// ErrIllegalInstruction reports a tag-mismatched instruction.
+	ErrIllegalInstruction = replica.ErrIllegalInstruction
+)
+
+// NewReplicaSystem creates n replicas with disjoint partitions of the
+// given size and distinct tags.
+func NewReplicaSystem(n int, size uint64) (*ReplicaSystem, error) {
+	return replica.NewSystem(n, size)
+}
+
+// ---- Reboot and micro-reboot ----
+
+// Micro-reboot types.
+type (
+	// ComponentSpec declares one component and its children.
+	ComponentSpec = microreboot.Spec
+	// ComponentSystem is a component tree with reboot-based recovery.
+	ComponentSystem = microreboot.System
+	// RecoveryManager implements recursive micro-reboot recovery.
+	RecoveryManager = microreboot.Manager
+)
+
+// ErrComponentFailed reports a request that hit a failed component.
+var ErrComponentFailed = microreboot.ErrComponentFailed
+
+// NewComponentSystem builds a runtime component tree from a spec.
+func NewComponentSystem(spec ComponentSpec) (*ComponentSystem, error) {
+	return microreboot.NewSystem(spec)
+}
+
+// NewRecoveryManager wraps a component system with recursive recovery.
+func NewRecoveryManager(sys *ComponentSystem) (*RecoveryManager, error) {
+	return microreboot.NewManager(sys)
+}
+
+// ---- Wrappers and healers ----
+
+// Wrapper types.
+type (
+	// Heap is a simulated C-like heap with an unguarded write path.
+	Heap = wrapper.Heap
+	// HeapHandle identifies an allocated heap block.
+	HeapHandle = wrapper.Handle
+	// HeapHealer is the boundary-check wrapper over a heap.
+	HeapHealer = wrapper.Healer
+	// OverflowPolicy selects how the healer handles overflowing writes.
+	OverflowPolicy = wrapper.OverflowPolicy
+	// COTSResource is a simulated component with an implicit protocol.
+	COTSResource = wrapper.COTSResource
+	// ProtocolWrapper mediates and repairs COTS interactions.
+	ProtocolWrapper = wrapper.ProtocolWrapper
+)
+
+// Overflow policies.
+const (
+	// RejectOverflow refuses the whole overflowing write.
+	RejectOverflow = wrapper.Reject
+	// TruncateOverflow writes only the in-bounds prefix.
+	TruncateOverflow = wrapper.Truncate
+)
+
+// Wrapper errors.
+var (
+	// ErrOverflowPrevented reports a write the healer refused.
+	ErrOverflowPrevented = wrapper.ErrOverflowPrevented
+	// ErrProtocolViolation reports a forbidden COTS call sequence.
+	ErrProtocolViolation = wrapper.ErrProtocolViolation
+)
+
+// NewHeap creates a simulated heap of the given byte capacity.
+func NewHeap(capacity int) (*Heap, error) { return wrapper.NewHeap(capacity) }
+
+// NewHeapHealer wraps heap with boundary checks.
+func NewHeapHealer(heap *Heap, policy OverflowPolicy) (*HeapHealer, error) {
+	return wrapper.NewHealer(heap, policy)
+}
+
+// NewCOTSResource returns a closed COTS resource.
+func NewCOTSResource() *COTSResource { return wrapper.NewCOTSResource() }
+
+// NewProtocolWrapper wraps a COTS resource with protocol enforcement.
+func NewProtocolWrapper(resource *COTSResource) (*ProtocolWrapper, error) {
+	return wrapper.NewProtocolWrapper(resource)
+}
+
+// Periodic software audits (Connet et al.).
+
+// Auditable is a structure that can check and repair its redundant data.
+type Auditable = robustdata.Auditable
+
+// AuditScheduler runs audit-and-repair passes every fixed number of
+// operations, trading audit overhead against detection latency.
+type AuditScheduler = robustdata.AuditScheduler
+
+// NewAuditScheduler builds a periodic audit scheduler over target.
+func NewAuditScheduler(target Auditable, period int) (*AuditScheduler, error) {
+	return robustdata.NewAuditScheduler(target, period)
+}
+
+// AsAuditable exposes a RobustList through the Auditable interface.
+func AsAuditable(l *RobustList) Auditable { return robustdata.AsAuditable(l) }
