@@ -13,8 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
+	"github.com/softwarefaults/redundancy/internal/obs"
 	"github.com/softwarefaults/redundancy/internal/sim"
 	"github.com/softwarefaults/redundancy/internal/stats"
 )
@@ -32,11 +35,27 @@ func run(args []string) error {
 		list   = fs.Bool("list", false, "list available experiments")
 		id     = fs.String("run", "", "run the experiment with this id")
 		all    = fs.Bool("all", false, "run every experiment")
-		seed   = fs.Uint64("seed", 1, "deterministic seed")
+		seed   = fs.Uint64("seed", 1, "deterministic seed (echoed in the output for reproducibility)")
 		format = fs.String("format", "table", `output format: "table" or "csv"`)
+		addr   = fs.String("metrics-addr", "", "serve live observation metrics on this address while experiments run (e.g. :9090; endpoints /metrics, /vars, /traces)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *addr != "" {
+		collector := obs.NewCollector()
+		traces := obs.NewTraceRecorder(128)
+		sim.SetObserver(obs.Combine(collector, traces))
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: obs.Handler(collector, traces)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	switch {
@@ -52,8 +71,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		echoSeed(*seed, *format)
 		return runOne(e, *seed, *format)
 	case *all:
+		echoSeed(*seed, *format)
 		for _, e := range sim.All() {
 			if err := runOne(e, *seed, *format); err != nil {
 				return fmt.Errorf("experiment %s: %w", e.ID, err)
@@ -64,6 +85,16 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -list, -run <id>, or -all")
 	}
+}
+
+// echoSeed prints the seed in effect so every recorded run is
+// reproducible from its output alone.
+func echoSeed(seed uint64, format string) {
+	if format == "csv" {
+		fmt.Printf("# seed = %d\n", seed)
+		return
+	}
+	fmt.Printf("seed = %d\n\n", seed)
 }
 
 func runOne(e sim.Experiment, seed uint64, format string) error {

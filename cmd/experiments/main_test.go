@@ -33,6 +33,20 @@ func TestRunSeedFlag(t *testing.T) {
 	}
 }
 
+func TestRunMetricsAddrFlag(t *testing.T) {
+	// An ephemeral port: the run serves /metrics while the experiment
+	// executes, then shuts the listener down on return.
+	if err := run([]string{"-metrics-addr", "127.0.0.1:0", "-run", "quorum"}); err != nil {
+		t.Errorf("metrics-addr run = %v", err)
+	}
+}
+
+func TestRunMetricsAddrInvalid(t *testing.T) {
+	if err := run([]string{"-metrics-addr", "not-an-address", "-run", "quorum"}); err == nil {
+		t.Error("invalid metrics address accepted")
+	}
+}
+
 func TestRunCSVFormat(t *testing.T) {
 	if err := run([]string{"-run", "quorum", "-format", "csv"}); err != nil {
 		t.Errorf("csv run = %v", err)

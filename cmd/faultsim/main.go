@@ -14,6 +14,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	redundancy "github.com/softwarefaults/redundancy"
@@ -38,7 +40,8 @@ func run(args []string) error {
 		p           = fs.Float64("p", 0.05, "per-variant failure probability")
 		rho         = fs.Float64("rho", 0, "failure correlation (nvp only)")
 		trials      = fs.Int("trials", 50000, "Monte Carlo trials")
-		seed        = fs.Uint64("seed", 1, "deterministic seed")
+		seed        = fs.Uint64("seed", 1, "deterministic seed (echoed in the output for reproducibility)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live observation metrics on this address while the simulation runs (e.g. :9090; endpoints /metrics, /vars, /traces)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,10 +50,27 @@ func run(args []string) error {
 		return fmt.Errorf("invalid parameters: n=%d p=%f rho=%f trials=%d", *n, *p, *rho, *trials)
 	}
 
+	var observer redundancy.Observer
+	if *metricsAddr != "" {
+		collector := redundancy.NewCollector()
+		traces := redundancy.NewTraceRecorder(128)
+		observer = redundancy.CombineObservers(collector, traces)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: redundancy.ObservationHandler(collector, traces)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	tbl := stats.NewTable(
 		fmt.Sprintf("Reliability of %s (n=%d, p=%.3f, rho=%.2f, %d trials)",
 			*patternName, *n, *p, *rho, *trials),
 		"measure", "value")
+	tbl.AddRow("seed", *seed)
 
 	switch *patternName {
 	case "nvp":
@@ -75,7 +95,7 @@ func run(args []string) error {
 		tbl.AddRow("single-version baseline", 1-*p)
 		tbl.AddRow("tolerable faults k", redundancy.TolerableFaults(*n))
 	case "single", "selection", "sequential":
-		ok, execs, err := simulateDetected(*patternName, *n, *p, *trials, *seed)
+		ok, execs, err := simulateDetected(*patternName, *n, *p, *trials, *seed, observer)
 		if err != nil {
 			return err
 		}
@@ -99,8 +119,9 @@ func run(args []string) error {
 }
 
 // simulateDetected runs the detected-failure patterns (failures are
-// errors, not wrong values).
-func simulateDetected(patternName string, n int, p float64, trials int, seed uint64) (ok int, execsPerReq float64, err error) {
+// errors, not wrong values). A non-nil observer is attached to the
+// executor so a live metrics endpoint can watch the run.
+func simulateDetected(patternName string, n int, p float64, trials int, seed uint64, observer redundancy.Observer) (ok int, execsPerReq float64, err error) {
 	master := xrand.New(seed)
 	mk := func(i int) redundancy.Variant[int, int] {
 		rng := master.Split()
@@ -116,15 +137,19 @@ func simulateDetected(patternName string, n int, p float64, trials int, seed uin
 		m    redundancy.Metrics
 		exec redundancy.Executor[int, int]
 	)
+	opts := []redundancy.PatternOption{redundancy.WithMetrics(&m)}
+	if observer != nil {
+		opts = append(opts, redundancy.WithObserver(observer))
+	}
 	switch patternName {
 	case "single":
-		exec, err = redundancy.NewSingle(mk(1), redundancy.WithMetrics(&m))
+		exec, err = redundancy.NewSingle(mk(1), opts...)
 	case "sequential":
 		vs := make([]redundancy.Variant[int, int], n)
 		for i := range vs {
 			vs[i] = mk(i + 1)
 		}
-		exec, err = redundancy.NewSequentialAlternatives(vs, accept, nil, redundancy.WithMetrics(&m))
+		exec, err = redundancy.NewSequentialAlternatives(vs, accept, nil, opts...)
 	case "selection":
 		vs := make([]redundancy.Variant[int, int], n)
 		tests := make([]redundancy.AcceptanceTest[int, int], n)
@@ -133,7 +158,7 @@ func simulateDetected(patternName string, n int, p float64, trials int, seed uin
 			tests[i] = accept
 		}
 		var ps *redundancy.ParallelSelection[int, int]
-		ps, err = redundancy.NewParallelSelection(vs, tests, redundancy.WithMetrics(&m))
+		ps, err = redundancy.NewParallelSelection(vs, tests, opts...)
 		if err == nil {
 			exec = redundancy.ExecutorFunc[int, int](func(ctx context.Context, x int) (int, error) {
 				defer ps.Reset() // failures are transient in this model

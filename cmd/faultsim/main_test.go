@@ -22,6 +22,26 @@ func TestRunDetectedPatterns(t *testing.T) {
 	}
 }
 
+func TestRunSeedFlag(t *testing.T) {
+	if err := run([]string{"-seed", "42", "-pattern", "single", "-trials", "100"}); err != nil {
+		t.Errorf("seeded run = %v", err)
+	}
+}
+
+func TestRunMetricsAddrFlag(t *testing.T) {
+	// An ephemeral port: the run serves /metrics during the simulation and
+	// shuts the listener down on return.
+	if err := run([]string{"-metrics-addr", "127.0.0.1:0", "-pattern", "sequential", "-n", "2", "-p", "0.2", "-trials", "200"}); err != nil {
+		t.Errorf("metrics-addr run = %v", err)
+	}
+}
+
+func TestRunMetricsAddrInvalid(t *testing.T) {
+	if err := run([]string{"-metrics-addr", "not-an-address", "-pattern", "single", "-trials", "10"}); err == nil {
+		t.Error("invalid metrics address accepted")
+	}
+}
+
 func TestRunUnknownPattern(t *testing.T) {
 	if err := run([]string{"-pattern", "nope"}); err == nil {
 		t.Error("unknown pattern accepted")

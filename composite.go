@@ -30,27 +30,54 @@ func NewCompositeProcess[T any](name string, steps ...ProcessStep[T]) (*Composit
 }
 
 // RetryInvoke wraps an endpoint with up to retries re-invocations (the
-// BPEL retry command).
+// BPEL retry command). For an observed retry loop, use RetryInvokeOpts.
 func RetryInvoke[T any](v Variant[T, T], retries int) (Executor[T, T], error) {
 	return composite.Retry(v, retries)
 }
 
+// RetryInvokeOpts is RetryInvoke with pattern options: WithObserver and
+// WithMetrics see each attempt as a variant span and re-invocations as
+// retry events.
+func RetryInvokeOpts[T any](v Variant[T, T], retries int, opts ...PatternOption) (Executor[T, T], error) {
+	return composite.Retry(v, retries, opts...)
+}
+
 // AlternatesInvoke builds a sequential-alternates invocation over
-// statically provided endpoints.
+// statically provided endpoints. For an observed invocation, use
+// AlternatesInvokeOpts.
 func AlternatesInvoke[T any](test AcceptanceTest[T, T], endpoints ...Variant[T, T]) (Executor[T, T], error) {
-	return composite.Alternates(test, endpoints...)
+	return composite.Alternates(test, endpoints)
+}
+
+// AlternatesInvokeOpts is AlternatesInvoke with pattern options forwarded
+// to the underlying Figure 1c executor.
+func AlternatesInvokeOpts[T any](test AcceptanceTest[T, T], endpoints []Variant[T, T], opts ...PatternOption) (Executor[T, T], error) {
+	return composite.Alternates(test, endpoints, opts...)
 }
 
 // VotingInvoke builds a parallel majority-voting invocation over
-// independently operated endpoints.
+// independently operated endpoints. For an observed invocation, use
+// VotingInvokeOpts.
 func VotingInvoke[T any](eq Equal[T], endpoints ...Variant[T, T]) (Executor[T, T], error) {
-	return composite.Voting(eq, endpoints...)
+	return composite.Voting(eq, endpoints)
+}
+
+// VotingInvokeOpts is VotingInvoke with pattern options forwarded to the
+// underlying Figure 1a executor.
+func VotingInvokeOpts[T any](eq Equal[T], endpoints []Variant[T, T], opts ...PatternOption) (Executor[T, T], error) {
+	return composite.Voting(eq, endpoints, opts...)
 }
 
 // HotSparesInvoke builds a parallel-selection invocation with per-call
-// re-enabled spares.
+// re-enabled spares. For an observed invocation, use HotSparesInvokeOpts.
 func HotSparesInvoke[T any](test AcceptanceTest[T, T], endpoints ...Variant[T, T]) (Executor[T, T], error) {
-	return composite.HotSpares(test, endpoints...)
+	return composite.HotSpares(test, endpoints)
+}
+
+// HotSparesInvokeOpts is HotSparesInvoke with pattern options forwarded
+// to the underlying Figure 1b executor.
+func HotSparesInvokeOpts[T any](test AcceptanceTest[T, T], endpoints []Variant[T, T], opts ...PatternOption) (Executor[T, T], error) {
+	return composite.HotSpares(test, endpoints, opts...)
 }
 
 // Reusable re-expression families for data diversity.

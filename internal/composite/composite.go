@@ -10,14 +10,22 @@
 // step's invocation strategy is one of the framework's pattern executors,
 // so the package is a thin composition layer demonstrating how the
 // Figure 1 patterns embed in a service orchestration.
+//
+// The composition layer participates in the observation layer: the
+// strategy helpers accept pattern options (so pattern.WithObserver and
+// pattern.WithMetrics flow through to the underlying executors), and a
+// Process itself can be observed with Observe — each step becomes a
+// variant span and compensation handlers are reported as rollbacks.
 package composite
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
 	"github.com/softwarefaults/redundancy/internal/pattern"
 	"github.com/softwarefaults/redundancy/internal/vote"
 )
@@ -45,56 +53,104 @@ type Step[T any] struct {
 	Compensate func(ctx context.Context, input T) error
 }
 
+// retryExecutorName identifies the retry strategy in observation events.
+const retryExecutorName = "retry"
+
 // Retry wraps a single endpoint with up to retries re-invocations (the
-// BPEL retry command).
-func Retry[T any](v core.Variant[T, T], retries int) (core.Executor[T, T], error) {
+// BPEL retry command). Pattern options configure observation: an observer
+// attached via pattern.WithObserver (or counters via pattern.WithMetrics)
+// sees each attempt as a variant span, re-invocations as retry events,
+// and the final adjudication — a request is accepted when some attempt
+// succeeded, with the failure detected (masked) when earlier attempts
+// failed.
+func Retry[T any](v core.Variant[T, T], retries int, opts ...pattern.Option) (core.Executor[T, T], error) {
 	if v == nil {
 		return nil, core.ErrNoVariants
 	}
 	if retries < 0 {
 		return nil, errors.New("composite: negative retries")
 	}
+	o := pattern.ObserverOf(opts...)
 	return core.ExecutorFunc[T, T](func(ctx context.Context, in T) (T, error) {
 		var (
 			zero    T
 			lastErr error
+			req     uint64
+			start   time.Time
 		)
+		if o != nil {
+			req = obs.NextRequestID()
+			start = time.Now()
+			o.RequestStart(retryExecutorName, req)
+		}
+		finish := func(accepted, detected bool) {
+			if o == nil {
+				return
+			}
+			o.Adjudicated(retryExecutorName, req, accepted, detected)
+			outcome := obs.OutcomeFailed
+			switch {
+			case accepted && detected:
+				outcome = obs.OutcomeMasked
+			case accepted:
+				outcome = obs.OutcomeSuccess
+			}
+			o.RequestEnd(retryExecutorName, req, time.Since(start), outcome)
+		}
 		for attempt := 0; attempt <= retries; attempt++ {
 			if err := ctx.Err(); err != nil {
+				finish(false, attempt > 0)
 				return zero, err
 			}
+			if o != nil && attempt > 0 {
+				o.RetryAttempt(retryExecutorName, v.Name(), req, attempt+1)
+			}
+			var attemptStart time.Time
+			if o != nil {
+				o.VariantStart(retryExecutorName, v.Name(), req)
+				attemptStart = time.Now()
+			}
 			out, err := core.Guard(v).Execute(ctx, in)
+			if o != nil {
+				o.VariantEnd(retryExecutorName, v.Name(), req, time.Since(attemptStart), err)
+			}
 			if err == nil {
+				finish(true, attempt > 0)
 				return out, nil
 			}
 			lastErr = err
 		}
+		finish(false, true)
 		return zero, fmt.Errorf("retries exhausted: %w", lastErr)
 	}), nil
 }
 
 // Alternates builds a sequential-alternates invocation (statically
 // provided alternate services, as in Dobson's recovery-block flavor).
-func Alternates[T any](test core.AcceptanceTest[T, T], endpoints ...core.Variant[T, T]) (core.Executor[T, T], error) {
-	return pattern.NewSequentialAlternatives(endpoints, test, nil)
+// Pattern options (observer, metrics, per-variant timeout) are forwarded
+// to the underlying Figure 1c executor.
+func Alternates[T any](test core.AcceptanceTest[T, T], endpoints []core.Variant[T, T], opts ...pattern.Option) (core.Executor[T, T], error) {
+	return pattern.NewSequentialAlternatives(endpoints, test, nil, opts...)
 }
 
 // Voting builds a parallel voting invocation over independently operated
 // endpoints (Dobson's N-version flavor; WS-FTM's consensus voting).
-func Voting[T any](eq core.Equal[T], endpoints ...core.Variant[T, T]) (core.Executor[T, T], error) {
-	return pattern.NewParallelEvaluation(endpoints, vote.Majority(eq))
+// Pattern options are forwarded to the underlying Figure 1a executor.
+func Voting[T any](eq core.Equal[T], endpoints []core.Variant[T, T], opts ...pattern.Option) (core.Executor[T, T], error) {
+	return pattern.NewParallelEvaluation(endpoints, vote.Majority(eq), opts...)
 }
 
 // HotSpares builds a parallel-selection invocation: the acting endpoint's
 // validated result is preferred, spares run in parallel (Dobson's
 // self-checking flavor). Failed endpoints are re-enabled per invocation
-// because service failures are treated as transient here.
-func HotSpares[T any](test core.AcceptanceTest[T, T], endpoints ...core.Variant[T, T]) (core.Executor[T, T], error) {
+// because service failures are treated as transient here. Pattern options
+// are forwarded to the underlying Figure 1b executor.
+func HotSpares[T any](test core.AcceptanceTest[T, T], endpoints []core.Variant[T, T], opts ...pattern.Option) (core.Executor[T, T], error) {
 	tests := make([]core.AcceptanceTest[T, T], len(endpoints))
 	for i := range tests {
 		tests[i] = test
 	}
-	ps, err := pattern.NewParallelSelection(endpoints, tests)
+	ps, err := pattern.NewParallelSelection(endpoints, tests, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -106,8 +162,10 @@ func HotSpares[T any](test core.AcceptanceTest[T, T], endpoints ...core.Variant[
 
 // Process is an ordered, compensable pipeline over values of type T.
 type Process[T any] struct {
-	name  string
-	steps []Step[T]
+	name     string
+	execName string
+	steps    []Step[T]
+	observer obs.Observer
 
 	// CompensationsRun counts compensation handlers executed.
 	CompensationsRun int
@@ -125,11 +183,22 @@ func NewProcess[T any](name string, steps ...Step[T]) (*Process[T], error) {
 	}
 	ss := make([]Step[T], len(steps))
 	copy(ss, steps)
-	return &Process[T]{name: name, steps: ss}, nil
+	return &Process[T]{name: name, execName: "process:" + name, steps: ss}, nil
 }
 
 // Name returns the process name.
 func (p *Process[T]) Name() string { return p.name }
+
+// Observe attaches an observer to the process itself (executor name
+// "process:<name>"): each step is reported as a variant span, each
+// compensation handler as a rollback, and the process end as the request
+// outcome. Observers attached to the steps' own executors (via the
+// strategy helpers) are independent and compose freely. Observe returns
+// the process for chaining; repeated calls combine observers.
+func (p *Process[T]) Observe(o obs.Observer) *Process[T] {
+	p.observer = obs.Combine(p.observer, o)
+	return p
+}
 
 // Execute runs the pipeline. On an unrecoverable step failure, the
 // compensation handlers of all previously completed steps run in reverse
@@ -137,11 +206,37 @@ func (p *Process[T]) Name() string { return p.name }
 // ErrProcessFailed — or ErrCompensationFailed if undo itself failed.
 func (p *Process[T]) Execute(ctx context.Context, input T) (T, error) {
 	var zero T
+	o := p.observer
+	var (
+		req   uint64
+		start time.Time
+	)
+	if o != nil {
+		req = obs.NextRequestID()
+		start = time.Now()
+		o.RequestStart(p.execName, req)
+	}
+	finish := func(accepted bool, outcome obs.Outcome) {
+		if o == nil {
+			return
+		}
+		o.Adjudicated(p.execName, req, accepted, outcome != obs.OutcomeSuccess)
+		o.RequestEnd(p.execName, req, time.Since(start), outcome)
+	}
+
 	value := input
 	inputs := make([]T, 0, len(p.steps))
 	for i, s := range p.steps {
 		inputs = append(inputs, value)
+		var stepStart time.Time
+		if o != nil {
+			o.VariantStart(p.execName, s.Name, req)
+			stepStart = time.Now()
+		}
 		out, err := s.Invoke.Execute(ctx, value)
+		if o != nil {
+			o.VariantEnd(p.execName, s.Name, req, time.Since(stepStart), err)
+		}
 		if err == nil {
 			value = out
 			continue
@@ -153,12 +248,18 @@ func (p *Process[T]) Execute(ctx context.Context, input T) (T, error) {
 				continue
 			}
 			p.CompensationsRun++
+			if o != nil {
+				o.Rollback(p.execName, req)
+			}
 			if cerr := comp(ctx, inputs[j]); cerr != nil {
+				finish(false, obs.OutcomeFailed)
 				return zero, fmt.Errorf("step %s failed (%v); undoing %s: %w: %w",
 					s.Name, err, p.steps[j].Name, ErrCompensationFailed, cerr)
 			}
 		}
+		finish(false, obs.OutcomeFailed)
 		return zero, fmt.Errorf("step %s: %w: %w", s.Name, ErrProcessFailed, err)
 	}
+	finish(true, obs.OutcomeSuccess)
 	return value, nil
 }

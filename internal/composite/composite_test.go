@@ -94,9 +94,9 @@ func TestRetryContextCancellation(t *testing.T) {
 func TestAlternatesAndVotingAndHotSpares(t *testing.T) {
 	ctx := context.Background()
 
-	alt, err := Alternates(acceptAll,
+	alt, err := Alternates(acceptAll, []core.Variant[int, int]{
 		fn("down", func(int) (int, error) { return 0, errors.New("down") }),
-		add(3))
+		add(3)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,9 +104,9 @@ func TestAlternatesAndVotingAndHotSpares(t *testing.T) {
 		t.Errorf("alternates = (%d, %v)", got, err)
 	}
 
-	voting, err := Voting(core.EqualOf[int](),
+	voting, err := Voting(core.EqualOf[int](), []core.Variant[int, int]{
 		add(1), add(1),
-		fn("wrong", func(x int) (int, error) { return x + 99, nil }))
+		fn("wrong", func(x int) (int, error) { return x + 99, nil })})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,9 +114,9 @@ func TestAlternatesAndVotingAndHotSpares(t *testing.T) {
 		t.Errorf("voting = (%d, %v)", got, err)
 	}
 
-	spares, err := HotSpares(acceptAll,
+	spares, err := HotSpares(acceptAll, []core.Variant[int, int]{
 		fn("acting-down", func(int) (int, error) { return 0, errors.New("down") }),
-		add(7))
+		add(7)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestProcessHappyPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	voting, err := Voting(core.EqualOf[int](), add(10), add(10), add(10))
+	voting, err := Voting(core.EqualOf[int](), []core.Variant[int, int]{add(10), add(10), add(10)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,263 @@
+package composite
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+)
+
+// recObserver captures observation events for assertions.
+type recObserver struct {
+	mu       sync.Mutex
+	execs    []string
+	starts   int
+	ends     int
+	outcomes []obs.Outcome
+	variants []string
+	errs     int
+	adjs     []struct{ accepted, detected bool }
+	retries  []int
+	rolls    int
+}
+
+func (r *recObserver) RequestStart(executor string, _ uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.starts++
+	r.execs = append(r.execs, executor)
+}
+
+func (r *recObserver) RequestEnd(_ string, _ uint64, _ time.Duration, o obs.Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ends++
+	r.outcomes = append(r.outcomes, o)
+}
+
+func (r *recObserver) VariantStart(string, string, uint64) {}
+
+func (r *recObserver) VariantEnd(_, variant string, _ uint64, _ time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.variants = append(r.variants, variant)
+	if err != nil {
+		r.errs++
+	}
+}
+
+func (r *recObserver) Adjudicated(_ string, _ uint64, accepted, detected bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.adjs = append(r.adjs, struct{ accepted, detected bool }{accepted, detected})
+}
+
+func (r *recObserver) ComponentDisabled(string, string, uint64) {}
+
+func (r *recObserver) RetryAttempt(_, _ string, _ uint64, attempt int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retries = append(r.retries, attempt)
+}
+
+func (r *recObserver) Rollback(string, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rolls++
+}
+
+func TestRetryObserverMaskedSuccess(t *testing.T) {
+	rec := &recObserver{}
+	calls := 0
+	flaky := fn("flaky", func(x int) (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, errors.New("transient")
+		}
+		return x, nil
+	})
+	exec, err := Retry(flaky, 3, pattern.WithObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := exec.Execute(context.Background(), 5); err != nil || got != 5 {
+		t.Fatalf("= (%d, %v)", got, err)
+	}
+	if rec.starts != 1 || rec.ends != 1 || rec.execs[0] != "retry" {
+		t.Errorf("spans = %d/%d on %v", rec.starts, rec.ends, rec.execs)
+	}
+	if len(rec.variants) != 2 || rec.errs != 1 {
+		t.Errorf("variant events = %v, errs = %d", rec.variants, rec.errs)
+	}
+	if len(rec.retries) != 1 || rec.retries[0] != 2 {
+		t.Errorf("retries = %v, want [2]", rec.retries)
+	}
+	if len(rec.adjs) != 1 || !rec.adjs[0].accepted || !rec.adjs[0].detected {
+		t.Errorf("adjudication = %+v", rec.adjs)
+	}
+	if rec.outcomes[0] != obs.OutcomeMasked {
+		t.Errorf("outcome = %v, want masked", rec.outcomes[0])
+	}
+}
+
+func TestRetryObserverExhaustion(t *testing.T) {
+	rec := &recObserver{}
+	dead := fn("dead", func(int) (int, error) { return 0, errors.New("down") })
+	exec, err := Retry(dead, 1, pattern.WithObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Execute(context.Background(), 1); err == nil {
+		t.Fatal("want error")
+	}
+	if len(rec.variants) != 2 || rec.errs != 2 {
+		t.Errorf("variant events = %v, errs = %d", rec.variants, rec.errs)
+	}
+	if len(rec.adjs) != 1 || rec.adjs[0].accepted || !rec.adjs[0].detected {
+		t.Errorf("adjudication = %+v", rec.adjs)
+	}
+	if rec.outcomes[0] != obs.OutcomeFailed {
+		t.Errorf("outcome = %v, want failed", rec.outcomes[0])
+	}
+}
+
+func TestRetryUnobservedFastPath(t *testing.T) {
+	// No options: the executor must work exactly as before.
+	exec, err := Retry(add(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := exec.Execute(context.Background(), 1); err != nil || got != 2 {
+		t.Errorf("= (%d, %v)", got, err)
+	}
+}
+
+func TestAlternatesForwardsObserver(t *testing.T) {
+	rec := &recObserver{}
+	alt, err := Alternates(acceptAll, []core.Variant[int, int]{
+		fn("down", func(int) (int, error) { return 0, errors.New("down") }),
+		add(3)}, pattern.WithObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alt.Execute(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if rec.starts != 1 || rec.execs[0] != "sequential-alternatives" {
+		t.Errorf("executor spans = %v", rec.execs)
+	}
+	if rec.outcomes[0] != obs.OutcomeMasked {
+		t.Errorf("outcome = %v, want masked", rec.outcomes[0])
+	}
+}
+
+func TestVotingAndHotSparesForwardObserver(t *testing.T) {
+	c := obs.NewCollector()
+	voting, err := Voting(core.EqualOf[int](), []core.Variant[int, int]{add(1), add(1), add(1)},
+		pattern.WithObserver(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := voting.Execute(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	spares, err := HotSpares(acceptAll, []core.Variant[int, int]{add(7)}, pattern.WithObserver(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spares.Execute(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot executors = %+v", snap)
+	}
+	if snap[0].Executor != "parallel-evaluation" || snap[0].Requests != 1 {
+		t.Errorf("voting stats = %+v", snap[0])
+	}
+	if snap[1].Executor != "parallel-selection" || snap[1].Requests != 1 {
+		t.Errorf("hot-spares stats = %+v", snap[1])
+	}
+}
+
+func TestProcessObserveHappyPath(t *testing.T) {
+	rec := &recObserver{}
+	r1, _ := Retry(add(1), 0)
+	r2, _ := Retry(add(2), 0)
+	p, err := NewProcess("order",
+		Step[int]{Name: "reserve", Invoke: r1},
+		Step[int]{Name: "charge", Invoke: r2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Observe(rec); got != p {
+		t.Error("Observe should return the process for chaining")
+	}
+	if got, err := p.Execute(context.Background(), 0); err != nil || got != 3 {
+		t.Fatalf("= (%d, %v)", got, err)
+	}
+	if rec.starts != 1 || rec.execs[0] != "process:order" {
+		t.Errorf("spans = %v", rec.execs)
+	}
+	if len(rec.variants) != 2 || rec.variants[0] != "reserve" || rec.variants[1] != "charge" {
+		t.Errorf("step spans = %v", rec.variants)
+	}
+	if len(rec.adjs) != 1 || !rec.adjs[0].accepted || rec.adjs[0].detected {
+		t.Errorf("adjudication = %+v", rec.adjs)
+	}
+	if rec.outcomes[0] != obs.OutcomeSuccess {
+		t.Errorf("outcome = %v", rec.outcomes[0])
+	}
+}
+
+func TestProcessObserveCompensationRollbacks(t *testing.T) {
+	rec := &recObserver{}
+	ok, _ := Retry(add(1), 0)
+	dead, _ := Retry(fn("dead", func(int) (int, error) { return 0, errors.New("x") }), 0)
+	p, err := NewProcess("saga",
+		Step[int]{Name: "s1", Invoke: ok, Compensate: func(context.Context, int) error { return nil }},
+		Step[int]{Name: "s2", Invoke: ok, Compensate: func(context.Context, int) error { return nil }},
+		Step[int]{Name: "s3", Invoke: dead},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(rec)
+	if _, err := p.Execute(context.Background(), 0); !errors.Is(err, ErrProcessFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if rec.rolls != 2 || p.CompensationsRun != 2 {
+		t.Errorf("rollback events = %d, compensations = %d", rec.rolls, p.CompensationsRun)
+	}
+	if rec.errs != 1 || len(rec.variants) != 3 {
+		t.Errorf("step spans = %v, errs = %d", rec.variants, rec.errs)
+	}
+	if len(rec.adjs) != 1 || rec.adjs[0].accepted || !rec.adjs[0].detected {
+		t.Errorf("adjudication = %+v", rec.adjs)
+	}
+	if rec.outcomes[0] != obs.OutcomeFailed {
+		t.Errorf("outcome = %v", rec.outcomes[0])
+	}
+}
+
+func TestProcessObserveCombines(t *testing.T) {
+	a, b := &recObserver{}, &recObserver{}
+	ok, _ := Retry(add(1), 0)
+	p, err := NewProcess("p", Step[int]{Name: "s", Invoke: ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(a).Observe(b)
+	if _, err := p.Execute(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.starts != 1 || b.starts != 1 {
+		t.Errorf("combined observers saw %d/%d requests", a.starts, b.starts)
+	}
+}

@@ -197,8 +197,13 @@ func TestMetricsCounters(t *testing.T) {
 
 func TestMetricsZeroRequests(t *testing.T) {
 	var s Snapshot
-	if s.ExecutionsPerRequest() != 0 || s.Reliability() != 0 {
-		t.Error("zero-request snapshot should report zeros")
+	if s.ExecutionsPerRequest() != 0 {
+		t.Error("zero-request snapshot should report zero execution cost")
+	}
+	// No observed requests means no observed failures: an idle executor
+	// reads as fully reliable, not broken.
+	if s.Reliability() != 1 {
+		t.Errorf("zero-request Reliability = %f, want 1", s.Reliability())
 	}
 }
 

@@ -70,11 +70,12 @@ func (s Snapshot) ExecutionsPerRequest() float64 {
 	return float64(s.VariantExecutions) / float64(s.Requests)
 }
 
-// Reliability is the fraction of requests served successfully. It returns
-// 0 before any request has been recorded.
+// Reliability is the fraction of requests served successfully. An empty
+// snapshot reads as 1: with no requests observed there are no observed
+// failures, and reporting 0 would make an idle executor look broken.
 func (s Snapshot) Reliability() float64 {
 	if s.Requests == 0 {
-		return 0
+		return 1
 	}
 	return 1 - float64(s.Failures)/float64(s.Requests)
 }

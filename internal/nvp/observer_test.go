@@ -1,0 +1,50 @@
+package nvp
+
+import (
+	"context"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+)
+
+// TestSystemForwardsObserver checks that observation options flow through
+// New to the underlying parallel-evaluation executor: the collector sees
+// the request span and one execution per version.
+func TestSystemForwardsObserver(t *testing.T) {
+	c := obs.NewCollector()
+	version := func(name string, out int) core.Variant[int, int] {
+		return core.NewVariant(name, func(context.Context, int) (int, error) { return out, nil })
+	}
+	sys, err := New(
+		[]core.Variant[int, int]{version("v1", 4), version("v2", 4), version("v3", 5)},
+		core.EqualOf[int](),
+		pattern.WithObserver(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sys.Execute(context.Background(), 1); err != nil || got != 4 {
+		t.Fatalf("= (%d, %v)", got, err)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0].Executor != "parallel-evaluation" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	s := snap[0]
+	if s.Requests != 1 || len(s.Variants) != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	var execs int64
+	for _, v := range s.Variants {
+		execs += v.Executions
+	}
+	if execs != 3 {
+		t.Errorf("version executions = %d, want 3", execs)
+	}
+	// All versions returned, none errored: the disagreeing version is a
+	// vote-level rejection, not a variant error.
+	if s.Successes != 1 {
+		t.Errorf("successes = %d, want 1 (vote delivered the majority)", s.Successes)
+	}
+}

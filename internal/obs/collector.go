@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector is the histogram-backed metrics Observer: it keeps, per
+// executor, event counters and a request-latency Histogram, and per
+// (executor, variant) an execution/failure counter pair and a variant-
+// latency Histogram.
+//
+// The hot path is lock-free and allocation-free in steady state: stats
+// objects are resolved through an atomically swapped read-only map
+// (copy-on-write on first sight of a new executor or variant name) and
+// all counters are atomics. The mutex is only taken while inserting a
+// name never seen before.
+type Collector struct {
+	mu    sync.Mutex // serializes copy-on-write inserts
+	execs atomic.Pointer[map[string]*ExecutorStats]
+}
+
+var _ Observer = (*Collector)(nil)
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// ExecutorStats aggregates the observations of one executor.
+type ExecutorStats struct {
+	name string
+
+	requests  atomic.Int64
+	successes atomic.Int64
+	masked    atomic.Int64
+	failures  atomic.Int64
+	detected  atomic.Int64
+	disabled  atomic.Int64
+	retries   atomic.Int64
+	rollbacks atomic.Int64
+	inflight  atomic.Int64 // variant executions currently running
+
+	latency Histogram // request latency
+
+	mu       sync.Mutex // serializes copy-on-write inserts
+	variants atomic.Pointer[map[string]*VariantStats]
+}
+
+// VariantStats aggregates the observations of one variant under one
+// executor.
+type VariantStats struct {
+	name       string
+	executions atomic.Int64
+	failures   atomic.Int64
+	latency    Histogram
+}
+
+// exec resolves (creating on first use) the stats of an executor.
+func (c *Collector) exec(name string) *ExecutorStats {
+	if m := c.execs.Load(); m != nil {
+		if e, ok := (*m)[name]; ok {
+			return e
+		}
+	}
+	return c.addExec(name)
+}
+
+// addExec is the copy-on-write slow path of exec.
+func (c *Collector) addExec(name string) *ExecutorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.execs.Load()
+	if old != nil {
+		if e, ok := (*old)[name]; ok {
+			return e
+		}
+	}
+	next := make(map[string]*ExecutorStats, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	e := &ExecutorStats{name: name}
+	next[name] = e
+	c.execs.Store(&next)
+	return e
+}
+
+// variant resolves (creating on first use) the stats of a variant under
+// an executor.
+func (e *ExecutorStats) variant(name string) *VariantStats {
+	if m := e.variants.Load(); m != nil {
+		if v, ok := (*m)[name]; ok {
+			return v
+		}
+	}
+	return e.addVariant(name)
+}
+
+// addVariant is the copy-on-write slow path of variant.
+func (e *ExecutorStats) addVariant(name string) *VariantStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.variants.Load()
+	if old != nil {
+		if v, ok := (*old)[name]; ok {
+			return v
+		}
+	}
+	next := make(map[string]*VariantStats, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	v := &VariantStats{name: name}
+	next[name] = v
+	e.variants.Store(&next)
+	return v
+}
+
+// RequestStart implements Observer.
+func (c *Collector) RequestStart(executor string, _ uint64) {
+	c.exec(executor).requests.Add(1)
+}
+
+// RequestEnd implements Observer.
+func (c *Collector) RequestEnd(executor string, _ uint64, latency time.Duration, outcome Outcome) {
+	e := c.exec(executor)
+	e.latency.Observe(latency)
+	switch outcome {
+	case OutcomeSuccess:
+		e.successes.Add(1)
+	case OutcomeMasked:
+		e.masked.Add(1)
+	case OutcomeFailed:
+		e.failures.Add(1)
+	}
+}
+
+// VariantStart implements Observer.
+func (c *Collector) VariantStart(executor, _ string, _ uint64) {
+	c.exec(executor).inflight.Add(1)
+}
+
+// VariantEnd implements Observer.
+func (c *Collector) VariantEnd(executor, variant string, _ uint64, latency time.Duration, err error) {
+	e := c.exec(executor)
+	e.inflight.Add(-1)
+	v := e.variant(variant)
+	v.executions.Add(1)
+	if err != nil {
+		v.failures.Add(1)
+	}
+	v.latency.Observe(latency)
+}
+
+// Adjudicated implements Observer.
+func (c *Collector) Adjudicated(executor string, _ uint64, _, failureDetected bool) {
+	if failureDetected {
+		c.exec(executor).detected.Add(1)
+	}
+}
+
+// ComponentDisabled implements Observer.
+func (c *Collector) ComponentDisabled(executor, _ string, _ uint64) {
+	c.exec(executor).disabled.Add(1)
+}
+
+// RetryAttempt implements Observer.
+func (c *Collector) RetryAttempt(executor, _ string, _ uint64, _ int) {
+	c.exec(executor).retries.Add(1)
+}
+
+// Rollback implements Observer.
+func (c *Collector) Rollback(executor string, _ uint64) {
+	c.exec(executor).rollbacks.Add(1)
+}
+
+// VariantSnapshot is a point-in-time copy of one variant's stats.
+type VariantSnapshot struct {
+	Variant    string            `json:"variant"`
+	Executions int64             `json:"executions"`
+	Failures   int64             `json:"failures"`
+	Latency    HistogramSnapshot `json:"latency"`
+}
+
+// ExecutorSnapshot is a point-in-time copy of one executor's stats.
+type ExecutorSnapshot struct {
+	Executor         string            `json:"executor"`
+	Requests         int64             `json:"requests"`
+	Successes        int64             `json:"successes"`
+	FailuresMasked   int64             `json:"failures_masked"`
+	Failures         int64             `json:"failures"`
+	FailuresDetected int64             `json:"failures_detected"`
+	Disabled         int64             `json:"components_disabled"`
+	Retries          int64             `json:"retries"`
+	Rollbacks        int64             `json:"rollbacks"`
+	InflightVariants int64             `json:"inflight_variants"`
+	Latency          HistogramSnapshot `json:"latency"`
+	Variants         []VariantSnapshot `json:"variants,omitempty"`
+}
+
+// Snapshot returns a copy of all executor stats, sorted by executor name
+// (variants sorted by variant name) for stable reporting.
+func (c *Collector) Snapshot() []ExecutorSnapshot {
+	m := c.execs.Load()
+	if m == nil {
+		return nil
+	}
+	out := make([]ExecutorSnapshot, 0, len(*m))
+	for _, e := range *m {
+		s := ExecutorSnapshot{
+			Executor:         e.name,
+			Requests:         e.requests.Load(),
+			Successes:        e.successes.Load(),
+			FailuresMasked:   e.masked.Load(),
+			Failures:         e.failures.Load(),
+			FailuresDetected: e.detected.Load(),
+			Disabled:         e.disabled.Load(),
+			Retries:          e.retries.Load(),
+			Rollbacks:        e.rollbacks.Load(),
+			InflightVariants: e.inflight.Load(),
+			Latency:          e.latency.Snapshot(),
+		}
+		if vm := e.variants.Load(); vm != nil {
+			for _, v := range *vm {
+				s.Variants = append(s.Variants, VariantSnapshot{
+					Variant:    v.name,
+					Executions: v.executions.Load(),
+					Failures:   v.failures.Load(),
+					Latency:    v.latency.Snapshot(),
+				})
+			}
+			sort.Slice(s.Variants, func(i, j int) bool {
+				return s.Variants[i].Variant < s.Variants[j].Variant
+			})
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Executor < out[j].Executor })
+	return out
+}
+
+// ExecutorLatency returns the request-latency histogram of an executor,
+// or nil if the executor has not been observed. The histogram keeps
+// accumulating; callers must treat it as read-only.
+func (c *Collector) ExecutorLatency(executor string) *Histogram {
+	if m := c.execs.Load(); m != nil {
+		if e, ok := (*m)[executor]; ok {
+			return &e.latency
+		}
+	}
+	return nil
+}
+
+// VariantLatency returns the latency histogram of a variant under an
+// executor, or nil if that pair has not been observed.
+func (c *Collector) VariantLatency(executor, variant string) *Histogram {
+	m := c.execs.Load()
+	if m == nil {
+		return nil
+	}
+	e, ok := (*m)[executor]
+	if !ok {
+		return nil
+	}
+	vm := e.variants.Load()
+	if vm == nil {
+		return nil
+	}
+	v, ok := (*vm)[variant]
+	if !ok {
+		return nil
+	}
+	return &v.latency
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// metricsObserver replays observation events onto the legacy core.Metrics
+// counters. It is how the executors' WithMetrics options are implemented
+// since the observation layer landed: one request event per RequestStart,
+// one variant execution per VariantEnd, and the detected/masked/failed
+// classification from Adjudicated — exactly the counter semantics the
+// executors used to hand-roll.
+type metricsObserver struct {
+	Nop
+	m *core.Metrics
+}
+
+var _ Observer = metricsObserver{}
+
+// ForMetrics adapts the legacy counter collector to the Observer
+// interface. A nil collector yields a nil Observer, preserving the
+// executors' unobserved fast path.
+func ForMetrics(m *core.Metrics) Observer {
+	if m == nil {
+		return nil
+	}
+	return metricsObserver{m: m}
+}
+
+// RequestStart implements Observer.
+func (o metricsObserver) RequestStart(string, uint64) { o.m.RecordRequest() }
+
+// VariantEnd implements Observer.
+func (o metricsObserver) VariantEnd(string, string, uint64, time.Duration, error) {
+	o.m.RecordVariantExecutions(1)
+}
+
+// Adjudicated implements Observer.
+func (o metricsObserver) Adjudicated(_ string, _ uint64, accepted, failureDetected bool) {
+	if failureDetected {
+		o.m.RecordFailureDetected()
+	}
+	switch {
+	case !accepted:
+		o.m.RecordFailure()
+	case failureDetected:
+		o.m.RecordFailureMasked()
+	}
+}

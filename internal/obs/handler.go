@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Handler returns an HTTP handler exposing the observation layer:
+//
+//	/metrics  Prometheus text format: counters plus p50/p90/p99 latency
+//	          summaries per executor and per variant
+//	/vars     the same data as one JSON document (expvar-style)
+//	/traces   the TraceRecorder ring as a JSON array, most recent first
+//
+// Either argument may be nil; the corresponding endpoints then serve
+// empty documents. The handler is safe to serve while executors are
+// running — all reads go through the collectors' concurrent snapshots.
+func Handler(c *Collector, tr *TraceRecorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, c)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		var snap []ExecutorSnapshot
+		if c != nil {
+			snap = c.Snapshot()
+		}
+		_ = enc.Encode(map[string]any{"executors": snap})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if tr == nil {
+			_, _ = io.WriteString(w, "[]\n")
+			return
+		}
+		_ = tr.WriteJSON(w)
+	})
+	return mux
+}
+
+// Var adapts the collector to an expvar.Var, for callers that prefer
+// registering it on the standard expvar page:
+//
+//	expvar.Publish("redundancy", collector.Var())
+func (c *Collector) Var() expvar.Var {
+	return expvar.Func(func() any { return c.Snapshot() })
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// WritePrometheus writes the collector's state in the Prometheus text
+// exposition format. Latencies are exported as summaries in seconds with
+// quantiles 0.5, 0.9 and 0.99.
+func WritePrometheus(w io.Writer, c *Collector) {
+	if c == nil {
+		return
+	}
+	snap := c.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+
+	counter := func(name, help string, value func(ExecutorSnapshot) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, e := range snap {
+			fmt.Fprintf(w, "%s{executor=%q} %d\n", name, escapeLabel(e.Executor), value(e))
+		}
+	}
+	counter("redundancy_requests_total", "Requests handled by the executor.",
+		func(e ExecutorSnapshot) int64 { return e.Requests })
+	counter("redundancy_successes_total", "Requests served without any variant failure.",
+		func(e ExecutorSnapshot) int64 { return e.Successes })
+	counter("redundancy_failures_masked_total", "Requests on which redundancy masked a variant failure.",
+		func(e ExecutorSnapshot) int64 { return e.FailuresMasked })
+	counter("redundancy_failures_total", "Requests on which the executor failed.",
+		func(e ExecutorSnapshot) int64 { return e.Failures })
+	counter("redundancy_failures_detected_total", "Requests on which at least one variant result was rejected.",
+		func(e ExecutorSnapshot) int64 { return e.FailuresDetected })
+	counter("redundancy_components_disabled_total", "Components taken out of rotation.",
+		func(e ExecutorSnapshot) int64 { return e.Disabled })
+	counter("redundancy_retries_total", "Retry attempts after a rejected result.",
+		func(e ExecutorSnapshot) int64 { return e.Retries })
+	counter("redundancy_rollbacks_total", "State rollbacks and compensations executed.",
+		func(e ExecutorSnapshot) int64 { return e.Rollbacks })
+
+	fmt.Fprint(w, "# HELP redundancy_inflight_variants Variant executions currently running.\n")
+	fmt.Fprint(w, "# TYPE redundancy_inflight_variants gauge\n")
+	for _, e := range snap {
+		fmt.Fprintf(w, "redundancy_inflight_variants{executor=%q} %d\n",
+			escapeLabel(e.Executor), e.InflightVariants)
+	}
+
+	fmt.Fprint(w, "# HELP redundancy_request_latency_seconds Request latency per executor.\n")
+	fmt.Fprint(w, "# TYPE redundancy_request_latency_seconds summary\n")
+	for _, e := range snap {
+		writeSummary(w, "redundancy_request_latency_seconds",
+			fmt.Sprintf("executor=%q", escapeLabel(e.Executor)), e.Latency)
+	}
+
+	fmt.Fprint(w, "# HELP redundancy_variant_executions_total Variant executions per executor and variant.\n")
+	fmt.Fprint(w, "# TYPE redundancy_variant_executions_total counter\n")
+	for _, e := range snap {
+		for _, v := range e.Variants {
+			fmt.Fprintf(w, "redundancy_variant_executions_total{executor=%q,variant=%q} %d\n",
+				escapeLabel(e.Executor), escapeLabel(v.Variant), v.Executions)
+		}
+	}
+	fmt.Fprint(w, "# HELP redundancy_variant_failures_total Failed variant executions per executor and variant.\n")
+	fmt.Fprint(w, "# TYPE redundancy_variant_failures_total counter\n")
+	for _, e := range snap {
+		for _, v := range e.Variants {
+			fmt.Fprintf(w, "redundancy_variant_failures_total{executor=%q,variant=%q} %d\n",
+				escapeLabel(e.Executor), escapeLabel(v.Variant), v.Failures)
+		}
+	}
+	fmt.Fprint(w, "# HELP redundancy_variant_latency_seconds Variant execution latency per executor and variant.\n")
+	fmt.Fprint(w, "# TYPE redundancy_variant_latency_seconds summary\n")
+	for _, e := range snap {
+		for _, v := range e.Variants {
+			writeSummary(w, "redundancy_variant_latency_seconds",
+				fmt.Sprintf("executor=%q,variant=%q", escapeLabel(e.Executor), escapeLabel(v.Variant)),
+				v.Latency)
+		}
+	}
+}
+
+// writeSummary writes one Prometheus summary series from a histogram
+// snapshot.
+func writeSummary(w io.Writer, name, labels string, h HistogramSnapshot) {
+	for _, q := range []struct {
+		q string
+		v float64
+	}{
+		{"0.5", h.P50.Seconds()},
+		{"0.9", h.P90.Seconds()},
+		{"0.99", h.P99.Seconds()},
+	} {
+		fmt.Fprintf(w, "%s{%s,quantile=%q} %g\n", name, labels, q.q, q.v)
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count)
+}

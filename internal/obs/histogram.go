@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the fixed bucket count of a latency Histogram. Buckets
+// are powers of two of a microsecond: bucket i collects observations
+// whose microsecond value has bit length i, i.e. durations in
+// [2^(i-1)µs, 2^i µs). Bucket 0 collects sub-microsecond observations and
+// the last bucket everything from ~2^38 µs (≈ 76 hours) up.
+const numBuckets = 40
+
+// Histogram is a lock-free, fixed-bucket latency histogram. All methods
+// are safe for concurrent use; Observe is wait-free (three atomic adds)
+// and performs no allocation, which keeps it eligible for executor hot
+// paths. Quantile estimates are resolved to bucket upper bounds, so they
+// are accurate to within a factor of two — plenty for p50/p90/p99 latency
+// attribution, and the price of never taking a lock.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(d / time.Microsecond))
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketBound returns the upper bound of bucket idx.
+func bucketBound(idx int) time.Duration {
+	return time.Duration(uint64(1)<<uint(idx)) * time.Microsecond
+}
+
+// Observe records one latency observation.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observed duration, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// of the observed latencies, or 0 when the histogram is empty. Under
+// concurrent writers the estimate is computed over a close-enough view of
+// the counters, which is adequate for reporting.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(numBuckets - 1)
+}
+
+// P50 returns the estimated median latency.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P90 returns the estimated 90th-percentile latency.
+func (h *Histogram) P90() time.Duration { return h.Quantile(0.90) }
+
+// P99 returns the estimated 99th-percentile latency.
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// HistogramSnapshot is a point-in-time summary of a Histogram, shaped for
+// JSON export (durations in nanoseconds).
+type HistogramSnapshot struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		P50:   h.P50(),
+		P90:   h.P90(),
+		P99:   h.P99(),
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 || h.P99() != 0 {
+		t.Error("empty histogram quantiles should be 0")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 6*time.Millisecond {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramQuantileResolution(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 10 slow ones.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	// Buckets resolve to powers of two of a microsecond, so estimates are
+	// upper bounds within a factor of two of the true value.
+	if p50 := h.P50(); p50 < 100*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Errorf("P50 = %v, want in [100µs, 200µs]", p50)
+	}
+	if p99 := h.P99(); p99 < 80*time.Millisecond || p99 > 160*time.Millisecond {
+		t.Errorf("P99 = %v, want in [80ms, 160ms]", p99)
+	}
+	if h.P90() > h.P99() {
+		t.Errorf("P90 %v > P99 %v", h.P90(), h.P99())
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamped to 0
+	h.Observe(0)
+	h.Observe(500 * time.Nanosecond) // sub-microsecond bucket
+	h.Observe(1000 * time.Hour)      // beyond the last bucket bound
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(1); q != bucketBound(numBuckets-1) {
+		t.Errorf("max quantile = %v, want last bucket bound %v", q, bucketBound(numBuckets-1))
+	}
+	if h.Quantile(0) != 0 {
+		t.Error("q<=0 should report 0")
+	}
+	// q > 1 is clamped.
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 should clamp to 1")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != time.Millisecond || s.Mean != time.Millisecond {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.P50 == 0 || s.P50 > 2*time.Millisecond {
+		t.Errorf("P50 = %v", s.P50)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(time.Millisecond) })
+	if allocs != 0 {
+		t.Errorf("Observe allocates %v times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// eventLog is a test observer that records callback names.
+type eventLog struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (l *eventLog) add(e string) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) RequestStart(string, uint64)                       { l.add("request-start") }
+func (l *eventLog) RequestEnd(string, uint64, time.Duration, Outcome) { l.add("request-end") }
+func (l *eventLog) VariantStart(string, string, uint64)               { l.add("variant-start") }
+func (l *eventLog) VariantEnd(string, string, uint64, time.Duration, error) {
+	l.add("variant-end")
+}
+func (l *eventLog) Adjudicated(string, uint64, bool, bool)   { l.add("adjudicated") }
+func (l *eventLog) ComponentDisabled(string, string, uint64) { l.add("component-disabled") }
+func (l *eventLog) RetryAttempt(string, string, uint64, int) { l.add("retry") }
+func (l *eventLog) Rollback(string, uint64)                  { l.add("rollback") }
+
+func TestOutcomeString(t *testing.T) {
+	cases := map[Outcome]string{
+		OutcomeSuccess: "success",
+		OutcomeMasked:  "masked",
+		OutcomeFailed:  "failed",
+		Outcome(42):    "unknown",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestNextRequestIDUnique(t *testing.T) {
+	const n = 1000
+	ids := make(chan uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/8; j++ {
+				ids <- NextRequestID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[uint64]bool)
+	for id := range ids {
+		if id == 0 {
+			t.Fatal("request ID 0 issued; 0 is the unobserved sentinel")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestCombine(t *testing.T) {
+	if Combine() != nil {
+		t.Error("Combine() should be nil")
+	}
+	if Combine(nil, nil) != nil {
+		t.Error("Combine(nil, nil) should be nil")
+	}
+	var l eventLog
+	if got := Combine(nil, &l); got != Observer(&l) {
+		t.Error("single live observer should be returned as itself")
+	}
+
+	var a, b eventLog
+	m := Combine(&a, nil, Combine(&b, Nop{}))
+	m.RequestStart("x", 1)
+	m.VariantStart("x", "v", 1)
+	m.VariantEnd("x", "v", 1, time.Millisecond, nil)
+	m.Adjudicated("x", 1, true, false)
+	m.ComponentDisabled("x", "v", 1)
+	m.RetryAttempt("x", "v", 1, 2)
+	m.Rollback("x", 1)
+	m.RequestEnd("x", 1, time.Millisecond, OutcomeSuccess)
+	if len(a.events) != 8 || len(b.events) != 8 {
+		t.Errorf("fan-out delivered %d/%d events, want 8/8", len(a.events), len(b.events))
+	}
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector()
+	req := NextRequestID()
+	c.RequestStart("exec", req)
+	c.VariantStart("exec", "v1", req)
+	c.VariantEnd("exec", "v1", req, 2*time.Millisecond, nil)
+	c.VariantStart("exec", "v2", req)
+	c.VariantEnd("exec", "v2", req, 3*time.Millisecond, errors.New("boom"))
+	c.Adjudicated("exec", req, true, true)
+	c.ComponentDisabled("exec", "v2", req)
+	c.RetryAttempt("exec", "v2", req, 2)
+	c.Rollback("exec", req)
+	c.RequestEnd("exec", req, 5*time.Millisecond, OutcomeMasked)
+
+	snap := c.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d executors, want 1", len(snap))
+	}
+	e := snap[0]
+	if e.Executor != "exec" || e.Requests != 1 || e.FailuresMasked != 1 ||
+		e.Failures != 0 || e.FailuresDetected != 1 || e.Disabled != 1 ||
+		e.Retries != 1 || e.Rollbacks != 1 || e.InflightVariants != 0 {
+		t.Errorf("executor snapshot = %+v", e)
+	}
+	if e.Latency.Count != 1 || e.Latency.Sum != 5*time.Millisecond {
+		t.Errorf("request latency = %+v", e.Latency)
+	}
+	if len(e.Variants) != 2 || e.Variants[0].Variant != "v1" || e.Variants[1].Variant != "v2" {
+		t.Fatalf("variants = %+v", e.Variants)
+	}
+	if e.Variants[0].Executions != 1 || e.Variants[0].Failures != 0 {
+		t.Errorf("v1 = %+v", e.Variants[0])
+	}
+	if e.Variants[1].Executions != 1 || e.Variants[1].Failures != 1 {
+		t.Errorf("v2 = %+v", e.Variants[1])
+	}
+}
+
+func TestCollectorLatencyLookup(t *testing.T) {
+	c := NewCollector()
+	if c.ExecutorLatency("missing") != nil || c.VariantLatency("missing", "v") != nil {
+		t.Error("lookups on empty collector should be nil")
+	}
+	req := NextRequestID()
+	c.RequestStart("e", req)
+	c.VariantStart("e", "v", req)
+	c.VariantEnd("e", "v", req, time.Millisecond, nil)
+	c.RequestEnd("e", req, time.Millisecond, OutcomeSuccess)
+	if h := c.ExecutorLatency("e"); h == nil || h.Count() != 1 {
+		t.Error("executor latency histogram missing")
+	}
+	if h := c.VariantLatency("e", "v"); h == nil || h.Count() != 1 {
+		t.Error("variant latency histogram missing")
+	}
+	if c.VariantLatency("e", "other") != nil {
+		t.Error("unknown variant should be nil")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	const workers, each = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			exec := []string{"a", "b"}[w%2]
+			for i := 0; i < each; i++ {
+				req := NextRequestID()
+				c.RequestStart(exec, req)
+				c.VariantStart(exec, "v", req)
+				c.VariantEnd(exec, "v", req, time.Microsecond, nil)
+				c.RequestEnd(exec, req, time.Microsecond, OutcomeSuccess)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("executors = %d, want 2", len(snap))
+	}
+	total := snap[0].Requests + snap[1].Requests
+	if total != workers*each {
+		t.Errorf("requests = %d, want %d", total, workers*each)
+	}
+}
+
+func TestTraceRecorderRing(t *testing.T) {
+	tr := NewTraceRecorder(3)
+	for i := 0; i < 5; i++ {
+		req := NextRequestID()
+		tr.RequestStart("exec", req)
+		tr.VariantStart("exec", "v", req)
+		tr.VariantEnd("exec", "v", req, time.Millisecond, nil)
+		tr.Adjudicated("exec", req, true, false)
+		tr.RequestEnd("exec", req, 2*time.Millisecond, OutcomeSuccess)
+	}
+	if tr.Total() != 5 {
+		t.Errorf("Total = %d, want 5", tr.Total())
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring keeps %d traces, want 3", len(snap))
+	}
+	// Most recent first: IDs strictly decreasing.
+	for i := 1; i < len(snap); i++ {
+		if snap[i].ID >= snap[i-1].ID {
+			t.Errorf("traces not newest-first: %d then %d", snap[i-1].ID, snap[i].ID)
+		}
+	}
+	got := snap[0]
+	if got.Executor != "exec" || !got.Accepted || got.FailureDetected ||
+		got.Outcome != "success" || got.Latency != 2*time.Millisecond {
+		t.Errorf("trace = %+v", got)
+	}
+	if len(got.Variants) != 1 || got.Variants[0].Variant != "v" {
+		t.Errorf("spans = %+v", got.Variants)
+	}
+}
+
+func TestTraceRecorderEventsAndErrors(t *testing.T) {
+	tr := NewTraceRecorder(2)
+	req := NextRequestID()
+	tr.RequestStart("exec", req)
+	tr.VariantEnd("exec", "v1", req, time.Millisecond, errors.New("kaput"))
+	tr.RetryAttempt("exec", "v2", req, 2)
+	tr.Rollback("exec", req)
+	tr.ComponentDisabled("exec", "v1", req)
+	tr.Adjudicated("exec", req, false, true)
+	tr.RequestEnd("exec", req, time.Millisecond, OutcomeFailed)
+
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("traces = %d", len(snap))
+	}
+	got := snap[0]
+	if got.Accepted || !got.FailureDetected || got.Outcome != "failed" {
+		t.Errorf("trace = %+v", got)
+	}
+	if len(got.Variants) != 1 || got.Variants[0].Err != "kaput" {
+		t.Errorf("spans = %+v", got.Variants)
+	}
+	if len(got.Events) != 3 ||
+		got.Events[0].Kind != "retry" || got.Events[1].Kind != "rollback" ||
+		got.Events[2].Kind != "component-disabled" {
+		t.Errorf("events = %+v", got.Events)
+	}
+}
+
+func TestTraceRecorderIgnoresUnknownRequest(t *testing.T) {
+	tr := NewTraceRecorder(2)
+	// Events for a request that never started must be dropped, not panic.
+	tr.VariantEnd("exec", "v", 999999, time.Millisecond, nil)
+	tr.Adjudicated("exec", 999999, true, false)
+	tr.RequestEnd("exec", 999999, time.Millisecond, OutcomeSuccess)
+	if tr.Total() != 0 || len(tr.Snapshot()) != 0 {
+		t.Error("unknown request leaked into the ring")
+	}
+}

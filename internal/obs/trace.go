@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// VariantSpan is the record of one variant execution inside a Trace.
+type VariantSpan struct {
+	Variant string        `json:"variant"`
+	Latency time.Duration `json:"latency_ns"`
+	Err     string        `json:"err,omitempty"`
+}
+
+// TraceEvent is a recovery action recorded inside a Trace: a component
+// disablement, a retry, or a rollback/compensation.
+type TraceEvent struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is the recorded history of one request through an executor.
+type Trace struct {
+	ID       uint64    `json:"id"`
+	Executor string    `json:"executor"`
+	Start    time.Time `json:"start"`
+	// Latency is the executor's total request latency.
+	Latency time.Duration `json:"latency_ns"`
+	Outcome string        `json:"outcome"`
+	// Accepted reports whether the executor delivered a result;
+	// FailureDetected whether any variant failure was observed. Both
+	// mirror the Adjudicated callback.
+	Accepted        bool          `json:"accepted"`
+	FailureDetected bool          `json:"failure_detected"`
+	Variants        []VariantSpan `json:"variants,omitempty"`
+	Events          []TraceEvent  `json:"events,omitempty"`
+}
+
+// TraceRecorder is an Observer that keeps the last N completed request
+// traces in a ring buffer. Traces under construction live in an in-flight
+// table keyed by request ID and move into the ring at RequestEnd, so
+// concurrent requests on the same executor never interleave.
+//
+// Recording traces allocates (spans are materialized per request); attach
+// a TraceRecorder when insight is worth that cost, and rely on Collector
+// alone when it is not.
+type TraceRecorder struct {
+	mu       sync.Mutex
+	capacity int
+	inflight map[uint64]*Trace
+	ring     []*Trace // completed traces, ring[next-1] most recent
+	next     int
+	total    uint64
+}
+
+var _ Observer = (*TraceRecorder)(nil)
+
+// NewTraceRecorder returns a recorder keeping the last n completed
+// traces; n < 1 is treated as 1.
+func NewTraceRecorder(n int) *TraceRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRecorder{
+		capacity: n,
+		inflight: make(map[uint64]*Trace),
+		ring:     make([]*Trace, 0, n),
+	}
+}
+
+// RequestStart implements Observer.
+func (t *TraceRecorder) RequestStart(executor string, req uint64) {
+	tr := &Trace{ID: req, Executor: executor, Start: time.Now()}
+	t.mu.Lock()
+	t.inflight[req] = tr
+	t.mu.Unlock()
+}
+
+// RequestEnd implements Observer: it finalizes the trace and commits it
+// to the ring.
+func (t *TraceRecorder) RequestEnd(_ string, req uint64, latency time.Duration, outcome Outcome) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.inflight[req]
+	if !ok {
+		return
+	}
+	delete(t.inflight, req)
+	tr.Latency = latency
+	tr.Outcome = outcome.String()
+	t.total++
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, tr)
+		t.next = len(t.ring) % t.capacity
+		return
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % t.capacity
+}
+
+// VariantStart implements Observer. Span timing is taken from VariantEnd;
+// the start event needs no bookkeeping here.
+func (t *TraceRecorder) VariantStart(string, string, uint64) {}
+
+// VariantEnd implements Observer.
+func (t *TraceRecorder) VariantEnd(_, variant string, req uint64, latency time.Duration, err error) {
+	span := VariantSpan{Variant: variant, Latency: latency}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	t.mu.Lock()
+	if tr, ok := t.inflight[req]; ok {
+		tr.Variants = append(tr.Variants, span)
+	}
+	t.mu.Unlock()
+}
+
+// Adjudicated implements Observer.
+func (t *TraceRecorder) Adjudicated(_ string, req uint64, accepted, failureDetected bool) {
+	t.mu.Lock()
+	if tr, ok := t.inflight[req]; ok {
+		tr.Accepted = accepted
+		tr.FailureDetected = failureDetected
+	}
+	t.mu.Unlock()
+}
+
+// event appends a recovery action to the in-flight trace of req.
+func (t *TraceRecorder) event(req uint64, kind, detail string) {
+	t.mu.Lock()
+	if tr, ok := t.inflight[req]; ok {
+		tr.Events = append(tr.Events, TraceEvent{Kind: kind, Detail: detail})
+	}
+	t.mu.Unlock()
+}
+
+// ComponentDisabled implements Observer.
+func (t *TraceRecorder) ComponentDisabled(_, component string, req uint64) {
+	t.event(req, "component-disabled", component)
+}
+
+// RetryAttempt implements Observer.
+func (t *TraceRecorder) RetryAttempt(_, variant string, req uint64, _ int) {
+	t.event(req, "retry", variant)
+}
+
+// Rollback implements Observer.
+func (t *TraceRecorder) Rollback(_ string, req uint64) {
+	t.event(req, "rollback", "")
+}
+
+// Total returns how many traces have completed since the recorder was
+// created (including those already evicted from the ring).
+func (t *TraceRecorder) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the completed traces, most recent first.
+func (t *TraceRecorder) Snapshot() []Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (t.next - 1 - i + 2*len(t.ring)) % len(t.ring)
+		out = append(out, *t.ring[idx])
+	}
+	return out
+}
+
+// WriteJSON writes the completed traces (most recent first) as a JSON
+// array.
+func (t *TraceRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Snapshot())
+}

@@ -1,0 +1,163 @@
+package pattern
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sync"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// captureHandler is a slog.Handler that records every record it gets.
+type captureHandler struct {
+	mu      sync.Mutex
+	records []slog.Record
+}
+
+var _ slog.Handler = (*captureHandler)(nil)
+
+func (h *captureHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *captureHandler) Handle(_ context.Context, r slog.Record) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.records = append(h.records, r.Clone())
+	return nil
+}
+
+func (h *captureHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *captureHandler) WithGroup(string) slog.Handler      { return h }
+
+// attrs flattens a record's attributes into a map.
+func attrs(r slog.Record) map[string]string {
+	out := make(map[string]string)
+	r.Attrs(func(a slog.Attr) bool {
+		out[a.Key] = a.Value.String()
+		return true
+	})
+	return out
+}
+
+// find returns the first captured record with the given message, and
+// whether one exists.
+func (h *captureHandler) find(msg string) (slog.Record, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range h.records {
+		if r.Message == msg {
+			return r, true
+		}
+	}
+	return slog.Record{}, false
+}
+
+func TestWithLoggerMaskedFailure(t *testing.T) {
+	h := &captureHandler{}
+	seq, err := NewSequentialAlternatives(
+		[]core.Variant[int, int]{obsFail("primary"), obsOK("alternate", 5)},
+		func(int, int) error { return nil }, nil,
+		WithLogger(slog.New(h)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := seq.Execute(context.Background(), 1); err != nil || v != 5 {
+		t.Fatalf("Execute = %d, %v", v, err)
+	}
+
+	// The failed variant is logged at debug level with executor, variant
+	// and error attributes.
+	vr, ok := h.find("variant failed")
+	if !ok {
+		t.Fatal("no 'variant failed' record")
+	}
+	if vr.Level != slog.LevelDebug {
+		t.Errorf("variant-failure level = %v, want debug", vr.Level)
+	}
+	va := attrs(vr)
+	if va["executor"] != "sequential-alternatives" || va["variant"] != "primary" ||
+		va["err"] != "primary failed" {
+		t.Errorf("variant-failure attrs = %v", va)
+	}
+
+	// The masked outcome is logged at info level naming the executor.
+	mr, ok := h.find("failure masked by redundancy")
+	if !ok {
+		t.Fatal("no masked-failure record")
+	}
+	if mr.Level != slog.LevelInfo {
+		t.Errorf("masked-failure level = %v, want info", mr.Level)
+	}
+	ma := attrs(mr)
+	if ma["executor"] != "sequential-alternatives" {
+		t.Errorf("masked-failure attrs = %v", ma)
+	}
+	if _, logged := h.find("redundant execution failed"); logged {
+		t.Error("masked request must not log an executor failure")
+	}
+}
+
+func TestWithLoggerExecutorFailure(t *testing.T) {
+	h := &captureHandler{}
+	pe, err := NewParallelEvaluation(
+		[]core.Variant[int, int]{obsFail("a"), obsFail("b")},
+		core.AdjudicatorFunc[int](func([]core.Result[int]) (int, error) {
+			return 0, core.ErrAllVariantsFailed
+		}),
+		WithLogger(slog.New(h)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pe.Execute(context.Background(), 1); !errors.Is(err, core.ErrAllVariantsFailed) {
+		t.Fatalf("Execute error = %v", err)
+	}
+
+	fr, ok := h.find("redundant execution failed")
+	if !ok {
+		t.Fatal("no executor-failure record")
+	}
+	if fr.Level != slog.LevelInfo {
+		t.Errorf("executor-failure level = %v, want info", fr.Level)
+	}
+	fa := attrs(fr)
+	if fa["executor"] != "parallel-evaluation" {
+		t.Errorf("executor-failure attrs = %v", fa)
+	}
+	if fa["err"] != core.ErrAllVariantsFailed.Error() {
+		t.Errorf("executor-failure err attr = %q", fa["err"])
+	}
+	if _, logged := h.find("failure masked by redundancy"); logged {
+		t.Error("failed request must not log a masked outcome")
+	}
+
+	// Both failed variants produce debug records.
+	h.mu.Lock()
+	var variantFailures int
+	for _, r := range h.records {
+		if r.Message == "variant failed" {
+			variantFailures++
+		}
+	}
+	h.mu.Unlock()
+	if variantFailures != 2 {
+		t.Errorf("variant-failure records = %d, want 2", variantFailures)
+	}
+}
+
+func TestWithLoggerQuietOnCleanSuccess(t *testing.T) {
+	h := &captureHandler{}
+	sg, err := NewSingle(obsOK("v", 1), WithLogger(slog.New(h)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sg.Execute(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	n := len(h.records)
+	h.mu.Unlock()
+	if n != 0 {
+		t.Errorf("clean success logged %d records, want 0", n)
+	}
+}

@@ -1,0 +1,137 @@
+package pattern
+
+import (
+	"context"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// benchVariants builds n trivially succeeding variants.
+func benchVariants(n int) []core.Variant[int, int] {
+	vs := make([]core.Variant[int, int], n)
+	for i := range vs {
+		vs[i] = core.NewVariant("v", func(_ context.Context, x int) (int, error) { return x, nil })
+	}
+	return vs
+}
+
+func benchAdjudicator() core.Adjudicator[int] {
+	return core.AdjudicatorFunc[int](func(rs []core.Result[int]) (int, error) {
+		return rs[0].Value, nil
+	})
+}
+
+// BenchmarkObserverOverhead compares ParallelEvaluation.Execute with no
+// observer, with the no-op observer, and with the histogram-backed
+// Collector, so regressions in observation cost show up as a ratio
+// against the unobserved baseline.
+func BenchmarkObserverOverhead(b *testing.B) {
+	ctx := context.Background()
+	build := func(b *testing.B, opts ...Option) *ParallelEvaluation[int, int] {
+		pe, err := NewParallelEvaluation(benchVariants(3), benchAdjudicator(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pe
+	}
+
+	b.Run("none", func(b *testing.B) {
+		pe := build(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pe.Execute(ctx, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nop", func(b *testing.B) {
+		pe := build(b, WithObserver(obs.Nop{}))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pe.Execute(ctx, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("collector", func(b *testing.B) {
+		pe := build(b, WithObserver(obs.NewCollector()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pe.Execute(ctx, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("collector+traces", func(b *testing.B) {
+		pe := build(b, WithObserver(obs.Combine(obs.NewCollector(), obs.NewTraceRecorder(128))))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pe.Execute(ctx, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestNilObserverZeroAllocs asserts that the unobserved path allocates
+// exactly as much as it always did — the observation layer must be free
+// when switched off — and that the no-op observer adds zero allocations
+// on top of it.
+func TestNilObserverZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	ctx := context.Background()
+	measure := func(opts ...Option) float64 {
+		pe, err := NewParallelEvaluation(benchVariants(3), benchAdjudicator(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(200, func() {
+			if _, err := pe.Execute(ctx, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	baseline := measure()
+	withNil := measure(WithObserver(nil))
+	withNop := measure(WithObserver(obs.Nop{}))
+	if withNil != baseline {
+		t.Errorf("nil observer path allocates %v per run, baseline %v", withNil, baseline)
+	}
+	if withNop != baseline {
+		t.Errorf("no-op observer adds allocations: %v per run, baseline %v", withNop, baseline)
+	}
+}
+
+// TestCollectorSteadyStateAllocs asserts the histogram-backed Collector
+// is allocation-free per request once the executor/variant pair is known.
+func TestCollectorSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	ctx := context.Background()
+	c := obs.NewCollector()
+	seq, err := NewSequentialAlternatives(benchVariants(1),
+		func(int, int) error { return nil }, nil, WithObserver(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewSequentialAlternatives(benchVariants(1),
+		func(int, int) error { return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the collector's copy-on-write maps.
+	if _, err := seq.Execute(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	baseline := testing.AllocsPerRun(200, func() { _, _ = base.Execute(ctx, 1) })
+	observed := testing.AllocsPerRun(200, func() { _, _ = seq.Execute(ctx, 1) })
+	if observed != baseline {
+		t.Errorf("collector steady state allocates %v per run, baseline %v", observed, baseline)
+	}
+}

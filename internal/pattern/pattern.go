@@ -14,6 +14,13 @@
 // All executors manage their goroutines: Execute never returns while a
 // worker goroutine it spawned is still running, and workers receive a
 // cancelable context so that canceled variants can stop early.
+//
+// Every executor is observable: WithObserver attaches an obs.Observer
+// that receives request/variant spans, adjudication decisions and
+// recovery actions. The legacy WithMetrics option is implemented on top
+// of the same mechanism (obs.ForMetrics) and keeps its exact counter
+// semantics. With no observer configured the executors take a fast path
+// that performs no observation work and no allocations.
 package pattern
 
 import (
@@ -24,11 +31,20 @@ import (
 	"time"
 
 	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// Executor names used in observation events and log records.
+const (
+	nameParallelEvaluation     = "parallel-evaluation"
+	nameParallelSelection      = "parallel-selection"
+	nameSequentialAlternatives = "sequential-alternatives"
+	nameSingle                 = "single"
 )
 
 // config carries options shared by the pattern executors.
 type config struct {
-	metrics        *core.Metrics
+	observer       obs.Observer
 	variantTimeout time.Duration
 	logger         *slog.Logger
 }
@@ -36,9 +52,22 @@ type config struct {
 // Option configures a pattern executor.
 type Option func(*config)
 
-// WithMetrics attaches a metrics collector to the executor.
+// WithMetrics attaches a metrics collector to the executor. Since the
+// observation layer landed this is a thin veneer over WithObserver: the
+// counters are driven by the same events as every other observer, with
+// the historical semantics preserved (one request per Execute, one
+// variant execution per variant run, detected/masked/failed derived from
+// the executor's adjudication decision).
 func WithMetrics(m *core.Metrics) Option {
-	return func(c *config) { c.metrics = m }
+	return WithObserver(obs.ForMetrics(m))
+}
+
+// WithObserver attaches an observer receiving request and variant spans,
+// adjudication decisions, and recovery actions (component disablement,
+// retries, rollbacks). Multiple WithObserver (and WithMetrics) options
+// compose: every attached observer sees every event.
+func WithObserver(o obs.Observer) Option {
+	return func(c *config) { c.observer = obs.Combine(c.observer, o) }
 }
 
 // WithVariantTimeout bounds each variant execution. A zero duration means
@@ -85,10 +114,52 @@ func newConfig(opts []Option) config {
 	return c
 }
 
+// startRequest opens an observed request span. It returns the request ID
+// (0 when unobserved, so downstream events know to stay silent) and the
+// span start time.
+func (c config) startRequest(executor string) (req uint64, start time.Time) {
+	o := c.observer
+	if o == nil {
+		return 0, time.Time{}
+	}
+	req = obs.NextRequestID()
+	start = time.Now()
+	o.RequestStart(executor, req)
+	return req, start
+}
+
+// endRequest closes an observed request span with the executor's
+// adjudication decision and classified outcome.
+func (c config) endRequest(executor string, req uint64, start time.Time, accepted, failureDetected bool) {
+	o := c.observer
+	if o == nil || req == 0 {
+		return
+	}
+	o.Adjudicated(executor, req, accepted, failureDetected)
+	o.RequestEnd(executor, req, time.Since(start), outcomeOf(accepted, failureDetected))
+}
+
+// outcomeOf classifies a request end state.
+func outcomeOf(accepted, failureDetected bool) obs.Outcome {
+	switch {
+	case !accepted:
+		return obs.OutcomeFailed
+	case failureDetected:
+		return obs.OutcomeMasked
+	default:
+		return obs.OutcomeSuccess
+	}
+}
+
 // runVariant executes one variant with latency accounting, the configured
 // timeout, and panic containment: a panicking variant yields an ordinary
-// failed Result instead of crashing the executor.
-func runVariant[I, O any](ctx context.Context, cfg config, v core.Variant[I, O], input I) core.Result[O] {
+// failed Result instead of crashing the executor. When req is a live
+// request ID the execution is bracketed by VariantStart/VariantEnd
+// observation events.
+func runVariant[I, O any](ctx context.Context, cfg config, executor string, req uint64, v core.Variant[I, O], input I) core.Result[O] {
+	if o := cfg.observer; o != nil && req != 0 {
+		o.VariantStart(executor, v.Name(), req)
+	}
 	if cfg.variantTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.variantTimeout)
@@ -96,12 +167,16 @@ func runVariant[I, O any](ctx context.Context, cfg config, v core.Variant[I, O],
 	}
 	start := time.Now()
 	value, err := core.Guard(v).Execute(ctx, input)
-	return core.Result[O]{
+	r := core.Result[O]{
 		Variant: v.Name(),
 		Value:   value,
 		Err:     err,
 		Latency: time.Since(start),
 	}
+	if o := cfg.observer; o != nil && req != 0 {
+		o.VariantEnd(executor, r.Variant, req, r.Latency, r.Err)
+	}
+	return r
 }
 
 // ParallelEvaluation is the Figure 1a executor: it runs every variant on
@@ -130,43 +205,37 @@ func NewParallelEvaluation[I, O any](variants []core.Variant[I, O], adj core.Adj
 
 // Execute implements core.Executor.
 func (p *ParallelEvaluation[I, O]) Execute(ctx context.Context, input I) (O, error) {
-	results := p.ExecuteAll(ctx, input)
+	req, start := p.cfg.startRequest(nameParallelEvaluation)
+	results := p.executeAll(ctx, input, req)
 	value, err := p.adjudicator.Adjudicate(results)
 	anyFailed := false
 	for _, r := range results {
 		if !r.OK() {
 			anyFailed = true
-			p.cfg.logVariantFailure("parallel-evaluation", r.Variant, r.Err)
+			p.cfg.logVariantFailure(nameParallelEvaluation, r.Variant, r.Err)
 		}
 	}
-	p.cfg.logOutcome("parallel-evaluation", anyFailed, err)
-	if m := p.cfg.metrics; m != nil {
-		m.RecordRequest()
-		m.RecordVariantExecutions(len(results))
-		if anyFailed {
-			m.RecordFailureDetected()
-		}
-		switch {
-		case err != nil:
-			m.RecordFailure()
-		case anyFailed:
-			m.RecordFailureMasked()
-		}
-	}
+	p.cfg.logOutcome(nameParallelEvaluation, anyFailed, err)
+	p.cfg.endRequest(nameParallelEvaluation, req, start, err == nil, anyFailed)
 	return value, err
 }
 
 // ExecuteAll runs every variant concurrently and returns all results in
 // variant order. It is exposed so callers (e.g. experiments) can inspect
-// the raw result vector.
+// the raw result vector; such direct executions are not observed, because
+// no request-level adjudication takes place.
 func (p *ParallelEvaluation[I, O]) ExecuteAll(ctx context.Context, input I) []core.Result[O] {
+	return p.executeAll(ctx, input, 0)
+}
+
+func (p *ParallelEvaluation[I, O]) executeAll(ctx context.Context, input I, req uint64) []core.Result[O] {
 	results := make([]core.Result[O], len(p.variants))
 	var wg sync.WaitGroup
 	for i, v := range p.variants {
 		wg.Add(1)
 		go func(i int, v core.Variant[I, O]) {
 			defer wg.Done()
-			results[i] = runVariant(ctx, p.cfg, v, input)
+			results[i] = runVariant(ctx, p.cfg, nameParallelEvaluation, req, v, input)
 		}(i, v)
 	}
 	wg.Wait()
@@ -237,6 +306,7 @@ func (p *ParallelSelection[I, O]) Reset() {
 // "hot spare" takes over without any rollback.
 func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var zero O
+	req, start := p.cfg.startRequest(nameParallelSelection)
 
 	p.mu.Lock()
 	var live []int
@@ -247,14 +317,8 @@ func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, erro
 	}
 	p.mu.Unlock()
 
-	if m := p.cfg.metrics; m != nil {
-		m.RecordRequest()
-		m.RecordVariantExecutions(len(live))
-	}
 	if len(live) == 0 {
-		if m := p.cfg.metrics; m != nil {
-			m.RecordFailure()
-		}
+		p.cfg.endRequest(nameParallelSelection, req, start, false, false)
 		return zero, fmt.Errorf("all variants disabled: %w", core.ErrAllVariantsFailed)
 	}
 
@@ -264,7 +328,7 @@ func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, erro
 		wg.Add(1)
 		go func(slot, i int) {
 			defer wg.Done()
-			results[slot] = runVariant(ctx, p.cfg, p.variants[i], input)
+			results[slot] = runVariant(ctx, p.cfg, nameParallelSelection, req, p.variants[i], input)
 		}(slot, i)
 	}
 	wg.Wait()
@@ -282,8 +346,11 @@ func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, erro
 		}
 		if err != nil {
 			anyRejected = true
-			p.cfg.logVariantFailure("parallel-selection", p.variants[i].Name(), err)
+			p.cfg.logVariantFailure(nameParallelSelection, p.variants[i].Name(), err)
 			p.disable(p.variants[i].Name())
+			if o := p.cfg.observer; o != nil {
+				o.ComponentDisabled(nameParallelSelection, p.variants[i].Name(), req)
+			}
 			continue
 		}
 		if !accepted {
@@ -293,21 +360,11 @@ func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, erro
 	}
 
 	if !accepted {
-		p.cfg.logOutcome("parallel-selection", anyRejected, core.ErrAllVariantsFailed)
+		p.cfg.logOutcome(nameParallelSelection, anyRejected, core.ErrAllVariantsFailed)
 	} else {
-		p.cfg.logOutcome("parallel-selection", anyRejected, nil)
+		p.cfg.logOutcome(nameParallelSelection, anyRejected, nil)
 	}
-	if m := p.cfg.metrics; m != nil {
-		if anyRejected {
-			m.RecordFailureDetected()
-		}
-		switch {
-		case !accepted:
-			m.RecordFailure()
-		case anyRejected:
-			m.RecordFailureMasked()
-		}
-	}
+	p.cfg.endRequest(nameParallelSelection, req, start, accepted, anyRejected)
 	if !accepted {
 		return zero, core.ErrAllVariantsFailed
 	}
@@ -356,9 +413,8 @@ func NewSequentialAlternatives[I, O any](variants []core.Variant[I, O], test cor
 // Execute implements core.Executor.
 func (s *SequentialAlternatives[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var zero O
-	if m := s.cfg.metrics; m != nil {
-		m.RecordRequest()
-	}
+	req, start := s.cfg.startRequest(nameSequentialAlternatives)
+	o := s.cfg.observer
 	var lastErr error
 	attempts := 0
 	for i, v := range s.variants {
@@ -367,50 +423,39 @@ func (s *SequentialAlternatives[I, O]) Execute(ctx context.Context, input I) (O,
 			break
 		}
 		if i > 0 && s.rollback != nil {
+			if o != nil && req != 0 {
+				o.Rollback(nameSequentialAlternatives, req)
+			}
 			if err := s.rollback(ctx); err != nil {
 				lastErr = fmt.Errorf("rollback before alternate %s: %w", v.Name(), err)
 				break
 			}
 		}
+		if i > 0 && o != nil && req != 0 {
+			o.RetryAttempt(nameSequentialAlternatives, v.Name(), req, i+1)
+		}
 		attempts++
-		r := runVariant(ctx, s.cfg, v, input)
+		r := runVariant(ctx, s.cfg, nameSequentialAlternatives, req, v, input)
 		if !r.OK() {
 			lastErr = r.Err
-			s.cfg.logVariantFailure("sequential-alternatives", v.Name(), r.Err)
+			s.cfg.logVariantFailure(nameSequentialAlternatives, v.Name(), r.Err)
 			continue
 		}
 		if err := s.test(input, r.Value); err != nil {
 			lastErr = err
-			s.cfg.logVariantFailure("sequential-alternatives", v.Name(), err)
+			s.cfg.logVariantFailure(nameSequentialAlternatives, v.Name(), err)
 			continue
 		}
-		s.cfg.logOutcome("sequential-alternatives", attempts > 1, nil)
-		s.recordOutcome(attempts, true)
+		s.cfg.logOutcome(nameSequentialAlternatives, attempts > 1, nil)
+		s.cfg.endRequest(nameSequentialAlternatives, req, start, true, attempts > 1)
 		return r.Value, nil
 	}
-	s.recordOutcome(attempts, false)
 	if lastErr == nil {
 		lastErr = core.ErrAllVariantsFailed
 	}
-	s.cfg.logOutcome("sequential-alternatives", attempts > 1, lastErr)
+	s.cfg.logOutcome(nameSequentialAlternatives, attempts > 1, lastErr)
+	s.cfg.endRequest(nameSequentialAlternatives, req, start, false, attempts > 1)
 	return zero, fmt.Errorf("%w: %w", core.ErrAllVariantsFailed, lastErr)
-}
-
-func (s *SequentialAlternatives[I, O]) recordOutcome(attempts int, succeeded bool) {
-	m := s.cfg.metrics
-	if m == nil {
-		return
-	}
-	m.RecordVariantExecutions(attempts)
-	if attempts > 1 {
-		m.RecordFailureDetected()
-	}
-	switch {
-	case !succeeded:
-		m.RecordFailure()
-	case attempts > 1:
-		m.RecordFailureMasked()
-	}
 }
 
 // Single wraps one variant as a non-redundant executor. Experiments use
@@ -432,18 +477,20 @@ func NewSingle[I, O any](v core.Variant[I, O], opts ...Option) (*Single[I, O], e
 
 // Execute implements core.Executor.
 func (s *Single[I, O]) Execute(ctx context.Context, input I) (O, error) {
-	if m := s.cfg.metrics; m != nil {
-		m.RecordRequest()
-		m.RecordVariantExecutions(1)
-	}
-	r := runVariant(ctx, s.cfg, s.variant, input)
+	req, start := s.cfg.startRequest(nameSingle)
+	r := runVariant(ctx, s.cfg, nameSingle, req, s.variant, input)
 	if !r.OK() {
-		s.cfg.logVariantFailure("single", r.Variant, r.Err)
-		s.cfg.logOutcome("single", false, r.Err)
+		s.cfg.logVariantFailure(nameSingle, r.Variant, r.Err)
+		s.cfg.logOutcome(nameSingle, false, r.Err)
 	}
-	if m := s.cfg.metrics; m != nil && !r.OK() {
-		m.RecordFailureDetected()
-		m.RecordFailure()
-	}
+	s.cfg.endRequest(nameSingle, req, start, r.OK(), !r.OK())
 	return r.Value, r.Err
+}
+
+// ObserverOf resolves the observer configured by a set of options. It
+// lets composition layers that hand-roll their own invocation loops
+// (e.g. internal/composite's retry) emit observation events consistent
+// with the pattern executors without access to the unexported config.
+func ObserverOf(opts ...Option) obs.Observer {
+	return newConfig(opts).observer
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package pattern
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions are skipped under -race because instrumentation changes
+// allocation behavior.
+const raceEnabled = false

@@ -15,6 +15,7 @@ import (
 
 	"github.com/softwarefaults/redundancy/internal/checkpoint"
 	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
 	"github.com/softwarefaults/redundancy/internal/pattern"
 )
 
@@ -31,6 +32,7 @@ type Block[S, I, O any] struct {
 	alternates []core.Variant[I, O]
 	test       core.AcceptanceTest[I, O]
 	metrics    *core.Metrics
+	observer   obs.Observer
 }
 
 var _ core.Executor[int, int] = (*Block[struct{}, int, int])(nil)
@@ -41,6 +43,15 @@ type Option[S, I, O any] func(*Block[S, I, O])
 // WithMetrics attaches a metrics collector.
 func WithMetrics[S, I, O any](m *core.Metrics) Option[S, I, O] {
 	return func(b *Block[S, I, O]) { b.metrics = m }
+}
+
+// WithObserver attaches an observer. The block forwards it to the
+// underlying sequential-alternatives executor, so the observer sees the
+// full request span: each alternate as a variant span, state restoration
+// as rollback events, retried alternates as retry attempts, and the
+// acceptance-test verdict as the adjudication. Repeated options combine.
+func WithObserver[S, I, O any](o obs.Observer) Option[S, I, O] {
+	return func(b *Block[S, I, O]) { b.observer = obs.Combine(b.observer, o) }
 }
 
 // NewBlock builds a recovery block named name over state. The first
@@ -96,6 +107,9 @@ func (b *Block[S, I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var popts []pattern.Option
 	if b.metrics != nil {
 		popts = append(popts, pattern.WithMetrics(b.metrics))
+	}
+	if b.observer != nil {
+		popts = append(popts, pattern.WithObserver(b.observer))
 	}
 	seq, err := pattern.NewSequentialAlternatives(b.alternates, b.test, rollback, popts...)
 	if err != nil {

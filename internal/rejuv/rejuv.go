@@ -24,9 +24,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/softwarefaults/redundancy/internal/core"
 	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/obs"
 	"github.com/softwarefaults/redundancy/internal/xrand"
 )
 
@@ -110,8 +112,11 @@ type Rejuvenator[I, O any] struct {
 	LeakPerRequest int
 
 	rejuvenations int
-	metrics       *core.Metrics
+	observer      obs.Observer
 }
+
+// rejuvenatorName identifies the rejuvenator in observation events.
+const rejuvenatorName = "rejuvenator"
 
 var _ core.Executor[int, int] = (*Rejuvenator[int, int])(nil)
 
@@ -137,8 +142,20 @@ func NewRejuvenator[I, O any](variant core.Variant[I, O], fault faultmodel.Aging
 	}, nil
 }
 
-// SetMetrics attaches a metrics collector.
-func (r *Rejuvenator[I, O]) SetMetrics(m *core.Metrics) { r.metrics = m }
+// SetMetrics attaches a metrics collector; it is observation shorthand
+// for SetObserver(obs.ForMetrics(m)) and keeps the legacy counter
+// semantics: every request counts one variant execution, and only an
+// activated aging fault counts as a detected failure.
+func (r *Rejuvenator[I, O]) SetMetrics(m *core.Metrics) { r.SetObserver(obs.ForMetrics(m)) }
+
+// SetObserver attaches an observer. Rejuvenations are reported as
+// rollback events (the environment is restored to its initial state);
+// aging-fault activations fail the request with the failure detected.
+// A plain variant error is not adjudicated — rejuvenation is preventive
+// and has no failure detector of its own. Repeated calls combine.
+func (r *Rejuvenator[I, O]) SetObserver(o obs.Observer) {
+	r.observer = obs.Combine(r.observer, o)
+}
 
 // Rejuvenations reports how many times the process was rejuvenated.
 func (r *Rejuvenator[I, O]) Rejuvenations() int { return r.rejuvenations }
@@ -151,25 +168,56 @@ func (r *Rejuvenator[I, O]) Env() *faultmodel.Env { return r.env }
 // the request.
 func (r *Rejuvenator[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var zero O
+	o := r.observer
+	var (
+		req   uint64
+		start time.Time
+	)
+	if o != nil {
+		req = obs.NextRequestID()
+		start = time.Now()
+		o.RequestStart(rejuvenatorName, req)
+	}
 	if r.policy.ShouldRejuvenate(r.env) {
 		r.env.Rejuvenate()
 		r.rejuvenations++
-	}
-	if r.metrics != nil {
-		r.metrics.RecordRequest()
-		r.metrics.RecordVariantExecutions(1)
+		if o != nil {
+			o.Rollback(rejuvenatorName, req)
+		}
 	}
 	r.env.Tick(r.FragmentationGrowth, r.LeakPerRequest)
 	inv := faultmodel.Invocation{Env: r.env, Rand: r.rng}
 	if r.fault.Activated(inv) {
-		if r.metrics != nil {
-			r.metrics.RecordFailureDetected()
-			r.metrics.RecordFailure()
-		}
-		return zero, fmt.Errorf("aging failure at age %d: %w",
+		err := fmt.Errorf("aging failure at age %d: %w",
 			r.env.Age, &faultmodel.ActivatedError{Fault: r.fault.Name(), Variant: r.variant.Name()})
+		if o != nil {
+			// The fault preempts the variant, but the invocation still
+			// counts as one (failed) execution of the aging process.
+			o.VariantStart(rejuvenatorName, r.variant.Name(), req)
+			o.VariantEnd(rejuvenatorName, r.variant.Name(), req, 0, err)
+			o.Adjudicated(rejuvenatorName, req, false, true)
+			o.RequestEnd(rejuvenatorName, req, time.Since(start), obs.OutcomeFailed)
+		}
+		return zero, err
 	}
-	return r.variant.Execute(ctx, input)
+	var vstart time.Time
+	if o != nil {
+		o.VariantStart(rejuvenatorName, r.variant.Name(), req)
+		vstart = time.Now()
+	}
+	out, err := r.variant.Execute(ctx, input)
+	if o != nil {
+		o.VariantEnd(rejuvenatorName, r.variant.Name(), req, time.Since(vstart), err)
+		if err == nil {
+			o.Adjudicated(rejuvenatorName, req, true, false)
+			o.RequestEnd(rejuvenatorName, req, time.Since(start), obs.OutcomeSuccess)
+		} else {
+			// A plain variant error is not adjudicated: rejuvenation is
+			// preventive and brings no failure detector of its own.
+			o.RequestEnd(rejuvenatorName, req, time.Since(start), obs.OutcomeFailed)
+		}
+	}
+	return out, err
 }
 
 // CompletionConfig parameterizes the Garg et al. completion-time model.

@@ -13,14 +13,19 @@ import (
 	"github.com/softwarefaults/redundancy/internal/xrand"
 )
 
-// withMetricsOpt wraps a metrics collector as pattern options.
+// withMetricsOpt wraps a metrics collector (plus the package observer,
+// when set) as pattern options.
 func withMetricsOpt(m *core.Metrics) []pattern.Option {
-	return []pattern.Option{pattern.WithMetrics(m)}
+	opts := []pattern.Option{pattern.WithMetrics(m)}
+	if observer != nil {
+		opts = append(opts, pattern.WithObserver(observer))
+	}
+	return opts
 }
 
 // newSequential builds a sequential-alternatives executor with metrics.
 func newSequential(vs []core.Variant[int, int], test core.AcceptanceTest[int, int], m *core.Metrics) (*pattern.SequentialAlternatives[int, int], error) {
-	return pattern.NewSequentialAlternatives(vs, test, nil, pattern.WithMetrics(m))
+	return pattern.NewSequentialAlternatives(vs, test, nil, withMetricsOpt(m)...)
 }
 
 // buildOptimizer constructs a selfopt.Optimizer over identity variants

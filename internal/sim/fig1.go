@@ -54,7 +54,7 @@ func figure1Experiment() Experiment {
 				var mSingle core.Metrics
 				single, err := pattern.NewSingle(
 					flakyVariant("v1", 0, p, false, rng.Split()),
-					pattern.WithMetrics(&mSingle))
+					withMetricsOpt(&mSingle)...)
 				if err != nil {
 					return nil, err
 				}
@@ -72,7 +72,7 @@ func figure1Experiment() Experiment {
 					peVars[i] = flakyVariant(fmt.Sprintf("v%d", i+1), i, p, true, rng.Split())
 				}
 				pe, err := pattern.NewParallelEvaluation(peVars,
-					vote.Majority(core.EqualOf[int]()), pattern.WithMetrics(&mPE))
+					vote.Majority(core.EqualOf[int]()), withMetricsOpt(&mPE)...)
 				if err != nil {
 					return nil, err
 				}
@@ -92,7 +92,7 @@ func figure1Experiment() Experiment {
 					psVars[i] = flakyVariant(fmt.Sprintf("v%d", i+1), i, p, false, rng.Split())
 					tests[i] = func(_ int, _ int) error { return nil }
 				}
-				ps, err := pattern.NewParallelSelection(psVars, tests, pattern.WithMetrics(&mPS))
+				ps, err := pattern.NewParallelSelection(psVars, tests, withMetricsOpt(&mPS)...)
 				if err != nil {
 					return nil, err
 				}
@@ -111,7 +111,7 @@ func figure1Experiment() Experiment {
 					saVars[i] = flakyVariant(fmt.Sprintf("v%d", i+1), i, p, false, rng.Split())
 				}
 				sa, err := pattern.NewSequentialAlternatives(saVars,
-					func(_ int, _ int) error { return nil }, nil, pattern.WithMetrics(&mSA))
+					func(_ int, _ int) error { return nil }, nil, withMetricsOpt(&mSA)...)
 				if err != nil {
 					return nil, err
 				}

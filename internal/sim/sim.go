@@ -12,8 +12,19 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/softwarefaults/redundancy/internal/obs"
 	"github.com/softwarefaults/redundancy/internal/stats"
 )
+
+// observer is an optional process-wide observer attached to the pattern
+// executors the experiments build (alongside their per-experiment
+// counters), so a live metrics endpoint can watch a run.
+var observer obs.Observer
+
+// SetObserver attaches an observer to every subsequently built experiment
+// executor. Call it once, before running experiments (cmd/experiments
+// wires it to -metrics-addr).
+func SetObserver(o obs.Observer) { observer = o }
 
 // Experiment is one reproducible experiment.
 type Experiment struct {

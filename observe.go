@@ -1,0 +1,88 @@
+package redundancy
+
+import (
+	"net/http"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+)
+
+// The observation layer: a single Observer interface receives span-style
+// callbacks from every redundancy executor, with composable built-in
+// implementations — latency histograms (Collector), bounded request
+// traces (TraceRecorder), the legacy Metrics counters (MetricsObserver),
+// and an HTTP exporter (ObservationHandler). Attach observers to pattern
+// executors with WithObserver; WithMetrics remains the counter-only
+// shorthand, itself implemented as an Observer.
+type (
+	// Observer receives span-style callbacks from redundancy executors;
+	// see the interface documentation for the callback contract.
+	Observer = obs.Observer
+	// ObservationOutcome classifies the end state of one observed request.
+	ObservationOutcome = obs.Outcome
+	// Collector is the histogram-backed metrics observer: per-executor and
+	// per-variant counters and latency quantiles, lock-free on the hot
+	// path.
+	Collector = obs.Collector
+	// ExecutorObservation is a point-in-time copy of one executor's
+	// collected stats.
+	ExecutorObservation = obs.ExecutorSnapshot
+	// VariantObservation is a point-in-time copy of one variant's
+	// collected stats.
+	VariantObservation = obs.VariantSnapshot
+	// LatencyHistogram is a lock-free fixed-bucket latency histogram.
+	LatencyHistogram = obs.Histogram
+	// LatencySnapshot is a point-in-time copy of a LatencyHistogram.
+	LatencySnapshot = obs.HistogramSnapshot
+	// TraceRecorder keeps the last N completed request traces in a ring
+	// buffer, exportable as JSON.
+	TraceRecorder = obs.TraceRecorder
+	// RequestTrace is the recorded history of one request through an
+	// executor.
+	RequestTrace = obs.Trace
+	// NopObserver is an Observer that does nothing.
+	NopObserver = obs.Nop
+)
+
+// Request outcomes reported to RequestEnd.
+const (
+	// OutcomeSuccess: a result was delivered with no masked failure.
+	OutcomeSuccess = obs.OutcomeSuccess
+	// OutcomeMasked: a variant failed but redundancy delivered a result.
+	OutcomeMasked = obs.OutcomeMasked
+	// OutcomeFailed: the executor itself failed.
+	OutcomeFailed = obs.OutcomeFailed
+)
+
+// WithObserver attaches an observer to a pattern executor. Repeated
+// options (and WithMetrics) combine: every attached observer sees every
+// event.
+func WithObserver(o Observer) PatternOption { return pattern.WithObserver(o) }
+
+// NewCollector returns an empty histogram-backed metrics observer.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// NewTraceRecorder returns an observer keeping the last n completed
+// request traces.
+func NewTraceRecorder(n int) *TraceRecorder { return obs.NewTraceRecorder(n) }
+
+// CombineObservers composes observers into one; nil entries are dropped
+// and no live observers yield nil (the executors' unobserved fast path).
+func CombineObservers(observers ...Observer) Observer { return obs.Combine(observers...) }
+
+// MetricsObserver adapts the legacy counter set as an Observer, with the
+// exact counting semantics of the historical WithMetrics option. A nil
+// metrics collector yields a nil Observer.
+func MetricsObserver(m *Metrics) Observer { return obs.ForMetrics(m) }
+
+// ObservationHandler returns an HTTP handler exposing the observation
+// layer: /metrics (Prometheus text format), /vars (JSON snapshot), and
+// /traces (the trace ring as JSON). Either argument may be nil.
+func ObservationHandler(c *Collector, tr *TraceRecorder) http.Handler {
+	return obs.Handler(c, tr)
+}
+
+// NextRequestID returns a process-unique identifier correlating the
+// callbacks of one observed request; custom executors emitting their own
+// spans should use it.
+func NextRequestID() uint64 { return obs.NextRequestID() }

@@ -1,0 +1,74 @@
+package redundancy_test
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+// TestObservationFacade drives an observed executor through the public
+// API: collector, trace recorder and the legacy counters attached
+// together, and the HTTP exporter serving the results.
+func TestObservationFacade(t *testing.T) {
+	collector := redundancy.NewCollector()
+	traces := redundancy.NewTraceRecorder(8)
+	var m redundancy.Metrics
+
+	ok := redundancy.NewVariant("ok", func(_ context.Context, x int) (int, error) { return x, nil })
+	exec, err := redundancy.NewSequentialAlternatives(
+		[]redundancy.Variant[int, int]{ok},
+		func(int, int) error { return nil }, nil,
+		redundancy.WithObserver(redundancy.CombineObservers(collector, traces)),
+		redundancy.WithObserver(redundancy.MetricsObserver(&m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := exec.Execute(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := collector.Snapshot()
+	if len(snap) != 1 || snap[0].Requests != 3 || snap[0].Successes != 3 {
+		t.Errorf("collector snapshot = %+v", snap)
+	}
+	if got := traces.Snapshot(); len(got) != 3 || got[0].Outcome != "success" {
+		t.Errorf("traces = %+v", got)
+	}
+	if s := m.Snapshot(); s.Requests != 3 || s.VariantExecutions != 3 {
+		t.Errorf("legacy metrics = %+v", s)
+	}
+
+	srv := httptest.NewServer(redundancy.ObservationHandler(collector, traces))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `redundancy_requests_total{executor="sequential-alternatives"} 3`) {
+		t.Errorf("/metrics output missing request counter:\n%s", body)
+	}
+}
+
+func TestCombineObserversNil(t *testing.T) {
+	if redundancy.CombineObservers(nil, nil) != nil {
+		t.Error("all-nil combination should collapse to nil")
+	}
+	if redundancy.MetricsObserver(nil) != nil {
+		t.Error("nil metrics should yield a nil observer")
+	}
+	nop := redundancy.NopObserver{}
+	if redundancy.CombineObservers(nil, nop) != redundancy.Observer(nop) {
+		t.Error("single live observer should be returned as itself")
+	}
+}
