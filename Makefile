@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build vet test race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Runs the hot-path benchmarks and writes BENCH_obs.json (see
+# scripts/bench.sh; BENCHTIME=100x makes a quick local pass).
+bench:
+	./scripts/bench.sh

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/obs/health"
 	"github.com/softwarefaults/redundancy/internal/sim"
 	"github.com/softwarefaults/redundancy/internal/stats"
 )
@@ -37,25 +38,32 @@ func run(args []string) error {
 		all    = fs.Bool("all", false, "run every experiment")
 		seed   = fs.Uint64("seed", 1, "deterministic seed (echoed in the output for reproducibility)")
 		format = fs.String("format", "table", `output format: "table" or "csv"`)
-		addr   = fs.String("metrics-addr", "", "serve live observation metrics on this address while experiments run (e.g. :9090; endpoints /metrics, /vars, /traces)")
+		addr     = fs.String("metrics-addr", "", "serve live observation metrics on this address while experiments run (e.g. :9090; endpoints /metrics, /vars, /traces, /healthz)")
+		traceOut = fs.String("trace-out", "", "write the recorded trace ring as JSON to this file at exit (analyze with obsreport)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *addr != "" {
+	if *addr != "" || *traceOut != "" {
 		collector := obs.NewCollector()
-		traces := obs.NewTraceRecorder(128)
-		sim.SetObserver(obs.Combine(collector, traces))
-		ln, err := net.Listen("tcp", *addr)
-		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
+		traces := obs.NewTraceRecorder(1024)
+		engine := health.New(health.Config{})
+		sim.SetObserver(obs.Combine(collector, traces, engine))
+		if *addr != "" {
+			ln, err := net.Listen("tcp", *addr)
+			if err != nil {
+				return fmt.Errorf("metrics listener: %w", err)
+			}
+			defer ln.Close()
+			srv := &http.Server{Handler: obs.Handler(collector, traces, engine.Extra())}
+			go func() { _ = srv.Serve(ln) }()
+			defer srv.Close()
+			fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
 		}
-		defer ln.Close()
-		srv := &http.Server{Handler: obs.Handler(collector, traces)}
-		go func() { _ = srv.Serve(ln) }()
-		defer srv.Close()
-		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+		if *traceOut != "" {
+			defer func() { dumpTraces(traces, *traceOut) }()
+		}
 	}
 
 	switch {
@@ -85,6 +93,22 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -list, -run <id>, or -all")
 	}
+}
+
+// dumpTraces writes the trace ring as JSON; runs deferred, so failures
+// are reported rather than returned.
+func dumpTraces(traces *obs.TraceRecorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: trace-out:", err)
+		return
+	}
+	defer f.Close()
+	if err := traces.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: trace-out:", err)
+		return
+	}
+	fmt.Printf("wrote traces to %s\n", path)
 }
 
 // echoSeed prints the seed in effect so every recorded run is

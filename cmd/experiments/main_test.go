@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/obs/health"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -44,6 +50,27 @@ func TestRunMetricsAddrFlag(t *testing.T) {
 func TestRunMetricsAddrInvalid(t *testing.T) {
 	if err := run([]string{"-metrics-addr", "not-an-address", "-run", "quorum"}); err == nil {
 		t.Error("invalid metrics address accepted")
+	}
+}
+
+func TestRunTraceOutFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.json")
+	// fig1 exercises the simulated executors, so the ring records
+	// traces (quorum is purely analytic).
+	if err := run([]string{"-run", "fig1", "-trace-out", path}); err != nil {
+		t.Fatalf("trace-out run = %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	traces, err := health.ReadTraces(f)
+	if err != nil {
+		t.Fatalf("trace file not decodable: %v", err)
+	}
+	if len(traces) == 0 {
+		t.Error("trace file holds no traces")
 	}
 }
 

@@ -8,6 +8,12 @@
 //	faultsim -pattern nvp -n 3 -p 0.05
 //	faultsim -pattern nvp -n 5 -p 0.1 -rho 0.4
 //	faultsim -pattern sequential -n 3 -p 0.2 -trials 100000
+//
+// With -metrics-addr the run serves the observation endpoints (/metrics,
+// /vars, /traces, /healthz) while it executes; with -trace-out it dumps
+// the trace ring as JSON at exit, ready for cmd/obsreport. -bohr k makes
+// variant k fail deterministically — a Bohrbug to diagnose, next to the
+// Heisenbug-like intermittent failures that -p injects.
 package main
 
 import (
@@ -41,7 +47,9 @@ func run(args []string) error {
 		rho         = fs.Float64("rho", 0, "failure correlation (nvp only)")
 		trials      = fs.Int("trials", 50000, "Monte Carlo trials")
 		seed        = fs.Uint64("seed", 1, "deterministic seed (echoed in the output for reproducibility)")
-		metricsAddr = fs.String("metrics-addr", "", "serve live observation metrics on this address while the simulation runs (e.g. :9090; endpoints /metrics, /vars, /traces)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live observation metrics on this address while the simulation runs (e.g. :9090; endpoints /metrics, /vars, /traces, /healthz)")
+		traceOut    = fs.String("trace-out", "", "write the recorded trace ring as JSON to this file at exit (analyze with obsreport)")
+		bohr        = fs.Int("bohr", 0, "make variant k fail deterministically (detected patterns only; a Bohrbug for the diagnosis layer to label)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,21 +57,30 @@ func run(args []string) error {
 	if *n < 1 || *p < 0 || *p > 1 || *rho < 0 || *rho > 1 || *trials < 1 {
 		return fmt.Errorf("invalid parameters: n=%d p=%f rho=%f trials=%d", *n, *p, *rho, *trials)
 	}
+	if *bohr < 0 || *bohr > *n {
+		return fmt.Errorf("invalid -bohr %d: want a variant index in 1..%d (0 disables)", *bohr, *n)
+	}
 
 	var observer redundancy.Observer
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || *traceOut != "" {
 		collector := redundancy.NewCollector()
-		traces := redundancy.NewTraceRecorder(128)
-		observer = redundancy.CombineObservers(collector, traces)
-		ln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
+		traces := redundancy.NewTraceRecorder(1024)
+		engine := redundancy.NewHealthEngine(redundancy.HealthConfig{})
+		observer = redundancy.CombineObservers(collector, traces, engine)
+		if *metricsAddr != "" {
+			ln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				return fmt.Errorf("metrics listener: %w", err)
+			}
+			defer ln.Close()
+			srv := &http.Server{Handler: redundancy.ObservationHandler(collector, traces, engine.Extra())}
+			go func() { _ = srv.Serve(ln) }()
+			defer srv.Close()
+			fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
 		}
-		defer ln.Close()
-		srv := &http.Server{Handler: redundancy.ObservationHandler(collector, traces)}
-		go func() { _ = srv.Serve(ln) }()
-		defer srv.Close()
-		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+		if *traceOut != "" {
+			defer func() { dumpTraces(traces, *traceOut) }()
+		}
 	}
 
 	tbl := stats.NewTable(
@@ -95,7 +112,7 @@ func run(args []string) error {
 		tbl.AddRow("single-version baseline", 1-*p)
 		tbl.AddRow("tolerable faults k", redundancy.TolerableFaults(*n))
 	case "single", "selection", "sequential":
-		ok, execs, err := simulateDetected(*patternName, *n, *p, *trials, *seed, observer)
+		ok, execs, err := simulateDetected(*patternName, *n, *p, *trials, *seed, *bohr, observer)
 		if err != nil {
 			return err
 		}
@@ -120,12 +137,17 @@ func run(args []string) error {
 
 // simulateDetected runs the detected-failure patterns (failures are
 // errors, not wrong values). A non-nil observer is attached to the
-// executor so a live metrics endpoint can watch the run.
-func simulateDetected(patternName string, n int, p float64, trials int, seed uint64, observer redundancy.Observer) (ok int, execsPerReq float64, err error) {
+// executor so a live metrics endpoint can watch the run. Variant bohr
+// (1-based; 0 disables) fails deterministically instead of randomly.
+func simulateDetected(patternName string, n int, p float64, trials int, seed uint64, bohr int, observer redundancy.Observer) (ok int, execsPerReq float64, err error) {
 	master := xrand.New(seed)
 	mk := func(i int) redundancy.Variant[int, int] {
 		rng := master.Split()
+		deterministic := i == bohr
 		return redundancy.NewVariant(fmt.Sprintf("v%d", i), func(_ context.Context, x int) (int, error) {
+			if deterministic {
+				return 0, fmt.Errorf("deterministic failure")
+			}
 			if rng.Bool(p) {
 				return 0, fmt.Errorf("variant failure")
 			}
@@ -176,6 +198,22 @@ func simulateDetected(patternName string, n int, p float64, trials int, seed uin
 		}
 	}
 	return ok, m.Snapshot().ExecutionsPerRequest(), nil
+}
+
+// dumpTraces writes the trace ring as JSON; runs deferred, so failures
+// are reported rather than returned.
+func dumpTraces(traces *redundancy.TraceRecorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim: trace-out:", err)
+		return
+	}
+	defer f.Close()
+	if err := traces.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim: trace-out:", err)
+		return
+	}
+	fmt.Printf("wrote traces to %s\n", path)
 }
 
 func pow(b float64, e int) float64 {

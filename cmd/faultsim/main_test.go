@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/obs/health"
+)
 
 func TestRunNVP(t *testing.T) {
 	if err := run([]string{"-pattern", "nvp", "-n", "3", "-p", "0.1", "-trials", "2000"}); err != nil {
@@ -39,6 +45,63 @@ func TestRunMetricsAddrFlag(t *testing.T) {
 func TestRunMetricsAddrInvalid(t *testing.T) {
 	if err := run([]string{"-metrics-addr", "not-an-address", "-pattern", "single", "-trials", "10"}); err == nil {
 		t.Error("invalid metrics address accepted")
+	}
+}
+
+func TestRunTraceOutFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.json")
+	if err := run([]string{"-trace-out", path, "-pattern", "sequential", "-n", "2", "-p", "0.2", "-trials", "300"}); err != nil {
+		t.Fatalf("trace-out run = %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	traces, err := health.ReadTraces(f)
+	if err != nil {
+		t.Fatalf("trace file not decodable: %v", err)
+	}
+	if len(traces) == 0 {
+		t.Error("trace file holds no traces")
+	}
+}
+
+func TestRunBohrFlagDiagnosesDeterministicFailure(t *testing.T) {
+	// Variant 1 fails every execution; replaying the exported traces must
+	// label it Bohrbug-like while the fallback stays healthy.
+	path := filepath.Join(t.TempDir(), "traces.json")
+	if err := run([]string{"-trace-out", path, "-pattern", "sequential", "-n", "2", "-p", "0", "-bohr", "1", "-trials", "200"}); err != nil {
+		t.Fatalf("bohr run = %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	traces, err := health.ReadTraces(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := health.New(health.Config{})
+	health.Replay(g, traces)
+	classes := map[string]health.FaultClass{}
+	for _, e := range g.Snapshot() {
+		for _, v := range e.Variants {
+			classes[v.Variant] = v.Class
+		}
+	}
+	if classes["v1"] != health.ClassBohrbug {
+		t.Errorf("v1 class = %v, want %v", classes["v1"], health.ClassBohrbug)
+	}
+	if classes["v2"] != health.ClassHealthy {
+		t.Errorf("v2 class = %v, want %v", classes["v2"], health.ClassHealthy)
+	}
+}
+
+func TestRunBohrFlagInvalid(t *testing.T) {
+	if err := run([]string{"-bohr", "5", "-n", "3", "-pattern", "sequential", "-trials", "10"}); err == nil {
+		t.Error("out-of-range -bohr accepted")
 	}
 }
 

@@ -1,0 +1,267 @@
+// Command obsreport is the forensic half of the health diagnosis layer:
+// it ingests a TraceRecorder JSON export (written by the -trace-out flag
+// of faultsim and experiments, by TraceRecorder.WriteJSON, or scraped
+// from a /traces endpoint) and prints a report per executor — request
+// and latency summary, per-variant execution timelines, failure
+// clustering, and the suspected fault class of every variant, diagnosed
+// with the same classifier that drives the live /healthz endpoint.
+//
+// Usage:
+//
+//	faultsim -pattern sequential -n 3 -p 0.2 -trace-out traces.json
+//	obsreport traces.json
+//	obsreport -width 100 -top 3 traces.json
+//	cat traces.json | obsreport -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/obs/health"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
+	var (
+		width = fs.Int("width", 72, "timeline width in executions (older history is truncated)")
+		top   = fs.Int("top", 5, "failure clusters to show per executor")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: obsreport [-width n] [-top n] <traces.json | ->")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one trace file argument (or - for stdin)")
+	}
+	if *width < 8 {
+		*width = 8
+	}
+	if *top < 1 {
+		*top = 1
+	}
+
+	var in io.Reader = os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	traces, err := health.ReadTraces(in)
+	if err != nil {
+		return fmt.Errorf("decoding traces: %w", err)
+	}
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "no traces")
+		return nil
+	}
+
+	// Chronological order (request IDs are monotonic in-process).
+	sort.Slice(traces, func(i, j int) bool { return traces[i].ID < traces[j].ID })
+
+	// The same classifier as the live endpoint, replayed offline.
+	engine := health.New(health.Config{})
+	health.Replay(engine, traces)
+	diagnosis := make(map[string]health.ExecutorHealth)
+	for _, e := range engine.Snapshot() {
+		diagnosis[e.Executor] = e
+	}
+
+	for _, name := range executorNames(traces) {
+		report(w, name, filterExecutor(traces, name), diagnosis[name], *width, *top)
+	}
+	return nil
+}
+
+// executorNames returns the executors present, in order of appearance.
+func executorNames(traces []obs.Trace) []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, tr := range traces {
+		if !seen[tr.Executor] {
+			seen[tr.Executor] = true
+			names = append(names, tr.Executor)
+		}
+	}
+	return names
+}
+
+func filterExecutor(traces []obs.Trace, executor string) []obs.Trace {
+	var out []obs.Trace
+	for _, tr := range traces {
+		if tr.Executor == executor {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// variantSeries is the chronological outcome history of one variant:
+// one rune per execution plus rejuvenation boundaries.
+type variantSeries struct {
+	name     string
+	timeline []rune
+}
+
+func report(w io.Writer, executor string, traces []obs.Trace, diag health.ExecutorHealth, width, top int) {
+	var (
+		outcomes  = map[string]int{}
+		latencies []time.Duration
+		rollbacks int
+		retries   int
+		disabled  int
+	)
+	series := map[string]*variantSeries{}
+	var order []string
+	get := func(name string) *variantSeries {
+		s, ok := series[name]
+		if !ok {
+			s = &variantSeries{name: name}
+			series[name] = s
+			order = append(order, name)
+		}
+		return s
+	}
+	clusters := map[string]int{}
+
+	for _, tr := range traces {
+		outcomes[tr.Outcome]++
+		latencies = append(latencies, tr.Latency)
+		hadRollback := false
+		for _, ev := range tr.Events {
+			switch ev.Kind {
+			case "rollback":
+				rollbacks++
+				hadRollback = true
+			case "retry":
+				retries++
+			case "component-disabled":
+				disabled++
+			}
+		}
+		for _, span := range tr.Variants {
+			s := get(span.Variant)
+			if hadRollback {
+				// Mark the rejuvenation boundary once per variant.
+				s.timeline = append(s.timeline, '|')
+				hadRollback = false
+			}
+			if span.Err == "" {
+				s.timeline = append(s.timeline, '.')
+			} else {
+				s.timeline = append(s.timeline, 'x')
+				clusters[normalizeError(span.Err)]++
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "=== executor %s ===\n", executor)
+	fmt.Fprintf(w, "requests: %d (success %d, masked %d, failed %d)   score %.3f\n",
+		len(traces), outcomes["success"], outcomes["masked"], outcomes["failed"], diag.Score)
+	fmt.Fprintf(w, "latency: p50 %v  p99 %v   recovery: %d rollbacks, %d retries, %d disablements\n",
+		quantile(latencies, 0.5), quantile(latencies, 0.99), rollbacks, retries, disabled)
+
+	variantDiag := make(map[string]health.VariantHealth)
+	for _, v := range diag.Variants {
+		variantDiag[v.Variant] = v
+	}
+
+	fmt.Fprintln(w, "variant timelines (oldest -> newest; . pass, x fail, | rejuvenation):")
+	for _, name := range order {
+		tl := series[name].timeline
+		if len(tl) > width {
+			tl = tl[len(tl)-width:]
+		}
+		fmt.Fprintf(w, "  %-12s %s\n", name, string(tl))
+	}
+
+	fmt.Fprintln(w, "variant diagnosis:")
+	for _, name := range order {
+		v := variantDiag[name]
+		execs := v.Executions
+		failRate := 0.0
+		if execs > 0 {
+			failRate = float64(v.Failures) / float64(execs)
+		}
+		fmt.Fprintf(w, "  %-12s score %.3f  execs %-6d fail %5.1f%%  transitions %-4d maxstreak %-4d rejuv-recoveries %-3d class %s\n",
+			name, v.Score, execs, 100*failRate, v.Transitions, v.MaxFailStreak, v.RejuvenationRecoveries, v.Class)
+	}
+
+	if len(clusters) > 0 {
+		fmt.Fprintln(w, "failure clusters (error signatures, # masks digits):")
+		type kv struct {
+			sig string
+			n   int
+		}
+		sorted := make([]kv, 0, len(clusters))
+		for sig, n := range clusters {
+			sorted = append(sorted, kv{sig, n})
+		}
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].n != sorted[j].n {
+				return sorted[i].n > sorted[j].n
+			}
+			return sorted[i].sig < sorted[j].sig
+		})
+		if len(sorted) > top {
+			fmt.Fprintf(w, "  (showing top %d of %d)\n", top, len(sorted))
+			sorted = sorted[:top]
+		}
+		for _, c := range sorted {
+			fmt.Fprintf(w, "  %6dx %s\n", c.n, c.sig)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// normalizeError collapses run-specific details (digits) so that
+// repeated failures with varying ages, addresses or counters cluster
+// under one signature.
+func normalizeError(s string) string {
+	var b strings.Builder
+	lastHash := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			if !lastHash {
+				b.WriteByte('#')
+				lastHash = true
+			}
+			continue
+		}
+		lastHash = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// quantile returns the q-quantile of the observed latencies.
+func quantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

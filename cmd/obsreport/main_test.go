@@ -1,0 +1,173 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// writeTraces simulates an executor with one intermittent and one
+// deterministic variant and returns the path of the JSON export.
+func writeTraces(t *testing.T) string {
+	t.Helper()
+	rec := obs.NewTraceRecorder(256)
+	for i := 0; i < 60; i++ {
+		req := obs.NextRequestID()
+		rec.RequestStart("sequential-alternatives", req)
+		var flakyErr error
+		if i%4 == 0 {
+			flakyErr = errors.New("connection reset by peer: attempt 4711")
+		}
+		rec.VariantEnd("sequential-alternatives", "flaky", req, time.Millisecond, flakyErr)
+		rec.VariantEnd("sequential-alternatives", "dead", req, time.Millisecond,
+			errors.New("unimplemented opcode 99"))
+		rec.Adjudicated("sequential-alternatives", req, true, flakyErr != nil)
+		out := obs.OutcomeSuccess
+		if flakyErr != nil {
+			out = obs.OutcomeMasked
+		}
+		rec.RequestEnd("sequential-alternatives", req, 2*time.Millisecond, out)
+	}
+	path := filepath.Join(t.TempDir(), "traces.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rec.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportDiagnosesFaultClasses(t *testing.T) {
+	path := writeTraces(t)
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"=== executor sequential-alternatives ===",
+		"heisenbug-like", // the intermittent variant
+		"bohrbug-like",   // the deterministic variant
+		"connection reset by peer: attempt #",
+		"unimplemented opcode #",
+		"variant timelines",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// The flaky variant's timeline interleaves passes and failures; the
+	// dead variant's is all failures.
+	if tl := timelineOf(report, "flaky"); !strings.Contains(tl, ".") || !strings.Contains(tl, "x") {
+		t.Errorf("flaky timeline = %q, want mixed passes and failures", tl)
+	}
+	if tl := timelineOf(report, "dead"); strings.Contains(tl, ".") || !strings.Contains(tl, "x") {
+		t.Errorf("dead timeline = %q, want failures only", tl)
+	}
+}
+
+// timelineOf extracts the timeline string for one variant: the line in
+// the timelines section whose second field is runes from the timeline
+// alphabet only.
+func timelineOf(report, variant string) string {
+	for _, line := range strings.Split(report, "\n") {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 2 && fields[0] == variant &&
+			strings.Trim(fields[1], ".x|") == "" {
+			return fields[1]
+		}
+	}
+	return ""
+}
+
+func TestReportWidthTruncatesTimeline(t *testing.T) {
+	path := writeTraces(t)
+	var out strings.Builder
+	if err := run([]string{"-width", "10", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		trim := strings.TrimSpace(line)
+		if strings.HasPrefix(trim, "flaky") {
+			fields := strings.Fields(trim)
+			if len(fields) == 2 && len(fields[1]) > 10 {
+				t.Errorf("timeline longer than width: %q", line)
+			}
+		}
+	}
+}
+
+func TestReportTopLimitsClusters(t *testing.T) {
+	path := writeTraces(t)
+	var out strings.Builder
+	if err := run([]string{"-top", "1", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "showing top 1 of 2") {
+		t.Errorf("cluster cap not reported:\n%s", out.String())
+	}
+}
+
+func TestReportStdin(t *testing.T) {
+	path := writeTraces(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	old := os.Stdin
+	os.Stdin = f
+	defer func() { os.Stdin = old }()
+	var out strings.Builder
+	if err := run([]string{"-"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=== executor") {
+		t.Error("stdin report empty")
+	}
+}
+
+func TestReportEmptyTraces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no traces") {
+		t.Errorf("empty export output = %q", out.String())
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if err := run([]string{"/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestNormalizeError(t *testing.T) {
+	if got := normalizeError("age 123 at 0x4f"); got != "age # at #x#f" {
+		t.Errorf("normalizeError = %q", got)
+	}
+}

@@ -1,0 +1,85 @@
+package redundancy
+
+import (
+	"io"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/obs/health"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+	"github.com/softwarefaults/redundancy/internal/rejuv"
+)
+
+// The health diagnosis layer: a HealthEngine subscribes to the
+// observation stream (attach it like any Observer), maintains EWMA
+// health scores per executor and per variant, and classifies observed
+// failure behavior into the paper's fault classes — deterministic repeat
+// failures are Bohrbug-like, intermittent pass/fail is Heisenbug-like,
+// and failures repeatedly cured by rejuvenation indicate aging. The
+// diagnosis feeds back into the redundancy mechanisms: WithVariantRanker
+// makes sequential alternatives and hot spares prefer healthy variants,
+// and HealthRejuvenation triggers rejuvenation on a degraded score.
+type (
+	// HealthEngine is the diagnosis engine; it implements Observer and
+	// VariantRanker.
+	HealthEngine = health.Engine
+	// HealthConfig parameterizes the engine (zero value = defaults).
+	HealthConfig = health.Config
+	// HealthStatus is the /healthz document: overall status plus the
+	// full per-executor diagnosis.
+	HealthStatus = health.Status
+	// ExecutorHealth is a point-in-time diagnosis of one executor.
+	ExecutorHealth = health.ExecutorHealth
+	// VariantHealth is a point-in-time diagnosis of one variant,
+	// including its suspected fault class.
+	VariantHealth = health.VariantHealth
+	// DiagnosedFaultClass is a fault class as diagnosed from runtime
+	// evidence (distinct from the taxonomy's FaultClass axis, which
+	// classifies techniques, not observations).
+	DiagnosedFaultClass = health.FaultClass
+	// VariantRanker orders variant names best-first; see
+	// WithVariantRanker.
+	VariantRanker = pattern.Ranker
+	// HealthRejuvenation is the health-triggered rejuvenation policy:
+	// it rejuvenates when a live health score drops below a threshold.
+	HealthRejuvenation = rejuv.HealthPolicy
+	// ObservationEndpoint mounts an additional endpoint (and optional
+	// Prometheus series) on the ObservationHandler.
+	ObservationEndpoint = obs.Extra
+)
+
+// Diagnosed fault classes.
+const (
+	// DiagnosisUnknown: not enough executions to diagnose.
+	DiagnosisUnknown = health.ClassUnknown
+	// DiagnosisHealthy: no observed failure.
+	DiagnosisHealthy = health.ClassHealthy
+	// DiagnosisBohrbug: failures repeat deterministically.
+	DiagnosisBohrbug = health.ClassBohrbug
+	// DiagnosisHeisenbug: failures are intermittent.
+	DiagnosisHeisenbug = health.ClassHeisenbug
+	// DiagnosisAging: failures are repeatedly cured by rejuvenation.
+	DiagnosisAging = health.ClassAging
+)
+
+// NewHealthEngine returns a diagnosis engine (zero HealthConfig selects
+// the documented defaults). Attach it to executors with WithObserver
+// (compose with other observers via CombineObservers), expose it with
+// ObservationHandler(c, tr, engine.Extra()), and feed it back with
+// WithVariantRanker(engine) or HealthRejuvenation.
+func NewHealthEngine(cfg HealthConfig) *HealthEngine { return health.New(cfg) }
+
+// WithVariantRanker attaches a variant ranker (typically a HealthEngine)
+// to a pattern executor: sequential alternatives try the best-ranked
+// variant first, and parallel selection prefers the best-ranked
+// acceptable result. A nil ranker keeps the configured order.
+func WithVariantRanker(r VariantRanker) PatternOption { return pattern.WithRanker(r) }
+
+// ReplayTraces feeds recorded traces through a diagnosis engine in
+// chronological order — the forensic path: export a TraceRecorder ring
+// (WriteJSON, the /traces endpoint, or the -trace-out flag of faultsim
+// and experiments) and replay it offline to reproduce scores and
+// fault-class calls (see cmd/obsreport).
+func ReplayTraces(e *HealthEngine, traces []RequestTrace) { health.Replay(e, traces) }
+
+// ReadTraces decodes a TraceRecorder JSON export.
+func ReadTraces(r io.Reader) ([]RequestTrace, error) { return health.ReadTraces(r) }

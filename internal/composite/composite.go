@@ -128,7 +128,10 @@ func Retry[T any](v core.Variant[T, T], retries int, opts ...pattern.Option) (co
 // Alternates builds a sequential-alternates invocation (statically
 // provided alternate services, as in Dobson's recovery-block flavor).
 // Pattern options (observer, metrics, per-variant timeout) are forwarded
-// to the underlying Figure 1c executor.
+// to the underlying Figure 1c executor. Passing pattern.WithRanker (for
+// example a health.Engine diagnosing the same observer stream) makes the
+// invocation health-ranked: every request tries the currently healthiest
+// endpoint first instead of the configured order.
 func Alternates[T any](test core.AcceptanceTest[T, T], endpoints []core.Variant[T, T], opts ...pattern.Option) (core.Executor[T, T], error) {
 	return pattern.NewSequentialAlternatives(endpoints, test, nil, opts...)
 }
@@ -144,7 +147,9 @@ func Voting[T any](eq core.Equal[T], endpoints []core.Variant[T, T], opts ...pat
 // validated result is preferred, spares run in parallel (Dobson's
 // self-checking flavor). Failed endpoints are re-enabled per invocation
 // because service failures are treated as transient here. Pattern options
-// are forwarded to the underlying Figure 1b executor.
+// are forwarded to the underlying Figure 1b executor. Passing
+// pattern.WithRanker makes the acting/spare priority health-ranked: the
+// currently healthiest endpoint's validated result is preferred.
 func HotSpares[T any](test core.AcceptanceTest[T, T], endpoints []core.Variant[T, T], opts ...pattern.Option) (core.Executor[T, T], error) {
 	tests := make([]core.AcceptanceTest[T, T], len(endpoints))
 	for i := range tests {

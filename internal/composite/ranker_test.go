@@ -1,0 +1,103 @@
+package composite
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs/health"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+)
+
+// TestAlternatesHealthRanked closes the observe→diagnose→act loop end to
+// end: a flaky primary endpoint degrades its health score through the
+// engine, after which the health-ranked Alternates invocation stops
+// trying it first.
+func TestAlternatesHealthRanked(t *testing.T) {
+	engine := health.New(health.Config{Alpha: 0.5})
+
+	var mu sync.Mutex
+	var order []string
+	record := func(name string, fail *bool) core.Variant[string, string] {
+		return core.NewVariant(name, func(_ context.Context, s string) (string, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			if fail != nil && *fail {
+				return "", errors.New(name + " down")
+			}
+			return s + ":" + name, nil
+		})
+	}
+
+	primaryDown := true
+	endpoints := []core.Variant[string, string]{
+		record("primary", &primaryDown),
+		record("backup", nil),
+	}
+	accept := func(_ string, _ string) error { return nil }
+	exec, err := Alternates(accept, endpoints,
+		pattern.WithObserver(engine), pattern.WithRanker(engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	// While both variants score 1 the configured order holds: the flaky
+	// primary is tried (and fails over to backup) on every request,
+	// degrading its score.
+	for i := 0; i < 6; i++ {
+		if got, err := exec.Execute(ctx, "req"); err != nil || got != "req:backup" {
+			t.Fatalf("execute %d = (%q, %v)", i, got, err)
+		}
+	}
+	if s := engine.VariantScore("sequential-alternatives", "primary"); s > 0.2 {
+		t.Fatalf("flaky primary score = %g, want < 0.2", s)
+	}
+
+	// The diagnosis now ranks backup first: the primary is no longer
+	// invoked at all.
+	mu.Lock()
+	order = nil
+	mu.Unlock()
+	if got, err := exec.Execute(ctx, "req"); err != nil || got != "req:backup" {
+		t.Fatalf("ranked execute = (%q, %v)", got, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 1 || order[0] != "backup" {
+		t.Errorf("ranked execution order = %v, want [backup]", order)
+	}
+}
+
+// TestHotSparesHealthRanked checks that a health ranker reorders the
+// acting/spare priority of the parallel-selection invocation.
+func TestHotSparesHealthRanked(t *testing.T) {
+	engine := health.New(health.Config{Alpha: 0.5})
+	mk := func(name string) core.Variant[string, string] {
+		return core.NewVariant(name, func(_ context.Context, s string) (string, error) {
+			return s + ":" + name, nil
+		})
+	}
+	endpoints := []core.Variant[string, string]{mk("acting"), mk("spare")}
+	accept := func(_ string, _ string) error { return nil }
+	exec, err := HotSpares(accept, endpoints,
+		pattern.WithObserver(engine), pattern.WithRanker(engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if got, err := exec.Execute(ctx, "r"); err != nil || got != "r:acting" {
+		t.Fatalf("initial execute = (%q, %v), want acting's result", got, err)
+	}
+	// Degrade the acting endpoint's score out of band (as if a run of
+	// adjudication losses had been observed); the spare takes priority.
+	for i := 0; i < 8; i++ {
+		engine.ComponentDisabled("parallel-selection", "acting", uint64(i+1))
+	}
+	if got, err := exec.Execute(ctx, "r"); err != nil || got != "r:spare" {
+		t.Errorf("ranked execute = (%q, %v), want spare's result", got, err)
+	}
+}

@@ -9,6 +9,20 @@ import (
 	"strings"
 )
 
+// Extra is an additional observation endpoint mounted by Handler.
+// Higher observation layers (e.g. the health diagnosis engine in
+// obs/health) use it to join the standard endpoint set without obs
+// depending on them. Path and Handler mount an extra route; Prometheus,
+// if non-nil, appends extra series to the /metrics exposition.
+type Extra struct {
+	// Path is the route to mount Handler on (e.g. "/healthz").
+	Path string
+	// Handler serves the extra endpoint; ignored when nil.
+	Handler http.Handler
+	// Prometheus appends extra series to the /metrics document.
+	Prometheus func(io.Writer)
+}
+
 // Handler returns an HTTP handler exposing the observation layer:
 //
 //	/metrics  Prometheus text format: counters plus p50/p90/p99 latency
@@ -16,14 +30,21 @@ import (
 //	/vars     the same data as one JSON document (expvar-style)
 //	/traces   the TraceRecorder ring as a JSON array, most recent first
 //
-// Either argument may be nil; the corresponding endpoints then serve
-// empty documents. The handler is safe to serve while executors are
-// running — all reads go through the collectors' concurrent snapshots.
-func Handler(c *Collector, tr *TraceRecorder) http.Handler {
+// Either collector argument may be nil; the corresponding endpoints then
+// serve empty documents. Extras mount additional endpoints (and extend
+// the /metrics document) on the same handler. The handler is safe to
+// serve while executors are running — all reads go through the
+// collectors' concurrent snapshots.
+func Handler(c *Collector, tr *TraceRecorder, extras ...Extra) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, c)
+		for _, x := range extras {
+			if x.Prometheus != nil {
+				x.Prometheus(w)
+			}
+		}
 	})
 	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -43,6 +64,11 @@ func Handler(c *Collector, tr *TraceRecorder) http.Handler {
 		}
 		_ = tr.WriteJSON(w)
 	})
+	for _, x := range extras {
+		if x.Path != "" && x.Handler != nil {
+			mux.Handle(x.Path, x.Handler)
+		}
+	}
 	return mux
 }
 

@@ -1,0 +1,103 @@
+package health
+
+import "encoding/json"
+
+// FaultClass is the paper's Table 1 fault-class axis, as diagnosable
+// from runtime evidence. The classifier works from the shape of a
+// variant's outcome stream: deterministic repetition points at Bohrbugs,
+// intermittence at Heisenbugs, and cure-by-rejuvenation at aging faults.
+type FaultClass uint8
+
+const (
+	// ClassUnknown: not enough executions to diagnose.
+	ClassUnknown FaultClass = iota
+	// ClassHealthy: no observed failure.
+	ClassHealthy
+	// ClassBohrbug: failures repeat deterministically — the variant
+	// (currently) fails on every execution, the signature of a Bohrbug
+	// on the workload's input region.
+	ClassBohrbug
+	// ClassHeisenbug: failures are intermittent — passes and failures
+	// alternate on comparable load, the signature of an
+	// environment-dependent Heisenbug.
+	ClassHeisenbug
+	// ClassAging: failure runs end after a rejuvenation/rollback — the
+	// signature of an aging fault (leaks, fragmentation, state decay).
+	ClassAging
+)
+
+// String returns the report name of the class.
+func (c FaultClass) String() string {
+	switch c {
+	case ClassHealthy:
+		return "healthy"
+	case ClassBohrbug:
+		return "bohrbug-like"
+	case ClassHeisenbug:
+		return "heisenbug-like"
+	case ClassAging:
+		return "aging"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON exports the class by name.
+func (c FaultClass) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// UnmarshalJSON parses a class name written by MarshalJSON; unrecognized
+// names decode as ClassUnknown.
+func (c *FaultClass) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for _, k := range []FaultClass{ClassHealthy, ClassBohrbug, ClassHeisenbug, ClassAging} {
+		if s == k.String() {
+			*c = k
+			return nil
+		}
+	}
+	*c = ClassUnknown
+	return nil
+}
+
+// Aging thresholds: how many rejuvenation recoveries the classifier
+// demands before calling a variant aging, and how much later in an epoch
+// failures must fall (on average) than successes. Intermittent failures
+// under a rejuvenating executor also get the occasional lucky
+// post-rollback success; requiring repetition and late-epoch clustering
+// separates cure-by-rejuvenation from coincidence.
+const (
+	agingMinRecoveries = 2
+	agingPositionRatio = 1.3
+)
+
+// classify maps a variant's accumulated evidence to a fault class.
+// Precedence: aging evidence (rejuvenation repeatedly curing failing
+// epochs, with failures clustering late in epochs) beats the
+// deterministic signature, which beats intermittence — an aging variant
+// looks deterministic at the end of each epoch, and a Bohrbug variant
+// that once succeeded still shows transitions.
+func (g *Engine) classify(v *variantHealth) FaultClass {
+	if v.executions < uint64(g.cfg.MinSamples) {
+		return ClassUnknown
+	}
+	if v.failures == 0 {
+		return ClassHealthy
+	}
+	if successes := v.executions - v.failures; v.rejuvRecovers >= agingMinRecoveries && successes > 0 {
+		meanFailPos := v.sumFailPos / float64(v.failures)
+		meanSuccPos := v.sumSuccPos / float64(successes)
+		if meanFailPos > agingPositionRatio*meanSuccPos {
+			return ClassAging
+		}
+	}
+	// Deterministic: (almost) every execution fails, or the variant is
+	// deep inside a failure run right now.
+	if float64(v.failures) >= 0.95*float64(v.executions) ||
+		v.failStreak >= g.cfg.DeterministicStreak {
+		return ClassBohrbug
+	}
+	return ClassHeisenbug
+}

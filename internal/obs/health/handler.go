@@ -1,0 +1,103 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// Status is the top-level /healthz document.
+type Status struct {
+	// Status is "ok" or "degraded" (some executor scored below the
+	// configured threshold).
+	Status string `json:"status"`
+	// DegradedBelow echoes the threshold applied.
+	DegradedBelow float64 `json:"degraded_below"`
+	// Executors is the full diagnosis snapshot.
+	Executors []ExecutorHealth `json:"executors"`
+}
+
+// Status returns the current /healthz document.
+func (g *Engine) Status() Status {
+	snap := g.Snapshot()
+	st := Status{Status: "ok", DegradedBelow: g.cfg.DegradedBelow, Executors: snap}
+	for _, e := range snap {
+		if e.Score < g.cfg.DegradedBelow {
+			st.Status = "degraded"
+			break
+		}
+	}
+	return st
+}
+
+// Handler returns the /healthz endpoint: the diagnosis snapshot as JSON,
+// served with HTTP 200 when every executor scores at or above the
+// degradation threshold and 503 otherwise (so the endpoint doubles as a
+// load-balancer health check).
+func (g *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		st := g.Status()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if st.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}
+
+// Extra packages the engine for obs.Handler: it mounts /healthz and
+// appends the health gauges to the /metrics exposition:
+//
+//	h := obs.Handler(collector, traces, engine.Extra())
+func (g *Engine) Extra() obs.Extra {
+	return obs.Extra{
+		Path:       "/healthz",
+		Handler:    g.Handler(),
+		Prometheus: func(w io.Writer) { WritePrometheus(w, g) },
+	}
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// WritePrometheus writes the engine's scores and fault-class calls in
+// the Prometheus text exposition format.
+func WritePrometheus(w io.Writer, g *Engine) {
+	if g == nil {
+		return
+	}
+	snap := g.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	fmt.Fprint(w, "# HELP redundancy_health_score Executor health score (EWMA composite, 1 = healthy).\n")
+	fmt.Fprint(w, "# TYPE redundancy_health_score gauge\n")
+	for _, e := range snap {
+		fmt.Fprintf(w, "redundancy_health_score{executor=%q} %g\n", escapeLabel(e.Executor), e.Score)
+	}
+	fmt.Fprint(w, "# HELP redundancy_variant_health_score Variant health score (EWMA composite, 1 = healthy).\n")
+	fmt.Fprint(w, "# TYPE redundancy_variant_health_score gauge\n")
+	for _, e := range snap {
+		for _, v := range e.Variants {
+			fmt.Fprintf(w, "redundancy_variant_health_score{executor=%q,variant=%q} %g\n",
+				escapeLabel(e.Executor), escapeLabel(v.Variant), v.Score)
+		}
+	}
+	fmt.Fprint(w, "# HELP redundancy_variant_fault_class Suspected fault class per variant (info-style gauge, value 1).\n")
+	fmt.Fprint(w, "# TYPE redundancy_variant_fault_class gauge\n")
+	for _, e := range snap {
+		for _, v := range e.Variants {
+			fmt.Fprintf(w, "redundancy_variant_fault_class{executor=%q,variant=%q,class=%q} 1\n",
+				escapeLabel(e.Executor), escapeLabel(v.Variant), v.Class)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package health
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+func TestHealthzOKAndDegraded(t *testing.T) {
+	g := New(Config{Alpha: 0.5, DegradedBelow: 0.5})
+	feed(g, "exec", "v", ".", 10)
+
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	get := func() (int, Status) {
+		t.Helper()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, st
+	}
+
+	code, st := get()
+	if code != http.StatusOK || st.Status != "ok" {
+		t.Errorf("healthy: code=%d status=%q, want 200/ok", code, st.Status)
+	}
+	if len(st.Executors) != 1 || st.Executors[0].Executor != "exec" {
+		t.Errorf("executors = %+v", st.Executors)
+	}
+
+	feed(g, "exec", "v", "x", 10)
+	code, st = get()
+	if code != http.StatusServiceUnavailable || st.Status != "degraded" {
+		t.Errorf("degraded: code=%d status=%q, want 503/degraded", code, st.Status)
+	}
+}
+
+func TestHealthzFaultClassInJSON(t *testing.T) {
+	g := New(Config{})
+	feed(g, "exec", "v", "x", 20)
+	raw, err := json.Marshal(g.Status())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"fault_class": "bohrbug-like"`) &&
+		!strings.Contains(string(raw), `"fault_class":"bohrbug-like"`) {
+		t.Errorf("status JSON lacks named fault class: %s", raw)
+	}
+}
+
+func TestPrometheusGauges(t *testing.T) {
+	g := New(Config{})
+	feed(g, "exec", "bad", "x", 20)
+	feed(g, "exec", "good", ".", 20)
+	var buf strings.Builder
+	WritePrometheus(&buf, g)
+	out := buf.String()
+	for _, want := range []string{
+		`redundancy_health_score{executor="exec"}`,
+		`redundancy_variant_health_score{executor="exec",variant="good"} 1`,
+		`redundancy_variant_fault_class{executor="exec",variant="bad",class="bohrbug-like"} 1`,
+		`redundancy_variant_fault_class{executor="exec",variant="good",class="healthy"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Empty engine writes nothing.
+	buf.Reset()
+	WritePrometheus(&buf, New(Config{}))
+	if buf.Len() != 0 {
+		t.Errorf("empty engine wrote %q", buf.String())
+	}
+}
+
+// TestHandlerConcurrentScrapeAndRecord hardens the full observation
+// handler (metrics + traces + healthz extra) against concurrent scrapes
+// while executors are recording; run under -race it is the concurrency
+// gate of the endpoint surface.
+func TestHandlerConcurrentScrapeAndRecord(t *testing.T) {
+	collector := obs.NewCollector()
+	traces := obs.NewTraceRecorder(32)
+	engine := New(Config{})
+	o := obs.Combine(collector, traces, engine)
+
+	srv := httptest.NewServer(obs.Handler(collector, traces, engine.Extra()))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%64 == 0 {
+					runtime.Gosched() // let scrapers through
+				}
+				req := obs.NextRequestID()
+				o.RequestStart("exec", req)
+				o.VariantStart("exec", "v", req)
+				var err error
+				if i%5 == 0 {
+					err = errBoom
+				}
+				o.VariantEnd("exec", "v", req, time.Microsecond, err)
+				o.Adjudicated("exec", req, err == nil, err != nil)
+				out := obs.OutcomeSuccess
+				if err != nil {
+					out = obs.OutcomeFailed
+				}
+				o.RequestEnd("exec", req, time.Microsecond, out)
+			}
+		}(w)
+	}
+
+	var scrapers sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 10; i++ {
+				for _, path := range []string{"/metrics", "/vars", "/traces", "/healthz"} {
+					resp, err := http.Get(srv.URL + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "redundancy_health_score") {
+		t.Error("final /metrics scrape lacks health gauges")
+	}
+}

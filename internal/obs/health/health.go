@@ -1,0 +1,447 @@
+// Package health turns the raw event stream of the observation layer
+// into live diagnosis: per-executor and per-variant health scores, and a
+// classification of observed failure behavior into the paper's fault
+// classes (Bohrbugs — deterministic, repeat failures; Heisenbugs —
+// intermittent, environment-dependent failures; aging — failures that
+// accumulate with uptime and disappear after rejuvenation).
+//
+// The Engine subscribes as an obs.Observer (compose it with other
+// observers via obs.Combine), maintains exponentially weighted moving
+// averages of success, latency and adjudication losses, and keeps the
+// per-variant outcome evidence the classifier needs. Downstream layers
+// consume the scores:
+//
+//   - the metrics Handler exposes them on /healthz and as Prometheus
+//     gauges (Engine.Extra);
+//   - pattern executors reorder variants by health (the Engine implements
+//     pattern.Ranker, see pattern.WithRanker), so sequential alternatives
+//     try the healthiest variant first and hot spares prefer it;
+//   - rejuv.HealthPolicy triggers rejuvenation when an executor's score
+//     drops below a threshold (Engine.ScoreFunc).
+//
+// This closes the loop sketched by runtime-execution-profiling
+// self-healing (arXiv:1203.5748): observation feeds diagnosis, diagnosis
+// feeds the redundancy mechanisms that act.
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// Config parameterizes the diagnosis engine. The zero value selects the
+// documented defaults.
+type Config struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]; larger values react
+	// faster. Default 0.1.
+	Alpha float64
+	// LatencyBudget is the latency above which a variant's score is
+	// penalized proportionally (a variant twice over budget scores half).
+	// Zero disables the latency penalty.
+	LatencyBudget time.Duration
+	// MinSamples is the number of executions below which a variant's
+	// fault class stays ClassUnknown. Default 8.
+	MinSamples int
+	// DeterministicStreak is the consecutive-failure run length at which
+	// a variant is flagged Bohrbug-like even if it succeeded earlier
+	// (it is failing deterministically now). Default 8.
+	DeterministicStreak int
+	// DegradedBelow is the executor score under which /healthz reports
+	// the system degraded (HTTP 503). Default 0.5.
+	DegradedBelow float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.1
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.DeterministicStreak <= 0 {
+		c.DeterministicStreak = 8
+	}
+	if c.DegradedBelow <= 0 {
+		c.DegradedBelow = 0.5
+	}
+	return c
+}
+
+// ewma is an exponentially weighted moving average seeded by its first
+// observation.
+type ewma struct {
+	value float64
+	seen  bool
+}
+
+func (e *ewma) observe(alpha, x float64) {
+	if !e.seen {
+		e.value, e.seen = x, true
+		return
+	}
+	e.value += alpha * (x - e.value)
+}
+
+// or returns the average, or fallback before the first observation.
+func (e *ewma) or(fallback float64) float64 {
+	if !e.seen {
+		return fallback
+	}
+	return e.value
+}
+
+// variantHealth accumulates the per-variant evidence.
+type variantHealth struct {
+	name string
+
+	success ewma // 1 per successful execution, 0 per failed one
+	latency ewma // nanoseconds
+
+	executions uint64
+	failures   uint64
+	// adjLosses counts adjudication losses that are not execution
+	// failures: results rejected by an acceptance test or vote
+	// (observed as ComponentDisabled events).
+	adjLosses uint64
+
+	// Classification evidence.
+	transitions   uint64 // pass<->fail alternations in the outcome stream
+	lastFailed    bool
+	failStreak    int // current consecutive-failure run
+	maxFailStreak int
+	// Epoch (rejuvenation) evidence. An epoch is the span between two
+	// Rollback events on the executor; epochPos is the variant's
+	// execution count inside the current epoch, and the position sums
+	// let the classifier test whether failures cluster late in epochs
+	// (the aging signature).
+	epochPos      uint64
+	epochFailures uint64
+	sumFailPos    float64
+	sumSuccPos    float64
+	// A rollback that ends an epoch containing failures arms the
+	// variant: if its next execution succeeds, rejuvenation cured a
+	// failing process (rejuvRecovers); if it fails again, rejuvenation
+	// did not help (rejuvRelapses).
+	rejuvArmed    bool
+	rejuvRecovers uint64
+	rejuvRelapses uint64
+}
+
+// executorHealth accumulates the per-executor evidence.
+type executorHealth struct {
+	name string
+
+	accepted ewma // 1 per accepted request, 0 per failed one
+	adjLoss  ewma // 1 per request with a detected (masked or fatal) failure
+	latency  ewma // request latency, nanoseconds
+
+	requests  uint64
+	rollbacks uint64
+
+	variants map[string]*variantHealth
+}
+
+func (e *executorHealth) variant(name string) *variantHealth {
+	v, ok := e.variants[name]
+	if !ok {
+		v = &variantHealth{name: name}
+		e.variants[name] = v
+	}
+	return v
+}
+
+// Engine is the diagnosis engine: an obs.Observer that converts the
+// span stream into health scores and fault-class evidence. All methods
+// are safe for concurrent use.
+//
+// Unlike obs.Collector the Engine takes a (short) mutex per event — it
+// is a diagnosis layer, not a hot-path counter; attach it where insight
+// is worth a lock, and rely on the nil-observer fast path where it is
+// not.
+type Engine struct {
+	cfg Config
+
+	mu    sync.Mutex
+	execs map[string]*executorHealth
+}
+
+var _ obs.Observer = (*Engine)(nil)
+
+// New returns an Engine with the given configuration (zero Config means
+// defaults).
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), execs: make(map[string]*executorHealth)}
+}
+
+func (g *Engine) exec(name string) *executorHealth {
+	e, ok := g.execs[name]
+	if !ok {
+		e = &executorHealth{name: name, variants: make(map[string]*variantHealth)}
+		g.execs[name] = e
+	}
+	return e
+}
+
+// RequestStart implements obs.Observer.
+func (g *Engine) RequestStart(executor string, _ uint64) {
+	g.mu.Lock()
+	g.exec(executor).requests++
+	g.mu.Unlock()
+}
+
+// RequestEnd implements obs.Observer.
+func (g *Engine) RequestEnd(executor string, _ uint64, latency time.Duration, outcome obs.Outcome) {
+	g.mu.Lock()
+	e := g.exec(executor)
+	e.latency.observe(g.cfg.Alpha, float64(latency))
+	accepted := 0.0
+	if outcome != obs.OutcomeFailed {
+		accepted = 1
+	}
+	e.accepted.observe(g.cfg.Alpha, accepted)
+	g.mu.Unlock()
+}
+
+// VariantStart implements obs.Observer.
+func (g *Engine) VariantStart(string, string, uint64) {}
+
+// VariantEnd implements obs.Observer: it feeds the variant's outcome
+// stream, which is the classifier's main evidence.
+func (g *Engine) VariantEnd(executor, variant string, _ uint64, latency time.Duration, err error) {
+	g.mu.Lock()
+	v := g.exec(executor).variant(variant)
+	v.executions++
+	v.epochPos++
+	v.latency.observe(g.cfg.Alpha, float64(latency))
+	failed := err != nil
+	if failed {
+		v.failures++
+		v.epochFailures++
+		v.sumFailPos += float64(v.epochPos)
+		v.failStreak++
+		if v.failStreak > v.maxFailStreak {
+			v.maxFailStreak = v.failStreak
+		}
+		if v.rejuvArmed {
+			v.rejuvRelapses++
+		}
+		v.success.observe(g.cfg.Alpha, 0)
+	} else {
+		v.sumSuccPos += float64(v.epochPos)
+		if v.rejuvArmed {
+			v.rejuvRecovers++
+		}
+		v.failStreak = 0
+		v.success.observe(g.cfg.Alpha, 1)
+	}
+	if v.executions > 1 && failed != v.lastFailed {
+		v.transitions++
+	}
+	v.lastFailed = failed
+	v.rejuvArmed = false
+	g.mu.Unlock()
+}
+
+// Adjudicated implements obs.Observer.
+func (g *Engine) Adjudicated(executor string, _ uint64, _, failureDetected bool) {
+	g.mu.Lock()
+	loss := 0.0
+	if failureDetected {
+		loss = 1
+	}
+	g.exec(executor).adjLoss.observe(g.cfg.Alpha, loss)
+	g.mu.Unlock()
+}
+
+// ComponentDisabled implements obs.Observer: a disablement is an
+// adjudication loss for the variant (its result was rejected even if the
+// execution itself returned no error) and scores like a failure.
+func (g *Engine) ComponentDisabled(executor, component string, _ uint64) {
+	g.mu.Lock()
+	v := g.exec(executor).variant(component)
+	v.adjLosses++
+	v.success.observe(g.cfg.Alpha, 0)
+	g.mu.Unlock()
+}
+
+// RetryAttempt implements obs.Observer.
+func (g *Engine) RetryAttempt(string, string, uint64, int) {}
+
+// Rollback implements obs.Observer: a rollback on an executor closes
+// every variant's epoch and arms the recovery-after-rejuvenation
+// detector for variants that failed during the epoch — if such a variant
+// succeeds next, rejuvenation cured it, which is aging evidence.
+func (g *Engine) Rollback(executor string, _ uint64) {
+	g.mu.Lock()
+	e := g.exec(executor)
+	e.rollbacks++
+	for _, v := range e.variants {
+		v.rejuvArmed = v.epochFailures > 0
+		v.epochFailures = 0
+		v.epochPos = 0
+	}
+	g.mu.Unlock()
+}
+
+// latencyFactor maps a latency EWMA to a score multiplier in (0, 1].
+func (g *Engine) latencyFactor(l ewma) float64 {
+	b := float64(g.cfg.LatencyBudget)
+	if b <= 0 || !l.seen || l.value <= b {
+		return 1
+	}
+	return b / l.value
+}
+
+func (g *Engine) variantScore(v *variantHealth) float64 {
+	return v.success.or(1) * g.latencyFactor(v.latency)
+}
+
+// executorScore combines acceptance, adjudication losses, and latency:
+// a masked failure is not free — it costs variant budget — so the loss
+// EWMA discounts the score at half weight.
+func (g *Engine) executorScore(e *executorHealth) float64 {
+	return e.accepted.or(1) * (1 - 0.5*e.adjLoss.or(0)) * g.latencyFactor(e.latency)
+}
+
+// VariantHealth is a point-in-time copy of one variant's diagnosis.
+type VariantHealth struct {
+	Variant string `json:"variant"`
+	// Score is the health score in [0, 1]; unseen variants score 1.
+	Score float64 `json:"score"`
+	// SuccessRate is the EWMA of execution outcomes (1 = all recent
+	// executions succeeded).
+	SuccessRate float64       `json:"success_ewma"`
+	LatencyEWMA time.Duration `json:"latency_ewma_ns"`
+	Executions  uint64        `json:"executions"`
+	Failures    uint64        `json:"failures"`
+	// AdjudicationLosses counts results rejected by adjudication without
+	// an execution error (component disablements).
+	AdjudicationLosses uint64 `json:"adjudication_losses"`
+	// Transitions counts pass<->fail alternations; FailStreak is the
+	// current and MaxFailStreak the longest consecutive-failure run;
+	// RejuvenationRecoveries counts failing epochs cured by a rollback
+	// and RejuvenationRelapses rollbacks after which the variant kept
+	// failing.
+	Transitions            uint64 `json:"transitions"`
+	FailStreak             int    `json:"fail_streak"`
+	MaxFailStreak          int    `json:"max_fail_streak"`
+	RejuvenationRecoveries uint64 `json:"rejuvenation_recoveries"`
+	RejuvenationRelapses   uint64 `json:"rejuvenation_relapses"`
+	// Class is the suspected fault class given the evidence so far.
+	Class FaultClass `json:"fault_class"`
+}
+
+// ExecutorHealth is a point-in-time copy of one executor's diagnosis.
+type ExecutorHealth struct {
+	Executor string `json:"executor"`
+	// Score is the health score in [0, 1].
+	Score float64 `json:"score"`
+	// AcceptRate is the EWMA of request acceptance; LossRate the EWMA of
+	// requests on which a variant failure was detected.
+	AcceptRate  float64         `json:"accept_ewma"`
+	LossRate    float64         `json:"adjudication_loss_ewma"`
+	LatencyEWMA time.Duration   `json:"latency_ewma_ns"`
+	Requests    uint64          `json:"requests"`
+	Rollbacks   uint64          `json:"rollbacks"`
+	Variants    []VariantHealth `json:"variants,omitempty"`
+}
+
+// Snapshot returns the current diagnosis for every observed executor,
+// sorted by executor name (variants by variant name).
+func (g *Engine) Snapshot() []ExecutorHealth {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ExecutorHealth, 0, len(g.execs))
+	for _, e := range g.execs {
+		s := ExecutorHealth{
+			Executor:    e.name,
+			Score:       g.executorScore(e),
+			AcceptRate:  e.accepted.or(1),
+			LossRate:    e.adjLoss.or(0),
+			LatencyEWMA: time.Duration(e.latency.or(0)),
+			Requests:    e.requests,
+			Rollbacks:   e.rollbacks,
+		}
+		for _, v := range e.variants {
+			s.Variants = append(s.Variants, VariantHealth{
+				Variant:                v.name,
+				Score:                  g.variantScore(v),
+				SuccessRate:            v.success.or(1),
+				LatencyEWMA:            time.Duration(v.latency.or(0)),
+				Executions:             v.executions,
+				Failures:               v.failures,
+				AdjudicationLosses:     v.adjLosses,
+				Transitions:            v.transitions,
+				FailStreak:             v.failStreak,
+				MaxFailStreak:          v.maxFailStreak,
+				RejuvenationRecoveries: v.rejuvRecovers,
+				RejuvenationRelapses:   v.rejuvRelapses,
+				Class:                  g.classify(v),
+			})
+		}
+		sort.Slice(s.Variants, func(i, j int) bool { return s.Variants[i].Variant < s.Variants[j].Variant })
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Executor < out[j].Executor })
+	return out
+}
+
+// ExecutorScore returns the executor's current health score; executors
+// never observed score an optimistic 1.
+func (g *Engine) ExecutorScore(executor string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.execs[executor]
+	if !ok {
+		return 1
+	}
+	return g.executorScore(e)
+}
+
+// VariantScore returns a variant's current health score; pairs never
+// observed score an optimistic 1.
+func (g *Engine) VariantScore(executor, variant string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.execs[executor]
+	if !ok {
+		return 1
+	}
+	v, ok := e.variants[variant]
+	if !ok {
+		return 1
+	}
+	return g.variantScore(v)
+}
+
+// ScoreFunc returns a closure reporting the executor's live score; it is
+// the natural Score source for rejuv.HealthPolicy.
+func (g *Engine) ScoreFunc(executor string) func() float64 {
+	return func() float64 { return g.ExecutorScore(executor) }
+}
+
+// Rank orders variant names by descending health score under the given
+// executor (ties and unseen variants keep their given order). It
+// implements the pattern executors' Ranker contract, so an Engine can be
+// attached directly with pattern.WithRanker.
+func (g *Engine) Rank(executor string, names []string) []string {
+	out := make([]string, len(names))
+	copy(out, names)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.execs[executor]
+	if !ok {
+		return out
+	}
+	score := func(name string) float64 {
+		if v, ok := e.variants[name]; ok {
+			return g.variantScore(v)
+		}
+		return 1
+	}
+	sort.SliceStable(out, func(i, j int) bool { return score(out[i]) > score(out[j]) })
+	return out
+}

@@ -1,0 +1,321 @@
+package health
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// feed pushes n variant executions with the given failure pattern
+// (pattern[i%len] == 'x' fails) through one executor/variant pair.
+func feed(g *Engine, executor, variant, pattern string, n int) {
+	for i := 0; i < n; i++ {
+		req := obs.NextRequestID()
+		g.RequestStart(executor, req)
+		var err error
+		failed := pattern[i%len(pattern)] == 'x'
+		if failed {
+			err = errBoom
+		}
+		g.VariantEnd(executor, variant, req, time.Millisecond, err)
+		g.Adjudicated(executor, req, !failed, failed)
+		out := obs.OutcomeSuccess
+		if failed {
+			out = obs.OutcomeFailed
+		}
+		g.RequestEnd(executor, req, time.Millisecond, out)
+	}
+}
+
+func variantHealthOf(t *testing.T, g *Engine, executor, variant string) VariantHealth {
+	t.Helper()
+	for _, e := range g.Snapshot() {
+		if e.Executor != executor {
+			continue
+		}
+		for _, v := range e.Variants {
+			if v.Variant == variant {
+				return v
+			}
+		}
+	}
+	t.Fatalf("variant %s/%s not in snapshot", executor, variant)
+	return VariantHealth{}
+}
+
+func TestScoresDegradeAndRecover(t *testing.T) {
+	g := New(Config{Alpha: 0.3})
+	feed(g, "exec", "v1", ".", 20)
+	if s := g.ExecutorScore("exec"); s != 1 {
+		t.Errorf("all-success executor score = %g, want 1", s)
+	}
+	if s := g.VariantScore("exec", "v1"); s != 1 {
+		t.Errorf("all-success variant score = %g, want 1", s)
+	}
+	feed(g, "exec", "v1", "x", 10)
+	if s := g.VariantScore("exec", "v1"); s > 0.2 {
+		t.Errorf("failing variant score = %g, want < 0.2", s)
+	}
+	if s := g.ExecutorScore("exec"); s > 0.2 {
+		t.Errorf("failing executor score = %g, want < 0.2", s)
+	}
+	feed(g, "exec", "v1", ".", 30)
+	if s := g.VariantScore("exec", "v1"); s < 0.9 {
+		t.Errorf("recovered variant score = %g, want > 0.9", s)
+	}
+}
+
+func TestUnseenScoresOptimistic(t *testing.T) {
+	g := New(Config{})
+	if g.ExecutorScore("nope") != 1 || g.VariantScore("nope", "v") != 1 {
+		t.Error("unseen executor/variant should score 1")
+	}
+	feed(g, "exec", "v1", ".", 5)
+	if g.VariantScore("exec", "v9") != 1 {
+		t.Error("unseen variant under a seen executor should score 1")
+	}
+}
+
+func TestLatencyBudgetPenalty(t *testing.T) {
+	g := New(Config{LatencyBudget: time.Millisecond})
+	for i := 0; i < 20; i++ {
+		g.VariantEnd("exec", "slow", obs.NextRequestID(), 4*time.Millisecond, nil)
+		g.VariantEnd("exec", "fast", obs.NextRequestID(), 100*time.Microsecond, nil)
+	}
+	slow, fast := g.VariantScore("exec", "slow"), g.VariantScore("exec", "fast")
+	if fast != 1 {
+		t.Errorf("within-budget variant score = %g, want 1", fast)
+	}
+	if slow > 0.5 {
+		t.Errorf("4x-over-budget variant score = %g, want <= 0.5", slow)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		name    string
+		pattern string
+		n       int
+		want    FaultClass
+	}{
+		{"insufficient samples", "x", 3, ClassUnknown},
+		{"healthy", ".", 50, ClassHealthy},
+		{"deterministic failure", "x", 50, ClassBohrbug},
+		{"intermittent", "..x...x.x.", 60, ClassHeisenbug},
+		{"became deterministic", "....xxxxxxxxxx", 14, ClassBohrbug},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(Config{})
+			feed(g, "exec", "v", tc.pattern, tc.n)
+			if got := variantHealthOf(t, g, "exec", "v").Class; got != tc.want {
+				t.Errorf("class = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestClassificationAging(t *testing.T) {
+	g := New(Config{})
+	// Two epochs: degrade into a failure run, rejuvenate (rollback),
+	// recover — the aging signature.
+	for epoch := 0; epoch < 2; epoch++ {
+		feed(g, "rejuvenator", "v", ".", 10)
+		feed(g, "rejuvenator", "v", "x", 4)
+		g.Rollback("rejuvenator", obs.NextRequestID())
+	}
+	feed(g, "rejuvenator", "v", ".", 10)
+	v := variantHealthOf(t, g, "rejuvenator", "v")
+	if v.Class != ClassAging {
+		t.Errorf("class = %v, want %v (recoveries=%d)", v.Class, ClassAging, v.RejuvenationRecoveries)
+	}
+	if v.RejuvenationRecoveries != 2 {
+		t.Errorf("rejuvenation recoveries = %d, want 2", v.RejuvenationRecoveries)
+	}
+}
+
+func TestRollbackWithoutFailureRunIsNotAging(t *testing.T) {
+	g := New(Config{})
+	feed(g, "exec", "v", ".", 10)
+	g.Rollback("exec", obs.NextRequestID())
+	feed(g, "exec", "v", "..x.", 40)
+	if got := variantHealthOf(t, g, "exec", "v").Class; got != ClassHeisenbug {
+		t.Errorf("class = %v, want %v", got, ClassHeisenbug)
+	}
+}
+
+func TestComponentDisabledCountsAsAdjudicationLoss(t *testing.T) {
+	g := New(Config{Alpha: 0.5})
+	feed(g, "parallel-selection", "v", ".", 4)
+	for i := 0; i < 6; i++ {
+		g.ComponentDisabled("parallel-selection", "v", obs.NextRequestID())
+	}
+	v := variantHealthOf(t, g, "parallel-selection", "v")
+	if v.AdjudicationLosses != 6 {
+		t.Errorf("adjudication losses = %d, want 6", v.AdjudicationLosses)
+	}
+	if v.Score > 0.2 {
+		t.Errorf("score after repeated disablement = %g, want < 0.2", v.Score)
+	}
+}
+
+func TestRankOrdersByHealth(t *testing.T) {
+	g := New(Config{Alpha: 0.3})
+	feed(g, "sequential-alternatives", "bad", "x", 20)
+	feed(g, "sequential-alternatives", "good", ".", 20)
+	feed(g, "sequential-alternatives", "meh", "..x.", 40)
+	got := g.Rank("sequential-alternatives", []string{"bad", "meh", "good", "new"})
+	// "new" is unseen and scores an optimistic 1, tying with "good";
+	// stable sort keeps the given order among ties.
+	want := []string{"good", "new", "meh", "bad"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+	// Unknown executor: order preserved.
+	names := []string{"c", "a", "b"}
+	if got := g.Rank("nope", names); got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Errorf("rank under unknown executor = %v, want given order", got)
+	}
+}
+
+func TestScoreFunc(t *testing.T) {
+	g := New(Config{Alpha: 0.5})
+	f := g.ScoreFunc("exec")
+	if f() != 1 {
+		t.Error("score func before events should report 1")
+	}
+	feed(g, "exec", "v", "x", 10)
+	if f() > 0.2 {
+		t.Errorf("score func after failures = %g, want < 0.2", f())
+	}
+}
+
+func TestReplayMatchesLive(t *testing.T) {
+	rec := obs.NewTraceRecorder(256)
+	live := New(Config{})
+	o := obs.Combine(rec, live)
+	for i := 0; i < 40; i++ {
+		req := obs.NextRequestID()
+		o.RequestStart("exec", req)
+		var err error
+		failed := i%3 == 0
+		if failed {
+			err = errBoom
+		}
+		o.VariantStart("exec", "v", req)
+		o.VariantEnd("exec", "v", req, time.Millisecond, err)
+		o.Adjudicated("exec", req, !failed, failed)
+		out := obs.OutcomeSuccess
+		if failed {
+			out = obs.OutcomeFailed
+		}
+		o.RequestEnd("exec", req, time.Millisecond, out)
+	}
+
+	var buf strings.Builder
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := ReadTraces(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := New(Config{})
+	Replay(replayed, traces)
+
+	lv := variantHealthOf(t, live, "exec", "v")
+	rv := variantHealthOf(t, replayed, "exec", "v")
+	if lv.Executions != rv.Executions || lv.Failures != rv.Failures ||
+		lv.Transitions != rv.Transitions || lv.Class != rv.Class {
+		t.Errorf("replayed diagnosis %+v does not match live %+v", rv, lv)
+	}
+	if diff := lv.Score - rv.Score; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("replayed score %g != live score %g", rv.Score, lv.Score)
+	}
+}
+
+func TestReplayAgingFromTraces(t *testing.T) {
+	// Synthesize rejuvenator-style traces directly: failure run, then a
+	// request carrying a rollback event followed by a success.
+	var traces []obs.Trace
+	id := uint64(0)
+	add := func(err string, rollback bool) {
+		id++
+		tr := obs.Trace{ID: id, Executor: "rejuvenator", Outcome: "success", Accepted: true}
+		if rollback {
+			tr.Events = append(tr.Events, obs.TraceEvent{Kind: "rollback"})
+		}
+		span := obs.VariantSpan{Variant: "v", Latency: time.Millisecond, Err: err}
+		if err != "" {
+			tr.Outcome = "failed"
+			tr.Accepted = false
+			tr.FailureDetected = true
+		}
+		tr.Variants = []obs.VariantSpan{span}
+		traces = append(traces, tr)
+	}
+	for cycle := 0; cycle < 2; cycle++ {
+		for i := 0; i < 8; i++ {
+			add("", false)
+		}
+		for i := 0; i < 3; i++ {
+			add("aging failure", false)
+		}
+		add("", true) // rejuvenation cures the run
+	}
+	for i := 0; i < 4; i++ {
+		add("", false)
+	}
+	g := New(Config{})
+	Replay(g, traces)
+	if got := variantHealthOf(t, g, "rejuvenator", "v").Class; got != ClassAging {
+		t.Errorf("class = %v, want %v", got, ClassAging)
+	}
+}
+
+func TestSnapshotConcurrentWithEvents(t *testing.T) {
+	g := New(Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			feed(g, "exec", fmt.Sprintf("v%d", w), "..x.", 200)
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for {
+		select {
+		case <-done:
+			if n := len(g.Snapshot()[0].Variants); n != 4 {
+				t.Errorf("variants observed = %d, want 4", n)
+			}
+			return
+		default:
+			g.Snapshot()
+			g.Rank("exec", []string{"v0", "v1", "v2", "v3"})
+		}
+	}
+}
+
+func BenchmarkEngineEvent(b *testing.B) {
+	g := New(Config{})
+	req := obs.NextRequestID()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.VariantEnd("exec", "v", req, time.Millisecond, nil)
+	}
+}

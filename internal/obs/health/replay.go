@@ -1,0 +1,76 @@
+package health
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"sort"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// Replay feeds recorded traces through the engine as if they were
+// observed live, in chronological order (traces are sorted by request
+// ID, which is monotonic within a process). It is the offline half of
+// the diagnosis engine: export a TraceRecorder ring (faultsim/
+// experiments -trace-out, or the /traces endpoint) and replay it to get
+// the same scores and fault-class calls forensically.
+//
+// Event ordering inside one trace is approximated: a trace stores
+// recovery events separately from variant spans, so rollbacks are
+// replayed before the spans (matching the rejuvenate-then-serve order of
+// the rejuvenator and the rollback-then-alternate order of recovery
+// blocks) and component disablements after them (matching parallel
+// selection, which disables after adjudication).
+func Replay(g *Engine, traces []obs.Trace) {
+	ordered := make([]obs.Trace, len(traces))
+	copy(ordered, traces)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, tr := range ordered {
+		g.RequestStart(tr.Executor, tr.ID)
+		for _, ev := range tr.Events {
+			switch ev.Kind {
+			case "rollback":
+				g.Rollback(tr.Executor, tr.ID)
+			case "retry":
+				g.RetryAttempt(tr.Executor, ev.Detail, tr.ID, 0)
+			}
+		}
+		for _, span := range tr.Variants {
+			var err error
+			if span.Err != "" {
+				err = errors.New(span.Err)
+			}
+			g.VariantEnd(tr.Executor, span.Variant, tr.ID, span.Latency, err)
+		}
+		for _, ev := range tr.Events {
+			if ev.Kind == "component-disabled" {
+				g.ComponentDisabled(tr.Executor, ev.Detail, tr.ID)
+			}
+		}
+		g.Adjudicated(tr.Executor, tr.ID, tr.Accepted, tr.FailureDetected)
+		g.RequestEnd(tr.Executor, tr.ID, tr.Latency, parseOutcome(tr.Outcome))
+	}
+}
+
+// parseOutcome maps an exported outcome name back to the enum.
+func parseOutcome(s string) obs.Outcome {
+	switch s {
+	case obs.OutcomeSuccess.String():
+		return obs.OutcomeSuccess
+	case obs.OutcomeMasked.String():
+		return obs.OutcomeMasked
+	default:
+		return obs.OutcomeFailed
+	}
+}
+
+// ReadTraces decodes a TraceRecorder JSON export (a JSON array of
+// traces, as written by TraceRecorder.WriteJSON or served on /traces).
+func ReadTraces(r io.Reader) ([]obs.Trace, error) {
+	var traces []obs.Trace
+	if err := json.NewDecoder(r).Decode(&traces); err != nil {
+		return nil, err
+	}
+	return traces, nil
+}

@@ -98,6 +98,72 @@ func TestCombine(t *testing.T) {
 	}
 }
 
+// taggedLog appends "<tag>:<event>" to a log shared between observers,
+// so fan-out order across members is visible.
+type taggedLog struct {
+	tag string
+	mu  *sync.Mutex
+	out *[]string
+}
+
+func (l taggedLog) add(e string) {
+	l.mu.Lock()
+	*l.out = append(*l.out, l.tag+":"+e)
+	l.mu.Unlock()
+}
+
+func (l taggedLog) RequestStart(string, uint64)                             { l.add("request-start") }
+func (l taggedLog) RequestEnd(string, uint64, time.Duration, Outcome)       { l.add("request-end") }
+func (l taggedLog) VariantStart(string, string, uint64)                     { l.add("variant-start") }
+func (l taggedLog) VariantEnd(string, string, uint64, time.Duration, error) { l.add("variant-end") }
+func (l taggedLog) Adjudicated(string, uint64, bool, bool)                  { l.add("adjudicated") }
+func (l taggedLog) ComponentDisabled(string, string, uint64)                { l.add("component-disabled") }
+func (l taggedLog) RetryAttempt(string, string, uint64, int)                { l.add("retry") }
+func (l taggedLog) Rollback(string, uint64)                                 { l.add("rollback") }
+
+func TestCombineFanOutOrdering(t *testing.T) {
+	// Every callback reaches the members in registration order, nil
+	// members and nesting notwithstanding.
+	var (
+		mu  sync.Mutex
+		out []string
+	)
+	mk := func(tag string) taggedLog { return taggedLog{tag: tag, mu: &mu, out: &out} }
+	m := Combine(nil, mk("a"), Combine(mk("b"), nil, mk("c")))
+	m.RequestStart("x", 1)
+	m.VariantEnd("x", "v", 1, time.Millisecond, nil)
+	m.RequestEnd("x", 1, time.Millisecond, OutcomeSuccess)
+	want := []string{
+		"a:request-start", "b:request-start", "c:request-start",
+		"a:variant-end", "b:variant-end", "c:variant-end",
+		"a:request-end", "b:request-end", "c:request-end",
+	}
+	if len(out) != len(want) {
+		t.Fatalf("events = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("events = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestCombineFlattensNested(t *testing.T) {
+	var a, b, c eventLog
+	m, ok := Combine(Combine(&a, &b), nil, &c).(multi)
+	if !ok {
+		t.Fatalf("combined observer is %T, want multi", Combine(Combine(&a, &b), nil, &c))
+	}
+	if len(m) != 3 {
+		t.Errorf("flattened members = %d, want 3", len(m))
+	}
+	for _, o := range m {
+		if _, nested := o.(multi); nested {
+			t.Error("nested multi survived flattening")
+		}
+	}
+}
+
 func TestCollectorCounts(t *testing.T) {
 	c := NewCollector()
 	req := NextRequestID()
@@ -256,5 +322,67 @@ func TestTraceRecorderIgnoresUnknownRequest(t *testing.T) {
 	tr.RequestEnd("exec", 999999, time.Millisecond, OutcomeSuccess)
 	if tr.Total() != 0 || len(tr.Snapshot()) != 0 {
 		t.Error("unknown request leaked into the ring")
+	}
+}
+
+func TestTraceRecorderWraparoundConcurrent(t *testing.T) {
+	// Many writers overflow a tiny ring while readers snapshot: the ring
+	// must keep exactly its capacity of complete, distinct traces and
+	// count every completion (run with -race to check the locking).
+	const (
+		capacity = 4
+		writers  = 8
+		each     = 200
+	)
+	tr := NewTraceRecorder(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			exec := []string{"a", "b"}[w%2]
+			for i := 0; i < each; i++ {
+				req := NextRequestID()
+				tr.RequestStart(exec, req)
+				tr.VariantStart(exec, "v", req)
+				tr.VariantEnd(exec, "v", req, time.Microsecond, nil)
+				tr.RequestEnd(exec, req, time.Microsecond, OutcomeSuccess)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for reading := true; reading; {
+		select {
+		case <-done:
+			reading = false
+		default:
+		}
+		snap := tr.Snapshot()
+		if len(snap) > capacity {
+			t.Fatalf("snapshot holds %d traces, capacity %d", len(snap), capacity)
+		}
+		for _, trace := range snap {
+			if trace.ID == 0 || trace.Outcome != "success" || len(trace.Variants) != 1 {
+				t.Fatalf("torn trace in snapshot: %+v", trace)
+			}
+		}
+	}
+	if got := tr.Total(); got != writers*each {
+		t.Errorf("Total = %d, want %d", got, writers*each)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("final snapshot holds %d traces, want %d", len(snap), capacity)
+	}
+	seen := map[uint64]bool{}
+	for _, trace := range snap {
+		if seen[trace.ID] {
+			t.Errorf("duplicate trace %d after wraparound", trace.ID)
+		}
+		seen[trace.ID] = true
 	}
 }

@@ -47,6 +47,70 @@ type config struct {
 	observer       obs.Observer
 	variantTimeout time.Duration
 	logger         *slog.Logger
+	ranker         Ranker
+}
+
+// Ranker orders variant names, best first, for an executor. The health
+// diagnosis engine (internal/obs/health) implements it over live EWMA
+// health scores, closing the observe→diagnose→act loop: executors that
+// honor an order of preference consult the ranker per request.
+type Ranker interface {
+	// Rank returns names reordered best-first. Implementations must
+	// return a permutation-like ordering; names they do not recognize
+	// should keep their relative order.
+	Rank(executor string, names []string) []string
+}
+
+// WithRanker attaches a variant ranker. SequentialAlternatives then
+// tries variants healthiest-first (instead of configured order), and
+// ParallelSelection prefers the healthiest acceptable result (the
+// ranker decides which live variant is "acting" and which are spares).
+// ParallelEvaluation and Single ignore the ranker — they have no order
+// of preference. A nil ranker leaves the configured order untouched.
+func WithRanker(r Ranker) Option {
+	return func(c *config) { c.ranker = r }
+}
+
+// rankLive reorders the live variant indices by the ranker's preference.
+// Names the ranker drops or invents are tolerated: ranked names pick the
+// first not-yet-used live variant with that name, and leftovers append
+// in configured order.
+func rankLive[I, O any](r Ranker, executor string, vs []core.Variant[I, O], live []int) []int {
+	names := make([]string, len(live))
+	for i, idx := range live {
+		names[i] = vs[idx].Name()
+	}
+	ranked := r.Rank(executor, names)
+	out := make([]int, 0, len(live))
+	used := make([]bool, len(live))
+	for _, name := range ranked {
+		for i, idx := range live {
+			if !used[i] && vs[idx].Name() == name {
+				out = append(out, idx)
+				used[i] = true
+				break
+			}
+		}
+	}
+	for i, idx := range live {
+		if !used[i] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// rankVariants returns variants reordered by the ranker's preference.
+func rankVariants[I, O any](r Ranker, executor string, vs []core.Variant[I, O]) []core.Variant[I, O] {
+	live := make([]int, len(vs))
+	for i := range vs {
+		live[i] = i
+	}
+	out := make([]core.Variant[I, O], len(vs))
+	for i, idx := range rankLive(r, executor, vs, live) {
+		out[i] = vs[idx]
+	}
+	return out
 }
 
 // Option configures a pattern executor.
@@ -321,6 +385,11 @@ func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, erro
 		p.cfg.endRequest(nameParallelSelection, req, start, false, false)
 		return zero, fmt.Errorf("all variants disabled: %w", core.ErrAllVariantsFailed)
 	}
+	if p.cfg.ranker != nil && len(live) > 1 {
+		// Health-ranked priority: the healthiest live variant acts, the
+		// rest are hot spares (acceptance order below follows live order).
+		live = rankLive(p.cfg.ranker, nameParallelSelection, p.variants, live)
+	}
 
 	results := make([]core.Result[O], len(live))
 	var wg sync.WaitGroup
@@ -415,9 +484,13 @@ func (s *SequentialAlternatives[I, O]) Execute(ctx context.Context, input I) (O,
 	var zero O
 	req, start := s.cfg.startRequest(nameSequentialAlternatives)
 	o := s.cfg.observer
+	variants := s.variants
+	if s.cfg.ranker != nil {
+		variants = rankVariants(s.cfg.ranker, nameSequentialAlternatives, s.variants)
+	}
 	var lastErr error
 	attempts := 0
-	for i, v := range s.variants {
+	for i, v := range variants {
 		if err := ctx.Err(); err != nil {
 			lastErr = err
 			break

@@ -1,0 +1,153 @@
+package pattern
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// stubRanker returns a fixed order regardless of input.
+type stubRanker struct {
+	order []string
+	calls int
+}
+
+func (r *stubRanker) Rank(_ string, _ []string) []string {
+	r.calls++
+	return r.order
+}
+
+// orderVariant records the order in which variants execute.
+type orderLog struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (l *orderLog) variant(name string, err error) core.Variant[int, int] {
+	return core.NewVariant(name, func(_ context.Context, x int) (int, error) {
+		l.mu.Lock()
+		l.names = append(l.names, name)
+		l.mu.Unlock()
+		return x, err
+	})
+}
+
+func TestSequentialAlternativesRankedOrder(t *testing.T) {
+	var log orderLog
+	vs := []core.Variant[int, int]{
+		l3(t, &log, "a", errors.New("a down")),
+		l3(t, &log, "b", nil),
+		l3(t, &log, "c", nil),
+	}
+	accept := func(_ int, _ int) error { return nil }
+	ranker := &stubRanker{order: []string{"c", "b", "a"}}
+	sa, err := NewSequentialAlternatives(vs, accept, nil, WithRanker(ranker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Execute(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Ranked first alternative "c" succeeds immediately: exactly one
+	// execution, of "c".
+	if len(log.names) != 1 || log.names[0] != "c" {
+		t.Errorf("execution order = %v, want [c]", log.names)
+	}
+	if ranker.calls != 1 {
+		t.Errorf("ranker consulted %d times, want once per request", ranker.calls)
+	}
+}
+
+// l3 keeps variant construction terse.
+func l3(t *testing.T, log *orderLog, name string, err error) core.Variant[int, int] {
+	t.Helper()
+	return log.variant(name, err)
+}
+
+func TestSequentialAlternativesRankerToleratesBadNames(t *testing.T) {
+	var log orderLog
+	vs := []core.Variant[int, int]{
+		l3(t, &log, "a", errors.New("a down")),
+		l3(t, &log, "b", nil),
+	}
+	accept := func(_ int, _ int) error { return nil }
+	// Ranker invents "ghost" and drops "b": "a" ranks first (fails),
+	// dropped "b" appends after and succeeds.
+	sa, err := NewSequentialAlternatives(vs, accept, nil,
+		WithRanker(&stubRanker{order: []string{"ghost", "a"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sa.Execute(context.Background(), 7); err != nil || got != 7 {
+		t.Fatalf("execute = (%d, %v)", got, err)
+	}
+	if len(log.names) != 2 || log.names[0] != "a" || log.names[1] != "b" {
+		t.Errorf("execution order = %v, want [a b]", log.names)
+	}
+}
+
+func TestParallelSelectionRankedActing(t *testing.T) {
+	// All three variants succeed and pass their tests; the ranked-first
+	// variant's value must win.
+	mk := func(name string, val int) core.Variant[int, int] {
+		return core.NewVariant(name, func(_ context.Context, _ int) (int, error) { return val, nil })
+	}
+	vs := []core.Variant[int, int]{mk("a", 1), mk("b", 2), mk("c", 3)}
+	tests := make([]core.AcceptanceTest[int, int], 3)
+	for i := range tests {
+		tests[i] = func(_ int, _ int) error { return nil }
+	}
+	ps, err := NewParallelSelection(vs, tests, WithRanker(&stubRanker{order: []string{"b", "c", "a"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ps.Execute(context.Background(), 0); err != nil || got != 2 {
+		t.Errorf("execute = (%d, %v), want ranked-first value 2", got, err)
+	}
+}
+
+func TestNilRankerKeepsConfiguredOrder(t *testing.T) {
+	var log orderLog
+	vs := []core.Variant[int, int]{
+		l3(t, &log, "a", errors.New("down")),
+		l3(t, &log, "b", nil),
+	}
+	accept := func(_ int, _ int) error { return nil }
+	sa, err := NewSequentialAlternatives(vs, accept, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Execute(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.names) != 2 || log.names[0] != "a" {
+		t.Errorf("execution order = %v, want [a b]", log.names)
+	}
+}
+
+func TestNilRankerAddsNoAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	// A configured ranker may allocate (it reorders per request), but
+	// the nil-ranker path must cost exactly what it did before rankers
+	// existed.
+	ctx := context.Background()
+	accept := func(_ int, _ int) error { return nil }
+	measure := func(opts ...Option) float64 {
+		ok := core.NewVariant("ok", func(_ context.Context, x int) (int, error) { return x, nil })
+		sa, err := NewSequentialAlternatives([]core.Variant[int, int]{ok}, accept, nil, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(200, func() { _, _ = sa.Execute(ctx, 1) })
+	}
+	baseline := measure()
+	withNil := measure(WithRanker(nil))
+	if withNil != baseline {
+		t.Errorf("nil ranker path allocates %v per run, baseline %v", withNil, baseline)
+	}
+}

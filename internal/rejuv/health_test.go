@@ -1,0 +1,83 @@
+package rejuv
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/obs/health"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func TestHealthPolicyUnit(t *testing.T) {
+	env := faultmodel.DefaultEnv()
+	score := 1.0
+	p := HealthPolicy{Score: func() float64 { return score }, MinScore: 0.6, MinAge: 5}
+	env.Age = 10
+	if p.ShouldRejuvenate(env) {
+		t.Error("healthy process should not rejuvenate")
+	}
+	score = 0.3
+	if !p.ShouldRejuvenate(env) {
+		t.Error("degraded process past MinAge should rejuvenate")
+	}
+	env.Age = 2
+	if p.ShouldRejuvenate(env) {
+		t.Error("MinAge cooldown should hold the trigger")
+	}
+	env.Age = 10
+	if (HealthPolicy{MinScore: 0.6}).ShouldRejuvenate(env) {
+		t.Error("nil Score never triggers")
+	}
+	if !strings.Contains(p.Name(), "health") {
+		t.Errorf("policy name = %q", p.Name())
+	}
+}
+
+// TestHealthTriggeredRejuvenation wires the diagnosis engine into the
+// rejuvenator: aging failures degrade the executor score, the policy
+// fires on the degraded score, and the engine's evidence ends up
+// classifying the variant as aging.
+func TestHealthTriggeredRejuvenation(t *testing.T) {
+	engine := health.New(health.Config{Alpha: 0.3})
+	r, err := NewRejuvenator(identity(), steepAging(), HealthPolicy{
+		Score:    engine.ScoreFunc(rejuvenatorName),
+		MinScore: 0.6,
+		MinAge:   10,
+	}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetObserver(engine)
+
+	ctx := context.Background()
+	failures := 0
+	for i := 0; i < 600; i++ {
+		if _, err := r.Execute(ctx, i); err != nil {
+			failures++
+		}
+	}
+	if r.Rejuvenations() == 0 {
+		t.Fatal("health policy never triggered")
+	}
+	if failures == 0 {
+		t.Fatal("aging fault never activated; test exercises nothing")
+	}
+	// The failure runs cured by rejuvenation are aging evidence.
+	var class health.FaultClass
+	for _, e := range engine.Snapshot() {
+		if e.Executor != rejuvenatorName {
+			continue
+		}
+		if e.Rollbacks == 0 {
+			t.Error("engine saw no rollback events")
+		}
+		for _, v := range e.Variants {
+			class = v.Class
+		}
+	}
+	if class != health.ClassAging {
+		t.Errorf("diagnosed class = %v, want %v", class, health.ClassAging)
+	}
+}

@@ -85,6 +85,49 @@ func (p ThresholdPolicy) ShouldRejuvenate(env *faultmodel.Env) bool {
 	return false
 }
 
+// HealthPolicy rejuvenates when a live health signal degrades: the
+// feedback flavor of rejuvenation, driven by the observation layer's
+// diagnosis instead of a fixed period or raw environment thresholds.
+// Wire Score to the diagnosis engine watching the same executor, e.g.
+//
+//	engine := health.New(health.Config{})
+//	r, _ := rejuv.NewRejuvenator(v, fault, rejuv.HealthPolicy{
+//		Score:    engine.ScoreFunc("rejuvenator"),
+//		MinScore: 0.6,
+//		MinAge:   10,
+//	}, rng)
+//	r.SetObserver(engine)
+//
+// EWMA scores recover gradually after a rejuvenation, so MinAge keeps
+// the policy from re-triggering on every request while the score climbs
+// back; Env.Age resets on rejuvenation, making it the natural cooldown
+// clock.
+type HealthPolicy struct {
+	// Score returns the current health score in [0, 1] of the process
+	// being served (typically health.Engine.ScoreFunc("rejuvenator")).
+	// A nil Score never triggers.
+	Score func() float64
+	// MinScore is the threshold below which rejuvenation triggers.
+	MinScore float64
+	// MinAge is the minimum number of requests since the last
+	// rejuvenation before the policy may trigger again; values < 1 allow
+	// back-to-back rejuvenations.
+	MinAge int
+}
+
+var _ Policy = HealthPolicy{}
+
+// Name implements Policy.
+func (p HealthPolicy) Name() string { return fmt.Sprintf("health(<%.2f)", p.MinScore) }
+
+// ShouldRejuvenate implements Policy.
+func (p HealthPolicy) ShouldRejuvenate(env *faultmodel.Env) bool {
+	if p.Score == nil || env.Age < p.MinAge {
+		return false
+	}
+	return p.Score() < p.MinScore
+}
+
 // NeverPolicy never rejuvenates (the baseline).
 type NeverPolicy struct{}
 

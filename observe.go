@@ -77,9 +77,11 @@ func MetricsObserver(m *Metrics) Observer { return obs.ForMetrics(m) }
 
 // ObservationHandler returns an HTTP handler exposing the observation
 // layer: /metrics (Prometheus text format), /vars (JSON snapshot), and
-// /traces (the trace ring as JSON). Either argument may be nil.
-func ObservationHandler(c *Collector, tr *TraceRecorder) http.Handler {
-	return obs.Handler(c, tr)
+// /traces (the trace ring as JSON). Either collector argument may be
+// nil. Extras mount additional endpoints — pass a HealthEngine's
+// Extra() to add /healthz and the health gauges.
+func ObservationHandler(c *Collector, tr *TraceRecorder, extras ...ObservationEndpoint) http.Handler {
+	return obs.Handler(c, tr, extras...)
 }
 
 // NextRequestID returns a process-unique identifier correlating the

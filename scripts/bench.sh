@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench.sh runs the hot-path benchmarks (observation layer, health
+# diagnosis, pattern executors, RNG, and the top-level ablation suite)
+# and records the results as JSON in BENCH_obs.json so CI can archive
+# them and successive runs can be diffed.
+#
+# Usage: scripts/bench.sh [output.json]
+# Environment: BENCHTIME overrides -benchtime (e.g. BENCHTIME=100x).
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_obs.json}"
+benchtime="${BENCHTIME:-1s}"
+pkgs=". ./internal/obs/... ./internal/pattern ./internal/xrand"
+
+# shellcheck disable=SC2086  # pkgs is a deliberate word list
+raw="$(go test -bench=. -benchmem -run='^$' -benchtime="$benchtime" $pkgs)"
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk '
+BEGIN { print "[" }
+/^pkg:/ { pkg = $2 }
+/^Benchmark/ {
+    bop = ""; aop = ""
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op") bop = $(i - 1)
+        if ($i == "allocs/op") aop = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"package\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", pkg, $1, $2, $3
+    if (bop != "") printf ",\"bytes_per_op\":%s", bop
+    if (aop != "") printf ",\"allocs_per_op\":%s", aop
+    printf "}"
+}
+END { if (n) printf "\n"; print "]" }
+' >"$out"
+
+echo "wrote $(grep -c '"name"' "$out") benchmark results to $out"
