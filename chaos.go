@@ -1,0 +1,72 @@
+package redundancy
+
+import (
+	"context"
+
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+)
+
+// Deterministic chaos campaigns: seeded schedules of latency spikes,
+// error bursts, hangs, and correlated failures, driven against any
+// executor. Activation decisions are pure functions of
+// (seed, phase, request index, disturbance kind, variant), so a campaign
+// replays identically regardless of goroutine interleaving — chaos
+// testing with the reproducibility discipline of the rest of the fault
+// model. `faultsim -chaos` runs these from the command line.
+type (
+	// ChaosCampaign is a deterministic chaos schedule: an ordered list
+	// of phases driven by a seed.
+	ChaosCampaign = faultmodel.Campaign
+	// ChaosPhase is one segment of a campaign: a block of consecutive
+	// requests with a fixed mix of disturbances.
+	ChaosPhase = faultmodel.ChaosPhase
+	// ChaosDuration is a time.Duration that (un)marshals as a Go
+	// duration string ("250ms") in campaign spec files.
+	ChaosDuration = faultmodel.Duration
+	// ChaosVariant decorates a variant with a campaign's disturbances;
+	// outside a campaign request it is transparent.
+	ChaosVariant[I, O any] = faultmodel.Chaos[I, O]
+	// CampaignReport is the outcome of one campaign run.
+	CampaignReport = faultmodel.CampaignReport
+	// PhaseReport is one phase's outcome tally.
+	PhaseReport = faultmodel.PhaseReport
+)
+
+// ErrMaxHang reports that an injected hang blocked for the configured
+// MaxHang guard duration and was released without the context being
+// canceled.
+var ErrMaxHang = faultmodel.ErrMaxHang
+
+// ChaosVariants wraps every variant in vs with the campaign.
+func ChaosVariants[I, O any](c *ChaosCampaign, vs []Variant[I, O]) []Variant[I, O] {
+	return faultmodel.ChaosVariants(c, vs)
+}
+
+// RunChaosCampaign drives the executor through the whole schedule,
+// phase by phase, with each phase's configured concurrency, and tallies
+// outcomes. input derives the request payload from the global request
+// index; collector, if non-nil, contributes its final observation
+// snapshot to the report.
+func RunChaosCampaign[I, O any](ctx context.Context, c *ChaosCampaign, exec Executor[I, O], input func(req uint64) I, collector *Collector) (*CampaignReport, error) {
+	return faultmodel.RunCampaign(ctx, c, exec, input, collector)
+}
+
+// ParseChaosCampaign decodes a campaign spec (JSON; durations as Go
+// duration strings) and validates it.
+func ParseChaosCampaign(data []byte) (*ChaosCampaign, error) {
+	return faultmodel.ParseCampaign(data)
+}
+
+// DefaultChaosCampaign is the built-in schedule used by
+// `faultsim -chaos` without a spec file.
+func DefaultChaosCampaign(seed uint64) *ChaosCampaign {
+	return faultmodel.DefaultCampaign(seed)
+}
+
+// WithChaosRequestIndex tags a context with the campaign-global request
+// index; chaos variants read it to decide activation. RunChaosCampaign
+// tags every request it issues — use this only when driving chaos
+// variants by hand.
+func WithChaosRequestIndex(ctx context.Context, req uint64) context.Context {
+	return faultmodel.WithRequestIndex(ctx, req)
+}

@@ -1,0 +1,73 @@
+package redundancy_test
+
+// Throughput of the full resilience-policy stack under a deterministic
+// chaos campaign, with and without the bulkhead, so the cost of load
+// shedding under overload is measurable (scripts/bench.sh records both
+// in BENCH_resilience.json).
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+// chaosBenchCampaign has no sleeps or hangs — error bursts and a
+// concurrent overload phase only — so the benchmark measures policy
+// overhead, not injected latency.
+func chaosBenchCampaign() *redundancy.ChaosCampaign {
+	return &redundancy.ChaosCampaign{
+		Name: "bench",
+		Seed: 42,
+		Phases: []redundancy.ChaosPhase{
+			{Name: "burst", Requests: 64, ErrorBurst: 0.25},
+			{Name: "overload", Requests: 192, Concurrency: 32, ErrorBurst: 0.25},
+		},
+	}
+}
+
+func benchmarkChaosCampaign(b *testing.B, withBulkhead bool) {
+	camp := chaosBenchCampaign()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh stack per iteration keeps iterations independent:
+		// breaker state and the last-good cache do not leak across runs.
+		collector := redundancy.NewCollector()
+		opts := []redundancy.PatternOption{
+			redundancy.WithObserver(collector),
+			redundancy.WithBreaker(redundancy.NewBreakers(redundancy.BreakerConfig{
+				ConsecutiveFailures: 5,
+				OpenFor:             time.Hour,
+			})),
+			redundancy.WithRetryPolicy(redundancy.RetryPolicy{
+				Seed:   42,
+				Budget: redundancy.NewRetryBudget(100, 1),
+			}),
+			redundancy.WithDeadline(250*time.Millisecond, 50*time.Millisecond),
+			redundancy.WithFallback(redundancy.NewFallbackLadder[int, int]().CacheLastGood()),
+		}
+		if withBulkhead {
+			opts = append(opts, redundancy.WithBulkhead(redundancy.NewBulkhead(
+				redundancy.BulkheadConfig{MaxConcurrent: 4, MaxWaiting: 4})))
+		}
+		sa, err := redundancy.NewSequentialAlternatives(
+			chaosVariants(camp),
+			func(_, _ int) error { return nil },
+			nil,
+			opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := redundancy.RunChaosCampaign(context.Background(), camp, sa,
+			func(req uint64) int { return int(req) }, collector); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*camp.Total())/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkChaosCampaignWithBulkhead(b *testing.B) { benchmarkChaosCampaign(b, true) }
+
+func BenchmarkChaosCampaignNoBulkhead(b *testing.B) { benchmarkChaosCampaign(b, false) }

@@ -33,11 +33,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list available experiments")
-		id     = fs.String("run", "", "run the experiment with this id")
-		all    = fs.Bool("all", false, "run every experiment")
-		seed   = fs.Uint64("seed", 1, "deterministic seed (echoed in the output for reproducibility)")
-		format = fs.String("format", "table", `output format: "table" or "csv"`)
+		list     = fs.Bool("list", false, "list available experiments")
+		id       = fs.String("run", "", "run the experiment with this id")
+		all      = fs.Bool("all", false, "run every experiment")
+		seed     = fs.Uint64("seed", 1, "deterministic seed (echoed in the output for reproducibility)")
+		format   = fs.String("format", "table", `output format: "table" or "csv"`)
 		addr     = fs.String("metrics-addr", "", "serve live observation metrics on this address while experiments run (e.g. :9090; endpoints /metrics, /vars, /traces, /healthz)")
 		traceOut = fs.String("trace-out", "", "write the recorded trace ring as JSON to this file at exit (analyze with obsreport)")
 	)

@@ -14,15 +14,30 @@
 // the trace ring as JSON at exit, ready for cmd/obsreport. -bohr k makes
 // variant k fail deterministically — a Bohrbug to diagnose, next to the
 // Heisenbug-like intermittent failures that -p injects.
+//
+// With -chaos the tool runs a deterministic chaos campaign instead of the
+// Monte Carlo estimate: the selected pattern executor is built with the
+// full resilience-policy stack (circuit breakers, budgeted backed-off
+// retries, a bulkhead, default deadlines, and a last-good degradation
+// ladder) and driven through a seeded schedule of error bursts, latency
+// spikes, hangs, overload, and correlated failures. -chaos-spec loads the
+// schedule from a JSON file (see faultmodel.Campaign); without it a
+// built-in schedule derived from -seed runs. -chaos-out writes the
+// campaign report as JSON.
+//
+//	faultsim -chaos -pattern sequential -n 3 -bohr 1
+//	faultsim -chaos -chaos-spec campaign.json -chaos-out report.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	redundancy "github.com/softwarefaults/redundancy"
 	"github.com/softwarefaults/redundancy/internal/faultmodel"
@@ -50,6 +65,9 @@ func run(args []string) error {
 		metricsAddr = fs.String("metrics-addr", "", "serve live observation metrics on this address while the simulation runs (e.g. :9090; endpoints /metrics, /vars, /traces, /healthz)")
 		traceOut    = fs.String("trace-out", "", "write the recorded trace ring as JSON to this file at exit (analyze with obsreport)")
 		bohr        = fs.Int("bohr", 0, "make variant k fail deterministically (detected patterns only; a Bohrbug for the diagnosis layer to label)")
+		chaos       = fs.Bool("chaos", false, "run a deterministic chaos campaign against the resilience-hardened executor instead of the Monte Carlo estimate")
+		chaosSpec   = fs.String("chaos-spec", "", "JSON campaign spec file for -chaos (default: built-in schedule derived from -seed)")
+		chaosOut    = fs.String("chaos-out", "", "write the -chaos campaign report as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +99,22 @@ func run(args []string) error {
 		if *traceOut != "" {
 			defer func() { dumpTraces(traces, *traceOut) }()
 		}
+	}
+
+	if *chaos {
+		var camp *faultmodel.Campaign
+		if *chaosSpec != "" {
+			data, err := os.ReadFile(*chaosSpec)
+			if err != nil {
+				return fmt.Errorf("chaos spec: %w", err)
+			}
+			if camp, err = faultmodel.ParseCampaign(data); err != nil {
+				return err
+			}
+		} else {
+			camp = faultmodel.DefaultCampaign(*seed)
+		}
+		return runChaos(*patternName, *n, *bohr, camp, *chaosOut, observer)
 	}
 
 	tbl := stats.NewTable(
@@ -198,6 +232,102 @@ func simulateDetected(patternName string, n int, p float64, trials int, seed uin
 		}
 	}
 	return ok, m.Snapshot().ExecutionsPerRequest(), nil
+}
+
+// runChaos drives a resilience-hardened executor through the campaign.
+// Variants succeed unless the campaign disturbs them (or -bohr marks one
+// as deterministically broken — the breaker should open on it). The
+// executor carries the full policy stack so the report shows breakers
+// opening, overload being shed, and the degradation ladder serving.
+func runChaos(patternName string, n, bohr int, camp *faultmodel.Campaign, outPath string, extra redundancy.Observer) error {
+	collector := redundancy.NewCollector()
+	observer := redundancy.CombineObservers(collector, extra)
+
+	mk := func(i int) redundancy.Variant[int, int] {
+		deterministic := i == bohr
+		base := redundancy.NewVariant(fmt.Sprintf("v%d", i), func(_ context.Context, x int) (int, error) {
+			if deterministic {
+				return 0, fmt.Errorf("deterministic failure")
+			}
+			return x, nil
+		})
+		return &faultmodel.Chaos[int, int]{Base: base, Campaign: camp}
+	}
+	ladder := redundancy.NewFallbackLadder[int, int]().CacheLastGood()
+	opts := []redundancy.PatternOption{
+		redundancy.WithObserver(observer),
+		redundancy.WithBreaker(redundancy.NewBreakers(redundancy.BreakerConfig{
+			ConsecutiveFailures: 5,
+			OpenFor:             100 * time.Millisecond,
+		})),
+		redundancy.WithRetryPolicy(redundancy.RetryPolicy{
+			BaseBackoff: 100 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+			Jitter:      0.5,
+			Seed:        camp.Seed,
+			Budget:      redundancy.NewRetryBudget(100, 1),
+		}),
+		redundancy.WithBulkhead(redundancy.NewBulkhead(redundancy.BulkheadConfig{
+			MaxConcurrent: 16,
+			MaxWaiting:    16,
+		})),
+		redundancy.WithDeadline(250*time.Millisecond, 20*time.Millisecond),
+		redundancy.WithFallback(ladder),
+	}
+
+	accept := func(_ int, _ int) error { return nil }
+	var (
+		exec redundancy.Executor[int, int]
+		err  error
+	)
+	switch patternName {
+	case "single":
+		exec, err = redundancy.NewSingle(mk(1), opts...)
+	case "sequential":
+		vs := make([]redundancy.Variant[int, int], n)
+		for i := range vs {
+			vs[i] = mk(i + 1)
+		}
+		exec, err = redundancy.NewSequentialAlternatives(vs, accept, nil, opts...)
+	case "selection":
+		vs := make([]redundancy.Variant[int, int], n)
+		tests := make([]redundancy.AcceptanceTest[int, int], n)
+		for i := range vs {
+			vs[i] = mk(i + 1)
+			tests[i] = accept
+		}
+		var ps *redundancy.ParallelSelection[int, int]
+		ps, err = redundancy.NewParallelSelection(vs, tests, opts...)
+		if err == nil {
+			exec = redundancy.ExecutorFunc[int, int](func(ctx context.Context, x int) (int, error) {
+				defer ps.Reset() // failures are transient in this model
+				return ps.Execute(ctx, x)
+			})
+		}
+	default:
+		return fmt.Errorf("-chaos supports patterns single, sequential, selection (got %q)", patternName)
+	}
+	if err != nil {
+		return err
+	}
+
+	rep, err := faultmodel.RunCampaign(context.Background(), camp, exec,
+		func(req uint64) int { return int(req) }, collector)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote campaign report to %s\n", outPath)
+	}
+	return nil
 }
 
 // dumpTraces writes the trace ring as JSON; runs deferred, so failures

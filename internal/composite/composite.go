@@ -27,6 +27,7 @@ import (
 	"github.com/softwarefaults/redundancy/internal/core"
 	"github.com/softwarefaults/redundancy/internal/obs"
 	"github.com/softwarefaults/redundancy/internal/pattern"
+	"github.com/softwarefaults/redundancy/internal/resilience"
 	"github.com/softwarefaults/redundancy/internal/vote"
 )
 
@@ -63,6 +64,14 @@ const retryExecutorName = "retry"
 // and the final adjudication — a request is accepted when some attempt
 // succeeded, with the failure detected (masked) when earlier attempts
 // failed.
+//
+// Resilience options flow through as well: pattern.WithRetryPolicy paces
+// the re-invocations (exponential backoff with seeded jitter) and charges
+// a shared retry budget, pattern.WithBreaker brackets every attempt with
+// the endpoint's circuit breaker, pattern.WithBulkhead bounds concurrent
+// invocations, and pattern.WithDeadline bounds the request and each
+// attempt. With none of these configured the loop is exactly the legacy
+// one: immediate re-invocation, zero backoff, no admission control.
 func Retry[T any](v core.Variant[T, T], retries int, opts ...pattern.Option) (core.Executor[T, T], error) {
 	if v == nil {
 		return nil, core.ErrNoVariants
@@ -70,7 +79,13 @@ func Retry[T any](v core.Variant[T, T], retries int, opts ...pattern.Option) (co
 	if retries < 0 {
 		return nil, errors.New("composite: negative retries")
 	}
-	o := pattern.ObserverOf(opts...)
+	pol := pattern.PoliciesOf(opts...)
+	o := pol.Observer
+	var brk *resilience.Breaker
+	if pol.Breakers != nil {
+		pol.Breakers.Bind(retryExecutorName, o)
+		brk = pol.Breakers.For(v.Name())
+	}
 	return core.ExecutorFunc[T, T](func(ctx context.Context, in T) (T, error) {
 		var (
 			zero    T
@@ -97,20 +112,76 @@ func Retry[T any](v core.Variant[T, T], retries int, opts ...pattern.Option) (co
 			}
 			o.RequestEnd(retryExecutorName, req, time.Since(start), outcome)
 		}
+		if pol.Deadline.Request > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, pol.Deadline.Request)
+			defer cancel()
+		}
+		if pol.Bulkhead != nil {
+			if err := pol.Bulkhead.Acquire(ctx); err != nil {
+				if o != nil && req != 0 {
+					obs.EmitRequestShed(o, retryExecutorName, req)
+				}
+				finish(false, false)
+				return zero, err
+			}
+			defer pol.Bulkhead.Release()
+		}
+		if pol.Retrier != nil {
+			if b := pol.Retrier.Budget(); b != nil {
+				b.Deposit()
+			}
+		}
 		for attempt := 0; attempt <= retries; attempt++ {
 			if err := ctx.Err(); err != nil {
 				finish(false, attempt > 0)
 				return zero, err
 			}
+			if attempt > 0 && pol.Retrier != nil {
+				if b := pol.Retrier.Budget(); b != nil && !b.Withdraw() {
+					if lastErr != nil {
+						lastErr = fmt.Errorf("%w: %w", resilience.ErrRetryBudgetExhausted, lastErr)
+					} else {
+						lastErr = resilience.ErrRetryBudgetExhausted
+					}
+					break
+				}
+				if err := pol.Retrier.Pause(ctx, attempt+1); err != nil {
+					finish(false, true)
+					return zero, err
+				}
+			}
 			if o != nil && attempt > 0 {
 				o.RetryAttempt(retryExecutorName, v.Name(), req, attempt+1)
+			}
+			var tok resilience.Token
+			if brk != nil {
+				var berr error
+				if tok, berr = brk.Allow(); berr != nil {
+					// Rejected fast without executing (and without a
+					// variant span): the open breaker is the attempt's
+					// outcome.
+					lastErr = berr
+					continue
+				}
 			}
 			var attemptStart time.Time
 			if o != nil {
 				o.VariantStart(retryExecutorName, v.Name(), req)
 				attemptStart = time.Now()
 			}
-			out, err := core.Guard(v).Execute(ctx, in)
+			actx := ctx
+			var acancel context.CancelFunc
+			if d := pol.Deadline.Variant; d > 0 {
+				actx, acancel = context.WithTimeout(ctx, d)
+			}
+			out, err := core.Guard(v).Execute(actx, in)
+			if acancel != nil {
+				acancel()
+			}
+			if brk != nil {
+				brk.Record(tok, err)
+			}
 			if o != nil {
 				o.VariantEnd(retryExecutorName, v.Name(), req, time.Since(attemptStart), err)
 			}
@@ -131,7 +202,10 @@ func Retry[T any](v core.Variant[T, T], retries int, opts ...pattern.Option) (co
 // to the underlying Figure 1c executor. Passing pattern.WithRanker (for
 // example a health.Engine diagnosing the same observer stream) makes the
 // invocation health-ranked: every request tries the currently healthiest
-// endpoint first instead of the configured order.
+// endpoint first instead of the configured order. Resilience options
+// (pattern.WithBreaker, WithRetryPolicy, WithBulkhead, WithDeadline,
+// WithFallback) flow through to the executor, so alternates honor
+// breakers, retry budgets and backoff between endpoints.
 func Alternates[T any](test core.AcceptanceTest[T, T], endpoints []core.Variant[T, T], opts ...pattern.Option) (core.Executor[T, T], error) {
 	return pattern.NewSequentialAlternatives(endpoints, test, nil, opts...)
 }
@@ -150,6 +224,9 @@ func Voting[T any](eq core.Equal[T], endpoints []core.Variant[T, T], opts ...pat
 // are forwarded to the underlying Figure 1b executor. Passing
 // pattern.WithRanker makes the acting/spare priority health-ranked: the
 // currently healthiest endpoint's validated result is preferred.
+// Resilience options flow through: with pattern.WithBreaker a spare whose
+// breaker is open sits the request out (skipped, not disabled) instead of
+// hammering a known-bad endpoint.
 func HotSpares[T any](test core.AcceptanceTest[T, T], endpoints []core.Variant[T, T], opts ...pattern.Option) (core.Executor[T, T], error) {
 	tests := make([]core.AcceptanceTest[T, T], len(endpoints))
 	for i := range tests {

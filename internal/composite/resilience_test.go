@@ -1,0 +1,120 @@
+package composite
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+	"github.com/softwarefaults/redundancy/internal/resilience"
+)
+
+func fnCtx(name string, f func(ctx context.Context, x int) (int, error)) core.Variant[int, int] {
+	return core.NewVariant(name, f)
+}
+
+func TestRetryPolicyLegacyParityErrorText(t *testing.T) {
+	boom := errors.New("boom")
+	failing := fn("failing", func(int) (int, error) { return 0, boom })
+	// The zero-value policy must not change the legacy wrapper's error
+	// shape or attempt count.
+	var legacyErr, policyErr error
+	legacy, err := Retry(failing, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, legacyErr = legacy.Execute(context.Background(), 1)
+	withPolicy, err := Retry(failing, 2, pattern.WithRetryPolicy(resilience.RetryPolicy{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, policyErr = withPolicy.Execute(context.Background(), 1)
+	if legacyErr == nil || policyErr == nil {
+		t.Fatal("retries against a failing endpoint succeeded")
+	}
+	if legacyErr.Error() != policyErr.Error() {
+		t.Errorf("error text diverged:\nlegacy: %s\npolicy: %s", legacyErr, policyErr)
+	}
+	if !errors.Is(policyErr, boom) {
+		t.Errorf("cause not preserved: %v", policyErr)
+	}
+}
+
+func TestRetryBudgetBoundsReinvocations(t *testing.T) {
+	calls := 0
+	failing := fn("failing", func(int) (int, error) {
+		calls++
+		return 0, errors.New("persistent")
+	})
+	exec, err := Retry(failing, 10, pattern.WithRetryPolicy(resilience.RetryPolicy{
+		Budget: resilience.NewRetryBudget(2, 0.001),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, execErr := exec.Execute(context.Background(), 1)
+	if !errors.Is(execErr, resilience.ErrRetryBudgetExhausted) {
+		t.Fatalf("Execute = %v, want ErrRetryBudgetExhausted", execErr)
+	}
+	// Two budget tokens: the first attempt plus two retries.
+	if calls != 3 {
+		t.Errorf("endpoint invoked %d times, want 3", calls)
+	}
+}
+
+func TestRetryBreakerShortCircuitsAttempts(t *testing.T) {
+	calls := 0
+	failing := fn("endpoint", func(int) (int, error) {
+		calls++
+		return 0, errors.New("down")
+	})
+	breakers := resilience.NewBreakers(resilience.BreakerConfig{
+		ConsecutiveFailures: 2,
+		OpenFor:             time.Hour,
+	})
+	exec, err := Retry(failing, 9, pattern.WithBreaker(breakers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, execErr := exec.Execute(context.Background(), 1)
+	if !errors.Is(execErr, resilience.ErrBreakerOpen) {
+		t.Fatalf("Execute = %v, want trailing ErrBreakerOpen", execErr)
+	}
+	// The breaker opened after 2 failures; the remaining 8 attempts were
+	// rejected without invoking the endpoint.
+	if calls != 2 {
+		t.Errorf("endpoint invoked %d times, want 2", calls)
+	}
+	if got := breakers.State("endpoint"); got != obs.BreakerOpen {
+		t.Errorf("breaker state = %v, want open", got)
+	}
+}
+
+func TestRetryDeadlinePolicyBoundsAttempt(t *testing.T) {
+	hang := fnCtx("hang", func(ctx context.Context, _ int) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	exec, err := Retry(hang, 0, pattern.WithDeadline(resilience.DeadlinePolicy{
+		Variant: 20 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := exec.Execute(context.Background(), 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Execute = %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hanging endpoint wedged Retry despite the deadline policy")
+	}
+}

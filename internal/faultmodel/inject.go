@@ -2,11 +2,19 @@ package faultmodel
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"github.com/softwarefaults/redundancy/internal/core"
 	"github.com/softwarefaults/redundancy/internal/xrand"
 )
+
+// ErrMaxHang reports that a FailHang fault blocked for the injector's
+// MaxHang guard duration and was released without the context being
+// canceled. Seeing this error means the harness above the variant has no
+// effective deadline — the exact condition the guard exists to surface.
+var ErrMaxHang = errors.New("faultmodel: hang released by MaxHang guard")
 
 // FailureMode is how an activated fault manifests at the variant boundary.
 type FailureMode int
@@ -19,7 +27,11 @@ const (
 	// (an undetected erroneous result — the dangerous case for voting).
 	FailWrongValue
 	// FailHang makes the variant block until the context is canceled
-	// (models deadlocks and infinite loops; requires a timeout upstream).
+	// (models deadlocks and infinite loops). A timeout upstream is
+	// required — set one with pattern.WithVariantTimeout or
+	// pattern.WithDeadline, and set Injector.MaxHang as a backstop so a
+	// missing deadline turns into an ErrMaxHang failure instead of a
+	// wedged goroutine.
 	FailHang
 )
 
@@ -71,6 +83,13 @@ type Injector[I, O any] struct {
 	// Rand drives probabilistic activation; required for Heisenbugs and
 	// aging faults.
 	Rand *xrand.Rand
+	// MaxHang bounds how long a FailHang fault may block when the context
+	// carries no (effective) deadline: after MaxHang the hang releases
+	// with an error wrapping ErrMaxHang instead of wedging the goroutine
+	// forever. Zero preserves the historical behavior of blocking until
+	// the context is canceled — safe only when every caller sets a
+	// deadline.
+	MaxHang time.Duration
 }
 
 var _ core.Variant[int, int] = (*Injector[int, int])(nil)
@@ -98,6 +117,17 @@ func (j *Injector[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			}
 			return j.Corrupt(input, correct), nil
 		case FailHang:
+			if j.MaxHang > 0 {
+				t := time.NewTimer(j.MaxHang)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return zero, ctx.Err()
+				case <-t.C:
+					return zero, fmt.Errorf("fault %s in variant %s: %w",
+						f.Name(), j.Base.Name(), ErrMaxHang)
+				}
+			}
 			<-ctx.Done()
 			return zero, ctx.Err()
 		default:

@@ -41,6 +41,11 @@ type ExecutorStats struct {
 	rollbacks atomic.Int64
 	inflight  atomic.Int64 // variant executions currently running
 
+	// Resilience-policy counters (PolicyObserver events).
+	shed         atomic.Int64 // requests rejected by a bulkhead
+	degraded     atomic.Int64 // requests served by the degradation ladder
+	breakerOpens atomic.Int64 // circuit-breaker transitions into open
+
 	latency Histogram // request latency
 
 	mu       sync.Mutex // serializes copy-on-write inserts
@@ -199,6 +204,9 @@ type ExecutorSnapshot struct {
 	Retries          int64             `json:"retries"`
 	Rollbacks        int64             `json:"rollbacks"`
 	InflightVariants int64             `json:"inflight_variants"`
+	Shed             int64             `json:"shed,omitempty"`
+	DegradedServes   int64             `json:"degraded_serves,omitempty"`
+	BreakerOpens     int64             `json:"breaker_opens,omitempty"`
 	Latency          HistogramSnapshot `json:"latency"`
 	Variants         []VariantSnapshot `json:"variants,omitempty"`
 }
@@ -223,6 +231,9 @@ func (c *Collector) Snapshot() []ExecutorSnapshot {
 			Retries:          e.retries.Load(),
 			Rollbacks:        e.rollbacks.Load(),
 			InflightVariants: e.inflight.Load(),
+			Shed:             e.shed.Load(),
+			DegradedServes:   e.degraded.Load(),
+			BreakerOpens:     e.breakerOpens.Load(),
 			Latency:          e.latency.Snapshot(),
 		}
 		if vm := e.variants.Load(); vm != nil {

@@ -120,6 +120,12 @@ func WritePrometheus(w io.Writer, c *Collector) {
 		func(e ExecutorSnapshot) int64 { return e.Retries })
 	counter("redundancy_rollbacks_total", "State rollbacks and compensations executed.",
 		func(e ExecutorSnapshot) int64 { return e.Rollbacks })
+	counter("redundancy_requests_shed_total", "Requests rejected fast by a bulkhead under overload.",
+		func(e ExecutorSnapshot) int64 { return e.Shed })
+	counter("redundancy_degraded_serves_total", "Requests answered by the degradation ladder.",
+		func(e ExecutorSnapshot) int64 { return e.DegradedServes })
+	counter("redundancy_breaker_opens_total", "Circuit-breaker transitions into the open state.",
+		func(e ExecutorSnapshot) int64 { return e.BreakerOpens })
 
 	fmt.Fprint(w, "# HELP redundancy_inflight_variants Variant executions currently running.\n")
 	fmt.Fprint(w, "# TYPE redundancy_inflight_variants gauge\n")

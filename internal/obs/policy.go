@@ -1,0 +1,162 @@
+package obs
+
+// Policy events extend the observation layer with the resilience-policy
+// vocabulary (internal/resilience): circuit-breaker state transitions,
+// load-shedding decisions, and degraded serves from a fallback ladder.
+//
+// The events are an *optional* extension of Observer so that existing
+// observers keep compiling unchanged: an observer that wants policy
+// events additionally implements PolicyObserver, and emitters route
+// events through the Emit* helpers, which type-assert and fan out
+// through combined observers. The built-in Collector and TraceRecorder
+// implement the extension.
+
+// BreakerState is the state of a circuit breaker.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: requests flow normally; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are rejected fast without executing.
+	BreakerOpen
+	// BreakerHalfOpen: a single probe request at a time is admitted to
+	// test whether the protected variant has recovered.
+	BreakerHalfOpen
+)
+
+// String returns the Prometheus-label-safe name of the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// PolicyObserver is the optional Observer extension receiving
+// resilience-policy events. Observers implement it in addition to
+// Observer; emitters must route events through the Emit* helpers so
+// that combined observers (Combine) fan the events out to every member
+// that implements the extension.
+type PolicyObserver interface {
+	// BreakerStateChanged reports a circuit-breaker transition for one
+	// variant under one executor.
+	BreakerStateChanged(executor, variant string, from, to BreakerState)
+	// RequestShed reports that the executor's bulkhead rejected the
+	// request without executing any variant (overload fast-fail).
+	RequestShed(executor string, req uint64)
+	// DegradedServe reports that the request was answered by the
+	// degradation ladder instead of a live variant; source names the
+	// rung ("cache" for the last-good value, "degraded-variant" for the
+	// configured fallback variant).
+	DegradedServe(executor string, req uint64, source string)
+}
+
+// EmitBreakerStateChanged delivers a breaker transition to o if it (or
+// any member of a combined observer) implements PolicyObserver. Nil
+// observers are ignored.
+func EmitBreakerStateChanged(o Observer, executor, variant string, from, to BreakerState) {
+	if p, ok := o.(PolicyObserver); ok {
+		p.BreakerStateChanged(executor, variant, from, to)
+	}
+}
+
+// EmitRequestShed delivers a load-shedding event to o if it implements
+// PolicyObserver. Nil observers are ignored.
+func EmitRequestShed(o Observer, executor string, req uint64) {
+	if p, ok := o.(PolicyObserver); ok {
+		p.RequestShed(executor, req)
+	}
+}
+
+// EmitDegradedServe delivers a degraded-serve event to o if it
+// implements PolicyObserver. Nil observers are ignored.
+func EmitDegradedServe(o Observer, executor string, req uint64, source string) {
+	if p, ok := o.(PolicyObserver); ok {
+		p.DegradedServe(executor, req, source)
+	}
+}
+
+// BreakerStateChanged implements PolicyObserver for Nop.
+func (Nop) BreakerStateChanged(string, string, BreakerState, BreakerState) {}
+
+// RequestShed implements PolicyObserver for Nop.
+func (Nop) RequestShed(string, uint64) {}
+
+// DegradedServe implements PolicyObserver for Nop.
+func (Nop) DegradedServe(string, uint64, string) {}
+
+var _ PolicyObserver = Nop{}
+
+// BreakerStateChanged implements PolicyObserver: the event reaches every
+// member that implements the extension.
+func (m multi) BreakerStateChanged(executor, variant string, from, to BreakerState) {
+	for _, o := range m {
+		if p, ok := o.(PolicyObserver); ok {
+			p.BreakerStateChanged(executor, variant, from, to)
+		}
+	}
+}
+
+// RequestShed implements PolicyObserver.
+func (m multi) RequestShed(executor string, req uint64) {
+	for _, o := range m {
+		if p, ok := o.(PolicyObserver); ok {
+			p.RequestShed(executor, req)
+		}
+	}
+}
+
+// DegradedServe implements PolicyObserver.
+func (m multi) DegradedServe(executor string, req uint64, source string) {
+	for _, o := range m {
+		if p, ok := o.(PolicyObserver); ok {
+			p.DegradedServe(executor, req, source)
+		}
+	}
+}
+
+var _ PolicyObserver = multi(nil)
+
+// BreakerStateChanged implements PolicyObserver: the Collector counts
+// transitions into the open state per executor (the "breaker tripped"
+// signal that campaign reports and dashboards alert on).
+func (c *Collector) BreakerStateChanged(executor, _ string, _, to BreakerState) {
+	if to == BreakerOpen {
+		c.exec(executor).breakerOpens.Add(1)
+	}
+}
+
+// RequestShed implements PolicyObserver.
+func (c *Collector) RequestShed(executor string, _ uint64) {
+	c.exec(executor).shed.Add(1)
+}
+
+// DegradedServe implements PolicyObserver.
+func (c *Collector) DegradedServe(executor string, _ uint64, _ string) {
+	c.exec(executor).degraded.Add(1)
+}
+
+var _ PolicyObserver = (*Collector)(nil)
+
+// BreakerStateChanged implements PolicyObserver. Breaker transitions are
+// not bound to one request, so the trace ring has nothing to attach them
+// to; the Collector keeps the counts.
+func (t *TraceRecorder) BreakerStateChanged(string, string, BreakerState, BreakerState) {}
+
+// RequestShed implements PolicyObserver.
+func (t *TraceRecorder) RequestShed(_ string, req uint64) {
+	t.event(req, "shed", "")
+}
+
+// DegradedServe implements PolicyObserver.
+func (t *TraceRecorder) DegradedServe(_ string, req uint64, source string) {
+	t.event(req, "degraded-serve", source)
+}
+
+var _ PolicyObserver = (*TraceRecorder)(nil)

@@ -25,6 +25,7 @@ package pattern
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -32,6 +33,7 @@ import (
 
 	"github.com/softwarefaults/redundancy/internal/core"
 	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/resilience"
 )
 
 // Executor names used in observation events and log records.
@@ -48,6 +50,18 @@ type config struct {
 	variantTimeout time.Duration
 	logger         *slog.Logger
 	ranker         Ranker
+
+	// Resilience policies (internal/resilience). All nil/zero by
+	// default: executors with no policies configured keep their exact
+	// legacy hot path, with no extra work and no extra allocations.
+	breakers *resilience.Breakers
+	retrier  *resilience.Retrier
+	bulkhead *resilience.Bulkhead
+	deadline resilience.DeadlinePolicy
+	// fallback holds a *resilience.Ladder[I, O]; it is stored untyped
+	// because options are not generic, and re-typed by the executor
+	// (WithFallback's generic signature keeps call sites type-safe).
+	fallback any
 }
 
 // Ranker orders variant names, best first, for an executor. The health
@@ -147,6 +161,57 @@ func WithLogger(l *slog.Logger) Option {
 	return func(c *config) { c.logger = l }
 }
 
+// WithBreaker attaches a circuit-breaker set: each variant gets its own
+// breaker, consulted before every execution. Calls to a variant whose
+// breaker is open fail fast (error wrapping resilience.ErrBreakerOpen)
+// without executing, so sequential alternatives skip straight to the
+// next alternate and parallel executors stop hammering a variant that
+// fails deterministically. State transitions emit BreakerStateChanged
+// observation events under this executor's name.
+func WithBreaker(b *resilience.Breakers) Option {
+	return func(c *config) { c.breakers = b }
+}
+
+// WithRetryPolicy attaches a retry pacing policy. SequentialAlternatives
+// applies it between alternates (exponential backoff with seeded jitter,
+// optional shared retry budget, optional attempt cap); Single re-executes
+// its variant up to the policy's MaxAttempts. The parallel executors have
+// no sequential attempt loop and ignore the policy, like they ignore a
+// ranker.
+func WithRetryPolicy(p resilience.RetryPolicy) Option {
+	return func(c *config) { c.retrier = resilience.NewRetrier(p) }
+}
+
+// WithBulkhead bounds the executor's concurrency: requests beyond the
+// bulkhead's limits are shed fast with resilience.ErrShedded (emitting a
+// RequestShed observation event) instead of queueing without bound. The
+// wait for an execution slot honors the request context's deadline.
+func WithBulkhead(b *resilience.Bulkhead) Option {
+	return func(c *config) { c.bulkhead = b }
+}
+
+// WithDeadline attaches a deadline policy: Request bounds each Execute
+// call end to end, and Variant is the default per-variant deadline used
+// when WithVariantTimeout is not configured — so a hung variant
+// (faultmodel's FailHang) can never wedge the executor even when the
+// caller forgot a context deadline. A tighter inherited context deadline
+// always wins.
+func WithDeadline(p resilience.DeadlinePolicy) Option {
+	return func(c *config) { c.deadline = p }
+}
+
+// WithFallback attaches a degradation ladder: when the executor fails,
+// it serves the cached last-good value, then the configured degraded
+// variant, before giving up with an error wrapping
+// resilience.ErrDegraded. Successful results feed the ladder's last-good
+// cache; serves from the ladder emit DegradedServe observation events
+// and report the request outcome as masked. The ladder's value types
+// must match the executor's — the generic signature enforces this at
+// the call site.
+func WithFallback[I, O any](l *resilience.Ladder[I, O]) Option {
+	return func(c *config) { c.fallback = l }
+}
+
 // logVariantFailure emits one event per failed variant result.
 func (c config) logVariantFailure(executor, variant string, err error) {
 	if c.logger == nil || err == nil {
@@ -176,6 +241,95 @@ func newConfig(opts []Option) config {
 		o(&c)
 	}
 	return c
+}
+
+// bindResilience attaches the executor identity to stateful policies so
+// their events carry the right executor name. Constructors call it once.
+func (c *config) bindResilience(executor string) {
+	if c.breakers != nil {
+		c.breakers.Bind(executor, c.observer)
+	}
+}
+
+// noopDone is the zero-cost admission cleanup used when no admission
+// policy is configured.
+var noopDone = func() {}
+
+// admit runs the resilience front of one Execute call: the request
+// deadline and bulkhead admission. It returns the (possibly bounded)
+// context and a cleanup to defer; a non-nil error means the request was
+// shed (RequestShed emitted) and must fail fast without executing.
+func (c config) admit(ctx context.Context, executor string, req uint64) (context.Context, func(), error) {
+	if c.deadline.Request <= 0 && c.bulkhead == nil {
+		return ctx, noopDone, nil
+	}
+	cancel := context.CancelFunc(nil)
+	if c.deadline.Request > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.deadline.Request)
+	}
+	if c.bulkhead != nil {
+		if err := c.bulkhead.Acquire(ctx); err != nil {
+			if cancel != nil {
+				cancel()
+			}
+			if o := c.observer; o != nil && req != 0 {
+				obs.EmitRequestShed(o, executor, req)
+			}
+			return ctx, noopDone, err
+		}
+	}
+	bulkhead, cf := c.bulkhead, cancel
+	return ctx, func() {
+		if bulkhead != nil {
+			bulkhead.Release()
+		}
+		if cf != nil {
+			cf()
+		}
+	}, nil
+}
+
+// storeLastGood feeds an accepted result into the configured
+// degradation ladder's last-good cache.
+func storeLastGood[I, O any](cfg config, value O) {
+	if cfg.fallback == nil {
+		return
+	}
+	if l, ok := cfg.fallback.(*resilience.Ladder[I, O]); ok {
+		l.Store(value)
+	}
+}
+
+// serveFallback consults the degradation ladder after an executor
+// failure. ok reports that a rung served; the DegradedServe event is
+// emitted under the executor's name.
+func serveFallback[I, O any](ctx context.Context, cfg config, executor string, req uint64, input I) (O, bool) {
+	var zero O
+	if cfg.fallback == nil {
+		return zero, false
+	}
+	l, ok := cfg.fallback.(*resilience.Ladder[I, O])
+	if !ok {
+		return zero, false
+	}
+	v, source, err := l.Serve(ctx, input)
+	if err != nil {
+		return zero, false
+	}
+	if o := cfg.observer; o != nil && req != 0 {
+		obs.EmitDegradedServe(o, executor, req, source)
+	}
+	return v, true
+}
+
+// degradedError marks a failure as degraded when a ladder was
+// configured but could not serve; without a ladder the error passes
+// through untouched (legacy behavior).
+func degradedError(cfg config, err error) error {
+	if cfg.fallback == nil {
+		return err
+	}
+	return fmt.Errorf("%w: %w", resilience.ErrDegraded, err)
 }
 
 // startRequest opens an observed request span. It returns the request ID
@@ -221,12 +375,25 @@ func outcomeOf(accepted, failureDetected bool) obs.Outcome {
 // request ID the execution is bracketed by VariantStart/VariantEnd
 // observation events.
 func runVariant[I, O any](ctx context.Context, cfg config, executor string, req uint64, v core.Variant[I, O], input I) core.Result[O] {
+	var (
+		brk *resilience.Breaker
+		tok resilience.Token
+	)
+	if cfg.breakers != nil {
+		brk = cfg.breakers.For(v.Name())
+		var err error
+		if tok, err = brk.Allow(); err != nil {
+			// Rejected fast: no execution, no variant span — the
+			// breaker's whole point is that the variant does no work.
+			return core.Result[O]{Variant: v.Name(), Err: err}
+		}
+	}
 	if o := cfg.observer; o != nil && req != 0 {
 		o.VariantStart(executor, v.Name(), req)
 	}
-	if cfg.variantTimeout > 0 {
+	if d := cfg.deadline.VariantDeadline(cfg.variantTimeout); d > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfg.variantTimeout)
+		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
 	start := time.Now()
@@ -236,6 +403,9 @@ func runVariant[I, O any](ctx context.Context, cfg config, executor string, req 
 		Value:   value,
 		Err:     err,
 		Latency: time.Since(start),
+	}
+	if brk != nil {
+		brk.Record(tok, r.Err)
 	}
 	if o := cfg.observer; o != nil && req != 0 {
 		o.VariantEnd(executor, r.Variant, req, r.Latency, r.Err)
@@ -264,12 +434,21 @@ func NewParallelEvaluation[I, O any](variants []core.Variant[I, O], adj core.Adj
 	}
 	vs := make([]core.Variant[I, O], len(variants))
 	copy(vs, variants)
-	return &ParallelEvaluation[I, O]{cfg: newConfig(opts), variants: vs, adjudicator: adj}, nil
+	cfg := newConfig(opts)
+	cfg.bindResilience(nameParallelEvaluation)
+	return &ParallelEvaluation[I, O]{cfg: cfg, variants: vs, adjudicator: adj}, nil
 }
 
 // Execute implements core.Executor.
 func (p *ParallelEvaluation[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	req, start := p.cfg.startRequest(nameParallelEvaluation)
+	ctx, done, admitErr := p.cfg.admit(ctx, nameParallelEvaluation, req)
+	if admitErr != nil {
+		var zero O
+		p.cfg.endRequest(nameParallelEvaluation, req, start, false, false)
+		return zero, admitErr
+	}
+	defer done()
 	results := p.executeAll(ctx, input, req)
 	value, err := p.adjudicator.Adjudicate(results)
 	anyFailed := false
@@ -278,6 +457,15 @@ func (p *ParallelEvaluation[I, O]) Execute(ctx context.Context, input I) (O, err
 			anyFailed = true
 			p.cfg.logVariantFailure(nameParallelEvaluation, r.Variant, r.Err)
 		}
+	}
+	if err == nil {
+		storeLastGood[I, O](p.cfg, value)
+	} else if v, ok := serveFallback[I, O](ctx, p.cfg, nameParallelEvaluation, req, input); ok {
+		p.cfg.logOutcome(nameParallelEvaluation, true, nil)
+		p.cfg.endRequest(nameParallelEvaluation, req, start, true, true)
+		return v, nil
+	} else {
+		err = degradedError(p.cfg, err)
 	}
 	p.cfg.logOutcome(nameParallelEvaluation, anyFailed, err)
 	p.cfg.endRequest(nameParallelEvaluation, req, start, err == nil, anyFailed)
@@ -334,8 +522,10 @@ func NewParallelSelection[I, O any](variants []core.Variant[I, O], tests []core.
 	copy(vs, variants)
 	ts := make([]core.AcceptanceTest[I, O], len(tests))
 	copy(ts, tests)
+	cfg := newConfig(opts)
+	cfg.bindResilience(nameParallelSelection)
 	return &ParallelSelection[I, O]{
-		cfg:      newConfig(opts),
+		cfg:      cfg,
 		variants: vs,
 		tests:    ts,
 		disabled: make(map[string]bool),
@@ -371,6 +561,12 @@ func (p *ParallelSelection[I, O]) Reset() {
 func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var zero O
 	req, start := p.cfg.startRequest(nameParallelSelection)
+	ctx, done, admitErr := p.cfg.admit(ctx, nameParallelSelection, req)
+	if admitErr != nil {
+		p.cfg.endRequest(nameParallelSelection, req, start, false, false)
+		return zero, admitErr
+	}
+	defer done()
 
 	p.mu.Lock()
 	var live []int
@@ -382,8 +578,12 @@ func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, erro
 	p.mu.Unlock()
 
 	if len(live) == 0 {
+		if v, ok := serveFallback[I, O](ctx, p.cfg, nameParallelSelection, req, input); ok {
+			p.cfg.endRequest(nameParallelSelection, req, start, true, true)
+			return v, nil
+		}
 		p.cfg.endRequest(nameParallelSelection, req, start, false, false)
-		return zero, fmt.Errorf("all variants disabled: %w", core.ErrAllVariantsFailed)
+		return zero, degradedError(p.cfg, fmt.Errorf("all variants disabled: %w", core.ErrAllVariantsFailed))
 	}
 	if p.cfg.ranker != nil && len(live) > 1 {
 		// Health-ranked priority: the healthiest live variant acts, the
@@ -416,9 +616,14 @@ func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, erro
 		if err != nil {
 			anyRejected = true
 			p.cfg.logVariantFailure(nameParallelSelection, p.variants[i].Name(), err)
-			p.disable(p.variants[i].Name())
-			if o := p.cfg.observer; o != nil {
-				o.ComponentDisabled(nameParallelSelection, p.variants[i].Name(), req)
+			// A breaker rejection is preventive, not new evidence of a
+			// faulty component: the variant did not run, so it is skipped
+			// for this request but not permanently disabled.
+			if !errors.Is(err, resilience.ErrBreakerOpen) {
+				p.disable(p.variants[i].Name())
+				if o := p.cfg.observer; o != nil {
+					o.ComponentDisabled(nameParallelSelection, p.variants[i].Name(), req)
+				}
 			}
 			continue
 		}
@@ -428,16 +633,20 @@ func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, erro
 		}
 	}
 
-	if !accepted {
-		p.cfg.logOutcome(nameParallelSelection, anyRejected, core.ErrAllVariantsFailed)
-	} else {
+	if accepted {
+		storeLastGood[I, O](p.cfg, value)
 		p.cfg.logOutcome(nameParallelSelection, anyRejected, nil)
+		p.cfg.endRequest(nameParallelSelection, req, start, true, anyRejected)
+		return value, nil
 	}
-	p.cfg.endRequest(nameParallelSelection, req, start, accepted, anyRejected)
-	if !accepted {
-		return zero, core.ErrAllVariantsFailed
+	if v, ok := serveFallback[I, O](ctx, p.cfg, nameParallelSelection, req, input); ok {
+		p.cfg.logOutcome(nameParallelSelection, true, nil)
+		p.cfg.endRequest(nameParallelSelection, req, start, true, true)
+		return v, nil
 	}
-	return value, nil
+	p.cfg.logOutcome(nameParallelSelection, anyRejected, core.ErrAllVariantsFailed)
+	p.cfg.endRequest(nameParallelSelection, req, start, false, anyRejected)
+	return zero, degradedError(p.cfg, core.ErrAllVariantsFailed)
 }
 
 func (p *ParallelSelection[I, O]) disable(name string) {
@@ -471,8 +680,10 @@ func NewSequentialAlternatives[I, O any](variants []core.Variant[I, O], test cor
 	}
 	vs := make([]core.Variant[I, O], len(variants))
 	copy(vs, variants)
+	cfg := newConfig(opts)
+	cfg.bindResilience(nameSequentialAlternatives)
 	return &SequentialAlternatives[I, O]{
-		cfg:      newConfig(opts),
+		cfg:      cfg,
 		variants: vs,
 		test:     test,
 		rollback: rollback,
@@ -483,10 +694,22 @@ func NewSequentialAlternatives[I, O any](variants []core.Variant[I, O], test cor
 func (s *SequentialAlternatives[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var zero O
 	req, start := s.cfg.startRequest(nameSequentialAlternatives)
+	ctx, done, admitErr := s.cfg.admit(ctx, nameSequentialAlternatives, req)
+	if admitErr != nil {
+		s.cfg.endRequest(nameSequentialAlternatives, req, start, false, false)
+		return zero, admitErr
+	}
+	defer done()
 	o := s.cfg.observer
 	variants := s.variants
 	if s.cfg.ranker != nil {
 		variants = rankVariants(s.cfg.ranker, nameSequentialAlternatives, s.variants)
+	}
+	retrier := s.cfg.retrier
+	if retrier != nil {
+		if b := retrier.Budget(); b != nil {
+			b.Deposit()
+		}
 	}
 	var lastErr error
 	attempts := 0
@@ -494,6 +717,26 @@ func (s *SequentialAlternatives[I, O]) Execute(ctx context.Context, input I) (O,
 		if err := ctx.Err(); err != nil {
 			lastErr = err
 			break
+		}
+		if i > 0 && retrier != nil {
+			// Every alternate beyond the first is a retry: it pays the
+			// retry budget, respects the attempt cap, and waits out the
+			// policy's (jittered, exponential) backoff.
+			if cap := retrier.AttemptCap(); cap > 0 && attempts >= cap {
+				break
+			}
+			if b := retrier.Budget(); b != nil && !b.Withdraw() {
+				if lastErr != nil {
+					lastErr = fmt.Errorf("%w: %w", resilience.ErrRetryBudgetExhausted, lastErr)
+				} else {
+					lastErr = resilience.ErrRetryBudgetExhausted
+				}
+				break
+			}
+			if err := retrier.Pause(ctx, attempts+1); err != nil {
+				lastErr = err
+				break
+			}
 		}
 		if i > 0 && s.rollback != nil {
 			if o != nil && req != 0 {
@@ -519,6 +762,7 @@ func (s *SequentialAlternatives[I, O]) Execute(ctx context.Context, input I) (O,
 			s.cfg.logVariantFailure(nameSequentialAlternatives, v.Name(), err)
 			continue
 		}
+		storeLastGood[I, O](s.cfg, r.Value)
 		s.cfg.logOutcome(nameSequentialAlternatives, attempts > 1, nil)
 		s.cfg.endRequest(nameSequentialAlternatives, req, start, true, attempts > 1)
 		return r.Value, nil
@@ -526,9 +770,14 @@ func (s *SequentialAlternatives[I, O]) Execute(ctx context.Context, input I) (O,
 	if lastErr == nil {
 		lastErr = core.ErrAllVariantsFailed
 	}
+	if v, ok := serveFallback[I, O](ctx, s.cfg, nameSequentialAlternatives, req, input); ok {
+		s.cfg.logOutcome(nameSequentialAlternatives, true, nil)
+		s.cfg.endRequest(nameSequentialAlternatives, req, start, true, true)
+		return v, nil
+	}
 	s.cfg.logOutcome(nameSequentialAlternatives, attempts > 1, lastErr)
 	s.cfg.endRequest(nameSequentialAlternatives, req, start, false, attempts > 1)
-	return zero, fmt.Errorf("%w: %w", core.ErrAllVariantsFailed, lastErr)
+	return zero, degradedError(s.cfg, fmt.Errorf("%w: %w", core.ErrAllVariantsFailed, lastErr))
 }
 
 // Single wraps one variant as a non-redundant executor. Experiments use
@@ -545,19 +794,71 @@ func NewSingle[I, O any](v core.Variant[I, O], opts ...Option) (*Single[I, O], e
 	if v == nil {
 		return nil, core.ErrNoVariants
 	}
-	return &Single[I, O]{cfg: newConfig(opts), variant: v}, nil
+	cfg := newConfig(opts)
+	cfg.bindResilience(nameSingle)
+	return &Single[I, O]{cfg: cfg, variant: v}, nil
 }
 
-// Execute implements core.Executor.
+// Execute implements core.Executor. With a retry policy configured
+// (WithRetryPolicy) the variant is re-executed up to MaxAttempts times,
+// with backoff pacing and budget accounting between attempts — temporal
+// redundancy for the baseline executor.
 func (s *Single[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	req, start := s.cfg.startRequest(nameSingle)
-	r := runVariant(ctx, s.cfg, nameSingle, req, s.variant, input)
-	if !r.OK() {
-		s.cfg.logVariantFailure(nameSingle, r.Variant, r.Err)
-		s.cfg.logOutcome(nameSingle, false, r.Err)
+	ctx, done, admitErr := s.cfg.admit(ctx, nameSingle, req)
+	if admitErr != nil {
+		var zero O
+		s.cfg.endRequest(nameSingle, req, start, false, false)
+		return zero, admitErr
 	}
-	s.cfg.endRequest(nameSingle, req, start, r.OK(), !r.OK())
-	return r.Value, r.Err
+	defer done()
+	retrier := s.cfg.retrier
+	maxAttempts := 1
+	if retrier != nil {
+		maxAttempts = retrier.MaxAttempts()
+		if b := retrier.Budget(); b != nil {
+			b.Deposit()
+		}
+	}
+	var (
+		r        core.Result[O]
+		attempts int
+	)
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if attempt > 1 {
+			if b := retrier.Budget(); b != nil && !b.Withdraw() {
+				r.Err = fmt.Errorf("%w: %w", resilience.ErrRetryBudgetExhausted, r.Err)
+				break
+			}
+			if err := retrier.Pause(ctx, attempt); err != nil {
+				break
+			}
+			if o := s.cfg.observer; o != nil && req != 0 {
+				o.RetryAttempt(nameSingle, s.variant.Name(), req, attempt)
+			}
+		}
+		attempts++
+		r = runVariant(ctx, s.cfg, nameSingle, req, s.variant, input)
+		if r.OK() {
+			break
+		}
+		s.cfg.logVariantFailure(nameSingle, r.Variant, r.Err)
+	}
+	masked := r.OK() && attempts > 1
+	if r.OK() {
+		storeLastGood[I, O](s.cfg, r.Value)
+		s.cfg.logOutcome(nameSingle, masked, nil)
+		s.cfg.endRequest(nameSingle, req, start, true, masked)
+		return r.Value, nil
+	}
+	if v, ok := serveFallback[I, O](ctx, s.cfg, nameSingle, req, input); ok {
+		s.cfg.logOutcome(nameSingle, true, nil)
+		s.cfg.endRequest(nameSingle, req, start, true, true)
+		return v, nil
+	}
+	s.cfg.logOutcome(nameSingle, false, r.Err)
+	s.cfg.endRequest(nameSingle, req, start, false, true)
+	return r.Value, degradedError(s.cfg, r.Err)
 }
 
 // ObserverOf resolves the observer configured by a set of options. It
@@ -566,4 +867,29 @@ func (s *Single[I, O]) Execute(ctx context.Context, input I) (O, error) {
 // with the pattern executors without access to the unexported config.
 func ObserverOf(opts ...Option) obs.Observer {
 	return newConfig(opts).observer
+}
+
+// Policies are the resilience policies resolved from a set of options.
+// Composition layers that hand-roll their own invocation loops
+// (internal/composite's retry and alternates) use it to honor the same
+// breakers, budgets, bulkheads and deadlines as the pattern executors.
+type Policies struct {
+	Observer obs.Observer
+	Breakers *resilience.Breakers
+	Retrier  *resilience.Retrier
+	Bulkhead *resilience.Bulkhead
+	Deadline resilience.DeadlinePolicy
+}
+
+// PoliciesOf resolves the resilience policies configured by a set of
+// options.
+func PoliciesOf(opts ...Option) Policies {
+	c := newConfig(opts)
+	return Policies{
+		Observer: c.observer,
+		Breakers: c.breakers,
+		Retrier:  c.retrier,
+		Bulkhead: c.bulkhead,
+		Deadline: c.deadline,
+	}
 }

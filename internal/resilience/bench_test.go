@@ -1,0 +1,58 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The policy primitives sit on every request's hot path, so their
+// per-call cost is recorded alongside the observation-layer benchmarks
+// (scripts/bench.sh, BENCH_resilience.json).
+
+func BenchmarkBreakerAllowRecord(b *testing.B) {
+	br := NewBreaker("bench", BreakerConfig{ConsecutiveFailures: 1 << 30})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tok, err := br.Allow()
+		if err != nil {
+			b.Fatal(err)
+		}
+		br.Record(tok, nil)
+	}
+}
+
+func BenchmarkBulkheadAcquireRelease(b *testing.B) {
+	bh := NewBulkhead(BulkheadConfig{MaxConcurrent: 1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := bh.Acquire(ctx); err != nil {
+			b.Fatal(err)
+		}
+		bh.Release()
+	}
+}
+
+func BenchmarkRetrierBackoff(b *testing.B) {
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		Jitter:      0.5,
+		Seed:        1,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Backoff(i%4 + 1)
+	}
+}
+
+func BenchmarkRetryBudgetDepositWithdraw(b *testing.B) {
+	bud := NewRetryBudget(100, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bud.Deposit()
+		bud.Withdraw()
+	}
+}

@@ -1,0 +1,90 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// BulkheadConfig parameterizes a bulkhead.
+type BulkheadConfig struct {
+	// MaxConcurrent is the number of requests allowed to execute at
+	// once. Values < 1 default to 1.
+	MaxConcurrent int
+	// MaxWaiting is the number of requests allowed to wait for an
+	// execution slot; a request arriving when the queue is full is shed
+	// immediately with ErrShedded. Zero means no queue: at capacity,
+	// shed right away.
+	MaxWaiting int
+}
+
+// Bulkhead bounds the concurrency of one executor and sheds overload
+// fast: requests beyond MaxConcurrent wait in a bounded queue (their
+// wait bounded by the request context's deadline — deadline-aware
+// admission), and requests beyond MaxConcurrent+MaxWaiting fail
+// immediately with a typed ErrShedded instead of queueing to death.
+//
+// Bulkhead is safe for concurrent use. Acquire and Release must be
+// paired; the pattern executors do this via pattern.WithBulkhead.
+type Bulkhead struct {
+	sem        chan struct{}
+	waiting    atomic.Int64
+	maxWaiting int64
+	sheds      atomic.Int64
+}
+
+// NewBulkhead returns a bulkhead with the given bounds.
+func NewBulkhead(cfg BulkheadConfig) *Bulkhead {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.MaxWaiting < 0 {
+		cfg.MaxWaiting = 0
+	}
+	return &Bulkhead{
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		maxWaiting: int64(cfg.MaxWaiting),
+	}
+}
+
+// Acquire admits the request or rejects it. It returns nil when a slot
+// was taken (pair with Release), an error wrapping ErrShedded
+// immediately when the wait queue is full, and an error wrapping both
+// ErrShedded and the context error when the caller's deadline expires
+// while queued.
+func (b *Bulkhead) Acquire(ctx context.Context) error {
+	select {
+	case b.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if b.maxWaiting <= 0 {
+		b.sheds.Add(1)
+		return fmt.Errorf("%w: at concurrency limit", ErrShedded)
+	}
+	if b.waiting.Add(1) > b.maxWaiting {
+		b.waiting.Add(-1)
+		b.sheds.Add(1)
+		return fmt.Errorf("%w: wait queue full", ErrShedded)
+	}
+	defer b.waiting.Add(-1)
+	select {
+	case b.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		b.sheds.Add(1)
+		return fmt.Errorf("%w: deadline while queued: %w", ErrShedded, ctx.Err())
+	}
+}
+
+// Release returns an execution slot taken by a successful Acquire.
+func (b *Bulkhead) Release() { <-b.sem }
+
+// InFlight returns the number of requests currently executing.
+func (b *Bulkhead) InFlight() int { return len(b.sem) }
+
+// Waiting returns the number of requests currently queued.
+func (b *Bulkhead) Waiting() int64 { return b.waiting.Load() }
+
+// Sheds returns how many requests the bulkhead has rejected.
+func (b *Bulkhead) Sheds() int64 { return b.sheds.Load() }

@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBulkheadShedsAtConcurrencyLimit(t *testing.T) {
+	b := NewBulkhead(BulkheadConfig{MaxConcurrent: 1, MaxWaiting: 0})
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	err := b.Acquire(context.Background())
+	if !errors.Is(err, ErrShedded) {
+		t.Fatalf("second Acquire = %v, want ErrShedded", err)
+	}
+	if got := b.Sheds(); got != 1 {
+		t.Fatalf("Sheds = %d, want 1", got)
+	}
+	b.Release()
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	if got := b.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+}
+
+func TestBulkheadQueueAdmitsOnRelease(t *testing.T) {
+	b := NewBulkhead(BulkheadConfig{MaxConcurrent: 1, MaxWaiting: 1})
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- b.Acquire(context.Background()) }()
+	// Wait for the second request to be queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second Acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A third request overflows the queue and is shed immediately.
+	if err := b.Acquire(context.Background()); !errors.Is(err, ErrShedded) {
+		t.Fatalf("overflow Acquire = %v, want ErrShedded", err)
+	}
+	b.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued Acquire after Release = %v, want nil", err)
+	}
+}
+
+func TestBulkheadDeadlineWhileQueued(t *testing.T) {
+	b := NewBulkhead(BulkheadConfig{MaxConcurrent: 1, MaxWaiting: 4})
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := b.Acquire(ctx)
+	if !errors.Is(err, ErrShedded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Acquire = %v, want ErrShedded wrapping DeadlineExceeded", err)
+	}
+	if got := b.Waiting(); got != 0 {
+		t.Fatalf("Waiting after shed = %d, want 0", got)
+	}
+}
+
+func TestBulkheadConfigDefaults(t *testing.T) {
+	b := NewBulkhead(BulkheadConfig{MaxConcurrent: 0, MaxWaiting: -1})
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// MaxConcurrent defaulted to 1 and MaxWaiting to 0: the next request
+	// is shed right away.
+	if err := b.Acquire(context.Background()); !errors.Is(err, ErrShedded) {
+		t.Fatalf("Acquire = %v, want ErrShedded", err)
+	}
+}

@@ -1,0 +1,76 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+func TestLadderEmptyServesNothing(t *testing.T) {
+	l := NewLadder[int, int]()
+	l.Store(42) // no-op: the cache rung is not enabled
+	if _, _, err := l.Serve(context.Background(), 1); err == nil {
+		t.Fatal("empty ladder served")
+	}
+}
+
+func TestLadderCacheLastGood(t *testing.T) {
+	l := NewLadder[int, int]().CacheLastGood()
+	if _, _, err := l.Serve(context.Background(), 1); err == nil {
+		t.Fatal("cache rung served before any Store")
+	}
+	l.Store(42)
+	l.Store(43)
+	v, source, err := l.Serve(context.Background(), 1)
+	if err != nil || v != 43 || source != "cache" {
+		t.Fatalf("Serve = (%d, %q, %v), want (43, cache, nil)", v, source, err)
+	}
+	if got := l.CacheServes(); got != 1 {
+		t.Fatalf("CacheServes = %d, want 1", got)
+	}
+	if last, ok := l.LastGood(); !ok || last != 43 {
+		t.Fatalf("LastGood = (%d, %v), want (43, true)", last, ok)
+	}
+}
+
+func TestLadderDegradedVariantRung(t *testing.T) {
+	degraded := core.NewVariant("degraded", func(_ context.Context, x int) (int, error) {
+		return -x, nil
+	})
+	l := NewLadder[int, int]().DegradedVariant(degraded)
+	v, source, err := l.Serve(context.Background(), 7)
+	if err != nil || v != -7 || source != "degraded-variant" {
+		t.Fatalf("Serve = (%d, %q, %v), want (-7, degraded-variant, nil)", v, source, err)
+	}
+	if got := l.DegradedServes(); got != 1 {
+		t.Fatalf("DegradedServes = %d, want 1", got)
+	}
+}
+
+func TestLadderCachePrecedesDegradedVariant(t *testing.T) {
+	degraded := core.NewVariant("degraded", func(_ context.Context, x int) (int, error) {
+		return -x, nil
+	})
+	l := NewLadder[int, int]().CacheLastGood().DegradedVariant(degraded)
+	l.Store(100)
+	v, source, err := l.Serve(context.Background(), 7)
+	if err != nil || v != 100 || source != "cache" {
+		t.Fatalf("Serve = (%d, %q, %v), want (100, cache, nil)", v, source, err)
+	}
+}
+
+func TestLadderDegradedVariantFailurePropagates(t *testing.T) {
+	bad := errors.New("degraded variant down")
+	degraded := core.NewVariant("degraded", func(_ context.Context, _ int) (int, error) {
+		return 0, bad
+	})
+	l := NewLadder[int, int]().DegradedVariant(degraded)
+	if _, _, err := l.Serve(context.Background(), 1); !errors.Is(err, bad) {
+		t.Fatalf("Serve = %v, want wrapped %v", err, bad)
+	}
+	if got := l.DegradedServes(); got != 0 {
+		t.Fatalf("DegradedServes = %d, want 0", got)
+	}
+}

@@ -1,0 +1,203 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// RetryPolicy parameterizes budgeted, backed-off retries. The zero
+// value means "one attempt, no pacing" — the compatibility default that
+// keeps legacy retry loops (composite.Retry slept 0 between attempts)
+// behaving exactly as before.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// Zero or negative means 1 where an attempt count is required
+	// (Single, composite.Retry's policy form) and "no cap" where the
+	// attempt count comes from elsewhere (sequential alternatives try
+	// each configured variant).
+	MaxAttempts int
+	// BaseBackoff is the pause before the first retry; each further
+	// retry multiplies it by Multiplier (exponential backoff). Zero
+	// keeps the legacy behavior: no sleep between attempts.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the grown backoff; zero means no cap.
+	MaxBackoff time.Duration
+	// Multiplier is the backoff growth factor; values <= 1 mean 2.
+	Multiplier float64
+	// Jitter is the fraction of each backoff randomized in [0, 1]: the
+	// pause becomes d*(1-Jitter) + u*d*Jitter with u uniform in [0,1).
+	// Draws come from a deterministic xrand stream seeded by Seed.
+	Jitter float64
+	// Seed seeds the jitter stream (xrand); the zero seed is valid.
+	Seed uint64
+	// Budget, if non-nil, is a shared retry budget: every retry
+	// withdraws one token and retries stop (with
+	// ErrRetryBudgetExhausted) when the budget is empty.
+	Budget *RetryBudget
+}
+
+// Retrier is a prepared RetryPolicy: it owns the (locked) jitter stream
+// so one policy value can pace concurrent executors deterministically.
+// Build it with NewRetrier; pattern.WithRetryPolicy does so internally.
+type Retrier struct {
+	p   RetryPolicy
+	mu  sync.Mutex
+	rng *xrand.Rand
+}
+
+// NewRetrier prepares a policy for concurrent use.
+func NewRetrier(p RetryPolicy) *Retrier {
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	r := &Retrier{p: p}
+	if p.Jitter > 0 {
+		r.rng = xrand.New(p.Seed)
+	}
+	return r
+}
+
+// MaxAttempts returns the configured total attempt count, at least 1.
+func (r *Retrier) MaxAttempts() int {
+	if r.p.MaxAttempts < 1 {
+		return 1
+	}
+	return r.p.MaxAttempts
+}
+
+// AttemptCap returns the configured attempt count without defaulting:
+// zero means the policy does not cap attempts (sequential alternatives
+// then try every configured variant).
+func (r *Retrier) AttemptCap() int {
+	if r.p.MaxAttempts < 1 {
+		return 0
+	}
+	return r.p.MaxAttempts
+}
+
+// Budget returns the shared retry budget, or nil.
+func (r *Retrier) Budget() *RetryBudget { return r.p.Budget }
+
+// Backoff returns the pause before the given attempt (attempts count
+// from 1 for the primary, so the first retry is attempt 2). Zero base
+// backoff always yields zero — the legacy compatibility default.
+func (r *Retrier) Backoff(attempt int) time.Duration {
+	if r.p.BaseBackoff <= 0 || attempt <= 1 {
+		return 0
+	}
+	d := float64(r.p.BaseBackoff)
+	for i := 0; i < attempt-2; i++ {
+		d *= r.p.Multiplier
+		if r.p.MaxBackoff > 0 && d >= float64(r.p.MaxBackoff) {
+			d = float64(r.p.MaxBackoff)
+			break
+		}
+	}
+	if r.p.MaxBackoff > 0 && d > float64(r.p.MaxBackoff) {
+		d = float64(r.p.MaxBackoff)
+	}
+	if r.p.Jitter > 0 {
+		r.mu.Lock()
+		u := r.rng.Float64()
+		r.mu.Unlock()
+		d = d*(1-r.p.Jitter) + u*d*r.p.Jitter
+	}
+	return time.Duration(d)
+}
+
+// Pause sleeps the backoff before the given attempt, honoring context
+// cancellation. A zero backoff returns immediately without touching a
+// timer (so the compatibility default adds no timer churn).
+func (r *Retrier) Pause(ctx context.Context, attempt int) error {
+	d := r.Backoff(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RetryBudget is a deterministic, clock-free retry budget in the
+// Finagle style: every request deposits DepositPerRequest tokens
+// (capped at Cap), and every retry withdraws one. When the balance
+// drops below one token, retries are denied until fresh requests
+// deposit again — so retry amplification is bounded to roughly
+// DepositPerRequest extra executions per request under sustained
+// failure, instead of multiplying the load when the system is already
+// unhealthy.
+type RetryBudget struct {
+	mu      sync.Mutex
+	balance float64
+	cap     float64
+	deposit float64
+
+	withdrawals uint64
+	denials     uint64
+}
+
+// NewRetryBudget returns a budget with the given token capacity and
+// per-request deposit. The budget starts full, so a cold burst of
+// retries up to cap is allowed. Non-positive arguments default to
+// cap 10, deposit 0.1 (10% retry ratio).
+func NewRetryBudget(cap, depositPerRequest float64) *RetryBudget {
+	if cap <= 0 {
+		cap = 10
+	}
+	if depositPerRequest <= 0 {
+		depositPerRequest = 0.1
+	}
+	return &RetryBudget{balance: cap, cap: cap, deposit: depositPerRequest}
+}
+
+// Deposit credits one request's worth of retry allowance.
+func (b *RetryBudget) Deposit() {
+	b.mu.Lock()
+	b.balance += b.deposit
+	if b.balance > b.cap {
+		b.balance = b.cap
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw takes one retry token, reporting whether the retry is
+// allowed.
+func (b *RetryBudget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.balance < 1 {
+		b.denials++
+		return false
+	}
+	b.balance--
+	b.withdrawals++
+	return true
+}
+
+// Balance returns the current token balance.
+func (b *RetryBudget) Balance() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balance
+}
+
+// Denials returns how many retries the budget has denied.
+func (b *RetryBudget) Denials() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denials
+}

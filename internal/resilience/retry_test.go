@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRetrierZeroValueIsLegacyDefault(t *testing.T) {
+	r := NewRetrier(RetryPolicy{})
+	if got := r.MaxAttempts(); got != 1 {
+		t.Errorf("MaxAttempts = %d, want 1", got)
+	}
+	if got := r.AttemptCap(); got != 0 {
+		t.Errorf("AttemptCap = %d, want 0 (uncapped)", got)
+	}
+	for attempt := 1; attempt <= 5; attempt++ {
+		if d := r.Backoff(attempt); d != 0 {
+			t.Errorf("Backoff(%d) = %v, want 0", attempt, d)
+		}
+	}
+	if err := r.Pause(context.Background(), 2); err != nil {
+		t.Errorf("Pause = %v, want nil", err)
+	}
+}
+
+func TestBackoffExponentialGrowthAndCap(t *testing.T) {
+	r := NewRetrier(RetryPolicy{
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+	})
+	want := []time.Duration{
+		0,                     // attempt 1: the primary, no pause
+		10 * time.Millisecond, // first retry
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		40 * time.Millisecond, // capped
+		40 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := r.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicPerSeed(t *testing.T) {
+	policy := RetryPolicy{
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  time.Second,
+		Jitter:      0.5,
+		Seed:        42,
+	}
+	a, b := NewRetrier(policy), NewRetrier(policy)
+	for attempt := 2; attempt <= 10; attempt++ {
+		da, db := a.Backoff(attempt), b.Backoff(attempt)
+		if da != db {
+			t.Fatalf("same-seed retriers diverged at attempt %d: %v vs %v", attempt, da, db)
+		}
+		// The jittered pause stays within [d*(1-J), d].
+		base := time.Duration(float64(time.Millisecond) * pow2(attempt-2))
+		if base > time.Second {
+			base = time.Second
+		}
+		if da < base/2 || da > base {
+			t.Errorf("Backoff(%d) = %v outside [%v, %v]", attempt, da, base/2, base)
+		}
+	}
+
+	other := NewRetrier(RetryPolicy{
+		BaseBackoff: time.Millisecond, MaxBackoff: time.Second, Jitter: 0.5, Seed: 43,
+	})
+	same := true
+	for attempt := 2; attempt <= 10; attempt++ {
+		if a2 := NewRetrier(policy); a2.Backoff(attempt) != other.Backoff(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter sequences")
+	}
+}
+
+func pow2(n int) float64 {
+	d := 1.0
+	for i := 0; i < n; i++ {
+		d *= 2
+	}
+	return d
+}
+
+func TestJitterClamped(t *testing.T) {
+	over := NewRetrier(RetryPolicy{BaseBackoff: time.Millisecond, Jitter: 5})
+	if d := over.Backoff(2); d > time.Millisecond {
+		t.Errorf("Jitter > 1 not clamped: Backoff(2) = %v", d)
+	}
+	under := NewRetrier(RetryPolicy{BaseBackoff: time.Millisecond, Jitter: -1})
+	if d := under.Backoff(2); d != time.Millisecond {
+		t.Errorf("Jitter < 0 not clamped to 0: Backoff(2) = %v, want 1ms", d)
+	}
+}
+
+func TestPauseHonorsContextCancellation(t *testing.T) {
+	r := NewRetrier(RetryPolicy{BaseBackoff: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := r.Pause(ctx, 2); err != context.Canceled {
+		t.Fatalf("Pause on canceled context = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Pause blocked %v on a canceled context", elapsed)
+	}
+}
+
+func TestRetryBudgetWithdrawAndDenial(t *testing.T) {
+	b := NewRetryBudget(2, 1)
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("full budget denied a withdrawal")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty budget allowed a withdrawal")
+	}
+	if got := b.Denials(); got != 1 {
+		t.Fatalf("Denials = %d, want 1", got)
+	}
+	b.Deposit() // +1 token
+	if !b.Withdraw() {
+		t.Fatal("budget denied a withdrawal after a deposit")
+	}
+}
+
+func TestRetryBudgetCapAndDefaults(t *testing.T) {
+	b := NewRetryBudget(3, 1)
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if got := b.Balance(); got != 3 {
+		t.Fatalf("Balance = %v, want capped at 3", got)
+	}
+	d := NewRetryBudget(0, 0)
+	if got := d.Balance(); got != 10 {
+		t.Fatalf("default Balance = %v, want 10", got)
+	}
+	d.Withdraw()
+	d.Deposit()
+	if got := d.Balance(); got != 9.1 {
+		t.Fatalf("Balance after withdraw+deposit = %v, want 9.1 (default deposit 0.1)", got)
+	}
+}

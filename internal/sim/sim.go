@@ -64,6 +64,7 @@ func registry() []Experiment {
 		realWorkloadExperiment(),
 		faultMatrixExperiment(),
 		availabilityExperiment(),
+		resilienceExperiment(),
 	}
 }
 

@@ -1,0 +1,125 @@
+package redundancy
+
+import (
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+	"github.com/softwarefaults/redundancy/internal/resilience"
+)
+
+// The resilience-policy layer: circuit breakers, budgeted backed-off
+// retries, bulkhead load shedding, default deadlines, and graceful
+// degradation, attached to any pattern executor through options. The
+// policies complement the paper's redundancy patterns with *preventive*
+// triggers — they act before (or instead of) executing a variant that is
+// known-bad, overloaded, or out of time, where the adjudicators act on
+// results after the fact. Every policy decision is observable: breakers
+// emit BreakerStateChanged, shed requests emit RequestShed, and ladder
+// serves emit DegradedServe, all flowing into the same Observer layer as
+// the executors' own spans.
+type (
+	// Breakers is a per-variant circuit-breaker set shared by the
+	// executors it is attached to (pattern option WithBreaker).
+	Breakers = resilience.Breakers
+	// Breaker is one variant's circuit breaker (closed → open →
+	// half-open), usable standalone via NewBreaker.
+	Breaker = resilience.Breaker
+	// BreakerConfig parameterizes circuit breakers; the zero value
+	// selects the documented defaults.
+	BreakerConfig = resilience.BreakerConfig
+	// BreakerToken correlates one admitted call with the breaker state
+	// that admitted it.
+	BreakerToken = resilience.Token
+	// BreakerState is a circuit breaker's state (closed, open, half-open).
+	BreakerState = obs.BreakerState
+	// RetryPolicy parameterizes budgeted retries with exponential backoff
+	// and seeded jitter. The zero value is the legacy-compatible default:
+	// immediate re-invocation, no budget, no cap.
+	RetryPolicy = resilience.RetryPolicy
+	// RetryBudget is a deterministic shared retry budget (deposit per
+	// request, withdraw per retry).
+	RetryBudget = resilience.RetryBudget
+	// Bulkhead bounds an executor's concurrency and sheds overload fast.
+	Bulkhead = resilience.Bulkhead
+	// BulkheadConfig parameterizes a bulkhead.
+	BulkheadConfig = resilience.BulkheadConfig
+	// DeadlinePolicy sets default request and per-variant deadlines.
+	DeadlinePolicy = resilience.DeadlinePolicy
+	// FallbackLadder is the degradation ladder: cached last-good value,
+	// then a degraded variant, then a typed failure.
+	FallbackLadder[I, O any] = resilience.Ladder[I, O]
+)
+
+// Circuit-breaker states.
+const (
+	// BreakerClosed: calls flow normally.
+	BreakerClosed = obs.BreakerClosed
+	// BreakerOpen: calls are rejected fast.
+	BreakerOpen = obs.BreakerOpen
+	// BreakerHalfOpen: one probe at a time tests recovery.
+	BreakerHalfOpen = obs.BreakerHalfOpen
+)
+
+// Typed resilience errors, matchable with errors.Is.
+var (
+	// ErrBreakerOpen: the variant's circuit breaker rejected the call.
+	ErrBreakerOpen = resilience.ErrBreakerOpen
+	// ErrShedded: admission control rejected the request.
+	ErrShedded = resilience.ErrShedded
+	// ErrDegraded: the executor failed and the degradation ladder could
+	// not serve.
+	ErrDegraded = resilience.ErrDegraded
+	// ErrRetryBudgetExhausted: the shared retry budget denied a retry.
+	ErrRetryBudgetExhausted = resilience.ErrRetryBudgetExhausted
+)
+
+// NewBreakers returns a circuit-breaker set that lazily creates one
+// breaker per variant; attach it with WithBreaker.
+func NewBreakers(cfg BreakerConfig) *Breakers { return resilience.NewBreakers(cfg) }
+
+// NewBreaker returns a standalone closed breaker for one variant.
+func NewBreaker(variant string, cfg BreakerConfig) *Breaker {
+	return resilience.NewBreaker(variant, cfg)
+}
+
+// NewRetryBudget returns a shared retry budget with the given token
+// capacity and per-request deposit (non-positive arguments select the
+// defaults: capacity 10, deposit 0.1).
+func NewRetryBudget(capacity, depositPerRequest float64) *RetryBudget {
+	return resilience.NewRetryBudget(capacity, depositPerRequest)
+}
+
+// NewBulkhead returns a bulkhead with the given concurrency and wait
+// queue bounds; attach it with WithBulkhead.
+func NewBulkhead(cfg BulkheadConfig) *Bulkhead { return resilience.NewBulkhead(cfg) }
+
+// NewFallbackLadder returns an empty degradation ladder; enable rungs
+// with CacheLastGood and DegradedVariant, attach it with WithFallback.
+func NewFallbackLadder[I, O any]() *FallbackLadder[I, O] {
+	return resilience.NewLadder[I, O]()
+}
+
+// WithBreaker attaches a circuit-breaker set to a pattern executor.
+func WithBreaker(b *Breakers) PatternOption { return pattern.WithBreaker(b) }
+
+// WithRetryPolicy attaches a retry pacing policy: SequentialAlternatives
+// paces and budgets its alternates, Single re-executes its variant up to
+// MaxAttempts.
+func WithRetryPolicy(p RetryPolicy) PatternOption { return pattern.WithRetryPolicy(p) }
+
+// WithBulkhead bounds the executor's concurrency; overload is shed fast
+// with ErrShedded.
+func WithBulkhead(b *Bulkhead) PatternOption { return pattern.WithBulkhead(b) }
+
+// WithDeadline sets default request and per-variant deadlines, so a hung
+// variant cannot wedge the executor even when the caller's context has
+// no deadline.
+func WithDeadline(request, variant time.Duration) PatternOption {
+	return pattern.WithDeadline(DeadlinePolicy{Request: request, Variant: variant})
+}
+
+// WithFallback attaches a degradation ladder to a pattern executor.
+func WithFallback[I, O any](l *FallbackLadder[I, O]) PatternOption {
+	return pattern.WithFallback(l)
+}

@@ -1,38 +1,58 @@
 #!/bin/sh
 # bench.sh runs the hot-path benchmarks (observation layer, health
-# diagnosis, pattern executors, RNG, and the top-level ablation suite)
-# and records the results as JSON in BENCH_obs.json so CI can archive
-# them and successive runs can be diffed.
+# diagnosis, pattern executors, resilience policies, RNG, and the
+# top-level ablation and chaos suites) and records the results as JSON
+# so CI can archive them and successive runs can be diffed.
 #
-# Usage: scripts/bench.sh [output.json]
+# Two files come out of one benchmark run: the resilience-policy
+# results (the internal/resilience primitives plus the root
+# BenchmarkChaosCampaign* throughput pair, with/without the bulkhead)
+# land in BENCH_resilience.json; everything else stays in
+# BENCH_obs.json as before.
+#
+# Usage: scripts/bench.sh [obs-output.json [resilience-output.json]]
 # Environment: BENCHTIME overrides -benchtime (e.g. BENCHTIME=100x).
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_obs.json}"
+out_obs="${1:-BENCH_obs.json}"
+out_res="${2:-BENCH_resilience.json}"
 benchtime="${BENCHTIME:-1s}"
-pkgs=". ./internal/obs/... ./internal/pattern ./internal/xrand"
+pkgs=". ./internal/obs/... ./internal/pattern ./internal/resilience ./internal/xrand"
 
 # shellcheck disable=SC2086  # pkgs is a deliberate word list
 raw="$(go test -bench=. -benchmem -run='^$' -benchtime="$benchtime" $pkgs)"
 printf '%s\n' "$raw"
 
-printf '%s\n' "$raw" | awk '
+# tojson converts `go test -bench` output to a JSON array. $1 selects
+# which results to keep: "resilience" takes the resilience package and
+# the chaos-campaign throughput benchmarks, "obs" takes the rest.
+tojson() {
+    printf '%s\n' "$raw" | awk -v mode="$1" '
 BEGIN { print "[" }
 /^pkg:/ { pkg = $2 }
 /^Benchmark/ {
-    bop = ""; aop = ""
+    res = (pkg ~ /\/internal\/resilience$/ || $1 ~ /^BenchmarkChaosCampaign/)
+    if ((mode == "resilience") != res) next
+    bop = ""; aop = ""; rps = ""
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op") bop = $(i - 1)
         if ($i == "allocs/op") aop = $(i - 1)
+        if ($i == "req/s") rps = $(i - 1)
     }
     if (n++) printf ",\n"
     printf "  {\"package\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", pkg, $1, $2, $3
+    if (rps != "") printf ",\"req_per_s\":%s", rps
     if (bop != "") printf ",\"bytes_per_op\":%s", bop
     if (aop != "") printf ",\"allocs_per_op\":%s", aop
     printf "}"
 }
 END { if (n) printf "\n"; print "]" }
-' >"$out"
+'
+}
 
-echo "wrote $(grep -c '"name"' "$out") benchmark results to $out"
+tojson obs >"$out_obs"
+tojson resilience >"$out_res"
+
+echo "wrote $(grep -c '"name"' "$out_obs") benchmark results to $out_obs"
+echo "wrote $(grep -c '"name"' "$out_res") benchmark results to $out_res"
