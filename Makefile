@@ -14,8 +14,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Runs the hot-path benchmarks and writes BENCH_obs.json plus
-# BENCH_resilience.json (see scripts/bench.sh; BENCHTIME=100x makes a
-# quick local pass).
+# Runs the hot-path benchmarks and writes BENCH_obs.json,
+# BENCH_resilience.json, and BENCH_recovery.json (see scripts/bench.sh;
+# BENCHTIME=100x makes a quick local pass).
 bench:
 	./scripts/bench.sh

@@ -63,6 +63,13 @@ func DefaultChaosCampaign(seed uint64) *ChaosCampaign {
 	return faultmodel.DefaultCampaign(seed)
 }
 
+// RecoveryChaosCampaign is the built-in kill schedule used by
+// `faultsim -crash`: phases of scheduled panics and crash errors
+// against a supervised worker, derived from the seed.
+func RecoveryChaosCampaign(seed uint64) *ChaosCampaign {
+	return faultmodel.RecoveryCampaign(seed)
+}
+
 // WithChaosRequestIndex tags a context with the campaign-global request
 // index; chaos variants read it to decide activation. RunChaosCampaign
 // tags every request it issues — use this only when driving chaos

@@ -1,0 +1,257 @@
+package redundancy_test
+
+// The crash-recovery acceptance test: a seeded kill schedule of panics
+// and crash errors against a supervised worker whose state lives in a
+// durable WAL-backed checkpoint store. It checks the end-to-end claims:
+// no acknowledged write is ever lost across any kill, every kill maps
+// to exactly one supervised restart with a measured MTTR sample, a
+// persistent failure escalates instead of restarting forever, panics
+// injected into pattern executors are contained as variant errors, and
+// no goroutine survives the run.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	redundancy "github.com/softwarefaults/redundancy"
+)
+
+type crashAccState struct {
+	Sum   int64
+	Count int
+}
+
+func TestCrashRecoveryAcceptance(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	dir := t.TempDir()
+	camp := redundancy.RecoveryChaosCampaign(11)
+	total := camp.Total()
+
+	collector := redundancy.NewCollector()
+	apply := func(s crashAccState, op int) (crashAccState, error) {
+		return crashAccState{Sum: s.Sum + int64(op), Count: s.Count + 1}, nil
+	}
+
+	var (
+		runner  *redundancy.DurableRunner[crashAccState, int]
+		next    int
+		acked   int
+		fired   = make(map[int]bool)
+		kills   int
+		reopens int
+		unsafe  bool
+	)
+	sup := redundancy.NewSupervisor(redundancy.SupervisorOptions{
+		Name:      "crash-acceptance",
+		Intensity: redundancy.RestartIntensity{MaxRestarts: total, Window: time.Minute},
+		Observer:  collector,
+	})
+	if err := sup.Add(redundancy.ChildSpec{
+		Name:    "worker",
+		Restart: redundancy.RestartTransient,
+		Init: func(context.Context) error {
+			r, err := redundancy.OpenDurableRunner(dir, crashAccState{}, apply,
+				redundancy.DurableOptions{SnapshotInterval: 32, Observer: collector})
+			if err != nil {
+				return err
+			}
+			reopens++
+			// The acceptance claim, checked after every single kill: the
+			// recovered state is exactly the acknowledged prefix.
+			if r.State().Count != acked {
+				unsafe = true
+			}
+			runner = r
+			next = acked
+			return nil
+		},
+		Run: func(ctx context.Context) error {
+			for next < total {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				req := uint64(next)
+				if !fired[next] && camp.PanicAt(req, "worker") {
+					fired[next] = true
+					kills++
+					panic(fmt.Sprintf("scheduled panic at op %d", next))
+				}
+				if !fired[next] && camp.CrashAt(req, "worker") {
+					fired[next] = true
+					kills++
+					return fmt.Errorf("scheduled kill at op %d", next)
+				}
+				if _, err := runner.Step(int(req % 31)); err != nil {
+					return err
+				}
+				acked++
+				next++
+			}
+			return runner.Close()
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Serve(context.Background()); err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+
+	if kills == 0 {
+		t.Fatal("campaign scheduled no kills; the test exercised nothing")
+	}
+	if unsafe {
+		t.Error("an acknowledged write went missing after a restart")
+	}
+	if acked != total {
+		t.Errorf("acknowledged %d of %d ops", acked, total)
+	}
+	if got := sup.Restarts("worker"); got != kills {
+		t.Errorf("restarts = %d, want %d (one per kill)", got, kills)
+	}
+	if reopens != kills+1 {
+		t.Errorf("store opens = %d, want kills+1 = %d", reopens, kills+1)
+	}
+
+	// A cold reopen — the next process incarnation — sees the full
+	// workload.
+	final, err := redundancy.OpenDurableRunner(dir, crashAccState{}, apply,
+		redundancy.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	var wantSum int64
+	for i := 0; i < total; i++ {
+		wantSum += int64(uint64(i) % 31)
+	}
+	if got := final.State(); got.Count != total || got.Sum != wantSum {
+		t.Errorf("recovered state = %+v, want count %d sum %d", got, total, wantSum)
+	}
+
+	// Every kill produced an MTTR sample within budget, and the durable
+	// store reported its replays and checkpoints to the same collector.
+	var snap, store redundancy.ExecutorObservation
+	for _, e := range collector.Snapshot() {
+		switch e.Executor {
+		case "crash-acceptance":
+			snap = e
+		case "durable":
+			store = e
+		}
+	}
+	if int(snap.Restarts) != kills || int(snap.MTTR.Count) != kills {
+		t.Errorf("obs restarts=%d mttr samples=%d, want %d each", snap.Restarts, snap.MTTR.Count, kills)
+	}
+	if snap.MTTR.P99 > time.Second {
+		t.Errorf("p99 MTTR = %v, over the 1s budget", snap.MTTR.P99)
+	}
+	if store.WALReplays != int64(kills)+1 {
+		t.Errorf("WAL replays = %d, want %d", store.WALReplays, kills+1)
+	}
+	if store.Checkpoints == 0 {
+		t.Error("no checkpoints recorded during the run")
+	}
+
+	// No goroutine survives the campaign.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines: %d before, %d after", before, got)
+	}
+}
+
+func TestCrashEscalationAcceptance(t *testing.T) {
+	// A persistent (Bohrbug) failure must exhaust the restart budget and
+	// escalate rather than thrash forever.
+	collector := redundancy.NewCollector()
+	sup := redundancy.NewSupervisor(redundancy.SupervisorOptions{
+		Name:      "crash-escalation",
+		Intensity: redundancy.RestartIntensity{MaxRestarts: 3, Window: time.Minute},
+		Observer:  collector,
+	})
+	if err := sup.Add(redundancy.ChildSpec{
+		Name: "doomed",
+		Run:  func(context.Context) error { panic("deterministic failure") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := sup.Serve(context.Background())
+	if !errors.Is(err, redundancy.ErrSupervisorEscalated) {
+		t.Fatalf("Serve = %v, want ErrSupervisorEscalated", err)
+	}
+	if !errors.Is(err, redundancy.ErrChildPanicked) {
+		t.Errorf("escalation should carry the panic cause: %v", err)
+	}
+	if got := sup.Restarts("doomed"); got != 3 {
+		t.Errorf("restarts before escalation = %d, want 3", got)
+	}
+	for _, e := range collector.Snapshot() {
+		if e.Executor == "crash-escalation" && e.Escalations != 1 {
+			t.Errorf("escalations observed = %d, want 1", e.Escalations)
+		}
+	}
+}
+
+func TestCrashPanicContainmentThroughPatterns(t *testing.T) {
+	// A chaos phase that panics inside variants: the pattern executor
+	// must contain the panic as a variant failure and serve from the
+	// healthy alternate — redundancy over a crashing unit.
+	camp := &redundancy.ChaosCampaign{
+		Name: "panic-containment",
+		Seed: 5,
+		Phases: []redundancy.ChaosPhase{
+			{Name: "panics", Requests: 200, Panics: 0.3},
+		},
+	}
+	flaky := redundancy.NewVariant("flaky", func(_ context.Context, x int) (int, error) {
+		return x, nil
+	})
+	steady := redundancy.NewVariant("steady", func(_ context.Context, x int) (int, error) {
+		return x, nil
+	})
+	vs := redundancy.ChaosVariants(camp, []redundancy.Variant[int, int]{flaky})
+	vs = append(vs, steady)
+	accept := func(_ int, _ int) error { return nil }
+	exec, err := redundancy.NewSequentialAlternatives(vs, accept, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := redundancy.RunChaosCampaign(context.Background(), camp, exec,
+		func(req uint64) int { return int(req) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := rep.Totals()
+	if totals.Succeeded != camp.Total() {
+		t.Errorf("succeeded %d of %d: injected panics leaked past the executor",
+			totals.Succeeded, camp.Total())
+	}
+
+	// Direct check that the contained panic surfaces as the sentinel, not
+	// as a crash of the calling goroutine.
+	single, err := redundancy.NewSingle(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPanic := false
+	for req := uint64(0); req < 200 && !sawPanic; req++ {
+		ctx := redundancy.WithChaosRequestIndex(context.Background(), req)
+		if _, err := single.Execute(ctx, int(req)); err != nil {
+			if !strings.Contains(err.Error(), "panic") {
+				t.Fatalf("contained failure should mention the panic: %v", err)
+			}
+			sawPanic = true
+		}
+	}
+	if !sawPanic {
+		t.Error("no panic was injected in 200 requests at 30%")
+	}
+}

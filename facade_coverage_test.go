@@ -197,6 +197,97 @@ func TestFacadeEnvironmentHelpers(t *testing.T) {
 	}
 }
 
+func TestFacadeSuperviseWrappers(t *testing.T) {
+	dir := t.TempDir()
+
+	// Durable checkpoint store through the facade: acknowledged writes
+	// survive a close/reopen cycle.
+	add := func(s int, op int) (int, error) { return s + op, nil }
+	r, err := redundancy.OpenDurableRunner(dir, 0, add, redundancy.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := r.Step(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = redundancy.OpenDurableRunner(dir, 0, add, redundancy.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.State(); got != 10 {
+		t.Errorf("recovered state = %d, want 10", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bare WAL through the facade.
+	w, err := redundancy.OpenWAL(t.TempDir(), redundancy.WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	if w.LastSeq() != 1 {
+		t.Errorf("LastSeq = %d, want 1", w.LastSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Supervisor through the facade: a transient child that fails once,
+	// restarts, and then exits cleanly.
+	failures := 0
+	sup := redundancy.NewSupervisor(redundancy.SupervisorOptions{
+		Name:      "facade-sup",
+		Strategy:  redundancy.OneForOne,
+		Intensity: redundancy.RestartIntensity{MaxRestarts: 3, Window: time.Minute},
+	})
+	if err := sup.Add(redundancy.ChildSpec{
+		Name:    "flaky",
+		Restart: redundancy.RestartTransient,
+		Run: func(context.Context) error {
+			if failures == 0 {
+				failures++
+				return errors.New("first run fails")
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Serve(context.Background()); err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+	if got := sup.Restarts("flaky"); got != 1 {
+		t.Errorf("restarts = %d, want 1", got)
+	}
+
+	// Escalation surfaces the facade sentinel.
+	esc := redundancy.NewSupervisor(redundancy.SupervisorOptions{
+		Intensity: redundancy.RestartIntensity{MaxRestarts: 1, Window: time.Minute},
+	})
+	if err := esc.Add(redundancy.ChildSpec{
+		Name: "doomed",
+		Run:  func(context.Context) error { panic("always") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = esc.Serve(context.Background())
+	if !errors.Is(err, redundancy.ErrSupervisorEscalated) {
+		t.Errorf("Serve = %v, want ErrSupervisorEscalated", err)
+	}
+	if !errors.Is(err, redundancy.ErrChildPanicked) {
+		t.Errorf("Serve = %v, want ErrChildPanicked in chain", err)
+	}
+}
+
 func TestFacadeNCopy(t *testing.T) {
 	program := redundancy.NewVariant("p", func(_ context.Context, x int) (int, error) {
 		if x == 5 {

@@ -26,6 +26,15 @@ var (
 	ErrNoCheckpoint = errors.New("checkpoint: no checkpoint available")
 	// ErrUnknownCheckpoint is returned for an id that does not exist.
 	ErrUnknownCheckpoint = errors.New("checkpoint: unknown checkpoint id")
+	// ErrCorruptCheckpoint is returned when stored checkpoint data cannot
+	// be decoded back into a state: a failed CRC, a short read, or a gob
+	// stream that does not match the state type. Callers branch on it
+	// with errors.Is to distinguish corruption from I/O failures.
+	ErrCorruptCheckpoint = errors.New("checkpoint: corrupt checkpoint data")
+	// ErrEncodeCheckpoint is returned when a state cannot be serialized
+	// into a checkpoint in the first place (e.g. a gob-unsupported type
+	// such as a function or channel field).
+	ErrEncodeCheckpoint = errors.New("checkpoint: state not serializable")
 )
 
 // Store keeps serialized snapshots of a process state. Snapshots are deep
@@ -53,7 +62,7 @@ func NewStore[S any](capacity int) *Store[S] {
 func (s *Store[S]) Save(state S) (int, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&state); err != nil {
-		return 0, fmt.Errorf("encode checkpoint: %w", err)
+		return 0, fmt.Errorf("%w: %w", ErrEncodeCheckpoint, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -79,7 +88,7 @@ func (s *Store[S]) Restore(id int) (S, error) {
 		return state, fmt.Errorf("id %d: %w", id, ErrUnknownCheckpoint)
 	}
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&state); err != nil {
-		return state, fmt.Errorf("decode checkpoint %d: %w", id, err)
+		return state, fmt.Errorf("checkpoint %d: %w: %w", id, ErrCorruptCheckpoint, err)
 	}
 	return state, nil
 }

@@ -1,0 +1,321 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// counterState is the canonical durable state machine for tests: a
+// running sum plus an op count, so divergence from the acknowledged
+// history is detectable.
+type counterState struct {
+	Sum   int
+	Count int
+}
+
+func applyAdd(s counterState, op int) (counterState, error) {
+	if op < 0 {
+		return s, errors.New("negative op rejected")
+	}
+	return counterState{Sum: s.Sum + op, Count: s.Count + 1}, nil
+}
+
+func openCounter(t *testing.T, dir string, opts DurableOptions) *DurableRunner[counterState, int] {
+	t.Helper()
+	opts.WAL.NoSync = true // crashes are simulated by reopening, not killing
+	r, err := OpenDurableRunner(dir, counterState{}, applyAdd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDurableRunnerSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	r := openCounter(t, dir, DurableOptions{SnapshotInterval: 4})
+	wantSum := 0
+	for i := 1; i <= 10; i++ {
+		if _, err := r.Step(i); err != nil {
+			t.Fatal(err)
+		}
+		wantSum += i
+	}
+	// "Crash": abandon the runner without Snapshot or orderly shutdown.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openCounter(t, dir, DurableOptions{SnapshotInterval: 4})
+	defer r2.Close()
+	if got := r2.State(); got.Sum != wantSum || got.Count != 10 {
+		t.Fatalf("recovered state = %+v, want sum %d count 10", got, wantSum)
+	}
+	if r2.LastSeq() != 10 {
+		t.Errorf("LastSeq = %d, want 10", r2.LastSeq())
+	}
+	// Snapshots at 4 and 8 mean only ops 9..10 needed replay.
+	if r2.Replayed() != 2 {
+		t.Errorf("Replayed = %d, want 2", r2.Replayed())
+	}
+	// The runner keeps accepting ops with a continuous sequence.
+	if seq, err := r2.Step(100); err != nil || seq != 11 {
+		t.Fatalf("Step after recovery = (%d, %v), want (11, nil)", seq, err)
+	}
+}
+
+func TestDurableRunnerZeroAcknowledgedLossAcrossTornTail(t *testing.T) {
+	dir := t.TempDir()
+	r := openCounter(t, dir, DurableOptions{SnapshotInterval: 100})
+	for i := 1; i <= 6; i++ {
+		if _, err := r.Step(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append of op 7: a partial frame lands after the six
+	// acknowledged records.
+	seg := filepath.Join(dir, "wal", segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x04, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openCounter(t, dir, DurableOptions{SnapshotInterval: 100})
+	defer r2.Close()
+	if got := r2.State(); got.Sum != 21 || got.Count != 6 {
+		t.Fatalf("state = %+v, want all six acknowledged ops (sum 21)", got)
+	}
+	if r2.TruncatedBytes() != 3 {
+		t.Errorf("TruncatedBytes = %d, want 3", r2.TruncatedBytes())
+	}
+}
+
+func TestDurableRunnerFailedApplyLeavesStoreUntouched(t *testing.T) {
+	dir := t.TempDir()
+	r := openCounter(t, dir, DurableOptions{})
+	if _, err := r.Step(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(-1); err == nil {
+		t.Fatal("negative op should fail")
+	}
+	if r.LastSeq() != 1 {
+		t.Errorf("failed op must not be logged; LastSeq = %d", r.LastSeq())
+	}
+	if got := r.State(); got.Sum != 5 || got.Count != 1 {
+		t.Errorf("state after failed op = %+v", got)
+	}
+}
+
+func TestDurableRunnerSnapshotCompactsLog(t *testing.T) {
+	dir := t.TempDir()
+	opts := DurableOptions{SnapshotInterval: 2, KeepSnapshots: 2}
+	opts.WAL.SegmentBytes = 48 // tiny segments so compaction has targets
+	r := openCounter(t, dir, opts)
+	for i := 1; i <= 12; i++ {
+		if _, err := r.Step(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 2 {
+		t.Errorf("compaction left %d segments, want <= 2", len(segs))
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Errorf("pruning left %d snapshots, want 2", len(snaps))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery over the compacted store still yields the full state.
+	r2 := openCounter(t, dir, opts)
+	defer r2.Close()
+	if got := r2.State(); got.Sum != 78 || got.Count != 12 {
+		t.Fatalf("state after compacted recovery = %+v, want sum 78 count 12", got)
+	}
+}
+
+func TestDurableRunnerSkipsCorruptLatestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	r := openCounter(t, dir, DurableOptions{SnapshotInterval: 3})
+	for i := 1; i <= 9; i++ {
+		if _, err := r.Step(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot (seq 9): recovery must fall back to the
+	// older one (seq 6) and make up the difference from the WAL... but the
+	// WAL was compacted through 9. Whole-segment compaction with a single
+	// small segment keeps the tail in place, so the records survive.
+	snaps, err := snapshotSeqs(dir)
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("snapshotSeqs = %v, %v", snaps, err)
+	}
+	latest := filepath.Join(dir, snapName(snaps[len(snaps)-1]))
+	data, err := os.ReadFile(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(latest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openCounter(t, dir, DurableOptions{SnapshotInterval: 3})
+	defer r2.Close()
+	if got := r2.State(); got.Sum != 45 || got.Count != 9 {
+		t.Fatalf("state = %+v, want sum 45 count 9 (fallback snapshot + replay)", got)
+	}
+}
+
+func TestDurableRunnerShortSnapshotIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	// A snapshot shorter than its own header must be classified as
+	// ErrCorruptCheckpoint, not cause a panic or an ad-hoc error.
+	if err := os.WriteFile(filepath.Join(dir, snapName(3)), []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := readSnapshot[counterState](filepath.Join(dir, snapName(3)), 3)
+	if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("short snapshot error = %v, want ErrCorruptCheckpoint", err)
+	}
+	// And OpenDurableRunner treats it as "no snapshot": fresh state.
+	r := openCounter(t, dir, DurableOptions{})
+	defer r.Close()
+	if got := r.State(); got.Count != 0 {
+		t.Errorf("state = %+v, want zero value", got)
+	}
+}
+
+func TestDurableRunnerUnserializableOpIsSentinel(t *testing.T) {
+	dir := t.TempDir()
+	// gob cannot encode function values: Step must fail with
+	// ErrEncodeCheckpoint and leave the committed state untouched.
+	apply := func(s int, _ func()) (int, error) { return s + 1, nil }
+	r, err := OpenDurableRunner(dir, 0, apply, DurableOptions{WAL: WALOptions{NoSync: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Step(func() {}); !errors.Is(err, ErrEncodeCheckpoint) {
+		t.Fatalf("Step error = %v, want ErrEncodeCheckpoint", err)
+	}
+	if r.State() != 0 || r.LastSeq() != 0 {
+		t.Errorf("state = %d, LastSeq = %d; want 0, 0", r.State(), r.LastSeq())
+	}
+}
+
+func TestDurableRunnerUnserializableStateSnapshotIsSentinel(t *testing.T) {
+	type badState struct {
+		Ch chan int // gob-unsupported field
+	}
+	dir := t.TempDir()
+	apply := func(s badState, _ int) (badState, error) { return s, nil }
+	r, err := OpenDurableRunner(dir, badState{Ch: make(chan int)}, apply,
+		DurableOptions{SnapshotInterval: 1, WAL: WALOptions{NoSync: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = r.Step(1) // interval 1 forces an immediate snapshot
+	if !errors.Is(err, ErrEncodeCheckpoint) {
+		t.Fatalf("snapshot of bad state = %v, want ErrEncodeCheckpoint", err)
+	}
+}
+
+func TestDurableRunnerEmitsObsEvents(t *testing.T) {
+	c := obs.NewCollector()
+	dir := t.TempDir()
+	opts := DurableOptions{Name: "worker", SnapshotInterval: 2, Observer: c, WAL: WALOptions{NoSync: true}}
+	r, err := OpenDurableRunner(dir, counterState{}, applyAdd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := r.Step(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := OpenDurableRunner(dir, counterState{}, applyAdd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+
+	var snap obs.ExecutorSnapshot
+	for _, s := range c.Snapshot() {
+		if s.Executor == "worker" {
+			snap = s
+		}
+	}
+	if snap.Checkpoints != 2 {
+		t.Errorf("Checkpoints = %d, want 2 (ops 2 and 4)", snap.Checkpoints)
+	}
+	// Both opens replay (the first replays zero records but still reports).
+	if snap.WALReplays != 2 {
+		t.Errorf("WALReplays = %d, want 2", snap.WALReplays)
+	}
+}
+
+func TestDurableRunnerNilApply(t *testing.T) {
+	if _, err := OpenDurableRunner[int, int](t.TempDir(), 0, nil, DurableOptions{}); err == nil {
+		t.Fatal("nil apply must be rejected")
+	}
+}
+
+func TestDurableRunnerRecoveryEquivalenceProperty(t *testing.T) {
+	// Property: for any op stream and any snapshot interval, reopening
+	// mid-stream yields exactly the state of the acknowledged prefix.
+	for _, interval := range []int{1, 3, 7, 100} {
+		for _, crashAt := range []int{0, 1, 5, 17} {
+			t.Run(fmt.Sprintf("interval=%d/crashAt=%d", interval, crashAt), func(t *testing.T) {
+				dir := t.TempDir()
+				opts := DurableOptions{SnapshotInterval: interval}
+				opts.WAL.SegmentBytes = 64
+				r := openCounter(t, dir, opts)
+				want := counterState{}
+				for i := 0; i < crashAt; i++ {
+					op := (i * 13) % 29
+					if _, err := r.Step(op); err != nil {
+						t.Fatal(err)
+					}
+					want, _ = applyAdd(want, op)
+				}
+				if err := r.Close(); err != nil {
+					t.Fatal(err)
+				}
+				r2 := openCounter(t, dir, opts)
+				defer r2.Close()
+				if got := r2.State(); got != want {
+					t.Fatalf("recovered %+v, want %+v", got, want)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,431 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The write-ahead log is the durable half of crash-safe checkpointing:
+// every acknowledged operation is framed, checksummed, and appended to a
+// segment file before the acknowledgment is returned, so a process that
+// panics or is killed can re-derive its exact acknowledged state from the
+// latest snapshot plus the log suffix.
+//
+// On-disk format. The log is a directory of segment files named
+// wal-<index>.seg, appended in index order. Each record is framed as
+//
+//	[4-byte little-endian payload length]
+//	[4-byte CRC32 (IEEE) over seq||payload]
+//	[8-byte little-endian sequence number]
+//	[payload]
+//
+// Sequence numbers start at 1 and are contiguous across segments. A crash
+// mid-append leaves a torn tail — a partial frame, or a frame whose CRC
+// does not match — which the replayer detects and physically truncates,
+// so successive replays of the same directory are deterministic. A frame
+// whose sequence number breaks contiguity is treated the same way: the
+// prefix up to it is the log's entire valid content.
+
+const (
+	// walFrameHeader is the fixed frame overhead before the payload.
+	walFrameHeader = 4 + 4 + 8
+	// walMaxRecord bounds a single record; a length field above it is
+	// corruption, not a real record (it also keeps a flipped length bit
+	// from triggering a huge allocation during replay).
+	walMaxRecord = 16 << 20
+	// defaultSegmentBytes rotates segments at 1 MiB.
+	defaultSegmentBytes = 1 << 20
+)
+
+// WALOptions configures a write-ahead log.
+type WALOptions struct {
+	// SegmentBytes rotates to a fresh segment file once the current one
+	// reaches this size; values < 1 use the 1 MiB default.
+	SegmentBytes int
+	// SyncEvery is the fsync policy: fsync the segment after every n-th
+	// append. 1 (the default for values < 1... see Normalize) syncs every
+	// append — the only policy under which every acknowledged write
+	// survives a kill. Larger values trade the tail of a crash window for
+	// throughput; Sync flushes explicitly.
+	SyncEvery int
+	// NoSync disables fsync entirely (benchmarks and tests that simulate
+	// crashes by reopening, not by killing the process).
+	NoSync bool
+}
+
+func (o WALOptions) segmentBytes() int {
+	if o.SegmentBytes < 1 {
+		return defaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
+func (o WALOptions) syncEvery() int {
+	if o.NoSync {
+		return 0
+	}
+	if o.SyncEvery < 1 {
+		return 1
+	}
+	return o.SyncEvery
+}
+
+// WAL is a segmented append-only write-ahead log with CRC32-framed
+// records. It is not safe for concurrent use; the owning runner (or
+// supervisor child) serializes access.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	seg        *os.File          // current segment, opened for append
+	segIndex   uint64            // index of the current segment
+	segSize    int64             // current segment size in bytes
+	nextSeq    uint64            // sequence number of the next append
+	sinceSync  int               // appends since the last fsync
+	truncated  int64             // torn-tail bytes discarded during open
+	firstSeqOf map[uint64]uint64 // segment index -> first seq in it
+
+	scratch []byte // reused frame buffer
+}
+
+// segName formats a segment file name.
+func segName(index uint64) string { return fmt.Sprintf("wal-%016d.seg", index) }
+
+// segIndexOf parses a segment file name; ok is false for foreign files.
+func segIndexOf(name string) (uint64, bool) {
+	var idx uint64
+	if _, err := fmt.Sscanf(name, "wal-%016d.seg", &idx); err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// OpenWAL opens (creating if needed) the log in dir, scans it, truncates
+// any torn tail, and positions the append cursor after the last valid
+// record. The scan validates every frame, so a valid open implies a fully
+// replayable log.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: wal dir: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, nextSeq: 1, firstSeqOf: make(map[uint64]uint64)}
+	segs, err := w.segments()
+	if err != nil {
+		return nil, err
+	}
+	tail := uint64(1)
+	for i, idx := range segs {
+		tail = idx
+		torn, err := w.scanSegment(idx)
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			// Everything after the tear — including whole later
+			// segments — is past the valid prefix; remove it so the
+			// next open scans the identical log.
+			if i < len(segs)-1 {
+				if err := w.dropSegmentsAfter(idx); err != nil {
+					return nil, err
+				}
+			}
+			break
+		}
+	}
+	if err := w.openSegment(tail); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// segments lists segment indices in ascending order.
+func (w *WAL) segments() ([]uint64, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: wal dir: %w", err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		if idx, ok := segIndexOf(e.Name()); ok {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// scanSegment validates the frames of one segment, advancing nextSeq past
+// every valid record. An invalid frame is a torn tail: it ends the log's
+// valid prefix, and the file is physically truncated at that offset so a
+// subsequent open sees the identical log — deterministic truncation.
+// torn reports whether a tear was found (the caller stops scanning).
+func (w *WAL) scanSegment(index uint64) (torn bool, err error) {
+	path := filepath.Join(w.dir, segName(index))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("checkpoint: wal scan: %w", err)
+	}
+	if w.nextSeq == 1 && index > 1 && len(w.firstSeqOf) == 0 {
+		// Compaction removed the log's head; the first surviving record
+		// defines the replay start. Peek its seq field — if the frame is
+		// corrupt the CRC check below rejects it regardless.
+		if len(data) >= walFrameHeader {
+			w.nextSeq = binary.LittleEndian.Uint64(data[8:16])
+		}
+	}
+	offset := int64(0)
+	for {
+		n, seq, _, ok := parseFrame(data[offset:], w.nextSeq)
+		if !ok {
+			break
+		}
+		if w.firstSeqOf[index] == 0 {
+			w.firstSeqOf[index] = seq
+		}
+		w.nextSeq = seq + 1
+		offset += n
+	}
+	if offset < int64(len(data)) {
+		w.truncated += int64(len(data)) - offset
+		if err := os.Truncate(path, offset); err != nil {
+			return false, fmt.Errorf("checkpoint: truncating torn tail: %w", err)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// dropSegmentsAfter removes every segment with an index above the given
+// one (they follow a torn tail and are not part of the valid prefix).
+func (w *WAL) dropSegmentsAfter(index uint64) error {
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		if idx <= index {
+			continue
+		}
+		path := filepath.Join(w.dir, segName(idx))
+		w.truncated += fileSize(path)
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("checkpoint: dropping segment after torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// parseFrame validates one frame at the head of data. It returns the
+// frame's total length, its sequence number and payload, and ok=false if
+// the frame is torn, fails its CRC, or breaks sequence contiguity with
+// wantSeq (wantSeq 0 accepts any sequence number).
+func parseFrame(data []byte, wantSeq uint64) (n int64, seq uint64, payload []byte, ok bool) {
+	if len(data) < walFrameHeader {
+		return 0, 0, nil, false
+	}
+	plen := binary.LittleEndian.Uint32(data[0:4])
+	if plen > walMaxRecord || int64(len(data)) < walFrameHeader+int64(plen) {
+		return 0, 0, nil, false
+	}
+	crc := binary.LittleEndian.Uint32(data[4:8])
+	seq = binary.LittleEndian.Uint64(data[8:16])
+	payload = data[walFrameHeader : walFrameHeader+int64(plen)]
+	if crc32.ChecksumIEEE(data[8:walFrameHeader+int64(plen)]) != crc {
+		return 0, 0, nil, false
+	}
+	if wantSeq != 0 && seq != wantSeq {
+		return 0, 0, nil, false
+	}
+	return walFrameHeader + int64(plen), seq, payload, true
+}
+
+// openSegment opens segment index for appending, creating it if missing.
+func (w *WAL) openSegment(index uint64) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(index)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: wal segment: %w", err)
+	}
+	w.seg = f
+	w.segIndex = index
+	w.segSize = fileSize(f.Name())
+	return nil
+}
+
+// LastSeq returns the sequence number of the last appended record, or 0
+// when the log is empty.
+func (w *WAL) LastSeq() uint64 { return w.nextSeq - 1 }
+
+// TruncatedBytes reports how many torn-tail bytes the open scan
+// discarded.
+func (w *WAL) TruncatedBytes() int64 { return w.truncated }
+
+// Append frames, checksums, and writes one record, returning its
+// sequence number. When Append returns under the default fsync policy the
+// record is durable: it is the acknowledgment point of the log.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if w.seg == nil {
+		return 0, errors.New("checkpoint: wal is closed")
+	}
+	if len(payload) > walMaxRecord {
+		return 0, fmt.Errorf("%w: record of %d bytes exceeds the %d-byte frame bound",
+			ErrEncodeCheckpoint, len(payload), walMaxRecord)
+	}
+	if w.segSize >= int64(w.opts.segmentBytes()) {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	seq := w.nextSeq
+	need := walFrameHeader + len(payload)
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, need)
+	}
+	frame := w.scratch[:need]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:16], seq)
+	copy(frame[walFrameHeader:], payload)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[8:need]))
+	if _, err := w.seg.Write(frame); err != nil {
+		return 0, fmt.Errorf("checkpoint: wal append: %w", err)
+	}
+	w.segSize += int64(need)
+	if w.firstSeqOf[w.segIndex] == 0 {
+		w.firstSeqOf[w.segIndex] = seq
+	}
+	w.nextSeq = seq + 1
+	if every := w.opts.syncEvery(); every > 0 {
+		w.sinceSync++
+		if w.sinceSync >= every {
+			if err := w.Sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return seq, nil
+}
+
+// Sync flushes the current segment to stable storage.
+func (w *WAL) Sync() error {
+	if w.seg == nil {
+		return nil
+	}
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: wal sync: %w", err)
+	}
+	w.sinceSync = 0
+	return nil
+}
+
+// rotate seals the current segment and starts the next one.
+func (w *WAL) rotate() error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	if err := w.seg.Close(); err != nil {
+		return fmt.Errorf("checkpoint: wal rotate: %w", err)
+	}
+	return w.openSegment(w.segIndex + 1)
+}
+
+// Replay re-reads the log and invokes fn, in order, for every record with
+// a sequence number strictly greater than after. It reports the number of
+// records delivered. The log must have been opened (and hence tail-
+// truncated) by OpenWAL, so every frame read here is expected to be
+// valid; an invalid one means the files changed underneath and is
+// reported as ErrCorruptCheckpoint.
+func (w *WAL) Replay(after uint64, fn func(seq uint64, payload []byte) error) (int, error) {
+	segs, err := w.segments()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	want := uint64(0) // first frame fixes the expected sequence
+	for _, idx := range segs {
+		data, err := os.ReadFile(filepath.Join(w.dir, segName(idx)))
+		if err != nil {
+			return n, fmt.Errorf("checkpoint: wal replay: %w", err)
+		}
+		offset := int64(0)
+		for offset < int64(len(data)) {
+			fl, seq, payload, ok := parseFrame(data[offset:], want)
+			if !ok {
+				return n, fmt.Errorf("%w: invalid frame at %s offset %d",
+					ErrCorruptCheckpoint, segName(idx), offset)
+			}
+			want = seq + 1
+			offset += fl
+			if seq <= after {
+				continue
+			}
+			if err := fn(seq, payload); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// TruncateThrough removes whole segments whose records are all covered by
+// a snapshot through seq (log compaction). The tail segment is never
+// removed; appends continue in place.
+func (w *WAL) TruncateThrough(seq uint64) error {
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	for i, idx := range segs {
+		if idx == w.segIndex || i == len(segs)-1 {
+			break
+		}
+		// A segment is fully covered when the next segment starts at or
+		// below seq+1 — i.e. every record in this one is <= seq.
+		nextFirst := w.firstSeqOf[segs[i+1]]
+		if nextFirst == 0 || nextFirst > seq+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(idx))); err != nil {
+			return fmt.Errorf("checkpoint: wal compaction: %w", err)
+		}
+		delete(w.firstSeqOf, idx)
+	}
+	return nil
+}
+
+// Close syncs and closes the log. The log can be reopened with OpenWAL.
+func (w *WAL) Close() error {
+	if w.seg == nil {
+		return nil
+	}
+	err := w.Sync()
+	if cerr := w.seg.Close(); err == nil {
+		err = cerr
+	}
+	w.seg = nil
+	return err
+}
+
+// SyncDir fsyncs a directory, making renames within it durable. Errors
+// are swallowed: some filesystems reject directory fsync, and the rename
+// itself is already atomic — the sync only narrows the crash window.
+func SyncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,370 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collectWAL replays the whole log into a slice of payload copies.
+func collectWAL(t *testing.T, w *WAL, after uint64) [][]byte {
+	t.Helper()
+	var out [][]byte
+	n, err := w.Replay(after, func(_ uint64, payload []byte) error {
+		out = append(out, bytes.Clone(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(out) {
+		t.Fatalf("Replay reported %d records, delivered %d", n, len(out))
+	}
+	return out
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("record-%d", i))
+		seq, err := w.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+		want = append(want, p)
+	}
+	got := collectWAL(t, w, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Replay after a midpoint skips the covered prefix.
+	if n := len(collectWAL(t, w, 7)); n != 3 {
+		t.Errorf("replay after 7 delivered %d records, want 3", n)
+	}
+	if w.LastSeq() != 10 {
+		t.Errorf("LastSeq = %d", w.LastSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the cursor continues from the durable tail.
+	w2, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastSeq() != 10 {
+		t.Fatalf("reopened LastSeq = %d, want 10", w2.LastSeq())
+	}
+	if seq, err := w2.Append([]byte("after-reopen")); err != nil || seq != 11 {
+		t.Fatalf("Append after reopen = (%d, %v), want (11, nil)", seq, err)
+	}
+}
+
+func TestWALTornTailTruncationIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: write a partial frame at the tail.
+	path := filepath.Join(dir, segName(1))
+	fullSize := fileSize(path)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x07, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.LastSeq() != 5 {
+		t.Fatalf("LastSeq after torn tail = %d, want 5", w2.LastSeq())
+	}
+	if w2.TruncatedBytes() != 6 {
+		t.Errorf("TruncatedBytes = %d, want 6", w2.TruncatedBytes())
+	}
+	if got := fileSize(path); got != fullSize {
+		t.Errorf("segment size after truncation = %d, want %d", got, fullSize)
+	}
+	if n := len(collectWAL(t, w2, 0)); n != 5 {
+		t.Errorf("replay delivered %d records, want 5", n)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second reopen must see the identical, already-truncated log.
+	w3, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if w3.LastSeq() != 5 || w3.TruncatedBytes() != 0 {
+		t.Errorf("second reopen: LastSeq = %d, TruncatedBytes = %d; want 5, 0",
+			w3.LastSeq(), w3.TruncatedBytes())
+	}
+}
+
+func TestWALCorruptMidLogDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	// Small segments force several files.
+	w, err := OpenWAL(dir, WALOptions{SegmentBytes: 64, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-number-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := walSegFiles(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(segs))
+	}
+
+	// Flip a CRC bit in the middle segment: the valid prefix ends there,
+	// and every later segment must be dropped.
+	mid := segs[len(segs)/2]
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[5] ^= 0xff
+	if err := os.WriteFile(mid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{SegmentBytes: 64, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.TruncatedBytes() == 0 {
+		t.Error("expected truncated bytes after mid-log corruption")
+	}
+	got := collectWAL(t, w2, 0)
+	if len(got) == 0 || len(got) >= 12 {
+		t.Fatalf("replay delivered %d records, want a strict non-empty prefix of 12", len(got))
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("record-number-%02d", i); string(p) != want {
+			t.Errorf("record %d = %q, want %q (prefix property violated)", i, p, want)
+		}
+	}
+	if remaining := walSegFiles(t, dir); len(remaining) > len(segs)/2+1 {
+		t.Errorf("segments after tear = %d, want <= %d", len(remaining), len(segs)/2+1)
+	}
+}
+
+func walSegFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+func TestWALRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{SegmentBytes: 64, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeq uint64
+	for i := 0; i < 20; i++ {
+		seq, err := w.Append([]byte(fmt.Sprintf("record-number-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastSeq = seq
+	}
+	before := len(walSegFiles(t, dir))
+	if before < 3 {
+		t.Fatalf("want >= 3 segments before compaction, got %d", before)
+	}
+
+	// Compact through the last sequence: only the tail segment survives,
+	// and replay after the covered prefix is empty.
+	if err := w.TruncateThrough(lastSeq); err != nil {
+		t.Fatal(err)
+	}
+	after := len(walSegFiles(t, dir))
+	if after >= before {
+		t.Errorf("segments after compaction = %d, want < %d", after, before)
+	}
+	if n := len(collectWAL(t, w, lastSeq)); n != 0 {
+		t.Errorf("replay after full compaction delivered %d records", n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen after compaction: appends continue the global sequence.
+	w2, err := OpenWAL(dir, WALOptions{SegmentBytes: 64, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastSeq() != lastSeq {
+		t.Fatalf("LastSeq after compacted reopen = %d, want %d", w2.LastSeq(), lastSeq)
+	}
+	if seq, err := w2.Append([]byte("next")); err != nil || seq != lastSeq+1 {
+		t.Fatalf("Append = (%d, %v), want (%d, nil)", seq, err, lastSeq+1)
+	}
+}
+
+func TestWALPartialCompactionKeepsUncoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{SegmentBytes: 64, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-number-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact through seq 3 only: later records must all survive.
+	if err := w.TruncateThrough(3); err != nil {
+		t.Fatal(err)
+	}
+	got := collectWAL(t, w, 3)
+	if len(got) != 17 {
+		t.Fatalf("replay after 3 delivered %d records, want 17", len(got))
+	}
+	if string(got[0]) != "record-number-03" {
+		t.Errorf("first uncovered record = %q", got[0])
+	}
+}
+
+func TestWALOversizeRecordRejected(t *testing.T) {
+	w, err := OpenWAL(t.TempDir(), WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(make([]byte, walMaxRecord+1)); !errors.Is(err, ErrEncodeCheckpoint) {
+		t.Fatalf("oversize append error = %v, want ErrEncodeCheckpoint", err)
+	}
+}
+
+func TestWALAppendAfterCloseFails(t *testing.T) {
+	w, err := OpenWAL(t.TempDir(), WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("x")); err == nil {
+		t.Fatal("Append on a closed WAL should fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestWALSyncEveryBatches(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{SyncEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only durability, not correctness, depends on the sync cadence; the
+	// log content is identical.
+	if n := len(collectWAL(t, w, 0)); n != 10 {
+		t.Errorf("replayed %d records, want 10", n)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALSequenceGapIsATear(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the third frame with seq 9 (valid CRC, broken contiguity).
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := int64(walFrameHeader + 1)
+	off := 2 * frameLen
+	binary.LittleEndian.PutUint64(data[off+8:off+16], 9)
+	reframe := data[off : off+frameLen]
+	binary.LittleEndian.PutUint32(reframe[4:8], crc32.ChecksumIEEE(reframe[8:]))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(dir, WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.LastSeq() != 2 {
+		t.Errorf("LastSeq = %d, want 2 (gap frame discarded)", w2.LastSeq())
+	}
+	if n := len(collectWAL(t, w2, 0)); n != 2 {
+		t.Errorf("replayed %d records, want 2", n)
+	}
+}

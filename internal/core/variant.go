@@ -171,7 +171,13 @@ func (g *guarded[I, O]) Execute(ctx context.Context, input I) (out O, err error)
 		if r := recover(); r != nil {
 			var zero O
 			out = zero
-			err = fmt.Errorf("variant %s: %v: %w", g.inner.Name(), r, ErrVariantPanicked)
+			// An error-typed panic value (e.g. an injected fault's
+			// ActivatedError) stays in the chain for errors.Is/As.
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("variant %s: %w: %w", g.inner.Name(), e, ErrVariantPanicked)
+			} else {
+				err = fmt.Errorf("variant %s: %v: %w", g.inner.Name(), r, ErrVariantPanicked)
+			}
 		}
 	}()
 	return g.inner.Execute(ctx, input)

@@ -72,6 +72,15 @@ type ChaosPhase struct {
 	// Hangs is the fraction of requests on which the variant blocks until
 	// its context is canceled (or the campaign's MaxHang backstop fires).
 	Hangs float64 `json:"hangs,omitempty"`
+	// Panics is the fraction of requests on which the variant panics
+	// (FailPanic manifestation). Pattern executors contain the panic;
+	// unguarded call sites crash their goroutine — which is the point
+	// when the campaign targets a supervised component.
+	Panics float64 `json:"panics,omitempty"`
+	// Crashes is the fraction of requests failed with an error wrapping
+	// ErrCrashed (FailCrash manifestation): the component "died" and
+	// needs a restart, not a retry.
+	Crashes float64 `json:"crashes,omitempty"`
 	// Correlated makes activation decisions ignore the variant identity,
 	// so all chaos-wrapped variants of one request fail together — the
 	// common-mode failure that defeats simple redundancy.
@@ -140,7 +149,7 @@ func (c *Campaign) Validate() error {
 		if p.Requests <= 0 {
 			return fmt.Errorf("faultmodel: phase %d (%s) has no requests", i, p.Name)
 		}
-		for _, frac := range []float64{p.ErrorBurst, p.LatencySpike, p.Hangs} {
+		for _, frac := range []float64{p.ErrorBurst, p.LatencySpike, p.Hangs, p.Panics, p.Crashes} {
 			if frac < 0 || frac > 1 {
 				return fmt.Errorf("faultmodel: phase %d (%s) has probability %v outside [0,1]", i, p.Name, frac)
 			}
@@ -169,6 +178,8 @@ const (
 	kindError   = 0x65
 	kindLatency = 0x6c
 	kindHang    = 0x68
+	kindPanic   = 0x70
+	kindCrash   = 0x63
 )
 
 // roll is the deterministic activation decision for one disturbance on
@@ -261,10 +272,39 @@ func (c *Chaos[I, O]) Execute(ctx context.Context, input I) (O, error) {
 				phase.Name, name, ErrMaxHang)
 		}
 	}
+	if c.Campaign.roll(pi, kindPanic, req, name, phase.Panics, phase.Correlated) {
+		panic(&ActivatedError{Fault: "chaos-panic-" + phase.Name, Variant: name})
+	}
+	if c.Campaign.roll(pi, kindCrash, req, name, phase.Crashes, phase.Correlated) {
+		return zero, fmt.Errorf("chaos crash in phase %s, variant %s: %w",
+			phase.Name, name, ErrCrashed)
+	}
 	if c.Campaign.roll(pi, kindError, req, name, phase.ErrorBurst, phase.Correlated) {
 		return zero, &ActivatedError{Fault: "chaos-" + phase.Name, Variant: name}
 	}
 	return c.Base.Execute(ctx, input)
+}
+
+// PanicAt reports whether the campaign panics the named variant on the
+// given request. Recovery experiments (sim E23) use it to kill a
+// supervised worker at a schedule-determined instant without threading a
+// Chaos wrapper through the worker's own code path.
+func (c *Campaign) PanicAt(req uint64, variant string) bool {
+	pi, phase := c.PhaseAt(req)
+	if phase == nil || !phase.applies(variant) {
+		return false
+	}
+	return c.roll(pi, kindPanic, req, variant, phase.Panics, phase.Correlated)
+}
+
+// CrashAt reports whether the campaign crash-fails the named variant on
+// the given request (an error wrapping ErrCrashed).
+func (c *Campaign) CrashAt(req uint64, variant string) bool {
+	pi, phase := c.PhaseAt(req)
+	if phase == nil || !phase.applies(variant) {
+		return false
+	}
+	return c.roll(pi, kindCrash, req, variant, phase.Crashes, phase.Correlated)
 }
 
 // ChaosVariants wraps every variant in vs with the campaign.
@@ -436,6 +476,26 @@ func DefaultCampaign(seed uint64) *Campaign {
 			{Name: "hangs", Requests: 100, Hangs: 0.3},
 			{Name: "overload", Requests: 300, Concurrency: 64, LatencySpike: 0.5, SpikeDelay: Duration(2 * time.Millisecond)},
 			{Name: "correlated", Requests: 200, ErrorBurst: 0.5, Correlated: true},
+		},
+	}
+}
+
+// RecoveryCampaign is the built-in schedule for crash-recovery
+// experiments (`faultsim -crash`, sim E23): calm traffic interleaved
+// with panic and crash phases, so a supervised WAL-backed worker is
+// killed repeatedly mid-workload and its restart and data-loss behavior
+// can be measured.
+func RecoveryCampaign(seed uint64) *Campaign {
+	return &Campaign{
+		Name:    "recovery",
+		Seed:    seed,
+		MaxHang: Duration(2 * time.Second),
+		Phases: []ChaosPhase{
+			{Name: "warmup", Requests: 150},
+			{Name: "panics", Requests: 250, Panics: 0.05},
+			{Name: "calm", Requests: 100},
+			{Name: "crashes", Requests: 250, Crashes: 0.05},
+			{Name: "mixed", Requests: 250, Panics: 0.03, Crashes: 0.03},
 		},
 	}
 }

@@ -16,6 +16,13 @@ import (
 // effective deadline — the exact condition the guard exists to surface.
 var ErrMaxHang = errors.New("faultmodel: hang released by MaxHang guard")
 
+// ErrCrashed marks a failure that models whole-process death: the
+// component did not return an error through its API, it stopped existing
+// mid-request. Recovery layers (internal/supervise) treat it as a signal
+// to restart the component; plain retry logic treats it like any other
+// error. Extract with errors.Is.
+var ErrCrashed = errors.New("faultmodel: process crashed")
+
 // FailureMode is how an activated fault manifests at the variant boundary.
 type FailureMode int
 
@@ -33,6 +40,17 @@ const (
 	// missing deadline turns into an ErrMaxHang failure instead of a
 	// wedged goroutine.
 	FailHang
+	// FailPanic makes the variant panic (models assertion failures, nil
+	// dereferences, index overruns — defects that abort the call stack
+	// rather than return). Pattern executors contain the panic with
+	// core.Guard and convert it into a variant error; an uncontained
+	// FailPanic takes down its goroutine, which is exactly what the
+	// supervision layer exists to absorb.
+	FailPanic
+	// FailCrash makes the variant fail with an error wrapping ErrCrashed
+	// (models whole-process death as seen by a caller: the request is
+	// lost and the component needs a restart, not a retry).
+	FailCrash
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +62,10 @@ func (m FailureMode) String() string {
 		return "wrong-value"
 	case FailHang:
 		return "hang"
+	case FailPanic:
+		return "panic"
+	case FailCrash:
+		return "crash"
 	default:
 		return "unknown"
 	}
@@ -130,6 +152,11 @@ func (j *Injector[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			}
 			<-ctx.Done()
 			return zero, ctx.Err()
+		case FailPanic:
+			panic(&ActivatedError{Fault: f.Name(), Variant: j.Base.Name()})
+		case FailCrash:
+			return zero, fmt.Errorf("fault %s in variant %s: %w",
+				f.Name(), j.Base.Name(), ErrCrashed)
 		default:
 			return zero, &ActivatedError{Fault: f.Name(), Variant: j.Base.Name()}
 		}

@@ -1,0 +1,167 @@
+package faultmodel
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+func TestInjectorPanicMode(t *testing.T) {
+	base := core.NewVariant("id", func(_ context.Context, x int) (int, error) { return x, nil })
+	inj := &Injector[int, int]{
+		Base:   base,
+		Faults: []Fault{Bohrbug{ID: 1, TriggerFraction: 1}},
+		Mode:   FailPanic,
+		Key:    HashInt,
+	}
+	// Bare execution panics — that is the manifestation.
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("FailPanic did not panic")
+			}
+			act, ok := r.(*ActivatedError)
+			if !ok || act.Variant != "id" {
+				t.Errorf("panic value = %v", r)
+			}
+		}()
+		_, _ = inj.Execute(context.Background(), 5)
+	}()
+
+	// Under core.Guard the panic becomes a contained variant error.
+	guarded := core.Guard[int, int](inj)
+	_, err := guarded.Execute(context.Background(), 5)
+	if !errors.Is(err, core.ErrVariantPanicked) {
+		t.Fatalf("guarded FailPanic = %v, want ErrVariantPanicked", err)
+	}
+}
+
+func TestInjectorCrashMode(t *testing.T) {
+	base := core.NewVariant("id", func(_ context.Context, x int) (int, error) { return x, nil })
+	inj := &Injector[int, int]{
+		Base:   base,
+		Faults: []Fault{Bohrbug{ID: 1, TriggerFraction: 1}},
+		Mode:   FailCrash,
+		Key:    HashInt,
+	}
+	_, err := inj.Execute(context.Background(), 5)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("FailCrash = %v, want ErrCrashed", err)
+	}
+}
+
+func TestFailureModeRecoveryStrings(t *testing.T) {
+	if FailPanic.String() != "panic" || FailCrash.String() != "crash" {
+		t.Errorf("FailPanic=%q FailCrash=%q", FailPanic, FailCrash)
+	}
+}
+
+func TestChaosPanicAndCrashPhases(t *testing.T) {
+	camp := &Campaign{
+		Name: "recovery-test",
+		Seed: 7,
+		Phases: []ChaosPhase{
+			{Name: "panics", Requests: 10, Panics: 1},
+			{Name: "crashes", Requests: 10, Crashes: 1},
+		},
+	}
+	if err := camp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base := core.NewVariant("v", func(_ context.Context, x int) (int, error) { return x, nil })
+	ch := &Chaos[int, int]{Base: base, Campaign: camp}
+
+	// Request 0 lands in the panic phase.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic phase did not panic")
+			}
+		}()
+		_, _ = ch.Execute(WithRequestIndex(context.Background(), 0), 1)
+	}()
+	// Request 10 lands in the crash phase.
+	_, err := ch.Execute(WithRequestIndex(context.Background(), 10), 1)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash phase = %v, want ErrCrashed", err)
+	}
+	// A guarded chaos variant contains the panic like any other.
+	_, err = core.Guard[int, int](ch).Execute(WithRequestIndex(context.Background(), 1), 1)
+	if !errors.Is(err, core.ErrVariantPanicked) {
+		t.Fatalf("guarded chaos panic = %v, want ErrVariantPanicked", err)
+	}
+}
+
+func TestPanicAtCrashAtMatchExecution(t *testing.T) {
+	camp := &Campaign{
+		Name: "mixed",
+		Seed: 42,
+		Phases: []ChaosPhase{
+			{Name: "mixed", Requests: 400, Panics: 0.2, Crashes: 0.2},
+		},
+	}
+	base := core.NewVariant("worker", func(_ context.Context, x int) (int, error) { return x, nil })
+	ch := &Chaos[int, int]{Base: base, Campaign: camp}
+	panics, crashes := 0, 0
+	for req := uint64(0); req < 400; req++ {
+		wantPanic := camp.PanicAt(req, "worker")
+		wantCrash := camp.CrashAt(req, "worker")
+		var panicked bool
+		var err error
+		func() {
+			defer func() { panicked = recover() != nil }()
+			_, err = ch.Execute(WithRequestIndex(context.Background(), req), 1)
+		}()
+		if panicked != wantPanic {
+			t.Fatalf("req %d: panicked=%v, PanicAt=%v", req, panicked, wantPanic)
+		}
+		// The panic schedule is checked before the crash schedule, so a
+		// request that panics never reports its crash roll.
+		if !wantPanic && errors.Is(err, ErrCrashed) != wantCrash {
+			t.Fatalf("req %d: crashed=%v, CrashAt=%v", req, errors.Is(err, ErrCrashed), wantCrash)
+		}
+		if panicked {
+			panics++
+		} else if err != nil {
+			crashes++
+		}
+	}
+	if panics == 0 || crashes == 0 {
+		t.Fatalf("schedule produced %d panics, %d crashes; both mixes must be exercised", panics, crashes)
+	}
+	// Determinism: an independent campaign value rolls identically.
+	again := &Campaign{Name: "mixed", Seed: 42, Phases: []ChaosPhase{
+		{Name: "mixed", Requests: 400, Panics: 0.2, Crashes: 0.2},
+	}}
+	for req := uint64(0); req < 400; req++ {
+		if camp.PanicAt(req, "worker") != again.PanicAt(req, "worker") ||
+			camp.CrashAt(req, "worker") != again.CrashAt(req, "worker") {
+			t.Fatalf("req %d: schedule not deterministic across instances", req)
+		}
+	}
+	// Out-of-schedule requests never activate.
+	if camp.PanicAt(9999, "worker") || camp.CrashAt(9999, "worker") {
+		t.Error("requests past the schedule must not activate")
+	}
+}
+
+func TestRecoveryCampaignValid(t *testing.T) {
+	camp := RecoveryCampaign(1)
+	if err := camp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sawPanic, sawCrash := false, false
+	for req := uint64(0); req < uint64(camp.Total()); req++ {
+		sawPanic = sawPanic || camp.PanicAt(req, "worker")
+		sawCrash = sawCrash || camp.CrashAt(req, "worker")
+	}
+	if !sawPanic || !sawCrash {
+		t.Errorf("builtin recovery schedule: sawPanic=%v sawCrash=%v, want both", sawPanic, sawCrash)
+	}
+	if camp.PanicAt(0, "worker") {
+		t.Error("warmup phase must stay calm")
+	}
+}

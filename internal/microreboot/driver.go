@@ -1,0 +1,145 @@
+package microreboot
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/softwarefaults/redundancy/internal/supervise"
+)
+
+// Driver bridges a System into a supervision tree (internal/supervise):
+// each component of interest becomes a supervised child whose failure —
+// reported through the System's failure-detector hook — triggers a
+// supervised micro-reboot instead of a direct MicroReboot call. The
+// supervisor contributes what the bare System lacks: restart-intensity
+// bounds, escalation to the parent tree, and measured recovery time;
+// the Manager underneath contributes Candea-style recursive escalation
+// of the reboot scope.
+//
+// The Driver also serializes access to the System, which on its own is
+// not safe for concurrent use. Route all mutations (Fail, Serve,
+// OpenSession) through the Driver once it is attached.
+type Driver struct {
+	mu  sync.Mutex // guards sys and mgr
+	sys *System
+	mgr *Manager
+
+	subMu sync.Mutex
+	subs  map[string]chan struct{} // component -> failure signal
+}
+
+// NewDriver wraps sys. The driver registers itself as the System's
+// failure callback.
+func NewDriver(sys *System) (*Driver, error) {
+	mgr, err := NewManager(sys)
+	if err != nil {
+		return nil, err
+	}
+	d := &Driver{sys: sys, mgr: mgr, subs: make(map[string]chan struct{})}
+	sys.SetOnFail(d.notify)
+	return d, nil
+}
+
+// notify wakes the subscriber watching the failed component. It runs
+// inside Fail, which may itself run under d.mu — so it must only touch
+// subMu state.
+func (d *Driver) notify(name string) {
+	d.subMu.Lock()
+	ch := d.subs[name]
+	d.subMu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- struct{}{}:
+		default: // a signal is already pending
+		}
+	}
+}
+
+// Child returns the supervise.ChildSpec watching one component: Run
+// blocks until the component fails (turning the failure into a child
+// exit the supervisor reacts to), and Init heals it with the Manager's
+// recursive recovery — paying the reboot cost, destroying subtree
+// sessions, escalating the scope on repeated failures.
+func (d *Driver) Child(component string) (supervise.ChildSpec, error) {
+	d.mu.Lock()
+	_, known := d.sys.index[component]
+	d.mu.Unlock()
+	if !known {
+		return supervise.ChildSpec{}, fmt.Errorf("%q: %w", component, ErrUnknownComponent)
+	}
+	d.subMu.Lock()
+	ch, ok := d.subs[component]
+	if !ok {
+		ch = make(chan struct{}, 1)
+		d.subs[component] = ch
+	}
+	d.subMu.Unlock()
+	return supervise.ChildSpec{
+		Name: component,
+		Init: func(context.Context) error {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			healthy, err := d.sys.Healthy(component)
+			if err != nil {
+				return err
+			}
+			if !healthy {
+				d.mgr.Recover()
+			}
+			return nil
+		},
+		Run: func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-ch:
+				return fmt.Errorf("component %q: %w", component, ErrComponentFailed)
+			}
+		},
+	}, nil
+}
+
+// Fail marks a component failed (thread-safe fault-injection hook). The
+// supervised child watching it wakes and the supervisor drives the
+// recovery.
+func (d *Driver) Fail(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sys.Fail(name)
+}
+
+// Serve routes one request (thread-safe).
+func (d *Driver) Serve(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sys.Serve(name)
+}
+
+// OpenSession records a session (thread-safe).
+func (d *Driver) OpenSession(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sys.OpenSession(name)
+}
+
+// Healthy reports component health (thread-safe).
+func (d *Driver) Healthy(name string) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sys.Healthy(name)
+}
+
+// Stats returns the accumulated recovery cost and destroyed sessions.
+func (d *Driver) Stats() (downtime float64, sessionsLost int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sys.Downtime, d.sys.SessionsLost
+}
+
+// ResetEscalation clears the Manager's escalation history.
+func (d *Driver) ResetEscalation() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mgr.ResetEscalation()
+}

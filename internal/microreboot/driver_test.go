@@ -1,0 +1,156 @@
+package microreboot
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/supervise"
+)
+
+func driverFixture(t *testing.T) *Driver {
+	t.Helper()
+	sys, err := NewSystem(Spec{
+		Name: "root", InitCost: 10,
+		Children: []Spec{
+			{Name: "api", InitCost: 3, Children: []Spec{
+				{Name: "cache", InitCost: 1},
+			}},
+			{Name: "db", InitCost: 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDriverSupervisedMicroReboot(t *testing.T) {
+	d := driverFixture(t)
+	c := obs.NewCollector()
+	sup := supervise.New(supervise.Options{
+		Name:      "reboot-sup",
+		Intensity: supervise.Intensity{MaxRestarts: 10, Window: time.Minute},
+		Observer:  c,
+	})
+	spec, err := d.Child("cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Add(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Child("nonexistent"); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("unknown component error = %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sup.Serve(ctx) }()
+
+	// Let the child start, then inject a failure. Requests through the
+	// failed component error until the supervised recovery heals it.
+	waitUntil(t, func() bool { return d.Serve("cache") == nil })
+	if err := d.OpenSession("cache"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fail("cache"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, func() bool {
+		healthy, _ := d.Healthy("cache")
+		return healthy && d.Serve("cache") == nil
+	})
+	downtime, lost := d.Stats()
+	if downtime != 1 {
+		t.Errorf("downtime = %v, want 1 (cache subtree only — the point of micro-reboot)", downtime)
+	}
+	if lost != 1 {
+		t.Errorf("sessions lost = %d, want 1", lost)
+	}
+	if sup.Restarts("cache") != 1 {
+		t.Errorf("supervised restarts = %d, want 1", sup.Restarts("cache"))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor did not shut down")
+	}
+
+	// The MTTR histogram on the supervisor's executor carries the sample.
+	var snap obs.ExecutorSnapshot
+	for _, e := range c.Snapshot() {
+		if e.Executor == "reboot-sup" {
+			snap = e
+		}
+	}
+	if snap.Restarts != 1 || snap.MTTR.Count != 1 {
+		t.Errorf("obs: restarts=%d mttr samples=%d, want 1 and 1", snap.Restarts, snap.MTTR.Count)
+	}
+}
+
+func TestDriverRepeatedFailureEscalatesRebootScope(t *testing.T) {
+	d := driverFixture(t)
+	sup := supervise.New(supervise.Options{
+		Intensity: supervise.Intensity{MaxRestarts: 10, Window: time.Minute},
+	})
+	spec, err := d.Child("cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Add(spec); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- sup.Serve(ctx) }()
+	waitUntil(t, func() bool { return d.Serve("cache") == nil })
+
+	// Fail the same component three times: with the Manager's default
+	// escalation window of 2, the third recovery reboots the parent
+	// subtree (api: cost 3+1) instead of just the cache (cost 1).
+	for i := 0; i < 3; i++ {
+		if err := d.Fail("cache"); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, func() bool {
+			healthy, _ := d.Healthy("cache")
+			return healthy
+		})
+		waitUntil(t, func() bool { return sup.Restarts("cache") == i+1 })
+	}
+	downtime, _ := d.Stats()
+	if downtime != 1+1+4 {
+		t.Errorf("downtime = %v, want 6 (1 + 1 + escalated 4)", downtime)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor did not shut down")
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

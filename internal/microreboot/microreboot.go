@@ -59,7 +59,17 @@ type System struct {
 	Downtime float64
 	// SessionsLost accumulates sessions destroyed by reboots.
 	SessionsLost int
+
+	// onFail, when set, is called after a component is marked failed —
+	// the failure-detector hook recovery drivers subscribe to.
+	onFail func(name string)
 }
+
+// SetOnFail registers a failure callback, invoked synchronously from
+// Fail after the component is marked unhealthy. One callback at a time;
+// nil unregisters. The Driver uses it to feed failures into a
+// supervision tree.
+func (s *System) SetOnFail(fn func(name string)) { s.onFail = fn }
 
 // NewSystem builds the runtime tree from a spec.
 func NewSystem(spec Spec) (*System, error) {
@@ -110,6 +120,9 @@ func (s *System) Fail(name string) error {
 		return fmt.Errorf("%q: %w", name, ErrUnknownComponent)
 	}
 	c.healthy = false
+	if s.onFail != nil {
+		s.onFail(name)
+	}
 	return nil
 }
 

@@ -46,7 +46,14 @@ type ExecutorStats struct {
 	degraded     atomic.Int64 // requests served by the degradation ladder
 	breakerOpens atomic.Int64 // circuit-breaker transitions into open
 
+	// Crash-recovery counters (RecoveryObserver events).
+	checkpoints atomic.Int64 // durable snapshots committed
+	walReplays  atomic.Int64 // recovery replays completed
+	restarts    atomic.Int64 // supervised process restarts
+	escalations atomic.Int64 // restart-intensity escalations
+
 	latency Histogram // request latency
+	mttr    Histogram // supervised-restart recovery time
 
 	mu       sync.Mutex // serializes copy-on-write inserts
 	variants atomic.Pointer[map[string]*VariantStats]
@@ -207,7 +214,12 @@ type ExecutorSnapshot struct {
 	Shed             int64             `json:"shed,omitempty"`
 	DegradedServes   int64             `json:"degraded_serves,omitempty"`
 	BreakerOpens     int64             `json:"breaker_opens,omitempty"`
+	Checkpoints      int64             `json:"checkpoints,omitempty"`
+	WALReplays       int64             `json:"wal_replays,omitempty"`
+	Restarts         int64             `json:"restarts,omitempty"`
+	Escalations      int64             `json:"escalations,omitempty"`
 	Latency          HistogramSnapshot `json:"latency"`
+	MTTR             HistogramSnapshot `json:"mttr,omitempty"`
 	Variants         []VariantSnapshot `json:"variants,omitempty"`
 }
 
@@ -234,7 +246,12 @@ func (c *Collector) Snapshot() []ExecutorSnapshot {
 			Shed:             e.shed.Load(),
 			DegradedServes:   e.degraded.Load(),
 			BreakerOpens:     e.breakerOpens.Load(),
+			Checkpoints:      e.checkpoints.Load(),
+			WALReplays:       e.walReplays.Load(),
+			Restarts:         e.restarts.Load(),
+			Escalations:      e.escalations.Load(),
 			Latency:          e.latency.Snapshot(),
+			MTTR:             e.mttr.Snapshot(),
 		}
 		if vm := e.variants.Load(); vm != nil {
 			for _, v := range *vm {
@@ -262,6 +279,19 @@ func (c *Collector) ExecutorLatency(executor string) *Histogram {
 	if m := c.execs.Load(); m != nil {
 		if e, ok := (*m)[executor]; ok {
 			return &e.latency
+		}
+	}
+	return nil
+}
+
+// ExecutorMTTR returns the supervised-restart recovery-time histogram of
+// an executor (fed by ProcessRestarted downtime samples), or nil if the
+// executor has not been observed. The histogram keeps accumulating;
+// callers must treat it as read-only.
+func (c *Collector) ExecutorMTTR(executor string) *Histogram {
+	if m := c.execs.Load(); m != nil {
+		if e, ok := (*m)[executor]; ok {
+			return &e.mttr
 		}
 	}
 	return nil

@@ -126,6 +126,14 @@ func WritePrometheus(w io.Writer, c *Collector) {
 		func(e ExecutorSnapshot) int64 { return e.DegradedServes })
 	counter("redundancy_breaker_opens_total", "Circuit-breaker transitions into the open state.",
 		func(e ExecutorSnapshot) int64 { return e.BreakerOpens })
+	counter("redundancy_checkpoints_taken_total", "Durable checkpoint snapshots committed.",
+		func(e ExecutorSnapshot) int64 { return e.Checkpoints })
+	counter("redundancy_wal_replays_total", "WAL recovery replays completed after a restart.",
+		func(e ExecutorSnapshot) int64 { return e.WALReplays })
+	counter("redundancy_process_restarts_total", "Supervised process restarts.",
+		func(e ExecutorSnapshot) int64 { return e.Restarts })
+	counter("redundancy_escalations_total", "Restart-intensity escalations raised to the parent supervisor.",
+		func(e ExecutorSnapshot) int64 { return e.Escalations })
 
 	fmt.Fprint(w, "# HELP redundancy_inflight_variants Variant executions currently running.\n")
 	fmt.Fprint(w, "# TYPE redundancy_inflight_variants gauge\n")
@@ -139,6 +147,19 @@ func WritePrometheus(w io.Writer, c *Collector) {
 	for _, e := range snap {
 		writeSummary(w, "redundancy_request_latency_seconds",
 			fmt.Sprintf("executor=%q", escapeLabel(e.Executor)), e.Latency)
+	}
+
+	// The MTTR summary carries real samples only for supervisors; series
+	// for executors that never restarted anything would be all-zero noise,
+	// so they are skipped.
+	fmt.Fprint(w, "# HELP redundancy_mttr_seconds Supervised-restart recovery time (failure to ready) per supervisor.\n")
+	fmt.Fprint(w, "# TYPE redundancy_mttr_seconds summary\n")
+	for _, e := range snap {
+		if e.MTTR.Count == 0 {
+			continue
+		}
+		writeSummary(w, "redundancy_mttr_seconds",
+			fmt.Sprintf("executor=%q", escapeLabel(e.Executor)), e.MTTR)
 	}
 
 	fmt.Fprint(w, "# HELP redundancy_variant_executions_total Variant executions per executor and variant.\n")

@@ -1,0 +1,172 @@
+package obs
+
+// Recovery events extend the observation layer with the crash-recovery
+// vocabulary (internal/checkpoint's durable store and internal/supervise's
+// supervision tree): checkpoints taken, WAL replays after a restart,
+// supervised process restarts with their measured recovery time, and
+// restart-intensity escalations.
+//
+// Like the resilience-policy events (policy.go), the recovery events are
+// an *optional* extension of Observer so existing observers keep
+// compiling unchanged: an observer that wants them additionally
+// implements RecoveryObserver, and emitters route events through the
+// Emit* helpers, which type-assert and fan out through combined
+// observers. The built-in Collector implements the extension and feeds
+// an MTTR histogram from the ProcessRestarted downtime.
+
+import "time"
+
+// RecoveryObserver is the optional Observer extension receiving
+// crash-recovery events. Observers implement it in addition to Observer;
+// emitters must route events through the Emit* helpers so that combined
+// observers (Combine) fan the events out to every member that implements
+// the extension.
+type RecoveryObserver interface {
+	// CheckpointTaken reports that component durably committed a snapshot
+	// covering all operations up to and including seq; bytes is the
+	// snapshot's encoded size.
+	CheckpointTaken(component string, seq uint64, bytes int)
+	// WALReplayed reports a completed recovery replay for component:
+	// records operations were re-applied on top of the restored snapshot,
+	// and truncated bytes of torn tail were discarded from the log.
+	WALReplayed(component string, records int, truncated int64)
+	// ProcessRestarted reports that a supervisor restarted child under
+	// executor (the supervisor name); restarts is the child's cumulative
+	// restart count and downtime the measured failure-to-ready recovery
+	// time (the MTTR sample).
+	ProcessRestarted(executor, child string, restarts int, downtime time.Duration)
+	// EscalationRaised reports that executor (the supervisor) exceeded its
+	// restart-intensity window on child and escalated the failure to its
+	// parent instead of restarting again.
+	EscalationRaised(executor, child string)
+}
+
+// EmitCheckpointTaken delivers a checkpoint event to o if it (or any
+// member of a combined observer) implements RecoveryObserver. Nil
+// observers are ignored.
+func EmitCheckpointTaken(o Observer, component string, seq uint64, bytes int) {
+	if r, ok := o.(RecoveryObserver); ok {
+		r.CheckpointTaken(component, seq, bytes)
+	}
+}
+
+// EmitWALReplayed delivers a replay event to o if it implements
+// RecoveryObserver. Nil observers are ignored.
+func EmitWALReplayed(o Observer, component string, records int, truncated int64) {
+	if r, ok := o.(RecoveryObserver); ok {
+		r.WALReplayed(component, records, truncated)
+	}
+}
+
+// EmitProcessRestarted delivers a restart event to o if it implements
+// RecoveryObserver. Nil observers are ignored.
+func EmitProcessRestarted(o Observer, executor, child string, restarts int, downtime time.Duration) {
+	if r, ok := o.(RecoveryObserver); ok {
+		r.ProcessRestarted(executor, child, restarts, downtime)
+	}
+}
+
+// EmitEscalationRaised delivers an escalation event to o if it implements
+// RecoveryObserver. Nil observers are ignored.
+func EmitEscalationRaised(o Observer, executor, child string) {
+	if r, ok := o.(RecoveryObserver); ok {
+		r.EscalationRaised(executor, child)
+	}
+}
+
+// CheckpointTaken implements RecoveryObserver for Nop.
+func (Nop) CheckpointTaken(string, uint64, int) {}
+
+// WALReplayed implements RecoveryObserver for Nop.
+func (Nop) WALReplayed(string, int, int64) {}
+
+// ProcessRestarted implements RecoveryObserver for Nop.
+func (Nop) ProcessRestarted(string, string, int, time.Duration) {}
+
+// EscalationRaised implements RecoveryObserver for Nop.
+func (Nop) EscalationRaised(string, string) {}
+
+var _ RecoveryObserver = Nop{}
+
+// CheckpointTaken implements RecoveryObserver: the event reaches every
+// member that implements the extension.
+func (m multi) CheckpointTaken(component string, seq uint64, bytes int) {
+	for _, o := range m {
+		if r, ok := o.(RecoveryObserver); ok {
+			r.CheckpointTaken(component, seq, bytes)
+		}
+	}
+}
+
+// WALReplayed implements RecoveryObserver.
+func (m multi) WALReplayed(component string, records int, truncated int64) {
+	for _, o := range m {
+		if r, ok := o.(RecoveryObserver); ok {
+			r.WALReplayed(component, records, truncated)
+		}
+	}
+}
+
+// ProcessRestarted implements RecoveryObserver.
+func (m multi) ProcessRestarted(executor, child string, restarts int, downtime time.Duration) {
+	for _, o := range m {
+		if r, ok := o.(RecoveryObserver); ok {
+			r.ProcessRestarted(executor, child, restarts, downtime)
+		}
+	}
+}
+
+// EscalationRaised implements RecoveryObserver.
+func (m multi) EscalationRaised(executor, child string) {
+	for _, o := range m {
+		if r, ok := o.(RecoveryObserver); ok {
+			r.EscalationRaised(executor, child)
+		}
+	}
+}
+
+var _ RecoveryObserver = multi(nil)
+
+// CheckpointTaken implements RecoveryObserver: the Collector counts
+// checkpoints per component (exposed under the executor dimension, since
+// a durable store is the state substrate of exactly one component).
+func (c *Collector) CheckpointTaken(component string, _ uint64, _ int) {
+	c.exec(component).checkpoints.Add(1)
+}
+
+// WALReplayed implements RecoveryObserver.
+func (c *Collector) WALReplayed(component string, _ int, _ int64) {
+	c.exec(component).walReplays.Add(1)
+}
+
+// ProcessRestarted implements RecoveryObserver: the downtime feeds the
+// supervisor's MTTR histogram, the source of the p50/p99 recovery-time
+// quantiles on the metrics endpoint.
+func (c *Collector) ProcessRestarted(executor, _ string, _ int, downtime time.Duration) {
+	e := c.exec(executor)
+	e.restarts.Add(1)
+	e.mttr.Observe(downtime)
+}
+
+// EscalationRaised implements RecoveryObserver.
+func (c *Collector) EscalationRaised(executor, _ string) {
+	c.exec(executor).escalations.Add(1)
+}
+
+var _ RecoveryObserver = (*Collector)(nil)
+
+// CheckpointTaken implements RecoveryObserver. Recovery events are not
+// bound to one request, so the trace ring has nothing to attach them to;
+// the Collector keeps the counts.
+func (t *TraceRecorder) CheckpointTaken(string, uint64, int) {}
+
+// WALReplayed implements RecoveryObserver.
+func (t *TraceRecorder) WALReplayed(string, int, int64) {}
+
+// ProcessRestarted implements RecoveryObserver.
+func (t *TraceRecorder) ProcessRestarted(string, string, int, time.Duration) {}
+
+// EscalationRaised implements RecoveryObserver.
+func (t *TraceRecorder) EscalationRaised(string, string) {}
+
+var _ RecoveryObserver = (*TraceRecorder)(nil)

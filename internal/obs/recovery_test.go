@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordingRecovery captures recovery events for fan-out assertions.
+type recordingRecovery struct {
+	Nop
+	checkpoints  int
+	replays      int
+	restarts     int
+	escalations  int
+	lastDowntime time.Duration
+}
+
+func (r *recordingRecovery) CheckpointTaken(string, uint64, int) { r.checkpoints++ }
+func (r *recordingRecovery) WALReplayed(string, int, int64)      { r.replays++ }
+func (r *recordingRecovery) ProcessRestarted(_, _ string, _ int, d time.Duration) {
+	r.restarts++
+	r.lastDowntime = d
+}
+func (r *recordingRecovery) EscalationRaised(string, string) { r.escalations++ }
+
+func TestEmitRecoveryEventsFanOut(t *testing.T) {
+	a := &recordingRecovery{}
+	b := &recordingRecovery{}
+	// plain has no RecoveryObserver implementation; it must simply be
+	// skipped by the emit helpers without breaking the fan-out.
+	plain := &eventLog{}
+	o := Combine(a, plain, b)
+
+	EmitCheckpointTaken(o, "worker", 10, 128)
+	EmitWALReplayed(o, "worker", 3, 17)
+	EmitProcessRestarted(o, "sup", "worker", 1, 5*time.Millisecond)
+	EmitEscalationRaised(o, "sup", "worker")
+	EmitCheckpointTaken(nil, "worker", 11, 1) // nil observer: no-op
+
+	for _, r := range []*recordingRecovery{a, b} {
+		if r.checkpoints != 1 || r.replays != 1 || r.restarts != 1 || r.escalations != 1 {
+			t.Errorf("events = %+v, want one of each", r)
+		}
+		if r.lastDowntime != 5*time.Millisecond {
+			t.Errorf("downtime = %v", r.lastDowntime)
+		}
+	}
+}
+
+func TestCollectorRecoveryCounters(t *testing.T) {
+	c := NewCollector()
+	var o Observer = c
+	EmitCheckpointTaken(o, "worker", 1, 64)
+	EmitCheckpointTaken(o, "worker", 2, 64)
+	EmitWALReplayed(o, "worker", 5, 0)
+	EmitProcessRestarted(o, "sup", "worker", 1, 2*time.Millisecond)
+	EmitProcessRestarted(o, "sup", "worker", 2, 4*time.Millisecond)
+	EmitEscalationRaised(o, "sup", "worker")
+
+	var worker, sup ExecutorSnapshot
+	for _, s := range c.Snapshot() {
+		switch s.Executor {
+		case "worker":
+			worker = s
+		case "sup":
+			sup = s
+		}
+	}
+	if worker.Checkpoints != 2 || worker.WALReplays != 1 {
+		t.Errorf("worker snapshot = %+v", worker)
+	}
+	if sup.Restarts != 2 || sup.Escalations != 1 {
+		t.Errorf("sup snapshot = %+v", sup)
+	}
+	if sup.MTTR.Count != 2 {
+		t.Errorf("MTTR count = %d, want 2", sup.MTTR.Count)
+	}
+	h := c.ExecutorMTTR("sup")
+	if h == nil || h.Count() != 2 {
+		t.Fatalf("ExecutorMTTR = %v", h)
+	}
+	if c.ExecutorMTTR("unknown") != nil {
+		t.Error("ExecutorMTTR should be nil for unobserved executors")
+	}
+}
+
+func TestPrometheusRecoverySeries(t *testing.T) {
+	c := NewCollector()
+	EmitCheckpointTaken(c, "worker", 1, 64)
+	EmitProcessRestarted(c, "sup", "worker", 1, 3*time.Millisecond)
+	var b strings.Builder
+	WritePrometheus(&b, c)
+	out := b.String()
+	for _, want := range []string{
+		`redundancy_checkpoints_taken_total{executor="worker"} 1`,
+		`redundancy_process_restarts_total{executor="sup"} 1`,
+		`redundancy_mttr_seconds{executor="sup",quantile="0.99"}`,
+		`redundancy_mttr_seconds_count{executor="sup"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	// Executors with no restarts must not produce an all-zero MTTR series.
+	if strings.Contains(out, `redundancy_mttr_seconds_count{executor="worker"}`) {
+		t.Error("worker (no restarts) should have no MTTR series")
+	}
+}

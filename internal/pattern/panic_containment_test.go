@@ -1,0 +1,144 @@
+package pattern
+
+// Panic containment across all four executors: a FailPanic-injected
+// variant (a fault that aborts the call stack instead of returning)
+// must surface as an ordinary variant error, never crash the calling
+// goroutine, and never take healthy siblings down with it. Run with
+// -race: the parallel executors contain panics on worker goroutines.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/vote"
+)
+
+// panicVariant fails every request in FailPanic mode via the injector —
+// the same fault plumbing experiments use, not a hand-rolled panic.
+func panicVariant(name string) core.Variant[int, int] {
+	return &faultmodel.Injector[int, int]{
+		Base: core.NewVariant(name, func(_ context.Context, x int) (int, error) {
+			return x, nil
+		}),
+		Faults: []faultmodel.Fault{faultmodel.Bohrbug{ID: 1, TriggerFraction: 1}},
+		Mode:   faultmodel.FailPanic,
+		Key:    faultmodel.HashInt,
+	}
+}
+
+func okVariant(name string) core.Variant[int, int] {
+	return core.NewVariant(name, func(_ context.Context, x int) (int, error) {
+		return x, nil
+	})
+}
+
+func TestSingleContainsFailPanic(t *testing.T) {
+	s, err := NewSingle(panicVariant("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Execute(context.Background(), 7)
+	if !errors.Is(err, core.ErrVariantPanicked) {
+		t.Fatalf("err = %v, want ErrVariantPanicked", err)
+	}
+	var act *faultmodel.ActivatedError
+	if !errors.As(err, &act) {
+		t.Errorf("panic payload lost: %v", err)
+	} else if act.Variant != "v1" {
+		t.Errorf("payload variant = %q, want v1", act.Variant)
+	}
+}
+
+func TestParallelEvaluationContainsFailPanic(t *testing.T) {
+	pe, err := NewParallelEvaluation(
+		[]core.Variant[int, int]{okVariant("a"), panicVariant("b"), okVariant("c")},
+		vote.Majority(core.EqualOf[int]()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two healthy versions outvote the panicking one.
+	if got, err := pe.Execute(context.Background(), 9); err != nil || got != 9 {
+		t.Errorf("= (%d, %v), want (9, nil)", got, err)
+	}
+
+	// All versions panicking: the vote fails, the test goroutine lives.
+	all, err := NewParallelEvaluation(
+		[]core.Variant[int, int]{panicVariant("a"), panicVariant("b"), panicVariant("c")},
+		vote.Majority(core.EqualOf[int]()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := all.Execute(context.Background(), 9); err == nil {
+		t.Error("unanimous panic should fail the vote")
+	}
+}
+
+func TestParallelSelectionContainsFailPanic(t *testing.T) {
+	ps, err := NewParallelSelection(
+		[]core.Variant[int, int]{panicVariant("crashy"), okVariant("steady")},
+		[]core.AcceptanceTest[int, int]{acceptAll, acceptAll},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ps.Execute(context.Background(), 4); err != nil || got != 4 {
+		t.Errorf("= (%d, %v), want (4, nil)", got, err)
+	}
+}
+
+func TestSequentialAlternativesContainFailPanic(t *testing.T) {
+	sa, err := NewSequentialAlternatives(
+		[]core.Variant[int, int]{panicVariant("primary"), okVariant("alternate")},
+		acceptAll, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sa.Execute(context.Background(), 5); err != nil || got != 5 {
+		t.Errorf("= (%d, %v), want (5, nil)", got, err)
+	}
+
+	// Every alternate panicking: a detected failure, not a crash.
+	all, err := NewSequentialAlternatives(
+		[]core.Variant[int, int]{panicVariant("p1"), panicVariant("p2")},
+		acceptAll, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := all.Execute(context.Background(), 5); !errors.Is(err, core.ErrVariantPanicked) {
+		t.Errorf("err = %v, want ErrVariantPanicked in chain", err)
+	}
+}
+
+func TestPanicContainmentUnderConcurrency(t *testing.T) {
+	// Hammer the parallel executors with concurrent requests while one
+	// variant panics on every call; -race watches the recover paths.
+	pe, err := NewParallelEvaluation(
+		[]core.Variant[int, int]{okVariant("a"), panicVariant("b"), okVariant("c")},
+		vote.Majority(core.EqualOf[int]()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got, err := pe.Execute(context.Background(), g*100+i); err != nil || got != g*100+i {
+					t.Errorf("= (%d, %v), want (%d, nil)", got, err, g*100+i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

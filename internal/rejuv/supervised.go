@@ -1,0 +1,129 @@
+package rejuv
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// Restarter asks a supervision tree to restart a named child.
+// supervise.Supervisor satisfies it; the indirection keeps rejuv from
+// depending on the supervision package.
+type Restarter interface {
+	Restart(name string) error
+}
+
+// Supervised is the supervision-integrated flavor of rejuvenation:
+// when the policy fires, instead of rejuvenating in place (a bare
+// flag-flip on the simulated environment), it asks the supervisor to
+// restart its child — and the environment reset happens inside the
+// child's Init, as part of a real supervised micro-reboot whose
+// downtime the supervisor measures and whose frequency its
+// restart-intensity window bounds.
+//
+// Wire it up by registering ChildInit as the child's Init. The child
+// stands for the live aging process, so its Run blocks until the
+// supervisor stops or restarts it:
+//
+//	sup := supervise.New(supervise.Options{...})
+//	sv, _ := rejuv.NewSupervised(variant, fault, policy, rng, sup, "aged")
+//	_ = sup.Add(supervise.ChildSpec{
+//		Name: "aged",
+//		Init: sv.ChildInit,
+//		Run:  func(ctx context.Context) error { <-ctx.Done(); return ctx.Err() },
+//	})
+//
+// Supervised serializes requests with an internal mutex, so unlike the
+// bare Rejuvenator it is safe to call Execute concurrently with the
+// supervisor running ChildInit.
+type Supervised[I, O any] struct {
+	mu        sync.Mutex
+	rej       *Rejuvenator[I, O]
+	policy    Policy
+	restarter Restarter
+	child     string
+
+	pending   bool // a restart was requested and has not completed yet
+	requested int
+}
+
+// NewSupervised builds a supervised rejuvenator over variant and fault.
+// policy decides when a restart is requested; restarter and child name
+// the supervision-tree target.
+func NewSupervised[I, O any](variant core.Variant[I, O], fault faultmodel.AgingFault, policy Policy, rng *xrand.Rand, restarter Restarter, child string) (*Supervised[I, O], error) {
+	if restarter == nil {
+		return nil, errors.New("rejuv: nil restarter")
+	}
+	if policy == nil {
+		return nil, errors.New("rejuv: nil policy")
+	}
+	if child == "" {
+		return nil, errors.New("rejuv: empty child name")
+	}
+	// The inner rejuvenator never self-rejuvenates: the reset is owned by
+	// the supervised restart path (ChildInit).
+	rej, err := NewRejuvenator(variant, fault, NeverPolicy{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Supervised[I, O]{
+		rej:       rej,
+		policy:    policy,
+		restarter: restarter,
+		child:     child,
+	}, nil
+}
+
+var _ core.Executor[int, int] = (*Supervised[int, int])(nil)
+
+// Inner exposes the underlying rejuvenator (observer wiring, Env
+// inspection, FragmentationGrowth/LeakPerRequest tuning).
+func (s *Supervised[I, O]) Inner() *Rejuvenator[I, O] { return s.rej }
+
+// RestartsRequested reports how many supervised restarts the policy has
+// asked for.
+func (s *Supervised[I, O]) RestartsRequested() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requested
+}
+
+// Rejuvenations reports how many restarts completed (ChildInit ran).
+func (s *Supervised[I, O]) Rejuvenations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rej.Rejuvenations()
+}
+
+// ChildInit is the supervise.ChildSpec.Init body: it performs the
+// deferred environment reset as part of the supervised restart. Its
+// completion is what ends the restart's measured downtime.
+func (s *Supervised[I, O]) ChildInit(context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rej.env.Rejuvenate()
+	s.rej.rejuvenations++
+	s.pending = false
+	return nil
+}
+
+// Execute implements core.Executor: it applies the policy — requesting
+// a supervised restart instead of rejuvenating in place — then serves
+// the request through the aging process.
+func (s *Supervised[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.pending && s.policy.ShouldRejuvenate(s.rej.env) {
+		// One request in flight at a time: repeat triggers while the
+		// restart is queued must not flood the supervisor.
+		if err := s.restarter.Restart(s.child); err == nil {
+			s.pending = true
+			s.requested++
+		}
+	}
+	return s.rej.Execute(ctx, input)
+}

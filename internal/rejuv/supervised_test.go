@@ -1,0 +1,164 @@
+package rejuv
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/supervise"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+func identityVariant() core.Variant[int, int] {
+	return core.NewVariant("id", func(_ context.Context, x int) (int, error) { return x, nil })
+}
+
+func TestNewSupervisedValidation(t *testing.T) {
+	v := identityVariant()
+	rng := xrand.New(1)
+	fault := faultmodel.AgingFault{}
+	sup := supervise.New(supervise.Options{})
+	if _, err := NewSupervised(v, fault, PeriodicPolicy{Every: 5}, rng, nil, "aged"); err == nil {
+		t.Error("nil restarter accepted")
+	}
+	if _, err := NewSupervised(v, fault, nil, rng, sup, "aged"); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := NewSupervised(v, fault, PeriodicPolicy{Every: 5}, rng, sup, ""); err == nil {
+		t.Error("empty child name accepted")
+	}
+}
+
+func TestSupervisedRejuvenationViaSupervisor(t *testing.T) {
+	c := obs.NewCollector()
+	sup := supervise.New(supervise.Options{
+		Name:      "rejuv-sup",
+		Intensity: supervise.Intensity{MaxRestarts: 50, Window: time.Minute},
+		Observer:  c,
+	})
+	sv, err := NewSupervised(identityVariant(), faultmodel.AgingFault{}, PeriodicPolicy{Every: 10},
+		xrand.New(1), sup, "aged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Add(supervise.ChildSpec{
+		Name: "aged",
+		Init: sv.ChildInit,
+		Run:  func(ctx context.Context) error { <-ctx.Done(); return ctx.Err() },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- sup.Serve(ctx) }()
+
+	// Age the process past the policy period: the trigger must go through
+	// the supervisor (a measured restart), not flip the env in place.
+	for i := 0; i < 200; i++ {
+		if _, err := sv.Execute(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Microsecond) // give the supervisor room to run Init
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sv.Rejuvenations() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sv.RestartsRequested() == 0 {
+		t.Fatal("policy never requested a supervised restart")
+	}
+	if sv.Rejuvenations() == 0 {
+		t.Fatal("no rejuvenation completed through ChildInit")
+	}
+	if got := sv.Inner().Env().Age; got >= 200 {
+		t.Errorf("age = %d; rejuvenation should have reset it", got)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor did not shut down")
+	}
+
+	// Each completed rejuvenation is a supervised restart with an MTTR
+	// sample on the supervisor's executor.
+	var snap obs.ExecutorSnapshot
+	for _, e := range c.Snapshot() {
+		if e.Executor == "rejuv-sup" {
+			snap = e
+		}
+	}
+	if snap.Restarts == 0 || snap.MTTR.Count == 0 {
+		t.Errorf("obs: restarts=%d mttr=%d, want both > 0", snap.Restarts, snap.MTTR.Count)
+	}
+	// ChildInit also runs once at the initial boot, which resets a fresh
+	// env without a corresponding restart.
+	if int(snap.Restarts) != sv.Rejuvenations()-1 {
+		t.Errorf("restarts=%d, rejuvenations=%d; every post-boot rejuvenation should be a supervised restart",
+			snap.Restarts, sv.Rejuvenations())
+	}
+}
+
+func TestSupervisedPendingSuppressesRestartFlood(t *testing.T) {
+	// A restarter that never completes restarts: requested count must
+	// stay at 1 no matter how many times the policy fires.
+	stall := &stallingRestarter{}
+	sv, err := NewSupervised(identityVariant(), faultmodel.AgingFault{}, PeriodicPolicy{Every: 5},
+		xrand.New(1), stall, "aged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := sv.Execute(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sv.RestartsRequested() != 1 {
+		t.Errorf("requested = %d, want 1 (pending restart must suppress re-triggers)", sv.RestartsRequested())
+	}
+	if stall.calls != 1 {
+		t.Errorf("restarter calls = %d, want 1", stall.calls)
+	}
+}
+
+type stallingRestarter struct{ calls int }
+
+func (s *stallingRestarter) Restart(string) error { s.calls++; return nil }
+
+func TestSupervisedRestartErrorKeepsServing(t *testing.T) {
+	// A failing restarter (e.g. supervisor not serving) must not wedge
+	// request serving; the trigger retries on a later request.
+	failing := &failingRestarter{}
+	sv, err := NewSupervised(identityVariant(), faultmodel.AgingFault{}, PeriodicPolicy{Every: 5},
+		xrand.New(1), failing, "aged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if out, err := sv.Execute(context.Background(), i); err != nil || out != i {
+			t.Fatalf("Execute(%d) = (%d, %v)", i, out, err)
+		}
+	}
+	if failing.calls < 2 {
+		t.Errorf("failed restart should be retried; calls = %d", failing.calls)
+	}
+	if sv.RestartsRequested() != 0 {
+		t.Errorf("requested = %d, want 0 (failed requests are not pending)", sv.RestartsRequested())
+	}
+}
+
+type failingRestarter struct{ calls int }
+
+func (f *failingRestarter) Restart(string) error {
+	f.calls++
+	return errors.New("not serving")
+}

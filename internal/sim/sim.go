@@ -65,6 +65,7 @@ func registry() []Experiment {
 		faultMatrixExperiment(),
 		availabilityExperiment(),
 		resilienceExperiment(),
+		recoveryExperiment(),
 	}
 }
 

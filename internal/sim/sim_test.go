@@ -60,8 +60,8 @@ func cellFloat(t *testing.T, cells []string, idx int) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	es := All()
-	if len(es) != 20 {
-		t.Errorf("registered experiments = %d, want 20", len(es))
+	if len(es) != 21 {
+		t.Errorf("registered experiments = %d, want 21", len(es))
 	}
 	seen := map[string]bool{}
 	for _, e := range es {

@@ -1,0 +1,478 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// leakCheck fails the test if goroutines grew across it (a stuck child
+// or monitor would show up here).
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutines grew from %d to %d", before, runtime.NumGoroutine())
+	})
+}
+
+// blockUntilCanceled is a well-behaved child body.
+func blockUntilCanceled(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// serveAsync runs Serve in a goroutine and returns a result channel.
+func serveAsync(ctx context.Context, s *Supervisor) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- s.Serve(ctx) }()
+	return ch
+}
+
+func waitServeDone(t *testing.T, ch <-chan error) error {
+	t.Helper()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
+		return nil
+	}
+}
+
+func TestOneForOneRestartsOnlyFailedChild(t *testing.T) {
+	leakCheck(t)
+	var aStarts, bStarts atomic.Int32
+	var fail atomic.Bool
+	fail.Store(true)
+	s := New(Options{Strategy: OneForOne, Intensity: Intensity{MaxRestarts: 5, Window: time.Minute}})
+	if err := s.Add(ChildSpec{
+		Name: "a",
+		Init: func(context.Context) error { aStarts.Add(1); return nil },
+		Run:  blockUntilCanceled,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(ChildSpec{
+		Name: "b",
+		Init: func(context.Context) error { bStarts.Add(1); return nil },
+		Run: func(ctx context.Context) error {
+			if fail.CompareAndSwap(true, false) {
+				return errors.New("one-shot failure")
+			}
+			return blockUntilCanceled(ctx)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := serveAsync(ctx, s)
+	waitFor(t, func() bool { return s.Restarts("b") == 1 })
+	cancel()
+	if err := waitServeDone(t, ch); err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+	if got := aStarts.Load(); got != 1 {
+		t.Errorf("a started %d times, want 1 (one_for_one must not bounce siblings)", got)
+	}
+	if got := bStarts.Load(); got != 2 {
+		t.Errorf("b started %d times, want 2", got)
+	}
+}
+
+func TestRestForOneBouncesLaterSiblings(t *testing.T) {
+	leakCheck(t)
+	starts := make(map[string]*atomic.Int32)
+	for _, n := range []string{"a", "b", "c"} {
+		starts[n] = &atomic.Int32{}
+	}
+	var fail atomic.Bool
+	fail.Store(true)
+	s := New(Options{Strategy: RestForOne, Intensity: Intensity{MaxRestarts: 5, Window: time.Minute}})
+	mk := func(name string, failing bool) ChildSpec {
+		return ChildSpec{
+			Name: name,
+			Init: func(context.Context) error { starts[name].Add(1); return nil },
+			Run: func(ctx context.Context) error {
+				if failing && fail.CompareAndSwap(true, false) {
+					return errors.New("boom")
+				}
+				return blockUntilCanceled(ctx)
+			},
+		}
+	}
+	for _, c := range []ChildSpec{mk("a", false), mk("b", true), mk("c", false)} {
+		if err := s.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := serveAsync(ctx, s)
+	waitFor(t, func() bool { return starts["c"].Load() == 2 })
+	cancel()
+	if err := waitServeDone(t, ch); err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+	if starts["a"].Load() != 1 {
+		t.Errorf("a started %d times, want 1 (earlier sibling must stay up)", starts["a"].Load())
+	}
+	if starts["b"].Load() != 2 || starts["c"].Load() != 2 {
+		t.Errorf("b=%d c=%d starts, want 2 and 2", starts["b"].Load(), starts["c"].Load())
+	}
+}
+
+func TestAllForOneBouncesEveryone(t *testing.T) {
+	leakCheck(t)
+	var aStarts atomic.Int32
+	var fail atomic.Bool
+	fail.Store(true)
+	s := New(Options{Strategy: AllForOne, Intensity: Intensity{MaxRestarts: 5, Window: time.Minute}})
+	if err := s.Add(ChildSpec{
+		Name: "a",
+		Init: func(context.Context) error { aStarts.Add(1); return nil },
+		Run:  blockUntilCanceled,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(ChildSpec{
+		Name: "b",
+		Run: func(ctx context.Context) error {
+			if fail.CompareAndSwap(true, false) {
+				return errors.New("boom")
+			}
+			return blockUntilCanceled(ctx)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := serveAsync(ctx, s)
+	waitFor(t, func() bool { return aStarts.Load() == 2 })
+	cancel()
+	if err := waitServeDone(t, ch); err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+}
+
+func TestPanicIsCapturedAndRestarted(t *testing.T) {
+	leakCheck(t)
+	var runs atomic.Int32
+	s := New(Options{Intensity: Intensity{MaxRestarts: 5, Window: time.Minute}})
+	if err := s.Add(ChildSpec{
+		Name: "panicky",
+		Run: func(ctx context.Context) error {
+			if runs.Add(1) == 1 {
+				panic("kaboom")
+			}
+			return blockUntilCanceled(ctx)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := serveAsync(ctx, s)
+	waitFor(t, func() bool { return s.Restarts("panicky") == 1 })
+	cancel()
+	if err := waitServeDone(t, ch); err != nil {
+		t.Fatalf("a panicking child must be restarted, not crash Serve: %v", err)
+	}
+}
+
+func TestIntensityEscalates(t *testing.T) {
+	leakCheck(t)
+	c := obs.NewCollector()
+	s := New(Options{
+		Name:      "sup",
+		Intensity: Intensity{MaxRestarts: 2, Window: time.Minute},
+		Observer:  c,
+	})
+	if err := s.Add(ChildSpec{
+		Name: "hopeless",
+		Run:  func(context.Context) error { return errors.New("always fails") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Serve(context.Background())
+	if !errors.Is(err, ErrEscalated) {
+		t.Fatalf("Serve = %v, want ErrEscalated", err)
+	}
+	var snap obs.ExecutorSnapshot
+	for _, e := range c.Snapshot() {
+		if e.Executor == "sup" {
+			snap = e
+		}
+	}
+	if snap.Escalations != 1 {
+		t.Errorf("Escalations = %d, want 1", snap.Escalations)
+	}
+	if snap.Restarts != 2 {
+		t.Errorf("Restarts = %d, want 2 (budget before escalation)", snap.Restarts)
+	}
+	if snap.MTTR.Count != 2 {
+		t.Errorf("MTTR samples = %d, want 2", snap.MTTR.Count)
+	}
+}
+
+func TestTransientChildNormalExitNotRestarted(t *testing.T) {
+	leakCheck(t)
+	var runs atomic.Int32
+	s := New(Options{})
+	if err := s.Add(ChildSpec{
+		Name:    "batch",
+		Restart: Transient,
+		Run:     func(context.Context) error { runs.Add(1); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(context.Background()); err != nil {
+		t.Fatalf("Serve = %v; all children idle should end supervision", err)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("runs = %d, want 1", runs.Load())
+	}
+}
+
+func TestTemporaryChildFailureNotRestarted(t *testing.T) {
+	leakCheck(t)
+	var runs atomic.Int32
+	s := New(Options{})
+	if err := s.Add(ChildSpec{
+		Name:    "oneshot",
+		Restart: Temporary,
+		Run:     func(context.Context) error { runs.Add(1); return errors.New("dies once") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(context.Background()); err != nil {
+		t.Fatalf("Serve = %v", err)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("runs = %d, want 1 (temporary children never restart)", runs.Load())
+	}
+}
+
+func TestOrderedShutdownReverseStartOrder(t *testing.T) {
+	leakCheck(t)
+	var mu sync.Mutex
+	var stops []string
+	mk := func(name string) ChildSpec {
+		return ChildSpec{
+			Name: name,
+			Run: func(ctx context.Context) error {
+				<-ctx.Done()
+				mu.Lock()
+				stops = append(stops, name)
+				mu.Unlock()
+				return ctx.Err()
+			},
+		}
+	}
+	s := New(Options{})
+	for _, n := range []string{"first", "second", "third"} {
+		if err := s.Add(mk(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := serveAsync(ctx, s)
+	waitFor(t, func() bool { return !s.allIdle() })
+	time.Sleep(20 * time.Millisecond) // let all three children block
+	cancel()
+	if err := waitServeDone(t, ch); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stops) != 3 || stops[0] != "third" || stops[2] != "first" {
+		t.Errorf("stop order = %v, want [third second first]", stops)
+	}
+}
+
+func TestProgrammaticRestart(t *testing.T) {
+	leakCheck(t)
+	var inits atomic.Int32
+	s := New(Options{Intensity: Intensity{MaxRestarts: 5, Window: time.Minute}})
+	if err := s.Add(ChildSpec{
+		Name: "worker",
+		Init: func(context.Context) error { inits.Add(1); return nil },
+		Run:  blockUntilCanceled,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := serveAsync(ctx, s)
+	waitFor(t, func() bool { return inits.Load() == 1 })
+	if err := s.Restart("worker"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Restarts("worker") == 1 })
+	if err := s.Restart("nobody"); err == nil {
+		t.Error("Restart of unknown child should fail")
+	}
+	cancel()
+	if err := waitServeDone(t, ch); err != nil {
+		t.Fatal(err)
+	}
+	if inits.Load() != 2 {
+		t.Errorf("inits = %d, want 2", inits.Load())
+	}
+}
+
+func TestInitFailureCountsTowardEscalation(t *testing.T) {
+	leakCheck(t)
+	s := New(Options{Intensity: Intensity{MaxRestarts: 1, Window: time.Minute}})
+	if err := s.Add(ChildSpec{
+		Name: "wontinit",
+		Init: func(context.Context) error { return errors.New("cannot init") },
+		Run:  blockUntilCanceled,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Serve(context.Background())
+	if !errors.Is(err, ErrEscalated) {
+		t.Fatalf("Serve = %v, want ErrEscalated", err)
+	}
+}
+
+func TestNestedSupervisorEscalationIsChildFailure(t *testing.T) {
+	leakCheck(t)
+	inner := New(Options{Name: "inner", Intensity: Intensity{MaxRestarts: 1, Window: time.Minute}})
+	if err := inner.Add(ChildSpec{
+		Name: "hopeless",
+		Run:  func(context.Context) error { return errors.New("always fails") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	outer := New(Options{Name: "outer", Intensity: Intensity{MaxRestarts: 2, Window: time.Minute}})
+	if err := outer.Add(inner.AsChild("inner-tree")); err != nil {
+		t.Fatal(err)
+	}
+	// The inner tree escalates repeatedly; the outer tree restarts it
+	// until its own intensity is exceeded, then escalates itself.
+	err := outer.Serve(context.Background())
+	if !errors.Is(err, ErrEscalated) {
+		t.Fatalf("outer Serve = %v, want ErrEscalated", err)
+	}
+	if outer.Restarts("inner-tree") != 2 {
+		t.Errorf("inner tree restarted %d times by outer, want 2", outer.Restarts("inner-tree"))
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := New(Options{})
+	if err := s.Add(ChildSpec{}); err == nil {
+		t.Error("nameless child should be rejected")
+	}
+	if err := s.Add(ChildSpec{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(ChildSpec{Name: "x"}); err == nil {
+		t.Error("duplicate child should be rejected")
+	}
+	if err := New(Options{}).Serve(context.Background()); err == nil {
+		t.Error("empty supervisor should refuse to serve")
+	}
+}
+
+func TestRestartWindowSlides(t *testing.T) {
+	leakCheck(t)
+	// With a very short window, repeated failures spaced wider than the
+	// window must never escalate.
+	var runs atomic.Int32
+	s := New(Options{Intensity: Intensity{MaxRestarts: 1, Window: 10 * time.Millisecond}})
+	if err := s.Add(ChildSpec{
+		Name: "slow-failer",
+		Run: func(ctx context.Context) error {
+			if runs.Add(1) >= 4 {
+				return blockUntilCanceled(ctx)
+			}
+			time.Sleep(25 * time.Millisecond) // wider than the window
+			return errors.New("spaced failure")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := serveAsync(ctx, s)
+	waitFor(t, func() bool { return runs.Load() >= 4 })
+	cancel()
+	if err := waitServeDone(t, ch); err != nil {
+		t.Fatalf("Serve = %v; spaced failures must not escalate", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestStrategyAndPolicyStrings(t *testing.T) {
+	for want, s := range map[string]Strategy{
+		"one_for_one":  OneForOne,
+		"rest_for_one": RestForOne,
+		"all_for_one":  AllForOne,
+	} {
+		if s.String() != want {
+			t.Errorf("String() = %q, want %q", s.String(), want)
+		}
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy should still format")
+	}
+}
+
+func TestServeTwiceSequentially(t *testing.T) {
+	leakCheck(t)
+	var runs atomic.Int32
+	s := New(Options{})
+	if err := s.Add(ChildSpec{
+		Name:    "job",
+		Restart: Transient,
+		Run:     func(context.Context) error { runs.Add(1); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Serve(context.Background()); err != nil {
+			t.Fatalf("Serve #%d = %v", i+1, err)
+		}
+	}
+	if runs.Load() != 2 {
+		t.Errorf("runs = %d, want 2 (Serve must be re-callable)", runs.Load())
+	}
+}
+
+func ExampleSupervisor() {
+	s := New(Options{Name: "example"})
+	_ = s.Add(ChildSpec{
+		Name:    "greeter",
+		Restart: Transient,
+		Run: func(context.Context) error {
+			fmt.Println("hello from a supervised child")
+			return nil
+		},
+	})
+	_ = s.Serve(context.Background())
+	// Output: hello from a supervised child
+}

@@ -1,24 +1,28 @@
 #!/bin/sh
 # bench.sh runs the hot-path benchmarks (observation layer, health
-# diagnosis, pattern executors, resilience policies, RNG, and the
-# top-level ablation and chaos suites) and records the results as JSON
-# so CI can archive them and successive runs can be diffed.
+# diagnosis, pattern executors, resilience policies, crash recovery,
+# RNG, and the top-level ablation and chaos suites) and records the
+# results as JSON so CI can archive them and successive runs can be
+# diffed.
 #
-# Two files come out of one benchmark run: the resilience-policy
+# Three files come out of one benchmark run: the resilience-policy
 # results (the internal/resilience primitives plus the root
 # BenchmarkChaosCampaign* throughput pair, with/without the bulkhead)
-# land in BENCH_resilience.json; everything else stays in
-# BENCH_obs.json as before.
+# land in BENCH_resilience.json; the crash-recovery results (WAL
+# append/replay and the BenchmarkCrashRecovery reopen-with-replay
+# suite from internal/checkpoint) land in BENCH_recovery.json;
+# everything else stays in BENCH_obs.json as before.
 #
-# Usage: scripts/bench.sh [obs-output.json [resilience-output.json]]
+# Usage: scripts/bench.sh [obs.json [resilience.json [recovery.json]]]
 # Environment: BENCHTIME overrides -benchtime (e.g. BENCHTIME=100x).
 set -eu
 cd "$(dirname "$0")/.."
 
 out_obs="${1:-BENCH_obs.json}"
 out_res="${2:-BENCH_resilience.json}"
+out_rec="${3:-BENCH_recovery.json}"
 benchtime="${BENCHTIME:-1s}"
-pkgs=". ./internal/obs/... ./internal/pattern ./internal/resilience ./internal/xrand"
+pkgs=". ./internal/obs/... ./internal/pattern ./internal/resilience ./internal/checkpoint ./internal/xrand"
 
 # shellcheck disable=SC2086  # pkgs is a deliberate word list
 raw="$(go test -bench=. -benchmem -run='^$' -benchtime="$benchtime" $pkgs)"
@@ -26,14 +30,19 @@ printf '%s\n' "$raw"
 
 # tojson converts `go test -bench` output to a JSON array. $1 selects
 # which results to keep: "resilience" takes the resilience package and
-# the chaos-campaign throughput benchmarks, "obs" takes the rest.
+# the chaos-campaign throughput benchmarks, "recovery" takes the
+# checkpoint/WAL package, "obs" takes the rest.
 tojson() {
     printf '%s\n' "$raw" | awk -v mode="$1" '
 BEGIN { print "[" }
 /^pkg:/ { pkg = $2 }
 /^Benchmark/ {
     res = (pkg ~ /\/internal\/resilience$/ || $1 ~ /^BenchmarkChaosCampaign/)
-    if ((mode == "resilience") != res) next
+    rec = (pkg ~ /\/internal\/checkpoint$/)
+    if (mode == "resilience") keep = res
+    else if (mode == "recovery") keep = rec
+    else keep = !res && !rec
+    if (!keep) next
     bop = ""; aop = ""; rps = ""
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op") bop = $(i - 1)
@@ -53,6 +62,8 @@ END { if (n) printf "\n"; print "]" }
 
 tojson obs >"$out_obs"
 tojson resilience >"$out_res"
+tojson recovery >"$out_rec"
 
 echo "wrote $(grep -c '"name"' "$out_obs") benchmark results to $out_obs"
 echo "wrote $(grep -c '"name"' "$out_res") benchmark results to $out_res"
+echo "wrote $(grep -c '"name"' "$out_rec") benchmark results to $out_rec"

@@ -1,0 +1,95 @@
+package redundancy
+
+import (
+	"github.com/softwarefaults/redundancy/internal/checkpoint"
+	"github.com/softwarefaults/redundancy/internal/supervise"
+)
+
+// Crash-safe recovery: an Erlang-style supervision tree restarts failed
+// or panicking children under a restart-intensity budget (escalating
+// when the budget is exhausted), and a durable checkpoint store — a
+// CRC-framed segmented write-ahead log compacted by atomic snapshots —
+// lets a restarted child resume from its last acknowledged write. The
+// supervisor reports each recovery's duration to the observation layer,
+// so MTTR is a measured histogram (`redundancy_mttr_seconds`), not an
+// assumption. `faultsim -crash` demonstrates the loop end to end.
+type (
+	// Supervisor owns a set of children: it starts them in order, watches
+	// for failures, restarts per strategy, and shuts down in reverse
+	// order.
+	Supervisor = supervise.Supervisor
+	// SupervisorOptions configures a supervisor (name, strategy,
+	// intensity window, restart backoff, observer).
+	SupervisorOptions = supervise.Options
+	// ChildSpec declares one supervised child: Init (recovery work that
+	// ends the measured downtime) and Run (the child's life; its return
+	// or panic is the failure signal).
+	ChildSpec = supervise.ChildSpec
+	// SupervisionStrategy selects which siblings restart with a failed
+	// child.
+	SupervisionStrategy = supervise.Strategy
+	// RestartPolicy selects when a child is restarted at all.
+	RestartPolicy = supervise.RestartPolicy
+	// RestartIntensity bounds restarts per sliding window before the
+	// supervisor escalates.
+	RestartIntensity = supervise.Intensity
+
+	// DurableOptions configures a durable checkpoint store (snapshot
+	// interval, retained snapshots, WAL tuning, observer).
+	DurableOptions = checkpoint.DurableOptions
+	// WALOptions tunes the write-ahead log (segment size, fsync policy).
+	WALOptions = checkpoint.WALOptions
+	// WAL is the segmented CRC-framed write-ahead log underneath the
+	// durable runner, usable on its own.
+	WAL = checkpoint.WAL
+)
+
+// Supervision strategies and restart policies.
+const (
+	OneForOne  = supervise.OneForOne
+	RestForOne = supervise.RestForOne
+	AllForOne  = supervise.AllForOne
+
+	RestartPermanent = supervise.Permanent
+	RestartTransient = supervise.Transient
+	RestartTemporary = supervise.Temporary
+)
+
+// DefaultRestartIntensity mirrors Erlang/OTP's default restart budget.
+var DefaultRestartIntensity = supervise.DefaultIntensity
+
+// ErrSupervisorEscalated reports a child that exceeded its restart
+// intensity; the supervisor gave up and stopped the tree.
+var ErrSupervisorEscalated = supervise.ErrEscalated
+
+// ErrChildPanicked wraps a panic captured from a child's Init or Run.
+var ErrChildPanicked = supervise.ErrPanicked
+
+// ErrCorruptCheckpoint reports an unreadable snapshot or WAL frame; the
+// recovery path treats a corrupt tail as a torn write and truncates it.
+var ErrCorruptCheckpoint = checkpoint.ErrCorruptCheckpoint
+
+// ErrEncodeCheckpoint reports state or an operation that could not be
+// serialized for the durable store.
+var ErrEncodeCheckpoint = checkpoint.ErrEncodeCheckpoint
+
+// NewSupervisor builds an empty supervisor; Add children, then Serve.
+func NewSupervisor(opts SupervisorOptions) *Supervisor { return supervise.New(opts) }
+
+// DurableRunner is the disk-backed counterpart of CheckpointRunner:
+// every applied operation is appended to the WAL before it is
+// acknowledged, and periodic snapshots compact the log. Reopening the
+// same directory replays the tail and resumes from the last
+// acknowledged operation, truncating any torn write at the log's end.
+type DurableRunner[S, M any] = checkpoint.DurableRunner[S, M]
+
+// OpenDurableRunner opens (or recovers) a durable checkpoint store in
+// dir, driving state S with operations M through apply.
+func OpenDurableRunner[S, M any](dir string, initial S, apply func(S, M) (S, error), opts DurableOptions) (*DurableRunner[S, M], error) {
+	return checkpoint.OpenDurableRunner(dir, initial, apply, opts)
+}
+
+// OpenWAL opens (or recovers) a bare segmented write-ahead log in dir.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	return checkpoint.OpenWAL(dir, opts)
+}
