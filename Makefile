@@ -15,7 +15,8 @@ race:
 	$(GO) test -race ./...
 
 # Runs the hot-path benchmarks and writes BENCH_obs.json,
-# BENCH_resilience.json, and BENCH_recovery.json (see scripts/bench.sh;
-# BENCHTIME=100x makes a quick local pass).
+# BENCH_resilience.json, BENCH_recovery.json, and BENCH_net.json — the
+# last one carries the hedged vs unhedged tail-latency baseline (see
+# scripts/bench.sh; BENCHTIME=100x makes a quick local pass).
 bench:
 	./scripts/bench.sh

@@ -39,6 +39,22 @@
 //
 //	faultsim -crash
 //	faultsim -crash -wal-dir /tmp/faultsim-wal -seed 7
+//
+// With -net the tool stands up a three-replica fleet behind the framed
+// RPC transport — supervised accept loops, heartbeat failure detector,
+// hedged remote variants under a parallel-selection executor — and
+// drives a workload over a clean in-memory network. -net-chaos runs the
+// same fleet with every dial path wrapped in a seeded network-fault
+// campaign (partition of one replica, packet loss, duplication,
+// reordering, latency spikes, connection resets) and tabulates
+// availability, tail latency, hedge wins, and the detector's verdicts.
+// -net-spec loads the campaign from a JSON file (see
+// faultmodel.NetworkCampaign); without it a built-in schedule derived
+// from -seed partitions replica r2.
+//
+//	faultsim -net
+//	faultsim -net-chaos -seed 7
+//	faultsim -net-chaos -net-spec campaign.json
 package main
 
 import (
@@ -82,6 +98,10 @@ func run(args []string) error {
 		chaosOut    = fs.String("chaos-out", "", "write the -chaos campaign report as JSON to this file")
 		crash       = fs.Bool("crash", false, "run the crash-recovery demo: a supervised WAL-backed worker killed mid-workload by a seeded schedule")
 		walDir      = fs.String("wal-dir", "", "durable store directory for -crash (default: a temp dir discarded at exit; set it to persist state across runs)")
+		netMode     = fs.Bool("net", false, "run the distributed replica fleet over a clean in-memory network")
+		netChaos    = fs.Bool("net-chaos", false, "run the distributed replica fleet under a seeded network-fault campaign")
+		netSpec     = fs.String("net-spec", "", "JSON network campaign spec file for -net-chaos (default: built-in schedule derived from -seed)")
+		netRequests = fs.Int("net-requests", 1500, "workload size for -net (ignored by -net-chaos, which runs the campaign's wall-clock schedule)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +137,27 @@ func run(args []string) error {
 
 	if *crash {
 		return runCrash(*seed, *walDir, observer)
+	}
+
+	if *netMode || *netChaos {
+		var camp *redundancy.NetworkCampaign
+		if *netChaos {
+			if *netSpec != "" {
+				data, err := os.ReadFile(*netSpec)
+				if err != nil {
+					return fmt.Errorf("net spec: %w", err)
+				}
+				if camp, err = redundancy.ParseNetworkCampaign(data); err != nil {
+					return err
+				}
+			} else {
+				camp = redundancy.DefaultNetworkCampaign(*seed, netVictim)
+			}
+		}
+		if *netRequests < 1 {
+			return fmt.Errorf("invalid -net-requests %d", *netRequests)
+		}
+		return runNet(*seed, camp, *netRequests, observer)
 	}
 
 	if *chaos {

@@ -130,3 +130,46 @@ func TestPow(t *testing.T) {
 		t.Error("pow incorrect")
 	}
 }
+
+func TestRunNetClean(t *testing.T) {
+	if err := run([]string{"-net", "-net-requests", "200"}); err != nil {
+		t.Errorf("net run = %v", err)
+	}
+}
+
+func TestRunNetChaosWithSpec(t *testing.T) {
+	// A compressed campaign so the test stays fast: a blink of clean
+	// network, a partition of r2, and a lossy tail.
+	spec := `{
+		"name": "test-net",
+		"seed": 3,
+		"phases": [
+			{"name": "warmup", "duration": "100ms"},
+			{"name": "cut", "duration": "400ms", "partition": ["r2"]},
+			{"name": "rough", "duration": "200ms", "loss": 0.05, "latency_spike": 0.1, "spike_delay": "10ms"}
+		]
+	}`
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-net-chaos", "-net-spec", path, "-seed", "3"}); err != nil {
+		t.Errorf("net-chaos run = %v", err)
+	}
+}
+
+func TestRunNetInvalid(t *testing.T) {
+	if err := run([]string{"-net", "-net-requests", "0"}); err == nil {
+		t.Error("zero -net-requests accepted")
+	}
+	if err := run([]string{"-net-chaos", "-net-spec", "/nonexistent/spec.json"}); err == nil {
+		t.Error("missing -net-spec file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"x","phases":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-net-chaos", "-net-spec", path}); err == nil {
+		t.Error("empty-phase network campaign accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package main
+
+// The -net / -net-chaos modes: a three-replica fleet behind the framed
+// RPC transport, driven by a parallel-selection executor whose variants
+// are RemoteVariants with hedging, breaker gating, and failure-detector
+// routing. -net runs the fleet over a clean in-memory network; -net-chaos
+// wraps every dial path in a seeded NetworkCampaign (partition, loss,
+// duplication, reordering, latency spikes, resets) and tabulates what the
+// redundancy machinery did about it.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	redundancy "github.com/softwarefaults/redundancy"
+	"github.com/softwarefaults/redundancy/internal/stats"
+)
+
+// netVictim is the endpoint the builtin network campaign partitions.
+const netVictim = "r2"
+
+// runNet stands up the replica fleet and drives the workload; campaign
+// is nil for a clean -net run.
+func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, extra redundancy.Observer) error {
+	collector := redundancy.NewCollector()
+	observer := redundancy.CombineObservers(collector, extra)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	network := redundancy.NewPipeNetwork()
+	names := []string{"r1", "r2", "r3"}
+
+	// The fleet: one replica server per name, accept loops supervised so
+	// an accept-loop failure is a restartable child crash, not a silent
+	// loss of capacity.
+	supervisor := redundancy.NewSupervisor(redundancy.SupervisorOptions{
+		Name:     "replica-fleet",
+		Observer: observer,
+	})
+	var servers []*redundancy.ReplicaServer[int, int]
+	for _, name := range names {
+		ln, err := network.Listen(name)
+		if err != nil {
+			return err
+		}
+		v := redundancy.NewVariant("double", func(_ context.Context, x int) (int, error) {
+			return 2 * x, nil
+		})
+		srv := redundancy.NewReplicaServer(v, ln, redundancy.ReplicaServerConfig{
+			Name:     name,
+			Observer: observer,
+		})
+		if err := supervisor.Add(srv.AsChild()); err != nil {
+			return err
+		}
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	supDone := make(chan error, 1)
+	go func() { supDone <- supervisor.Serve(ctx) }()
+
+	// Dials — clients and heartbeats alike — go through the campaign, so
+	// the detector experiences the same weather the traffic does.
+	dialTo := func(name string) redundancy.DialFunc {
+		dial := network.Dial(name)
+		if campaign != nil {
+			dial = campaign.Wrap(name, dial)
+		}
+		return dial
+	}
+	detector := redundancy.NewFailureDetector(redundancy.FailureDetectorConfig{
+		Name:         "fleet-detector",
+		Interval:     100 * time.Millisecond,
+		Timeout:      80 * time.Millisecond,
+		SuspectAfter: 2,
+		DeadAfter:    6,
+		Observer:     observer,
+	})
+	for _, name := range names {
+		detector.Watch(name, dialTo(name))
+	}
+	detDone := make(chan error, 1)
+	go func() { detDone <- detector.Run(ctx) }()
+
+	// Three remote variants, each preferring a different primary replica
+	// but able to fail over and hedge across the whole fleet.
+	breakers := redundancy.NewBreakers(redundancy.BreakerConfig{
+		ConsecutiveFailures: 8,
+		OpenFor:             250 * time.Millisecond,
+	})
+	var variants []redundancy.Variant[int, int]
+	for i := range names {
+		var endpoints []redundancy.ReplicaEndpoint
+		for j := range names {
+			name := names[(i+j)%len(names)]
+			endpoints = append(endpoints, redundancy.ReplicaEndpoint{Name: name, Dial: dialTo(name)})
+		}
+		remote, err := redundancy.NewRemoteVariant[int, int]("via-"+names[i], redundancy.RemoteConfig{
+			CallTimeout: 150 * time.Millisecond,
+			HedgeAfter:  25 * time.Millisecond,
+			MaxHedges:   2,
+			Breakers:    breakers,
+			Detector:    detector,
+			Observer:    observer,
+		}, endpoints...)
+		if err != nil {
+			return err
+		}
+		defer remote.Close()
+		variants = append(variants, remote)
+	}
+	accept := func(in, out int) error {
+		if out != 2*in {
+			return fmt.Errorf("got %d want %d", out, 2*in)
+		}
+		return nil
+	}
+	sel, err := redundancy.NewParallelSelection(variants,
+		[]redundancy.AcceptanceTest[int, int]{accept, accept, accept},
+		redundancy.WithObserver(observer))
+	if err != nil {
+		return err
+	}
+
+	// The workload: either a fixed request count (clean -net) or for the
+	// campaign's whole wall-clock schedule (-net-chaos).
+	var (
+		total, ok int
+		latencies []time.Duration
+	)
+	if campaign != nil {
+		campaign.Start()
+	}
+	for {
+		if campaign != nil {
+			if campaign.Done() {
+				break
+			}
+		} else if total >= requests {
+			break
+		}
+		total++
+		start := time.Now()
+		got, err := sel.Execute(ctx, total)
+		latencies = append(latencies, time.Since(start))
+		if err == nil && got == 2*total {
+			ok++
+		}
+		sel.Reset() // network faults are transient; re-enable for the next request
+	}
+
+	cancel()
+	<-detDone
+	<-supDone
+
+	title := fmt.Sprintf("Distributed replica fleet (clean network, seed %d)", seed)
+	if campaign != nil {
+		title = fmt.Sprintf("Distributed replica fleet under %q network chaos (seed %d)",
+			campaign.Name, seed)
+	}
+	tbl := stats.NewTable(title, "measure", "value")
+	tbl.AddRow("replicas", strings.Join(names, ", "))
+	if campaign != nil {
+		phases := make([]string, len(campaign.Phases))
+		for i, p := range campaign.Phases {
+			phases[i] = p.Name
+		}
+		tbl.AddRow("campaign phases", strings.Join(phases, " → "))
+		tbl.AddRow("campaign duration", campaign.Total())
+	}
+	tbl.AddRow("requests", total)
+	tbl.AddRow("served", ok)
+	tbl.AddRow("availability", fmt.Sprintf("%.4f", float64(ok)/float64(max(total, 1))))
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		tbl.AddRow("latency p50", latencies[len(latencies)/2].Round(time.Microsecond))
+		tbl.AddRow("latency p99", latencies[len(latencies)*99/100].Round(time.Microsecond))
+	}
+	var hedges, wins, suspects, deaths int64
+	for _, snap := range collector.Snapshot() {
+		hedges += snap.Hedges
+		wins += snap.HedgeWins
+		suspects += snap.ReplicaSuspects
+		deaths += snap.ReplicaDeaths
+	}
+	tbl.AddRow("hedges launched", hedges)
+	tbl.AddRow("hedges won", wins)
+	tbl.AddRow("replica suspicions", suspects)
+	tbl.AddRow("replica deaths", deaths)
+	states := detector.States()
+	parts := make([]string, 0, len(states))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%s", name, states[name]))
+	}
+	tbl.AddRow("final membership", strings.Join(parts, " "))
+	fmt.Println(tbl)
+	return nil
+}

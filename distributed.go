@@ -1,0 +1,134 @@
+package redundancy
+
+import (
+	"net"
+
+	"github.com/softwarefaults/redundancy/internal/dist"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// Distributed replicas: the paper's *process replicas* technique
+// (deliberate redundancy in the environment dimension) over a real,
+// faulty transport. A ReplicaServer exposes any Variant behind a
+// length-prefixed CRC-framed RPC endpoint; a RemoteVariant is a Variant
+// whose Execute happens on the far side, so it plugs unchanged into all
+// four pattern executors. The client side carries the distributed-
+// systems defenses the paper's single-process treatment abstracts away:
+// per-endpoint deadlines, circuit-breaker integration, hedged requests
+// against tail latency, and a heartbeat FailureDetector whose
+// alive/suspect/dead membership steers routing away from partitioned
+// replicas. NetworkCampaign injects seeded partitions, loss,
+// duplication, reordering, latency spikes, and connection resets into
+// the same dial path, so every defense is exercised against the failure
+// mode that motivates it. `faultsim -net` and `faultsim -net-chaos`
+// demonstrate the fleet end to end.
+type (
+	// ReplicaEndpoint is one dialable replica address: a name (used for
+	// breaker state, detector membership, and observation events) plus a
+	// DialFunc.
+	ReplicaEndpoint = dist.Endpoint
+	// RemoteConfig tunes a RemoteVariant: per-endpoint call timeout,
+	// hedging (HedgeAfter, MaxHedges), breakers, failure detector, and
+	// observer.
+	RemoteConfig = dist.RemoteConfig
+	// ReplicaServerConfig tunes a ReplicaServer: name, server-side call
+	// timeout, observer.
+	ReplicaServerConfig = dist.ServerConfig
+	// FailureDetectorConfig tunes a FailureDetector: heartbeat interval
+	// and timeout, suspect/dead thresholds, observer.
+	FailureDetectorConfig = dist.DetectorConfig
+	// FailureDetector is the heartbeat failure detector: it pings watched
+	// replicas each interval and publishes alive/suspect/dead membership.
+	// It implements the pattern executors' Ranker contract, so it can
+	// also order local variants by liveness via WithRanker.
+	FailureDetector = dist.Detector
+	// DialFunc opens one connection to a replica endpoint.
+	DialFunc = dist.DialFunc
+	// PipeNetwork is the in-memory transport: named listeners connected
+	// by synchronous pipes, for deterministic tests and simulations.
+	PipeNetwork = dist.PipeNetwork
+	// ReplicaState is a failure detector's opinion of one replica.
+	ReplicaState = obs.ReplicaState
+
+	// NetworkCampaign is a seeded, phased schedule of network faults
+	// injected into replica dial paths.
+	NetworkCampaign = faultmodel.NetworkCampaign
+	// NetworkPhase is one wall-clock window of network weather within a
+	// NetworkCampaign.
+	NetworkPhase = faultmodel.NetworkPhase
+)
+
+// Failure-detector verdicts.
+const (
+	ReplicaAlive   = obs.ReplicaAlive
+	ReplicaSuspect = obs.ReplicaSuspect
+	ReplicaDead    = obs.ReplicaDead
+)
+
+// Sentinel errors of the distributed layer.
+var (
+	// ErrReplicaUnavailable reports a dial to an endpoint that is not
+	// listening.
+	ErrReplicaUnavailable = dist.ErrReplicaUnavailable
+	// ErrRemote marks a failure reported by the replica server: the
+	// variant on the far side executed and failed (or panicked; the
+	// server contains panics). Only the message survives the wire.
+	ErrRemote = dist.ErrRemote
+	// ErrBadFrame reports a corrupt RPC frame (CRC or length violation);
+	// the connection is abandoned.
+	ErrBadFrame = dist.ErrBadFrame
+	// ErrFrameTooLarge reports an RPC frame exceeding the size limit.
+	ErrFrameTooLarge = dist.ErrFrameTooLarge
+	// ErrRemoteClientClosed reports a call on a closed RemoteVariant.
+	ErrRemoteClientClosed = dist.ErrClientClosed
+	// ErrPartitioned reports an operation on an endpoint cut off by the
+	// current NetworkCampaign phase.
+	ErrPartitioned = faultmodel.ErrPartitioned
+	// ErrConnReset reports an injected connection reset.
+	ErrConnReset = faultmodel.ErrConnReset
+)
+
+// RemoteVariant is a Variant executing on a remote replica: framed RPC
+// out, result (or in-band failure) back, with failover across endpoints,
+// optional hedging, breaker gating, and detector-ranked routing.
+type RemoteVariant[I, O any] = dist.Remote[I, O]
+
+// ReplicaServer exposes one Variant as a remote replica behind a
+// net.Listener, answering calls and heartbeat pings. Its accept loop is
+// supervisable via AsChild.
+type ReplicaServer[I, O any] = dist.Server[I, O]
+
+// NewRemoteVariant builds a remote variant over one or more endpoints.
+func NewRemoteVariant[I, O any](name string, cfg RemoteConfig, endpoints ...ReplicaEndpoint) (*RemoteVariant[I, O], error) {
+	return dist.NewRemote[I, O](name, cfg, endpoints...)
+}
+
+// NewReplicaServer wraps a variant as a replica served from ln.
+func NewReplicaServer[I, O any](variant Variant[I, O], ln net.Listener, cfg ReplicaServerConfig) *ReplicaServer[I, O] {
+	return dist.NewServer(variant, ln, cfg)
+}
+
+// NewFailureDetector returns a detector with no members; Watch replicas,
+// then Run it (or drive Poll by hand).
+func NewFailureDetector(cfg FailureDetectorConfig) *FailureDetector {
+	return dist.NewDetector(cfg)
+}
+
+// NewPipeNetwork returns an empty in-memory network.
+func NewPipeNetwork() *PipeNetwork { return dist.NewPipeNetwork() }
+
+// TCPDialer returns a DialFunc connecting to addr over TCP.
+func TCPDialer(addr string) DialFunc { return dist.TCPDialer(addr) }
+
+// DefaultNetworkCampaign is the builtin network-chaos schedule: clean
+// warmup, lossy degradation, a partition of the victim endpoint, a flaky
+// stretch of resets and spikes, and a clean recovery tail.
+func DefaultNetworkCampaign(seed uint64, victim string) *NetworkCampaign {
+	return faultmodel.DefaultNetworkCampaign(seed, victim)
+}
+
+// ParseNetworkCampaign decodes and validates a JSON network campaign.
+func ParseNetworkCampaign(data []byte) (*NetworkCampaign, error) {
+	return faultmodel.ParseNetworkCampaign(data)
+}

@@ -50,6 +50,22 @@
 // for numeric voting (ApproxEqual), and structured observability for all
 // pattern executors (WithLogger).
 //
+// The process-replicas row extends across real process boundaries: any
+// Variant can be served as a remote replica over a length-prefixed,
+// CRC32-framed RPC transport (NewReplicaServer, on a net.Listener or the
+// in-memory NewPipeNetwork), and NewRemoteVariant turns a set of replica
+// endpoints back into a Variant — with per-call deadlines, circuit-breaker
+// gating, hedged requests whose first acceptable answer wins, and routing
+// ranked by a heartbeat failure detector (NewFailureDetector) that
+// convicts silent replicas (ReplicaAlive, ReplicaSuspect, ReplicaDead)
+// and pardons them when they heal. Because the remote client is itself a
+// Variant, process replicas plug into all four pattern executors
+// unchanged. The network's own faults are part of the fault model:
+// NewPipeNetwork dials can be wrapped by a NetworkCampaign
+// (DefaultNetworkCampaign, ParseNetworkCampaign) injecting seeded
+// partitions, packet loss, duplication, reordering, latency spikes and
+// connection resets on a wall-clock phase schedule.
+//
 // Everything is deterministic: components that need randomness accept an
 // explicit *Rand created with NewRand(seed).
 package redundancy

@@ -309,3 +309,87 @@ func TestFacadeNCopy(t *testing.T) {
 		t.Errorf("= (%d, %v)", got, err)
 	}
 }
+
+func TestFacadeDistributedWrappers(t *testing.T) {
+	ctx := context.Background()
+	network := redundancy.NewPipeNetwork()
+	ln, err := network.Listen("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := redundancy.NewVariant("double", func(_ context.Context, x int) (int, error) { return 2 * x, nil })
+	srv := redundancy.NewReplicaServer(v, ln, redundancy.ReplicaServerConfig{Name: "r1"})
+	go srv.Serve(ctx)
+	defer srv.Close()
+
+	det := redundancy.NewFailureDetector(redundancy.FailureDetectorConfig{
+		Timeout: 200 * time.Millisecond, SuspectAfter: 1,
+	})
+	det.Watch("r1", network.Dial("r1"))
+	det.Poll(ctx)
+	if got := det.State("r1"); got != redundancy.ReplicaAlive {
+		t.Errorf("detector state = %v, want ReplicaAlive", got)
+	}
+	for _, s := range []redundancy.ReplicaState{
+		redundancy.ReplicaAlive, redundancy.ReplicaSuspect, redundancy.ReplicaDead,
+	} {
+		if s.String() == "" {
+			t.Errorf("ReplicaState %d has no name", s)
+		}
+	}
+
+	remote, err := redundancy.NewRemoteVariant[int, int]("doubler", redundancy.RemoteConfig{
+		Detector: det,
+	}, redundancy.ReplicaEndpoint{Name: "r1", Dial: network.Dial("r1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := remote.Execute(ctx, 21); err != nil || got != 42 {
+		t.Errorf("remote = (%d, %v)", got, err)
+	}
+	remote.Close()
+	if _, err := remote.Execute(ctx, 1); !errors.Is(err, redundancy.ErrRemoteClientClosed) {
+		t.Errorf("closed remote = %v, want ErrRemoteClientClosed", err)
+	}
+
+	if dial := redundancy.TCPDialer("127.0.0.1:1"); dial == nil {
+		t.Error("TCPDialer returned nil")
+	}
+	ghost := network.Dial("ghost")
+	if _, err := ghost(ctx); !errors.Is(err, redundancy.ErrReplicaUnavailable) {
+		t.Errorf("ghost dial = %v, want ErrReplicaUnavailable", err)
+	}
+	// The frame sentinels are distinct, exported errors.
+	if errors.Is(redundancy.ErrBadFrame, redundancy.ErrFrameTooLarge) ||
+		redundancy.ErrBadFrame == nil || redundancy.ErrRemote == nil {
+		t.Error("frame sentinels miswired")
+	}
+}
+
+func TestFacadeNetworkCampaignWrappers(t *testing.T) {
+	nc := redundancy.DefaultNetworkCampaign(7, "victim")
+	if err := nc.Validate(); err != nil {
+		t.Fatalf("default campaign invalid: %v", err)
+	}
+	if nc.Total() <= 0 {
+		t.Error("default campaign has no duration")
+	}
+	parsed, err := redundancy.ParseNetworkCampaign([]byte(
+		`{"name":"p","seed":1,"phases":[{"name":"calm","duration":"10ms"}]}`))
+	if err != nil {
+		t.Fatalf("ParseNetworkCampaign: %v", err)
+	}
+	var phase redundancy.NetworkPhase = parsed.Phases[0]
+	if phase.Name != "calm" {
+		t.Errorf("phase = %+v", phase)
+	}
+	nc.Start()
+	dial := nc.Wrap("victim", redundancy.DialFunc(redundancy.NewPipeNetwork().Dial("victim")))
+	if _, err := dial(context.Background()); err == nil {
+		t.Error("wrapped dial to missing listener succeeded")
+	}
+	if !errors.Is(redundancy.ErrPartitioned, redundancy.ErrPartitioned) ||
+		redundancy.ErrConnReset == nil {
+		t.Error("network sentinels miswired")
+	}
+}

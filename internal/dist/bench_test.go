@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// BenchmarkRPCRoundTrip measures one framed call over the in-memory
+// transport: gob encode, CRC frame, pipe hop, server dispatch, and the
+// reply path, on a pooled connection.
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	network := NewPipeNetwork()
+	ln, err := network.Listen("r1")
+	if err != nil {
+		b.Fatalf("Listen: %v", err)
+	}
+	srv := NewServer(double(), ln, ServerConfig{})
+	go srv.Serve(context.Background())
+	defer srv.Close()
+	remote, err := NewRemote[int, int]("bench", RemoteConfig{},
+		Endpoint{Name: "r1", Dial: network.Dial("r1")})
+	if err != nil {
+		b.Fatalf("NewRemote: %v", err)
+	}
+	defer remote.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.Execute(context.Background(), i); err != nil {
+			b.Fatalf("Execute: %v", err)
+		}
+	}
+}
+
+// spikyVariant answers instantly except for a deterministic fraction of
+// calls that stall for spike — the injected tail latency the hedged
+// client is supposed to cut.
+func spikyVariant(name string, seed uint64, everyNth int, spike time.Duration) core.Variant[int, int] {
+	return core.NewVariant(name, func(ctx context.Context, x int) (int, error) {
+		if uint64(x)%uint64(everyNth) == seed%uint64(everyNth) {
+			select {
+			case <-time.After(spike):
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		return 2 * x, nil
+	})
+}
+
+// benchTailLatency drives sequential calls through remote, collects
+// per-call latency, and reports the 99th percentile as p99_ns next to
+// the usual ns/op. scripts/bench.sh captures the metric into
+// BENCH_net.json, where the hedged and unhedged runs can be compared.
+func benchTailLatency(b *testing.B, remote *Remote[int, int]) {
+	b.Helper()
+	latencies := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := remote.Execute(context.Background(), i); err != nil {
+			b.Fatalf("Execute: %v", err)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	b.ReportMetric(float64(p99.Nanoseconds()), "p99_ns")
+}
+
+// tailBenchCluster serves three replicas that each spike on a different
+// (deterministic) 2% of inputs, so a hedge to any sibling of a spiking
+// replica answers fast.
+func tailBenchCluster(b *testing.B) (*PipeNetwork, []Endpoint) {
+	b.Helper()
+	network := NewPipeNetwork()
+	const spike = 5 * time.Millisecond
+	endpoints := make([]Endpoint, 0, 3)
+	for i, name := range []string{"r1", "r2", "r3"} {
+		ln, err := network.Listen(name)
+		if err != nil {
+			b.Fatalf("Listen(%q): %v", name, err)
+		}
+		srv := NewServer(spikyVariant(name, uint64(17*i+3), 50, spike), ln, ServerConfig{Name: name})
+		go srv.Serve(context.Background())
+		b.Cleanup(func() { srv.Close() })
+		endpoints = append(endpoints, Endpoint{Name: name, Dial: network.Dial(name)})
+	}
+	return network, endpoints
+}
+
+// BenchmarkUnhedgedTailLatency is the control: one client, no hedging,
+// so every latency spike lands on the caller in full.
+func BenchmarkUnhedgedTailLatency(b *testing.B) {
+	_, endpoints := tailBenchCluster(b)
+	remote, err := NewRemote[int, int]("unhedged", RemoteConfig{
+		CallTimeout: 5 * time.Second,
+	}, endpoints...)
+	if err != nil {
+		b.Fatalf("NewRemote: %v", err)
+	}
+	defer remote.Close()
+	benchTailLatency(b, remote)
+}
+
+// BenchmarkHedgedTailLatency hedges to the next replica when an attempt
+// is slower than a small multiple of the healthy round trip; its p99_ns
+// must come in well under the unhedged control's.
+func BenchmarkHedgedTailLatency(b *testing.B) {
+	_, endpoints := tailBenchCluster(b)
+	remote, err := NewRemote[int, int]("hedged", RemoteConfig{
+		CallTimeout: 5 * time.Second,
+		HedgeAfter:  200 * time.Microsecond,
+		MaxHedges:   2,
+	}, endpoints...)
+	if err != nil {
+		b.Fatalf("NewRemote: %v", err)
+	}
+	defer remote.Close()
+	benchTailLatency(b, remote)
+}

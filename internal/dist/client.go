@@ -1,0 +1,430 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/resilience"
+)
+
+// Endpoint is one dialable replica address.
+type Endpoint struct {
+	// Name identifies the endpoint in observation events, breaker state,
+	// and failure-detector membership. Required, unique per Remote.
+	Name string
+	// Dial opens a connection to the replica.
+	Dial DialFunc
+}
+
+// RemoteConfig parameterizes a Remote variant. The zero value selects
+// the documented defaults.
+type RemoteConfig struct {
+	// CallTimeout is the per-endpoint deadline bounding one RPC attempt
+	// end to end (dial, send, receive). Default 1s.
+	CallTimeout time.Duration
+	// HedgeAfter enables hedged requests: when an attempt has not
+	// answered within this duration, the request is fanned out to the
+	// next-best endpoint without canceling the first — the classic
+	// tail-latency defense. The first acceptable result wins and the
+	// losers are canceled. Zero disables hedging; failover to the next
+	// endpoint then happens only on failure.
+	HedgeAfter time.Duration
+	// MaxHedges caps how many extra attempts the hedge timer may launch
+	// beyond the primary. Zero means "up to every configured endpoint".
+	// (Failure-triggered failover is not capped: a finished attempt holds
+	// no resources, so moving on costs nothing.)
+	MaxHedges int
+	// Breakers, if non-nil, gives each endpoint a circuit breaker:
+	// endpoints whose breaker is open are skipped without dialing, and
+	// every attempt outcome feeds the endpoint's breaker.
+	Breakers *resilience.Breakers
+	// Detector, if non-nil, ranks endpoints by liveness before each
+	// request: alive before suspect before dead, so routing avoids
+	// replicas that stopped acknowledging heartbeats.
+	Detector *Detector
+	// Observer receives RPCCompleted/HedgeLaunched/HedgeWon events under
+	// the Remote's name; nil observes nothing.
+	Observer obs.Observer
+}
+
+// defaultCallTimeout backstops configs that leave CallTimeout zero.
+const defaultCallTimeout = time.Second
+
+// ErrClientClosed reports a call on a closed Remote.
+var ErrClientClosed = errors.New("dist: remote client closed")
+
+// maxIdleConns bounds each endpoint's connection pool.
+const maxIdleConns = 2
+
+// Remote is a core.Variant whose Execute happens on the other side of
+// the network: the input travels to a replica server as a framed RPC and
+// the replica's result (or failure) travels back. Because it satisfies
+// core.Variant, a Remote plugs unchanged into all four pattern
+// executors — parallel evaluation, parallel selection, sequential
+// alternatives, and Single — which is exactly the paper's process-
+// replicas pattern with the replica boundary made real.
+//
+// A Remote with several endpoints is one logical replica service with
+// failover: endpoints are tried in failure-detector order, a failed
+// attempt falls through to the next endpoint, and with HedgeAfter set a
+// slow attempt is raced against the next endpoint (first acceptable
+// result wins, losers are canceled).
+type Remote[I, O any] struct {
+	name      string
+	endpoints []Endpoint
+	cfg       RemoteConfig
+	pools     []*connPool
+	ids       atomic.Uint64
+	closed    atomic.Bool
+}
+
+var _ core.Variant[int, int] = (*Remote[int, int])(nil)
+
+// NewRemote builds a remote variant over one or more endpoints.
+func NewRemote[I, O any](name string, cfg RemoteConfig, endpoints ...Endpoint) (*Remote[I, O], error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("dist: remote %q: %w", name, core.ErrNoVariants)
+	}
+	seen := make(map[string]bool, len(endpoints))
+	for _, ep := range endpoints {
+		if ep.Name == "" || ep.Dial == nil {
+			return nil, fmt.Errorf("dist: remote %q: endpoint needs a name and a dialer", name)
+		}
+		if seen[ep.Name] {
+			return nil, fmt.Errorf("dist: remote %q: duplicate endpoint %q", name, ep.Name)
+		}
+		seen[ep.Name] = true
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = defaultCallTimeout
+	}
+	if cfg.MaxHedges <= 0 || cfg.MaxHedges > len(endpoints)-1 {
+		cfg.MaxHedges = len(endpoints) - 1
+	}
+	if cfg.Breakers != nil {
+		cfg.Breakers.Bind("remote:"+name, cfg.Observer)
+	}
+	eps := make([]Endpoint, len(endpoints))
+	copy(eps, endpoints)
+	pools := make([]*connPool, len(eps))
+	for i := range pools {
+		pools[i] = newConnPool()
+	}
+	return &Remote[I, O]{name: name, endpoints: eps, cfg: cfg, pools: pools}, nil
+}
+
+// Name implements core.Variant.
+func (r *Remote[I, O]) Name() string { return r.name }
+
+// Close releases every pooled and in-flight connection; blocked calls
+// unblock with a connection error. Idempotent.
+func (r *Remote[I, O]) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	for _, p := range r.pools {
+		p.close()
+	}
+	return nil
+}
+
+// attemptResult is one finished (or breaker-rejected) attempt.
+type attemptResult[O any] struct {
+	value   O
+	err     error
+	attempt int // 1-based launch order
+	ep      int // index into the detector-ranked order
+}
+
+// Execute implements core.Variant: the hedged, failure-detector-routed,
+// breaker-guarded RPC fan-out. The first acceptable result wins; every
+// other in-flight attempt is canceled promptly (its connection deadline
+// is smashed, so blocked reads return).
+func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	var zero O
+	if r.closed.Load() {
+		return zero, ErrClientClosed
+	}
+	order := r.ordered()
+	o := r.cfg.Observer
+	var req uint64
+	if o != nil {
+		req = obs.NextRequestID()
+	}
+	ctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	results := make(chan attemptResult[O], len(order))
+	launched, pending := 0, 0
+	// launchNext starts the next attempt in ranked order. Breaker-open
+	// endpoints complete instantly as failed attempts (without dialing),
+	// so the loop below immediately moves past them.
+	launchNext := func() {
+		if launched >= len(order) {
+			return
+		}
+		ep := order[launched]
+		launched++
+		attempt := launched
+		var (
+			brk *resilience.Breaker
+			tok resilience.Token
+		)
+		if r.cfg.Breakers != nil {
+			brk = r.cfg.Breakers.For(r.endpoints[ep].Name)
+			var err error
+			if tok, err = brk.Allow(); err != nil {
+				pending++
+				results <- attemptResult[O]{err: err, attempt: attempt, ep: ep}
+				return
+			}
+		}
+		if attempt > 1 && o != nil {
+			obs.EmitHedgeLaunched(o, r.name, r.endpoints[ep].Name, req, attempt)
+		}
+		pending++
+		go func() {
+			start := time.Now()
+			value, err := r.roundTrip(ctx, ep, input)
+			if o != nil {
+				obs.EmitRPCCompleted(o, r.name, r.endpoints[ep].Name, req, time.Since(start), err)
+			}
+			if brk != nil {
+				brk.Record(tok, err)
+			}
+			results <- attemptResult[O]{value: value, err: err, attempt: attempt, ep: ep}
+		}()
+	}
+	launchNext()
+
+	// The hedge timer launches the next attempt when the in-flight ones
+	// are slow; it is armed only while hedging is enabled and spare
+	// endpoints and hedge budget remain.
+	var (
+		timer   *time.Timer
+		timerC  <-chan time.Time
+		hedges  int
+		lastErr error
+	)
+	if r.cfg.HedgeAfter > 0 {
+		timer = time.NewTimer(r.cfg.HedgeAfter)
+		timerC = timer.C
+		defer timer.Stop()
+	}
+	for pending > 0 {
+		select {
+		case <-timerC:
+			if hedges < r.cfg.MaxHedges && launched < len(order) {
+				hedges++
+				launchNext()
+			}
+			if hedges < r.cfg.MaxHedges && launched < len(order) {
+				timer.Reset(r.cfg.HedgeAfter)
+			} else {
+				timerC = nil
+			}
+		case res := <-results:
+			pending--
+			if res.err == nil {
+				if o != nil {
+					obs.EmitHedgeWon(o, r.name, r.endpoints[res.ep].Name, req, res.attempt)
+				}
+				cancelAll()
+				return res.value, nil
+			}
+			lastErr = res.err
+			if pending == 0 {
+				if launched < len(order) && ctx.Err() == nil {
+					launchNext() // failure-triggered failover, uncapped
+				}
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	return zero, fmt.Errorf("remote %s: %w: %w", r.name, core.ErrAllVariantsFailed, lastErr)
+}
+
+// ordered returns endpoint indexes ranked by the failure detector:
+// alive before suspect before dead, stable within a class. Without a
+// detector the configured order stands.
+func (r *Remote[I, O]) ordered() []int {
+	order := make([]int, len(r.endpoints))
+	for i := range order {
+		order[i] = i
+	}
+	if r.cfg.Detector == nil {
+		return order
+	}
+	rank := make([]obs.ReplicaState, len(order))
+	for i := range order {
+		rank[i] = r.cfg.Detector.State(r.endpoints[i].Name)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rank[order[a]] < rank[order[b]]
+	})
+	return order
+}
+
+// roundTrip performs one RPC attempt against one endpoint: pooled
+// connection (or fresh dial), framed call out, framed reply in, all
+// under the per-endpoint deadline. Context cancellation — the hedge
+// winner canceling losers, or the caller giving up — smashes the
+// connection deadline so a blocked read returns promptly.
+func (r *Remote[I, O]) roundTrip(ctx context.Context, ep int, input I) (out O, err error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
+	defer cancel()
+	conn, err := r.pools[ep].get(ctx, r.endpoints[ep].Dial)
+	if err != nil {
+		return out, err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0)) // the distant past: unblock I/O now
+	})
+	reusable := false
+	defer func() {
+		if !stop() {
+			// The canceler ran (or is running): the deadline may be
+			// smashed, so the connection cannot be trusted for reuse.
+			r.pools[ep].drop(conn)
+			return
+		}
+		if reusable {
+			conn.SetDeadline(time.Time{})
+			r.pools[ep].put(conn)
+		} else {
+			r.pools[ep].drop(conn)
+		}
+	}()
+	if d, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(d)
+	}
+	env := &envelope{ID: r.ids.Add(1), Kind: kindCall}
+	if env.Payload, err = encodeValue(input); err != nil {
+		return out, err
+	}
+	frame, err := encodeEnvelope(env)
+	if err != nil {
+		return out, err
+	}
+	if err := writeFrame(conn, frame); err != nil {
+		return out, fmt.Errorf("dist: %s: send: %w", r.endpoints[ep].Name, err)
+	}
+	payload, err := readFrame(conn)
+	if err != nil {
+		return out, fmt.Errorf("dist: %s: recv: %w", r.endpoints[ep].Name, err)
+	}
+	reply, err := decodeEnvelope(payload)
+	if err != nil {
+		return out, err
+	}
+	if reply.Kind != kindReply || reply.ID != env.ID {
+		return out, fmt.Errorf("%w: unexpected reply kind %d id %d", ErrBadFrame, reply.Kind, reply.ID)
+	}
+	if reply.Err != "" {
+		// An in-band failure: the variant on the far side failed, but the
+		// connection itself completed a clean round trip and stays usable.
+		reusable = true
+		return out, fmt.Errorf("dist: %s: %w: %s", r.endpoints[ep].Name, ErrRemote, reply.Err)
+	}
+	if err := decodeValue(reply.Payload, &out); err != nil {
+		return out, err
+	}
+	reusable = true
+	return out, nil
+}
+
+// connPool is one endpoint's connection pool. It tracks every live
+// connection it handed out — pooled and in-flight alike — so closing
+// the pool unblocks calls stuck on a partitioned network.
+type connPool struct {
+	mu     sync.Mutex
+	free   []net.Conn
+	all    map[net.Conn]struct{}
+	closed bool
+}
+
+func newConnPool() *connPool {
+	return &connPool{all: make(map[net.Conn]struct{})}
+}
+
+// get pops an idle connection or dials a fresh one.
+func (p *connPool) get(ctx context.Context, dial DialFunc) (net.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return nil, ErrClientClosed
+	}
+	p.all[c] = struct{}{}
+	p.mu.Unlock()
+	return c, nil
+}
+
+// put returns a healthy connection to the idle list (or closes it when
+// the pool is full or closed).
+func (p *connPool) put(c net.Conn) {
+	p.mu.Lock()
+	if p.closed || len(p.free) >= maxIdleConns {
+		delete(p.all, c)
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+// drop discards a connection that must not be reused.
+func (p *connPool) drop(c net.Conn) {
+	p.mu.Lock()
+	delete(p.all, c)
+	for i, f := range p.free {
+		if f == c {
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// close closes every tracked connection; subsequent gets fail fast.
+func (p *connPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.all))
+	for c := range p.all {
+		conns = append(conns, c)
+	}
+	p.all = make(map[net.Conn]struct{})
+	p.free = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

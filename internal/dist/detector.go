@@ -1,0 +1,259 @@
+package dist
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/supervise"
+)
+
+// DetectorConfig parameterizes a failure detector. The zero value
+// selects the documented defaults.
+type DetectorConfig struct {
+	// Name labels the detector in observation events; empty means
+	// "detector".
+	Name string
+	// Interval is the heartbeat period. Default 500ms.
+	Interval time.Duration
+	// Timeout bounds one heartbeat round trip (dial + ping + pong).
+	// Default: Interval.
+	Timeout time.Duration
+	// SuspectAfter is how many consecutive missed heartbeats mark a
+	// replica suspect. Default 2.
+	SuspectAfter int
+	// DeadAfter is how many consecutive missed heartbeats mark a replica
+	// dead. Default 5.
+	DeadAfter int
+	// Observer receives ReplicaStateChanged events; nil observes nothing.
+	Observer obs.Observer
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Name == "" {
+		c.Name = "detector"
+	}
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 3
+	}
+	return c
+}
+
+// member is the detector's state for one watched replica.
+type member struct {
+	name     string
+	dial     DialFunc
+	misses   int
+	state    obs.ReplicaState
+	lastSeen time.Time
+}
+
+// Detector is a heartbeat-based failure detector: it pings every
+// watched replica each interval over the same (possibly faulty)
+// transport the clients use, counts consecutive misses, and publishes
+// alive/suspect/dead membership. A partitioned replica stops answering
+// pings, crosses the suspect threshold within SuspectAfter heartbeat
+// windows, and is routed around by Remote clients (RemoteConfig.
+// Detector) and by pattern executors that take the detector as their
+// variant Ranker.
+//
+// Suspicion is reversible — one acknowledged heartbeat resets a member
+// to alive — which is what makes the detector safe on a merely slow
+// network (the Chandra-Toueg insight that failure detectors over
+// asynchronous networks are necessarily unreliable and must be allowed
+// to change their mind).
+type Detector struct {
+	cfg DetectorConfig
+
+	mu      sync.Mutex
+	members map[string]*member
+}
+
+// NewDetector returns a detector with no members; Watch replicas, then
+// either Run it (blocking loop) or drive Poll by hand in tests.
+func NewDetector(cfg DetectorConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), members: make(map[string]*member)}
+}
+
+// Watch adds a replica to the membership, initially alive. Watching an
+// already-watched name replaces its dialer and resets its state.
+func (d *Detector) Watch(name string, dial DialFunc) {
+	d.mu.Lock()
+	d.members[name] = &member{name: name, dial: dial, state: obs.ReplicaAlive}
+	d.mu.Unlock()
+}
+
+// State returns the detector's opinion of one replica. Unknown names
+// are alive: the detector has no evidence against them.
+func (d *Detector) State(name string) obs.ReplicaState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.members[name]; ok {
+		return m.state
+	}
+	return obs.ReplicaAlive
+}
+
+// States returns a copy of the full membership.
+func (d *Detector) States() map[string]obs.ReplicaState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]obs.ReplicaState, len(d.members))
+	for name, m := range d.members {
+		out[name] = m.state
+	}
+	return out
+}
+
+// LastSeen returns when the replica last acknowledged a heartbeat (zero
+// if never).
+func (d *Detector) LastSeen(name string) time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.members[name]; ok {
+		return m.lastSeen
+	}
+	return time.Time{}
+}
+
+// Rank implements the pattern executors' Ranker contract over replica
+// names: alive first, then suspect, then dead, stable within a class.
+// Attaching a Detector with pattern.WithRanker makes sequential
+// alternatives try live replicas first and parallel selection prefer a
+// live replica's acceptable result.
+func (d *Detector) Rank(_ string, names []string) []string {
+	out := make([]string, len(names))
+	copy(out, names)
+	sort.SliceStable(out, func(a, b int) bool {
+		return d.State(out[a]) < d.State(out[b])
+	})
+	return out
+}
+
+// Run drives the heartbeat loop until the context is canceled. It is
+// supervisable: AsChild wraps it as a supervision-tree member.
+func (d *Detector) Run(ctx context.Context) error {
+	ticker := time.NewTicker(d.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			d.Poll(ctx)
+		}
+	}
+}
+
+// AsChild adapts the heartbeat loop into a supervise.ChildSpec.
+func (d *Detector) AsChild() supervise.ChildSpec {
+	return supervise.ChildSpec{
+		Name:    d.cfg.Name,
+		Restart: supervise.Transient,
+		Run:     d.Run,
+	}
+}
+
+// Poll performs one heartbeat sweep: every member is pinged
+// concurrently and its miss counter and state updated. Exposed so tests
+// and simulations can step the detector deterministically instead of
+// racing a ticker.
+func (d *Detector) Poll(ctx context.Context) {
+	d.mu.Lock()
+	members := make([]*member, 0, len(d.members))
+	for _, m := range d.members {
+		members = append(members, m)
+	}
+	d.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			err := d.ping(ctx, m.dial)
+			d.record(m.name, err == nil)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// ping performs one heartbeat round trip on a fresh connection. Dialing
+// fresh each time keeps the heartbeat honest about the dial path — a
+// partition that breaks new connections is detected even while old
+// pooled connections linger.
+func (d *Detector) ping(ctx context.Context, dial DialFunc) error {
+	ctx, cancel := context.WithTimeout(ctx, d.cfg.Timeout)
+	defer cancel()
+	conn, err := dial(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	}
+	frame, err := encodeEnvelope(&envelope{Kind: kindPing})
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, frame); err != nil {
+		return err
+	}
+	payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	reply, err := decodeEnvelope(payload)
+	if err != nil {
+		return err
+	}
+	if reply.Kind != kindPong {
+		return ErrBadFrame
+	}
+	return nil
+}
+
+// record folds one heartbeat outcome into a member's state, emitting a
+// ReplicaStateChanged event on transitions.
+func (d *Detector) record(name string, ok bool) {
+	d.mu.Lock()
+	m, found := d.members[name]
+	if !found {
+		d.mu.Unlock()
+		return
+	}
+	from := m.state
+	if ok {
+		m.misses = 0
+		m.state = obs.ReplicaAlive
+		m.lastSeen = time.Now()
+	} else {
+		m.misses++
+		switch {
+		case m.misses >= d.cfg.DeadAfter:
+			m.state = obs.ReplicaDead
+		case m.misses >= d.cfg.SuspectAfter:
+			m.state = obs.ReplicaSuspect
+		}
+	}
+	to := m.state
+	d.mu.Unlock()
+	if from != to && d.cfg.Observer != nil {
+		obs.EmitReplicaStateChanged(d.cfg.Observer, d.cfg.Name, name, from, to)
+	}
+}

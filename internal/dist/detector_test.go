@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// flakyDial returns a DialFunc that fails while broken is set and
+// otherwise dials the real address.
+func flakyDial(base DialFunc, broken *atomic.Bool) DialFunc {
+	return func(ctx context.Context) (net.Conn, error) {
+		if broken.Load() {
+			return nil, ErrReplicaUnavailable
+		}
+		return base(ctx)
+	}
+}
+
+func TestDetectorLifecycle(t *testing.T) {
+	network := NewPipeNetwork()
+	startReplica(t, network, "r1", double())
+	var partitioned atomic.Bool
+	collector := obs.NewCollector()
+	det := NewDetector(DetectorConfig{
+		Timeout:      200 * time.Millisecond,
+		SuspectAfter: 2,
+		DeadAfter:    4,
+		Observer:     collector,
+	})
+	det.Watch("r1", flakyDial(network.Dial("r1"), &partitioned))
+	ctx := context.Background()
+
+	det.Poll(ctx)
+	if got := det.State("r1"); got != obs.ReplicaAlive {
+		t.Fatalf("healthy replica: %v, want alive", got)
+	}
+	if det.LastSeen("r1").IsZero() {
+		t.Fatal("acknowledged heartbeat did not record LastSeen")
+	}
+
+	partitioned.Store(true)
+	det.Poll(ctx)
+	if got := det.State("r1"); got != obs.ReplicaAlive {
+		t.Fatalf("one miss: %v, want still alive (SuspectAfter=2)", got)
+	}
+	det.Poll(ctx)
+	if got := det.State("r1"); got != obs.ReplicaSuspect {
+		t.Fatalf("two misses: %v, want suspect", got)
+	}
+	det.Poll(ctx)
+	det.Poll(ctx)
+	if got := det.State("r1"); got != obs.ReplicaDead {
+		t.Fatalf("four misses: %v, want dead", got)
+	}
+
+	// Suspicion is reversible: one acknowledged heartbeat resurrects.
+	partitioned.Store(false)
+	det.Poll(ctx)
+	if got := det.State("r1"); got != obs.ReplicaAlive {
+		t.Fatalf("heartbeat after recovery: %v, want alive again", got)
+	}
+
+	// Transitions were observed: alive→suspect, suspect→dead, dead→alive.
+	for _, snap := range collector.Snapshot() {
+		if snap.ReplicaSuspects == 0 || snap.ReplicaDeaths == 0 {
+			t.Fatalf("detector transitions not counted: %+v", snap)
+		}
+	}
+}
+
+func TestDetectorStatesAndUnknown(t *testing.T) {
+	det := NewDetector(DetectorConfig{})
+	if got := det.State("stranger"); got != obs.ReplicaAlive {
+		t.Fatalf("unknown replica: %v, want alive (no evidence against it)", got)
+	}
+	det.Watch("a", func(ctx context.Context) (net.Conn, error) { return nil, ErrReplicaUnavailable })
+	states := det.States()
+	if len(states) != 1 || states["a"] != obs.ReplicaAlive {
+		t.Fatalf("States: %v, want map[a:alive]", states)
+	}
+}
+
+func TestDetectorRank(t *testing.T) {
+	network := NewPipeNetwork()
+	startReplica(t, network, "up", double())
+	det := NewDetector(DetectorConfig{Timeout: 100 * time.Millisecond, SuspectAfter: 1, DeadAfter: 2})
+	det.Watch("up", network.Dial("up"))
+	det.Watch("down", func(ctx context.Context) (net.Conn, error) { return nil, ErrReplicaUnavailable })
+	det.Poll(context.Background())
+	det.Poll(context.Background())
+	// down has missed twice (dead), up is alive; rank must reorder.
+	got := det.Rank("ignored", []string{"down", "up"})
+	if want := []string{"up", "down"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Rank: %v, want %v", got, want)
+	}
+	// Stability within a class: equals keep their given order.
+	got = det.Rank("ignored", []string{"up", "stranger"})
+	if want := []string{"up", "stranger"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Rank stability: %v, want %v", got, want)
+	}
+}
+
+func TestDetectorRunLoop(t *testing.T) {
+	network := NewPipeNetwork()
+	startReplica(t, network, "r1", double())
+	det := NewDetector(DetectorConfig{Interval: 5 * time.Millisecond, Timeout: 100 * time.Millisecond})
+	det.Watch("r1", network.Dial("r1"))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- det.Run(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for det.LastSeen("r1").IsZero() {
+		if time.Now().After(deadline) {
+			t.Fatal("Run loop produced no heartbeat within 2s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Run after cancel: %v, want nil", err)
+	}
+	child := det.AsChild()
+	if child.Name == "" || child.Run == nil {
+		t.Fatalf("AsChild incomplete: %+v", child)
+	}
+}
+
+func TestReplicaStateString(t *testing.T) {
+	cases := map[obs.ReplicaState]string{
+		obs.ReplicaAlive:     "alive",
+		obs.ReplicaSuspect:   "suspect",
+		obs.ReplicaDead:      "dead",
+		obs.ReplicaState(42): "unknown",
+	}
+	for state, want := range cases {
+		if got := state.String(); got != want {
+			t.Fatalf("ReplicaState(%d).String() = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package dist moves the replica boundary from a function call to a
+// real, faulty network: it exposes any core.Variant as a remote replica
+// server behind a length-prefixed, CRC-framed RPC transport, and gives
+// clients a Remote variant that plugs unchanged into every pattern
+// executor — with per-endpoint deadlines, circuit-breaker integration,
+// hedged requests against tail latency, and a heartbeat failure detector
+// whose alive/suspect/dead membership steers routing away from
+// partitioned replicas.
+//
+// In the paper's taxonomy this is the *process replicas* technique
+// (Table 2: deliberate redundancy in the environment dimension,
+// reactive-implicit adjudication) made honest: the replicas live on the
+// other side of a transport that drops, delays, duplicates, reorders and
+// partitions (internal/faultmodel's NetworkCampaign injects exactly
+// those), so the redundancy mechanisms are exercised against the failure
+// modes that motivate them. The transport is deliberately minimal — one
+// request per connection round trip over pooled connections — so its
+// behavior under fault injection stays analyzable.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout: a fixed 8-byte header — 4-byte big-endian payload
+// length, 4-byte IEEE CRC32 of the payload — followed by the payload.
+// The CRC turns injected corruption (and torn or reordered byte streams)
+// into a detected connection-level failure instead of a silently wrong
+// result, the same discipline as the checkpoint WAL's record framing.
+const frameHeaderSize = 8
+
+// MaxFrameSize bounds one frame's payload so a corrupt or hostile length
+// prefix cannot make a reader allocate without bound.
+const MaxFrameSize = 16 << 20
+
+// Sentinel errors of the transport layer.
+var (
+	// ErrBadFrame reports a frame whose CRC or length prefix is invalid:
+	// the byte stream is corrupt and the connection must be abandoned.
+	ErrBadFrame = errors.New("dist: corrupt frame")
+	// ErrFrameTooLarge reports a frame exceeding MaxFrameSize.
+	ErrFrameTooLarge = errors.New("dist: frame exceeds size limit")
+)
+
+// writeFrame writes one CRC-framed payload. A short write leaves the
+// stream unusable; callers abandon the connection on any error.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	hdr := make([]byte, frameHeaderSize, frameHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	// One Write call per frame: the fault injector's per-write loss,
+	// duplication and reordering then operate on whole frames, which is
+	// what makes CRC detection (rather than resynchronization) the right
+	// recovery.
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// readFrame reads one CRC-framed payload, validating length and
+// checksum. It returns ErrBadFrame (wrapped) on corruption; io errors
+// pass through for the caller to classify.
+func readFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, frameHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: length prefix %d", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return payload, nil
+}

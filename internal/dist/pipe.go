@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// DialFunc opens one connection to a replica endpoint. The transport
+// layer is abstracted to exactly this: TCP endpoints use a net.Dialer,
+// deterministic tests use a PipeNetwork, and the fault injector wraps
+// either with a chaos-decorated dialer.
+type DialFunc func(ctx context.Context) (net.Conn, error)
+
+// ErrReplicaUnavailable reports a dial to an endpoint that is not
+// listening (connection refused, listener closed, unknown pipe address).
+var ErrReplicaUnavailable = errors.New("dist: replica unavailable")
+
+// TCPDialer returns a DialFunc connecting to addr over TCP.
+func TCPDialer(addr string) DialFunc {
+	return func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrReplicaUnavailable, err)
+		}
+		return conn, nil
+	}
+}
+
+// PipeNetwork is the in-memory transport: named listeners connected by
+// synchronous net.Pipe pairs. It gives tests and simulations a real
+// net.Conn boundary — framing, deadlines, concurrent connections — with
+// no sockets, ports, or scheduler-dependent accept backlogs.
+type PipeNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*pipeListener
+}
+
+// NewPipeNetwork returns an empty in-memory network.
+func NewPipeNetwork() *PipeNetwork {
+	return &PipeNetwork{listeners: make(map[string]*pipeListener)}
+}
+
+// Listen claims name on the network and returns its listener. A second
+// listener on the same name is an error until the first is closed.
+func (n *PipeNetwork) Listen(name string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[name]; ok {
+		return nil, fmt.Errorf("dist: pipe address %q already in use", name)
+	}
+	l := &pipeListener{
+		net:   n,
+		name:  name,
+		conns: make(chan net.Conn),
+		done:  make(chan struct{}),
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Dial returns a DialFunc connecting to the named listener. The listener
+// does not need to exist yet at Dial-construction time — only when the
+// returned function runs.
+func (n *PipeNetwork) Dial(name string) DialFunc {
+	return func(ctx context.Context) (net.Conn, error) {
+		n.mu.Lock()
+		l := n.listeners[name]
+		n.mu.Unlock()
+		if l == nil {
+			return nil, fmt.Errorf("%w: no pipe listener %q", ErrReplicaUnavailable, name)
+		}
+		client, server := net.Pipe()
+		select {
+		case l.conns <- server:
+			return client, nil
+		case <-l.done:
+			client.Close()
+			server.Close()
+			return nil, fmt.Errorf("%w: pipe listener %q closed", ErrReplicaUnavailable, name)
+		case <-ctx.Done():
+			client.Close()
+			server.Close()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// remove unregisters a closed listener so the name can be reused.
+func (n *PipeNetwork) remove(name string) {
+	n.mu.Lock()
+	delete(n.listeners, name)
+	n.mu.Unlock()
+}
+
+// pipeListener implements net.Listener over a rendezvous channel.
+type pipeListener struct {
+	net   *PipeNetwork
+	name  string
+	conns chan net.Conn
+	once  sync.Once
+	done  chan struct{}
+}
+
+var _ net.Listener = (*pipeListener)(nil)
+
+// Accept implements net.Listener.
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *pipeListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.remove(l.name)
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *pipeListener) Addr() net.Addr { return pipeAddr(l.name) }
+
+// pipeAddr names a pipe endpoint.
+type pipeAddr string
+
+// Network implements net.Addr.
+func (pipeAddr) Network() string { return "pipe" }
+
+// String implements net.Addr.
+func (a pipeAddr) String() string { return string(a) }

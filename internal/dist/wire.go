@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// Message kinds carried in the envelope.
+const (
+	kindCall = iota + 1
+	kindReply
+	kindPing
+	kindPong
+)
+
+// envelope is the one message type of the protocol, gob-encoded inside a
+// CRC frame. Calls carry the gob-encoded input in Payload; replies carry
+// the gob-encoded output, or a non-empty Err. Pings and pongs carry
+// nothing but the ID.
+type envelope struct {
+	ID      uint64
+	Kind    int
+	Payload []byte
+	Err     string
+}
+
+// ErrRemote marks a failure reported by the replica server: the variant
+// on the far side executed and failed (or panicked — the server contains
+// panics with core.Guard). The original error chain does not survive the
+// wire; only its message does.
+var ErrRemote = errors.New("dist: remote variant failed")
+
+// encodeEnvelope serializes an envelope for framing.
+func encodeEnvelope(e *envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("dist: encode envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeEnvelope deserializes a framed envelope. A payload that does not
+// decode is a corrupt frame for classification purposes.
+func decodeEnvelope(data []byte) (*envelope, error) {
+	var e envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("%w: envelope: %v", ErrBadFrame, err)
+	}
+	return &e, nil
+}
+
+// encodeValue gob-encodes one RPC input or output value.
+func encodeValue(v any) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, fmt.Errorf("dist: encode value: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+// decodeValue gob-decodes one RPC input or output value into out (a
+// pointer).
+func decodeValue(data []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return fmt.Errorf("%w: value: %v", ErrBadFrame, err)
+	}
+	return nil
+}

@@ -52,6 +52,12 @@ type ExecutorStats struct {
 	restarts    atomic.Int64 // supervised process restarts
 	escalations atomic.Int64 // restart-intensity escalations
 
+	// Networked-replica counters (DistObserver events).
+	hedges    atomic.Int64 // hedged attempts launched beyond the primary
+	hedgeWins atomic.Int64 // requests won by a hedge (attempt > 1)
+	suspects  atomic.Int64 // detector transitions into suspect
+	deaths    atomic.Int64 // detector transitions into dead
+
 	latency Histogram // request latency
 	mttr    Histogram // supervised-restart recovery time
 
@@ -218,6 +224,10 @@ type ExecutorSnapshot struct {
 	WALReplays       int64             `json:"wal_replays,omitempty"`
 	Restarts         int64             `json:"restarts,omitempty"`
 	Escalations      int64             `json:"escalations,omitempty"`
+	Hedges           int64             `json:"hedges,omitempty"`
+	HedgeWins        int64             `json:"hedge_wins,omitempty"`
+	ReplicaSuspects  int64             `json:"replica_suspects,omitempty"`
+	ReplicaDeaths    int64             `json:"replica_deaths,omitempty"`
 	Latency          HistogramSnapshot `json:"latency"`
 	MTTR             HistogramSnapshot `json:"mttr,omitempty"`
 	Variants         []VariantSnapshot `json:"variants,omitempty"`
@@ -250,6 +260,10 @@ func (c *Collector) Snapshot() []ExecutorSnapshot {
 			WALReplays:       e.walReplays.Load(),
 			Restarts:         e.restarts.Load(),
 			Escalations:      e.escalations.Load(),
+			Hedges:           e.hedges.Load(),
+			HedgeWins:        e.hedgeWins.Load(),
+			ReplicaSuspects:  e.suspects.Load(),
+			ReplicaDeaths:    e.deaths.Load(),
 			Latency:          e.latency.Snapshot(),
 			MTTR:             e.mttr.Snapshot(),
 		}

@@ -1,0 +1,219 @@
+package obs
+
+// Distribution events extend the observation layer with the networked-
+// replica vocabulary (internal/dist): RPC round trips to remote replica
+// endpoints, hedged-request launches and wins, and failure-detector
+// membership transitions.
+//
+// Like the resilience-policy (policy.go) and crash-recovery
+// (recovery.go) events, the distribution events are an *optional*
+// extension of Observer so existing observers keep compiling unchanged:
+// an observer that wants them additionally implements DistObserver, and
+// emitters route events through the Emit* helpers, which type-assert and
+// fan out through combined observers. The built-in Collector implements
+// the extension: RPC round trips feed per-endpoint latency histograms
+// under the client's executor name, hedges and hedge wins are counted
+// per client, and suspect/dead transitions are counted per detector.
+
+import "time"
+
+// ReplicaState is the failure detector's opinion of one remote replica.
+type ReplicaState uint8
+
+const (
+	// ReplicaAlive: heartbeats are being acknowledged.
+	ReplicaAlive ReplicaState = iota
+	// ReplicaSuspect: enough heartbeats were missed that the replica is
+	// routed around, but not enough to declare it dead.
+	ReplicaSuspect
+	// ReplicaDead: the replica missed the dead threshold; only used when
+	// nothing healthier remains.
+	ReplicaDead
+)
+
+// String returns the Prometheus-label-safe name of the state.
+func (s ReplicaState) String() string {
+	switch s {
+	case ReplicaAlive:
+		return "alive"
+	case ReplicaSuspect:
+		return "suspect"
+	case ReplicaDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// DistObserver is the optional Observer extension receiving networked-
+// replica events. Observers implement it in addition to Observer;
+// emitters must route events through the Emit* helpers so that combined
+// observers (Combine) fan the events out to every member that implements
+// the extension.
+type DistObserver interface {
+	// RPCCompleted reports one RPC round trip from client (the remote
+	// variant's name) to endpoint; err is the failure, or nil. Hedged
+	// attempts report one RPCCompleted each, including attempts whose
+	// result was discarded because another attempt won.
+	RPCCompleted(client, endpoint string, req uint64, latency time.Duration, err error)
+	// HedgeLaunched reports that the client, still waiting on earlier
+	// attempts, fanned the request out to endpoint (attempt counts from 1
+	// for the primary, so hedges report 2, 3, ...).
+	HedgeLaunched(client, endpoint string, req uint64, attempt int)
+	// HedgeWon reports which attempt's result the client returned;
+	// attempt 1 means the primary won, higher attempts mean a hedge
+	// overtook it.
+	HedgeWon(client, endpoint string, req uint64, attempt int)
+	// ReplicaStateChanged reports a failure-detector membership
+	// transition for one replica.
+	ReplicaStateChanged(detector, replica string, from, to ReplicaState)
+}
+
+// EmitRPCCompleted delivers an RPC round-trip event to o if it (or any
+// member of a combined observer) implements DistObserver. Nil observers
+// are ignored.
+func EmitRPCCompleted(o Observer, client, endpoint string, req uint64, latency time.Duration, err error) {
+	if d, ok := o.(DistObserver); ok {
+		d.RPCCompleted(client, endpoint, req, latency, err)
+	}
+}
+
+// EmitHedgeLaunched delivers a hedge-launch event to o if it implements
+// DistObserver. Nil observers are ignored.
+func EmitHedgeLaunched(o Observer, client, endpoint string, req uint64, attempt int) {
+	if d, ok := o.(DistObserver); ok {
+		d.HedgeLaunched(client, endpoint, req, attempt)
+	}
+}
+
+// EmitHedgeWon delivers a hedge-outcome event to o if it implements
+// DistObserver. Nil observers are ignored.
+func EmitHedgeWon(o Observer, client, endpoint string, req uint64, attempt int) {
+	if d, ok := o.(DistObserver); ok {
+		d.HedgeWon(client, endpoint, req, attempt)
+	}
+}
+
+// EmitReplicaStateChanged delivers a membership transition to o if it
+// implements DistObserver. Nil observers are ignored.
+func EmitReplicaStateChanged(o Observer, detector, replica string, from, to ReplicaState) {
+	if d, ok := o.(DistObserver); ok {
+		d.ReplicaStateChanged(detector, replica, from, to)
+	}
+}
+
+// RPCCompleted implements DistObserver for Nop.
+func (Nop) RPCCompleted(string, string, uint64, time.Duration, error) {}
+
+// HedgeLaunched implements DistObserver for Nop.
+func (Nop) HedgeLaunched(string, string, uint64, int) {}
+
+// HedgeWon implements DistObserver for Nop.
+func (Nop) HedgeWon(string, string, uint64, int) {}
+
+// ReplicaStateChanged implements DistObserver for Nop.
+func (Nop) ReplicaStateChanged(string, string, ReplicaState, ReplicaState) {}
+
+var _ DistObserver = Nop{}
+
+// RPCCompleted implements DistObserver: the event reaches every member
+// that implements the extension.
+func (m multi) RPCCompleted(client, endpoint string, req uint64, latency time.Duration, err error) {
+	for _, o := range m {
+		if d, ok := o.(DistObserver); ok {
+			d.RPCCompleted(client, endpoint, req, latency, err)
+		}
+	}
+}
+
+// HedgeLaunched implements DistObserver.
+func (m multi) HedgeLaunched(client, endpoint string, req uint64, attempt int) {
+	for _, o := range m {
+		if d, ok := o.(DistObserver); ok {
+			d.HedgeLaunched(client, endpoint, req, attempt)
+		}
+	}
+}
+
+// HedgeWon implements DistObserver.
+func (m multi) HedgeWon(client, endpoint string, req uint64, attempt int) {
+	for _, o := range m {
+		if d, ok := o.(DistObserver); ok {
+			d.HedgeWon(client, endpoint, req, attempt)
+		}
+	}
+}
+
+// ReplicaStateChanged implements DistObserver.
+func (m multi) ReplicaStateChanged(detector, replica string, from, to ReplicaState) {
+	for _, o := range m {
+		if d, ok := o.(DistObserver); ok {
+			d.ReplicaStateChanged(detector, replica, from, to)
+		}
+	}
+}
+
+var _ DistObserver = multi(nil)
+
+// RPCCompleted implements DistObserver: each endpoint's round trips feed
+// an execution/failure counter pair and a latency histogram under the
+// client's executor name, so the metrics endpoint exports per-endpoint
+// RPC latency quantiles exactly like per-variant execution latency.
+func (c *Collector) RPCCompleted(client, endpoint string, _ uint64, latency time.Duration, err error) {
+	v := c.exec(client).variant(endpoint)
+	v.executions.Add(1)
+	if err != nil {
+		v.failures.Add(1)
+	}
+	v.latency.Observe(latency)
+}
+
+// HedgeLaunched implements DistObserver.
+func (c *Collector) HedgeLaunched(client, _ string, _ uint64, _ int) {
+	c.exec(client).hedges.Add(1)
+}
+
+// HedgeWon implements DistObserver: only wins by a hedge (attempt > 1)
+// count — a primary win means the fan-out was wasted work.
+func (c *Collector) HedgeWon(client, _ string, _ uint64, attempt int) {
+	if attempt > 1 {
+		c.exec(client).hedgeWins.Add(1)
+	}
+}
+
+// ReplicaStateChanged implements DistObserver: the Collector counts
+// transitions into suspect and dead per detector (the "replica failed"
+// signals that availability reports alert on).
+func (c *Collector) ReplicaStateChanged(detector, _ string, _, to ReplicaState) {
+	switch to {
+	case ReplicaSuspect:
+		c.exec(detector).suspects.Add(1)
+	case ReplicaDead:
+		c.exec(detector).deaths.Add(1)
+	}
+}
+
+var _ DistObserver = (*Collector)(nil)
+
+// RPCCompleted implements DistObserver. RPC round trips below the
+// variant span are too fine-grained for the request trace ring; the
+// Collector keeps the histograms.
+func (t *TraceRecorder) RPCCompleted(string, string, uint64, time.Duration, error) {}
+
+// HedgeLaunched implements DistObserver.
+func (t *TraceRecorder) HedgeLaunched(_, endpoint string, req uint64, _ int) {
+	t.event(req, "hedge", endpoint)
+}
+
+// HedgeWon implements DistObserver.
+func (t *TraceRecorder) HedgeWon(_, endpoint string, req uint64, attempt int) {
+	if attempt > 1 {
+		t.event(req, "hedge-won", endpoint)
+	}
+}
+
+// ReplicaStateChanged implements DistObserver. Membership transitions
+// are not bound to one request; the Collector keeps the counts.
+func (t *TraceRecorder) ReplicaStateChanged(string, string, ReplicaState, ReplicaState) {}
+
+var _ DistObserver = (*TraceRecorder)(nil)

@@ -134,6 +134,14 @@ func WritePrometheus(w io.Writer, c *Collector) {
 		func(e ExecutorSnapshot) int64 { return e.Restarts })
 	counter("redundancy_escalations_total", "Restart-intensity escalations raised to the parent supervisor.",
 		func(e ExecutorSnapshot) int64 { return e.Escalations })
+	counter("redundancy_hedges_total", "Hedged RPC attempts launched beyond the primary.",
+		func(e ExecutorSnapshot) int64 { return e.Hedges })
+	counter("redundancy_hedge_wins_total", "Requests whose returned result came from a hedge attempt.",
+		func(e ExecutorSnapshot) int64 { return e.HedgeWins })
+	counter("redundancy_replica_suspects_total", "Failure-detector transitions into the suspect state.",
+		func(e ExecutorSnapshot) int64 { return e.ReplicaSuspects })
+	counter("redundancy_replica_deaths_total", "Failure-detector transitions into the dead state.",
+		func(e ExecutorSnapshot) int64 { return e.ReplicaDeaths })
 
 	fmt.Fprint(w, "# HELP redundancy_inflight_variants Variant executions currently running.\n")
 	fmt.Fprint(w, "# TYPE redundancy_inflight_variants gauge\n")

@@ -5,15 +5,18 @@
 # results as JSON so CI can archive them and successive runs can be
 # diffed.
 #
-# Three files come out of one benchmark run: the resilience-policy
+# Four files come out of one benchmark run: the resilience-policy
 # results (the internal/resilience primitives plus the root
 # BenchmarkChaosCampaign* throughput pair, with/without the bulkhead)
 # land in BENCH_resilience.json; the crash-recovery results (WAL
 # append/replay and the BenchmarkCrashRecovery reopen-with-replay
-# suite from internal/checkpoint) land in BENCH_recovery.json;
+# suite from internal/checkpoint) land in BENCH_recovery.json; the
+# distributed-transport results (RPC round trip plus the hedged vs
+# unhedged tail-latency pair, whose p99_ns metric is the paper trail
+# that hedging beats the unhedged control) land in BENCH_net.json;
 # everything else stays in BENCH_obs.json as before.
 #
-# Usage: scripts/bench.sh [obs.json [resilience.json [recovery.json]]]
+# Usage: scripts/bench.sh [obs.json [resilience.json [recovery.json [net.json]]]]
 # Environment: BENCHTIME overrides -benchtime (e.g. BENCHTIME=100x).
 set -eu
 cd "$(dirname "$0")/.."
@@ -21,8 +24,9 @@ cd "$(dirname "$0")/.."
 out_obs="${1:-BENCH_obs.json}"
 out_res="${2:-BENCH_resilience.json}"
 out_rec="${3:-BENCH_recovery.json}"
+out_net="${4:-BENCH_net.json}"
 benchtime="${BENCHTIME:-1s}"
-pkgs=". ./internal/obs/... ./internal/pattern ./internal/resilience ./internal/checkpoint ./internal/xrand"
+pkgs=". ./internal/obs/... ./internal/pattern ./internal/resilience ./internal/checkpoint ./internal/dist ./internal/xrand"
 
 # shellcheck disable=SC2086  # pkgs is a deliberate word list
 raw="$(go test -bench=. -benchmem -run='^$' -benchtime="$benchtime" $pkgs)"
@@ -31,7 +35,8 @@ printf '%s\n' "$raw"
 # tojson converts `go test -bench` output to a JSON array. $1 selects
 # which results to keep: "resilience" takes the resilience package and
 # the chaos-campaign throughput benchmarks, "recovery" takes the
-# checkpoint/WAL package, "obs" takes the rest.
+# checkpoint/WAL package, "net" takes the distributed transport
+# package, "obs" takes the rest.
 tojson() {
     printf '%s\n' "$raw" | awk -v mode="$1" '
 BEGIN { print "[" }
@@ -39,19 +44,23 @@ BEGIN { print "[" }
 /^Benchmark/ {
     res = (pkg ~ /\/internal\/resilience$/ || $1 ~ /^BenchmarkChaosCampaign/)
     rec = (pkg ~ /\/internal\/checkpoint$/)
+    net = (pkg ~ /\/internal\/dist$/)
     if (mode == "resilience") keep = res
     else if (mode == "recovery") keep = rec
-    else keep = !res && !rec
+    else if (mode == "net") keep = net
+    else keep = !res && !rec && !net
     if (!keep) next
-    bop = ""; aop = ""; rps = ""
+    bop = ""; aop = ""; rps = ""; p99 = ""
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op") bop = $(i - 1)
         if ($i == "allocs/op") aop = $(i - 1)
         if ($i == "req/s") rps = $(i - 1)
+        if ($i == "p99_ns") p99 = $(i - 1)
     }
     if (n++) printf ",\n"
     printf "  {\"package\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", pkg, $1, $2, $3
     if (rps != "") printf ",\"req_per_s\":%s", rps
+    if (p99 != "") printf ",\"p99_ns\":%s", p99
     if (bop != "") printf ",\"bytes_per_op\":%s", bop
     if (aop != "") printf ",\"allocs_per_op\":%s", aop
     printf "}"
@@ -63,7 +72,9 @@ END { if (n) printf "\n"; print "]" }
 tojson obs >"$out_obs"
 tojson resilience >"$out_res"
 tojson recovery >"$out_rec"
+tojson net >"$out_net"
 
 echo "wrote $(grep -c '"name"' "$out_obs") benchmark results to $out_obs"
 echo "wrote $(grep -c '"name"' "$out_res") benchmark results to $out_res"
 echo "wrote $(grep -c '"name"' "$out_rec") benchmark results to $out_rec"
+echo "wrote $(grep -c '"name"' "$out_net") benchmark results to $out_net"
