@@ -90,7 +90,8 @@ func run(args []string) error {
 		rho         = fs.Float64("rho", 0, "failure correlation (nvp only)")
 		trials      = fs.Int("trials", 50000, "Monte Carlo trials")
 		seed        = fs.Uint64("seed", 1, "deterministic seed (echoed in the output for reproducibility)")
-		metricsAddr = fs.String("metrics-addr", "", "serve live observation metrics on this address while the simulation runs (e.g. :9090; endpoints /metrics, /vars, /traces, /healthz)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live observation metrics on this address while the simulation runs (e.g. :9090; endpoints /metrics, /vars, /traces, /healthz, /slo)")
+		pprofFlag   = fs.Bool("pprof", false, "also mount net/http/pprof profiling endpoints under /debug/pprof/ on -metrics-addr")
 		traceOut    = fs.String("trace-out", "", "write the recorded trace ring as JSON to this file at exit (analyze with obsreport)")
 		bohr        = fs.Int("bohr", 0, "make variant k fail deterministically (detected patterns only; a Bohrbug for the diagnosis layer to label)")
 		chaos       = fs.Bool("chaos", false, "run a deterministic chaos campaign against the resilience-hardened executor instead of the Monte Carlo estimate")
@@ -113,19 +114,29 @@ func run(args []string) error {
 		return fmt.Errorf("invalid -bohr %d: want a variant index in 1..%d (0 disables)", *bohr, *n)
 	}
 
+	// Span IDs derive from the run seed so repeated runs export
+	// byte-comparable trace files.
+	redundancy.SeedTraceIDs(*seed)
+
 	var observer redundancy.Observer
 	if *metricsAddr != "" || *traceOut != "" {
 		collector := redundancy.NewCollector()
 		traces := redundancy.NewTraceRecorder(1024)
 		engine := redundancy.NewHealthEngine(redundancy.HealthConfig{})
-		observer = redundancy.CombineObservers(collector, traces, engine)
+		slo := redundancy.NewSLOTracker(redundancy.SLOConfig{})
+		engine.AttachSLO(slo) // burn-rate breaches degrade /healthz
+		observer = redundancy.CombineObservers(collector, traces, engine, slo)
 		if *metricsAddr != "" {
 			ln, err := net.Listen("tcp", *metricsAddr)
 			if err != nil {
 				return fmt.Errorf("metrics listener: %w", err)
 			}
 			defer ln.Close()
-			srv := &http.Server{Handler: redundancy.ObservationHandler(collector, traces, engine.Extra())}
+			extras := []redundancy.ObservationEndpoint{engine.Extra(), slo.Extra()}
+			if *pprofFlag {
+				extras = append(extras, redundancy.PprofEndpoints()...)
+			}
+			srv := &http.Server{Handler: redundancy.ObservationHandler(collector, traces, extras...)}
 			go func() { _ = srv.Serve(ln) }()
 			defer srv.Close()
 			fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
@@ -133,6 +144,8 @@ func run(args []string) error {
 		if *traceOut != "" {
 			defer func() { dumpTraces(traces, *traceOut) }()
 		}
+	} else if *pprofFlag {
+		return fmt.Errorf("-pprof requires -metrics-addr")
 	}
 
 	if *crash {
@@ -157,7 +170,7 @@ func run(args []string) error {
 		if *netRequests < 1 {
 			return fmt.Errorf("invalid -net-requests %d", *netRequests)
 		}
-		return runNet(*seed, camp, *netRequests, observer)
+		return runNet(*seed, camp, *netRequests, observer, *traceOut)
 	}
 
 	if *chaos {

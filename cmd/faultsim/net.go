@@ -22,11 +22,34 @@ import (
 // netVictim is the endpoint the builtin network campaign partitions.
 const netVictim = "r2"
 
+// replicaTracePath derives a replica's trace-file path from the
+// -trace-out path: traces.json -> traces-r1.json.
+func replicaTracePath(traceOut, name string) string {
+	base := strings.TrimSuffix(traceOut, ".json")
+	return fmt.Sprintf("%s-%s.json", base, name)
+}
+
 // runNet stands up the replica fleet and drives the workload; campaign
-// is nil for a clean -net run.
-func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, extra redundancy.Observer) error {
+// is nil for a clean -net run. A non-empty traceOut gives every replica
+// server its own TraceRecorder, exported to <traceOut base>-<name>.json
+// — separate files per process, exactly what a real fleet would ship,
+// ready for `obsreport assemble` (the client's own spans land in the
+// shared -trace-out file written by main).
+func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, extra redundancy.Observer, traceOut string) error {
 	collector := redundancy.NewCollector()
-	observer := redundancy.CombineObservers(collector, extra)
+	// A short-window SLO tracker on the client path: windows are scaled
+	// to the campaign's seconds-long phases so the fast window visibly
+	// burns during the partition and recovers after it. The latency
+	// objective sits below the hedge delay on purpose: the selection
+	// layer masks a partition completely (fleet availability holds), so
+	// the burn shows up on the per-replica-path executors, whose hedged
+	// rescues cost at least HedgeAfter.
+	slo := redundancy.NewSLOTracker(redundancy.SLOConfig{
+		Default:    redundancy.SLObjective{Target: 0.999, Latency: 20 * time.Millisecond},
+		FastWindow: 500 * time.Millisecond,
+		SlowWindow: 3 * time.Second,
+	})
+	observer := redundancy.CombineObservers(collector, extra, slo)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -41,6 +64,7 @@ func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, ext
 		Observer: observer,
 	})
 	var servers []*redundancy.ReplicaServer[int, int]
+	replicaTraces := make(map[string]*redundancy.TraceRecorder)
 	for _, name := range names {
 		ln, err := network.Listen(name)
 		if err != nil {
@@ -49,9 +73,18 @@ func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, ext
 		v := redundancy.NewVariant("double", func(_ context.Context, x int) (int, error) {
 			return 2 * x, nil
 		})
+		// Each replica records its own spans, as a separate process
+		// would — the client's recorder never sees server-side spans;
+		// only the wire-propagated trace context links the files.
+		srvObserver := observer
+		if traceOut != "" {
+			rec := redundancy.NewTraceRecorder(4096)
+			replicaTraces[name] = rec
+			srvObserver = redundancy.CombineObservers(collector, rec)
+		}
 		srv := redundancy.NewReplicaServer(v, ln, redundancy.ReplicaServerConfig{
 			Name:     name,
-			Observer: observer,
+			Observer: srvObserver,
 		})
 		if err := supervisor.Add(srv.AsChild()); err != nil {
 			return err
@@ -134,7 +167,13 @@ func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, ext
 	var (
 		total, ok int
 		latencies []time.Duration
+		peakBurn  float64
+		peakExec  string
 	)
+	sloExecs := []string{"parallel-selection"}
+	for _, n := range names {
+		sloExecs = append(sloExecs, "via-"+n)
+	}
 	if campaign != nil {
 		campaign.Start()
 	}
@@ -153,12 +192,24 @@ func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, ext
 		if err == nil && got == 2*total {
 			ok++
 		}
+		for _, e := range sloExecs {
+			if burn := slo.FastBurn(e); burn > peakBurn {
+				peakBurn, peakExec = burn, e
+			}
+		}
 		sel.Reset() // network faults are transient; re-enable for the next request
 	}
+	finalBurn := slo.FastBurn("via-" + netVictim)
 
 	cancel()
 	<-detDone
 	<-supDone
+
+	for _, name := range names {
+		if rec := replicaTraces[name]; rec != nil {
+			dumpTraces(rec, replicaTracePath(traceOut, name))
+		}
+	}
 
 	title := fmt.Sprintf("Distributed replica fleet (clean network, seed %d)", seed)
 	if campaign != nil {
@@ -194,6 +245,13 @@ func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, ext
 	tbl.AddRow("hedges won", wins)
 	tbl.AddRow("replica suspicions", suspects)
 	tbl.AddRow("replica deaths", deaths)
+	peakOn := peakExec
+	if peakOn == "" {
+		peakOn = "none"
+	}
+	tbl.AddRow("SLO fast-burn peak", fmt.Sprintf("%.1f on %s (threshold 14.4)", peakBurn, peakOn))
+	tbl.AddRow("SLO fast-burn final (via-"+netVictim+")", fmt.Sprintf("%.1f", finalBurn))
+	tbl.AddRow("SLO breaching at exit", boolWord(slo.Breaching(), "YES", "no"))
 	states := detector.States()
 	parts := make([]string, 0, len(states))
 	for _, name := range names {

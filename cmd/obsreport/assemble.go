@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/softwarefaults/redundancy/internal/obs/assemble"
+	"github.com/softwarefaults/redundancy/internal/obs/health"
+)
+
+// runAssemble implements the assemble subcommand: join per-process
+// trace exports into causal trees and report cross-process linkage,
+// attribution, and critical-path timing.
+func runAssemble(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("obsreport assemble", flag.ContinueOnError)
+	var (
+		minLinked = fs.Float64("min-linked", -1,
+			"fail (exit non-zero) when the link ratio is below this fraction; negative disables")
+		asJSON = fs.Bool("json", false, "emit the report as JSON instead of text")
+		trees  = fs.Int("trees", 3, "sample causal trees to render")
+		depth  = fs.Int("depth", 6, "maximum tree depth to render")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(),
+			"usage: obsreport assemble [-min-linked r] [-json] [-trees n] [-depth n] <traces.json>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("expected at least one trace file")
+	}
+	sources := make([]assemble.Source, 0, fs.NArg())
+	for _, name := range fs.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		traces, err := health.ReadTraces(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("decoding %s: %w", name, err)
+		}
+		sources = append(sources, assemble.Source{
+			Name:   strings.TrimSuffix(filepath.Base(name), ".json"),
+			Traces: traces,
+		})
+	}
+	rep := assemble.Assemble(sources...)
+
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printAssembly(w, rep, *trees, *depth)
+	}
+	if *minLinked >= 0 {
+		if rep.Spans == 0 {
+			return fmt.Errorf("no traced spans assembled (empty causal forest)")
+		}
+		if rep.LinkRatio < *minLinked {
+			return fmt.Errorf("link ratio %.4f below required %.4f (%d/%d accepted answers linked)",
+				rep.LinkRatio, *minLinked, rep.Linked, rep.ClientRequests)
+		}
+	}
+	return nil
+}
+
+func printAssembly(w io.Writer, rep *assemble.Report, trees, depth int) {
+	fmt.Fprintf(w, "=== cross-process trace assembly ===\n")
+	fmt.Fprintf(w, "spans: %d across %d traces, %d causal trees\n",
+		rep.Spans, rep.TraceIDs, len(rep.Roots))
+	fmt.Fprintf(w, "linkage: %d/%d accepted answers with a complete client->replica chain (%.1f%%)\n",
+		rep.Linked, rep.ClientRequests, 100*rep.LinkRatio)
+	if rep.Path.Requests > 0 {
+		fmt.Fprintf(w, "critical path (mean over %d linked): client %v -> wire attempt %v -> replica %v\n",
+			rep.Path.Requests, rep.Path.ClientLatency, rep.Path.AttemptLatency, rep.Path.ServerLatency)
+	}
+	if len(rep.Attribution) > 0 {
+		fmt.Fprintln(w, "who served the accepted answer:")
+		fmt.Fprintf(w, "  %-12s %8s %10s %10s %9s\n", "endpoint", "wins", "hedge-wins", "cancelled", "failures")
+		for _, a := range rep.Attribution {
+			fmt.Fprintf(w, "  %-12s %8d %10d %10d %9d\n",
+				a.Endpoint, a.Wins, a.HedgeWins, a.Cancelled, a.Failures)
+		}
+	}
+	if trees > 0 && len(rep.Roots) > 0 {
+		// The most interesting trees first: deepest, then largest.
+		roots := make([]*assemble.Span, len(rep.Roots))
+		copy(roots, rep.Roots)
+		for i := 0; i < len(roots) && i < trees; i++ {
+			best := i
+			for j := i + 1; j < len(roots); j++ {
+				if roots[j].Depth() > roots[best].Depth() ||
+					(roots[j].Depth() == roots[best].Depth() && roots[j].Size() > roots[best].Size()) {
+					best = j
+				}
+			}
+			roots[i], roots[best] = roots[best], roots[i]
+		}
+		if len(roots) > trees {
+			roots = roots[:trees]
+		}
+		fmt.Fprintf(w, "sample causal trees (deepest first, max depth %d):\n", depth)
+		for _, r := range roots {
+			printTree(w, r, "  ", depth)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func printTree(w io.Writer, s *assemble.Span, indent string, depth int) {
+	via := ""
+	if s.ViaAttempt != 0 {
+		via = " (via wire attempt)"
+	}
+	status := s.Trace.Outcome
+	if status == "" {
+		status = "?"
+	}
+	fmt.Fprintf(w, "%s%s/%s %s %v trace=%x span=%x%s\n",
+		indent, s.Source, s.Trace.Executor, status, s.Trace.Latency, s.Trace.TraceID, s.Trace.SpanID, via)
+	if depth <= 1 {
+		if len(s.Children) > 0 {
+			fmt.Fprintf(w, "%s  ... %d more\n", indent, len(s.Children))
+		}
+		return
+	}
+	for _, c := range s.Children {
+		printTree(w, c, indent+"  ", depth-1)
+	}
+}

@@ -6,12 +6,21 @@
 // clustering, and the suspected fault class of every variant, diagnosed
 // with the same classifier that drives the live /healthz endpoint.
 //
+// The assemble subcommand joins the per-process trace exports of a
+// distributed fleet (client plus replica servers, each with its own
+// -trace-out file) into causal trees: it prints the link ratio (accepted
+// answers with a complete client→replica span chain), the per-endpoint
+// "who served the accepted answer" attribution table, critical-path
+// timing, and a sample tree. With -min-linked it doubles as a CI check.
+//
 // Usage:
 //
 //	faultsim -pattern sequential -n 3 -p 0.2 -trace-out traces.json
 //	obsreport traces.json
 //	obsreport -width 100 -top 3 traces.json
 //	cat traces.json | obsreport -
+//	obsreport assemble traces.json traces-r1.json traces-r2.json traces-r3.json
+//	obsreport assemble -min-linked 0.99 -json traces*.json
 package main
 
 import (
@@ -35,6 +44,9 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
+	if len(args) > 0 && args[0] == "assemble" {
+		return runAssemble(args[1:], w)
+	}
 	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
 	var (
 		width = fs.Int("width", 72, "timeline width in executions (older history is truncated)")

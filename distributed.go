@@ -80,6 +80,10 @@ var (
 	ErrBadFrame = dist.ErrBadFrame
 	// ErrFrameTooLarge reports an RPC frame exceeding the size limit.
 	ErrFrameTooLarge = dist.ErrFrameTooLarge
+	// ErrFrameVersionMismatch reports a frame whose header names a wire
+	// version this build does not speak; the connection is abandoned
+	// rather than misparsed.
+	ErrFrameVersionMismatch = dist.ErrVersionMismatch
 	// ErrRemoteClientClosed reports a call on a closed RemoteVariant.
 	ErrRemoteClientClosed = dist.ErrClientClosed
 	// ErrPartitioned reports an operation on an endpoint cut off by the

@@ -81,6 +81,7 @@ func Retry[T any](v core.Variant[T, T], retries int, opts ...pattern.Option) (co
 	}
 	pol := pattern.PoliciesOf(opts...)
 	o := pol.Observer
+	traced := obs.WantsTrace(o)
 	var brk *resilience.Breaker
 	if pol.Breakers != nil {
 		pol.Breakers.Bind(retryExecutorName, o)
@@ -97,6 +98,11 @@ func Retry[T any](v core.Variant[T, T], retries int, opts ...pattern.Option) (co
 			req = obs.NextRequestID()
 			start = time.Now()
 			o.RequestStart(retryExecutorName, req)
+			if traced {
+				var tc obs.TraceContext
+				ctx, tc = obs.StartTrace(ctx)
+				obs.EmitRequestTraced(o, retryExecutorName, req, tc)
+			}
 		}
 		finish := func(accepted, detected bool) {
 			if o == nil {
@@ -297,6 +303,11 @@ func (p *Process[T]) Execute(ctx context.Context, input T) (T, error) {
 		req = obs.NextRequestID()
 		start = time.Now()
 		o.RequestStart(p.execName, req)
+		if obs.WantsTrace(o) {
+			var tc obs.TraceContext
+			ctx, tc = obs.StartTrace(ctx)
+			obs.EmitRequestTraced(o, p.execName, req, tc)
+		}
 	}
 	finish := func(accepted bool, outcome obs.Outcome) {
 		if o == nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
 )
 
 // BenchmarkRPCRoundTrip measures one framed call over the in-memory
@@ -27,12 +28,54 @@ func BenchmarkRPCRoundTrip(b *testing.B) {
 		b.Fatalf("NewRemote: %v", err)
 	}
 	defer remote.Close()
+	latencies := make([]time.Duration, 0, b.N)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		start := time.Now()
 		if _, err := remote.Execute(context.Background(), i); err != nil {
 			b.Fatalf("Execute: %v", err)
 		}
+		latencies = append(latencies, time.Since(start))
 	}
+	b.StopTimer()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	b.ReportMetric(float64(latencies[len(latencies)*99/100].Nanoseconds()), "p99_ns")
+}
+
+// BenchmarkTracedRPCRoundTrip is BenchmarkRPCRoundTrip with full trace
+// recording on both sides: trace-recording observers on client and
+// server, a traced caller context, and per-attempt spans on the wire.
+// The delta against BenchmarkRPCRoundTrip (and the p99_ns columns in
+// BENCH_net.json) quantifies trace-propagation overhead.
+func BenchmarkTracedRPCRoundTrip(b *testing.B) {
+	network := NewPipeNetwork()
+	ln, err := network.Listen("r1")
+	if err != nil {
+		b.Fatalf("Listen: %v", err)
+	}
+	srv := NewServer(double(), ln, ServerConfig{Observer: obs.NewTraceRecorder(64)})
+	go srv.Serve(context.Background())
+	defer srv.Close()
+	remote, err := NewRemote[int, int]("bench-traced", RemoteConfig{
+		Observer: obs.Combine(obs.NewCollector(), obs.NewTraceRecorder(64)),
+	}, Endpoint{Name: "r1", Dial: network.Dial("r1")})
+	if err != nil {
+		b.Fatalf("NewRemote: %v", err)
+	}
+	defer remote.Close()
+	ctx, _ := obs.StartTrace(context.Background())
+	latencies := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := remote.Execute(ctx, i); err != nil {
+			b.Fatalf("Execute: %v", err)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	b.ReportMetric(float64(latencies[len(latencies)*99/100].Nanoseconds()), "p99_ns")
 }
 
 // spikyVariant answers instantly except for a deterministic fraction of

@@ -84,6 +84,11 @@ type Remote[I, O any] struct {
 	pools     []*connPool
 	ids       atomic.Uint64
 	closed    atomic.Bool
+	// traced caches obs.WantsTrace(cfg.Observer): span derivation and
+	// lineage recording happen only when an attached observer records
+	// traces (the envelope still forwards an inherited trace regardless,
+	// so a traced caller's context reaches the replica server).
+	traced bool
 }
 
 var _ core.Variant[int, int] = (*Remote[int, int])(nil)
@@ -118,7 +123,10 @@ func NewRemote[I, O any](name string, cfg RemoteConfig, endpoints ...Endpoint) (
 	for i := range pools {
 		pools[i] = newConnPool()
 	}
-	return &Remote[I, O]{name: name, endpoints: eps, cfg: cfg, pools: pools}, nil
+	return &Remote[I, O]{
+		name: name, endpoints: eps, cfg: cfg, pools: pools,
+		traced: obs.WantsTrace(cfg.Observer),
+	}, nil
 }
 
 // Name implements core.Variant.
@@ -142,12 +150,22 @@ type attemptResult[O any] struct {
 	err     error
 	attempt int // 1-based launch order
 	ep      int // index into the detector-ranked order
+	latency time.Duration
 }
 
 // Execute implements core.Variant: the hedged, failure-detector-routed,
 // breaker-guarded RPC fan-out. The first acceptable result wins; every
 // other in-flight attempt is canceled promptly (its connection deadline
 // is smashed, so blocked reads return).
+//
+// With an observer attached the fan-out is one observed request: a
+// RequestStart/RequestEnd span under the Remote's name, an Adjudicated
+// verdict (a hedge or failover that masked an attempt failure counts as
+// a detected-and-masked fault), and — when the observer records traces —
+// a span bound via RequestTraced plus one RPCAttempted lineage record
+// per attempt, including losers and cancelled hedges. Each attempt's
+// envelope carries a per-attempt child span so the replica server's
+// request span joins the same causal trace.
 func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var zero O
 	if r.closed.Load() {
@@ -155,15 +173,45 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	}
 	order := r.ordered()
 	o := r.cfg.Observer
-	var req uint64
+	var (
+		req   uint64
+		start time.Time
+	)
 	if o != nil {
 		req = obs.NextRequestID()
+		o.RequestStart(r.name, req)
+		start = time.Now()
+	}
+	// The trace context the attempts fan out under: a fresh child span
+	// when this client records traces, or the inherited context passed
+	// through verbatim when only an upstream executor records them. Each
+	// launched attempt derives its own child span for the wire.
+	parent, hasParent := obs.TraceContextFrom(ctx)
+	var rtc obs.TraceContext
+	if r.traced {
+		if hasParent {
+			rtc = parent.Child()
+		} else {
+			rtc = obs.NewTraceContext()
+		}
+		obs.EmitRequestTraced(o, r.name, req, rtc)
+	} else if hasParent {
+		rtc = parent
 	}
 	ctx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
 
 	results := make(chan attemptResult[O], len(order))
 	launched, pending := 0, 0
+	// Per-attempt lineage, maintained by the Execute goroutine only (the
+	// attempt goroutines report through the results channel), so the
+	// records can be emitted before the request span closes — after
+	// RequestEnd a recorder has already committed the trace.
+	var (
+		lineage  []obs.RPCAttempt
+		launches []time.Time
+		settled  []bool
+	)
 	// launchNext starts the next attempt in ranked order. Breaker-open
 	// endpoints complete instantly as failed attempts (without dialing),
 	// so the loop below immediately moves past them.
@@ -174,6 +222,17 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 		ep := order[launched]
 		launched++
 		attempt := launched
+		var atc obs.TraceContext
+		if rtc.Valid() {
+			atc = rtc.Child()
+		}
+		if o != nil {
+			lineage = append(lineage, obs.RPCAttempt{
+				Endpoint: r.endpoints[ep].Name, Span: atc, Attempt: attempt,
+			})
+			launches = append(launches, time.Now())
+			settled = append(settled, false)
+		}
 		var (
 			brk *resilience.Breaker
 			tok resilience.Token
@@ -193,15 +252,45 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 		pending++
 		go func() {
 			start := time.Now()
-			value, err := r.roundTrip(ctx, ep, input)
+			value, err := r.roundTrip(ctx, ep, atc, input)
+			latency := time.Since(start)
 			if o != nil {
-				obs.EmitRPCCompleted(o, r.name, r.endpoints[ep].Name, req, time.Since(start), err)
+				obs.EmitRPCCompleted(o, r.name, r.endpoints[ep].Name, req, latency, err)
 			}
 			if brk != nil {
 				brk.Record(tok, err)
 			}
-			results <- attemptResult[O]{value: value, err: err, attempt: attempt, ep: ep}
+			results <- attemptResult[O]{value: value, err: err, attempt: attempt, ep: ep, latency: latency}
 		}()
+	}
+	// finish closes the observed request: the lineage (attempts still in
+	// flight are the cancelled losers), the adjudication verdict, and the
+	// request span.
+	finish := func(winner int, err error) {
+		if o == nil {
+			return
+		}
+		failureDetected := false
+		for i := range lineage {
+			a := &lineage[i]
+			a.Won = a.Attempt == winner
+			if !settled[i] {
+				a.Cancelled = true
+				a.Latency = time.Since(launches[i])
+			} else if a.Err != nil {
+				failureDetected = true
+			}
+			obs.EmitRPCAttempted(o, r.name, req, *a)
+		}
+		o.Adjudicated(r.name, req, err == nil, failureDetected)
+		outcome := obs.OutcomeSuccess
+		switch {
+		case err != nil:
+			outcome = obs.OutcomeFailed
+		case failureDetected:
+			outcome = obs.OutcomeMasked
+		}
+		o.RequestEnd(r.name, req, time.Since(start), outcome)
 	}
 	launchNext()
 
@@ -233,10 +322,16 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			}
 		case res := <-results:
 			pending--
+			if o != nil {
+				lineage[res.attempt-1].Latency = res.latency
+				lineage[res.attempt-1].Err = res.err
+				settled[res.attempt-1] = true
+			}
 			if res.err == nil {
 				if o != nil {
 					obs.EmitHedgeWon(o, r.name, r.endpoints[res.ep].Name, req, res.attempt)
 				}
+				finish(res.attempt, nil)
 				cancelAll()
 				return res.value, nil
 			}
@@ -247,10 +342,13 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 				}
 			}
 		case <-ctx.Done():
+			finish(0, ctx.Err())
 			return zero, ctx.Err()
 		}
 	}
-	return zero, fmt.Errorf("remote %s: %w: %w", r.name, core.ErrAllVariantsFailed, lastErr)
+	err := fmt.Errorf("remote %s: %w: %w", r.name, core.ErrAllVariantsFailed, lastErr)
+	finish(0, err)
+	return zero, err
 }
 
 // ordered returns endpoint indexes ranked by the failure detector:
@@ -276,10 +374,12 @@ func (r *Remote[I, O]) ordered() []int {
 
 // roundTrip performs one RPC attempt against one endpoint: pooled
 // connection (or fresh dial), framed call out, framed reply in, all
-// under the per-endpoint deadline. Context cancellation — the hedge
-// winner canceling losers, or the caller giving up — smashes the
-// connection deadline so a blocked read returns promptly.
-func (r *Remote[I, O]) roundTrip(ctx context.Context, ep int, input I) (out O, err error) {
+// under the per-endpoint deadline. The attempt span tc (zero when
+// untraced) rides the envelope so the replica continues the trace.
+// Context cancellation — the hedge winner canceling losers, or the
+// caller giving up — smashes the connection deadline so a blocked read
+// returns promptly.
+func (r *Remote[I, O]) roundTrip(ctx context.Context, ep int, tc obs.TraceContext, input I) (out O, err error) {
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
 	defer cancel()
 	conn, err := r.pools[ep].get(ctx, r.endpoints[ep].Dial)
@@ -307,7 +407,7 @@ func (r *Remote[I, O]) roundTrip(ctx context.Context, ep int, input I) (out O, e
 	if d, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(d)
 	}
-	env := &envelope{ID: r.ids.Add(1), Kind: kindCall}
+	env := &envelope{ID: r.ids.Add(1), Kind: kindCall, TraceID: tc.TraceID, SpanID: tc.SpanID}
 	if env.Payload, err = encodeValue(input); err != nil {
 		return out, err
 	}

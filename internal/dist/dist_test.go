@@ -73,9 +73,52 @@ func TestFrameDetectsCorruption(t *testing.T) {
 
 func TestFrameRejectsOversizedLength(t *testing.T) {
 	var hdr [frameHeaderSize]byte
-	binary.BigEndian.PutUint32(hdr[0:4], MaxFrameSize+1)
+	hdr[0] = frameVersion
+	binary.BigEndian.PutUint32(hdr[1:5], MaxFrameSize+1)
 	if _, err := readFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameRejectsVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("future payload")); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	raw := buf.Bytes()
+	for _, v := range []byte{frameVersion + 1, frameVersion - 1, 0} {
+		raw[0] = v
+		_, err := readFrame(bytes.NewReader(raw))
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("version %d: got %v, want ErrVersionMismatch", v, err)
+		}
+	}
+	raw[0] = frameVersion
+	if _, err := readFrame(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("matching version rejected: %v", err)
+	}
+}
+
+func TestEnvelopeTraceFieldsRoundTrip(t *testing.T) {
+	in := &envelope{ID: 7, Kind: kindCall, Payload: []byte("x"), TraceID: 0xABCD, SpanID: 0x1234}
+	data, err := encodeEnvelope(in)
+	if err != nil {
+		t.Fatalf("encodeEnvelope: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, data); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	payload, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	out, err := decodeEnvelope(payload)
+	if err != nil {
+		t.Fatalf("decodeEnvelope: %v", err)
+	}
+	if out.TraceID != in.TraceID || out.SpanID != in.SpanID || out.ID != in.ID {
+		t.Fatalf("trace fields lost in transit: got %+v want %+v", out, in)
 	}
 }
 

@@ -26,12 +26,22 @@ import (
 	"io"
 )
 
-// Frame layout: a fixed 8-byte header — 4-byte big-endian payload
-// length, 4-byte IEEE CRC32 of the payload — followed by the payload.
-// The CRC turns injected corruption (and torn or reordered byte streams)
-// into a detected connection-level failure instead of a silently wrong
-// result, the same discipline as the checkpoint WAL's record framing.
-const frameHeaderSize = 8
+// Frame layout: a fixed 9-byte header — 1-byte wire version, 4-byte
+// big-endian payload length, 4-byte IEEE CRC32 of the payload —
+// followed by the payload. The CRC turns injected corruption (and torn
+// or reordered byte streams) into a detected connection-level failure
+// instead of a silently wrong result, the same discipline as the
+// checkpoint WAL's record framing. The version byte rejects peers
+// speaking an incompatible envelope schema (version 2 added in-band
+// trace propagation) with a typed error instead of a gob decode error
+// deep in the payload.
+const frameHeaderSize = 9
+
+// frameVersion is the current wire version. History:
+//
+//	1 — unversioned 8-byte header (length + CRC only)
+//	2 — version byte added; envelope carries TraceID/SpanID
+const frameVersion = 2
 
 // MaxFrameSize bounds one frame's payload so a corrupt or hostile length
 // prefix cannot make a reader allocate without bound.
@@ -44,6 +54,10 @@ var (
 	ErrBadFrame = errors.New("dist: corrupt frame")
 	// ErrFrameTooLarge reports a frame exceeding MaxFrameSize.
 	ErrFrameTooLarge = errors.New("dist: frame exceeds size limit")
+	// ErrVersionMismatch reports a frame whose wire version differs from
+	// this build's: the peer speaks an incompatible envelope schema and
+	// the connection must be abandoned.
+	ErrVersionMismatch = errors.New("dist: frame version mismatch")
 )
 
 // writeFrame writes one CRC-framed payload. A short write leaves the
@@ -53,8 +67,9 @@ func writeFrame(w io.Writer, payload []byte) error {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
 	hdr := make([]byte, frameHeaderSize, frameHeaderSize+len(payload))
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	hdr[0] = frameVersion
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
 	// One Write call per frame: the fault injector's per-write loss,
 	// duplication and reordering then operate on whole frames, which is
 	// what makes CRC detection (rather than resynchronization) the right
@@ -63,15 +78,19 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads one CRC-framed payload, validating length and
-// checksum. It returns ErrBadFrame (wrapped) on corruption; io errors
-// pass through for the caller to classify.
+// readFrame reads one CRC-framed payload, validating version, length
+// and checksum. It returns ErrVersionMismatch or ErrBadFrame (wrapped)
+// on incompatible or corrupt frames; io errors pass through for the
+// caller to classify.
 func readFrame(r io.Reader) ([]byte, error) {
 	hdr := make([]byte, frameHeaderSize)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[0:4])
+	if hdr[0] != frameVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersionMismatch, hdr[0], frameVersion)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("%w: length prefix %d", ErrFrameTooLarge, n)
 	}
@@ -79,7 +98,7 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
-	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[5:9]) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
 	}
 	return payload, nil

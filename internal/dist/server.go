@@ -43,6 +43,9 @@ type Server[I, O any] struct {
 	variant core.Variant[I, O]
 	ln      net.Listener
 	cfg     ServerConfig
+	// traced caches obs.WantsTrace(cfg.Observer): server-side spans join
+	// the wire trace only when an attached observer records traces.
+	traced bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -63,6 +66,7 @@ func NewServer[I, O any](variant core.Variant[I, O], ln net.Listener, cfg Server
 		variant: variant,
 		ln:      ln,
 		cfg:     cfg,
+		traced:  obs.WantsTrace(cfg.Observer),
 		conns:   make(map[net.Conn]struct{}),
 	}
 }
@@ -224,6 +228,13 @@ func (s *Server[I, O]) handle(ctx context.Context, conn net.Conn) {
 // call executes the variant for one request envelope. Failures —
 // decode errors, variant errors, contained panics — travel back as the
 // error string of the reply; the server connection survives them.
+//
+// With an observer attached each served call is one observed request
+// under "replica:<name>" — request span, variant span, adjudication —
+// and when the observer records traces the request span continues the
+// trace carried by the envelope (its parent is the client attempt span
+// that sent the call), so the per-process trace exports assemble into
+// one causal tree.
 func (s *Server[I, O]) call(ctx context.Context, env *envelope) envelope {
 	reply := envelope{ID: env.ID, Kind: kindReply}
 	var input I
@@ -234,15 +245,29 @@ func (s *Server[I, O]) call(ctx context.Context, env *envelope) envelope {
 	callCtx, cancel := context.WithTimeout(ctx, s.cfg.CallTimeout)
 	defer cancel()
 	executor := "replica:" + s.cfg.Name
+	o := s.cfg.Observer
 	var req uint64
-	if o := s.cfg.Observer; o != nil {
+	if o != nil {
 		req = obs.NextRequestID()
+		o.RequestStart(executor, req)
+		if s.traced {
+			stc := obs.ContinueTrace(env.TraceID, env.SpanID)
+			callCtx = obs.WithTraceContext(callCtx, stc)
+			obs.EmitRequestTraced(o, executor, req, stc)
+		}
 		o.VariantStart(executor, s.variant.Name(), req)
 	}
 	start := time.Now()
 	value, err := core.Guard(s.variant).Execute(callCtx, input)
-	if o := s.cfg.Observer; o != nil {
-		o.VariantEnd(executor, s.variant.Name(), req, time.Since(start), err)
+	if o != nil {
+		latency := time.Since(start)
+		o.VariantEnd(executor, s.variant.Name(), req, latency, err)
+		o.Adjudicated(executor, req, err == nil, err != nil)
+		outcome := obs.OutcomeSuccess
+		if err != nil {
+			outcome = obs.OutcomeFailed
+		}
+		o.RequestEnd(executor, req, latency, outcome)
 	}
 	if err != nil {
 		reply.Err = err.Error()

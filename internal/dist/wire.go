@@ -19,11 +19,19 @@ const (
 // CRC frame. Calls carry the gob-encoded input in Payload; replies carry
 // the gob-encoded output, or a non-empty Err. Pings and pongs carry
 // nothing but the ID.
+//
+// TraceID and SpanID (wire version 2) propagate the causal trace
+// in-band on calls: TraceID names the client's distributed trace and
+// SpanID the client attempt span that carried this call, so the
+// server-side request span continues the trace as that attempt's
+// child. Both are zero on untraced calls and on replies.
 type envelope struct {
 	ID      uint64
 	Kind    int
 	Payload []byte
 	Err     string
+	TraceID uint64
+	SpanID  uint64
 }
 
 // ErrRemote marks a failure reported by the replica server: the variant

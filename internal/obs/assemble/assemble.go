@@ -1,0 +1,243 @@
+// Package assemble stitches per-process trace exports into causal
+// trees. Each process of a distributed fleet — the client driving
+// hedged remotes, and every replica server — records its own spans
+// (obs.TraceRecorder) and exports its own trace file; this package
+// joins them offline on the TraceID/SpanID/ParentSpanID triples that
+// traveled the RPC wire, reconstructing for every request the chain
+//
+//	caller span → client request span → attempt span (wire) → replica span
+//
+// and deriving the answers the raw per-process files cannot give: did
+// the accepted answer really come from the replica the client credits
+// (link ratio, attribution), and where did the time go (critical path)?
+// cmd/obsreport's assemble subcommand is the CLI over this package.
+package assemble
+
+import (
+	"sort"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// Source is one process's trace export: a name (typically the trace
+// file's basename) and its recorded traces.
+type Source struct {
+	Name   string
+	Traces []obs.Trace
+}
+
+// Span is one node of an assembled causal tree: a recorded trace plus
+// its resolved children (spans from any source naming this span — or
+// one of its RPC attempt spans — as parent).
+type Span struct {
+	// Source names the process that recorded the span.
+	Source string
+	// Trace is the recorded span itself.
+	Trace obs.Trace
+	// ViaAttempt is non-zero when this span's parent is an RPC attempt
+	// span of the parent trace (the wire hop), rather than the parent's
+	// request span directly.
+	ViaAttempt uint64
+	// Children are the resolved child spans, ordered by start time.
+	Children []*Span
+}
+
+// Attribution aggregates "who served the accepted answer" per endpoint,
+// from the clients' hedge lineages.
+type Attribution struct {
+	Endpoint string `json:"endpoint"`
+	// Wins counts attempts whose result the client returned; HedgeWins
+	// is the subset that were hedges (attempt > 1).
+	Wins      int `json:"wins"`
+	HedgeWins int `json:"hedge_wins"`
+	// Cancelled counts attempts cancelled in flight by a faster sibling;
+	// Failures counts attempts that completed with an error.
+	Cancelled int `json:"cancelled"`
+	Failures  int `json:"failures"`
+}
+
+// CriticalPath is the mean per-hop timing over linked accepted requests:
+// how much of the client's request latency the winning wire attempt
+// accounts for, and how much of the attempt the replica's own execution
+// accounts for — the remainder of each hop is framing, queueing, and the
+// fault injector's delay.
+type CriticalPath struct {
+	Requests       int           `json:"requests"`
+	ClientLatency  time.Duration `json:"client_latency_ns"`
+	AttemptLatency time.Duration `json:"attempt_latency_ns"`
+	ServerLatency  time.Duration `json:"server_latency_ns"`
+}
+
+// Report is the result of assembling a fleet's trace exports.
+type Report struct {
+	// Spans counts traced spans across all sources; TraceIDs counts
+	// distinct traces.
+	Spans    int `json:"spans"`
+	TraceIDs int `json:"trace_ids"`
+	// Roots is the assembled causal forest (spans with no resolvable
+	// parent), ordered by start time.
+	Roots []*Span `json:"-"`
+	// ClientRequests counts accepted client requests carrying an RPC
+	// lineage; Linked is the subset whose winning attempt span is named
+	// as parent by a server span of the same trace — the end-to-end
+	// client→replica chain the tracing exists to establish. LinkRatio is
+	// Linked/ClientRequests (1 when there are no client requests).
+	ClientRequests int     `json:"client_requests"`
+	Linked         int     `json:"linked"`
+	LinkRatio      float64 `json:"link_ratio"`
+	// Attribution is the per-endpoint win/hedge/cancel/failure table,
+	// sorted by endpoint name.
+	Attribution []Attribution `json:"attribution"`
+	// Path is the mean critical-path timing over the linked requests.
+	Path CriticalPath `json:"critical_path"`
+}
+
+// Assemble joins the sources' traces into causal trees and derives the
+// cross-process report.
+func Assemble(sources ...Source) *Report {
+	r := &Report{}
+	var nodes []*Span
+	bySpan := make(map[uint64]*Span)
+	attemptOwner := make(map[uint64]*Span)
+	traceIDs := make(map[uint64]struct{})
+	for _, src := range sources {
+		for _, tr := range src.Traces {
+			if tr.TraceID == 0 || tr.SpanID == 0 {
+				continue // untraced request: no causal identity
+			}
+			n := &Span{Source: src.Name, Trace: tr}
+			nodes = append(nodes, n)
+			traceIDs[tr.TraceID] = struct{}{}
+			if _, dup := bySpan[tr.SpanID]; !dup {
+				bySpan[tr.SpanID] = n
+			}
+			for _, a := range tr.Attempts {
+				if a.SpanID != 0 {
+					attemptOwner[a.SpanID] = n
+				}
+			}
+		}
+	}
+	r.Spans = len(nodes)
+	r.TraceIDs = len(traceIDs)
+
+	// Link children to parents: a span's parent is either another
+	// recorded span (an in-process nesting) or an RPC attempt span of a
+	// client trace (the wire hop). Unresolvable parents make roots — the
+	// caller span may live in a process whose export we were not given.
+	serverByParent := make(map[uint64][]*Span)
+	for _, n := range nodes {
+		p := n.Trace.ParentSpanID
+		if p != 0 {
+			serverByParent[p] = append(serverByParent[p], n)
+		}
+		switch {
+		case p == 0:
+			r.Roots = append(r.Roots, n)
+		case bySpan[p] != nil && bySpan[p] != n:
+			bySpan[p].Children = append(bySpan[p].Children, n)
+		case attemptOwner[p] != nil && attemptOwner[p] != n:
+			n.ViaAttempt = p
+			attemptOwner[p].Children = append(attemptOwner[p].Children, n)
+		default:
+			r.Roots = append(r.Roots, n)
+		}
+	}
+	byStart := func(s []*Span) {
+		sort.Slice(s, func(i, j int) bool { return s[i].Trace.Start.Before(s[j].Trace.Start) })
+	}
+	byStart(r.Roots)
+	for _, n := range nodes {
+		byStart(n.Children)
+	}
+
+	// Attribution and linkage from the clients' hedge lineages.
+	attr := make(map[string]*Attribution)
+	at := func(endpoint string) *Attribution {
+		a, ok := attr[endpoint]
+		if !ok {
+			a = &Attribution{Endpoint: endpoint}
+			attr[endpoint] = a
+		}
+		return a
+	}
+	var pathClient, pathAttempt, pathServer time.Duration
+	for _, n := range nodes {
+		tr := n.Trace
+		if len(tr.Attempts) == 0 {
+			continue
+		}
+		var win *obs.AttemptSpan
+		for i := range tr.Attempts {
+			a := &tr.Attempts[i]
+			switch {
+			case a.Won:
+				win = a
+				at(a.Endpoint).Wins++
+				if a.Attempt > 1 {
+					at(a.Endpoint).HedgeWins++
+				}
+			case a.Cancelled:
+				at(a.Endpoint).Cancelled++
+			}
+			if a.Err != "" {
+				at(a.Endpoint).Failures++
+			}
+		}
+		if !tr.Accepted || win == nil {
+			continue
+		}
+		r.ClientRequests++
+		for _, srv := range serverByParent[win.SpanID] {
+			if srv.Trace.TraceID != tr.TraceID {
+				continue
+			}
+			r.Linked++
+			pathClient += tr.Latency
+			pathAttempt += win.Latency
+			pathServer += srv.Trace.Latency
+			break
+		}
+	}
+	r.LinkRatio = 1
+	if r.ClientRequests > 0 {
+		r.LinkRatio = float64(r.Linked) / float64(r.ClientRequests)
+	}
+	if r.Linked > 0 {
+		n := time.Duration(r.Linked)
+		r.Path = CriticalPath{
+			Requests:       r.Linked,
+			ClientLatency:  pathClient / n,
+			AttemptLatency: pathAttempt / n,
+			ServerLatency:  pathServer / n,
+		}
+	}
+	for _, a := range attr {
+		r.Attribution = append(r.Attribution, *a)
+	}
+	sort.Slice(r.Attribution, func(i, j int) bool {
+		return r.Attribution[i].Endpoint < r.Attribution[j].Endpoint
+	})
+	return r
+}
+
+// Depth returns the height of the tree rooted at s (1 for a leaf).
+func (s *Span) Depth() int {
+	max := 0
+	for _, c := range s.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Size returns the number of spans in the tree rooted at s.
+func (s *Span) Size() int {
+	n := 1
+	for _, c := range s.Children {
+		n += c.Size()
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package assemble
+
+import (
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// fleetTraces fabricates one hedged request's exports: a caller span, a
+// client request with a losing and a winning attempt, and per-replica
+// server spans continuing the attempt spans.
+func fleetTraces() (client, r1, r2 Source) {
+	t0 := time.Unix(1000, 0)
+	const (
+		trace      = uint64(10)
+		callerSpan = uint64(100)
+		clientSpan = uint64(101)
+		loseSpan   = uint64(102)
+		winSpan    = uint64(103)
+		r1Span     = uint64(104)
+		r2Span     = uint64(105)
+	)
+	client = Source{Name: "client", Traces: []obs.Trace{
+		{
+			ID: 1, Executor: "caller", Start: t0, Latency: 12 * time.Millisecond,
+			Accepted: true, TraceID: trace, SpanID: callerSpan,
+		},
+		{
+			ID: 2, Executor: "via-r2", Start: t0.Add(time.Millisecond),
+			Latency: 10 * time.Millisecond, Accepted: true,
+			TraceID: trace, SpanID: clientSpan, ParentSpanID: callerSpan,
+			Attempts: []obs.AttemptSpan{
+				{Endpoint: "r1", SpanID: loseSpan, Attempt: 1, Latency: 9 * time.Millisecond, Cancelled: true},
+				{Endpoint: "r2", SpanID: winSpan, Attempt: 2, Latency: 4 * time.Millisecond, Won: true},
+			},
+		},
+	}}
+	r1 = Source{Name: "r1", Traces: []obs.Trace{{
+		ID: 3, Executor: "replica:r1", Start: t0.Add(2 * time.Millisecond),
+		Latency: 8 * time.Millisecond, Outcome: "failed",
+		TraceID: trace, SpanID: r1Span, ParentSpanID: loseSpan,
+	}}}
+	r2 = Source{Name: "r2", Traces: []obs.Trace{{
+		ID: 4, Executor: "replica:r2", Start: t0.Add(6 * time.Millisecond),
+		Latency: 3 * time.Millisecond, Outcome: "success", Accepted: true,
+		TraceID: trace, SpanID: r2Span, ParentSpanID: winSpan,
+	}}}
+	return client, r1, r2
+}
+
+func TestAssembleLinksFleet(t *testing.T) {
+	client, r1, r2 := fleetTraces()
+	rep := Assemble(client, r1, r2)
+	if rep.Spans != 4 || rep.TraceIDs != 1 {
+		t.Fatalf("spans=%d traces=%d, want 4/1", rep.Spans, rep.TraceIDs)
+	}
+	if len(rep.Roots) != 1 {
+		t.Fatalf("got %d roots, want 1 (one causal tree)", len(rep.Roots))
+	}
+	root := rep.Roots[0]
+	if root.Trace.Executor != "caller" {
+		t.Fatalf("root executor %q", root.Trace.Executor)
+	}
+	if root.Size() != 4 || root.Depth() != 3 {
+		t.Fatalf("tree size=%d depth=%d, want 4/3", root.Size(), root.Depth())
+	}
+	// caller → client request → two replica spans via attempt spans.
+	if len(root.Children) != 1 {
+		t.Fatalf("caller has %d children", len(root.Children))
+	}
+	req := root.Children[0]
+	if len(req.Children) != 2 {
+		t.Fatalf("client request has %d children, want both replica spans", len(req.Children))
+	}
+	for _, c := range req.Children {
+		if c.ViaAttempt == 0 {
+			t.Fatalf("replica span %q not linked via attempt", c.Trace.Executor)
+		}
+	}
+	if rep.ClientRequests != 1 || rep.Linked != 1 || rep.LinkRatio != 1 {
+		t.Fatalf("linkage = %d/%d ratio %g", rep.Linked, rep.ClientRequests, rep.LinkRatio)
+	}
+	if rep.Path.ServerLatency != 3*time.Millisecond || rep.Path.AttemptLatency != 4*time.Millisecond {
+		t.Fatalf("critical path = %+v", rep.Path)
+	}
+	want := map[string]Attribution{
+		"r1": {Endpoint: "r1", Cancelled: 1},
+		"r2": {Endpoint: "r2", Wins: 1, HedgeWins: 1},
+	}
+	for _, a := range rep.Attribution {
+		if a != want[a.Endpoint] {
+			t.Errorf("attribution %q = %+v, want %+v", a.Endpoint, a, want[a.Endpoint])
+		}
+	}
+}
+
+func TestAssembleCountsBrokenChains(t *testing.T) {
+	client, r1, _ := fleetTraces()
+	// Without r2's export the winning attempt has no server span: the
+	// request is a client request but not linked.
+	rep := Assemble(client, r1)
+	if rep.ClientRequests != 1 || rep.Linked != 0 {
+		t.Fatalf("linkage = %d/%d, want 0/1", rep.Linked, rep.ClientRequests)
+	}
+	if rep.LinkRatio != 0 {
+		t.Fatalf("ratio = %g, want 0", rep.LinkRatio)
+	}
+}
+
+func TestAssembleCrossTraceParentRejected(t *testing.T) {
+	client, _, r2 := fleetTraces()
+	// Corrupt the server span's TraceID: same parent span, different
+	// trace — must not count as linked.
+	r2.Traces[0].TraceID = 999
+	rep := Assemble(client, r2)
+	if rep.Linked != 0 {
+		t.Fatal("cross-trace parent counted as linked")
+	}
+}
+
+func TestAssembleIgnoresUntraced(t *testing.T) {
+	rep := Assemble(Source{Name: "x", Traces: []obs.Trace{
+		{ID: 1, Executor: "plain"}, // no trace identity
+	}})
+	if rep.Spans != 0 || len(rep.Roots) != 0 {
+		t.Fatalf("untraced spans assembled: %+v", rep)
+	}
+	if rep.LinkRatio != 1 {
+		t.Fatalf("empty report ratio = %g, want vacuous 1", rep.LinkRatio)
+	}
+}

@@ -13,12 +13,24 @@ import (
 // Status is the top-level /healthz document.
 type Status struct {
 	// Status is "ok" or "degraded" (some executor scored below the
-	// configured threshold).
+	// configured threshold, or an attached SLO tracker's multiwindow
+	// burn-rate alert is firing).
 	Status string `json:"status"`
 	// DegradedBelow echoes the threshold applied.
 	DegradedBelow float64 `json:"degraded_below"`
 	// Executors is the full diagnosis snapshot.
 	Executors []ExecutorHealth `json:"executors"`
+	// SLO is the per-executor burn-rate state of the attached SLO
+	// tracker (absent when none is attached — see AttachSLO).
+	SLO []obs.SLOStatus `json:"slo,omitempty"`
+}
+
+// AttachSLO surfaces an SLO tracker's burn-rate state on /healthz: the
+// document gains an "slo" section and flips to degraded (HTTP 503)
+// while any executor's multiwindow burn-rate alert fires. Safe to call
+// concurrently with serving; a nil tracker detaches.
+func (g *Engine) AttachSLO(s *obs.SLOTracker) {
+	g.slo.Store(s)
 }
 
 // Status returns the current /healthz document.
@@ -29,6 +41,15 @@ func (g *Engine) Status() Status {
 		if e.Score < g.cfg.DegradedBelow {
 			st.Status = "degraded"
 			break
+		}
+	}
+	if s := g.slo.Load(); s != nil {
+		st.SLO = s.Snapshot()
+		for _, e := range st.SLO {
+			if e.Breaching {
+				st.Status = "degraded"
+				break
+			}
 		}
 	}
 	return st

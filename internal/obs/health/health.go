@@ -27,6 +27,7 @@ package health
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/softwarefaults/redundancy/internal/obs"
@@ -163,6 +164,9 @@ func (e *executorHealth) variant(name string) *variantHealth {
 // not.
 type Engine struct {
 	cfg Config
+
+	// slo, when attached (AttachSLO), adds burn-rate state to /healthz.
+	slo atomic.Pointer[obs.SLOTracker]
 
 	mu    sync.Mutex
 	execs map[string]*executorHealth

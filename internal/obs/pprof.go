@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofExtras returns the net/http/pprof endpoints packaged as Handler
+// extras, so a faultsim fleet (or any process mounting the observation
+// handler) can be profiled live. They are opt-in — profiling endpoints
+// expose internals and cost CPU when scraped — which is why Handler does
+// not mount them by default; cmd/faultsim gates them behind -pprof.
+func PprofExtras() []Extra {
+	return []Extra{
+		{Path: "/debug/pprof/", Handler: http.HandlerFunc(pprof.Index)},
+		{Path: "/debug/pprof/cmdline", Handler: http.HandlerFunc(pprof.Cmdline)},
+		{Path: "/debug/pprof/profile", Handler: http.HandlerFunc(pprof.Profile)},
+		{Path: "/debug/pprof/symbol", Handler: http.HandlerFunc(pprof.Symbol)},
+		{Path: "/debug/pprof/trace", Handler: http.HandlerFunc(pprof.Trace)},
+	}
+}

@@ -1,0 +1,355 @@
+package obs
+
+// SLO burn-rate tracking. An SLOTracker subscribes to the observation
+// stream like any Observer and, per executor, measures how fast the
+// error budget of an availability/latency objective is being spent,
+// over two sliding windows (a fast window that reacts to incidents and
+// a slow window that filters noise — the multiwindow burn-rate alerting
+// discipline of the Google SRE workbook). The burn rate is the observed
+// error ratio divided by the budget (1 - target): burn 1 means the
+// budget is spent exactly at the sustainable rate, burn 14.4 on a
+// 99.9% objective means the month's budget is gone in two days.
+//
+// The gauges are exported via Prometheus on /metrics, as JSON on /slo
+// (Extra), and surfaced on /healthz when attached to the health engine
+// (health.Engine.AttachSLO) — the actuation signal the ROADMAP's
+// autonomic control plane acts on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLObjective is one executor's service-level objective.
+type SLObjective struct {
+	// Target is the availability objective in (0, 1), e.g. 0.999.
+	// Zero selects the tracker's default.
+	Target float64 `json:"target"`
+	// Latency, when non-zero, is the latency objective: a request slower
+	// than this counts against the error budget even when it succeeded.
+	Latency time.Duration `json:"latency_ns,omitempty"`
+}
+
+// SLOConfig parameterizes a tracker. The zero value selects the
+// documented defaults.
+type SLOConfig struct {
+	// Default is the objective applied to every executor without a
+	// PerExecutor entry. A zero Target means 0.999.
+	Default SLObjective
+	// PerExecutor overrides the objective for named executors.
+	PerExecutor map[string]SLObjective
+	// FastWindow and SlowWindow are the two burn-rate windows.
+	// Defaults: 5 minutes and 1 hour.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// FastBurnThreshold and SlowBurnThreshold are the alert thresholds
+	// per window. Defaults: 14.4 and 6 (the SRE workbook's page-worthy
+	// budget burns for 5m/1h windows on a 30-day objective).
+	FastBurnThreshold float64
+	SlowBurnThreshold float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Default.Target <= 0 || c.Default.Target >= 1 {
+		c.Default.Target = 0.999
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = 5 * time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = time.Hour
+	}
+	if c.FastBurnThreshold <= 0 {
+		c.FastBurnThreshold = 14.4
+	}
+	if c.SlowBurnThreshold <= 0 {
+		c.SlowBurnThreshold = 6
+	}
+	return c
+}
+
+// sloWindowBuckets is how many buckets a sliding window is quantized
+// into; expired buckets are recycled in place, so a window costs a few
+// hundred bytes regardless of traffic.
+const sloWindowBuckets = 30
+
+// burnWindow is one sliding good/bad counter window.
+type burnWindow struct {
+	bucket time.Duration // one bucket's width
+	epochs [sloWindowBuckets]int64
+	good   [sloWindowBuckets]uint64
+	bad    [sloWindowBuckets]uint64
+}
+
+func newBurnWindow(window time.Duration) *burnWindow {
+	bucket := window / sloWindowBuckets
+	if bucket < time.Millisecond {
+		bucket = time.Millisecond
+	}
+	return &burnWindow{bucket: bucket}
+}
+
+func (w *burnWindow) observe(now time.Time, bad bool) {
+	e := now.UnixNano() / int64(w.bucket)
+	i := int(e % sloWindowBuckets)
+	if w.epochs[i] != e {
+		w.epochs[i] = e
+		w.good[i], w.bad[i] = 0, 0
+	}
+	if bad {
+		w.bad[i]++
+	} else {
+		w.good[i]++
+	}
+}
+
+func (w *burnWindow) totals(now time.Time) (good, bad uint64) {
+	e := now.UnixNano() / int64(w.bucket)
+	min := e - sloWindowBuckets + 1
+	for i := range w.epochs {
+		if w.epochs[i] >= min && w.epochs[i] <= e {
+			good += w.good[i]
+			bad += w.bad[i]
+		}
+	}
+	return good, bad
+}
+
+// sloSeries is one executor's pair of windows.
+type sloSeries struct {
+	objective SLObjective
+	fast      *burnWindow
+	slow      *burnWindow
+}
+
+// SLOTracker measures per-executor burn rates from RequestEnd events.
+// It implements Observer (all other callbacks are no-ops via the
+// embedded Nop); attach it with Combine next to the Collector and
+// TraceRecorder.
+type SLOTracker struct {
+	Nop
+	cfg SLOConfig
+
+	mu    sync.Mutex
+	execs map[string]*sloSeries
+}
+
+var _ Observer = (*SLOTracker)(nil)
+
+// NewSLOTracker returns a tracker with cfg's objectives (zero cfg
+// selects the defaults: 99.9% availability, 5m/1h windows, 14.4/6
+// thresholds).
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	return &SLOTracker{cfg: cfg.withDefaults(), execs: make(map[string]*sloSeries)}
+}
+
+// series returns (creating on first sight) the executor's windows.
+func (s *SLOTracker) series(executor string) *sloSeries {
+	if se, ok := s.execs[executor]; ok {
+		return se
+	}
+	obj := s.cfg.Default
+	if per, ok := s.cfg.PerExecutor[executor]; ok {
+		if per.Target > 0 && per.Target < 1 {
+			obj.Target = per.Target
+		}
+		if per.Latency != 0 {
+			obj.Latency = per.Latency
+		}
+	}
+	se := &sloSeries{
+		objective: obj,
+		fast:      newBurnWindow(s.cfg.FastWindow),
+		slow:      newBurnWindow(s.cfg.SlowWindow),
+	}
+	s.execs[executor] = se
+	return se
+}
+
+// RequestEnd implements Observer: a failed request — or a successful
+// one over the latency objective — spends error budget.
+func (s *SLOTracker) RequestEnd(executor string, _ uint64, latency time.Duration, outcome Outcome) {
+	now := time.Now()
+	s.mu.Lock()
+	se := s.series(executor)
+	bad := outcome == OutcomeFailed || (se.objective.Latency > 0 && latency > se.objective.Latency)
+	se.fast.observe(now, bad)
+	se.slow.observe(now, bad)
+	s.mu.Unlock()
+}
+
+// SLOWindowStatus is the point-in-time state of one burn window.
+type SLOWindowStatus struct {
+	// Name is "fast" or "slow".
+	Name string `json:"window"`
+	// Window is the window's width.
+	Window time.Duration `json:"window_ns"`
+	// Requests and Bad are the windowed totals.
+	Requests uint64 `json:"requests"`
+	Bad      uint64 `json:"bad"`
+	// ErrorRatio is Bad/Requests (0 when empty).
+	ErrorRatio float64 `json:"error_ratio"`
+	// BurnRate is ErrorRatio divided by the error budget (1 - target).
+	BurnRate float64 `json:"burn_rate"`
+	// Threshold is the alerting threshold for this window; Breaching
+	// reports BurnRate >= Threshold.
+	Threshold float64 `json:"threshold"`
+	Breaching bool    `json:"breaching"`
+}
+
+// SLOStatus is the point-in-time SLO state of one executor.
+type SLOStatus struct {
+	Executor  string      `json:"executor"`
+	Objective SLObjective `json:"objective"`
+	// Windows holds the fast and slow window states, fast first.
+	Windows []SLOWindowStatus `json:"windows"`
+	// Breaching reports the multiwindow alert: every window is over its
+	// threshold (the fast window confirms the incident is current, the
+	// slow window that it is significant).
+	Breaching bool `json:"breaching"`
+}
+
+// FastBurn returns the executor's current fast-window burn rate (0 for
+// an unseen executor).
+func (s *SLOTracker) FastBurn(executor string) float64 {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se, ok := s.execs[executor]
+	if !ok {
+		return 0
+	}
+	good, bad := se.fast.totals(now)
+	return burnRate(good, bad, se.objective.Target)
+}
+
+func burnRate(good, bad uint64, target float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	ratio := float64(bad) / float64(total)
+	budget := 1 - target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return ratio / budget
+}
+
+// Snapshot returns the per-executor SLO state, sorted by executor name.
+func (s *SLOTracker) Snapshot() []SLOStatus {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SLOStatus, 0, len(s.execs))
+	for name, se := range s.execs {
+		st := SLOStatus{Executor: name, Objective: se.objective, Breaching: true}
+		for _, w := range []struct {
+			name      string
+			window    *burnWindow
+			width     time.Duration
+			threshold float64
+		}{
+			{"fast", se.fast, s.cfg.FastWindow, s.cfg.FastBurnThreshold},
+			{"slow", se.slow, s.cfg.SlowWindow, s.cfg.SlowBurnThreshold},
+		} {
+			good, bad := w.window.totals(now)
+			ws := SLOWindowStatus{
+				Name:      w.name,
+				Window:    w.width,
+				Requests:  good + bad,
+				Bad:       bad,
+				BurnRate:  burnRate(good, bad, se.objective.Target),
+				Threshold: w.threshold,
+			}
+			if ws.Requests > 0 {
+				ws.ErrorRatio = float64(bad) / float64(ws.Requests)
+			}
+			ws.Breaching = ws.BurnRate >= ws.Threshold
+			if !ws.Breaching {
+				st.Breaching = false
+			}
+			st.Windows = append(st.Windows, ws)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Executor < out[j].Executor })
+	return out
+}
+
+// Breaching reports whether any executor's multiwindow alert fires.
+func (s *SLOTracker) Breaching() bool {
+	for _, st := range s.Snapshot() {
+		if st.Breaching {
+			return true
+		}
+	}
+	return false
+}
+
+// Handler serves the SLO snapshot as JSON.
+func (s *SLOTracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"slo": s.Snapshot()})
+	})
+}
+
+// Extra packages the tracker for Handler: it mounts /slo and appends
+// the burn-rate gauges to the /metrics exposition.
+func (s *SLOTracker) Extra() Extra {
+	return Extra{
+		Path:       "/slo",
+		Handler:    s.Handler(),
+		Prometheus: func(w io.Writer) { WriteSLOPrometheus(w, s) },
+	}
+}
+
+// WriteSLOPrometheus writes the tracker's gauges in the Prometheus text
+// exposition format.
+func WriteSLOPrometheus(w io.Writer, s *SLOTracker) {
+	if s == nil {
+		return
+	}
+	snap := s.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	fmt.Fprint(w, "# HELP redundancy_slo_target Availability objective per executor.\n")
+	fmt.Fprint(w, "# TYPE redundancy_slo_target gauge\n")
+	for _, e := range snap {
+		fmt.Fprintf(w, "redundancy_slo_target{executor=%q} %g\n", escapeLabel(e.Executor), e.Objective.Target)
+	}
+	fmt.Fprint(w, "# HELP redundancy_slo_error_ratio Windowed error ratio per executor.\n")
+	fmt.Fprint(w, "# TYPE redundancy_slo_error_ratio gauge\n")
+	for _, e := range snap {
+		for _, ws := range e.Windows {
+			fmt.Fprintf(w, "redundancy_slo_error_ratio{executor=%q,window=%q} %g\n",
+				escapeLabel(e.Executor), ws.Name, ws.ErrorRatio)
+		}
+	}
+	fmt.Fprint(w, "# HELP redundancy_slo_burn_rate Error-budget burn rate per executor and window (1 = sustainable).\n")
+	fmt.Fprint(w, "# TYPE redundancy_slo_burn_rate gauge\n")
+	for _, e := range snap {
+		for _, ws := range e.Windows {
+			fmt.Fprintf(w, "redundancy_slo_burn_rate{executor=%q,window=%q} %g\n",
+				escapeLabel(e.Executor), ws.Name, ws.BurnRate)
+		}
+	}
+	fmt.Fprint(w, "# HELP redundancy_slo_breaching Multiwindow burn-rate alert per executor (1 = firing).\n")
+	fmt.Fprint(w, "# TYPE redundancy_slo_breaching gauge\n")
+	for _, e := range snap {
+		v := 0
+		if e.Breaching {
+			v = 1
+		}
+		fmt.Fprintf(w, "redundancy_slo_breaching{executor=%q} %d\n", escapeLabel(e.Executor), v)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOTrackerBurnRate(t *testing.T) {
+	s := NewSLOTracker(SLOConfig{
+		Default:    SLObjective{Target: 0.99},
+		FastWindow: time.Minute,
+		SlowWindow: 10 * time.Minute,
+	})
+	// 90 good + 10 bad = 10% error ratio on a 1% budget: burn 10.
+	for i := 0; i < 90; i++ {
+		s.RequestEnd("svc", uint64(i), time.Millisecond, OutcomeSuccess)
+	}
+	for i := 0; i < 10; i++ {
+		s.RequestEnd("svc", uint64(90+i), time.Millisecond, OutcomeFailed)
+	}
+	burn := s.FastBurn("svc")
+	if burn < 9.9 || burn > 10.1 {
+		t.Fatalf("fast burn = %g, want ~10", burn)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap[0].Executor != "svc" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	st := snap[0]
+	if len(st.Windows) != 2 || st.Windows[0].Name != "fast" || st.Windows[1].Name != "slow" {
+		t.Fatalf("windows = %+v", st.Windows)
+	}
+	if st.Windows[0].Requests != 100 || st.Windows[0].Bad != 10 {
+		t.Fatalf("fast window totals = %+v", st.Windows[0])
+	}
+}
+
+func TestSLOTrackerLatencyObjective(t *testing.T) {
+	s := NewSLOTracker(SLOConfig{
+		PerExecutor: map[string]SLObjective{
+			"svc": {Target: 0.9, Latency: 10 * time.Millisecond},
+		},
+	})
+	// Successful but slow requests spend budget too.
+	s.RequestEnd("svc", 1, 50*time.Millisecond, OutcomeSuccess)
+	s.RequestEnd("svc", 2, time.Millisecond, OutcomeSuccess)
+	snap := s.Snapshot()
+	if got := snap[0].Windows[0].Bad; got != 1 {
+		t.Fatalf("slow success not counted bad: bad = %d", got)
+	}
+	if got := snap[0].Objective.Target; got != 0.9 {
+		t.Fatalf("per-executor target not applied: %g", got)
+	}
+}
+
+func TestSLOTrackerBreaching(t *testing.T) {
+	s := NewSLOTracker(SLOConfig{
+		Default:           SLObjective{Target: 0.999},
+		FastBurnThreshold: 14.4,
+		SlowBurnThreshold: 6,
+	})
+	if s.Breaching() {
+		t.Fatal("empty tracker breaching")
+	}
+	// 100% failures: burn 1000 on both windows — both thresholds exceeded.
+	for i := 0; i < 50; i++ {
+		s.RequestEnd("svc", uint64(i), time.Millisecond, OutcomeFailed)
+	}
+	if !s.Breaching() {
+		t.Fatal("all-failed stream not breaching")
+	}
+	snap := s.Snapshot()
+	if !snap[0].Breaching || !snap[0].Windows[0].Breaching || !snap[0].Windows[1].Breaching {
+		t.Fatalf("snapshot breach flags = %+v", snap[0])
+	}
+}
+
+func TestSLOTrackerWindowExpiry(t *testing.T) {
+	w := newBurnWindow(30 * time.Millisecond) // 1ms buckets (clamped)
+	base := time.Now()
+	w.observe(base, true)
+	if good, bad := w.totals(base); good != 0 || bad != 1 {
+		t.Fatalf("fresh totals = (%d,%d)", good, bad)
+	}
+	// Far beyond the window: the stale bucket no longer counts.
+	later := base.Add(time.Second)
+	if good, bad := w.totals(later); good != 0 || bad != 0 {
+		t.Fatalf("expired totals = (%d,%d)", good, bad)
+	}
+	// Writing at the later time recycles the slot.
+	w.observe(later, false)
+	if good, bad := w.totals(later); good != 1 || bad != 0 {
+		t.Fatalf("recycled totals = (%d,%d)", good, bad)
+	}
+}
+
+func TestWriteSLOPrometheus(t *testing.T) {
+	s := NewSLOTracker(SLOConfig{})
+	s.RequestEnd("svc", 1, time.Millisecond, OutcomeFailed)
+	var b strings.Builder
+	WriteSLOPrometheus(&b, s)
+	out := b.String()
+	for _, want := range []string{
+		`redundancy_slo_target{executor="svc"} 0.999`,
+		`redundancy_slo_burn_rate{executor="svc",window="fast"}`,
+		`redundancy_slo_burn_rate{executor="svc",window="slow"}`,
+		`redundancy_slo_breaching{executor="svc"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

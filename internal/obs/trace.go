@@ -21,6 +21,22 @@ type TraceEvent struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// AttemptSpan is the client-side record of one RPC attempt of a hedged
+// remote call: the endpoint it was sent to, the span stamped onto its
+// envelope (which the replica server's span names as its parent), its
+// 1-based launch order, and how it ended. Won marks the attempt whose
+// result the client returned; Cancelled marks attempts still in flight
+// when the winner cancelled them.
+type AttemptSpan struct {
+	Endpoint  string        `json:"endpoint"`
+	SpanID    uint64        `json:"span_id,omitempty"`
+	Attempt   int           `json:"attempt"`
+	Latency   time.Duration `json:"latency_ns"`
+	Err       string        `json:"err,omitempty"`
+	Won       bool          `json:"won,omitempty"`
+	Cancelled bool          `json:"cancelled,omitempty"`
+}
+
 // Trace is the recorded history of one request through an executor.
 type Trace struct {
 	ID       uint64    `json:"id"`
@@ -36,6 +52,16 @@ type Trace struct {
 	FailureDetected bool          `json:"failure_detected"`
 	Variants        []VariantSpan `json:"variants,omitempty"`
 	Events          []TraceEvent  `json:"events,omitempty"`
+	// TraceID/SpanID/ParentSpanID place this request in a causal
+	// distributed trace (zero when the request was not traced): SpanID is
+	// this request's span, ParentSpanID its causal parent — possibly in
+	// another process, linked via an RPC envelope's attempt span.
+	TraceID      uint64 `json:"trace_id,omitempty"`
+	SpanID       uint64 `json:"span_id,omitempty"`
+	ParentSpanID uint64 `json:"parent_span_id,omitempty"`
+	// Attempts is the hedge lineage of a remote-call client request: one
+	// record per RPC attempt, including losers and cancelled hedges.
+	Attempts []AttemptSpan `json:"attempts,omitempty"`
 }
 
 // TraceRecorder is an Observer that keeps the last N completed request
@@ -135,6 +161,39 @@ func (t *TraceRecorder) event(req uint64, kind, detail string) {
 	}
 	t.mu.Unlock()
 }
+
+// RequestTraced implements TraceObserver: it binds the in-flight trace
+// to its span in the causal trace.
+func (t *TraceRecorder) RequestTraced(_ string, req uint64, tc TraceContext) {
+	t.mu.Lock()
+	if tr, ok := t.inflight[req]; ok {
+		tr.TraceID, tr.SpanID, tr.ParentSpanID = tc.TraceID, tc.SpanID, tc.ParentID
+	}
+	t.mu.Unlock()
+}
+
+// RPCAttempted implements TraceObserver: the hedge lineage of a remote
+// call accumulates on the client's in-flight trace.
+func (t *TraceRecorder) RPCAttempted(_ string, req uint64, a RPCAttempt) {
+	span := AttemptSpan{
+		Endpoint:  a.Endpoint,
+		SpanID:    a.Span.SpanID,
+		Attempt:   a.Attempt,
+		Latency:   a.Latency,
+		Won:       a.Won,
+		Cancelled: a.Cancelled,
+	}
+	if a.Err != nil {
+		span.Err = a.Err.Error()
+	}
+	t.mu.Lock()
+	if tr, ok := t.inflight[req]; ok {
+		tr.Attempts = append(tr.Attempts, span)
+	}
+	t.mu.Unlock()
+}
+
+var _ TraceObserver = (*TraceRecorder)(nil)
 
 // ComponentDisabled implements Observer.
 func (t *TraceRecorder) ComponentDisabled(_, component string, req uint64) {

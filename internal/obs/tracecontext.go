@@ -1,0 +1,210 @@
+package obs
+
+// Causal trace propagation. A TraceContext is the (trace, span, parent)
+// triple that stitches one logical request together across executors,
+// hedged RPC attempts, and process boundaries: every executor that
+// records traces opens a child span of whatever context it inherits, the
+// dist client stamps a fresh child span onto each RPC attempt's
+// envelope, and the replica server continues the trace on its side — so
+// a hedged remote call that used to appear as disconnected spans in two
+// processes becomes one causal tree that cmd/obsreport can assemble
+// offline from the per-process trace exports.
+//
+// Span identifiers come from a seeded splitmix64 stream (SeedTraceIDs)
+// so a deterministic simulation replayed with the same seed produces the
+// same identifiers — the same discipline as internal/xrand, which seeds
+// the stream.
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// TraceContext identifies one span within one distributed trace.
+// TraceID is shared by every span of the request; SpanID is unique to
+// this span; ParentID is the SpanID of the causal parent (zero for a
+// root span). The zero TraceContext means "untraced".
+type TraceContext struct {
+	TraceID  uint64 `json:"trace_id"`
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_span_id,omitempty"`
+}
+
+// Valid reports whether the context identifies a live trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 && tc.SpanID != 0 }
+
+// Child derives a new span under tc within the same trace.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: nextTraceID(), ParentID: tc.SpanID}
+}
+
+// NewTraceContext opens a fresh root trace.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: nextTraceID(), SpanID: nextTraceID()}
+}
+
+// ContinueTrace opens the server-side span of a trace that arrived over
+// the wire: traceID names the trace and parentSpan the client attempt
+// span that carried it. A zero traceID (an untraced client) starts a
+// fresh root trace instead.
+func ContinueTrace(traceID, parentSpan uint64) TraceContext {
+	if traceID == 0 {
+		return NewTraceContext()
+	}
+	return TraceContext{TraceID: traceID, SpanID: nextTraceID(), ParentID: parentSpan}
+}
+
+// traceIDState is the process-wide span-identifier stream: a splitmix64
+// counter whose base offset is derived from the seed, so identifiers are
+// reproducible under a fixed seed and call order.
+var traceIDState atomic.Uint64
+
+// SeedTraceIDs re-seeds the span-identifier stream. Deterministic
+// simulations (faultsim, experiments) call it with their run seed so a
+// replay produces the same trace and span identifiers.
+func SeedTraceIDs(seed uint64) {
+	traceIDState.Store(xrand.New(seed).Uint64())
+}
+
+// nextTraceID returns the next identifier of the stream: a golden-ratio
+// stride through the counter finished by the splitmix64 mixer. Never
+// zero — zero is the "untraced" sentinel.
+func nextTraceID() uint64 {
+	x := traceIDState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// traceCtxKey keys the TraceContext in a context.Context.
+type traceCtxKey struct{}
+
+// WithTraceContext returns ctx carrying tc.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom extracts the trace context carried by ctx, if any.
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// StartTrace opens the span of one observed request: a child of the
+// span already carried by ctx, or a fresh root trace. The returned
+// context carries the new span for nested executors and RPC clients to
+// continue.
+func StartTrace(ctx context.Context) (context.Context, TraceContext) {
+	tc, ok := TraceContextFrom(ctx)
+	if ok {
+		tc = tc.Child()
+	} else {
+		tc = NewTraceContext()
+	}
+	return WithTraceContext(ctx, tc), tc
+}
+
+// RPCAttempt is the client-side lineage record of one RPC attempt of a
+// hedged remote call: which endpoint it went to, the span stamped onto
+// its envelope (the server-side span's parent), its 1-based launch
+// order, and how it ended — won (its result was returned), completed
+// but lost (Err or a slower success), or cancelled while still in
+// flight because another attempt won.
+type RPCAttempt struct {
+	Endpoint  string
+	Span      TraceContext
+	Attempt   int
+	Latency   time.Duration
+	Err       error
+	Won       bool
+	Cancelled bool
+}
+
+// TraceObserver is the optional Observer extension receiving causal-
+// trace events. Observers implement it in addition to Observer; emitters
+// route events through the Emit* helpers so combined observers fan them
+// out. The built-in TraceRecorder implements the extension; the
+// Collector deliberately does not (metrics need no trace identity, and
+// executors skip the per-request trace allocation when no attached
+// observer wants traces — see WantsTrace).
+type TraceObserver interface {
+	// RequestTraced binds the request req to its span in the causal
+	// trace. Emitted once per observed request, after RequestStart.
+	RequestTraced(executor string, req uint64, tc TraceContext)
+	// RPCAttempted reports the lineage of one RPC attempt of a hedged
+	// remote call, emitted by the client before the request span closes
+	// (losers cancelled in flight are reported by the winner's side).
+	RPCAttempted(client string, req uint64, attempt RPCAttempt)
+}
+
+// EmitRequestTraced delivers a span binding to o if it (or any member of
+// a combined observer) implements TraceObserver. Nil observers are
+// ignored.
+func EmitRequestTraced(o Observer, executor string, req uint64, tc TraceContext) {
+	if t, ok := o.(TraceObserver); ok {
+		t.RequestTraced(executor, req, tc)
+	}
+}
+
+// EmitRPCAttempted delivers an attempt-lineage event to o if it
+// implements TraceObserver. Nil observers are ignored.
+func EmitRPCAttempted(o Observer, client string, req uint64, attempt RPCAttempt) {
+	if t, ok := o.(TraceObserver); ok {
+		t.RPCAttempted(client, req, attempt)
+	}
+}
+
+// WantsTrace reports whether o (or any member of a combined observer)
+// implements TraceObserver. Executors consult it once at construction:
+// deriving a per-request span costs one context allocation, and the
+// observation layer's contract is to stay free when nobody is looking —
+// so the trace context is created only when an attached observer
+// records it. Note Nop does not implement the extension, preserving the
+// zero-allocation guarantee of the no-op observer.
+func WantsTrace(o Observer) bool {
+	switch v := o.(type) {
+	case nil:
+		return false
+	case multi:
+		for _, e := range v {
+			if WantsTrace(e) {
+				return true
+			}
+		}
+		return false
+	case TraceObserver:
+		return true
+	default:
+		return false
+	}
+}
+
+// RequestTraced implements TraceObserver: the event reaches every member
+// that implements the extension.
+func (m multi) RequestTraced(executor string, req uint64, tc TraceContext) {
+	for _, o := range m {
+		if t, ok := o.(TraceObserver); ok {
+			t.RequestTraced(executor, req, tc)
+		}
+	}
+}
+
+// RPCAttempted implements TraceObserver.
+func (m multi) RPCAttempted(client string, req uint64, attempt RPCAttempt) {
+	for _, o := range m {
+		if t, ok := o.(TraceObserver); ok {
+			t.RPCAttempted(client, req, attempt)
+		}
+	}
+}
+
+var _ TraceObserver = multi(nil)

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceContextLineage(t *testing.T) {
+	root := NewTraceContext()
+	if !root.Valid() {
+		t.Fatal("root trace context not valid")
+	}
+	if root.ParentID != 0 {
+		t.Fatalf("root has parent %d", root.ParentID)
+	}
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Fatalf("child changed trace: %d != %d", child.TraceID, root.TraceID)
+	}
+	if child.ParentID != root.SpanID {
+		t.Fatalf("child parent = %d, want %d", child.ParentID, root.SpanID)
+	}
+	if child.SpanID == root.SpanID {
+		t.Fatal("child reused parent span id")
+	}
+
+	cont := ContinueTrace(child.TraceID, child.SpanID)
+	if cont.TraceID != root.TraceID || cont.ParentID != child.SpanID {
+		t.Fatalf("ContinueTrace = %+v, want trace %d parent %d", cont, root.TraceID, child.SpanID)
+	}
+	if fresh := ContinueTrace(0, 0); !fresh.Valid() || fresh.ParentID != 0 {
+		t.Fatalf("ContinueTrace(0,0) = %+v, want fresh root", fresh)
+	}
+}
+
+func TestSeedTraceIDsDeterministic(t *testing.T) {
+	SeedTraceIDs(42)
+	a1, a2 := nextTraceID(), nextTraceID()
+	SeedTraceIDs(42)
+	b1, b2 := nextTraceID(), nextTraceID()
+	if a1 != b1 || a2 != b2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", a1, a2, b1, b2)
+	}
+	SeedTraceIDs(43)
+	if c := nextTraceID(); c == a1 {
+		t.Fatal("different seed produced the same first id")
+	}
+}
+
+func TestStartTraceContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceContextFrom(ctx); ok {
+		t.Fatal("empty context reported a trace")
+	}
+	ctx, root := StartTrace(ctx)
+	got, ok := TraceContextFrom(ctx)
+	if !ok || got != root {
+		t.Fatalf("TraceContextFrom = %+v, %v; want %+v", got, ok, root)
+	}
+	_, child := StartTrace(ctx)
+	if child.TraceID != root.TraceID || child.ParentID != root.SpanID {
+		t.Fatalf("nested StartTrace = %+v, want child of %+v", child, root)
+	}
+	// An invalid (zero) context stored downstream is treated as absent.
+	if _, ok := TraceContextFrom(WithTraceContext(context.Background(), TraceContext{})); ok {
+		t.Fatal("zero trace context reported valid")
+	}
+}
+
+func TestWantsTrace(t *testing.T) {
+	tr := NewTraceRecorder(4)
+	cases := []struct {
+		name string
+		o    Observer
+		want bool
+	}{
+		{"nil", nil, false},
+		{"nop", Nop{}, false},
+		{"collector", NewCollector(), false},
+		{"recorder", tr, true},
+		{"combined", Combine(NewCollector(), tr), true},
+		{"combined-nop", Combine(NewCollector(), Nop{}), false},
+	}
+	for _, c := range cases {
+		if got := WantsTrace(c.o); got != c.want {
+			t.Errorf("WantsTrace(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTraceRecorderRecordsSpanAndAttempts(t *testing.T) {
+	tr := NewTraceRecorder(4)
+	req := NextRequestID()
+	tc := NewTraceContext().Child()
+	tr.RequestStart("remote:r", req)
+	EmitRequestTraced(tr, "remote:r", req, tc)
+	win := tc.Child()
+	EmitRPCAttempted(tr, "remote:r", req, RPCAttempt{
+		Endpoint: "r1", Span: win, Attempt: 1, Latency: 5, Won: true,
+	})
+	EmitRPCAttempted(tr, "remote:r", req, RPCAttempt{
+		Endpoint: "r2", Span: tc.Child(), Attempt: 2, Latency: 3, Cancelled: true,
+	})
+	tr.RequestEnd("remote:r", req, 10, OutcomeSuccess)
+
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d traces, want 1", len(snap))
+	}
+	got := snap[0]
+	if got.TraceID != tc.TraceID || got.SpanID != tc.SpanID || got.ParentSpanID != tc.ParentID {
+		t.Fatalf("trace span = (%d,%d,%d), want (%d,%d,%d)",
+			got.TraceID, got.SpanID, got.ParentSpanID, tc.TraceID, tc.SpanID, tc.ParentID)
+	}
+	if len(got.Attempts) != 2 {
+		t.Fatalf("got %d attempts, want 2", len(got.Attempts))
+	}
+	if !got.Attempts[0].Won || got.Attempts[0].SpanID != win.SpanID || got.Attempts[0].Endpoint != "r1" {
+		t.Fatalf("winning attempt = %+v", got.Attempts[0])
+	}
+	if !got.Attempts[1].Cancelled || got.Attempts[1].Won {
+		t.Fatalf("losing attempt = %+v", got.Attempts[1])
+	}
+}
+
+func TestCombineFansOutTraceEvents(t *testing.T) {
+	a, b := NewTraceRecorder(2), NewTraceRecorder(2)
+	o := Combine(a, NewCollector(), b)
+	req := NextRequestID()
+	tc := NewTraceContext()
+	o.RequestStart("x", req)
+	EmitRequestTraced(o, "x", req, tc)
+	o.RequestEnd("x", req, 1, OutcomeSuccess)
+	for i, rec := range []*TraceRecorder{a, b} {
+		snap := rec.Snapshot()
+		if len(snap) != 1 || snap[0].TraceID != tc.TraceID {
+			t.Fatalf("recorder %d missed the trace event: %+v", i, snap)
+		}
+	}
+}

@@ -46,7 +46,11 @@ const (
 
 // config carries options shared by the pattern executors.
 type config struct {
-	observer       obs.Observer
+	observer obs.Observer
+	// traced caches obs.WantsTrace(observer): per-request trace spans are
+	// derived (one context allocation) only when an attached observer
+	// records them, preserving the unobserved and metrics-only fast paths.
+	traced         bool
 	variantTimeout time.Duration
 	logger         *slog.Logger
 	ranker         Ranker
@@ -240,6 +244,7 @@ func newConfig(opts []Option) config {
 	for _, o := range opts {
 		o(&c)
 	}
+	c.traced = obs.WantsTrace(c.observer)
 	return c
 }
 
@@ -334,16 +339,23 @@ func degradedError(cfg config, err error) error {
 
 // startRequest opens an observed request span. It returns the request ID
 // (0 when unobserved, so downstream events know to stay silent) and the
-// span start time.
-func (c config) startRequest(executor string) (req uint64, start time.Time) {
+// span start time. When the observer records traces the returned context
+// carries the request's span — a child of any span already on ctx — so
+// nested executors and remote variants continue the causal trace.
+func (c config) startRequest(ctx context.Context, executor string) (context.Context, uint64, time.Time) {
 	o := c.observer
 	if o == nil {
-		return 0, time.Time{}
+		return ctx, 0, time.Time{}
 	}
-	req = obs.NextRequestID()
-	start = time.Now()
+	req := obs.NextRequestID()
+	start := time.Now()
 	o.RequestStart(executor, req)
-	return req, start
+	if c.traced {
+		var tc obs.TraceContext
+		ctx, tc = obs.StartTrace(ctx)
+		obs.EmitRequestTraced(o, executor, req, tc)
+	}
+	return ctx, req, start
 }
 
 // endRequest closes an observed request span with the executor's
@@ -441,7 +453,7 @@ func NewParallelEvaluation[I, O any](variants []core.Variant[I, O], adj core.Adj
 
 // Execute implements core.Executor.
 func (p *ParallelEvaluation[I, O]) Execute(ctx context.Context, input I) (O, error) {
-	req, start := p.cfg.startRequest(nameParallelEvaluation)
+	ctx, req, start := p.cfg.startRequest(ctx, nameParallelEvaluation)
 	ctx, done, admitErr := p.cfg.admit(ctx, nameParallelEvaluation, req)
 	if admitErr != nil {
 		var zero O
@@ -560,7 +572,7 @@ func (p *ParallelSelection[I, O]) Reset() {
 // "hot spare" takes over without any rollback.
 func (p *ParallelSelection[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var zero O
-	req, start := p.cfg.startRequest(nameParallelSelection)
+	ctx, req, start := p.cfg.startRequest(ctx, nameParallelSelection)
 	ctx, done, admitErr := p.cfg.admit(ctx, nameParallelSelection, req)
 	if admitErr != nil {
 		p.cfg.endRequest(nameParallelSelection, req, start, false, false)
@@ -693,7 +705,7 @@ func NewSequentialAlternatives[I, O any](variants []core.Variant[I, O], test cor
 // Execute implements core.Executor.
 func (s *SequentialAlternatives[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var zero O
-	req, start := s.cfg.startRequest(nameSequentialAlternatives)
+	ctx, req, start := s.cfg.startRequest(ctx, nameSequentialAlternatives)
 	ctx, done, admitErr := s.cfg.admit(ctx, nameSequentialAlternatives, req)
 	if admitErr != nil {
 		s.cfg.endRequest(nameSequentialAlternatives, req, start, false, false)
@@ -804,7 +816,7 @@ func NewSingle[I, O any](v core.Variant[I, O], opts ...Option) (*Single[I, O], e
 // with backoff pacing and budget accounting between attempts — temporal
 // redundancy for the baseline executor.
 func (s *Single[I, O]) Execute(ctx context.Context, input I) (O, error) {
-	req, start := s.cfg.startRequest(nameSingle)
+	ctx, req, start := s.cfg.startRequest(ctx, nameSingle)
 	ctx, done, admitErr := s.cfg.admit(ctx, nameSingle, req)
 	if admitErr != nil {
 		var zero O

@@ -1,0 +1,69 @@
+package pattern
+
+import (
+	"context"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// TestExecutorTraceSpans: an executor with a trace-recording observer
+// binds each request to a span, and a nested executor sharing the
+// context records a child span of the outer request.
+func TestExecutorTraceSpans(t *testing.T) {
+	rec := obs.NewTraceRecorder(8)
+	inner, err := NewSingle(core.NewVariant("leaf",
+		func(_ context.Context, x int) (int, error) { return x + 1, nil }),
+		WithObserver(rec))
+	if err != nil {
+		t.Fatalf("NewSingle(inner): %v", err)
+	}
+	outer, err := NewSingle(core.NewVariant("calls-inner",
+		func(ctx context.Context, x int) (int, error) { return inner.Execute(ctx, x) }),
+		WithObserver(rec))
+	if err != nil {
+		t.Fatalf("NewSingle(outer): %v", err)
+	}
+	if _, err := outer.Execute(context.Background(), 1); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	// Most recent first: the outer request ends after the inner one.
+	traces := rec.Snapshot()
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	out, in := traces[0], traces[1]
+	if out.TraceID == 0 || in.TraceID == 0 {
+		t.Fatalf("untraced spans: inner %+v outer %+v", in, out)
+	}
+	if in.TraceID != out.TraceID {
+		t.Fatalf("inner trace %d != outer trace %d", in.TraceID, out.TraceID)
+	}
+	if in.ParentSpanID != out.SpanID {
+		t.Fatalf("inner parent %d, want outer span %d", in.ParentSpanID, out.SpanID)
+	}
+	if out.ParentSpanID != 0 {
+		t.Fatalf("outer span has parent %d, want root", out.ParentSpanID)
+	}
+}
+
+// TestUntracedObserverDerivesNoSpan: a metrics-only observer must not
+// trigger span derivation (the trace allocation is gated on WantsTrace).
+func TestUntracedObserverDerivesNoSpan(t *testing.T) {
+	var sawTrace bool
+	probe := core.NewVariant("probe", func(ctx context.Context, x int) (int, error) {
+		_, sawTrace = obs.TraceContextFrom(ctx)
+		return x, nil
+	})
+	s, err := NewSingle(probe, WithObserver(obs.NewCollector()))
+	if err != nil {
+		t.Fatalf("NewSingle: %v", err)
+	}
+	if _, err := s.Execute(context.Background(), 1); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if sawTrace {
+		t.Fatal("collector-only executor derived a trace span")
+	}
+}

@@ -1,6 +1,7 @@
 package redundancy
 
 import (
+	"context"
 	"net/http"
 
 	"github.com/softwarefaults/redundancy/internal/obs"
@@ -42,6 +43,35 @@ type (
 	RequestTrace = obs.Trace
 	// NopObserver is an Observer that does nothing.
 	NopObserver = obs.Nop
+
+	// TraceContext is the causal identity of one request: a TraceID
+	// shared by every span the request causes (locally nested executors
+	// and remote replicas alike) plus this span's own SpanID and parent.
+	// Executors with a trace-recording observer derive and propagate it
+	// through context.Context automatically; it crosses process
+	// boundaries in-band on the RPC frame.
+	TraceContext = obs.TraceContext
+	// TracedRPCAttempt is one wire attempt of a remote call in a
+	// request's hedge lineage: endpoint, its span, and whether it won,
+	// was cancelled by a faster sibling, or failed.
+	TracedRPCAttempt = obs.RPCAttempt
+
+	// SLObjective is one executor's service-level objective: a target
+	// success ratio and (optionally) a latency bound that a request must
+	// meet to count as good.
+	SLObjective = obs.SLObjective
+	// SLOConfig configures an SLOTracker: default and per-executor
+	// objectives plus the fast/slow burn-rate windows and thresholds.
+	SLOConfig = obs.SLOConfig
+	// SLOTracker is an Observer that tracks per-executor availability
+	// and latency objectives with multi-window burn-rate gauges.
+	SLOTracker = obs.SLOTracker
+	// SLOStatus is a point-in-time view of one executor's objective:
+	// error ratios and burn rates per window, and whether every window
+	// burns above threshold (Breaching).
+	SLOStatus = obs.SLOStatus
+	// SLOWindowStatus is the burn state of one window of an SLOStatus.
+	SLOWindowStatus = obs.SLOWindowStatus
 )
 
 // Request outcomes reported to RequestEnd.
@@ -88,3 +118,40 @@ func ObservationHandler(c *Collector, tr *TraceRecorder, extras ...ObservationEn
 // callbacks of one observed request; custom executors emitting their own
 // spans should use it.
 func NextRequestID() uint64 { return obs.NextRequestID() }
+
+// SeedTraceIDs reseeds the deterministic span-ID generator. Runs that
+// want byte-identical trace files across invocations (simulations, CI)
+// call it once at startup with their run seed.
+func SeedTraceIDs(seed uint64) { obs.SeedTraceIDs(seed) }
+
+// WithTraceContext returns a context carrying tc; executors and remote
+// variants derive child spans from it.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return obs.WithTraceContext(ctx, tc)
+}
+
+// TraceContextFrom extracts the request's trace context, if any.
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	return obs.TraceContextFrom(ctx)
+}
+
+// StartTrace derives a span for ctx — a child of the context's trace if
+// one is present, a fresh root otherwise — and returns the context
+// carrying it. Application code that wants its own root span around a
+// batch of executor calls uses this; executors call it implicitly.
+func StartTrace(ctx context.Context) (context.Context, TraceContext) {
+	return obs.StartTrace(ctx)
+}
+
+// NewSLOTracker returns an Observer tracking availability/latency
+// objectives with fast and slow burn-rate windows. Combine it into an
+// executor's observer, mount its Extra() on the ObservationHandler for
+// the /slo endpoint and Prometheus gauges, and attach it to a
+// HealthEngine so burn-rate breaches degrade /healthz.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker { return obs.NewSLOTracker(cfg) }
+
+// PprofEndpoints returns net/http/pprof endpoints as observation
+// extras, for mounting CPU/heap/goroutine profiling next to /metrics on
+// an ObservationHandler. Gate them behind a flag: profiles expose
+// internals and profiling costs CPU.
+func PprofEndpoints() []ObservationEndpoint { return obs.PprofExtras() }
