@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench
+.PHONY: build vet test race bench campaign-smoke
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,15 @@ race:
 # scripts/bench.sh; BENCHTIME=100x makes a quick local pass).
 bench:
 	./scripts/bench.sh
+
+# Replays the committed campaign baseline, re-runs the deterministic
+# smoke sweep, and diffs the two — the same gate the campaign-regression
+# CI job applies. Fails (nonzero exit) on replay divergence or a metric
+# regression beyond the noise bounds.
+campaign-smoke:
+	$(GO) run ./cmd/campaign replay -store baselines/campaigns -quiet \
+		$$(cat baselines/campaigns/BASELINE)
+	$(GO) run ./cmd/campaign run -store .ci-campaigns -quiet \
+		-spec scripts/campaign_smoke.json -out campaign_smoke_run.json
+	$(GO) run ./cmd/campaign diff -store baselines/campaigns \
+		$$(cat baselines/campaigns/BASELINE) campaign_smoke_run.json

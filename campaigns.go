@@ -1,0 +1,67 @@
+package redundancy
+
+// Experiment campaigns (internal/campaign): persisted, diffable,
+// replayable experiment runs. Every sweep is stored as a ULID-keyed
+// JSON document — resolved config, per-trial rows, derived aggregates —
+// and stored runs can be listed, diffed against each other with noise
+// bounds, and replayed to byte-identical aggregates. cmd/campaign is
+// the CLI over this surface; cmd/faultsim records into the same store
+// via -campaign-out. The Experiment* naming avoids colliding with the
+// chaos-schedule Campaign types (ChaosCampaign, NetworkCampaign), which
+// describe fault weather rather than persisted results.
+
+import (
+	"context"
+
+	"github.com/softwarefaults/redundancy/internal/campaign"
+)
+
+type (
+	// ExperimentStore is a directory of persisted runs, keyed by ULID.
+	ExperimentStore = campaign.Store
+	// ExperimentRun is one stored run document.
+	ExperimentRun = campaign.Run
+	// ExperimentSpec declares a parameter-grid sweep.
+	ExperimentSpec = campaign.Spec
+	// ExperimentConfig is one grid point's fully resolved configuration.
+	ExperimentConfig = campaign.Config
+	// ExperimentProgress streams per-trial progress during a sweep.
+	ExperimentProgress = campaign.Progress
+	// ExperimentDiffOptions tunes the regression gate's noise bounds.
+	ExperimentDiffOptions = campaign.DiffOptions
+	// ExperimentDiff is a metric-by-metric comparison of two runs.
+	ExperimentDiff = campaign.DiffReport
+	// ExperimentReplay is the verdict of re-executing a stored run.
+	ExperimentReplay = campaign.ReplayReport
+)
+
+// Experiment-store errors.
+var (
+	ErrRunNotFound    = campaign.ErrRunNotFound
+	ErrAmbiguousRun   = campaign.ErrAmbiguousRun
+	ErrNotReplayable  = campaign.ErrNotReplayable
+	ErrReplayMismatch = campaign.ErrReplayMismatch
+	ErrBadExperiment  = campaign.ErrBadConfig
+)
+
+// OpenExperimentStore opens (creating if needed) a run store rooted at
+// dir.
+func OpenExperimentStore(dir string) (*ExperimentStore, error) { return campaign.Open(dir) }
+
+// RunExperiment executes a sweep and returns the (unsaved) run
+// document; onProgress may be nil.
+func RunExperiment(ctx context.Context, spec *ExperimentSpec, onProgress func(ExperimentProgress)) (*ExperimentRun, error) {
+	return campaign.Execute(ctx, spec, onProgress)
+}
+
+// DiffExperiments compares a candidate run against a baseline with
+// noise bounds derived from the per-seed spread.
+func DiffExperiments(base, cand *ExperimentRun, opts ExperimentDiffOptions) *ExperimentDiff {
+	return campaign.Diff(base, cand, opts)
+}
+
+// ReplayExperiment re-executes a stored run's deterministic points and
+// asserts byte-identical results; onProgress may be nil.
+func ReplayExperiment(ctx context.Context, run *ExperimentRun, onProgress func(ExperimentProgress)) (*ExperimentReplay, error) {
+	return campaign.Replay(ctx, run, onProgress)
+}

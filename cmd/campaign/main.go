@@ -1,0 +1,516 @@
+// Command campaign manages the persisted experiment store: it sweeps
+// parameter grids across seeds, stores each run as a ULID-keyed JSON
+// document, lists and shows stored runs, diffs two runs metric-by-metric
+// with noise bounds derived from the per-seed spread, re-executes stored
+// runs to assert deterministic results replay byte-identically, and
+// diffs normalized benchmark baseline files.
+//
+// Usage:
+//
+//	campaign run -store .campaigns -mode sim -pattern sequential -n 2,3,5 -p 0.05,0.2 -seeds 1,2,3,4,5
+//	campaign run -store .campaigns -spec scripts/campaign_smoke.json
+//	campaign list -store .campaigns
+//	campaign show -store .campaigns 01J4
+//	campaign diff -store .campaigns 01J4 01J5
+//	campaign replay -store .campaigns 01J5
+//	campaign bench-diff BENCH_obs.json BENCH_obs.new.json
+//
+// diff and replay exit nonzero (code 2) on a significant regression or a
+// replay divergence, so CI can gate on them directly. Run identifiers
+// may be unique ULID prefixes (case-insensitive) or paths to run
+// documents, so committed baseline files diff against stored runs
+// transparently.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/softwarefaults/redundancy/internal/campaign"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	var gate *gateError
+	if errors.As(err, &gate) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// gateError marks failures that mean "the gate tripped" (exit 2) rather
+// than "the tool broke" (exit 1).
+type gateError struct{ err error }
+
+func (e *gateError) Error() string { return e.err.Error() }
+func (e *gateError) Unwrap() error { return e.err }
+
+const defaultStore = ".campaigns"
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: campaign <run|list|show|diff|replay|bench-diff> [flags]")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "run":
+		return cmdRun(rest, out)
+	case "list":
+		return cmdList(rest, out)
+	case "show":
+		return cmdShow(rest, out)
+	case "diff":
+		return cmdDiff(rest, out)
+	case "replay":
+		return cmdReplay(rest, out)
+	case "bench-diff":
+		return cmdBenchDiff(rest, out)
+	case "-h", "-help", "--help", "help":
+		return errors.New("verbs: run, list, show, diff, replay, bench-diff")
+	default:
+		return fmt.Errorf("unknown verb %q (want run, list, show, diff, replay, or bench-diff)", verb)
+	}
+}
+
+// --- run ---
+
+func cmdRun(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign run", flag.ContinueOnError)
+	var (
+		storeDir   = fs.String("store", defaultStore, "run store directory")
+		specPath   = fs.String("spec", "", "JSON sweep spec file (flags below override its fields)")
+		name       = fs.String("name", "", "run name for listings")
+		note       = fs.String("note", "", "free-form note stored with the run")
+		mode       = fs.String("mode", "", "workload mode: sim or chaos")
+		patternF   = fs.String("pattern", "", "executor shape: single, sequential, selection, nvp")
+		nList      = fs.String("n", "", "comma-separated redundancy degrees (grid axis)")
+		pList      = fs.String("p", "", "comma-separated per-variant failure probabilities (grid axis)")
+		rho        = fs.Float64("rho", -1, "failure correlation")
+		bohr       = fs.Int("bohr", -1, "variant k fails deterministically (0 disables)")
+		trials     = fs.Int("trials", -1, "per-seed trial count (sim mode)")
+		seedList   = fs.String("seeds", "", "comma-separated seeds; every grid point runs once per seed")
+		chaosSpec  = fs.String("chaos-spec", "", "JSON chaos campaign file (chaos mode)")
+		workers    = fs.Int("workers", 0, "parallel (point, seed) workers (default GOMAXPROCS)")
+		dropTrials = fs.Bool("drop-trials", false, "store aggregates only, no per-trial rows")
+		observe    = fs.Bool("observe", true, "attach an observation collector and store executor snapshots")
+		outPath    = fs.String("out", "", "also write the run document to this file")
+		quiet      = fs.Bool("quiet", false, "suppress per-trial progress on stderr")
+		jsonOut    = fs.Bool("json", false, "print the saved run summary as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := &campaign.Spec{}
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+		if err := json.Unmarshal(data, spec); err != nil {
+			return fmt.Errorf("spec %s: %w", *specPath, err)
+		}
+	}
+	if *name != "" {
+		spec.Name = *name
+	}
+	if *mode != "" {
+		spec.Mode = *mode
+	}
+	if spec.Mode == "" {
+		spec.Mode = "sim"
+	}
+	if *patternF != "" {
+		spec.Pattern = *patternF
+	}
+	if spec.Pattern == "" && spec.Mode == "sim" {
+		spec.Pattern = "sequential"
+	}
+	if *nList != "" {
+		ns, err := parseInts(*nList)
+		if err != nil {
+			return fmt.Errorf("-n: %w", err)
+		}
+		spec.N = ns
+	}
+	if *pList != "" {
+		ps, err := parseFloats(*pList)
+		if err != nil {
+			return fmt.Errorf("-p: %w", err)
+		}
+		spec.P = ps
+	}
+	if *rho >= 0 {
+		spec.Rho = *rho
+	}
+	if *bohr >= 0 {
+		spec.Bohr = *bohr
+	}
+	if *trials > 0 {
+		spec.Trials = *trials
+	}
+	if spec.Trials == 0 && spec.Mode == "sim" {
+		spec.Trials = 1000
+	}
+	if *seedList != "" {
+		seeds, err := parseUints(*seedList)
+		if err != nil {
+			return fmt.Errorf("-seeds: %w", err)
+		}
+		spec.Seeds = seeds
+	}
+	if len(spec.Seeds) == 0 {
+		spec.Seeds = []uint64{1, 2, 3}
+	}
+	if *chaosSpec != "" {
+		data, err := os.ReadFile(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("chaos spec: %w", err)
+		}
+		camp, err := faultmodel.ParseCampaign(data)
+		if err != nil {
+			return err
+		}
+		spec.Chaos = camp
+	}
+	if *workers > 0 {
+		spec.Workers = *workers
+	}
+	if *dropTrials {
+		spec.DropTrials = true
+	}
+	spec.Observe = *observe
+
+	var progress func(campaign.Progress)
+	if !*quiet {
+		progress = func(p campaign.Progress) {
+			if p.PairDone {
+				fmt.Fprintf(os.Stderr, "campaign: [%d/%d] %s seed=%d done (%d trials)\n",
+					p.PairsDone, p.PairsTotal, p.Key, p.Seed, p.Total)
+			} else {
+				fmt.Fprintf(os.Stderr, "campaign: %s seed=%d %d/%d trials\r", p.Key, p.Seed, p.Done, p.Total)
+			}
+		}
+	}
+	runDoc, err := campaign.Execute(context.Background(), spec, progress)
+	if err != nil {
+		return err
+	}
+	runDoc.Note = *note
+	st, err := campaign.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	id, err := st.Save(runDoc)
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		data, err := json.MarshalIndent(runDoc, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return json.NewEncoder(out).Encode(map[string]any{
+			"id": id, "points": len(runDoc.Points), "trials": runDoc.TotalTrials(),
+			"availability": runDoc.Availability(),
+		})
+	}
+	fmt.Fprintf(out, "%s  points=%d trials=%d availability=%.4f\n",
+		id, len(runDoc.Points), runDoc.TotalTrials(), runDoc.Availability())
+	return nil
+}
+
+// --- list / show ---
+
+func cmdList(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign list", flag.ContinueOnError)
+	storeDir := fs.String("store", defaultStore, "run store directory")
+	jsonOut := fs.Bool("json", false, "print JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := campaign.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	sums, err := st.List()
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(out).Encode(sums)
+	}
+	if len(sums) == 0 {
+		fmt.Fprintf(out, "no runs in %s\n", *storeDir)
+		return nil
+	}
+	fmt.Fprintf(out, "%-26s %-20s %-14s %-10s %6s %6s %8s %12s\n",
+		"id", "created", "name", "modes", "points", "seeds", "trials", "availability")
+	for _, s := range sums {
+		fmt.Fprintf(out, "%-26s %-20s %-14s %-10s %6d %6d %8d %12.4f\n",
+			s.ID, s.CreatedAt.Format("2006-01-02 15:04:05"), s.Name, s.Modes,
+			s.Points, s.Seeds, s.Trials, s.Availability)
+	}
+	return nil
+}
+
+func cmdShow(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign show", flag.ContinueOnError)
+	storeDir := fs.String("store", defaultStore, "run store directory")
+	jsonOut := fs.Bool("json", false, "print the full run document as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: campaign show [-store DIR] <run-id-or-file>")
+	}
+	r, err := loadRunArg(*storeDir, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", " ")
+		return enc.Encode(r)
+	}
+	fmt.Fprintf(out, "run %s\n", r.ID)
+	fmt.Fprintf(out, "created: %s\n", r.CreatedAt.Format("2006-01-02 15:04:05 MST"))
+	if r.Name != "" {
+		fmt.Fprintf(out, "name:    %s\n", r.Name)
+	}
+	if r.Note != "" {
+		fmt.Fprintf(out, "note:    %s\n", r.Note)
+	}
+	fmt.Fprintf(out, "build:   %s %s/%s", r.Build.GoVersion, r.Build.OS, r.Build.Arch)
+	if r.Build.Commit != "" {
+		fmt.Fprintf(out, " commit=%s", r.Build.Commit)
+		if r.Build.Dirty {
+			fmt.Fprint(out, "+dirty")
+		}
+	}
+	fmt.Fprintln(out)
+	for _, p := range r.Points {
+		d := p.Pooled.Deterministic
+		fmt.Fprintf(out, "\n[%s] seeds=%d\n", p.Config.Key(), len(p.Seeds))
+		metrics := p.Pooled.Metrics()
+		names := make([]string, 0, len(metrics))
+		for k := range metrics {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(out, "  availability %.4f [%.4f, %.4f] over %d trials\n",
+			d.Availability, d.AvailabilityLo, d.AvailabilityHi, d.Trials)
+		for _, k := range names {
+			if k == "availability" {
+				continue
+			}
+			fmt.Fprintf(out, "  %-22s %.6g\n", k, metrics[k])
+		}
+		if len(d.FaultsInjected) > 0 {
+			fmt.Fprintf(out, "  faults injected: %v (tpr=%.3f fpr=%.3f)\n", d.FaultsInjected, d.TPR, d.FPR)
+		}
+	}
+	return nil
+}
+
+// --- diff / replay / bench-diff ---
+
+func cmdDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign diff", flag.ContinueOnError)
+	var (
+		storeDir   = fs.String("store", defaultStore, "run store directory")
+		sigma      = fs.Float64("sigma", 3, "noise bound: baseline mean ± sigma·stddev across seeds")
+		gateTiming = fs.Bool("gate-timing", false, "let wall-clock latency metrics count as regressions")
+		jsonOut    = fs.Bool("json", false, "print the diff report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return errors.New("usage: campaign diff [-store DIR] [-sigma S] [-gate-timing] <base> <candidate>")
+	}
+	base, err := loadRunArg(*storeDir, fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("base: %w", err)
+	}
+	cand, err := loadRunArg(*storeDir, fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("candidate: %w", err)
+	}
+	rep := campaign.Diff(base, cand, campaign.DiffOptions{Sigma: *sigma, GateTiming: *gateTiming})
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(out, rep.String())
+	}
+	if rep.Regressed() {
+		return &gateError{fmt.Errorf("%d regression(s), %d baseline point(s) missing", rep.Regressions, len(rep.MissingInCand))}
+	}
+	return nil
+}
+
+func cmdReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign replay", flag.ContinueOnError)
+	storeDir := fs.String("store", defaultStore, "run store directory")
+	jsonOut := fs.Bool("json", false, "print the replay report as JSON")
+	quiet := fs.Bool("quiet", false, "suppress progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: campaign replay [-store DIR] <run-id-or-file>")
+	}
+	r, err := loadRunArg(*storeDir, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var progress func(campaign.Progress)
+	if !*quiet {
+		progress = func(p campaign.Progress) {
+			fmt.Fprintf(os.Stderr, "campaign: replay %s seed=%d %d/%d trials\r", p.Key, p.Seed, p.Done, p.Total)
+		}
+	}
+	rep, err := campaign.Replay(context.Background(), r, progress)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		for _, p := range rep.Points {
+			if p.Skipped {
+				fmt.Fprintf(out, "[%s] skipped (nondeterministic)\n", p.Key)
+				continue
+			}
+			for _, s := range p.Seeds {
+				verdict := "byte-identical"
+				if !s.Match {
+					verdict = "DIVERGED: " + s.Detail
+				}
+				fmt.Fprintf(out, "[%s] seed=%d %s\n", p.Key, s.Seed, verdict)
+			}
+		}
+		fmt.Fprintf(out, "%d matched, %d mismatched, %d skipped\n", rep.Matched, rep.Mismatched, rep.Skipped)
+	}
+	if err := rep.Err(); err != nil {
+		return &gateError{err}
+	}
+	return nil
+}
+
+func cmdBenchDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("campaign bench-diff", flag.ContinueOnError)
+	tolerance := fs.Float64("tolerance", 0.25, "fractional slack before a worse ratio is a regression")
+	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return errors.New("usage: campaign bench-diff [-tolerance T] <base.json> <candidate.json>")
+	}
+	base, err := campaign.ReadBenchFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cand, err := campaign.ReadBenchFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep := campaign.DiffBench(base, cand, *tolerance)
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(out, rep.String())
+	}
+	if rep.Regressions > 0 || len(rep.MissingInCand) > 0 {
+		return &gateError{fmt.Errorf("%d bench regression(s), %d missing", rep.Regressions, len(rep.MissingInCand))}
+	}
+	return nil
+}
+
+// loadRunArg resolves a run argument: a path to a run document (if the
+// file exists), else a ULID prefix in the store.
+func loadRunArg(storeDir, arg string) (*campaign.Run, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return campaign.ReadRunFile(arg)
+	}
+	st, err := campaign.Open(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	id, err := st.Resolve(arg)
+	if err != nil {
+		return nil, err
+	}
+	return st.Load(id)
+}
+
+// --- flag list parsing ---
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

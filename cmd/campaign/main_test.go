@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/campaign"
+)
+
+// runCLI drives the command exactly as main does, capturing stdout.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+// sweep runs a tiny deterministic sweep into dir and returns the run ID.
+func sweep(t *testing.T, dir string, extra ...string) string {
+	t.Helper()
+	args := append([]string{
+		"run", "-store", dir, "-quiet",
+		"-mode", "sim", "-pattern", "sequential",
+		"-n", "2", "-p", "0.3", "-trials", "50", "-seeds", "1,2",
+	}, extra...)
+	out, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("campaign run: %v", err)
+	}
+	id := strings.Fields(out)[0]
+	if err := campaign.ValidateULID(id); err != nil {
+		t.Fatalf("run printed %q, not a ULID: %v", id, err)
+	}
+	return id
+}
+
+func TestRunListShow(t *testing.T) {
+	dir := t.TempDir()
+	id := sweep(t, dir, "-name", "cli-unit")
+
+	out, err := runCLI(t, "list", "-store", dir)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !strings.Contains(out, id) || !strings.Contains(out, "cli-unit") {
+		t.Fatalf("list output missing run:\n%s", out)
+	}
+
+	// show resolves a unique prefix.
+	out, err = runCLI(t, "show", "-store", dir, id[:10])
+	if err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	if !strings.Contains(out, "availability") || !strings.Contains(out, "mode=sim") {
+		t.Fatalf("show output unexpected:\n%s", out)
+	}
+
+	out, err = runCLI(t, "show", "-store", dir, "-json", id)
+	if err != nil {
+		t.Fatalf("show -json: %v", err)
+	}
+	var doc campaign.Run
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("show -json not a run document: %v", err)
+	}
+	if doc.ID != id {
+		t.Fatalf("show -json id = %q, want %q", doc.ID, id)
+	}
+}
+
+func TestDiffCleanAndRegression(t *testing.T) {
+	dir := t.TempDir()
+	id1 := sweep(t, dir)
+	id2 := sweep(t, dir)
+
+	// Identical configs and seeds: clean diff, exit 0.
+	out, err := runCLI(t, "diff", "-store", dir, id1, id2)
+	if err != nil {
+		t.Fatalf("clean diff errored: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 regression(s)") {
+		t.Fatalf("clean diff output:\n%s", out)
+	}
+
+	// Tamper a copy of the candidate into a synthetic availability
+	// regression and diff the file against the stored baseline.
+	st, _ := campaign.Open(dir)
+	cand, err := st.Load(id2)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for pi := range cand.Points {
+		p := &cand.Points[pi]
+		for si := range p.Seeds {
+			s := &p.Seeds[si]
+			for ti := range s.Trials {
+				if ti%2 == 0 {
+					s.Trials[ti].Outcome = campaign.OutcomeFailed
+				}
+			}
+			s.Aggregates.Deterministic = recompute(s.Trials)
+		}
+		var all []campaign.Trial
+		for si := range p.Seeds {
+			all = append(all, p.Seeds[si].Trials...)
+		}
+		p.Pooled.Deterministic = recompute(all)
+	}
+	regressed := filepath.Join(t.TempDir(), "regressed.json")
+	data, _ := json.Marshal(cand)
+	os.WriteFile(regressed, data, 0o644)
+
+	out, err = runCLI(t, "diff", "-store", dir, id1, regressed)
+	if err == nil {
+		t.Fatalf("regressed diff exited clean:\n%s", out)
+	}
+	var gate *gateError
+	if !errors.As(err, &gate) {
+		t.Fatalf("regression error is not a gateError: %v", err)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("diff output missing REGRESSION:\n%s", out)
+	}
+}
+
+// recompute rebuilds deterministic aggregates after tampering, keeping
+// the document internally consistent so only the metric delta trips.
+func recompute(trials []campaign.Trial) campaign.Deterministic {
+	ok := 0
+	outcomes := map[string]int{}
+	for _, tr := range trials {
+		outcomes[tr.Outcome]++
+		if tr.Outcome == campaign.OutcomeOK {
+			ok++
+		}
+	}
+	return campaign.Deterministic{
+		Trials:       len(trials),
+		Outcomes:     outcomes,
+		Availability: float64(ok) / float64(len(trials)),
+	}
+}
+
+func TestReplayVerbs(t *testing.T) {
+	dir := t.TempDir()
+	id := sweep(t, dir)
+	out, err := runCLI(t, "replay", "-store", dir, "-quiet", id)
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 mismatched") {
+		t.Fatalf("replay output:\n%s", out)
+	}
+
+	// Tamper the stored document in place: replay must trip the gate.
+	st, _ := campaign.Open(dir)
+	r, _ := st.Load(id)
+	r.Points[0].Seeds[0].Trials[0].Outcome = campaign.OutcomeFailed
+	data, _ := json.Marshal(r)
+	os.WriteFile(filepath.Join(dir, id+".json"), data, 0o644)
+
+	out, err = runCLI(t, "replay", "-store", dir, "-quiet", id)
+	var gate *gateError
+	if !errors.As(err, &gate) {
+		t.Fatalf("tampered replay = %v, want gateError\n%s", err, out)
+	}
+	if !strings.Contains(out, "DIVERGED") {
+		t.Fatalf("replay output missing divergence:\n%s", out)
+	}
+}
+
+func TestRunWithSpecFileAndChaos(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	os.WriteFile(spec, []byte(`{
+	 "name": "spec-chaos",
+	 "mode": "chaos",
+	 "n": [2],
+	 "seeds": [5],
+	 "chaos": {
+	  "name": "smoke",
+	  "phases": [
+	   {"name": "calm", "requests": 10},
+	   {"name": "burst", "requests": 20, "error_burst": 0.5}
+	  ]
+	 }
+	}`), 0o644)
+	out, err := runCLI(t, "run", "-store", dir, "-quiet", "-spec", spec)
+	if err != nil {
+		t.Fatalf("run -spec: %v", err)
+	}
+	id := strings.Fields(out)[0]
+	show, err := runCLI(t, "show", "-store", dir, id)
+	if err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	if !strings.Contains(show, "mode=chaos") || !strings.Contains(show, "chaos=smoke") {
+		t.Fatalf("chaos run not recorded:\n%s", show)
+	}
+	// A chaos run from a spec file replays byte-identically.
+	if _, err := runCLI(t, "replay", "-store", dir, "-quiet", id); err != nil {
+		t.Fatalf("chaos replay: %v", err)
+	}
+}
+
+func TestBenchDiffVerb(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cand := filepath.Join(dir, "cand.json")
+	os.WriteFile(base, []byte(`[{"benchmark":"b","metric":"ns_per_op","value":100,"seed":0}]`), 0o644)
+	os.WriteFile(cand, []byte(`[{"benchmark":"b","metric":"ns_per_op","value":105,"seed":0}]`), 0o644)
+	if _, err := runCLI(t, "bench-diff", base, cand); err != nil {
+		t.Fatalf("bench-diff within tolerance: %v", err)
+	}
+	os.WriteFile(cand, []byte(`[{"benchmark":"b","metric":"ns_per_op","value":200,"seed":0}]`), 0o644)
+	_, err := runCLI(t, "bench-diff", base, cand)
+	var gate *gateError
+	if !errors.As(err, &gate) {
+		t.Fatalf("bench-diff regression = %v, want gateError", err)
+	}
+}
+
+func TestUnknownVerb(t *testing.T) {
+	if _, err := runCLI(t, "bogus"); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+}

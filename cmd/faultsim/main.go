@@ -68,6 +68,7 @@ import (
 	"time"
 
 	redundancy "github.com/softwarefaults/redundancy"
+	"github.com/softwarefaults/redundancy/internal/campaign"
 	"github.com/softwarefaults/redundancy/internal/faultmodel"
 	"github.com/softwarefaults/redundancy/internal/nvp"
 	"github.com/softwarefaults/redundancy/internal/stats"
@@ -103,6 +104,11 @@ func run(args []string) error {
 		netChaos    = fs.Bool("net-chaos", false, "run the distributed replica fleet under a seeded network-fault campaign")
 		netSpec     = fs.String("net-spec", "", "JSON network campaign spec file for -net-chaos (default: built-in schedule derived from -seed)")
 		netRequests = fs.Int("net-requests", 1500, "workload size for -net (ignored by -net-chaos, which runs the campaign's wall-clock schedule)")
+
+		campaignOut  = fs.String("campaign-out", "", "record this invocation as a run document in this experiment-store directory (inspect with cmd/campaign: list, show, diff, replay)")
+		campaignName = fs.String("campaign-name", "", "run name stored with -campaign-out")
+		campaignRows = fs.Bool("campaign-trials", true, "store per-trial rows with -campaign-out (false: aggregates only, for committed baselines)")
+		configOut    = fs.String("config-out", "", "write the fully resolved run configuration as JSON to this file and continue")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,7 +154,17 @@ func run(args []string) error {
 		return fmt.Errorf("-pprof requires -metrics-addr")
 	}
 
+	set := recorderSettings{
+		storeDir:   *campaignOut,
+		name:       *campaignName,
+		configOut:  *configOut,
+		dropTrials: !*campaignRows,
+	}
+
 	if *crash {
+		if set.active() {
+			return fmt.Errorf("-campaign-out/-config-out do not support -crash (its unit of work is a restart, not a request)")
+		}
 		return runCrash(*seed, *walDir, observer)
 	}
 
@@ -170,7 +186,17 @@ func run(args []string) error {
 		if *netRequests < 1 {
 			return fmt.Errorf("invalid -net-requests %d", *netRequests)
 		}
-		return runNet(*seed, camp, *netRequests, observer, *traceOut)
+		netCfg := resolvedNetConfig(*seed, camp, *netRequests)
+		if *configOut != "" {
+			if err := writeConfigOut(*configOut, netCfg); err != nil {
+				return err
+			}
+		}
+		var rec *runRecorder
+		if *campaignOut != "" {
+			rec = newRunRecorder(netCfg.Seed)
+		}
+		return runNet(*seed, camp, *netRequests, observer, *traceOut, rec, set, netCfg)
 	}
 
 	if *chaos {
@@ -186,7 +212,28 @@ func run(args []string) error {
 		} else {
 			camp = faultmodel.DefaultCampaign(*seed)
 		}
-		return runChaos(*patternName, *n, *bohr, camp, *chaosOut, observer)
+		chaosCfg := resolvedChaosConfig(*patternName, *n, *bohr, camp)
+		if *configOut != "" {
+			if err := writeConfigOut(*configOut, chaosCfg); err != nil {
+				return err
+			}
+		}
+		var rec *runRecorder
+		if *campaignOut != "" {
+			rec = newRunRecorder(chaosCfg.Seed)
+		}
+		return runChaos(*patternName, *n, *bohr, camp, *chaosOut, observer, rec, set, chaosCfg)
+	}
+
+	simCfg := resolvedSimConfig(*patternName, *n, *p, *rho, *trials, *seed, *bohr)
+	if *configOut != "" {
+		if err := writeConfigOut(*configOut, simCfg); err != nil {
+			return err
+		}
+	}
+	var rec *runRecorder
+	if *campaignOut != "" {
+		rec = newRunRecorder(simCfg.Seed)
 	}
 
 	tbl := stats.NewTable(
@@ -204,8 +251,18 @@ func run(args []string) error {
 		}
 		ok := 0
 		for i := 0; i < *trials; i++ {
-			if _, correct := ens.Round(1); correct {
+			start := time.Now()
+			_, correct := ens.Round(1)
+			if correct {
 				ok++
+			}
+			if rec != nil {
+				rec.begin(i)
+				var roundErr error
+				if !correct {
+					roundErr = fmt.Errorf("voted output incorrect")
+				}
+				rec.finish(i, roundErr, time.Since(start))
 			}
 		}
 		prop, err := stats.NewProportion(ok, *trials)
@@ -218,7 +275,7 @@ func run(args []string) error {
 		tbl.AddRow("single-version baseline", 1-*p)
 		tbl.AddRow("tolerable faults k", redundancy.TolerableFaults(*n))
 	case "single", "selection", "sequential":
-		ok, execs, err := simulateDetected(*patternName, *n, *p, *trials, *seed, *bohr, observer)
+		ok, execs, err := simulateDetected(*patternName, *n, *p, *trials, *seed, *bohr, observer, rec)
 		if err != nil {
 			return err
 		}
@@ -238,6 +295,9 @@ func run(args []string) error {
 		return fmt.Errorf("unknown pattern %q", *patternName)
 	}
 	fmt.Println(tbl)
+	if rec != nil {
+		return saveRecordedRun(set, simCfg, rec, nil, nil)
+	}
 	return nil
 }
 
@@ -245,20 +305,31 @@ func run(args []string) error {
 // errors, not wrong values). A non-nil observer is attached to the
 // executor so a live metrics endpoint can watch the run. Variant bohr
 // (1-based; 0 disables) fails deterministically instead of randomly.
-func simulateDetected(patternName string, n int, p float64, trials int, seed uint64, bohr int, observer redundancy.Observer) (ok int, execsPerReq float64, err error) {
+// A non-nil rec records per-trial rows (-campaign-out).
+func simulateDetected(patternName string, n int, p float64, trials int, seed uint64, bohr int, observer redundancy.Observer, rec *runRecorder) (ok int, execsPerReq float64, err error) {
 	master := xrand.New(seed)
 	mk := func(i int) redundancy.Variant[int, int] {
 		rng := master.Split()
 		deterministic := i == bohr
-		return redundancy.NewVariant(fmt.Sprintf("v%d", i), func(_ context.Context, x int) (int, error) {
+		v := redundancy.NewVariant(fmt.Sprintf("v%d", i), func(_ context.Context, x int) (int, error) {
 			if deterministic {
+				if rec != nil {
+					rec.noteFaultHere("bohr")
+				}
 				return 0, fmt.Errorf("deterministic failure")
 			}
 			if rng.Bool(p) {
+				if rec != nil {
+					rec.noteFaultHere("heisen")
+				}
 				return 0, fmt.Errorf("variant failure")
 			}
 			return x, nil
 		})
+		if rec != nil {
+			return spyVariant{v, rec}
+		}
+		return v
 	}
 	accept := func(_ int, _ int) error { return nil }
 	var (
@@ -299,8 +370,16 @@ func simulateDetected(patternName string, n int, p float64, trials int, seed uin
 	}
 	ctx := context.Background()
 	for i := 0; i < trials; i++ {
-		if _, err := exec.Execute(ctx, i); err == nil {
+		if rec != nil {
+			rec.begin(i)
+		}
+		start := time.Now()
+		_, execErr := exec.Execute(ctx, i)
+		if execErr == nil {
 			ok++
+		}
+		if rec != nil {
+			rec.finish(i, execErr, time.Since(start))
 		}
 	}
 	return ok, m.Snapshot().ExecutionsPerRequest(), nil
@@ -311,19 +390,26 @@ func simulateDetected(patternName string, n int, p float64, trials int, seed uin
 // as deterministically broken — the breaker should open on it). The
 // executor carries the full policy stack so the report shows breakers
 // opening, overload being shed, and the degradation ladder serving.
-func runChaos(patternName string, n, bohr int, camp *faultmodel.Campaign, outPath string, extra redundancy.Observer) error {
+func runChaos(patternName string, n, bohr int, camp *faultmodel.Campaign, outPath string, extra redundancy.Observer, rec *runRecorder, set recorderSettings, cfg campaign.Config) error {
 	collector := redundancy.NewCollector()
 	observer := redundancy.CombineObservers(collector, extra)
 
+	var variantNames []string
 	mk := func(i int) redundancy.Variant[int, int] {
 		deterministic := i == bohr
-		base := redundancy.NewVariant(fmt.Sprintf("v%d", i), func(_ context.Context, x int) (int, error) {
+		name := fmt.Sprintf("v%d", i)
+		variantNames = append(variantNames, name)
+		base := redundancy.NewVariant(name, func(_ context.Context, x int) (int, error) {
 			if deterministic {
 				return 0, fmt.Errorf("deterministic failure")
 			}
 			return x, nil
 		})
-		return &faultmodel.Chaos[int, int]{Base: base, Campaign: camp}
+		var v redundancy.Variant[int, int] = &faultmodel.Chaos[int, int]{Base: base, Campaign: camp}
+		if rec != nil {
+			v = spyVariant{v, rec}
+		}
+		return v
 	}
 	ladder := redundancy.NewFallbackLadder[int, int]().CacheLastGood()
 	opts := []redundancy.PatternOption{
@@ -383,6 +469,28 @@ func runChaos(patternName string, n, bohr int, camp *faultmodel.Campaign, outPat
 		return err
 	}
 
+	if rec != nil {
+		// Recording middleware: one row per scheduled request, with the
+		// schedule's own disturbances as ground truth (a masked fault is
+		// still an injected fault). The spy-wrapped variants fill in
+		// detection and attribution.
+		inner := exec
+		exec = redundancy.ExecutorFunc[int, int](func(ctx context.Context, x int) (int, error) {
+			req, _ := faultmodel.RequestIndexFrom(ctx)
+			i := int(req)
+			rec.begin(i)
+			for _, name := range variantNames {
+				for _, label := range camp.DisturbedAt(req, name) {
+					rec.noteFault(i, label)
+				}
+			}
+			start := time.Now()
+			out, execErr := inner.Execute(ctx, x)
+			rec.finish(i, execErr, time.Since(start))
+			return out, execErr
+		})
+	}
+
 	rep, err := faultmodel.RunCampaign(context.Background(), camp, exec,
 		func(req uint64) int { return int(req) }, collector)
 	if err != nil {
@@ -398,6 +506,9 @@ func runChaos(patternName string, n, bohr int, camp *faultmodel.Campaign, outPat
 			return err
 		}
 		fmt.Printf("wrote campaign report to %s\n", outPath)
+	}
+	if rec != nil {
+		return saveRecordedRun(set, cfg, rec, collector.Snapshot(), nil)
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	redundancy "github.com/softwarefaults/redundancy"
+	campaignpkg "github.com/softwarefaults/redundancy/internal/campaign"
 	"github.com/softwarefaults/redundancy/internal/stats"
 )
 
@@ -35,7 +36,7 @@ func replicaTracePath(traceOut, name string) string {
 // — separate files per process, exactly what a real fleet would ship,
 // ready for `obsreport assemble` (the client's own spans land in the
 // shared -trace-out file written by main).
-func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, extra redundancy.Observer, traceOut string) error {
+func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, extra redundancy.Observer, traceOut string, rec *runRecorder, set recorderSettings, runCfg campaignpkg.Config) error {
 	collector := redundancy.NewCollector()
 	// A short-window SLO tracker on the client path: windows are scaled
 	// to the campaign's seconds-long phases so the fast window visibly
@@ -186,11 +187,20 @@ func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, ext
 			break
 		}
 		total++
+		if rec != nil {
+			rec.begin(total - 1)
+		}
 		start := time.Now()
 		got, err := sel.Execute(ctx, total)
-		latencies = append(latencies, time.Since(start))
+		elapsed := time.Since(start)
+		latencies = append(latencies, elapsed)
 		if err == nil && got == 2*total {
 			ok++
+		} else if err == nil {
+			err = fmt.Errorf("wrong answer: got %d want %d", got, 2*total)
+		}
+		if rec != nil {
+			rec.finish(total-1, err, elapsed)
 		}
 		for _, e := range sloExecs {
 			if burn := slo.FastBurn(e); burn > peakBurn {
@@ -259,5 +269,8 @@ func runNet(seed uint64, campaign *redundancy.NetworkCampaign, requests int, ext
 	}
 	tbl.AddRow("final membership", strings.Join(parts, " "))
 	fmt.Println(tbl)
+	if rec != nil {
+		return saveRecordedRun(set, runCfg, rec, collector.Snapshot(), slo.Snapshot())
+	}
 	return nil
 }

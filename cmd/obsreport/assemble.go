@@ -54,6 +54,12 @@ func runAssemble(args []string, w io.Writer) error {
 		})
 	}
 	rep := assemble.Assemble(sources...)
+	// An empty forest or exports from unrelated runs cannot be reported
+	// on meaningfully — fail loudly (typed, non-zero exit) rather than
+	// print a vacuous report a CI gate would wave through.
+	if err := rep.Validate(); err != nil {
+		return err
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(w)
@@ -65,9 +71,6 @@ func runAssemble(args []string, w io.Writer) error {
 		printAssembly(w, rep, *trees, *depth)
 	}
 	if *minLinked >= 0 {
-		if rep.Spans == 0 {
-			return fmt.Errorf("no traced spans assembled (empty causal forest)")
-		}
 		if rep.LinkRatio < *minLinked {
 			return fmt.Errorf("link ratio %.4f below required %.4f (%d/%d accepted answers linked)",
 				rep.LinkRatio, *minLinked, rep.Linked, rep.ClientRequests)

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/softwarefaults/redundancy/internal/obs/assemble"
+)
+
+// traceFile writes a minimal TraceRecorder-style export and returns its
+// path. Each span string is raw JSON for one obs.Trace.
+func traceFile(t *testing.T, name string, spans ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data := "[" + strings.Join(spans, ",") + "]"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAssembleEmptyForestFails(t *testing.T) {
+	empty := traceFile(t, "empty.json")
+	var out strings.Builder
+	err := run([]string{"assemble", empty}, &out)
+	if !errors.Is(err, assemble.ErrNoTraces) {
+		t.Fatalf("empty assemble = %v, want ErrNoTraces", err)
+	}
+}
+
+func TestAssembleDisjointSourcesFail(t *testing.T) {
+	// Two exports whose TraceIDs never overlap: different runs.
+	a := traceFile(t, "a.json",
+		`{"id":1,"executor":"client","trace_id":10,"span_id":100}`)
+	b := traceFile(t, "b.json",
+		`{"id":2,"executor":"replica:r1","trace_id":20,"span_id":200,"parent_span_id":199}`)
+	var out strings.Builder
+	err := run([]string{"assemble", a, b}, &out)
+	if !errors.Is(err, assemble.ErrDisjointSources) {
+		t.Fatalf("disjoint assemble = %v, want ErrDisjointSources", err)
+	}
+
+	// The same two exports sharing a trace assemble fine.
+	c := traceFile(t, "c.json",
+		`{"id":2,"executor":"replica:r1","trace_id":10,"span_id":200,"parent_span_id":199}`)
+	out.Reset()
+	if err := run([]string{"assemble", a, c}, &out); err != nil {
+		t.Fatalf("linked assemble = %v", err)
+	}
+	if !strings.Contains(out.String(), "cross-process trace assembly") {
+		t.Fatalf("assemble output:\n%s", out.String())
+	}
+}

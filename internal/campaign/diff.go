@@ -1,0 +1,190 @@
+package campaign
+
+// Diff: metric-by-metric comparison of two runs, point-matched by
+// Config.Key. The noise bound of each metric is derived from the
+// per-seed spread of the runs themselves — baseline mean ± sigma·stddev,
+// floored by the metric's absolute epsilon — so a sweep over several
+// seeds defines its own tolerance and a genuinely regressed candidate
+// cannot hide inside it. Timing metrics gate only on request: CI
+// machines differ from the baseline machine; seeds on one machine don't.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/softwarefaults/redundancy/internal/stats"
+)
+
+// DiffOptions tunes the comparison.
+type DiffOptions struct {
+	// Sigma scales the per-seed stddev into the noise bound (default 3).
+	Sigma float64
+	// GateTiming lets wall-clock metrics count as regressions.
+	GateTiming bool
+}
+
+func (o DiffOptions) sigma() float64 {
+	if o.Sigma <= 0 {
+		return 3
+	}
+	return o.Sigma
+}
+
+// MetricDelta is one metric's comparison at one grid point.
+type MetricDelta struct {
+	Metric string `json:"metric"`
+	// Base and Cand are means across each run's seeds at this point.
+	Base    float64 `json:"base"`
+	Cand    float64 `json:"cand"`
+	BaseStd float64 `json:"base_std,omitempty"`
+	CandStd float64 `json:"cand_std,omitempty"`
+	Delta   float64 `json:"delta"`
+	// Bound is the noise bound the delta was judged against.
+	Bound float64 `json:"bound"`
+	// Significant: |delta| exceeds the bound. Regression: significant,
+	// in the metric's bad direction, and the metric gates.
+	Significant bool `json:"significant,omitempty"`
+	Regression  bool `json:"regression,omitempty"`
+}
+
+// PointDiff is one grid point's comparison.
+type PointDiff struct {
+	Key         string        `json:"key"`
+	BaseSeeds   int           `json:"base_seeds"`
+	CandSeeds   int           `json:"cand_seeds"`
+	Metrics     []MetricDelta `json:"metrics"`
+	Regressions int           `json:"regressions"`
+}
+
+// DiffReport is the whole comparison.
+type DiffReport struct {
+	Base          string      `json:"base"`
+	Cand          string      `json:"cand"`
+	Sigma         float64     `json:"sigma"`
+	GateTiming    bool        `json:"gate_timing,omitempty"`
+	Points        []PointDiff `json:"points"`
+	MissingInCand []string    `json:"missing_in_cand,omitempty"`
+	MissingInBase []string    `json:"missing_in_base,omitempty"`
+	Significant   int         `json:"significant"`
+	Regressions   int         `json:"regressions"`
+}
+
+// Regressed reports whether the comparison should fail a gate: any
+// metric regression, or any baseline point the candidate no longer
+// covers.
+func (r *DiffReport) Regressed() bool {
+	return r.Regressions > 0 || len(r.MissingInCand) > 0
+}
+
+// seedValues collects one metric's per-seed values at a point. Metrics
+// absent from a seed's map read as 0 (the conditional rates are omitted
+// when zero).
+func seedValues(p *PointResult, metric string) []float64 {
+	out := make([]float64, 0, len(p.Seeds))
+	for i := range p.Seeds {
+		m := p.Seeds[i].Aggregates.Metrics()
+		out = append(out, m[metric])
+	}
+	return out
+}
+
+// Diff compares a candidate run against a baseline.
+func Diff(base, cand *Run, opts DiffOptions) *DiffReport {
+	rep := &DiffReport{Base: base.ID, Cand: cand.ID, Sigma: opts.sigma(), GateTiming: opts.GateTiming}
+	candByKey := map[string]*PointResult{}
+	for i := range cand.Points {
+		candByKey[cand.Points[i].Config.Key()] = &cand.Points[i]
+	}
+	baseKeys := map[string]bool{}
+	for bi := range base.Points {
+		bp := &base.Points[bi]
+		key := bp.Config.Key()
+		baseKeys[key] = true
+		cp, ok := candByKey[key]
+		if !ok {
+			rep.MissingInCand = append(rep.MissingInCand, key)
+			continue
+		}
+		pd := PointDiff{Key: key, BaseSeeds: len(bp.Seeds), CandSeeds: len(cp.Seeds)}
+		baseMetrics := bp.Pooled.Metrics()
+		candMetrics := cp.Pooled.Metrics()
+		for _, def := range metricCatalog {
+			_, inBase := baseMetrics[def.Name]
+			_, inCand := candMetrics[def.Name]
+			if !inBase && !inCand {
+				continue
+			}
+			bVals := seedValues(bp, def.Name)
+			cVals := seedValues(cp, def.Name)
+			d := MetricDelta{
+				Metric:  def.Name,
+				Base:    stats.Mean(bVals),
+				Cand:    stats.Mean(cVals),
+				BaseStd: stats.StdDev(bVals),
+				CandStd: stats.StdDev(cVals),
+			}
+			d.Delta = d.Cand - d.Base
+			spread := math.Max(d.BaseStd, d.CandStd)
+			d.Bound = math.Max(rep.Sigma*spread, def.Epsilon)
+			d.Significant = math.Abs(d.Delta) > d.Bound
+			if d.Significant {
+				rep.Significant++
+				worse := def.Directional && ((def.HigherBetter && d.Delta < 0) || (!def.HigherBetter && d.Delta > 0))
+				gated := !def.Timing || opts.GateTiming
+				if worse && gated {
+					d.Regression = true
+					pd.Regressions++
+					rep.Regressions++
+				}
+			}
+			pd.Metrics = append(pd.Metrics, d)
+		}
+		rep.Points = append(rep.Points, pd)
+	}
+	for i := range cand.Points {
+		if key := cand.Points[i].Config.Key(); !baseKeys[key] {
+			rep.MissingInBase = append(rep.MissingInBase, key)
+		}
+	}
+	return rep
+}
+
+// String renders the report as an aligned text table.
+func (r *DiffReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diff %s -> %s (sigma=%g, gate-timing=%v)\n", short(r.Base), short(r.Cand), r.Sigma, r.GateTiming)
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "\n[%s] base seeds=%d cand seeds=%d\n", p.Key, p.BaseSeeds, p.CandSeeds)
+		fmt.Fprintf(&b, "  %-22s %12s %12s %12s %12s  %s\n", "metric", "base", "cand", "delta", "bound", "verdict")
+		for _, m := range p.Metrics {
+			verdict := "ok"
+			switch {
+			case m.Regression:
+				verdict = "REGRESSION"
+			case m.Significant:
+				verdict = "significant"
+			}
+			fmt.Fprintf(&b, "  %-22s %12.6g %12.6g %+12.6g %12.6g  %s\n", m.Metric, m.Base, m.Cand, m.Delta, m.Bound, verdict)
+		}
+	}
+	for _, k := range r.MissingInCand {
+		fmt.Fprintf(&b, "\nMISSING in candidate: [%s]\n", k)
+	}
+	for _, k := range r.MissingInBase {
+		fmt.Fprintf(&b, "\nnew in candidate (not gated): [%s]\n", k)
+	}
+	fmt.Fprintf(&b, "\n%d significant, %d regression(s)\n", r.Significant, r.Regressions)
+	return b.String()
+}
+
+// short abbreviates a run label for the report header.
+func short(id string) string {
+	if len(id) > 10 && ValidateULID(id) == nil {
+		return id[:10]
+	}
+	if id == "" {
+		return "(unsaved)"
+	}
+	return id
+}

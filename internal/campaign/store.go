@@ -1,0 +1,217 @@
+package campaign
+
+// The run store: a directory of <ulid>.json documents. ULIDs sort by
+// creation time, so the directory listing is the run log; there is no
+// index file to corrupt or compact. Writes are write-temp-then-rename,
+// the same atomicity discipline as the checkpoint layer's snapshots, so
+// a run file is either absent or complete.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Typed store errors.
+var (
+	// ErrRunNotFound reports that no stored run matches an identifier.
+	ErrRunNotFound = errors.New("campaign: run not found")
+	// ErrAmbiguousRun reports that a prefix matches more than one run.
+	ErrAmbiguousRun = errors.New("campaign: ambiguous run prefix")
+	// ErrCorruptRun reports a run file that exists but does not decode.
+	ErrCorruptRun = errors.New("campaign: corrupt run document")
+)
+
+// Store is a file-backed run store rooted at one directory.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if necessary) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("campaign: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a run ID to its document path.
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, id+".json")
+}
+
+// Save persists a run, assigning its ULID and creation time on first
+// save. It returns the run's ID.
+func (s *Store) Save(r *Run) (string, error) {
+	if r.ID == "" {
+		r.ID = NewULID()
+	} else if err := ValidateULID(r.ID); err != nil {
+		return "", err
+	}
+	if r.CreatedAt.IsZero() {
+		if t, err := ULIDTime(r.ID); err == nil {
+			r.CreatedAt = t.UTC()
+		} else {
+			r.CreatedAt = time.Now().UTC()
+		}
+	}
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return "", fmt.Errorf("campaign: encode run: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(s.dir, ".run-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), s.path(r.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return r.ID, nil
+}
+
+// Load reads one run by exact ID.
+func (s *Store) Load(id string) (*Run, error) {
+	if err := ValidateULID(id); err != nil {
+		return nil, err
+	}
+	r, err := ReadRunFile(s.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s in %s", ErrRunNotFound, id, s.dir)
+	}
+	return r, err
+}
+
+// IDs lists the stored run IDs in creation order (ULIDs sort by time).
+func (s *Store) IDs() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if ValidateULID(id) == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Resolve expands a unique ID prefix (or full ID) to the stored run ID,
+// returning ErrRunNotFound or ErrAmbiguousRun otherwise. Matching is
+// case-insensitive, like ULID decoding.
+func (s *Store) Resolve(prefix string) (string, error) {
+	if prefix == "" {
+		return "", fmt.Errorf("%w: empty identifier", ErrRunNotFound)
+	}
+	ids, err := s.IDs()
+	if err != nil {
+		return "", err
+	}
+	up := strings.ToUpper(prefix)
+	var matches []string
+	for _, id := range ids {
+		if id == up {
+			return id, nil
+		}
+		if strings.HasPrefix(id, up) {
+			matches = append(matches, id)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return "", fmt.Errorf("%w: no run matches %q in %s", ErrRunNotFound, prefix, s.dir)
+	case 1:
+		return matches[0], nil
+	default:
+		return "", fmt.Errorf("%w: %q matches %s", ErrAmbiguousRun, prefix, strings.Join(matches, ", "))
+	}
+}
+
+// Summary is one run's row in a listing.
+type Summary struct {
+	ID           string    `json:"id"`
+	CreatedAt    time.Time `json:"created_at"`
+	Name         string    `json:"name,omitempty"`
+	Modes        string    `json:"modes"`
+	Points       int       `json:"points"`
+	Seeds        int       `json:"seeds"`
+	Trials       int       `json:"trials"`
+	Availability float64   `json:"availability"`
+}
+
+// List loads every stored run's summary, in creation order. Corrupt
+// documents are skipped (reported via the error slice-free contract:
+// they simply do not appear; Load reports them precisely).
+func (s *Store) List() ([]Summary, error) {
+	ids, err := s.IDs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Summary, 0, len(ids))
+	for _, id := range ids {
+		r, err := s.Load(id)
+		if err != nil {
+			continue
+		}
+		seeds := 0
+		for _, p := range r.Points {
+			seeds += len(p.Seeds)
+		}
+		out = append(out, Summary{
+			ID:           r.ID,
+			CreatedAt:    r.CreatedAt,
+			Name:         r.Name,
+			Modes:        strings.Join(r.Modes(), "+"),
+			Points:       len(r.Points),
+			Seeds:        seeds,
+			Trials:       r.TotalTrials(),
+			Availability: r.Availability(),
+		})
+	}
+	return out, nil
+}
+
+// ReadRunFile decodes one run document from an arbitrary path — stored
+// runs and committed baseline files alike.
+func ReadRunFile(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Run
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptRun, path, err)
+	}
+	if len(r.Points) == 0 {
+		return nil, fmt.Errorf("%w: %s: no points", ErrCorruptRun, path)
+	}
+	return &r, nil
+}

@@ -1,0 +1,153 @@
+package campaign
+
+// ULID run keys. A ULID is a 128-bit identifier — 48 bits of millisecond
+// timestamp followed by 80 bits of entropy — rendered as 26 characters
+// of Crockford base32. Lexicographic order equals creation order, which
+// is what makes a directory of `<ulid>.json` files a time-sorted run
+// log with no index file to maintain. Implemented here on the standard
+// library alone (the repo takes no external dependencies); the format is
+// the spec's, so keys interoperate with any other ULID tooling.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// ulidAlphabet is Crockford base32: no I, L, O, U.
+const ulidAlphabet = "0123456789ABCDEFGHJKMNPQRSTVWXYZ"
+
+// ULIDLen is the length of a rendered ULID.
+const ULIDLen = 26
+
+// ErrBadULID reports a malformed run identifier.
+var ErrBadULID = errors.New("campaign: malformed ULID")
+
+// ulidDecode maps an alphabet byte back to its 5-bit value; 0xff marks
+// bytes outside the alphabet. Lowercase is accepted on input, as the
+// spec requires.
+var ulidDecode = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = 0xff
+	}
+	for i := 0; i < len(ulidAlphabet); i++ {
+		t[ulidAlphabet[i]] = byte(i)
+		t[ulidAlphabet[i]+'a'-'A'] = byte(i)
+	}
+	// Crockford decoding aliases.
+	t['O'], t['o'] = 0, 0
+	t['I'], t['i'], t['L'], t['l'] = 1, 1, 1, 1
+	return t
+}()
+
+// MakeULID renders the ULID for a timestamp and 80 bits of entropy.
+func MakeULID(t time.Time, entropy [10]byte) string {
+	var b [16]byte
+	ms := uint64(t.UnixMilli())
+	b[0] = byte(ms >> 40)
+	b[1] = byte(ms >> 32)
+	b[2] = byte(ms >> 24)
+	b[3] = byte(ms >> 16)
+	b[4] = byte(ms >> 8)
+	b[5] = byte(ms)
+	copy(b[6:], entropy[:])
+
+	// 26 output characters of 5 bits each: 130 bits, the top 2 of which
+	// are always zero, so the first character is at most '7'.
+	var out [ULIDLen]byte
+	bits := 0
+	acc := uint32(0)
+	j := ULIDLen - 1
+	for i := 15; i >= 0; i-- {
+		acc |= uint32(b[i]) << bits
+		bits += 8
+		for bits >= 5 && j >= 0 {
+			out[j] = ulidAlphabet[acc&0x1f]
+			acc >>= 5
+			bits -= 5
+			j--
+		}
+	}
+	for j >= 0 {
+		out[j] = ulidAlphabet[acc&0x1f]
+		acc >>= 5
+		j--
+	}
+	return string(out[:])
+}
+
+// ULIDTime extracts the millisecond timestamp of a ULID.
+func ULIDTime(id string) (time.Time, error) {
+	if err := ValidateULID(id); err != nil {
+		return time.Time{}, err
+	}
+	ms := uint64(0)
+	for i := 0; i < 10; i++ { // 10 chars × 5 bits = 50 bits: 2 pad bits, then 48 of time
+		ms = ms<<5 | uint64(ulidDecode[id[i]])
+	}
+	return time.UnixMilli(int64(ms)), nil
+}
+
+// ValidateULID checks the shape of a run identifier.
+func ValidateULID(id string) error {
+	if len(id) != ULIDLen {
+		return fmt.Errorf("%w: %q is %d characters, want %d", ErrBadULID, id, len(id), ULIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		if ulidDecode[id[i]] == 0xff {
+			return fmt.Errorf("%w: %q has invalid character %q", ErrBadULID, id, id[i])
+		}
+	}
+	if ulidDecode[id[0]] > 7 {
+		return fmt.Errorf("%w: %q overflows 128 bits", ErrBadULID, id)
+	}
+	return nil
+}
+
+// ulidGen hands out identifiers: monotonic within a process even when
+// two runs land on the same millisecond (the entropy field increments,
+// as the spec prescribes, so later IDs still sort later).
+var ulidGen struct {
+	mu      sync.Mutex
+	rng     *xrand.Rand
+	lastMS  int64
+	entropy [10]byte
+}
+
+// NewULID returns a fresh run identifier for the current wall-clock time.
+func NewULID() string {
+	return newULIDAt(time.Now())
+}
+
+func newULIDAt(t time.Time) string {
+	g := &ulidGen
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.rng == nil {
+		g.rng = xrand.New(uint64(time.Now().UnixNano()))
+	}
+	ms := t.UnixMilli()
+	if ms <= g.lastMS {
+		// Same (or rewound) millisecond: increment the previous entropy.
+		t = time.UnixMilli(g.lastMS)
+		for i := 9; i >= 0; i-- {
+			g.entropy[i]++
+			if g.entropy[i] != 0 {
+				break
+			}
+		}
+	} else {
+		g.lastMS = ms
+		u1, u2 := g.rng.Uint64(), g.rng.Uint64()
+		for i := 0; i < 8; i++ {
+			g.entropy[i] = byte(u1 >> (8 * i))
+		}
+		g.entropy[8] = byte(u2)
+		g.entropy[9] = byte(u2 >> 8)
+	}
+	return MakeULID(t, g.entropy)
+}

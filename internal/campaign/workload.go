@@ -1,0 +1,359 @@
+package campaign
+
+// The built-in workloads `campaign run` sweeps and Replay re-executes:
+// the same synthetic subjects faultsim drives, rebuilt here so one
+// (Config, Seed) pair is a self-contained, re-executable experiment.
+// Trials run strictly sequentially within a seed — parallelism lives at
+// the sweep level, across (point, seed) pairs — so every random draw,
+// chaos activation, and trace identifier is a pure function of the pair
+// and a deterministic config replays byte-identically.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+	"github.com/softwarefaults/redundancy/internal/faultmodel"
+	"github.com/softwarefaults/redundancy/internal/nvp"
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/pattern"
+	"github.com/softwarefaults/redundancy/internal/resilience"
+	"github.com/softwarefaults/redundancy/internal/xrand"
+)
+
+// ErrBadConfig reports a configuration the workload layer cannot run.
+var ErrBadConfig = errors.New("campaign: unsupported configuration")
+
+// trialSpy observes one trial from inside the variant closures: who
+// served the accepted answer, whether any executed variant failed, and
+// which faults the workload injected. Trials within a seed are
+// sequential, but parallel-selection executors run variants
+// concurrently, so the spy locks.
+type trialSpy struct {
+	mu       sync.Mutex
+	served   string
+	detected bool
+	injected map[string]bool
+}
+
+func (s *trialSpy) reset() {
+	s.mu.Lock()
+	s.served, s.detected, s.injected = "", false, nil
+	s.mu.Unlock()
+}
+
+func (s *trialSpy) serve(name string) {
+	s.mu.Lock()
+	if s.served == "" {
+		s.served = name
+	}
+	s.mu.Unlock()
+}
+
+func (s *trialSpy) fail() {
+	s.mu.Lock()
+	s.detected = true
+	s.mu.Unlock()
+}
+
+func (s *trialSpy) inject(label string) {
+	s.mu.Lock()
+	if s.injected == nil {
+		s.injected = map[string]bool{}
+	}
+	s.injected[label] = true
+	s.mu.Unlock()
+}
+
+func (s *trialSpy) faults() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.injected) == 0 {
+		return ""
+	}
+	labels := make([]string, 0, len(s.injected))
+	for l := range s.injected {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return strings.Join(labels, "+")
+}
+
+// spied wraps a variant so executed failures and serves register on the
+// spy regardless of which executor shape drives it.
+type spied struct {
+	core.Variant[int, int]
+	spy *trialSpy
+}
+
+func (v spied) Execute(ctx context.Context, x int) (int, error) {
+	out, err := v.Variant.Execute(ctx, x)
+	if err != nil {
+		v.spy.fail()
+	} else {
+		v.spy.serve(v.Variant.Name())
+	}
+	return out, err
+}
+
+// outcomeOf buckets a request error into a trial outcome label.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, resilience.ErrShedded):
+		return OutcomeShed
+	case errors.Is(err, resilience.ErrDegraded):
+		return OutcomeDegraded
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return OutcomeBreakerOpen
+	default:
+		return OutcomeFailed
+	}
+}
+
+// TrialTraceID derives the deterministic trace identity of one trial —
+// the splitmix64 mix of (seed, index), never zero — so a replayed run
+// reproduces its trace column exactly without touching the global
+// span-identifier stream.
+func TrialTraceID(seed uint64, index int) uint64 {
+	x := seed ^ (uint64(index)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// runSeed executes one (config, seed) pair and returns its full result,
+// trial rows included (the sweep layer decides whether to persist them).
+// progress, when non-nil, is called with (done, total) at a coarse
+// cadence.
+func runSeed(ctx context.Context, cfg Config, keepObserved bool, progress func(done, total int)) (SeedResult, error) {
+	switch cfg.Mode {
+	case "sim":
+		if cfg.Pattern == "nvp" {
+			return runSeedNVP(ctx, cfg, progress)
+		}
+		return runSeedDetected(ctx, cfg, keepObserved, progress)
+	case "chaos":
+		return runSeedChaos(ctx, cfg, keepObserved, progress)
+	default:
+		return SeedResult{}, fmt.Errorf("%w: mode %q is not executable (net runs are recorded by faultsim)", ErrBadConfig, cfg.Mode)
+	}
+}
+
+// runSeedNVP drives the N-version ensemble: undetected wrong-answer
+// faults adjudicated by majority vote. The ensemble hides its draws, so
+// trial rows carry outcome only.
+func runSeedNVP(ctx context.Context, cfg Config, progress func(done, total int)) (SeedResult, error) {
+	law := faultmodel.CorrelatedFailures{N: cfg.Variants, P: cfg.FailureP, Rho: cfg.Rho}
+	ens, err := nvp.NewEnsemble(law, xrand.New(cfg.Seed))
+	if err != nil {
+		return SeedResult{}, err
+	}
+	res := SeedResult{Seed: cfg.Seed, Trials: make([]Trial, 0, cfg.Trials)}
+	start := time.Now()
+	for i := 0; i < cfg.Trials; i++ {
+		if err := ctx.Err(); err != nil {
+			return SeedResult{}, err
+		}
+		t0 := time.Now()
+		_, correct := ens.Round(1)
+		tr := Trial{Index: i, Outcome: OutcomeOK, Latency: time.Since(t0), TraceID: TrialTraceID(cfg.Seed, i)}
+		if !correct {
+			tr.Outcome = OutcomeFailed
+		}
+		res.Trials = append(res.Trials, tr)
+		reportProgress(progress, i+1, cfg.Trials)
+	}
+	res.Aggregates = computeAggregates(res.Trials, time.Since(start), nil, nil)
+	return res, nil
+}
+
+// runSeedDetected drives the detected-failure patterns: variants fail
+// with probability FailureP (plus a deterministic Bohr variant), and
+// the spy records served variants, injected faults, and detections.
+func runSeedDetected(ctx context.Context, cfg Config, keepObserved bool, progress func(done, total int)) (SeedResult, error) {
+	spy := &trialSpy{}
+	master := xrand.New(cfg.Seed)
+	mk := func(i int) core.Variant[int, int] {
+		rng := master.Split()
+		name := fmt.Sprintf("v%d", i)
+		deterministic := i == cfg.Bohr
+		base := core.NewVariant(name, func(_ context.Context, x int) (int, error) {
+			if deterministic {
+				spy.inject("bohr")
+				return 0, errors.New("deterministic failure")
+			}
+			if rng.Bool(cfg.FailureP) {
+				spy.inject("heisen")
+				return 0, errors.New("variant failure")
+			}
+			return x, nil
+		})
+		return spied{base, spy}
+	}
+	exec, reset, collector, err := buildExecutor(cfg, mk, keepObserved)
+	if err != nil {
+		return SeedResult{}, err
+	}
+	return driveTrials(ctx, cfg, cfg.Trials, spy, exec, reset, collector, nil, progress)
+}
+
+// runSeedChaos drives chaos-wrapped healthy variants through the
+// campaign schedule, one trial per scheduled request. Ground truth
+// comes from the schedule itself (Campaign.DisturbedAt), so a masked
+// fault still counts as injected.
+func runSeedChaos(ctx context.Context, cfg Config, keepObserved bool, progress func(done, total int)) (SeedResult, error) {
+	if cfg.Chaos == nil {
+		return SeedResult{}, fmt.Errorf("%w: chaos mode without a campaign schedule", ErrBadConfig)
+	}
+	// The sweep seed drives the schedule: each seed of a point is the
+	// same campaign re-rolled.
+	camp := *cfg.Chaos
+	camp.Seed = cfg.Seed
+	if err := camp.Validate(); err != nil {
+		return SeedResult{}, err
+	}
+	total := camp.Total()
+	spy := &trialSpy{}
+	names := make([]string, 0, cfg.Variants)
+	mk := func(i int) core.Variant[int, int] {
+		name := fmt.Sprintf("v%d", i)
+		names = append(names, name)
+		deterministic := i == cfg.Bohr
+		base := core.NewVariant(name, func(_ context.Context, x int) (int, error) {
+			if deterministic {
+				spy.inject("bohr")
+				return 0, errors.New("deterministic failure")
+			}
+			return x, nil
+		})
+		return spied{&faultmodel.Chaos[int, int]{Base: base, Campaign: &camp}, spy}
+	}
+	exec, reset, collector, err := buildExecutor(cfg, mk, keepObserved)
+	if err != nil {
+		return SeedResult{}, err
+	}
+	injectedAt := func(req uint64) {
+		for _, name := range names {
+			for _, label := range camp.DisturbedAt(req, name) {
+				spy.inject(label)
+			}
+		}
+	}
+	return driveTrials(ctx, cfg, total, spy, exec, reset, collector, injectedAt, progress)
+}
+
+// buildExecutor assembles the configured pattern executor over variants
+// from mk, with an observation collector attached when the result
+// should carry Observed snapshots. reset re-arms executors that latch
+// variant failures (parallel selection).
+func buildExecutor(cfg Config, mk func(i int) core.Variant[int, int], keepObserved bool) (exec core.Executor[int, int], reset func(), collector *obs.Collector, err error) {
+	var opts []pattern.Option
+	if keepObserved {
+		collector = obs.NewCollector()
+		opts = append(opts, pattern.WithObserver(collector))
+	}
+	accept := func(_ int, _ int) error { return nil }
+	n := cfg.Variants
+	if n < 1 {
+		n = 1
+	}
+	reset = func() {}
+	switch cfg.Pattern {
+	case "single", "":
+		exec, err = pattern.NewSingle(mk(1), opts...)
+	case "sequential":
+		vs := make([]core.Variant[int, int], n)
+		for i := range vs {
+			vs[i] = mk(i + 1)
+		}
+		exec, err = pattern.NewSequentialAlternatives(vs, accept, nil, opts...)
+	case "selection":
+		vs := make([]core.Variant[int, int], n)
+		tests := make([]core.AcceptanceTest[int, int], n)
+		for i := range vs {
+			vs[i] = mk(i + 1)
+			tests[i] = accept
+		}
+		var ps *pattern.ParallelSelection[int, int]
+		ps, err = pattern.NewParallelSelection(vs, tests, opts...)
+		if err == nil {
+			exec = ps
+			reset = ps.Reset
+		}
+	default:
+		return nil, nil, nil, fmt.Errorf("%w: pattern %q", ErrBadConfig, cfg.Pattern)
+	}
+	return exec, reset, collector, err
+}
+
+// driveTrials is the shared trial loop: sequential requests, spy-backed
+// trial rows, aggregates at the end.
+func driveTrials(ctx context.Context, cfg Config, total int, spy *trialSpy, exec core.Executor[int, int], reset func(), collector *obs.Collector, injectedAt func(req uint64), progress func(done, total int)) (SeedResult, error) {
+	res := SeedResult{Seed: cfg.Seed, Trials: make([]Trial, 0, total)}
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		if err := ctx.Err(); err != nil {
+			return SeedResult{}, err
+		}
+		spy.reset()
+		req := uint64(i)
+		if injectedAt != nil {
+			injectedAt(req)
+		}
+		tctx := faultmodel.WithRequestIndex(ctx, req)
+		t0 := time.Now()
+		_, err := exec.Execute(tctx, i)
+		latency := time.Since(t0)
+		reset() // injected faults are transient between trials
+		spy.mu.Lock()
+		served, detected := spy.served, spy.detected
+		spy.mu.Unlock()
+		tr := Trial{
+			Index:    i,
+			Outcome:  outcomeOf(err),
+			Latency:  latency,
+			Fault:    spy.faults(),
+			Detected: detected,
+			TraceID:  TrialTraceID(cfg.Seed, i),
+		}
+		if err == nil {
+			tr.Variant = served
+		}
+		res.Trials = append(res.Trials, tr)
+		reportProgress(progress, i+1, total)
+	}
+	var observed []obs.ExecutorSnapshot
+	if collector != nil {
+		observed = collector.Snapshot()
+	}
+	res.Aggregates = computeAggregates(res.Trials, time.Since(start), observed, nil)
+	return res, nil
+}
+
+// reportProgress throttles callbacks to ~2% granularity plus the final
+// trial.
+func reportProgress(progress func(done, total int), done, total int) {
+	if progress == nil {
+		return
+	}
+	step := total / 50
+	if step < 1 {
+		step = 1
+	}
+	if done == total || done%step == 0 {
+		progress(done, total)
+	}
+}

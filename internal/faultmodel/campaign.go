@@ -307,6 +307,37 @@ func (c *Campaign) CrashAt(req uint64, variant string) bool {
 	return c.roll(pi, kindCrash, req, variant, phase.Crashes, phase.Correlated)
 }
 
+// DisturbedAt reports which disturbance kinds the campaign activates for
+// the named variant on request req, in a fixed order (latency, hang,
+// panic, crash, error); empty when the request is undisturbed. Because
+// activation decisions are pure functions of the schedule, this is the
+// ground truth an experiment harness scores detection quality against —
+// whether a disturbance was *scheduled*, independent of whether the
+// executor ever ran the variant.
+func (c *Campaign) DisturbedAt(req uint64, variant string) []string {
+	pi, phase := c.PhaseAt(req)
+	if phase == nil || !phase.applies(variant) {
+		return nil
+	}
+	var out []string
+	for _, d := range []struct {
+		label string
+		kind  uint64
+		prob  float64
+	}{
+		{"latency", kindLatency, phase.LatencySpike},
+		{"hang", kindHang, phase.Hangs},
+		{"panic", kindPanic, phase.Panics},
+		{"crash", kindCrash, phase.Crashes},
+		{"error", kindError, phase.ErrorBurst},
+	} {
+		if c.roll(pi, d.kind, req, variant, d.prob, phase.Correlated) {
+			out = append(out, d.label)
+		}
+	}
+	return out
+}
+
 // ChaosVariants wraps every variant in vs with the campaign.
 func ChaosVariants[I, O any](c *Campaign, vs []core.Variant[I, O]) []core.Variant[I, O] {
 	out := make([]core.Variant[I, O], len(vs))

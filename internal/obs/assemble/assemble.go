@@ -14,10 +14,26 @@
 package assemble
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"time"
 
 	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// Validation errors: the two silent failure modes of offline assembly.
+// An empty export and a set of exports from unrelated runs both used to
+// assemble "successfully" into a report that says nothing — and a CI
+// gate reading only the link ratio would wave them through (no client
+// requests means a vacuous ratio of 1).
+var (
+	// ErrNoTraces reports that no source contributed a traced span.
+	ErrNoTraces = errors.New("assemble: no traced spans in any source")
+	// ErrDisjointSources reports multi-source input whose sources share
+	// no TraceID — exports from different runs (different trace seeds)
+	// that can never link.
+	ErrDisjointSources = errors.New("assemble: sources share no TraceID")
 )
 
 // Source is one process's trace export: a name (typically the trace
@@ -72,9 +88,14 @@ type CriticalPath struct {
 // Report is the result of assembling a fleet's trace exports.
 type Report struct {
 	// Spans counts traced spans across all sources; TraceIDs counts
-	// distinct traces.
-	Spans    int `json:"spans"`
-	TraceIDs int `json:"trace_ids"`
+	// distinct traces. Sources counts the exports given to Assemble, and
+	// SharedTraceIDs the traces seen in more than one source — zero
+	// shared traces across multiple sources means the exports come from
+	// different runs and nothing can link.
+	Spans          int `json:"spans"`
+	TraceIDs       int `json:"trace_ids"`
+	Sources        int `json:"sources"`
+	SharedTraceIDs int `json:"shared_trace_ids"`
 	// Roots is the assembled causal forest (spans with no resolvable
 	// parent), ordered by start time.
 	Roots []*Span `json:"-"`
@@ -96,19 +117,26 @@ type Report struct {
 // Assemble joins the sources' traces into causal trees and derives the
 // cross-process report.
 func Assemble(sources ...Source) *Report {
-	r := &Report{}
+	r := &Report{Sources: len(sources)}
 	var nodes []*Span
 	bySpan := make(map[uint64]*Span)
 	attemptOwner := make(map[uint64]*Span)
-	traceIDs := make(map[uint64]struct{})
-	for _, src := range sources {
+	// traceIDs maps each trace to the first source index that recorded
+	// it, then to -1 once a second source does — counting shared traces.
+	traceIDs := make(map[uint64]int)
+	for si, src := range sources {
 		for _, tr := range src.Traces {
 			if tr.TraceID == 0 || tr.SpanID == 0 {
 				continue // untraced request: no causal identity
 			}
 			n := &Span{Source: src.Name, Trace: tr}
 			nodes = append(nodes, n)
-			traceIDs[tr.TraceID] = struct{}{}
+			if first, seen := traceIDs[tr.TraceID]; !seen {
+				traceIDs[tr.TraceID] = si
+			} else if first != si && first != -1 {
+				traceIDs[tr.TraceID] = -1
+				r.SharedTraceIDs++
+			}
 			if _, dup := bySpan[tr.SpanID]; !dup {
 				bySpan[tr.SpanID] = n
 			}
@@ -220,6 +248,23 @@ func Assemble(sources ...Source) *Report {
 		return r.Attribution[i].Endpoint < r.Attribution[j].Endpoint
 	})
 	return r
+}
+
+// Validate reports whether the assembly could possibly be meaningful:
+// ErrNoTraces when no source contributed a traced span, and
+// ErrDisjointSources when multiple sources share no TraceID (exports
+// from different runs, whose trace seeds never overlap). A valid report
+// may still have a poor link ratio — that is a quality gate, not a
+// validity one.
+func (r *Report) Validate() error {
+	if r.Spans == 0 {
+		return ErrNoTraces
+	}
+	if r.Sources >= 2 && r.SharedTraceIDs == 0 {
+		return fmt.Errorf("%w (%d sources, %d distinct traces; exports are from different runs)",
+			ErrDisjointSources, r.Sources, r.TraceIDs)
+	}
+	return nil
 }
 
 // Depth returns the height of the tree rooted at s (1 for a leaf).

@@ -1,6 +1,7 @@
 package assemble
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -128,5 +129,43 @@ func TestAssembleIgnoresUntraced(t *testing.T) {
 	}
 	if rep.LinkRatio != 1 {
 		t.Fatalf("empty report ratio = %g, want vacuous 1", rep.LinkRatio)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	client, r1, r2 := fleetTraces()
+
+	// A linked fleet validates: the trace is shared across sources.
+	rep := Assemble(client, r1, r2)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("fleet Validate = %v", err)
+	}
+	if rep.Sources != 3 || rep.SharedTraceIDs != 1 {
+		t.Fatalf("sources=%d shared=%d, want 3/1", rep.Sources, rep.SharedTraceIDs)
+	}
+
+	// No sources, or sources with no traced spans: ErrNoTraces.
+	if err := Assemble().Validate(); !errors.Is(err, ErrNoTraces) {
+		t.Fatalf("empty Validate = %v, want ErrNoTraces", err)
+	}
+	empty := Source{Name: "empty"}
+	if err := Assemble(empty, empty).Validate(); !errors.Is(err, ErrNoTraces) {
+		t.Fatalf("spanless Validate = %v, want ErrNoTraces", err)
+	}
+
+	// Two sources whose traces never overlap: exports from different
+	// runs — ErrDisjointSources.
+	other := r2
+	other.Traces = []obs.Trace{{
+		ID: 9, Executor: "replica:r2", Start: time.Unix(2000, 0),
+		TraceID: 999, SpanID: 901, ParentSpanID: 900,
+	}}
+	if err := Assemble(client, other).Validate(); !errors.Is(err, ErrDisjointSources) {
+		t.Fatalf("disjoint Validate = %v, want ErrDisjointSources", err)
+	}
+
+	// A single source is trivially self-consistent.
+	if err := Assemble(client).Validate(); err != nil {
+		t.Fatalf("single-source Validate = %v", err)
 	}
 }

@@ -112,3 +112,94 @@ func TestWriteSLOPrometheus(t *testing.T) {
 		}
 	}
 }
+
+// TestBurnWindowBoundaryRecycle pins the epoch arithmetic at the exact
+// window boundary: a full window of traffic, stepped one bucket at a
+// time, must drop exactly the oldest bucket per step — and a bucket
+// whose ring slot is reused a full window later must be zeroed before
+// counting, not inherit the stale totals.
+func TestBurnWindowBoundaryRecycle(t *testing.T) {
+	w := newBurnWindow(30 * time.Millisecond) // 1ms buckets
+	base := time.Unix(1000, 0)                // bucket-aligned
+
+	// One bad observation in every bucket of the window.
+	for i := 0; i < sloWindowBuckets; i++ {
+		w.observe(base.Add(time.Duration(i)*w.bucket), true)
+	}
+	if _, bad := w.totals(base.Add(time.Duration(sloWindowBuckets-1) * w.bucket)); bad != sloWindowBuckets {
+		t.Fatalf("full window bad = %d, want %d", bad, sloWindowBuckets)
+	}
+
+	// Each bucket step beyond the end drops exactly one stale bucket,
+	// even though the ring slots still hold their counts.
+	for step := 1; step <= 3; step++ {
+		now := base.Add(time.Duration(sloWindowBuckets-1+step) * w.bucket)
+		if _, bad := w.totals(now); int(bad) != sloWindowBuckets-step {
+			t.Fatalf("step %d: bad = %d, want %d", step, bad, sloWindowBuckets-step)
+		}
+	}
+
+	// A write one full window later lands on the first bucket's ring
+	// slot; the recycled slot must forget the old epoch's count.
+	reuse := base.Add(time.Duration(sloWindowBuckets) * w.bucket)
+	w.observe(reuse, false)
+	good, bad := w.totals(reuse)
+	if good != 1 {
+		t.Fatalf("recycled slot good = %d, want 1", good)
+	}
+	// Buckets 1..29 of the original window are still in range.
+	if int(bad) != sloWindowBuckets-1 {
+		t.Fatalf("recycled-window bad = %d, want %d", bad, sloWindowBuckets-1)
+	}
+}
+
+// TestBurnWindowSameSlotNewEpochResets drives the same ring slot in two
+// epochs a full window apart with nothing in between: the second epoch
+// starts from zero.
+func TestBurnWindowSameSlotNewEpochResets(t *testing.T) {
+	w := newBurnWindow(30 * time.Millisecond)
+	base := time.Unix(2000, 0)
+	for i := 0; i < 5; i++ {
+		w.observe(base, true)
+	}
+	later := base.Add(time.Duration(sloWindowBuckets) * w.bucket)
+	w.observe(later, true)
+	if _, bad := w.totals(later); bad != 1 {
+		t.Fatalf("same-slot new-epoch bad = %d, want 1", bad)
+	}
+}
+
+// TestBurnWindowIdleRecovery: after a window of silence the burn reads
+// zero — recovery needs no writes, only the range check in totals.
+func TestBurnWindowIdleRecovery(t *testing.T) {
+	w := newBurnWindow(30 * time.Millisecond)
+	base := time.Unix(3000, 0)
+	for i := 0; i < 10; i++ {
+		w.observe(base.Add(time.Duration(i)*w.bucket), true)
+	}
+	quiet := base.Add(time.Duration(9+sloWindowBuckets) * w.bucket)
+	if good, bad := w.totals(quiet); good != 0 || bad != 0 {
+		t.Fatalf("idle totals = (%d,%d), want (0,0)", good, bad)
+	}
+	// One more boundary in: still zero (no off-by-one resurrection).
+	if good, bad := w.totals(quiet.Add(w.bucket)); good != 0 || bad != 0 {
+		t.Fatalf("post-idle totals = (%d,%d)", good, bad)
+	}
+}
+
+// TestBurnWindowClockRewind: a bucket stamped in the future (the clock
+// stepped back) must not count toward a past now, and writing at the
+// rewound time recycles the slot rather than merging epochs.
+func TestBurnWindowClockRewind(t *testing.T) {
+	w := newBurnWindow(30 * time.Millisecond)
+	ahead := time.Unix(4000, 0).Add(10 * w.bucket)
+	w.observe(ahead, true)
+	rewound := ahead.Add(-10 * w.bucket)
+	if _, bad := w.totals(rewound); bad != 0 {
+		t.Fatalf("future bucket counted at rewound now: bad = %d", bad)
+	}
+	w.observe(rewound, false)
+	if good, bad := w.totals(rewound); good != 1 || bad != 0 {
+		t.Fatalf("rewound totals = (%d,%d), want (1,0)", good, bad)
+	}
+}

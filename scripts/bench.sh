@@ -32,38 +32,42 @@ pkgs=". ./internal/obs/... ./internal/pattern ./internal/resilience ./internal/c
 raw="$(go test -bench=. -benchmem -run='^$' -benchtime="$benchtime" $pkgs)"
 printf '%s\n' "$raw"
 
-# tojson converts `go test -bench` output to a JSON array. $1 selects
-# which results to keep: "resilience" takes the resilience package and
-# the chaos-campaign throughput benchmarks, "recovery" takes the
-# checkpoint/WAL package, "net" takes the distributed transport
-# package, "obs" takes the rest.
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+# tojson converts `go test -bench` output to a JSON array in the
+# normalized schema the campaign tooling reads: one row per
+# (benchmark, metric), each {benchmark, metric, value, unit, commit,
+# seed}. Benchmarks are single-process microbenchmarks, so seed is 0.
+# $1 selects which results to keep: "resilience" takes the resilience
+# package and the chaos-campaign throughput benchmarks, "recovery"
+# takes the checkpoint/WAL package, "net" takes the distributed
+# transport package, "obs" takes the rest.
 tojson() {
-    printf '%s\n' "$raw" | awk -v mode="$1" '
+    printf '%s\n' "$raw" | awk -v mode="$1" -v commit="$commit" '
+function row(bench, metric, value, unit) {
+    if (n++) printf ",\n"
+    printf "  {\"benchmark\":\"%s\",\"metric\":\"%s\",\"value\":%s,\"unit\":\"%s\",\"commit\":\"%s\",\"seed\":0}", \
+        bench, metric, value, unit, commit
+}
 BEGIN { print "[" }
-/^pkg:/ { pkg = $2 }
+/^pkg:/ { pkg = $2; sub(/^.*\//, "", pkg) }
 /^Benchmark/ {
-    res = (pkg ~ /\/internal\/resilience$/ || $1 ~ /^BenchmarkChaosCampaign/)
-    rec = (pkg ~ /\/internal\/checkpoint$/)
-    net = (pkg ~ /\/internal\/dist$/)
+    res = (pkg == "resilience" || $1 ~ /^BenchmarkChaosCampaign/)
+    rec = (pkg == "checkpoint")
+    net = (pkg == "dist")
     if (mode == "resilience") keep = res
     else if (mode == "recovery") keep = rec
     else if (mode == "net") keep = net
     else keep = !res && !rec && !net
     if (!keep) next
-    bop = ""; aop = ""; rps = ""; p99 = ""
+    bench = (pkg != "") ? pkg "/" $1 : $1
+    row(bench, "ns_per_op", $3, "ns/op")
     for (i = 4; i <= NF; i++) {
-        if ($i == "B/op") bop = $(i - 1)
-        if ($i == "allocs/op") aop = $(i - 1)
-        if ($i == "req/s") rps = $(i - 1)
-        if ($i == "p99_ns") p99 = $(i - 1)
+        if ($i == "B/op") row(bench, "bytes_per_op", $(i - 1), "B/op")
+        if ($i == "allocs/op") row(bench, "allocs_per_op", $(i - 1), "allocs/op")
+        if ($i == "req/s") row(bench, "req_per_s", $(i - 1), "req/s")
+        if ($i == "p99_ns") row(bench, "p99_ns", $(i - 1), "ns")
     }
-    if (n++) printf ",\n"
-    printf "  {\"package\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", pkg, $1, $2, $3
-    if (rps != "") printf ",\"req_per_s\":%s", rps
-    if (p99 != "") printf ",\"p99_ns\":%s", p99
-    if (bop != "") printf ",\"bytes_per_op\":%s", bop
-    if (aop != "") printf ",\"allocs_per_op\":%s", aop
-    printf "}"
 }
 END { if (n) printf "\n"; print "]" }
 '
@@ -74,7 +78,7 @@ tojson resilience >"$out_res"
 tojson recovery >"$out_rec"
 tojson net >"$out_net"
 
-echo "wrote $(grep -c '"name"' "$out_obs") benchmark results to $out_obs"
-echo "wrote $(grep -c '"name"' "$out_res") benchmark results to $out_res"
-echo "wrote $(grep -c '"name"' "$out_rec") benchmark results to $out_rec"
-echo "wrote $(grep -c '"name"' "$out_net") benchmark results to $out_net"
+echo "wrote $(grep -c '"benchmark"' "$out_obs") benchmark results to $out_obs"
+echo "wrote $(grep -c '"benchmark"' "$out_res") benchmark results to $out_res"
+echo "wrote $(grep -c '"benchmark"' "$out_rec") benchmark results to $out_rec"
+echo "wrote $(grep -c '"benchmark"' "$out_net") benchmark results to $out_net"
