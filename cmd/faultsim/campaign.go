@@ -166,6 +166,14 @@ func (r *runRecorder) noteFailure(i int) {
 	r.mu.Unlock()
 }
 
+// noteWrong marks request i as served a wrong answer the redundancy
+// machinery accepted — the Byzantine failure a quorum exists to prevent.
+func (r *runRecorder) noteWrong(i int) {
+	r.mu.Lock()
+	r.row(i).Wrong = true
+	r.mu.Unlock()
+}
+
 // noteServed attributes the accepted answer of request i to a variant.
 func (r *runRecorder) noteServed(i int, name string) {
 	r.mu.Lock()

@@ -55,6 +55,20 @@
 //	faultsim -net
 //	faultsim -net-chaos -seed 7
 //	faultsim -net-chaos -net-spec campaign.json
+//
+// With -adversary the tool stands up a 2k+1 quorum fleet (-replicas n,
+// default 5) where the named number of replicas are Byzantine liars —
+// they execute correctly, ack every heartbeat, and return a plausible
+// wrong answer according to the chosen strategy (always, intermittent,
+// or collude: same inputs, same lie). A QuorumVariant majority-votes
+// every request across the whole fleet; the run reports availability,
+// wrong answers served (must be zero while liars <= k), outvoted
+// replies, and the failure detector's conviction TPR/FPR against the
+// seeded ground truth.
+//
+//	faultsim -adversary always:1
+//	faultsim -adversary collude:2 -replicas 5 -seed 7
+//	faultsim -adversary intermittent:2 -campaign-out runs/
 package main
 
 import (
@@ -104,6 +118,8 @@ func run(args []string) error {
 		netChaos    = fs.Bool("net-chaos", false, "run the distributed replica fleet under a seeded network-fault campaign")
 		netSpec     = fs.String("net-spec", "", "JSON network campaign spec file for -net-chaos (default: built-in schedule derived from -seed)")
 		netRequests = fs.Int("net-requests", 1500, "workload size for -net (ignored by -net-chaos, which runs the campaign's wall-clock schedule)")
+		adversary   = fs.String("adversary", "", "run the Byzantine quorum fleet under a lying-replica adversary: strategy[:count] with strategy always, intermittent, or collude (e.g. -adversary collude:2)")
+		replicas    = fs.Int("replicas", 5, "quorum fleet size for -adversary (needs 2k+1 replicas to tolerate k liars)")
 
 		campaignOut  = fs.String("campaign-out", "", "record this invocation as a run document in this experiment-store directory (inspect with cmd/campaign: list, show, diff, replay)")
 		campaignName = fs.String("campaign-name", "", "run name stored with -campaign-out")
@@ -166,6 +182,30 @@ func run(args []string) error {
 			return fmt.Errorf("-campaign-out/-config-out do not support -crash (its unit of work is a restart, not a request)")
 		}
 		return runCrash(*seed, *walDir, observer)
+	}
+
+	if *adversary != "" {
+		strategy, liarCount, err := redundancy.ParseAdversarySpec(*adversary)
+		if err != nil {
+			return err
+		}
+		if *replicas < 3 {
+			return fmt.Errorf("invalid -replicas %d: a quorum needs at least 3", *replicas)
+		}
+		if *netRequests < 1 {
+			return fmt.Errorf("invalid -net-requests %d", *netRequests)
+		}
+		quorumCfg := resolvedQuorumConfig(*seed, *replicas, *adversary, *netRequests)
+		if *configOut != "" {
+			if err := writeConfigOut(*configOut, quorumCfg); err != nil {
+				return err
+			}
+		}
+		var rec *runRecorder
+		if *campaignOut != "" {
+			rec = newRunRecorder(quorumCfg.Seed)
+		}
+		return runQuorum(*seed, *replicas, strategy, liarCount, *netRequests, observer, rec, set, quorumCfg)
 	}
 
 	if *netMode || *netChaos {

@@ -57,6 +57,22 @@ type (
 	// NetworkPhase is one wall-clock window of network weather within a
 	// NetworkCampaign.
 	NetworkPhase = faultmodel.NetworkPhase
+
+	// QuorumConfig tunes a QuorumVariant: per-endpoint call timeout, the
+	// fault-tolerance target k (construction enforces n >= 2k+1), the
+	// early-adjudication threshold MinReplies, the failure detector
+	// accusations feed into, and the observer.
+	QuorumConfig = dist.QuorumConfig
+	// AdversaryStrategy selects when a Byzantine adversary lies:
+	// always, intermittent, or collude.
+	AdversaryStrategy = faultmodel.AdversaryStrategy
+)
+
+// Byzantine adversary strategies.
+const (
+	AdversaryAlways       = faultmodel.AdversaryAlways
+	AdversaryIntermittent = faultmodel.AdversaryIntermittent
+	AdversaryCollude      = faultmodel.AdversaryCollude
 )
 
 // Failure-detector verdicts.
@@ -91,6 +107,9 @@ var (
 	ErrPartitioned = faultmodel.ErrPartitioned
 	// ErrConnReset reports an injected connection reset.
 	ErrConnReset = faultmodel.ErrConnReset
+	// ErrQuorumSize reports a QuorumVariant constructed with fewer than
+	// 2k+1 endpoints for its fault-tolerance target k.
+	ErrQuorumSize = dist.ErrQuorumSize
 )
 
 // RemoteVariant is a Variant executing on a remote replica: framed RPC
@@ -106,6 +125,36 @@ type ReplicaServer[I, O any] = dist.Server[I, O]
 // NewRemoteVariant builds a remote variant over one or more endpoints.
 func NewRemoteVariant[I, O any](name string, cfg RemoteConfig, endpoints ...ReplicaEndpoint) (*RemoteVariant[I, O], error) {
 	return dist.NewRemote[I, O](name, cfg, endpoints...)
+}
+
+// QuorumVariant is a Variant that fans every call out to all of its
+// replica endpoints and returns the vote-adjudicated verdict — the
+// paper's 2k+1 majority claim carried across the process boundary.
+// Outvoted replies become ReplicaOutvoted observation events and
+// failure-detector accusations, so a replica that answers promptly but
+// lies is still convicted.
+type QuorumVariant[I, O any] = dist.Quorum[I, O]
+
+// ByzantineAdversary wraps a correct Variant as a lying replica: it
+// executes the base correctly, then deterministically replaces the
+// answer with a plausible lie according to its strategy — always,
+// intermittent (per-replica input subset), or collude (shared input
+// subset and shared wrong answer, the correlated failure of Brilliant
+// et al. that defeats voting once the cartel exceeds k).
+type ByzantineAdversary[I, O any] = faultmodel.Adversary[I, O]
+
+// NewQuorumVariant builds a quorum variant over at least 2k+1
+// endpoints. adj decides the verdict (Majority for the paper's strict
+// reading); eq is the agreement relation used to attribute each reply
+// to the verdict.
+func NewQuorumVariant[I, O any](name string, cfg QuorumConfig, adj Adjudicator[O], eq Equal[O], endpoints ...ReplicaEndpoint) (*QuorumVariant[I, O], error) {
+	return dist.NewQuorum[I, O](name, cfg, adj, eq, endpoints...)
+}
+
+// ParseAdversarySpec parses the "strategy:count" form of the faultsim
+// -adversary flag (e.g. "collude:2"); a bare strategy means count 1.
+func ParseAdversarySpec(spec string) (AdversaryStrategy, int, error) {
+	return faultmodel.ParseAdversarySpec(spec)
 }
 
 // NewReplicaServer wraps a variant as a replica served from ln.

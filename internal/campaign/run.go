@@ -55,6 +55,11 @@ type Config struct {
 	Network *faultmodel.NetworkCampaign `json:"network,omitempty"`
 	// Requests is the net-mode workload size (clean network).
 	Requests int `json:"requests,omitempty"`
+	// Replicas is the quorum fleet size n (quorum mode).
+	Replicas int `json:"replicas,omitempty"`
+	// Adversary is the Byzantine strategy spec ("always:1", "collude:2")
+	// applied to the fleet's first replicas (quorum mode).
+	Adversary string `json:"adversary,omitempty"`
 	// Executor records the resilience/transport policies in force.
 	Executor ExecutorConfig `json:"executor,omitempty"`
 }
@@ -105,6 +110,12 @@ func (c Config) Key() string {
 	}
 	if c.Network != nil {
 		fmt.Fprintf(&b, " net=%s", c.Network.Name)
+	}
+	if c.Replicas > 0 {
+		fmt.Fprintf(&b, " replicas=%d", c.Replicas)
+	}
+	if c.Adversary != "" {
+		fmt.Fprintf(&b, " adversary=%s", c.Adversary)
 	}
 	fmt.Fprintf(&b, " trials=%d", c.Trials)
 	return b.String()
@@ -173,8 +184,13 @@ type Trial struct {
 	// fault model), empty for a clean trial.
 	Fault string `json:"fault,omitempty"`
 	// Detected reports whether the executor observed a variant failure
-	// on this trial — the "alarm" half of the TPR/FPR tally.
+	// on this trial — the "alarm" half of the TPR/FPR tally. In quorum
+	// mode it means the wrong answer was outvoted.
 	Detected bool `json:"detected,omitempty"`
+	// Wrong reports that the accepted answer itself was wrong — a lie
+	// that survived adjudication. The quorum invariant under test is
+	// that this never happens while liars ≤ k.
+	Wrong bool `json:"wrong,omitempty"`
 	// TraceID is the distributed-trace identity, when traced.
 	TraceID uint64 `json:"trace_id,omitempty"`
 }
@@ -210,6 +226,54 @@ type Deterministic struct {
 	DetectedTrials int     `json:"detected_trials"`
 	TPR            float64 `json:"tpr"`
 	FPR            float64 `json:"fpr"`
+	// WrongAnswers counts trials whose *accepted* answer was wrong —
+	// quorum mode's zero-tolerance metric.
+	WrongAnswers int `json:"wrong_answers,omitempty"`
+}
+
+// Conviction scores the failure detector's end-of-run verdicts against
+// the adversary ground truth, per replica: a liar is convicted when the
+// detector holds it suspect or dead. TPR is convicted liars over liars;
+// FPR is convicted honest replicas over honest replicas.
+type Conviction struct {
+	Liars           int     `json:"liars"`
+	ConvictedLiars  int     `json:"convicted_liars"`
+	Honest          int     `json:"honest"`
+	ConvictedHonest int     `json:"convicted_honest"`
+	TPR             float64 `json:"tpr"`
+	FPR             float64 `json:"fpr"`
+}
+
+// rates derives the TPR/FPR fields from the tallies.
+func (c *Conviction) rates() {
+	c.TPR, c.FPR = 0, 0
+	if c.Liars > 0 {
+		c.TPR = float64(c.ConvictedLiars) / float64(c.Liars)
+	}
+	if c.Honest > 0 {
+		c.FPR = float64(c.ConvictedHonest) / float64(c.Honest)
+	}
+}
+
+// NewConviction tallies detector verdicts (replica name → convicted)
+// against the ground-truth liar set.
+func NewConviction(liars map[string]bool, convicted map[string]bool) *Conviction {
+	c := &Conviction{}
+	for name, lies := range liars {
+		if lies {
+			c.Liars++
+			if convicted[name] {
+				c.ConvictedLiars++
+			}
+		} else {
+			c.Honest++
+			if convicted[name] {
+				c.ConvictedHonest++
+			}
+		}
+	}
+	c.rates()
+	return c
 }
 
 // Timing is the wall-clock half: real latencies, never replay-compared.
@@ -228,6 +292,10 @@ type Timing struct {
 type Aggregates struct {
 	Deterministic Deterministic `json:"deterministic"`
 	Timing        Timing        `json:"timing"`
+	// Conviction scores replica-level lying-replica detection, attached
+	// by quorum-mode recorders (it needs the detector's end state, which
+	// trial rows do not carry).
+	Conviction *Conviction `json:"conviction,omitempty"`
 	// Observed carries the obs Collector's final executor snapshots
 	// (hedge/breaker/shed counters, latency histograms) and SLO the
 	// SLOTracker's burn-rate state, when the run had them attached.
@@ -334,6 +402,9 @@ func computeAggregates(trials []Trial, elapsed time.Duration, observed []obs.Exe
 		if t.Detected {
 			d.DetectedTrials++
 		}
+		if t.Wrong {
+			d.WrongAnswers++
+		}
 		lat = append(lat, float64(t.Latency))
 		latSum += t.Latency
 		if t.Latency > latMax {
@@ -385,11 +456,25 @@ func NewSeedResult(seed uint64, trials []Trial, elapsed time.Duration, observed 
 func NewRecordedRun(name string, cfg Config, seeds ...SeedResult) *Run {
 	var all []Trial
 	var elapsed time.Duration
+	var conv *Conviction
 	for _, s := range seeds {
 		all = append(all, s.Trials...)
 		elapsed += s.Aggregates.Timing.Elapsed
+		if c := s.Aggregates.Conviction; c != nil {
+			if conv == nil {
+				conv = &Conviction{}
+			}
+			conv.Liars += c.Liars
+			conv.ConvictedLiars += c.ConvictedLiars
+			conv.Honest += c.Honest
+			conv.ConvictedHonest += c.ConvictedHonest
+		}
 	}
 	pooled := computeAggregates(all, elapsed, nil, nil)
+	if conv != nil {
+		conv.rates()
+		pooled.Conviction = conv
+	}
 	return &Run{
 		Name:   name,
 		Build:  CurrentBuild(),
@@ -433,6 +518,15 @@ func (a *Aggregates) Metrics() map[string]float64 {
 		m["hedges_per_trial"] = float64(hedges) / n
 		m["hedge_wins_per_trial"] = float64(hedgeWins) / n
 	}
+	// Byzantine metrics appear only on quorum-mode aggregates, so runs
+	// without a conviction block never gate on them.
+	if a.Conviction != nil || d.WrongAnswers > 0 {
+		m["wrong_answer_rate"] = float64(d.WrongAnswers) / n
+	}
+	if a.Conviction != nil {
+		m["conviction_tpr"] = a.Conviction.TPR
+		m["conviction_fpr"] = a.Conviction.FPR
+	}
 	return m
 }
 
@@ -460,6 +554,9 @@ var metricCatalog = []MetricDef{
 	{Name: "breaker_open_rate", HigherBetter: false, Directional: true, Epsilon: 0.002},
 	{Name: "tpr", HigherBetter: true, Directional: true, Epsilon: 0.002},
 	{Name: "fpr", HigherBetter: false, Directional: true, Epsilon: 0.002},
+	{Name: "wrong_answer_rate", HigherBetter: false, Directional: true, Epsilon: 0.0005},
+	{Name: "conviction_tpr", HigherBetter: true, Directional: true, Epsilon: 0.02},
+	{Name: "conviction_fpr", HigherBetter: false, Directional: true, Epsilon: 0.02},
 	{Name: "latency_p50_ms", HigherBetter: false, Directional: true, Timing: true, Epsilon: 0.05},
 	{Name: "latency_p90_ms", HigherBetter: false, Directional: true, Timing: true, Epsilon: 0.1},
 	{Name: "latency_p99_ms", HigherBetter: false, Directional: true, Timing: true, Epsilon: 0.25},

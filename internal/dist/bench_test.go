@@ -8,6 +8,7 @@ import (
 
 	"github.com/softwarefaults/redundancy/internal/core"
 	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/vote"
 )
 
 // BenchmarkRPCRoundTrip measures one framed call over the in-memory
@@ -69,6 +70,45 @@ func BenchmarkTracedRPCRoundTrip(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
 		if _, err := remote.Execute(ctx, i); err != nil {
+			b.Fatalf("Execute: %v", err)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	b.ReportMetric(float64(latencies[len(latencies)*99/100].Nanoseconds()), "p99_ns")
+}
+
+// BenchmarkQuorumRoundTrip measures one majority-voted call across a
+// 2k+1 fleet (n=3, k=1): three concurrent framed round trips, the
+// padded-slate adjudication on each settle, and straggler cancellation.
+// The delta against BenchmarkRPCRoundTrip prices the Byzantine-fault
+// defense: n wire hops and a vote instead of one trusting call.
+func BenchmarkQuorumRoundTrip(b *testing.B) {
+	network := NewPipeNetwork()
+	endpoints := make([]Endpoint, 0, 3)
+	for _, name := range []string{"r1", "r2", "r3"} {
+		ln, err := network.Listen(name)
+		if err != nil {
+			b.Fatalf("Listen(%q): %v", name, err)
+		}
+		srv := NewServer(double(), ln, ServerConfig{Name: name})
+		go srv.Serve(context.Background())
+		b.Cleanup(func() { srv.Close() })
+		endpoints = append(endpoints, Endpoint{Name: name, Dial: network.Dial(name)})
+	}
+	eq := func(a, c int) bool { return a == c }
+	quorum, err := NewQuorum[int, int]("bench-quorum", QuorumConfig{Faults: 1},
+		vote.Majority[int](eq), eq, endpoints...)
+	if err != nil {
+		b.Fatalf("NewQuorum: %v", err)
+	}
+	defer quorum.Close()
+	latencies := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := quorum.Execute(context.Background(), i); err != nil {
 			b.Fatalf("Execute: %v", err)
 		}
 		latencies = append(latencies, time.Since(start))

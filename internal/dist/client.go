@@ -4,10 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"net"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/softwarefaults/redundancy/internal/core"
@@ -78,12 +75,8 @@ const maxIdleConns = 2
 // slow attempt is raced against the next endpoint (first acceptable
 // result wins, losers are canceled).
 type Remote[I, O any] struct {
-	name      string
-	endpoints []Endpoint
-	cfg       RemoteConfig
-	pools     []*connPool
-	ids       atomic.Uint64
-	closed    atomic.Bool
+	tp  *transport
+	cfg RemoteConfig
 	// traced caches obs.WantsTrace(cfg.Observer): span derivation and
 	// lineage recording happen only when an attached observer records
 	// traces (the envelope still forwards an inherited trace regardless,
@@ -98,49 +91,30 @@ func NewRemote[I, O any](name string, cfg RemoteConfig, endpoints ...Endpoint) (
 	if len(endpoints) == 0 {
 		return nil, fmt.Errorf("dist: remote %q: %w", name, core.ErrNoVariants)
 	}
-	seen := make(map[string]bool, len(endpoints))
-	for _, ep := range endpoints {
-		if ep.Name == "" || ep.Dial == nil {
-			return nil, fmt.Errorf("dist: remote %q: endpoint needs a name and a dialer", name)
-		}
-		if seen[ep.Name] {
-			return nil, fmt.Errorf("dist: remote %q: duplicate endpoint %q", name, ep.Name)
-		}
-		seen[ep.Name] = true
+	tp, err := newTransport("remote", name, cfg.CallTimeout, endpoints)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.CallTimeout <= 0 {
-		cfg.CallTimeout = defaultCallTimeout
-	}
+	cfg.CallTimeout = tp.callTimeout
 	if cfg.MaxHedges <= 0 || cfg.MaxHedges > len(endpoints)-1 {
 		cfg.MaxHedges = len(endpoints) - 1
 	}
 	if cfg.Breakers != nil {
 		cfg.Breakers.Bind("remote:"+name, cfg.Observer)
 	}
-	eps := make([]Endpoint, len(endpoints))
-	copy(eps, endpoints)
-	pools := make([]*connPool, len(eps))
-	for i := range pools {
-		pools[i] = newConnPool()
-	}
 	return &Remote[I, O]{
-		name: name, endpoints: eps, cfg: cfg, pools: pools,
+		tp: tp, cfg: cfg,
 		traced: obs.WantsTrace(cfg.Observer),
 	}, nil
 }
 
 // Name implements core.Variant.
-func (r *Remote[I, O]) Name() string { return r.name }
+func (r *Remote[I, O]) Name() string { return r.tp.name }
 
 // Close releases every pooled and in-flight connection; blocked calls
 // unblock with a connection error. Idempotent.
 func (r *Remote[I, O]) Close() error {
-	if r.closed.Swap(true) {
-		return nil
-	}
-	for _, p := range r.pools {
-		p.close()
-	}
+	r.tp.close()
 	return nil
 }
 
@@ -168,18 +142,19 @@ type attemptResult[O any] struct {
 // request span joins the same causal trace.
 func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	var zero O
-	if r.closed.Load() {
+	if r.tp.closed.Load() {
 		return zero, ErrClientClosed
 	}
 	order := r.ordered()
 	o := r.cfg.Observer
+	name := r.tp.name
 	var (
 		req   uint64
 		start time.Time
 	)
 	if o != nil {
 		req = obs.NextRequestID()
-		o.RequestStart(r.name, req)
+		o.RequestStart(name, req)
 		start = time.Now()
 	}
 	// The trace context the attempts fan out under: a fresh child span
@@ -194,7 +169,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 		} else {
 			rtc = obs.NewTraceContext()
 		}
-		obs.EmitRequestTraced(o, r.name, req, rtc)
+		obs.EmitRequestTraced(o, name, req, rtc)
 	} else if hasParent {
 		rtc = parent
 	}
@@ -228,7 +203,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 		}
 		if o != nil {
 			lineage = append(lineage, obs.RPCAttempt{
-				Endpoint: r.endpoints[ep].Name, Span: atc, Attempt: attempt,
+				Endpoint: r.tp.endpoints[ep].Name, Span: atc, Attempt: attempt,
 			})
 			launches = append(launches, time.Now())
 			settled = append(settled, false)
@@ -238,7 +213,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			tok resilience.Token
 		)
 		if r.cfg.Breakers != nil {
-			brk = r.cfg.Breakers.For(r.endpoints[ep].Name)
+			brk = r.cfg.Breakers.For(r.tp.endpoints[ep].Name)
 			var err error
 			if tok, err = brk.Allow(); err != nil {
 				pending++
@@ -247,15 +222,15 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			}
 		}
 		if attempt > 1 && o != nil {
-			obs.EmitHedgeLaunched(o, r.name, r.endpoints[ep].Name, req, attempt)
+			obs.EmitHedgeLaunched(o, name, r.tp.endpoints[ep].Name, req, attempt)
 		}
 		pending++
 		go func() {
 			start := time.Now()
-			value, err := r.roundTrip(ctx, ep, atc, input)
+			value, err := roundTrip[I, O](ctx, r.tp, ep, atc, input)
 			latency := time.Since(start)
 			if o != nil {
-				obs.EmitRPCCompleted(o, r.name, r.endpoints[ep].Name, req, latency, err)
+				obs.EmitRPCCompleted(o, name, r.tp.endpoints[ep].Name, req, latency, err)
 			}
 			if brk != nil {
 				brk.Record(tok, err)
@@ -280,9 +255,9 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			} else if a.Err != nil {
 				failureDetected = true
 			}
-			obs.EmitRPCAttempted(o, r.name, req, *a)
+			obs.EmitRPCAttempted(o, name, req, *a)
 		}
-		o.Adjudicated(r.name, req, err == nil, failureDetected)
+		o.Adjudicated(name, req, err == nil, failureDetected)
 		outcome := obs.OutcomeSuccess
 		switch {
 		case err != nil:
@@ -290,7 +265,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 		case failureDetected:
 			outcome = obs.OutcomeMasked
 		}
-		o.RequestEnd(r.name, req, time.Since(start), outcome)
+		o.RequestEnd(name, req, time.Since(start), outcome)
 	}
 	launchNext()
 
@@ -329,7 +304,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			}
 			if res.err == nil {
 				if o != nil {
-					obs.EmitHedgeWon(o, r.name, r.endpoints[res.ep].Name, req, res.attempt)
+					obs.EmitHedgeWon(o, name, r.tp.endpoints[res.ep].Name, req, res.attempt)
 				}
 				finish(res.attempt, nil)
 				cancelAll()
@@ -346,7 +321,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			return zero, ctx.Err()
 		}
 	}
-	err := fmt.Errorf("remote %s: %w: %w", r.name, core.ErrAllVariantsFailed, lastErr)
+	err := fmt.Errorf("remote %s: %w: %w", name, core.ErrAllVariantsFailed, lastErr)
 	finish(0, err)
 	return zero, err
 }
@@ -355,7 +330,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 // alive before suspect before dead, stable within a class. Without a
 // detector the configured order stands.
 func (r *Remote[I, O]) ordered() []int {
-	order := make([]int, len(r.endpoints))
+	order := make([]int, len(r.tp.endpoints))
 	for i := range order {
 		order[i] = i
 	}
@@ -364,167 +339,10 @@ func (r *Remote[I, O]) ordered() []int {
 	}
 	rank := make([]obs.ReplicaState, len(order))
 	for i := range order {
-		rank[i] = r.cfg.Detector.State(r.endpoints[i].Name)
+		rank[i] = r.cfg.Detector.State(r.tp.endpoints[i].Name)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return rank[order[a]] < rank[order[b]]
 	})
 	return order
-}
-
-// roundTrip performs one RPC attempt against one endpoint: pooled
-// connection (or fresh dial), framed call out, framed reply in, all
-// under the per-endpoint deadline. The attempt span tc (zero when
-// untraced) rides the envelope so the replica continues the trace.
-// Context cancellation — the hedge winner canceling losers, or the
-// caller giving up — smashes the connection deadline so a blocked read
-// returns promptly.
-func (r *Remote[I, O]) roundTrip(ctx context.Context, ep int, tc obs.TraceContext, input I) (out O, err error) {
-	ctx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
-	defer cancel()
-	conn, err := r.pools[ep].get(ctx, r.endpoints[ep].Dial)
-	if err != nil {
-		return out, err
-	}
-	stop := context.AfterFunc(ctx, func() {
-		conn.SetDeadline(time.Unix(1, 0)) // the distant past: unblock I/O now
-	})
-	reusable := false
-	defer func() {
-		if !stop() {
-			// The canceler ran (or is running): the deadline may be
-			// smashed, so the connection cannot be trusted for reuse.
-			r.pools[ep].drop(conn)
-			return
-		}
-		if reusable {
-			conn.SetDeadline(time.Time{})
-			r.pools[ep].put(conn)
-		} else {
-			r.pools[ep].drop(conn)
-		}
-	}()
-	if d, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(d)
-	}
-	env := &envelope{ID: r.ids.Add(1), Kind: kindCall, TraceID: tc.TraceID, SpanID: tc.SpanID}
-	if env.Payload, err = encodeValue(input); err != nil {
-		return out, err
-	}
-	frame, err := encodeEnvelope(env)
-	if err != nil {
-		return out, err
-	}
-	if err := writeFrame(conn, frame); err != nil {
-		return out, fmt.Errorf("dist: %s: send: %w", r.endpoints[ep].Name, err)
-	}
-	payload, err := readFrame(conn)
-	if err != nil {
-		return out, fmt.Errorf("dist: %s: recv: %w", r.endpoints[ep].Name, err)
-	}
-	reply, err := decodeEnvelope(payload)
-	if err != nil {
-		return out, err
-	}
-	if reply.Kind != kindReply || reply.ID != env.ID {
-		return out, fmt.Errorf("%w: unexpected reply kind %d id %d", ErrBadFrame, reply.Kind, reply.ID)
-	}
-	if reply.Err != "" {
-		// An in-band failure: the variant on the far side failed, but the
-		// connection itself completed a clean round trip and stays usable.
-		reusable = true
-		return out, fmt.Errorf("dist: %s: %w: %s", r.endpoints[ep].Name, ErrRemote, reply.Err)
-	}
-	if err := decodeValue(reply.Payload, &out); err != nil {
-		return out, err
-	}
-	reusable = true
-	return out, nil
-}
-
-// connPool is one endpoint's connection pool. It tracks every live
-// connection it handed out — pooled and in-flight alike — so closing
-// the pool unblocks calls stuck on a partitioned network.
-type connPool struct {
-	mu     sync.Mutex
-	free   []net.Conn
-	all    map[net.Conn]struct{}
-	closed bool
-}
-
-func newConnPool() *connPool {
-	return &connPool{all: make(map[net.Conn]struct{})}
-}
-
-// get pops an idle connection or dials a fresh one.
-func (p *connPool) get(ctx context.Context, dial DialFunc) (net.Conn, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, ErrClientClosed
-	}
-	if n := len(p.free); n > 0 {
-		c := p.free[n-1]
-		p.free = p.free[:n-1]
-		p.mu.Unlock()
-		return c, nil
-	}
-	p.mu.Unlock()
-	c, err := dial(ctx)
-	if err != nil {
-		return nil, err
-	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		c.Close()
-		return nil, ErrClientClosed
-	}
-	p.all[c] = struct{}{}
-	p.mu.Unlock()
-	return c, nil
-}
-
-// put returns a healthy connection to the idle list (or closes it when
-// the pool is full or closed).
-func (p *connPool) put(c net.Conn) {
-	p.mu.Lock()
-	if p.closed || len(p.free) >= maxIdleConns {
-		delete(p.all, c)
-		p.mu.Unlock()
-		c.Close()
-		return
-	}
-	p.free = append(p.free, c)
-	p.mu.Unlock()
-}
-
-// drop discards a connection that must not be reused.
-func (p *connPool) drop(c net.Conn) {
-	p.mu.Lock()
-	delete(p.all, c)
-	for i, f := range p.free {
-		if f == c {
-			p.free = append(p.free[:i], p.free[i+1:]...)
-			break
-		}
-	}
-	p.mu.Unlock()
-	c.Close()
-}
-
-// close closes every tracked connection; subsequent gets fail fast.
-func (p *connPool) close() {
-	p.mu.Lock()
-	p.closed = true
-	conns := make([]net.Conn, 0, len(p.all))
-	for c := range p.all {
-		conns = append(conns, c)
-	}
-	p.all = make(map[net.Conn]struct{})
-	p.free = nil
-	p.mu.Unlock()
-	for _, c := range conns {
-		c.Close()
-	}
 }

@@ -27,6 +27,14 @@ type DetectorConfig struct {
 	// DeadAfter is how many consecutive missed heartbeats mark a replica
 	// dead. Default 5.
 	DeadAfter int
+	// AccuseSuspectAfter is how many vote-disagreement accusations
+	// (Accuse) mark a replica suspect. Unlike heartbeat misses,
+	// accusations never reset: answering the next ping does not undo a
+	// wrong answer. Default 3.
+	AccuseSuspectAfter int
+	// AccuseDeadAfter is how many accusations mark a replica dead.
+	// Default: AccuseSuspectAfter + 5.
+	AccuseDeadAfter int
 	// Observer receives ReplicaStateChanged events; nil observes nothing.
 	Observer obs.Observer
 }
@@ -47,16 +55,46 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 	if c.DeadAfter <= c.SuspectAfter {
 		c.DeadAfter = c.SuspectAfter + 3
 	}
+	if c.AccuseSuspectAfter <= 0 {
+		c.AccuseSuspectAfter = 3
+	}
+	if c.AccuseDeadAfter <= c.AccuseSuspectAfter {
+		c.AccuseDeadAfter = c.AccuseSuspectAfter + 5
+	}
 	return c
 }
 
 // member is the detector's state for one watched replica.
 type member struct {
-	name     string
-	dial     DialFunc
-	misses   int
-	state    obs.ReplicaState
-	lastSeen time.Time
+	name        string
+	dial        DialFunc
+	misses      int
+	accusations int
+	state       obs.ReplicaState
+	lastSeen    time.Time
+}
+
+// recompute derives the member's state from both evidence streams:
+// consecutive heartbeat misses (omission evidence, reset by any ack)
+// and accumulated accusations (value-fault evidence, never reset). The
+// worse of the two verdicts stands, so a replica that heartbeats
+// perfectly while lying still degrades, and a convicted liar cannot
+// talk its way back to alive by answering pings.
+func (m *member) recompute(cfg DetectorConfig) {
+	state := obs.ReplicaAlive
+	switch {
+	case m.misses >= cfg.DeadAfter:
+		state = obs.ReplicaDead
+	case m.misses >= cfg.SuspectAfter:
+		state = obs.ReplicaSuspect
+	}
+	switch {
+	case m.accusations >= cfg.AccuseDeadAfter:
+		state = obs.ReplicaDead
+	case m.accusations >= cfg.AccuseSuspectAfter && state == obs.ReplicaAlive:
+		state = obs.ReplicaSuspect
+	}
+	m.state = state
 }
 
 // Detector is a heartbeat-based failure detector: it pings every
@@ -68,11 +106,15 @@ type member struct {
 // Detector) and by pattern executors that take the detector as their
 // variant Ranker.
 //
-// Suspicion is reversible — one acknowledged heartbeat resets a member
-// to alive — which is what makes the detector safe on a merely slow
-// network (the Chandra-Toueg insight that failure detectors over
-// asynchronous networks are necessarily unreliable and must be allowed
-// to change their mind).
+// Suspicion from missed heartbeats is reversible — one acknowledged
+// heartbeat resets the miss counter — which is what makes the detector
+// safe on a merely slow network (the Chandra-Toueg insight that failure
+// detectors over asynchronous networks are necessarily unreliable and
+// must be allowed to change their mind). The detector also accepts a
+// second, non-reversible evidence stream: Accuse files vote-
+// disagreement evidence from Quorum clients, so a Byzantine replica
+// that acknowledges every ping while returning wrong answers still
+// transitions alive → suspect → dead.
 type Detector struct {
 	cfg DetectorConfig
 
@@ -178,6 +220,9 @@ func (d *Detector) Poll(ctx context.Context) {
 	d.mu.Unlock()
 	var wg sync.WaitGroup
 	for _, m := range members {
+		if m.dial == nil {
+			continue // registered by accusation only; nothing to ping
+		}
 		wg.Add(1)
 		go func(m *member) {
 			defer wg.Done()
@@ -240,20 +285,49 @@ func (d *Detector) record(name string, ok bool) {
 	from := m.state
 	if ok {
 		m.misses = 0
-		m.state = obs.ReplicaAlive
 		m.lastSeen = time.Now()
 	} else {
 		m.misses++
-		switch {
-		case m.misses >= d.cfg.DeadAfter:
-			m.state = obs.ReplicaDead
-		case m.misses >= d.cfg.SuspectAfter:
-			m.state = obs.ReplicaSuspect
-		}
 	}
+	m.recompute(d.cfg)
 	to := m.state
 	d.mu.Unlock()
 	if from != to && d.cfg.Observer != nil {
 		obs.EmitReplicaStateChanged(d.cfg.Observer, d.cfg.Name, name, from, to)
 	}
+}
+
+// Accuse files one piece of value-fault evidence against a replica —
+// typically a Quorum client reporting an outvoted reply. Accusations
+// accumulate for the lifetime of the membership entry and are
+// deliberately not decayed by healthy heartbeats: a Byzantine replica's
+// prompt pings are not exculpatory, and decay would let an intermittent
+// liar oscillate below the threshold forever. Accusing an unwatched
+// name registers it (with no dialer) so purely quorum-driven fleets
+// still converge on a verdict about their liars.
+func (d *Detector) Accuse(name string) {
+	d.mu.Lock()
+	m, found := d.members[name]
+	if !found {
+		m = &member{name: name, state: obs.ReplicaAlive}
+		d.members[name] = m
+	}
+	from := m.state
+	m.accusations++
+	m.recompute(d.cfg)
+	to := m.state
+	d.mu.Unlock()
+	if from != to && d.cfg.Observer != nil {
+		obs.EmitReplicaStateChanged(d.cfg.Observer, d.cfg.Name, name, from, to)
+	}
+}
+
+// Accusations returns how many times a replica has been accused.
+func (d *Detector) Accusations(name string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.members[name]; ok {
+		return m.accusations
+	}
+	return 0
 }

@@ -1,0 +1,225 @@
+package dist
+
+// The transport is the client-side wire machinery shared by the two
+// replica clients: Remote (hedged failover across the endpoints of one
+// logical service) and Quorum (fan-out to every endpoint with vote
+// adjudication). It owns the validated endpoint set, one connection
+// pool per endpoint, the RPC ID sequence, and the single-attempt round
+// trip; the clients own their fan-out policy on top.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+)
+
+// transport is the shared endpoint/pool state. It is deliberately
+// non-generic: Go has no generic methods, so the typed round trip is
+// the free function roundTrip below.
+type transport struct {
+	name        string
+	endpoints   []Endpoint
+	pools       []*connPool
+	callTimeout time.Duration
+	ids         atomic.Uint64
+	closed      atomic.Bool
+}
+
+// newTransport validates the endpoint set (every endpoint named and
+// dialable, names unique) and builds the per-endpoint pools. kind names
+// the client flavor ("remote", "quorum") in error messages.
+func newTransport(kind, name string, callTimeout time.Duration, endpoints []Endpoint) (*transport, error) {
+	seen := make(map[string]bool, len(endpoints))
+	for _, ep := range endpoints {
+		if ep.Name == "" || ep.Dial == nil {
+			return nil, fmt.Errorf("dist: %s %q: endpoint needs a name and a dialer", kind, name)
+		}
+		if seen[ep.Name] {
+			return nil, fmt.Errorf("dist: %s %q: duplicate endpoint %q", kind, name, ep.Name)
+		}
+		seen[ep.Name] = true
+	}
+	if callTimeout <= 0 {
+		callTimeout = defaultCallTimeout
+	}
+	eps := make([]Endpoint, len(endpoints))
+	copy(eps, endpoints)
+	pools := make([]*connPool, len(eps))
+	for i := range pools {
+		pools[i] = newConnPool()
+	}
+	return &transport{name: name, endpoints: eps, pools: pools, callTimeout: callTimeout}, nil
+}
+
+// close releases every pooled and in-flight connection; blocked calls
+// unblock with a connection error. Idempotent.
+func (t *transport) close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for _, p := range t.pools {
+		p.close()
+	}
+}
+
+// roundTrip performs one RPC attempt against one endpoint: pooled
+// connection (or fresh dial), framed call out, framed reply in, all
+// under the per-endpoint deadline. The attempt span tc (zero when
+// untraced) rides the envelope so the replica continues the trace.
+// Context cancellation — a winner canceling losers or stragglers, or
+// the caller giving up — smashes the connection deadline so a blocked
+// read returns promptly.
+func roundTrip[I, O any](ctx context.Context, t *transport, ep int, tc obs.TraceContext, input I) (out O, err error) {
+	ctx, cancel := context.WithTimeout(ctx, t.callTimeout)
+	defer cancel()
+	conn, err := t.pools[ep].get(ctx, t.endpoints[ep].Dial)
+	if err != nil {
+		return out, err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0)) // the distant past: unblock I/O now
+	})
+	reusable := false
+	defer func() {
+		if !stop() {
+			// The canceler ran (or is running): the deadline may be
+			// smashed, so the connection cannot be trusted for reuse.
+			t.pools[ep].drop(conn)
+			return
+		}
+		if reusable {
+			conn.SetDeadline(time.Time{})
+			t.pools[ep].put(conn)
+		} else {
+			t.pools[ep].drop(conn)
+		}
+	}()
+	if d, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(d)
+	}
+	env := &envelope{ID: t.ids.Add(1), Kind: kindCall, TraceID: tc.TraceID, SpanID: tc.SpanID}
+	if env.Payload, err = encodeValue(input); err != nil {
+		return out, err
+	}
+	frame, err := encodeEnvelope(env)
+	if err != nil {
+		return out, err
+	}
+	if err := writeFrame(conn, frame); err != nil {
+		return out, fmt.Errorf("dist: %s: send: %w", t.endpoints[ep].Name, err)
+	}
+	payload, err := readFrame(conn)
+	if err != nil {
+		return out, fmt.Errorf("dist: %s: recv: %w", t.endpoints[ep].Name, err)
+	}
+	reply, err := decodeEnvelope(payload)
+	if err != nil {
+		return out, err
+	}
+	if reply.Kind != kindReply || reply.ID != env.ID {
+		return out, fmt.Errorf("%w: unexpected reply kind %d id %d", ErrBadFrame, reply.Kind, reply.ID)
+	}
+	if reply.Err != "" {
+		// An in-band failure: the variant on the far side failed, but the
+		// connection itself completed a clean round trip and stays usable.
+		reusable = true
+		return out, fmt.Errorf("dist: %s: %w: %s", t.endpoints[ep].Name, ErrRemote, reply.Err)
+	}
+	if err := decodeValue(reply.Payload, &out); err != nil {
+		return out, err
+	}
+	reusable = true
+	return out, nil
+}
+
+// connPool is one endpoint's connection pool. It tracks every live
+// connection it handed out — pooled and in-flight alike — so closing
+// the pool unblocks calls stuck on a partitioned network.
+type connPool struct {
+	mu     sync.Mutex
+	free   []net.Conn
+	all    map[net.Conn]struct{}
+	closed bool
+}
+
+func newConnPool() *connPool {
+	return &connPool{all: make(map[net.Conn]struct{})}
+}
+
+// get pops an idle connection or dials a fresh one.
+func (p *connPool) get(ctx context.Context, dial DialFunc) (net.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return nil, ErrClientClosed
+	}
+	p.all[c] = struct{}{}
+	p.mu.Unlock()
+	return c, nil
+}
+
+// put returns a healthy connection to the idle list (or closes it when
+// the pool is full or closed).
+func (p *connPool) put(c net.Conn) {
+	p.mu.Lock()
+	if p.closed || len(p.free) >= maxIdleConns {
+		delete(p.all, c)
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+// drop discards a connection that must not be reused.
+func (p *connPool) drop(c net.Conn) {
+	p.mu.Lock()
+	delete(p.all, c)
+	for i, f := range p.free {
+		if f == c {
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// close closes every tracked connection; subsequent gets fail fast.
+func (p *connPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.all))
+	for c := range p.all {
+		conns = append(conns, c)
+	}
+	p.all = make(map[net.Conn]struct{})
+	p.free = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

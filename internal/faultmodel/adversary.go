@@ -1,0 +1,161 @@
+package faultmodel
+
+// Adversary models a Byzantine replica: a variant that sometimes
+// returns a plausible-but-wrong answer (FailLie) instead of failing
+// detectably. The strategies come from the fault-injection literature
+// the quorum layer is measured against: an always-lying replica, an
+// intermittent liar that lies on a deterministic fraction of inputs,
+// and colluding replicas that lie on the same inputs with the *same*
+// wrong answer — the correlated failures of Brilliant et al. that
+// break the independence assumption behind majority voting. All
+// decisions are seeded hash rolls over the input key, so a campaign
+// replays the exact same lies and the driver can compute ground truth
+// (which requests were attacked) without trusting the replicas.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/softwarefaults/redundancy/internal/core"
+)
+
+// AdversaryStrategy selects when an Adversary lies.
+type AdversaryStrategy string
+
+const (
+	// AdversaryAlways lies on every request.
+	AdversaryAlways AdversaryStrategy = "always"
+	// AdversaryIntermittent lies on a deterministic LieProb fraction of
+	// inputs, chosen per replica (distinct intermittent liars attack
+	// different inputs, so they do not accidentally collude).
+	AdversaryIntermittent AdversaryStrategy = "intermittent"
+	// AdversaryCollude lies on a deterministic LieProb fraction of
+	// inputs chosen from the *shared* seed only — every colluding
+	// replica attacks the same inputs with the same wrong answer, the
+	// correlated-failure case that defeats n=2k+1 sizing as soon as the
+	// cartel exceeds k.
+	AdversaryCollude AdversaryStrategy = "collude"
+)
+
+// ParseAdversaryStrategy validates a strategy name.
+func ParseAdversaryStrategy(s string) (AdversaryStrategy, error) {
+	switch AdversaryStrategy(s) {
+	case AdversaryAlways, AdversaryIntermittent, AdversaryCollude:
+		return AdversaryStrategy(s), nil
+	default:
+		return "", fmt.Errorf("faultmodel: unknown adversary strategy %q (want always, intermittent, or collude)", s)
+	}
+}
+
+// ParseAdversarySpec parses the "strategy:count" form of the faultsim
+// -adversary flag (e.g. "collude:2"); a bare "strategy" means count 1.
+func ParseAdversarySpec(spec string) (AdversaryStrategy, int, error) {
+	name, countStr, found := strings.Cut(spec, ":")
+	strategy, err := ParseAdversaryStrategy(name)
+	if err != nil {
+		return "", 0, err
+	}
+	count := 1
+	if found {
+		count, err = strconv.Atoi(countStr)
+		if err != nil || count < 1 {
+			return "", 0, fmt.Errorf("faultmodel: bad adversary count %q in %q", countStr, spec)
+		}
+	}
+	return strategy, count, nil
+}
+
+// defaultLieProb backstops intermittent/colluding adversaries whose
+// LieProb is left zero.
+const defaultLieProb = 0.3
+
+// Adversary wraps a correct variant as a lying replica. Unlike
+// Injector — whose faults activate on the *victim's* state (input
+// equivalence class, environment, age) — an adversary is strategic: it
+// executes the base correctly every time and then decides, from its
+// strategy and seeds, whether to replace the correct answer with a lie.
+type Adversary[I, O any] struct {
+	// Base is the correct implementation.
+	Base core.Variant[I, O]
+	// Strategy selects when to lie.
+	Strategy AdversaryStrategy
+	// Seed is the campaign seed shared by the whole fleet. Colluding
+	// adversaries roll from it alone, so every colluder attacks the
+	// same inputs.
+	Seed uint64
+	// Replica distinguishes intermittent liars: their per-input rolls
+	// mix in HashString(Replica), so two intermittent adversaries lie
+	// on different input subsets. Ignored by collude (by design) and
+	// always (which needs no roll). Defaults to Base.Name().
+	Replica string
+	// LieProb is the fraction of inputs attacked by intermittent and
+	// colluding strategies (always lies regardless). Default 0.3.
+	LieProb float64
+	// Lie produces the wrong answer. It must be deterministic in its
+	// arguments: colluders rely on that to agree with each other, and
+	// campaigns rely on it for replay. If nil, the zero value of O is
+	// the lie.
+	Lie func(input I, correct O) O
+	// Key derives the deterministic input key; required.
+	Key func(I) uint64
+}
+
+var _ core.Variant[int, int] = (*Adversary[int, int])(nil)
+
+// Name implements core.Variant.
+func (a *Adversary[I, O]) Name() string { return a.Base.Name() }
+
+// replica returns the per-replica salt for intermittent rolls.
+func (a *Adversary[I, O]) replica() string {
+	if a.Replica != "" {
+		return a.Replica
+	}
+	return a.Base.Name()
+}
+
+// lieProb returns the configured or default lie probability.
+func (a *Adversary[I, O]) lieProb() float64 {
+	if a.LieProb > 0 {
+		return a.LieProb
+	}
+	return defaultLieProb
+}
+
+// Lies reports whether this adversary attacks the given input — the
+// ground truth a campaign driver records per request. Deterministic:
+// the same (strategy, seed, replica, input) always decides the same
+// way, at planning time or at execution time.
+func (a *Adversary[I, O]) Lies(input I) bool {
+	switch a.Strategy {
+	case AdversaryAlways:
+		return true
+	case AdversaryIntermittent:
+		roll := mix(a.Seed ^ a.Key(input) ^ HashString(a.replica()))
+		return float64(roll>>11)/(1<<53) < a.lieProb()
+	case AdversaryCollude:
+		// No replica salt: every colluder sharing the seed attacks the
+		// same inputs.
+		roll := mix(a.Seed ^ a.Key(input))
+		return float64(roll>>11)/(1<<53) < a.lieProb()
+	default:
+		return false
+	}
+}
+
+// Execute implements core.Variant: the base runs correctly, then the
+// answer is replaced with the lie on attacked inputs. Base failures
+// pass through unmodified — an adversary's power is the wrong answer,
+// not extra crashes.
+func (a *Adversary[I, O]) Execute(ctx context.Context, input I) (O, error) {
+	correct, err := a.Base.Execute(ctx, input)
+	if err != nil || !a.Lies(input) {
+		return correct, err
+	}
+	if a.Lie == nil {
+		var zero O
+		return zero, nil
+	}
+	return a.Lie(input, correct), nil
+}

@@ -51,6 +51,15 @@ const (
 	// (models whole-process death as seen by a caller: the request is
 	// lost and the component needs a restart, not a retry).
 	FailCrash
+	// FailLie makes the variant return a plausible-but-wrong answer — the
+	// Byzantine failure mode of a *remote replica*, distinct from
+	// FailWrongValue's local silent corruption. A lying replica completes
+	// the protocol flawlessly (no error, no delay, heartbeats keep
+	// acking); only comparing its answer against other replicas' answers
+	// can expose it, which is exactly what the distributed quorum voter
+	// exists to do. Adversary (adversary.go) is the strategy-driven
+	// injector for this mode.
+	FailLie
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +75,8 @@ func (m FailureMode) String() string {
 		return "panic"
 	case FailCrash:
 		return "crash"
+	case FailLie:
+		return "lie"
 	default:
 		return "unknown"
 	}
@@ -129,7 +140,7 @@ func (j *Injector[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			continue
 		}
 		switch j.Mode {
-		case FailWrongValue:
+		case FailWrongValue, FailLie:
 			correct, err := j.Base.Execute(ctx, input)
 			if err != nil {
 				return zero, err

@@ -58,6 +58,11 @@ type ExecutorStats struct {
 	suspects  atomic.Int64 // detector transitions into suspect
 	deaths    atomic.Int64 // detector transitions into dead
 
+	// Byzantine-voting counters (QuorumObserver events).
+	quorums           atomic.Int64 // requests decided by a quorum verdict
+	voteDisagreements atomic.Int64 // requests whose successful replies disagreed
+	outvoted          atomic.Int64 // successful replies the quorum rejected
+
 	latency Histogram // request latency
 	mttr    Histogram // supervised-restart recovery time
 
@@ -228,6 +233,9 @@ type ExecutorSnapshot struct {
 	HedgeWins        int64             `json:"hedge_wins,omitempty"`
 	ReplicaSuspects  int64             `json:"replica_suspects,omitempty"`
 	ReplicaDeaths    int64             `json:"replica_deaths,omitempty"`
+	QuorumsReached   int64             `json:"quorums_reached,omitempty"`
+	VoteDisagreement int64             `json:"vote_disagreements,omitempty"`
+	ReplicasOutvoted int64             `json:"replicas_outvoted,omitempty"`
 	Latency          HistogramSnapshot `json:"latency"`
 	MTTR             HistogramSnapshot `json:"mttr,omitempty"`
 	Variants         []VariantSnapshot `json:"variants,omitempty"`
@@ -264,6 +272,9 @@ func (c *Collector) Snapshot() []ExecutorSnapshot {
 			HedgeWins:        e.hedgeWins.Load(),
 			ReplicaSuspects:  e.suspects.Load(),
 			ReplicaDeaths:    e.deaths.Load(),
+			QuorumsReached:   e.quorums.Load(),
+			VoteDisagreement: e.voteDisagreements.Load(),
+			ReplicasOutvoted: e.outvoted.Load(),
 			Latency:          e.latency.Snapshot(),
 			MTTR:             e.mttr.Snapshot(),
 		}

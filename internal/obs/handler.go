@@ -142,6 +142,12 @@ func WritePrometheus(w io.Writer, c *Collector) {
 		func(e ExecutorSnapshot) int64 { return e.ReplicaSuspects })
 	counter("redundancy_replica_deaths_total", "Failure-detector transitions into the dead state.",
 		func(e ExecutorSnapshot) int64 { return e.ReplicaDeaths })
+	counter("redundancy_quorums_reached_total", "Requests decided by a distributed quorum verdict.",
+		func(e ExecutorSnapshot) int64 { return e.QuorumsReached })
+	counter("redundancy_vote_disagreements_total", "Quorum requests whose successful replies disagreed.",
+		func(e ExecutorSnapshot) int64 { return e.VoteDisagreement })
+	counter("redundancy_replicas_outvoted_total", "Successful replica replies rejected by a quorum verdict.",
+		func(e ExecutorSnapshot) int64 { return e.ReplicasOutvoted })
 
 	fmt.Fprint(w, "# HELP redundancy_inflight_variants Variant executions currently running.\n")
 	fmt.Fprint(w, "# TYPE redundancy_inflight_variants gauge\n")

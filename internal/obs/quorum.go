@@ -1,0 +1,149 @@
+package obs
+
+// Quorum events extend the observation layer with the Byzantine-voting
+// vocabulary (internal/dist's Quorum client): a quorum of remote
+// replicas agreeing on an answer, a fleet whose successful replies
+// disagreed, and the individual replicas whose answers were outvoted.
+//
+// Like the distribution events (dist.go), the quorum events are an
+// *optional* extension of Observer so existing observers keep compiling
+// unchanged: an observer that wants them additionally implements
+// QuorumObserver, and emitters route events through the Emit* helpers,
+// which type-assert and fan out through combined observers. The
+// built-in Collector implements the extension: quorum verdicts,
+// disagreements, and outvoted replies are counted per client, and each
+// outvoted reply is additionally counted as a failure of its endpoint
+// so per-endpoint dashboards show *which* replica keeps losing votes.
+//
+// The outvoted counter is the value-fault analogue of the detector's
+// suspect counter: a replica that answers promptly but wrongly never
+// misses a heartbeat, so only vote disagreement produces evidence
+// against it (the paper's malicious-fault column of Table 1).
+
+// QuorumObserver is the optional Observer extension receiving
+// distributed-voting events. Observers implement it in addition to
+// Observer; emitters must route events through the Emit* helpers so
+// combined observers (Combine) fan the events out to every member that
+// implements the extension.
+type QuorumObserver interface {
+	// QuorumReached reports that the client's adjudicator reached a
+	// verdict: votes replies agreed on the winning answer, out of
+	// replies settled answers from a fleet of replicas endpoints.
+	// A verdict reached before every replica answered (replies <
+	// replicas) means the stragglers were canceled.
+	QuorumReached(client string, req uint64, votes, replies, replicas int)
+	// VoteDisagreement reports that the settled successful replies of
+	// one request were not unanimous: answers distinct answers were
+	// observed (answers >= 2). Emitted at most once per request,
+	// whether or not a quorum was still reached.
+	VoteDisagreement(client string, req uint64, answers int)
+	// ReplicaOutvoted reports that endpoint returned a successful but
+	// losing answer on a request the quorum decided differently — the
+	// per-replica evidence a lying replica accumulates.
+	ReplicaOutvoted(client, endpoint string, req uint64)
+}
+
+// EmitQuorumReached delivers a quorum verdict event to o if it (or any
+// member of a combined observer) implements QuorumObserver. Nil
+// observers are ignored.
+func EmitQuorumReached(o Observer, client string, req uint64, votes, replies, replicas int) {
+	if q, ok := o.(QuorumObserver); ok {
+		q.QuorumReached(client, req, votes, replies, replicas)
+	}
+}
+
+// EmitVoteDisagreement delivers a disagreement event to o if it
+// implements QuorumObserver. Nil observers are ignored.
+func EmitVoteDisagreement(o Observer, client string, req uint64, answers int) {
+	if q, ok := o.(QuorumObserver); ok {
+		q.VoteDisagreement(client, req, answers)
+	}
+}
+
+// EmitReplicaOutvoted delivers an outvoted-replica event to o if it
+// implements QuorumObserver. Nil observers are ignored.
+func EmitReplicaOutvoted(o Observer, client, endpoint string, req uint64) {
+	if q, ok := o.(QuorumObserver); ok {
+		q.ReplicaOutvoted(client, endpoint, req)
+	}
+}
+
+// QuorumReached implements QuorumObserver for Nop.
+func (Nop) QuorumReached(string, uint64, int, int, int) {}
+
+// VoteDisagreement implements QuorumObserver for Nop.
+func (Nop) VoteDisagreement(string, uint64, int) {}
+
+// ReplicaOutvoted implements QuorumObserver for Nop.
+func (Nop) ReplicaOutvoted(string, string, uint64) {}
+
+var _ QuorumObserver = Nop{}
+
+// QuorumReached implements QuorumObserver: the event reaches every
+// member that implements the extension.
+func (m multi) QuorumReached(client string, req uint64, votes, replies, replicas int) {
+	for _, o := range m {
+		if q, ok := o.(QuorumObserver); ok {
+			q.QuorumReached(client, req, votes, replies, replicas)
+		}
+	}
+}
+
+// VoteDisagreement implements QuorumObserver.
+func (m multi) VoteDisagreement(client string, req uint64, answers int) {
+	for _, o := range m {
+		if q, ok := o.(QuorumObserver); ok {
+			q.VoteDisagreement(client, req, answers)
+		}
+	}
+}
+
+// ReplicaOutvoted implements QuorumObserver.
+func (m multi) ReplicaOutvoted(client, endpoint string, req uint64) {
+	for _, o := range m {
+		if q, ok := o.(QuorumObserver); ok {
+			q.ReplicaOutvoted(client, endpoint, req)
+		}
+	}
+}
+
+var _ QuorumObserver = multi(nil)
+
+// QuorumReached implements QuorumObserver for the Collector.
+func (c *Collector) QuorumReached(client string, _ uint64, _, _, _ int) {
+	c.exec(client).quorums.Add(1)
+}
+
+// VoteDisagreement implements QuorumObserver.
+func (c *Collector) VoteDisagreement(client string, _ uint64, _ int) {
+	c.exec(client).voteDisagreements.Add(1)
+}
+
+// ReplicaOutvoted implements QuorumObserver: besides the per-client
+// counter, the losing reply counts as a failure of its endpoint — a
+// vote loss is a value fault of that replica, even though the RPC
+// round trip itself succeeded.
+func (c *Collector) ReplicaOutvoted(client, endpoint string, _ uint64) {
+	e := c.exec(client)
+	e.outvoted.Add(1)
+	e.variant(endpoint).failures.Add(1)
+}
+
+var _ QuorumObserver = (*Collector)(nil)
+
+// QuorumReached implements QuorumObserver for the TraceRecorder. The
+// verdict is already visible as the request outcome; the per-request
+// events worth keeping in the ring are the disagreements.
+func (t *TraceRecorder) QuorumReached(string, uint64, int, int, int) {}
+
+// VoteDisagreement implements QuorumObserver.
+func (t *TraceRecorder) VoteDisagreement(_ string, req uint64, _ int) {
+	t.event(req, "vote-disagreement", "")
+}
+
+// ReplicaOutvoted implements QuorumObserver.
+func (t *TraceRecorder) ReplicaOutvoted(_, endpoint string, req uint64) {
+	t.event(req, "outvoted", endpoint)
+}
+
+var _ QuorumObserver = (*TraceRecorder)(nil)

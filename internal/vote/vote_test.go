@@ -223,6 +223,43 @@ func TestWeightedFailedVariantWeighsAgainst(t *testing.T) {
 	}
 }
 
+// A dead tie at the default weight: two classes of two unknown variants
+// each hold exactly total/2, and the strict > total/2 rule must refuse
+// both rather than pick one arbitrarily — the same reason Majority
+// counts against all variants, applied to weighted quorums.
+func TestWeightedTieAtDefaultWeight(t *testing.T) {
+	adj := Weighted(nil, 1.0, core.EqualOf[int]())
+	_, err := adj.Adjudicate([]core.Result[int]{
+		ok("a", 7), ok("b", 7), ok("c", 9), ok("d", 9),
+	})
+	if !errors.Is(err, core.ErrNoConsensus) {
+		t.Errorf("tied weighted vote err = %v, want ErrNoConsensus", err)
+	}
+	// Registered weights can break the same tie.
+	adj = Weighted(map[string]float64{"a": 2.0}, 1.0, core.EqualOf[int]())
+	got, err := adj.Adjudicate([]core.Result[int]{
+		ok("a", 7), ok("b", 7), ok("c", 9), ok("d", 9),
+	})
+	if err != nil || got != 7 {
+		t.Errorf("= (%d, %v), want weighted winner 7", got, err)
+	}
+}
+
+// All variants abstained (failed): every link in the chain errs, and the
+// caller must see the *last* link's error — for a strict-then-lenient
+// cascade that is the lenient adjudicator's diagnosis, the one that
+// actually explains why even the fallback refused.
+func TestChainedAllAbstain(t *testing.T) {
+	adj := Chained(Majority(core.EqualOf[int]()), Plurality(core.EqualOf[int]()))
+	_, err := adj.Adjudicate([]core.Result[int]{failed("a"), failed("b"), failed("c")})
+	if !errors.Is(err, core.ErrAllVariantsFailed) {
+		t.Errorf("all-abstain err = %v, want Plurality's ErrAllVariantsFailed", err)
+	}
+	if errors.Is(err, core.ErrNoConsensus) {
+		t.Errorf("all-abstain err = %v leaked the first link's ErrNoConsensus", err)
+	}
+}
+
 func TestFirstSuccess(t *testing.T) {
 	adj := FirstSuccess[int]()
 	got, err := adj.Adjudicate([]core.Result[int]{failed("a"), ok("b", 8), ok("c", 9)})
