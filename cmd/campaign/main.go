@@ -338,13 +338,14 @@ func cmdDiff(args []string, out io.Writer) error {
 		storeDir   = fs.String("store", defaultStore, "run store directory")
 		sigma      = fs.Float64("sigma", 3, "noise bound: baseline mean ± sigma·stddev across seeds")
 		gateTiming = fs.Bool("gate-timing", false, "let wall-clock latency metrics count as regressions")
+		metrics    = fs.String("metrics", "", "comma-separated metric allowlist (empty = full catalog)")
 		jsonOut    = fs.Bool("json", false, "print the diff report as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return errors.New("usage: campaign diff [-store DIR] [-sigma S] [-gate-timing] <base> <candidate>")
+		return errors.New("usage: campaign diff [-store DIR] [-sigma S] [-gate-timing] [-metrics a,b] <base> <candidate>")
 	}
 	base, err := loadRunArg(*storeDir, fs.Arg(0))
 	if err != nil {
@@ -354,7 +355,15 @@ func cmdDiff(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("candidate: %w", err)
 	}
-	rep := campaign.Diff(base, cand, campaign.DiffOptions{Sigma: *sigma, GateTiming: *gateTiming})
+	opts := campaign.DiffOptions{Sigma: *sigma, GateTiming: *gateTiming}
+	if *metrics != "" {
+		for _, name := range strings.Split(*metrics, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Metrics = append(opts.Metrics, name)
+			}
+		}
+	}
+	rep := campaign.Diff(base, cand, opts)
 	if *jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", " ")

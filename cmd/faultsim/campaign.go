@@ -122,6 +122,7 @@ type runRecorder struct {
 	seed    uint64
 	rows    map[int]*campaign.Trial
 	current int // request index for paths without a context index
+	actions map[string]int
 	started time.Time
 }
 
@@ -211,6 +212,35 @@ func (r *runRecorder) noteFault(i int, label string) {
 	r.mu.Unlock()
 }
 
+// noteActionHere books a controller action against the request in
+// flight and against the per-kind run totals. Controller actions are
+// wall-clock-scheduled, so like latency they annotate rather than
+// define a trial's deterministic identity.
+func (r *runRecorder) noteActionHere(kind string) {
+	r.mu.Lock()
+	r.row(r.current).Actions++
+	if r.actions == nil {
+		r.actions = map[string]int{}
+	}
+	r.actions[kind]++
+	r.mu.Unlock()
+}
+
+// actionTotals returns the per-kind controller-action totals, nil when
+// no controller acted (so static runs carry no actions block at all).
+func (r *runRecorder) actionTotals() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.actions) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(r.actions))
+	for k, v := range r.actions {
+		out[k] = v
+	}
+	return out
+}
+
 // finish completes request i's row with its outcome and latency.
 func (r *runRecorder) finish(i int, err error, latency time.Duration) {
 	outcome := campaign.OutcomeOK
@@ -276,6 +306,10 @@ func (v spyVariant) Execute(ctx context.Context, x int) (int, error) {
 func saveRecordedRun(set recorderSettings, cfg campaign.Config, rec *runRecorder, observed []redundancy.ExecutorObservation, slo []redundancy.SLOStatus) error {
 	trials := rec.trials()
 	seed := campaign.NewSeedResult(cfg.Seed, trials, time.Since(rec.started), observed, slo)
+	// Controller runs carry their per-kind action totals; actionTotals
+	// is nil for every mode without a live controller, so the metrics —
+	// and the diff gates reading them — only exist where they apply.
+	seed.Aggregates.Actions = rec.actionTotals()
 	name := set.name
 	if name == "" {
 		name = "faultsim-" + cfg.Mode

@@ -69,6 +69,18 @@
 //	faultsim -adversary always:1
 //	faultsim -adversary collude:2 -replicas 5 -seed 7
 //	faultsim -adversary intermittent:2 -campaign-out runs/
+//
+// With -control the tool runs the autonomic control-plane experiment
+// (E28): a three-replica fleet that accumulates an aging replica, an
+// outright process death, and a deterministic bohrbug over the course
+// of the workload. -control on closes the loop — the controller
+// replaces the dead replica, rejuvenates the aging one, substitutes the
+// buggy one, and retunes the tail knobs; -control off runs the
+// identical fleet with the controller frozen behind its kill switch, so
+// the pair demonstrates exactly what the loop buys.
+//
+//	faultsim -control on
+//	faultsim -control off -seed 7 -campaign-out runs/
 package main
 
 import (
@@ -120,6 +132,7 @@ func run(args []string) error {
 		netRequests = fs.Int("net-requests", 1500, "workload size for -net (ignored by -net-chaos, which runs the campaign's wall-clock schedule)")
 		adversary   = fs.String("adversary", "", "run the Byzantine quorum fleet under a lying-replica adversary: strategy[:count] with strategy always, intermittent, or collude (e.g. -adversary collude:2)")
 		replicas    = fs.Int("replicas", 5, "quorum fleet size for -adversary (needs 2k+1 replicas to tolerate k liars)")
+		control     = fs.String("control", "", "run the autonomic control-plane fleet (E28): 'on' closes the loop, 'off' runs the same fleet with the controller frozen by the kill switch")
 
 		campaignOut  = fs.String("campaign-out", "", "record this invocation as a run document in this experiment-store directory (inspect with cmd/campaign: list, show, diff, replay)")
 		campaignName = fs.String("campaign-name", "", "run name stored with -campaign-out")
@@ -206,6 +219,26 @@ func run(args []string) error {
 			rec = newRunRecorder(quorumCfg.Seed)
 		}
 		return runQuorum(*seed, *replicas, strategy, liarCount, *netRequests, observer, rec, set, quorumCfg)
+	}
+
+	if *control != "" {
+		if *control != "on" && *control != "off" {
+			return fmt.Errorf("invalid -control %q: want on or off", *control)
+		}
+		if *netRequests < 1 {
+			return fmt.Errorf("invalid -net-requests %d", *netRequests)
+		}
+		controlCfg := resolvedControlConfig(*seed, *netRequests, *control == "on")
+		if *configOut != "" {
+			if err := writeConfigOut(*configOut, controlCfg); err != nil {
+				return err
+			}
+		}
+		var rec *runRecorder
+		if *campaignOut != "" {
+			rec = newRunRecorder(controlCfg.Seed)
+		}
+		return runControl(*seed, *netRequests, *control == "on", observer, rec, set, controlCfg)
 	}
 
 	if *netMode || *netChaos {

@@ -238,6 +238,15 @@ func runQuorum(seed uint64, replicas int, strategy redundancy.AdversaryStrategy,
 		parts = append(parts, fmt.Sprintf("%s%s=%s", name, mark, states[name]))
 	}
 	tbl.AddRow("final membership (* = liar)", strings.Join(parts, " "))
+	// The detector's evidence ledger per replica: accusations are the
+	// quorum's outvote reports (the track that convicts a liar, which
+	// acks every heartbeat), misses are heartbeat silence.
+	evidence := make([]string, 0, len(names))
+	for _, name := range names {
+		misses, accusations := detector.Evidence(name)
+		evidence = append(evidence, fmt.Sprintf("%s=%d/%d", name, accusations, misses))
+	}
+	tbl.AddRow("evidence (accusations/misses)", strings.Join(evidence, " "))
 	tbl.AddRow("conviction TPR", fmt.Sprintf("%.2f (%d/%d liars convicted)",
 		conviction.TPR, conviction.ConvictedLiars, conviction.Liars))
 	tbl.AddRow("conviction FPR", fmt.Sprintf("%.2f (%d/%d honest convicted)",

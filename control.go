@@ -1,0 +1,80 @@
+package redundancy
+
+import (
+	"github.com/softwarefaults/redundancy/internal/control"
+)
+
+// The autonomic control plane: a Controller closes the loop from
+// fleet-wide diagnosis to live reconfiguration. It subscribes to the
+// observation stream (collector snapshots, SLO burn windows, failure-
+// detector membership, health diagnoses) on a fixed reconciliation
+// tick, hands the combined picture to its policies, and carries the
+// actions they propose out through pluggable actuators — replacing
+// convicted-dead replicas, retuning hedge delays and retry deposits
+// against the measured tail, and routing each diagnosed fault class to
+// the recovery that actually helps it. Every performed action is
+// published as a ControlActionTaken observation event; every actuator
+// sits behind a per-kind rate limit; the whole loop sits behind a
+// global kill switch.
+type (
+	// Controller is the reconciliation loop.
+	Controller = control.Controller
+	// ControllerConfig parameterizes a Controller (zero value =
+	// defaults: 500ms tick, 4 actions per kind per 10s window).
+	ControllerConfig = control.Config
+	// ControlSources wires the controller to the live observation
+	// stream; every field is optional.
+	ControlSources = control.Sources
+	// ControlInputs is one tick's fleet-wide observation picture.
+	ControlInputs = control.Inputs
+	// ControlAction is one reconfiguration decision: kind, cause,
+	// target, and the old → new setting.
+	ControlAction = control.Action
+	// ControlActuator carries out actions of one kind.
+	ControlActuator = control.Actuator
+	// ControlPolicy proposes actions from one tick's inputs.
+	ControlPolicy = control.Policy
+	// ReplacementPolicy proposes replacing detector-convicted-dead
+	// replicas, attributing the convicting evidence track.
+	ReplacementPolicy = control.ReplacementPolicy
+	// TailPolicy adapts hedge delay and retry-deposit rate to the
+	// measured p99 and burn rate, with hysteresis against flapping.
+	TailPolicy = control.TailPolicy
+	// TailPolicyConfig parameterizes a TailPolicy.
+	TailPolicyConfig = control.TailPolicyConfig
+	// DiagnosisPolicy routes diagnosed fault classes to recovery:
+	// substitution for bohrbugs, rejuvenation for aging and hard
+	// failure runs, nothing for heisenbugs.
+	DiagnosisPolicy = control.DiagnosisPolicy
+	// DiagnosisPolicyConfig parameterizes a DiagnosisPolicy.
+	DiagnosisPolicyConfig = control.DiagnosisPolicyConfig
+)
+
+// Action kinds the built-in control policies propose.
+const (
+	// ControlActionReplace spawns a replacement replica for a
+	// convicted-dead endpoint and splices it into the live set.
+	ControlActionReplace = control.ActionReplace
+	// ControlActionHedgeTune raises or lowers a Remote's hedge delay.
+	ControlActionHedgeTune = control.ActionHedgeTune
+	// ControlActionDepositTune raises or lowers a retry budget's
+	// per-request deposit rate.
+	ControlActionDepositTune = control.ActionDepositTune
+	// ControlActionRejuvenate micro-reboots an aging-diagnosed variant.
+	ControlActionRejuvenate = control.ActionRejuvenate
+	// ControlActionSubstitute rebinds a bohrbug-diagnosed variant to a
+	// substitute service implementation.
+	ControlActionSubstitute = control.ActionSubstitute
+)
+
+// NewController builds a controller; it starts enabled, and
+// SetEnabled(false) is the global kill switch.
+func NewController(cfg ControllerConfig) *Controller { return control.New(cfg) }
+
+// NewTailPolicy builds the adaptive tail policy.
+func NewTailPolicy(cfg TailPolicyConfig) *TailPolicy { return control.NewTailPolicy(cfg) }
+
+// NewDiagnosisPolicy builds the diagnosis-directed recovery policy.
+func NewDiagnosisPolicy(cfg DiagnosisPolicyConfig) *DiagnosisPolicy {
+	return control.NewDiagnosisPolicy(cfg)
+}

@@ -22,6 +22,11 @@ type DiffOptions struct {
 	Sigma float64
 	// GateTiming lets wall-clock metrics count as regressions.
 	GateTiming bool
+	// Metrics, when non-empty, restricts the comparison to the named
+	// metrics — the escape hatch for gating a wall-clock run on its
+	// stable columns (availability, intervention counts) while ignoring
+	// the machine-dependent ones.
+	Metrics []string
 }
 
 func (o DiffOptions) sigma() float64 {
@@ -92,6 +97,13 @@ func seedValues(p *PointResult, metric string) []float64 {
 // Diff compares a candidate run against a baseline.
 func Diff(base, cand *Run, opts DiffOptions) *DiffReport {
 	rep := &DiffReport{Base: base.ID, Cand: cand.ID, Sigma: opts.sigma(), GateTiming: opts.GateTiming}
+	var only map[string]bool
+	if len(opts.Metrics) > 0 {
+		only = make(map[string]bool, len(opts.Metrics))
+		for _, name := range opts.Metrics {
+			only[name] = true
+		}
+	}
 	candByKey := map[string]*PointResult{}
 	for i := range cand.Points {
 		candByKey[cand.Points[i].Config.Key()] = &cand.Points[i]
@@ -110,6 +122,9 @@ func Diff(base, cand *Run, opts DiffOptions) *DiffReport {
 		baseMetrics := bp.Pooled.Metrics()
 		candMetrics := cp.Pooled.Metrics()
 		for _, def := range metricCatalog {
+			if only != nil && !only[def.Name] {
+				continue
+			}
 			_, inBase := baseMetrics[def.Name]
 			_, inCand := candMetrics[def.Name]
 			if !inBase && !inCand {

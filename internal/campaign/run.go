@@ -60,6 +60,10 @@ type Config struct {
 	// Adversary is the Byzantine strategy spec ("always:1", "collude:2")
 	// applied to the fleet's first replicas (quorum mode).
 	Adversary string `json:"adversary,omitempty"`
+	// Control records whether the autonomic controller was live ("on")
+	// or the run was the static-configuration control arm ("off").
+	// Empty means the invocation had no controller at all.
+	Control string `json:"control,omitempty"`
 	// Executor records the resilience/transport policies in force.
 	Executor ExecutorConfig `json:"executor,omitempty"`
 }
@@ -116,6 +120,9 @@ func (c Config) Key() string {
 	}
 	if c.Adversary != "" {
 		fmt.Fprintf(&b, " adversary=%s", c.Adversary)
+	}
+	if c.Control != "" {
+		fmt.Fprintf(&b, " control=%s", c.Control)
 	}
 	fmt.Fprintf(&b, " trials=%d", c.Trials)
 	return b.String()
@@ -193,6 +200,10 @@ type Trial struct {
 	Wrong bool `json:"wrong,omitempty"`
 	// TraceID is the distributed-trace identity, when traced.
 	TraceID uint64 `json:"trace_id,omitempty"`
+	// Actions counts autonomic-controller reconfigurations that landed
+	// while this trial was in flight. Wall-clock-scheduled, so excluded
+	// from Replay's determinism digest like Latency.
+	Actions int `json:"actions,omitempty"`
 }
 
 // Outcome labels.
@@ -296,6 +307,11 @@ type Aggregates struct {
 	// by quorum-mode recorders (it needs the detector's end state, which
 	// trial rows do not carry).
 	Conviction *Conviction `json:"conviction,omitempty"`
+	// Actions tallies autonomic-controller interventions by action kind
+	// (replace, hedge-tune, ...), attached by control-mode recorders.
+	// Runs without a controller leave it nil, so static runs never gate
+	// on intervention metrics.
+	Actions map[string]int `json:"actions,omitempty"`
 	// Observed carries the obs Collector's final executor snapshots
 	// (hedge/breaker/shed counters, latency histograms) and SLO the
 	// SLOTracker's burn-rate state, when the run had them attached.
@@ -457,6 +473,7 @@ func NewRecordedRun(name string, cfg Config, seeds ...SeedResult) *Run {
 	var all []Trial
 	var elapsed time.Duration
 	var conv *Conviction
+	var actions map[string]int
 	for _, s := range seeds {
 		all = append(all, s.Trials...)
 		elapsed += s.Aggregates.Timing.Elapsed
@@ -469,12 +486,21 @@ func NewRecordedRun(name string, cfg Config, seeds ...SeedResult) *Run {
 			conv.Honest += c.Honest
 			conv.ConvictedHonest += c.ConvictedHonest
 		}
+		if len(s.Aggregates.Actions) > 0 {
+			if actions == nil {
+				actions = map[string]int{}
+			}
+			for kind, n := range s.Aggregates.Actions {
+				actions[kind] += n
+			}
+		}
 	}
 	pooled := computeAggregates(all, elapsed, nil, nil)
 	if conv != nil {
 		conv.rates()
 		pooled.Conviction = conv
 	}
+	pooled.Actions = actions
 	return &Run{
 		Name:   name,
 		Build:  CurrentBuild(),
@@ -527,6 +553,16 @@ func (a *Aggregates) Metrics() map[string]float64 {
 		m["conviction_tpr"] = a.Conviction.TPR
 		m["conviction_fpr"] = a.Conviction.FPR
 	}
+	// Control-plane metrics appear only on aggregates recorded with a
+	// controller attached, so static runs never gate on them.
+	if a.Actions != nil {
+		total := 0
+		for _, v := range a.Actions {
+			total += v
+		}
+		m["control_actions_per_trial"] = float64(total) / n
+		m["control_replaces"] = float64(a.Actions["replace"])
+	}
 	return m
 }
 
@@ -563,6 +599,12 @@ var metricCatalog = []MetricDef{
 	{Name: "latency_mean_ms", HigherBetter: false, Directional: true, Timing: true, Epsilon: 0.05},
 	{Name: "hedges_per_trial", Directional: false},
 	{Name: "hedge_wins_per_trial", Directional: false},
+	// More interventions per trial at the same grid point means the
+	// controller got less stable (flapping, or the fleet degraded more);
+	// replacement counts are pinned because the chaos schedule decides
+	// how many replicas die.
+	{Name: "control_actions_per_trial", HigherBetter: false, Directional: true, Epsilon: 0.01},
+	{Name: "control_replaces", HigherBetter: false, Directional: true, Epsilon: 0.5},
 }
 
 // canonicalJSON marshals v deterministically (encoding/json sorts map
@@ -583,6 +625,7 @@ func deterministicView(s *SeedResult) any {
 	trials := make([]Trial, len(s.Trials))
 	for i, t := range s.Trials {
 		t.Latency = 0
+		t.Actions = 0
 		trials[i] = t
 	}
 	return struct {

@@ -1,0 +1,483 @@
+package control
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/obs/health"
+)
+
+// recordActuator returns an actuator that appends performed actions.
+func recordActuator(log *[]Action) Actuator {
+	return func(_ context.Context, a Action) (Action, error) {
+		*log = append(*log, a)
+		return a, nil
+	}
+}
+
+// tick advances a hand-driven controller clock.
+type clock struct{ now time.Time }
+
+func (c *clock) tick(d time.Duration) time.Time {
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+func newClock() *clock { return &clock{now: time.Unix(1000, 0)} }
+
+func TestReplacementPolicyProposesOncePerConviction(t *testing.T) {
+	states := map[string]obs.ReplicaState{
+		"r1": obs.ReplicaAlive,
+		"r2": obs.ReplicaDead,
+	}
+	var log []Action
+	ctrl := New(Config{
+		Tick: time.Millisecond,
+		Sources: Sources{
+			Detector: func() map[string]obs.ReplicaState { return states },
+			Evidence: func(name string) (int, int) { return 6, 0 },
+		},
+		Policies:  []Policy{&ReplacementPolicy{DeadAfter: 5}},
+		Actuators: map[string]Actuator{ActionReplace: recordActuator(&log)},
+	})
+	ck := newClock()
+	for i := 0; i < 5; i++ {
+		ctrl.Reconcile(context.Background(), ck.tick(time.Second))
+	}
+	if len(log) != 1 {
+		t.Fatalf("replace actions = %d, want exactly 1 (dedup after commit)", len(log))
+	}
+	if log[0].Target != "r2" || log[0].Cause != "detector:dead:heartbeat" {
+		t.Errorf("action = %+v, want target r2 convicted by heartbeat", log[0])
+	}
+}
+
+func TestReplacementPolicyAttributesAccusationTrack(t *testing.T) {
+	p := &ReplacementPolicy{DeadAfter: 5, AccuseDeadAfter: 8}
+	in := Inputs{
+		Detector: map[string]obs.ReplicaState{"liar": obs.ReplicaDead},
+		Evidence: func(string) (int, int) { return 0, 9 },
+	}
+	actions := p.Evaluate(in)
+	if len(actions) != 1 || actions[0].Cause != "detector:dead:accusation" {
+		t.Fatalf("actions = %+v, want one accusation-track conviction", actions)
+	}
+}
+
+func TestReplacementPolicyRetriesFailedActuation(t *testing.T) {
+	states := map[string]obs.ReplicaState{"r2": obs.ReplicaDead}
+	attempts := 0
+	ctrl := New(Config{
+		Sources:  Sources{Detector: func() map[string]obs.ReplicaState { return states }},
+		Policies: []Policy{&ReplacementPolicy{}},
+		Actuators: map[string]Actuator{ActionReplace: func(_ context.Context, a Action) (Action, error) {
+			attempts++
+			if attempts < 3 {
+				return a, errors.New("spawn failed")
+			}
+			return a, nil
+		}},
+	})
+	ck := newClock()
+	for i := 0; i < 6; i++ {
+		ctrl.Reconcile(context.Background(), ck.tick(time.Second))
+	}
+	if attempts != 3 {
+		t.Fatalf("actuation attempts = %d, want 3 (two failures retried, success commits)", attempts)
+	}
+	if got := ctrl.Failed(); got != 2 {
+		t.Errorf("Failed() = %d, want 2", got)
+	}
+}
+
+func TestKillSwitchFreezesLoop(t *testing.T) {
+	states := map[string]obs.ReplicaState{"r2": obs.ReplicaDead}
+	var log []Action
+	ctrl := New(Config{
+		Sources:   Sources{Detector: func() map[string]obs.ReplicaState { return states }},
+		Policies:  []Policy{&ReplacementPolicy{}},
+		Actuators: map[string]Actuator{ActionReplace: recordActuator(&log)},
+	})
+	ctrl.SetEnabled(false)
+	ck := newClock()
+	for i := 0; i < 5; i++ {
+		if got := ctrl.Reconcile(context.Background(), ck.tick(time.Second)); got != nil {
+			t.Fatalf("disabled controller performed actions: %+v", got)
+		}
+	}
+	if len(log) != 0 {
+		t.Fatalf("kill switch leaked %d actions", len(log))
+	}
+	ctrl.SetEnabled(true)
+	ctrl.Reconcile(context.Background(), ck.tick(time.Second))
+	if len(log) != 1 {
+		t.Fatalf("re-enabled controller took %d actions, want 1", len(log))
+	}
+}
+
+func TestRateLimitBoundsActionsPerWindow(t *testing.T) {
+	// A policy that proposes unboundedly: one action every tick.
+	greedy := policyFunc(func(in Inputs) []Action {
+		return []Action{{Kind: ActionHedgeTune, Target: "fleet", New: "1ms"}}
+	})
+	var log []Action
+	ctrl := New(Config{
+		MaxActionsPerKind: 3,
+		RateWindow:        10 * time.Second,
+		Policies:          []Policy{greedy},
+		Actuators:         map[string]Actuator{ActionHedgeTune: recordActuator(&log)},
+	})
+	ck := newClock()
+	for i := 0; i < 8; i++ {
+		ctrl.Reconcile(context.Background(), ck.tick(time.Second))
+	}
+	// Ticks at 1..8s: 3 performed immediately, then suppressed until the
+	// first action slides out of the 10s window.
+	if len(log) != 3 {
+		t.Fatalf("actions in window = %d, want 3", len(log))
+	}
+	if ctrl.Suppressed() != 5 {
+		t.Errorf("suppressed = %d, want 5", ctrl.Suppressed())
+	}
+	// Advance past the window: the limiter must admit again.
+	ctrl.Reconcile(context.Background(), ck.tick(15*time.Second))
+	if len(log) != 4 {
+		t.Fatalf("actions after window slide = %d, want 4", len(log))
+	}
+}
+
+func TestRateLimitDoesNotStarveOtherTargets(t *testing.T) {
+	// One target proposes greedily every tick; a second target of the
+	// same kind shows up late. The limiter is keyed per (kind, target),
+	// so the noisy target's exhausted window must not suppress the
+	// newcomer's first repair.
+	tick := 0
+	mixed := policyFunc(func(in Inputs) []Action {
+		tick++
+		out := []Action{{Kind: ActionRejuvenate, Target: "replica:r1/proc"}}
+		if tick >= 6 {
+			out = append(out, Action{Kind: ActionRejuvenate, Target: "replica:r3/proc"})
+		}
+		return out
+	})
+	var log []Action
+	ctrl := New(Config{
+		MaxActionsPerKind: 3,
+		RateWindow:        time.Minute,
+		Policies:          []Policy{mixed},
+		Actuators:         map[string]Actuator{ActionRejuvenate: recordActuator(&log)},
+	})
+	ck := newClock()
+	for i := 0; i < 8; i++ {
+		ctrl.Reconcile(context.Background(), ck.tick(time.Second))
+	}
+	// r1 is capped at 3 inside the minute window; r3's proposals from
+	// tick 6 on (3 of them) all land despite r1's window being full.
+	byTarget := map[string]int{}
+	for _, a := range log {
+		byTarget[a.Target]++
+	}
+	if byTarget["replica:r1/proc"] != 3 {
+		t.Errorf("r1 actions = %d, want 3 (rate-limited)", byTarget["replica:r1/proc"])
+	}
+	if byTarget["replica:r3/proc"] != 3 {
+		t.Errorf("r3 actions = %d, want 3 (must not be starved by r1's window)", byTarget["replica:r3/proc"])
+	}
+}
+
+// policyFunc adapts a function into a Policy.
+type policyFunc func(Inputs) []Action
+
+func (policyFunc) Name() string                  { return "func" }
+func (f policyFunc) Evaluate(in Inputs) []Action { return f(in) }
+
+// tailHarness drives a TailPolicy against a synthetic signal with live
+// hedge/deposit state, applying actions like the real actuators would.
+type tailHarness struct {
+	policy  *TailPolicy
+	hedge   time.Duration
+	deposit float64
+	p99     time.Duration
+	burn    float64
+	actions []Action
+}
+
+func newTailHarness(objective time.Duration) *tailHarness {
+	h := &tailHarness{hedge: 25 * time.Millisecond, deposit: 0.1}
+	h.policy = NewTailPolicy(TailPolicyConfig{
+		Client:          "fleet",
+		Objective:       objective,
+		MinHedge:        5 * time.Millisecond,
+		MaxHedge:        50 * time.Millisecond,
+		HedgeAfter:      func() time.Duration { return h.hedge },
+		Deposit:         func() float64 { return h.deposit },
+		DepositLow:      0.02,
+		DepositBaseline: 0.1,
+		SettleTicks:     3,
+		CooldownTicks:   5,
+	})
+	return h
+}
+
+func (h *tailHarness) step(t *testing.T) {
+	t.Helper()
+	in := Inputs{
+		P99:      func(string) time.Duration { return h.p99 },
+		FastBurn: func(string) float64 { return h.burn },
+	}
+	for _, a := range h.policy.Evaluate(in) {
+		h.actions = append(h.actions, a)
+		switch a.Kind {
+		case ActionHedgeTune:
+			d, err := a.HedgeTarget()
+			if err != nil {
+				t.Fatalf("bad hedge target %q: %v", a.New, err)
+			}
+			h.hedge = d
+		case ActionDepositTune:
+			r, err := a.DepositTarget()
+			if err != nil {
+				t.Fatalf("bad deposit target %q: %v", a.New, err)
+			}
+			h.deposit = r
+		}
+	}
+}
+
+func TestTailPolicySettlesOnSteadyDegradedSignal(t *testing.T) {
+	h := newTailHarness(20 * time.Millisecond)
+	h.p99, h.burn = 45*time.Millisecond, 2.0 // steadily bad
+
+	for i := 0; i < 200; i++ {
+		h.step(t)
+	}
+	if h.hedge != 5*time.Millisecond {
+		t.Errorf("hedge settled at %v, want the 5ms floor", h.hedge)
+	}
+	if h.deposit != 0.02 {
+		t.Errorf("deposit settled at %g, want the 0.02 low rate", h.deposit)
+	}
+	settled := len(h.actions)
+	// Settled at the bounds: a steady signal must produce no further
+	// actions, ever.
+	for i := 0; i < 200; i++ {
+		h.step(t)
+	}
+	if len(h.actions) != settled {
+		t.Fatalf("policy kept acting after settling: %d actions grew to %d",
+			settled, len(h.actions))
+	}
+}
+
+func TestTailPolicyRecoversAndSettlesAtBaseline(t *testing.T) {
+	h := newTailHarness(20 * time.Millisecond)
+	h.p99, h.burn = 45*time.Millisecond, 2.0
+	for i := 0; i < 100; i++ {
+		h.step(t)
+	}
+	h.p99, h.burn = 4*time.Millisecond, 0 // comfortably recovered
+	for i := 0; i < 200; i++ {
+		h.step(t)
+	}
+	if h.hedge != 50*time.Millisecond {
+		t.Errorf("hedge recovered to %v, want the 50ms cap", h.hedge)
+	}
+	if h.deposit != 0.1 {
+		t.Errorf("deposit recovered to %g, want the 0.1 baseline", h.deposit)
+	}
+	settled := len(h.actions)
+	for i := 0; i < 200; i++ {
+		h.step(t)
+	}
+	if len(h.actions) != settled {
+		t.Fatalf("policy kept acting at baseline: %d actions grew to %d", settled, len(h.actions))
+	}
+}
+
+func TestTailPolicyDeadbandHoldsStill(t *testing.T) {
+	h := newTailHarness(20 * time.Millisecond)
+	// Between objective/2 and objective: acceptable but not comfortable.
+	h.p99, h.burn = 15*time.Millisecond, 0.3
+	for i := 0; i < 100; i++ {
+		h.step(t)
+	}
+	if len(h.actions) != 0 {
+		t.Fatalf("deadband signal produced %d actions, want 0", len(h.actions))
+	}
+}
+
+func TestTailPolicyHysteresisIgnoresFlappingSignal(t *testing.T) {
+	h := newTailHarness(20 * time.Millisecond)
+	// A signal that alternates every tick never accumulates SettleTicks
+	// of consistent evidence, so the policy must never act.
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			h.p99, h.burn = 45*time.Millisecond, 2.0
+		} else {
+			h.p99, h.burn = 4*time.Millisecond, 0
+		}
+		h.step(t)
+	}
+	if len(h.actions) != 0 {
+		t.Fatalf("flapping signal produced %d actions, want 0", len(h.actions))
+	}
+}
+
+// diagHealth builds a one-executor, one-variant health snapshot.
+func diagHealth(executor, variant string, class health.FaultClass, failStreak int, relapses uint64) []health.ExecutorHealth {
+	return []health.ExecutorHealth{{
+		Executor: executor,
+		Variants: []health.VariantHealth{{
+			Variant:              variant,
+			Class:                class,
+			FailStreak:           failStreak,
+			RejuvenationRelapses: relapses,
+		}},
+	}}
+}
+
+func TestDiagnosisPolicyEscalationLadder(t *testing.T) {
+	cases := []struct {
+		name   string
+		health []health.ExecutorHealth
+		want   string // expected action kind, "" for none
+	}{
+		{"healthy variant untouched",
+			diagHealth("replica:r1", "v", health.ClassHealthy, 0, 0), ""},
+		{"heisenbug left to retries",
+			diagHealth("replica:r1", "v", health.ClassHeisenbug, 12, 0), ""},
+		{"hard failing rejuvenated first",
+			diagHealth("replica:r1", "v", health.ClassUnknown, 8, 0), ActionRejuvenate},
+		{"aging rejuvenated",
+			diagHealth("replica:r1", "v", health.ClassAging, 8, 0), ActionRejuvenate},
+		{"fresh bohrbug rejuvenated once",
+			diagHealth("replica:r1", "v", health.ClassBohrbug, 10, 0), ActionRejuvenate},
+		{"relapsed bohrbug escalated to substitution",
+			diagHealth("replica:r1", "v", health.ClassBohrbug, 10, 1), ActionSubstitute},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewDiagnosisPolicy(DiagnosisPolicyConfig{})
+			actions := p.Evaluate(Inputs{Health: tc.health})
+			switch {
+			case tc.want == "" && len(actions) != 0:
+				t.Fatalf("actions = %+v, want none", actions)
+			case tc.want != "" && (len(actions) != 1 || actions[0].Kind != tc.want):
+				t.Fatalf("actions = %+v, want one %s", actions, tc.want)
+			}
+		})
+	}
+}
+
+func TestDiagnosisPolicyRejuvenationCooldown(t *testing.T) {
+	p := NewDiagnosisPolicy(DiagnosisPolicyConfig{RejuvenateCooldownTicks: 5})
+	in := Inputs{Health: diagHealth("replica:r1", "v", health.ClassUnknown, 9, 0)}
+	first := p.Evaluate(in)
+	if len(first) != 1 {
+		t.Fatalf("first tick actions = %+v, want one rejuvenation", first)
+	}
+	p.Committed(first[0])
+	fired := 0
+	for i := 0; i < 5; i++ {
+		fired += len(p.Evaluate(in))
+	}
+	if fired != 0 {
+		t.Fatalf("rejuvenated %d times inside the cooldown, want 0", fired)
+	}
+	if got := p.Evaluate(in); len(got) != 1 {
+		t.Fatalf("post-cooldown actions = %+v, want the rejuvenation to recur", got)
+	}
+}
+
+func TestDiagnosisPolicySubstitutionIsTerminal(t *testing.T) {
+	p := NewDiagnosisPolicy(DiagnosisPolicyConfig{})
+	in := Inputs{Health: diagHealth("replica:r1", "v", health.ClassBohrbug, 10, 2)}
+	first := p.Evaluate(in)
+	if len(first) != 1 || first[0].Kind != ActionSubstitute {
+		t.Fatalf("actions = %+v, want one substitution", first)
+	}
+	p.Committed(first[0])
+	for i := 0; i < 10; i++ {
+		if got := p.Evaluate(in); len(got) != 0 {
+			t.Fatalf("substituted variant re-proposed: %+v", got)
+		}
+	}
+}
+
+func TestControllerEmitsControlActionEvents(t *testing.T) {
+	collector := obs.NewCollector()
+	states := map[string]obs.ReplicaState{"r2": obs.ReplicaDead}
+	ctrl := New(Config{
+		Name:     "ctl",
+		Observer: collector,
+		Sources:  Sources{Detector: func() map[string]obs.ReplicaState { return states }},
+		Policies: []Policy{&ReplacementPolicy{}},
+		Actuators: map[string]Actuator{ActionReplace: func(_ context.Context, a Action) (Action, error) {
+			a.New = "r4"
+			return a, nil
+		}},
+	})
+	ctrl.Reconcile(context.Background(), time.Unix(1000, 0))
+	var found *obs.ExecutorSnapshot
+	for _, snap := range collector.Snapshot() {
+		if snap.Executor == "ctl" {
+			s := snap
+			found = &s
+		}
+	}
+	if found == nil || found.ControlActions != 1 {
+		t.Fatalf("collector snapshot = %+v, want ControlActions=1 under executor ctl", found)
+	}
+	if got := ctrl.Counts()[ActionReplace]; got != 1 {
+		t.Errorf("Counts()[replace] = %d, want 1", got)
+	}
+}
+
+func TestControllerRunsSupervisedAndStops(t *testing.T) {
+	fired := make(chan struct{}, 1)
+	ctrl := New(Config{
+		Tick: time.Millisecond,
+		Policies: []Policy{policyFunc(func(Inputs) []Action {
+			select {
+			case fired <- struct{}{}:
+			default:
+			}
+			return nil
+		})},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ctrl.Run(ctx) }()
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("controller never ticked")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v, want nil on cancellation", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancellation")
+	}
+	if ctrl.AsChild().Name != "controller" {
+		t.Errorf("AsChild name = %q, want controller", ctrl.AsChild().Name)
+	}
+}
+
+func TestActionValueRoundTrips(t *testing.T) {
+	a := Action{New: "12ms"}
+	if d, err := a.HedgeTarget(); err != nil || d != 12*time.Millisecond {
+		t.Errorf("HedgeTarget = %v, %v", d, err)
+	}
+	b := Action{New: fmt.Sprintf("%g", 0.05)}
+	if r, err := b.DepositTarget(); err != nil || r != 0.05 {
+		t.Errorf("DepositTarget = %v, %v", r, err)
+	}
+}

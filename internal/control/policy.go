@@ -1,0 +1,406 @@
+package control
+
+// The built-in policies: one per actuation family named in the
+// roadmap. Replacement turns a detector conviction into a spawned
+// replacement replica; tail tuning turns measured p99 and error-budget
+// burn into hedge-delay and retry-deposit changes (with hysteresis so
+// the loop cannot flap); diagnosis routing turns the health engine's
+// fault classes into the recovery the class actually responds to —
+// substitution for bohrbugs (retries are futile against a
+// deterministic bug), rejuvenation for aging and hard-failing
+// variants, and deliberately nothing for heisenbugs, whose
+// environment-dependent failures the existing retry/hedge machinery
+// already masks.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/softwarefaults/redundancy/internal/obs"
+	"github.com/softwarefaults/redundancy/internal/obs/health"
+)
+
+// ReplacementPolicy proposes ActionReplace for every replica the
+// detector has convicted dead, once per conviction. The cause names
+// the evidence track that convicted — heartbeat silence or accumulated
+// accusations — so the action record shows *why* the replica died, not
+// just that it did.
+type ReplacementPolicy struct {
+	// DeadAfter and AccuseDeadAfter mirror the detector's conviction
+	// thresholds, used only to attribute the evidence track; zero values
+	// attribute on whichever count is larger.
+	DeadAfter, AccuseDeadAfter int
+
+	replaced map[string]bool
+}
+
+// Name implements Policy.
+func (p *ReplacementPolicy) Name() string { return "replacement" }
+
+// Evaluate implements Policy.
+func (p *ReplacementPolicy) Evaluate(in Inputs) []Action {
+	var out []Action
+	for name, state := range in.Detector {
+		if state != obs.ReplicaDead || p.replaced[name] {
+			continue
+		}
+		cause := "detector:dead"
+		if in.Evidence != nil {
+			misses, accusations := in.Evidence(name)
+			switch {
+			case p.DeadAfter > 0 && misses >= p.DeadAfter:
+				cause = "detector:dead:heartbeat"
+			case p.AccuseDeadAfter > 0 && accusations >= p.AccuseDeadAfter:
+				cause = "detector:dead:accusation"
+			case accusations > misses:
+				cause = "detector:dead:accusation"
+			default:
+				cause = "detector:dead:heartbeat"
+			}
+		}
+		out = append(out, Action{
+			Kind:   ActionReplace,
+			Cause:  cause,
+			Target: name,
+			Old:    name,
+		})
+	}
+	return out
+}
+
+// Committed implements Committer: a dead replica is only marked
+// handled once its replacement actually spliced in, so a failed or
+// rate-limited attempt recurs next tick.
+func (p *ReplacementPolicy) Committed(a Action) {
+	if a.Kind != ActionReplace {
+		return
+	}
+	if p.replaced == nil {
+		p.replaced = make(map[string]bool)
+	}
+	p.replaced[a.Target] = true
+}
+
+// TailPolicyConfig parameterizes a TailPolicy.
+type TailPolicyConfig struct {
+	// Client is the executor (the Remote fleet client) whose tail the
+	// policy manages; its P99 and FastBurn feed the regime decision.
+	Client string
+	// Objective is the latency the p99 is held against (the SLO
+	// objective's latency bound).
+	Objective time.Duration
+	// BurnThreshold is the fast-window burn rate above which the error
+	// budget counts as burning. Default 1 (burning at exactly the rate
+	// that exhausts the budget).
+	BurnThreshold float64
+	// MinHedge and MaxHedge bound the hedge delay the policy may set.
+	// Defaults: Objective/8 and 4*Objective.
+	MinHedge, MaxHedge time.Duration
+	// HedgeAfter reads the live hedge delay (Remote.HedgeAfter).
+	HedgeAfter func() time.Duration
+	// Deposit reads the live retry-budget deposit rate.
+	Deposit func() float64
+	// DepositLow and DepositBaseline are the deposit rates under burn
+	// and in calm. Defaults 0.02 and 0.1.
+	DepositLow, DepositBaseline float64
+	// SettleTicks is how many consecutive ticks of one regime's
+	// evidence are required before acting — the hysteresis that keeps a
+	// noisy signal from flapping the knobs. Default 3.
+	SettleTicks int
+	// CooldownTicks is how many ticks after an action the policy stays
+	// quiet, letting the change take effect before re-measuring.
+	// Default 5.
+	CooldownTicks int
+}
+
+func (c TailPolicyConfig) withDefaults() TailPolicyConfig {
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 1
+	}
+	if c.MinHedge <= 0 {
+		c.MinHedge = c.Objective / 8
+	}
+	if c.MaxHedge <= 0 {
+		c.MaxHedge = 4 * c.Objective
+	}
+	if c.DepositLow <= 0 {
+		c.DepositLow = 0.02
+	}
+	if c.DepositBaseline <= 0 {
+		c.DepositBaseline = 0.1
+	}
+	if c.SettleTicks <= 0 {
+		c.SettleTicks = 3
+	}
+	if c.CooldownTicks <= 0 {
+		c.CooldownTicks = 5
+	}
+	return c
+}
+
+// TailPolicy adapts the hedge delay and the retry-budget deposit rate
+// to the measured tail: when the p99 exceeds the objective or the fast
+// burn window says the error budget is burning, it halves the hedge
+// delay (hedging sooner cuts the tail) and drops the deposit rate
+// (retries amplify load exactly when the fleet is unhealthy); when the
+// tail has comfortably recovered, it walks both back toward baseline.
+//
+// Three mechanisms make the loop settle instead of flap: a deadband
+// (recovery requires p99 below half the objective, not merely below
+// it), a settle count (SettleTicks consecutive ticks of one regime's
+// evidence before acting), and a cooldown (CooldownTicks of silence
+// after every action). On any steady signal the policy therefore
+// reaches a bound — floor, cap, or the deadband's do-nothing middle —
+// and stops emitting actions.
+type TailPolicy struct {
+	cfg TailPolicyConfig
+
+	degradeTicks, recoverTicks int
+	cooldown                   int
+}
+
+// NewTailPolicy builds a tail policy.
+func NewTailPolicy(cfg TailPolicyConfig) *TailPolicy {
+	return &TailPolicy{cfg: cfg.withDefaults()}
+}
+
+// Name implements Policy.
+func (p *TailPolicy) Name() string { return "tail" }
+
+// Evaluate implements Policy.
+func (p *TailPolicy) Evaluate(in Inputs) []Action {
+	if p.cooldown > 0 {
+		p.cooldown--
+		return nil
+	}
+	var p99 time.Duration
+	if in.P99 != nil {
+		p99 = in.P99(p.cfg.Client)
+	}
+	var burn float64
+	if in.FastBurn != nil {
+		burn = in.FastBurn(p.cfg.Client)
+	}
+	if p99 == 0 {
+		// No latency signal yet (warmup): no evidence either way.
+		p.degradeTicks, p.recoverTicks = 0, 0
+		return nil
+	}
+	switch {
+	case p99 > p.cfg.Objective || burn >= p.cfg.BurnThreshold:
+		p.degradeTicks++
+		p.recoverTicks = 0
+	case p99 <= p.cfg.Objective/2 && burn < p.cfg.BurnThreshold/2:
+		p.recoverTicks++
+		p.degradeTicks = 0
+	default:
+		// The deadband: tail is acceptable but not comfortably so.
+		// Holding still here is what prevents oscillation around the
+		// objective.
+		p.degradeTicks, p.recoverTicks = 0, 0
+		return nil
+	}
+
+	var out []Action
+	cause := fmt.Sprintf("slo:p99=%s/objective=%s,burn=%.2f", p99.Round(time.Microsecond), p.cfg.Objective, burn)
+	switch {
+	case p.degradeTicks >= p.cfg.SettleTicks:
+		if cur := p.cfg.HedgeAfter(); cur > p.cfg.MinHedge {
+			next := cur / 2
+			if next < p.cfg.MinHedge {
+				next = p.cfg.MinHedge
+			}
+			out = append(out, Action{
+				Kind: ActionHedgeTune, Cause: cause, Target: p.cfg.Client,
+				Old: cur.String(), New: next.String(),
+			})
+		}
+		if p.cfg.Deposit != nil && burn >= p.cfg.BurnThreshold {
+			if cur := p.cfg.Deposit(); cur > p.cfg.DepositLow {
+				out = append(out, Action{
+					Kind: ActionDepositTune, Cause: cause, Target: p.cfg.Client,
+					Old: fmt.Sprintf("%g", cur), New: fmt.Sprintf("%g", p.cfg.DepositLow),
+				})
+			}
+		}
+		p.degradeTicks = 0
+	case p.recoverTicks >= p.cfg.SettleTicks:
+		if cur := p.cfg.HedgeAfter(); cur < p.cfg.MaxHedge && cur > 0 {
+			next := cur * 2
+			if next > p.cfg.MaxHedge {
+				next = p.cfg.MaxHedge
+			}
+			out = append(out, Action{
+				Kind: ActionHedgeTune, Cause: cause, Target: p.cfg.Client,
+				Old: cur.String(), New: next.String(),
+			})
+		}
+		if p.cfg.Deposit != nil {
+			if cur := p.cfg.Deposit(); cur < p.cfg.DepositBaseline {
+				out = append(out, Action{
+					Kind: ActionDepositTune, Cause: cause, Target: p.cfg.Client,
+					Old: fmt.Sprintf("%g", cur), New: fmt.Sprintf("%g", p.cfg.DepositBaseline),
+				})
+			}
+		}
+		p.recoverTicks = 0
+	default:
+		return nil
+	}
+	if len(out) > 0 {
+		p.cooldown = p.cfg.CooldownTicks
+	}
+	return out
+}
+
+// HedgeTarget parses the New value of a hedge-tune action back into a
+// duration — the actuator applies it with Remote.SetHedgeAfter.
+func (a Action) HedgeTarget() (time.Duration, error) {
+	return time.ParseDuration(a.New)
+}
+
+// DepositTarget parses the New value of a deposit-tune action back
+// into a rate — the actuator applies it with SetDepositPerRequest.
+func (a Action) DepositTarget() (float64, error) {
+	var rate float64
+	_, err := fmt.Sscanf(a.New, "%g", &rate)
+	return rate, err
+}
+
+// DiagnosisPolicyConfig parameterizes a DiagnosisPolicy.
+type DiagnosisPolicyConfig struct {
+	// FailStreakThreshold is the consecutive-failure run that marks a
+	// variant failing hard enough to act on. Default 8 (the health
+	// engine's own deterministic-streak default).
+	FailStreakThreshold int
+	// RelapseLimit is how many post-rejuvenation relapses prove a
+	// restart futile, escalating a bohrbug-diagnosed variant to service
+	// substitution. Default 1.
+	RelapseLimit int
+	// RejuvenateCooldownTicks spaces repeated rejuvenations of the same
+	// target — a restart needs time to show whether it cured anything.
+	// Default 10.
+	RejuvenateCooldownTicks int
+	// Executors, when non-empty, restricts the policy to these health
+	// executors (e.g. the "replica:<name>" streams); empty means all.
+	Executors []string
+}
+
+func (c DiagnosisPolicyConfig) withDefaults() DiagnosisPolicyConfig {
+	if c.FailStreakThreshold <= 0 {
+		c.FailStreakThreshold = 8
+	}
+	if c.RelapseLimit <= 0 {
+		c.RelapseLimit = 1
+	}
+	if c.RejuvenateCooldownTicks <= 0 {
+		c.RejuvenateCooldownTicks = 10
+	}
+	return c
+}
+
+// DiagnosisPolicy routes each diagnosed fault class to the recovery
+// that actually helps it, resolving the paper's Table 1 at runtime:
+//
+//   - A variant failing hard (FailStreak at the threshold) is
+//     rejuvenated first — the cheapest repair, and the only way to
+//     *earn* an aging diagnosis (the health engine confirms aging by
+//     observing that rejuvenation cures the failure run).
+//   - A bohrbug-diagnosed variant that has relapsed after rejuvenation
+//     RelapseLimit times is escalated to service substitution: the bug
+//     is deterministic in the code, so a fresh environment cannot help
+//     and retries are futile.
+//   - A heisenbug-diagnosed variant gets no action: its failures are
+//     environment-dependent and intermittent, which is exactly what
+//     the existing retry/hedge machinery masks best.
+type DiagnosisPolicy struct {
+	cfg DiagnosisPolicyConfig
+
+	substituted map[string]bool
+	rejuvWait   map[string]int
+}
+
+// NewDiagnosisPolicy builds a diagnosis policy.
+func NewDiagnosisPolicy(cfg DiagnosisPolicyConfig) *DiagnosisPolicy {
+	return &DiagnosisPolicy{
+		cfg:         cfg.withDefaults(),
+		substituted: make(map[string]bool),
+		rejuvWait:   make(map[string]int),
+	}
+}
+
+// Name implements Policy.
+func (p *DiagnosisPolicy) Name() string { return "diagnosis" }
+
+func (p *DiagnosisPolicy) watches(executor string) bool {
+	if len(p.cfg.Executors) == 0 {
+		return true
+	}
+	for _, e := range p.cfg.Executors {
+		if e == executor {
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluate implements Policy.
+func (p *DiagnosisPolicy) Evaluate(in Inputs) []Action {
+	// The cooldown counts down *after* the eligibility checks below, so
+	// a target committed with N cooldown ticks stays quiet for exactly N
+	// evaluations.
+	defer func() {
+		for t, left := range p.rejuvWait {
+			if left <= 1 {
+				delete(p.rejuvWait, t)
+			} else {
+				p.rejuvWait[t] = left - 1
+			}
+		}
+	}()
+	var out []Action
+	for _, eh := range in.Health {
+		if !p.watches(eh.Executor) {
+			continue
+		}
+		for _, v := range eh.Variants {
+			target := eh.Executor + "/" + v.Variant
+			if p.substituted[target] {
+				continue
+			}
+			if v.Class == health.ClassBohrbug && v.RejuvenationRelapses >= uint64(p.cfg.RelapseLimit) {
+				out = append(out, Action{
+					Kind:   ActionSubstitute,
+					Cause:  fmt.Sprintf("diagnosis:bohrbug:relapses=%d", v.RejuvenationRelapses),
+					Target: target,
+					Old:    v.Variant,
+				})
+				continue
+			}
+			if v.Class == health.ClassHeisenbug {
+				continue // retries and hedges already own this class
+			}
+			if v.FailStreak >= p.cfg.FailStreakThreshold && p.rejuvWait[target] == 0 {
+				cause := fmt.Sprintf("diagnosis:%s:fail-streak=%d", v.Class, v.FailStreak)
+				out = append(out, Action{
+					Kind:   ActionRejuvenate,
+					Cause:  cause,
+					Target: target,
+					Old:    fmt.Sprintf("fail-streak=%d", v.FailStreak),
+					New:    "rejuvenated",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Committed implements Committer.
+func (p *DiagnosisPolicy) Committed(a Action) {
+	switch a.Kind {
+	case ActionSubstitute:
+		p.substituted[a.Target] = true
+	case ActionRejuvenate:
+		p.rejuvWait[a.Target] = p.cfg.RejuvenateCooldownTicks
+	}
+}

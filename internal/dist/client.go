@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/softwarefaults/redundancy/internal/core"
@@ -77,6 +78,11 @@ const maxIdleConns = 2
 type Remote[I, O any] struct {
 	tp  *transport
 	cfg RemoteConfig
+	// hedgeAfter is the live hedge delay in nanoseconds. It starts as
+	// cfg.HedgeAfter and is retunable at runtime (SetHedgeAfter) by the
+	// autonomic controller; Execute loads it once per request, so a
+	// concurrent retune can never tear a fan-out already in flight.
+	hedgeAfter atomic.Int64
 	// traced caches obs.WantsTrace(cfg.Observer): span derivation and
 	// lineage recording happen only when an attached observer records
 	// traces (the envelope still forwards an inherited trace regardless,
@@ -96,16 +102,18 @@ func NewRemote[I, O any](name string, cfg RemoteConfig, endpoints ...Endpoint) (
 		return nil, err
 	}
 	cfg.CallTimeout = tp.callTimeout
-	if cfg.MaxHedges <= 0 || cfg.MaxHedges > len(endpoints)-1 {
+	if cfg.MaxHedges <= 0 {
 		cfg.MaxHedges = len(endpoints) - 1
 	}
 	if cfg.Breakers != nil {
 		cfg.Breakers.Bind("remote:"+name, cfg.Observer)
 	}
-	return &Remote[I, O]{
+	r := &Remote[I, O]{
 		tp: tp, cfg: cfg,
 		traced: obs.WantsTrace(cfg.Observer),
-	}, nil
+	}
+	r.hedgeAfter.Store(int64(cfg.HedgeAfter))
+	return r, nil
 }
 
 // Name implements core.Variant.
@@ -117,6 +125,36 @@ func (r *Remote[I, O]) Close() error {
 	r.tp.close()
 	return nil
 }
+
+// HedgeAfter returns the live hedge delay (zero when hedging is off).
+func (r *Remote[I, O]) HedgeAfter() time.Duration {
+	return time.Duration(r.hedgeAfter.Load())
+}
+
+// SetHedgeAfter retunes the hedge delay at runtime; zero or negative
+// disables hedging. Requests already in flight keep the delay they
+// started with — the store is atomic, so a racing Execute sees either
+// the old delay or the new one, never a torn mix.
+func (r *Remote[I, O]) SetHedgeAfter(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.hedgeAfter.Store(int64(d))
+}
+
+// AddEndpoint splices a new endpoint into the live set. Requests
+// already fanned out keep the endpoint view they captured; the next
+// Execute sees the grown set.
+func (r *Remote[I, O]) AddEndpoint(ep Endpoint) error { return r.tp.add(ep) }
+
+// RemoveEndpoint takes an endpoint out of the live set and cancels any
+// straggler still blocked on it (its connection pool is closed). The
+// last endpoint cannot be removed — a Remote with no endpoints could
+// serve nothing.
+func (r *Remote[I, O]) RemoveEndpoint(name string) error { return r.tp.remove(name, 1) }
+
+// Endpoints returns the current endpoint names in configured order.
+func (r *Remote[I, O]) Endpoints() []string { return r.tp.view().names() }
 
 // attemptResult is one finished (or breaker-rejected) attempt.
 type attemptResult[O any] struct {
@@ -145,7 +183,15 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	if r.tp.closed.Load() {
 		return zero, ErrClientClosed
 	}
-	order := r.ordered()
+	// One immutable endpoint view per request: a controller splicing
+	// endpoints mid-flight changes the next request, not this one.
+	v := r.tp.view()
+	order := r.ordered(v)
+	hedgeAfter := time.Duration(r.hedgeAfter.Load())
+	maxHedges := r.cfg.MaxHedges
+	if maxHedges > len(order)-1 {
+		maxHedges = len(order) - 1
+	}
 	o := r.cfg.Observer
 	name := r.tp.name
 	var (
@@ -203,7 +249,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 		}
 		if o != nil {
 			lineage = append(lineage, obs.RPCAttempt{
-				Endpoint: r.tp.endpoints[ep].Name, Span: atc, Attempt: attempt,
+				Endpoint: v.endpoints[ep].Name, Span: atc, Attempt: attempt,
 			})
 			launches = append(launches, time.Now())
 			settled = append(settled, false)
@@ -213,7 +259,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			tok resilience.Token
 		)
 		if r.cfg.Breakers != nil {
-			brk = r.cfg.Breakers.For(r.tp.endpoints[ep].Name)
+			brk = r.cfg.Breakers.For(v.endpoints[ep].Name)
 			var err error
 			if tok, err = brk.Allow(); err != nil {
 				pending++
@@ -222,15 +268,15 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			}
 		}
 		if attempt > 1 && o != nil {
-			obs.EmitHedgeLaunched(o, name, r.tp.endpoints[ep].Name, req, attempt)
+			obs.EmitHedgeLaunched(o, name, v.endpoints[ep].Name, req, attempt)
 		}
 		pending++
 		go func() {
 			start := time.Now()
-			value, err := roundTrip[I, O](ctx, r.tp, ep, atc, input)
+			value, err := roundTrip[I, O](ctx, r.tp, v, ep, atc, input)
 			latency := time.Since(start)
 			if o != nil {
-				obs.EmitRPCCompleted(o, name, r.tp.endpoints[ep].Name, req, latency, err)
+				obs.EmitRPCCompleted(o, name, v.endpoints[ep].Name, req, latency, err)
 			}
 			if brk != nil {
 				brk.Record(tok, err)
@@ -278,20 +324,20 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 		hedges  int
 		lastErr error
 	)
-	if r.cfg.HedgeAfter > 0 {
-		timer = time.NewTimer(r.cfg.HedgeAfter)
+	if hedgeAfter > 0 {
+		timer = time.NewTimer(hedgeAfter)
 		timerC = timer.C
 		defer timer.Stop()
 	}
 	for pending > 0 {
 		select {
 		case <-timerC:
-			if hedges < r.cfg.MaxHedges && launched < len(order) {
+			if hedges < maxHedges && launched < len(order) {
 				hedges++
 				launchNext()
 			}
-			if hedges < r.cfg.MaxHedges && launched < len(order) {
-				timer.Reset(r.cfg.HedgeAfter)
+			if hedges < maxHedges && launched < len(order) {
+				timer.Reset(hedgeAfter)
 			} else {
 				timerC = nil
 			}
@@ -304,7 +350,7 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			}
 			if res.err == nil {
 				if o != nil {
-					obs.EmitHedgeWon(o, name, r.tp.endpoints[res.ep].Name, req, res.attempt)
+					obs.EmitHedgeWon(o, name, v.endpoints[res.ep].Name, req, res.attempt)
 				}
 				finish(res.attempt, nil)
 				cancelAll()
@@ -326,11 +372,11 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	return zero, err
 }
 
-// ordered returns endpoint indexes ranked by the failure detector:
-// alive before suspect before dead, stable within a class. Without a
-// detector the configured order stands.
-func (r *Remote[I, O]) ordered() []int {
-	order := make([]int, len(r.tp.endpoints))
+// ordered returns endpoint indexes (into the captured view) ranked by
+// the failure detector: alive before suspect before dead, stable
+// within a class. Without a detector the configured order stands.
+func (r *Remote[I, O]) ordered(v *epSet) []int {
+	order := make([]int, len(v.endpoints))
 	for i := range order {
 		order[i] = i
 	}
@@ -339,7 +385,7 @@ func (r *Remote[I, O]) ordered() []int {
 	}
 	rank := make([]obs.ReplicaState, len(order))
 	for i := range order {
-		rank[i] = r.cfg.Detector.State(r.tp.endpoints[i].Name)
+		rank[i] = r.cfg.Detector.State(v.endpoints[i].Name)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return rank[order[a]] < rank[order[b]]

@@ -322,6 +322,29 @@ func (d *Detector) Accuse(name string) {
 	}
 }
 
+// Forget drops a replica from the membership along with all evidence
+// against it. The autonomic controller retires a replaced endpoint
+// this way, so a dead verdict for a replica that no longer exists
+// stops influencing ranking and membership reports.
+func (d *Detector) Forget(name string) {
+	d.mu.Lock()
+	delete(d.members, name)
+	d.mu.Unlock()
+}
+
+// Evidence returns the detector's current evidence against a replica:
+// consecutive missed heartbeats (reversible) and accumulated
+// accusations (never reset). Reports and the faultsim stats table use
+// it to show *which* track convicted a replica, not just the verdict.
+func (d *Detector) Evidence(name string) (misses, accusations int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.members[name]; ok {
+		return m.misses, m.accusations
+	}
+	return 0, 0
+}
+
 // Accusations returns how many times a replica has been accused.
 func (d *Detector) Accusations(name string) int {
 	d.mu.Lock()

@@ -107,12 +107,9 @@ func NewQuorum[I, O any](name string, cfg QuorumConfig, adj core.Adjudicator[O],
 		return nil, err
 	}
 	cfg.CallTimeout = tp.callTimeout
-	if cfg.MinReplies <= 0 {
-		cfg.MinReplies = len(endpoints) - cfg.Faults
-	}
-	if cfg.MinReplies > len(endpoints) {
-		cfg.MinReplies = len(endpoints)
-	}
+	// MinReplies is left as configured (possibly zero) and resolved per
+	// request against the fleet size of that request's endpoint view, so
+	// a fleet grown or shrunk at runtime keeps the n-k default honest.
 	return &Quorum[I, O]{
 		tp: tp, cfg: cfg, adj: adj, eq: eq,
 		traced: obs.WantsTrace(cfg.Observer),
@@ -123,10 +120,27 @@ func NewQuorum[I, O any](name string, cfg QuorumConfig, adj core.Adjudicator[O],
 func (q *Quorum[I, O]) Name() string { return q.tp.name }
 
 // Replicas returns the fleet size n.
-func (q *Quorum[I, O]) Replicas() int { return len(q.tp.endpoints) }
+func (q *Quorum[I, O]) Replicas() int { return len(q.tp.view().endpoints) }
 
 // TolerableFaults returns k, the configured wrong-answer tolerance.
 func (q *Quorum[I, O]) TolerableFaults() int { return q.cfg.Faults }
+
+// AddEndpoint splices a new replica into the live fleet. Requests
+// already fanned out keep the endpoint view they captured; the next
+// Execute votes over the grown fleet.
+func (q *Quorum[I, O]) AddEndpoint(ep Endpoint) error { return q.tp.add(ep) }
+
+// RemoveEndpoint takes a replica out of the live fleet and cancels any
+// straggler still blocked on it. Removal is refused when it would
+// shrink the fleet below the 2k+1 floor the fault-tolerance target
+// requires — a controller must splice the replacement in before it
+// retires the convicted replica.
+func (q *Quorum[I, O]) RemoveEndpoint(name string) error {
+	return q.tp.remove(name, vote.VersionsNeeded(q.cfg.Faults))
+}
+
+// Endpoints returns the current replica names in configured order.
+func (q *Quorum[I, O]) Endpoints() []string { return q.tp.view().names() }
 
 // Close releases every pooled and in-flight connection; blocked calls
 // unblock with a connection error. Idempotent.
@@ -164,7 +178,17 @@ func (q *Quorum[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	}
 	o := q.cfg.Observer
 	name := q.tp.name
-	n := len(q.tp.endpoints)
+	// One immutable endpoint view per request: a controller splicing
+	// replicas mid-flight changes the next request's fleet, not this one.
+	v := q.tp.view()
+	n := len(v.endpoints)
+	minReplies := q.cfg.MinReplies
+	if minReplies <= 0 {
+		minReplies = n - q.cfg.Faults
+	}
+	if minReplies > n {
+		minReplies = n
+	}
 	var (
 		req   uint64
 		start time.Time
@@ -209,16 +233,16 @@ func (q *Quorum[I, O]) Execute(ctx context.Context, input I) (O, error) {
 		}
 		if o != nil {
 			lineage[ep] = obs.RPCAttempt{
-				Endpoint: q.tp.endpoints[ep].Name, Span: atc, Attempt: ep + 1,
+				Endpoint: v.endpoints[ep].Name, Span: atc, Attempt: ep + 1,
 			}
 			launches[ep] = time.Now()
 		}
 		go func(ep int, atc obs.TraceContext) {
 			start := time.Now()
-			value, err := roundTrip[I, O](ctx, q.tp, ep, atc, input)
+			value, err := roundTrip[I, O](ctx, q.tp, v, ep, atc, input)
 			latency := time.Since(start)
 			if o != nil {
-				obs.EmitRPCCompleted(o, name, q.tp.endpoints[ep].Name, req, latency, err)
+				obs.EmitRPCCompleted(o, name, v.endpoints[ep].Name, req, latency, err)
 			}
 			replies <- quorumReply[O]{value: value, err: err, ep: ep, latency: latency}
 		}(ep, atc)
@@ -228,7 +252,7 @@ func (q *Quorum[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	// ones standing in as failures so the vote denominator is always n.
 	slate := make([]core.Result[O], n)
 	for ep := range slate {
-		slate[ep] = core.Result[O]{Variant: q.tp.endpoints[ep].Name, Err: errStragglerPending}
+		slate[ep] = core.Result[O]{Variant: v.endpoints[ep].Name, Err: errStragglerPending}
 	}
 
 	// finish closes the observed request span; verdictEp < 0 means no
@@ -288,14 +312,14 @@ func (q *Quorum[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			settledCount++
 			settled[rep.ep] = true
 			slate[rep.ep] = core.Result[O]{
-				Variant: q.tp.endpoints[rep.ep].Name,
+				Variant: v.endpoints[rep.ep].Name,
 				Value:   rep.value, Err: rep.err, Latency: rep.latency,
 			}
 			if o != nil {
 				lineage[rep.ep].Latency = rep.latency
 				lineage[rep.ep].Err = rep.err
 			}
-			if settledCount < q.cfg.MinReplies {
+			if settledCount < minReplies {
 				continue
 			}
 			verdict, err := q.adj.Adjudicate(slate)
@@ -317,9 +341,9 @@ func (q *Quorum[I, O]) Execute(ctx context.Context, input I) (O, error) {
 					continue
 				}
 				disagreed = true
-				obs.EmitReplicaOutvoted(o, name, q.tp.endpoints[ep].Name, req)
+				obs.EmitReplicaOutvoted(o, name, v.endpoints[ep].Name, req)
 				if q.cfg.Detector != nil {
-					q.cfg.Detector.Accuse(q.tp.endpoints[ep].Name)
+					q.cfg.Detector.Accuse(v.endpoints[ep].Name)
 				}
 			}
 			if disagreed {

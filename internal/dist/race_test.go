@@ -1,0 +1,125 @@
+package dist
+
+// Torn-read and mutation races on the live-reconfiguration surface the
+// control plane drives: SetHedgeAfter and Add/RemoveEndpoint are called
+// from the controller's reconciliation goroutine while request
+// goroutines are mid-Execute. These tests exist for -race: correctness
+// here is "no torn reads, no data races, every request still answered",
+// not any particular latency outcome.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSetHedgeAfterRacesExecute(t *testing.T) {
+	network := NewPipeNetwork()
+	startReplica(t, network, "h1", double())
+	startReplica(t, network, "h2", double())
+	remote, err := NewRemote[int, int]("fleet", RemoteConfig{
+		CallTimeout: time.Second,
+		HedgeAfter:  10 * time.Millisecond,
+		MaxHedges:   1,
+	},
+		Endpoint{Name: "h1", Dial: network.Dial("h1")},
+		Endpoint{Name: "h2", Dial: network.Dial("h2")},
+	)
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	defer remote.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		delays := []time.Duration{time.Millisecond, 50 * time.Millisecond, 5 * time.Millisecond}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			remote.SetHedgeAfter(delays[i%len(delays)])
+			if got := remote.HedgeAfter(); got <= 0 {
+				t.Errorf("torn HedgeAfter read: %v", got)
+				return
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	for i := 0; i < 300; i++ {
+		got, err := remote.Execute(ctx, i)
+		if err != nil {
+			t.Fatalf("Execute(%d) under SetHedgeAfter churn: %v", i, err)
+		}
+		if got != 2*i {
+			t.Fatalf("Execute(%d) = %d, want %d", i, got, 2*i)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestEndpointMutationRacesExecute(t *testing.T) {
+	network := NewPipeNetwork()
+	for i := 1; i <= 4; i++ {
+		startReplica(t, network, fmt.Sprintf("m%d", i), double())
+	}
+	// m1 and m2 are permanent; m3/m4 are churned in and out while the
+	// request loop runs, exercising the copy-on-write endpoint set
+	// against in-flight snapshots.
+	remote, err := NewRemote[int, int]("fleet", RemoteConfig{
+		CallTimeout: time.Second,
+	},
+		Endpoint{Name: "m1", Dial: network.Dial("m1")},
+		Endpoint{Name: "m2", Dial: network.Dial("m2")},
+	)
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	defer remote.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			name := fmt.Sprintf("m%d", 3+i%2)
+			if err := remote.AddEndpoint(Endpoint{Name: name, Dial: network.Dial(name)}); err != nil {
+				continue // already present from a previous lap
+			}
+			if err := remote.RemoveEndpoint(name); err != nil {
+				t.Errorf("RemoveEndpoint(%s): %v", name, err)
+				return
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	for i := 0; i < 300; i++ {
+		got, err := remote.Execute(ctx, i)
+		if err != nil {
+			t.Fatalf("Execute(%d) under endpoint churn: %v", i, err)
+		}
+		if got != 2*i {
+			t.Fatalf("Execute(%d) = %d, want %d", i, got, 2*i)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if names := remote.Endpoints(); len(names) < 2 {
+		t.Fatalf("permanent endpoints lost under churn: %v", names)
+	}
+}

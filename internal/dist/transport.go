@@ -6,6 +6,15 @@ package dist
 // adjudication). It owns the validated endpoint set, one connection
 // pool per endpoint, the RPC ID sequence, and the single-attempt round
 // trip; the clients own their fan-out policy on top.
+//
+// The endpoint set is mutable at runtime — the autonomic control plane
+// splices replacement replicas into a live fleet — so it lives behind
+// an atomically swapped immutable snapshot (epSet): every Execute
+// captures one snapshot and fans out against it, and Add/Remove
+// copy-on-write a new snapshot under the mutation mutex. Removing an
+// endpoint closes its pool, which unblocks any straggler still reading
+// from the removed replica; in-flight calls against other endpoints of
+// the same captured snapshot are untouched.
 
 import (
 	"context"
@@ -18,16 +27,46 @@ import (
 	"github.com/softwarefaults/redundancy/internal/obs"
 )
 
+// epSet is one immutable snapshot of the endpoint set: parallel
+// endpoint and pool slices. Snapshots are never mutated after
+// publication, so a fan-out indexing into one cannot see indexes shift
+// under a concurrent Add/Remove.
+type epSet struct {
+	endpoints []Endpoint
+	pools     []*connPool
+}
+
+// index returns the position of the named endpoint, or -1.
+func (s *epSet) index(name string) int {
+	for i, ep := range s.endpoints {
+		if ep.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// names returns the endpoint names in configured order.
+func (s *epSet) names() []string {
+	out := make([]string, len(s.endpoints))
+	for i, ep := range s.endpoints {
+		out[i] = ep.Name
+	}
+	return out
+}
+
 // transport is the shared endpoint/pool state. It is deliberately
 // non-generic: Go has no generic methods, so the typed round trip is
 // the free function roundTrip below.
 type transport struct {
 	name        string
-	endpoints   []Endpoint
-	pools       []*connPool
+	kind        string // client flavor ("remote", "quorum") for errors
 	callTimeout time.Duration
 	ids         atomic.Uint64
 	closed      atomic.Bool
+
+	mu  sync.Mutex // serializes endpoint-set mutations
+	eps atomic.Pointer[epSet]
 }
 
 // newTransport validates the endpoint set (every endpoint named and
@@ -47,13 +86,78 @@ func newTransport(kind, name string, callTimeout time.Duration, endpoints []Endp
 	if callTimeout <= 0 {
 		callTimeout = defaultCallTimeout
 	}
-	eps := make([]Endpoint, len(endpoints))
-	copy(eps, endpoints)
-	pools := make([]*connPool, len(eps))
-	for i := range pools {
-		pools[i] = newConnPool()
+	set := &epSet{
+		endpoints: make([]Endpoint, len(endpoints)),
+		pools:     make([]*connPool, len(endpoints)),
 	}
-	return &transport{name: name, endpoints: eps, pools: pools, callTimeout: callTimeout}, nil
+	copy(set.endpoints, endpoints)
+	for i := range set.pools {
+		set.pools[i] = newConnPool()
+	}
+	t := &transport{name: name, kind: kind, callTimeout: callTimeout}
+	t.eps.Store(set)
+	return t, nil
+}
+
+// view returns the current endpoint-set snapshot. Callers fan one
+// request out against one view; the view stays valid (its pools are
+// only closed by remove/close, which unblocks rather than corrupts).
+func (t *transport) view() *epSet { return t.eps.Load() }
+
+// add splices a new endpoint (with a fresh pool) into the set.
+func (t *transport) add(ep Endpoint) error {
+	if ep.Name == "" || ep.Dial == nil {
+		return fmt.Errorf("dist: %s %q: endpoint needs a name and a dialer", t.kind, t.name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return ErrClientClosed
+	}
+	cur := t.eps.Load()
+	if cur.index(ep.Name) >= 0 {
+		return fmt.Errorf("dist: %s %q: duplicate endpoint %q", t.kind, t.name, ep.Name)
+	}
+	next := &epSet{
+		endpoints: append(append([]Endpoint(nil), cur.endpoints...), ep),
+		pools:     append(append([]*connPool(nil), cur.pools...), newConnPool()),
+	}
+	t.eps.Store(next)
+	return nil
+}
+
+// remove takes the named endpoint out of the set and closes its pool,
+// which cancels any straggler still blocked on the removed replica.
+// minLeft guards the invariant the client needs after removal
+// (Remote: at least 1 endpoint, Quorum: at least 2k+1).
+func (t *transport) remove(name string, minLeft int) error {
+	t.mu.Lock()
+	if t.closed.Load() {
+		t.mu.Unlock()
+		return ErrClientClosed
+	}
+	cur := t.eps.Load()
+	i := cur.index(name)
+	if i < 0 {
+		t.mu.Unlock()
+		return fmt.Errorf("dist: %s %q: no endpoint %q", t.kind, t.name, name)
+	}
+	if len(cur.endpoints)-1 < minLeft {
+		t.mu.Unlock()
+		return fmt.Errorf("dist: %s %q: removing %q would leave %d endpoints, need at least %d",
+			t.kind, t.name, name, len(cur.endpoints)-1, minLeft)
+	}
+	next := &epSet{
+		endpoints: make([]Endpoint, 0, len(cur.endpoints)-1),
+		pools:     make([]*connPool, 0, len(cur.pools)-1),
+	}
+	next.endpoints = append(append(next.endpoints, cur.endpoints[:i]...), cur.endpoints[i+1:]...)
+	next.pools = append(append(next.pools, cur.pools[:i]...), cur.pools[i+1:]...)
+	t.eps.Store(next)
+	removed := cur.pools[i]
+	t.mu.Unlock()
+	removed.close()
+	return nil
 }
 
 // close releases every pooled and in-flight connection; blocked calls
@@ -62,22 +166,25 @@ func (t *transport) close() {
 	if t.closed.Swap(true) {
 		return
 	}
-	for _, p := range t.pools {
+	t.mu.Lock()
+	set := t.eps.Load()
+	t.mu.Unlock()
+	for _, p := range set.pools {
 		p.close()
 	}
 }
 
-// roundTrip performs one RPC attempt against one endpoint: pooled
-// connection (or fresh dial), framed call out, framed reply in, all
-// under the per-endpoint deadline. The attempt span tc (zero when
-// untraced) rides the envelope so the replica continues the trace.
-// Context cancellation — a winner canceling losers or stragglers, or
-// the caller giving up — smashes the connection deadline so a blocked
-// read returns promptly.
-func roundTrip[I, O any](ctx context.Context, t *transport, ep int, tc obs.TraceContext, input I) (out O, err error) {
+// roundTrip performs one RPC attempt against one endpoint of the
+// captured snapshot: pooled connection (or fresh dial), framed call
+// out, framed reply in, all under the per-endpoint deadline. The
+// attempt span tc (zero when untraced) rides the envelope so the
+// replica continues the trace. Context cancellation — a winner
+// canceling losers or stragglers, or the caller giving up — smashes
+// the connection deadline so a blocked read returns promptly.
+func roundTrip[I, O any](ctx context.Context, t *transport, v *epSet, ep int, tc obs.TraceContext, input I) (out O, err error) {
 	ctx, cancel := context.WithTimeout(ctx, t.callTimeout)
 	defer cancel()
-	conn, err := t.pools[ep].get(ctx, t.endpoints[ep].Dial)
+	conn, err := v.pools[ep].get(ctx, v.endpoints[ep].Dial)
 	if err != nil {
 		return out, err
 	}
@@ -89,14 +196,14 @@ func roundTrip[I, O any](ctx context.Context, t *transport, ep int, tc obs.Trace
 		if !stop() {
 			// The canceler ran (or is running): the deadline may be
 			// smashed, so the connection cannot be trusted for reuse.
-			t.pools[ep].drop(conn)
+			v.pools[ep].drop(conn)
 			return
 		}
 		if reusable {
 			conn.SetDeadline(time.Time{})
-			t.pools[ep].put(conn)
+			v.pools[ep].put(conn)
 		} else {
-			t.pools[ep].drop(conn)
+			v.pools[ep].drop(conn)
 		}
 	}()
 	if d, ok := ctx.Deadline(); ok {
@@ -111,11 +218,11 @@ func roundTrip[I, O any](ctx context.Context, t *transport, ep int, tc obs.Trace
 		return out, err
 	}
 	if err := writeFrame(conn, frame); err != nil {
-		return out, fmt.Errorf("dist: %s: send: %w", t.endpoints[ep].Name, err)
+		return out, fmt.Errorf("dist: %s: send: %w", v.endpoints[ep].Name, err)
 	}
 	payload, err := readFrame(conn)
 	if err != nil {
-		return out, fmt.Errorf("dist: %s: recv: %w", t.endpoints[ep].Name, err)
+		return out, fmt.Errorf("dist: %s: recv: %w", v.endpoints[ep].Name, err)
 	}
 	reply, err := decodeEnvelope(payload)
 	if err != nil {
@@ -128,7 +235,7 @@ func roundTrip[I, O any](ctx context.Context, t *transport, ep int, tc obs.Trace
 		// An in-band failure: the variant on the far side failed, but the
 		// connection itself completed a clean round trip and stays usable.
 		reusable = true
-		return out, fmt.Errorf("dist: %s: %w: %s", t.endpoints[ep].Name, ErrRemote, reply.Err)
+		return out, fmt.Errorf("dist: %s: %w: %s", v.endpoints[ep].Name, ErrRemote, reply.Err)
 	}
 	if err := decodeValue(reply.Payload, &out); err != nil {
 		return out, err

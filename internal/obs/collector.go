@@ -63,6 +63,9 @@ type ExecutorStats struct {
 	voteDisagreements atomic.Int64 // requests whose successful replies disagreed
 	outvoted          atomic.Int64 // successful replies the quorum rejected
 
+	// Autonomic-control counters (ControlObserver events).
+	controlActions atomic.Int64 // reconfigurations performed by the controller
+
 	latency Histogram // request latency
 	mttr    Histogram // supervised-restart recovery time
 
@@ -236,6 +239,7 @@ type ExecutorSnapshot struct {
 	QuorumsReached   int64             `json:"quorums_reached,omitempty"`
 	VoteDisagreement int64             `json:"vote_disagreements,omitempty"`
 	ReplicasOutvoted int64             `json:"replicas_outvoted,omitempty"`
+	ControlActions   int64             `json:"control_actions,omitempty"`
 	Latency          HistogramSnapshot `json:"latency"`
 	MTTR             HistogramSnapshot `json:"mttr,omitempty"`
 	Variants         []VariantSnapshot `json:"variants,omitempty"`
@@ -275,6 +279,7 @@ func (c *Collector) Snapshot() []ExecutorSnapshot {
 			QuorumsReached:   e.quorums.Load(),
 			VoteDisagreement: e.voteDisagreements.Load(),
 			ReplicasOutvoted: e.outvoted.Load(),
+			ControlActions:   e.controlActions.Load(),
 			Latency:          e.latency.Snapshot(),
 			MTTR:             e.mttr.Snapshot(),
 		}

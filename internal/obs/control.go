@@ -1,0 +1,78 @@
+package obs
+
+// Control events extend the observation layer with the autonomic-
+// control-plane vocabulary (internal/control): every reconfiguration
+// the controller performs — replacing a convicted replica, retuning
+// the hedge delay or the retry-budget deposit rate, routing a
+// diagnosed variant to substitution or rejuvenation — is one
+// ControlActionTaken event carrying the cause that triggered it, the
+// target it reconfigured, and the old → new setting.
+//
+// Like the distribution (dist.go) and quorum (quorum.go) events, the
+// control events are an *optional* extension of Observer so existing
+// observers keep compiling unchanged: an observer that wants them
+// additionally implements ControlObserver, and emitters route events
+// through EmitControlAction, which type-asserts and fans out through
+// combined observers. The built-in Collector counts actions per
+// controller, so campaigns and the metrics endpoint can gate on
+// intervention rates.
+
+// ControlObserver is the optional Observer extension receiving
+// autonomic-control events. Observers implement it in addition to
+// Observer; emitters must route events through EmitControlAction so
+// that combined observers (Combine) fan the events out to every member
+// that implements the extension.
+type ControlObserver interface {
+	// ControlActionTaken reports one reconfiguration performed by the
+	// controller. action names the actuator kind (e.g. "replace",
+	// "hedge-tune", "deposit-tune", "rejuvenate", "substitute"), cause
+	// names the evidence that triggered it (e.g. "detector:dead",
+	// "slo:fast-burn", "diagnosis:aging"), target names the replica or
+	// variant acted on, and oldValue/newValue record the setting before
+	// and after (free-form, e.g. durations or replica names).
+	ControlActionTaken(controller, action, cause, target, oldValue, newValue string)
+}
+
+// EmitControlAction delivers a control action to o if it (or any member
+// of a combined observer) implements ControlObserver. Nil observers are
+// ignored.
+func EmitControlAction(o Observer, controller, action, cause, target, oldValue, newValue string) {
+	if c, ok := o.(ControlObserver); ok {
+		c.ControlActionTaken(controller, action, cause, target, oldValue, newValue)
+	}
+}
+
+// ControlActionTaken implements ControlObserver for Nop.
+func (Nop) ControlActionTaken(string, string, string, string, string, string) {}
+
+var _ ControlObserver = Nop{}
+
+// ControlActionTaken implements ControlObserver: the event reaches
+// every member that implements the extension.
+func (m multi) ControlActionTaken(controller, action, cause, target, oldValue, newValue string) {
+	for _, o := range m {
+		if c, ok := o.(ControlObserver); ok {
+			c.ControlActionTaken(controller, action, cause, target, oldValue, newValue)
+		}
+	}
+}
+
+var _ ControlObserver = multi(nil)
+
+// ControlActionTaken implements ControlObserver: actions are counted
+// per controller (the executor) and per actuator kind (the variant), so
+// the metrics endpoint exports both the total intervention rate and its
+// breakdown by action type.
+func (c *Collector) ControlActionTaken(controller, action, _, _, _, _ string) {
+	e := c.exec(controller)
+	e.controlActions.Add(1)
+	e.variant(action).executions.Add(1)
+}
+
+var _ ControlObserver = (*Collector)(nil)
+
+// ControlActionTaken implements ControlObserver. Control actions are
+// not bound to one request; the Collector keeps the counts.
+func (t *TraceRecorder) ControlActionTaken(string, string, string, string, string, string) {}
+
+var _ ControlObserver = (*TraceRecorder)(nil)

@@ -148,6 +148,8 @@ func WritePrometheus(w io.Writer, c *Collector) {
 		func(e ExecutorSnapshot) int64 { return e.VoteDisagreement })
 	counter("redundancy_replicas_outvoted_total", "Successful replica replies rejected by a quorum verdict.",
 		func(e ExecutorSnapshot) int64 { return e.ReplicasOutvoted })
+	counter("redundancy_control_actions_total", "Reconfigurations performed by the autonomic controller.",
+		func(e ExecutorSnapshot) int64 { return e.ControlActions })
 
 	fmt.Fprint(w, "# HELP redundancy_inflight_variants Variant executions currently running.\n")
 	fmt.Fprint(w, "# TYPE redundancy_inflight_variants gauge\n")

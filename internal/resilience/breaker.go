@@ -284,7 +284,25 @@ func (b *Breaker) transitionLocked(to obs.BreakerState, now time.Time) transitio
 	return tr
 }
 
-// openErr builds the fast-rejection error.
+// Reset force-closes the breaker and clears its failure memory. The
+// control plane calls it after repairing the variant behind the breaker
+// — a freshly rejuvenated or replaced replica should not stay dark for
+// OpenFor on evidence accumulated against its broken predecessor.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	var tr transition
+	fired := false
+	if b.state != obs.BreakerClosed {
+		tr, fired = b.transitionLocked(obs.BreakerClosed, b.cfg.Now()), true
+	} else {
+		b.consecFails = 0
+		b.windowIdx, b.windowLen, b.windowFails = 0, 0, 0
+	}
+	b.mu.Unlock()
+	if fired {
+		b.emit(tr)
+	}
+}
 func (b *Breaker) openErr() error {
 	return fmt.Errorf("variant %s: %w", b.variant, ErrBreakerOpen)
 }
@@ -329,6 +347,18 @@ func (bs *Breakers) For(variant string) *Breaker {
 		bs.m[variant] = b
 	}
 	return b
+}
+
+// Reset force-closes one variant's breaker and clears its failure
+// memory — see Breaker.Reset. A variant the set has never seen is left
+// alone (its breaker would start closed anyway).
+func (bs *Breakers) Reset(variant string) {
+	bs.mu.Lock()
+	b := bs.m[variant]
+	bs.mu.Unlock()
+	if b != nil {
+		b.Reset()
+	}
 }
 
 // State returns the state of one variant's breaker (closed if the

@@ -1,0 +1,56 @@
+package resilience
+
+// Torn-read races on the retry-budget deposit rate: the control plane's
+// deposit-tune actuator calls SetDepositPerRequest from the controller
+// goroutine while request goroutines Deposit and Withdraw. Run with
+// -race; the assertion is consistency, not a particular balance.
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSetDepositPerRequestRacesBudgetUse(t *testing.T) {
+	budget := NewRetryBudget(50, 0.1)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rates := []float64{0.02, 0.1, 0.5}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			budget.SetDepositPerRequest(rates[i%len(rates)])
+			if got := budget.DepositPerRequest(); got < 0.02 || got > 0.5 {
+				t.Errorf("torn DepositPerRequest read: %v", got)
+				return
+			}
+		}
+	}()
+
+	var users sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		users.Add(1)
+		go func() {
+			defer users.Done()
+			for i := 0; i < 5000; i++ {
+				budget.Deposit()
+				if i%3 == 0 {
+					budget.Withdraw()
+				}
+				if b := budget.Balance(); b < 0 || b > 50 {
+					t.Errorf("balance out of range under rate churn: %v", b)
+					return
+				}
+			}
+		}()
+	}
+	users.Wait()
+	close(done)
+	wg.Wait()
+}

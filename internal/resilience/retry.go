@@ -188,6 +188,28 @@ func (b *RetryBudget) Withdraw() bool {
 	return true
 }
 
+// DepositPerRequest returns the current per-request deposit rate.
+func (b *RetryBudget) DepositPerRequest() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.deposit
+}
+
+// SetDepositPerRequest retunes the per-request deposit rate at runtime
+// — the autonomic controller lowers it when the error budget is
+// burning (retries amplify load exactly when the system is unhealthy)
+// and restores it when the burn subsides. Non-positive rates clamp to
+// 0, freezing new allowance without confiscating the balance already
+// earned.
+func (b *RetryBudget) SetDepositPerRequest(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	b.mu.Lock()
+	b.deposit = rate
+	b.mu.Unlock()
+}
+
 // Balance returns the current token balance.
 func (b *RetryBudget) Balance() float64 {
 	b.mu.Lock()

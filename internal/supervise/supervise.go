@@ -146,6 +146,13 @@ type exit struct {
 	err   error // nil for a normal return
 }
 
+// addReq is a dynamic child-start request delivered to the monitor
+// loop: the spec to adopt plus a reply channel for the start outcome.
+type addReq struct {
+	spec  ChildSpec
+	reply chan error
+}
+
 // child is the runtime state of one supervised component.
 type child struct {
 	spec     ChildSpec
@@ -168,6 +175,7 @@ type Supervisor struct {
 	kids     []*child
 	exits    chan exit
 	restartQ chan string // programmatic restart requests, by child name
+	addQ     chan addReq // dynamic child-start requests
 	serving  bool
 }
 
@@ -224,6 +232,51 @@ func (s *Supervisor) Restart(name string) error {
 	}
 }
 
+// StartChild adds a child to a *serving* supervisor and starts it
+// immediately — the dynamic sibling of Add, which only accepts specs
+// before Serve. The request is routed through the monitor loop (like
+// Restart), so the child list is only ever grown on the supervising
+// goroutine; the call blocks until the child's Init has completed (or
+// failed) and returns the start outcome. The autonomic control plane
+// uses it to spawn replacement replicas into a running fleet.
+func (s *Supervisor) StartChild(spec ChildSpec) error {
+	if spec.Name == "" {
+		return errors.New("supervise: child needs a name")
+	}
+	req := addReq{spec: spec, reply: make(chan error, 1)}
+	s.mu.Lock()
+	if !s.serving || s.addQ == nil {
+		s.mu.Unlock()
+		return errors.New("supervise: not serving")
+	}
+	select {
+	case s.addQ <- req:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		return errors.New("supervise: start queue full")
+	}
+	return <-req.reply
+}
+
+// adopt grows the child list with a dynamic spec and starts it. Runs on
+// the supervising goroutine only (via the addQ case of Serve's loop).
+func (s *Supervisor) adopt(ctx context.Context, spec ChildSpec) error {
+	if s.indexOf(spec.Name) >= 0 {
+		return fmt.Errorf("supervise: duplicate child %q", spec.Name)
+	}
+	s.mu.Lock()
+	s.specs = append(s.specs, spec)
+	s.kids = append(s.kids, &child{spec: spec})
+	idx := len(s.kids) - 1
+	s.mu.Unlock()
+	if err := s.start(ctx, idx, nil); err != nil {
+		s.reportInitFailure(idx, err)
+		return err
+	}
+	return nil
+}
+
 // Serve starts the children in order and supervises them until ctx is
 // canceled (normal shutdown, returns nil), every child has terminated
 // and none is restartable (returns nil), or restart intensity is
@@ -250,11 +303,25 @@ func (s *Supervisor) Serve(ctx context.Context) (err error) {
 	// holds one report per child plus slack for init-failure feedback.
 	s.exits = make(chan exit, 2*len(s.specs)+16)
 	s.restartQ = make(chan string, len(s.specs)+4)
-	exits, restartQ := s.exits, s.restartQ
+	s.addQ = make(chan addReq, 4)
+	exits, restartQ, addQ := s.exits, s.restartQ, s.addQ
 	s.mu.Unlock()
 	defer func() {
+		// Fail pending StartChild callers instead of leaving them blocked:
+		// the queue is drained under the same mutex StartChild enqueues
+		// under, so a request is either handled by the loop or refused here.
 		s.mu.Lock()
 		s.serving = false
+		for {
+			select {
+			case req := <-addQ:
+				req.reply <- errors.New("supervise: not serving")
+				continue
+			default:
+			}
+			break
+		}
+		s.addQ = nil
 		s.mu.Unlock()
 	}()
 
@@ -282,6 +349,8 @@ func (s *Supervisor) Serve(ctx context.Context) (err error) {
 			if err := s.handleFailure(ctx, idx, errors.New("supervise: restart requested"), &restartTimes, intensity); err != nil {
 				return err
 			}
+		case req := <-addQ:
+			req.reply <- s.adopt(ctx, req.spec)
 		case e := <-exits:
 			s.mu.Lock()
 			c := s.kids[e.child]

@@ -6,7 +6,8 @@
 # diffed.
 #
 # Four files come out of one benchmark run: the resilience-policy
-# results (the internal/resilience primitives plus the root
+# results (the internal/resilience primitives, the autonomic
+# controller's reconciliation tick from internal/control, plus the root
 # BenchmarkChaosCampaign* throughput pair, with/without the bulkhead)
 # land in BENCH_resilience.json; the crash-recovery results (WAL
 # append/replay and the BenchmarkCrashRecovery reopen-with-replay
@@ -26,7 +27,7 @@ out_res="${2:-BENCH_resilience.json}"
 out_rec="${3:-BENCH_recovery.json}"
 out_net="${4:-BENCH_net.json}"
 benchtime="${BENCHTIME:-1s}"
-pkgs=". ./internal/obs/... ./internal/pattern ./internal/resilience ./internal/checkpoint ./internal/dist ./internal/xrand"
+pkgs=". ./internal/obs/... ./internal/pattern ./internal/resilience ./internal/control ./internal/checkpoint ./internal/dist ./internal/xrand"
 
 # shellcheck disable=SC2086  # pkgs is a deliberate word list
 raw="$(go test -bench=. -benchmem -run='^$' -benchtime="$benchtime" $pkgs)"
@@ -52,7 +53,7 @@ function row(bench, metric, value, unit) {
 BEGIN { print "[" }
 /^pkg:/ { pkg = $2; sub(/^.*\//, "", pkg) }
 /^Benchmark/ {
-    res = (pkg == "resilience" || $1 ~ /^BenchmarkChaosCampaign/)
+    res = (pkg == "resilience" || pkg == "control" || $1 ~ /^BenchmarkChaosCampaign/)
     rec = (pkg == "checkpoint")
     net = (pkg == "dist")
     if (mode == "resilience") keep = res
