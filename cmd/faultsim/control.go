@@ -466,8 +466,8 @@ func runControl(seed uint64, requests int, controlOn bool, extra redundancy.Obse
 	states := detector.States()
 	members := make([]string, 0, len(states))
 	for _, name := range sortedStateNames(states) {
-		misses, accusations := detector.Evidence(name)
-		members = append(members, fmt.Sprintf("%s=%s(miss=%d,accuse=%d)", name, states[name], misses, accusations))
+		misses, accusations, slowness := detector.Evidence(name)
+		members = append(members, fmt.Sprintf("%s=%s(miss=%d,accuse=%d,slow=%d)", name, states[name], misses, accusations, slowness))
 	}
 	tbl.AddRow("final membership", strings.Join(members, " "))
 	tbl.AddRow("endpoints at exit", strings.Join(remote.Endpoints(), ", "))

@@ -81,6 +81,19 @@
 //
 //	faultsim -control on
 //	faultsim -control off -seed 7 -campaign-out runs/
+//
+// With -gray the tool runs the gray-failure experiment (E29): a
+// three-replica fleet whose configured primary turns fail-slow mid-run
+// — heartbeats ack on time, every answer is correct, but service is
+// 20× slower. -gray off runs the unmitigated arm (no hedging, no
+// ejector: the fleet p99 inflates by the full limp factor); -gray on
+// runs the same fault against the mitigation stack — hedged requests,
+// latency-outlier ejection with probation and reinstatement, and the
+// gray-failure rejuvenation policy. -gray-spec picks the limp profile
+// (see faultmodel.ParseFailSlowSpec).
+//
+//	faultsim -gray off
+//	faultsim -gray on -gray-spec constant:20 -seed 7 -campaign-out runs/
 package main
 
 import (
@@ -133,6 +146,8 @@ func run(args []string) error {
 		adversary   = fs.String("adversary", "", "run the Byzantine quorum fleet under a lying-replica adversary: strategy[:count] with strategy always, intermittent, or collude (e.g. -adversary collude:2)")
 		replicas    = fs.Int("replicas", 5, "quorum fleet size for -adversary (needs 2k+1 replicas to tolerate k liars)")
 		control     = fs.String("control", "", "run the autonomic control-plane fleet (E28): 'on' closes the loop, 'off' runs the same fleet with the controller frozen by the kill switch")
+		gray        = fs.String("gray", "", "run the gray-failure fleet (E29): 'on' arms the mitigation stack (hedging, latency-outlier ejection, rejuvenation policy), 'off' runs the same fail-slow fault unmitigated")
+		graySpec    = fs.String("gray-spec", "constant:20", "fail-slow fault spec for -gray: profile[:factor] with profile constant, progressive, or bursts")
 
 		campaignOut  = fs.String("campaign-out", "", "record this invocation as a run document in this experiment-store directory (inspect with cmd/campaign: list, show, diff, replay)")
 		campaignName = fs.String("campaign-name", "", "run name stored with -campaign-out")
@@ -239,6 +254,26 @@ func run(args []string) error {
 			rec = newRunRecorder(controlCfg.Seed)
 		}
 		return runControl(*seed, *netRequests, *control == "on", observer, rec, set, controlCfg)
+	}
+
+	if *gray != "" {
+		if *gray != "on" && *gray != "off" {
+			return fmt.Errorf("invalid -gray %q: want on or off", *gray)
+		}
+		if *netRequests < 1 {
+			return fmt.Errorf("invalid -net-requests %d", *netRequests)
+		}
+		grayCfg := resolvedGrayConfig(*seed, *netRequests, *gray == "on", *graySpec)
+		if *configOut != "" {
+			if err := writeConfigOut(*configOut, grayCfg); err != nil {
+				return err
+			}
+		}
+		var rec *runRecorder
+		if *campaignOut != "" {
+			rec = newRunRecorder(grayCfg.Seed)
+		}
+		return runGray(*seed, *netRequests, *gray == "on", *graySpec, observer, rec, set, grayCfg)
 	}
 
 	if *netMode || *netChaos {

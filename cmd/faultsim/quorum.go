@@ -243,7 +243,7 @@ func runQuorum(seed uint64, replicas int, strategy redundancy.AdversaryStrategy,
 	// acks every heartbeat), misses are heartbeat silence.
 	evidence := make([]string, 0, len(names))
 	for _, name := range names {
-		misses, accusations := detector.Evidence(name)
+		misses, accusations, _ := detector.Evidence(name)
 		evidence = append(evidence, fmt.Sprintf("%s=%d/%d", name, accusations, misses))
 	}
 	tbl.AddRow("evidence (accusations/misses)", strings.Join(evidence, " "))

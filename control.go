@@ -48,6 +48,12 @@ type (
 	DiagnosisPolicy = control.DiagnosisPolicy
 	// DiagnosisPolicyConfig parameterizes a DiagnosisPolicy.
 	DiagnosisPolicyConfig = control.DiagnosisPolicyConfig
+	// GrayFailurePolicy routes replicas with persistent slowness
+	// evidence — gray-failed: heartbeating, truthful, limping — to
+	// rejuvenation, with deadband/settle/cooldown hysteresis.
+	GrayFailurePolicy = control.GrayFailurePolicy
+	// GrayFailurePolicyConfig parameterizes a GrayFailurePolicy.
+	GrayFailurePolicyConfig = control.GrayFailurePolicyConfig
 )
 
 // Action kinds the built-in control policies propose.
@@ -77,4 +83,9 @@ func NewTailPolicy(cfg TailPolicyConfig) *TailPolicy { return control.NewTailPol
 // NewDiagnosisPolicy builds the diagnosis-directed recovery policy.
 func NewDiagnosisPolicy(cfg DiagnosisPolicyConfig) *DiagnosisPolicy {
 	return control.NewDiagnosisPolicy(cfg)
+}
+
+// NewGrayFailurePolicy builds the gray-failure rejuvenation policy.
+func NewGrayFailurePolicy(cfg GrayFailurePolicyConfig) *GrayFailurePolicy {
+	return control.NewGrayFailurePolicy(cfg)
 }

@@ -58,6 +58,21 @@ type (
 	// NetworkCampaign.
 	NetworkPhase = faultmodel.NetworkPhase
 
+	// LatencyEjectorConfig tunes a LatencyEjector: EWMA smoothing, the
+	// peer-relative ejection threshold, the rotation floor, and the
+	// probation/reinstatement schedule.
+	LatencyEjectorConfig = dist.EjectorConfig
+	// LatencyEjector tracks per-endpoint latency EWMAs from the client's
+	// own attempts, ejects peer-relative outliers from routing, probes
+	// them on a trickle, and reinstates sustained recoveries — the
+	// gray-failure containment layer. Wire one into RemoteConfig.Ejector.
+	LatencyEjector = dist.Ejector
+	// EndpointLatency is one endpoint's row in a LatencyEjector snapshot.
+	EndpointLatency = dist.EndpointLatency
+	// SlowProfile selects a FailSlowVariant's limp shape: constant,
+	// progressive, or bursts.
+	SlowProfile = faultmodel.SlowProfile
+
 	// QuorumConfig tunes a QuorumVariant: per-endpoint call timeout, the
 	// fault-tolerance target k (construction enforces n >= 2k+1), the
 	// early-adjudication threshold MinReplies, the failure detector
@@ -73,6 +88,13 @@ const (
 	AdversaryAlways       = faultmodel.AdversaryAlways
 	AdversaryIntermittent = faultmodel.AdversaryIntermittent
 	AdversaryCollude      = faultmodel.AdversaryCollude
+)
+
+// Fail-slow limp profiles.
+const (
+	SlowConstant    = faultmodel.SlowConstant
+	SlowProgressive = faultmodel.SlowProgressive
+	SlowBursts      = faultmodel.SlowBursts
 )
 
 // Failure-detector verdicts.
@@ -155,6 +177,25 @@ func NewQuorumVariant[I, O any](name string, cfg QuorumConfig, adj Adjudicator[O
 // -adversary flag (e.g. "collude:2"); a bare strategy means count 1.
 func ParseAdversarySpec(spec string) (AdversaryStrategy, int, error) {
 	return faultmodel.ParseAdversarySpec(spec)
+}
+
+// FailSlowVariant wraps a correct Variant as a gray-failed replica: it
+// answers every call correctly and acks every heartbeat, but stalls
+// each execution by a profile-shaped multiple of its base latency —
+// the fail-slow fault of Gunawi et al. that liveness-only detection
+// cannot see. Rejuvenate cures the limp, modeling a micro-reboot.
+type FailSlowVariant[I, O any] = faultmodel.FailSlow[I, O]
+
+// ParseFailSlowSpec parses the "profile:factor" form of the faultsim
+// -gray-spec flag (e.g. "constant:20"); a bare profile means factor 20.
+func ParseFailSlowSpec(spec string) (SlowProfile, float64, error) {
+	return faultmodel.ParseFailSlowSpec(spec)
+}
+
+// NewLatencyEjector builds a latency-outlier ejector with no endpoints;
+// it learns the fleet from the Observe calls the remote client feeds it.
+func NewLatencyEjector(cfg LatencyEjectorConfig) *LatencyEjector {
+	return dist.NewEjector(cfg)
 }
 
 // NewReplicaServer wraps a variant as a replica served from ln.

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -466,6 +467,62 @@ func TestDiffMissingPointFailsGate(t *testing.T) {
 	rep := Diff(base, cand, DiffOptions{})
 	if !rep.Regressed() || len(rep.MissingInCand) != 1 {
 		t.Fatalf("dropped point not flagged: %+v", rep)
+	}
+}
+
+func TestEjectionBlockPoolingAndMetrics(t *testing.T) {
+	// Ground truth: r2 limps and was caught; r1/r3 healthy, r3 falsely
+	// ejected. Replica-level, like Conviction.
+	ej := NewEjection(
+		map[string]bool{"r1": false, "r2": true, "r3": false},
+		map[string]bool{"r2": true, "r3": true},
+	)
+	if ej.TPR != 1 || ej.FPR != 0.5 {
+		t.Fatalf("NewEjection rates: tpr=%g fpr=%g, want 1/0.5", ej.TPR, ej.FPR)
+	}
+
+	// Pooling across seeds sums tallies, recomputes rates, and keeps the
+	// worst seed's tail amplification.
+	mk := func(ta float64, e *Ejection) SeedResult {
+		e.TailAmplification = ta
+		s := NewSeedResult(1, []Trial{{Outcome: OutcomeOK}}, time.Millisecond, nil, nil)
+		s.Aggregates.Ejection = e
+		return s
+	}
+	run := NewRecordedRun("gray", Config{Mode: "gray", Trials: 1, Gray: "on", GrayFault: "constant:20"},
+		mk(1.4, NewEjection(map[string]bool{"a": true, "b": false}, map[string]bool{"a": true})),
+		mk(1.9, NewEjection(map[string]bool{"a": true, "b": false}, map[string]bool{})),
+	)
+	pooled := run.Points[0].Pooled.Ejection
+	if pooled == nil {
+		t.Fatal("pooled aggregates dropped the ejection block")
+	}
+	if pooled.Limpers != 2 || pooled.EjectedLimpers != 1 || pooled.TPR != 0.5 {
+		t.Fatalf("pooled tallies: %+v", pooled)
+	}
+	if pooled.TailAmplification != 1.9 {
+		t.Fatalf("pooled tail amplification = %g, want the worst seed's 1.9", pooled.TailAmplification)
+	}
+
+	// Metrics gate on presence: gray aggregates expose the rows, plain
+	// aggregates never do — so non-gray runs cannot regress on them.
+	m := run.Points[0].Pooled.Metrics()
+	for _, name := range []string{"ejection_tpr", "ejection_fpr", "tail_amplification"} {
+		if _, ok := m[name]; !ok {
+			t.Fatalf("gray aggregates missing %s: %v", name, m)
+		}
+	}
+	plain := NewSeedResult(1, []Trial{{Outcome: OutcomeOK}}, time.Millisecond, nil, nil)
+	for name := range plain.Aggregates.Metrics() {
+		if name == "ejection_tpr" || name == "ejection_fpr" || name == "tail_amplification" {
+			t.Fatalf("plain aggregates leaked gray metric %s", name)
+		}
+	}
+
+	// The grid key distinguishes arms and fault specs.
+	key := run.Points[0].Config.Key()
+	if !strings.Contains(key, "gray=on") || !strings.Contains(key, "grayfault=constant:20") {
+		t.Fatalf("config key missing gray fields: %q", key)
 	}
 }
 

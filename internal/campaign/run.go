@@ -64,6 +64,14 @@ type Config struct {
 	// or the run was the static-configuration control arm ("off").
 	// Empty means the invocation had no controller at all.
 	Control string `json:"control,omitempty"`
+	// Gray records whether the gray-failure mitigation stack (latency
+	// ejector + straggler-aware routing) was live ("on") or the run was
+	// the unmitigated arm ("off"). Empty means the invocation injected
+	// no fail-slow fault at all.
+	Gray string `json:"gray,omitempty"`
+	// GrayFault is the fail-slow spec injected into the fleet
+	// ("constant:20", "progressive:20", "bursts:20"), gray mode only.
+	GrayFault string `json:"gray_fault,omitempty"`
 	// Executor records the resilience/transport policies in force.
 	Executor ExecutorConfig `json:"executor,omitempty"`
 }
@@ -123,6 +131,12 @@ func (c Config) Key() string {
 	}
 	if c.Control != "" {
 		fmt.Fprintf(&b, " control=%s", c.Control)
+	}
+	if c.Gray != "" {
+		fmt.Fprintf(&b, " gray=%s", c.Gray)
+	}
+	if c.GrayFault != "" {
+		fmt.Fprintf(&b, " grayfault=%s", c.GrayFault)
 	}
 	fmt.Fprintf(&b, " trials=%d", c.Trials)
 	return b.String()
@@ -287,6 +301,55 @@ func NewConviction(liars map[string]bool, convicted map[string]bool) *Conviction
 	return c
 }
 
+// Ejection scores the latency ejector's verdicts against the fail-slow
+// ground truth, per replica: a limper is caught when the ejector ever
+// ejected it during the run. TPR is ejected limpers over limpers; FPR
+// is ejected healthy replicas over healthy replicas. TailAmplification
+// is the run's p99 over the healthy-phase baseline p99 — the headline
+// gray-failure number (mitigated runs should hold it near 1).
+type Ejection struct {
+	Limpers           int     `json:"limpers"`
+	EjectedLimpers    int     `json:"ejected_limpers"`
+	Healthy           int     `json:"healthy"`
+	EjectedHealthy    int     `json:"ejected_healthy"`
+	Reinstated        int     `json:"reinstated"`
+	TailAmplification float64 `json:"tail_amplification,omitempty"`
+	TPR               float64 `json:"tpr"`
+	FPR               float64 `json:"fpr"`
+}
+
+// rates derives the TPR/FPR fields from the tallies.
+func (e *Ejection) rates() {
+	e.TPR, e.FPR = 0, 0
+	if e.Limpers > 0 {
+		e.TPR = float64(e.EjectedLimpers) / float64(e.Limpers)
+	}
+	if e.Healthy > 0 {
+		e.FPR = float64(e.EjectedHealthy) / float64(e.Healthy)
+	}
+}
+
+// NewEjection tallies ejector verdicts (replica name → ever ejected)
+// against the ground-truth limper set.
+func NewEjection(limpers map[string]bool, ejected map[string]bool) *Ejection {
+	e := &Ejection{}
+	for name, limps := range limpers {
+		if limps {
+			e.Limpers++
+			if ejected[name] {
+				e.EjectedLimpers++
+			}
+		} else {
+			e.Healthy++
+			if ejected[name] {
+				e.EjectedHealthy++
+			}
+		}
+	}
+	e.rates()
+	return e
+}
+
 // Timing is the wall-clock half: real latencies, never replay-compared.
 type Timing struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
@@ -307,6 +370,12 @@ type Aggregates struct {
 	// by quorum-mode recorders (it needs the detector's end state, which
 	// trial rows do not carry).
 	Conviction *Conviction `json:"conviction,omitempty"`
+	// Ejection scores replica-level fail-slow containment, attached by
+	// gray-mode recorders (it needs the ejector's end state and the
+	// healthy-phase baseline, which trial rows do not carry). Runs
+	// without an injected limper leave it nil, so other modes never
+	// gate on ejection metrics.
+	Ejection *Ejection `json:"ejection,omitempty"`
 	// Actions tallies autonomic-controller interventions by action kind
 	// (replace, hedge-tune, ...), attached by control-mode recorders.
 	// Runs without a controller leave it nil, so static runs never gate
@@ -473,6 +542,7 @@ func NewRecordedRun(name string, cfg Config, seeds ...SeedResult) *Run {
 	var all []Trial
 	var elapsed time.Duration
 	var conv *Conviction
+	var ej *Ejection
 	var actions map[string]int
 	for _, s := range seeds {
 		all = append(all, s.Trials...)
@@ -485,6 +555,21 @@ func NewRecordedRun(name string, cfg Config, seeds ...SeedResult) *Run {
 			conv.ConvictedLiars += c.ConvictedLiars
 			conv.Honest += c.Honest
 			conv.ConvictedHonest += c.ConvictedHonest
+		}
+		if x := s.Aggregates.Ejection; x != nil {
+			if ej == nil {
+				ej = &Ejection{}
+			}
+			ej.Limpers += x.Limpers
+			ej.EjectedLimpers += x.EjectedLimpers
+			ej.Healthy += x.Healthy
+			ej.EjectedHealthy += x.EjectedHealthy
+			ej.Reinstated += x.Reinstated
+			// The pooled tail amplification is the worst seed's — a
+			// mitigation that fails on any seed fails the gate.
+			if x.TailAmplification > ej.TailAmplification {
+				ej.TailAmplification = x.TailAmplification
+			}
 		}
 		if len(s.Aggregates.Actions) > 0 {
 			if actions == nil {
@@ -499,6 +584,10 @@ func NewRecordedRun(name string, cfg Config, seeds ...SeedResult) *Run {
 	if conv != nil {
 		conv.rates()
 		pooled.Conviction = conv
+	}
+	if ej != nil {
+		ej.rates()
+		pooled.Ejection = ej
 	}
 	pooled.Actions = actions
 	return &Run{
@@ -553,6 +642,15 @@ func (a *Aggregates) Metrics() map[string]float64 {
 		m["conviction_tpr"] = a.Conviction.TPR
 		m["conviction_fpr"] = a.Conviction.FPR
 	}
+	// Gray-failure metrics appear only on aggregates recorded with a
+	// fail-slow fault injected, so other modes never gate on them.
+	if a.Ejection != nil {
+		m["ejection_tpr"] = a.Ejection.TPR
+		m["ejection_fpr"] = a.Ejection.FPR
+		if a.Ejection.TailAmplification > 0 {
+			m["tail_amplification"] = a.Ejection.TailAmplification
+		}
+	}
 	// Control-plane metrics appear only on aggregates recorded with a
 	// controller attached, so static runs never gate on them.
 	if a.Actions != nil {
@@ -593,6 +691,12 @@ var metricCatalog = []MetricDef{
 	{Name: "wrong_answer_rate", HigherBetter: false, Directional: true, Epsilon: 0.0005},
 	{Name: "conviction_tpr", HigherBetter: true, Directional: true, Epsilon: 0.02},
 	{Name: "conviction_fpr", HigherBetter: false, Directional: true, Epsilon: 0.02},
+	{Name: "ejection_tpr", HigherBetter: true, Directional: true, Epsilon: 0.02},
+	{Name: "ejection_fpr", HigherBetter: false, Directional: true, Epsilon: 0.02},
+	// Tail amplification is a wall-clock ratio (run p99 over healthy
+	// baseline p99): timing-gated like the raw latency rows, with a wide
+	// floor because a 20× limper makes the unmitigated arm very noisy.
+	{Name: "tail_amplification", HigherBetter: false, Directional: true, Timing: true, Epsilon: 0.5},
 	{Name: "latency_p50_ms", HigherBetter: false, Directional: true, Timing: true, Epsilon: 0.05},
 	{Name: "latency_p90_ms", HigherBetter: false, Directional: true, Timing: true, Epsilon: 0.1},
 	{Name: "latency_p99_ms", HigherBetter: false, Directional: true, Timing: true, Epsilon: 0.25},

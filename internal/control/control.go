@@ -84,8 +84,9 @@ type Inputs struct {
 	// Detector is the failure detector's membership verdicts.
 	Detector map[string]obs.ReplicaState
 	// Evidence returns the detector's evidence against a replica:
-	// consecutive heartbeat misses and accumulated accusations.
-	Evidence func(name string) (misses, accusations int)
+	// consecutive heartbeat misses, accumulated accusations, and
+	// accumulated slowness reports from the latency ejector.
+	Evidence func(name string) (misses, accusations, slowness int)
 	// Health is the health engine's diagnosis snapshot.
 	Health []health.ExecutorHealth
 	// FastBurn returns an executor's fast-window error-budget burn rate.
@@ -102,7 +103,7 @@ type Sources struct {
 	Observed func() []obs.ExecutorSnapshot
 	SLO      func() []obs.SLOStatus
 	Detector func() map[string]obs.ReplicaState
-	Evidence func(name string) (misses, accusations int)
+	Evidence func(name string) (misses, accusations, slowness int)
 	Health   func() []health.ExecutorHealth
 	FastBurn func(executor string) float64
 	P99      func(executor string) time.Duration

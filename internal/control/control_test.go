@@ -39,7 +39,7 @@ func TestReplacementPolicyProposesOncePerConviction(t *testing.T) {
 		Tick: time.Millisecond,
 		Sources: Sources{
 			Detector: func() map[string]obs.ReplicaState { return states },
-			Evidence: func(name string) (int, int) { return 6, 0 },
+			Evidence: func(name string) (int, int, int) { return 6, 0, 0 },
 		},
 		Policies:  []Policy{&ReplacementPolicy{DeadAfter: 5}},
 		Actuators: map[string]Actuator{ActionReplace: recordActuator(&log)},
@@ -60,7 +60,7 @@ func TestReplacementPolicyAttributesAccusationTrack(t *testing.T) {
 	p := &ReplacementPolicy{DeadAfter: 5, AccuseDeadAfter: 8}
 	in := Inputs{
 		Detector: map[string]obs.ReplicaState{"liar": obs.ReplicaDead},
-		Evidence: func(string) (int, int) { return 0, 9 },
+		Evidence: func(string) (int, int, int) { return 0, 9, 0 },
 	}
 	actions := p.Evaluate(in)
 	if len(actions) != 1 || actions[0].Cause != "detector:dead:accusation" {

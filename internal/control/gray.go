@@ -1,0 +1,128 @@
+package control
+
+// GrayFailurePolicy closes the control loop over the third evidence
+// track: a replica the latency ejector keeps reporting slow — gray,
+// limping, but heartbeating and truthful — is routed to rejuvenation
+// through the same actuators the diagnosis policy uses. Ejection alone
+// only *contains* a gray replica (traffic routes around it, probes
+// watch for recovery); this policy is what *repairs* it, per the
+// runtime-profiling self-healing literature: the latency profile is
+// the diagnosis, a micro-reboot is the cure.
+
+import "fmt"
+
+// GrayFailurePolicyConfig parameterizes a GrayFailurePolicy.
+type GrayFailurePolicyConfig struct {
+	// SlownessThreshold is the accumulated slowness evidence at which a
+	// replica counts as persistently limping. Below it the policy sees
+	// no evidence at all — this is the deadband: a replica hovering
+	// under the threshold resets its settle count rather than slowly
+	// accruing toward an action. Default 3 (the detector's own
+	// SlowSuspectAfter default).
+	SlownessThreshold int
+	// SettleTicks is how many consecutive ticks the evidence must
+	// persist before acting — one ejection during a latency blip must
+	// not trigger a reboot. Default 3.
+	SettleTicks int
+	// CooldownTicks is how many ticks a rejuvenated target is left
+	// alone, letting the restart (and the ejector's probes) show
+	// whether it cured the limp. Default 10.
+	CooldownTicks int
+	// Target maps a limping replica name to the rejuvenation target the
+	// actuator understands (e.g. its supervised process name). Nil uses
+	// the replica name itself.
+	Target func(replica string) string
+}
+
+func (c GrayFailurePolicyConfig) withDefaults() GrayFailurePolicyConfig {
+	if c.SlownessThreshold <= 0 {
+		c.SlownessThreshold = 3
+	}
+	if c.SettleTicks <= 0 {
+		c.SettleTicks = 3
+	}
+	if c.CooldownTicks <= 0 {
+		c.CooldownTicks = 10
+	}
+	return c
+}
+
+// GrayFailurePolicy proposes rejuvenation for replicas with persistent
+// slowness evidence. It carries the same anti-flap machinery as
+// TailPolicy — deadband (the slowness threshold), settle count, and
+// per-target cooldown — so a noisy tail cannot flap reboots.
+type GrayFailurePolicy struct {
+	cfg GrayFailurePolicyConfig
+
+	settle   map[string]int
+	cooldown map[string]int
+}
+
+// NewGrayFailurePolicy builds a gray-failure policy.
+func NewGrayFailurePolicy(cfg GrayFailurePolicyConfig) *GrayFailurePolicy {
+	return &GrayFailurePolicy{
+		cfg:      cfg.withDefaults(),
+		settle:   make(map[string]int),
+		cooldown: make(map[string]int),
+	}
+}
+
+// Name implements Policy.
+func (p *GrayFailurePolicy) Name() string { return "gray-failure" }
+
+// target maps a replica to its rejuvenation target.
+func (p *GrayFailurePolicy) target(replica string) string {
+	if p.cfg.Target != nil {
+		return p.cfg.Target(replica)
+	}
+	return replica
+}
+
+// Evaluate implements Policy: for every replica in the detector
+// membership, slowness evidence at or above the threshold for
+// SettleTicks consecutive ticks proposes one rejuvenation, followed by
+// a per-target cooldown.
+func (p *GrayFailurePolicy) Evaluate(in Inputs) []Action {
+	if in.Evidence == nil {
+		return nil
+	}
+	var out []Action
+	for name := range in.Detector {
+		if p.cooldown[name] > 0 {
+			p.cooldown[name]--
+			continue
+		}
+		_, _, slowness := in.Evidence(name)
+		if slowness < p.cfg.SlownessThreshold {
+			p.settle[name] = 0
+			continue
+		}
+		p.settle[name]++
+		if p.settle[name] < p.cfg.SettleTicks {
+			continue
+		}
+		out = append(out, Action{
+			Kind:   ActionRejuvenate,
+			Cause:  fmt.Sprintf("gray:slowness=%d", slowness),
+			Target: p.target(name),
+			Old:    "limping",
+			New:    "rejuvenated",
+		})
+		p.settle[name] = 0
+	}
+	return out
+}
+
+// Committed implements Committer: only a rejuvenation that actually
+// ran starts the target's cooldown — a failed or rate-limited attempt
+// recurs next tick.
+func (p *GrayFailurePolicy) Committed(a Action) {
+	if a.Kind != ActionRejuvenate {
+		return
+	}
+	for name := range p.settle {
+		if p.target(name) == a.Target {
+			p.cooldown[name] = p.cfg.CooldownTicks
+		}
+	}
+}

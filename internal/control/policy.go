@@ -46,7 +46,7 @@ func (p *ReplacementPolicy) Evaluate(in Inputs) []Action {
 		}
 		cause := "detector:dead"
 		if in.Evidence != nil {
-			misses, accusations := in.Evidence(name)
+			misses, accusations, _ := in.Evidence(name)
 			switch {
 			case p.DeadAfter > 0 && misses >= p.DeadAfter:
 				cause = "detector:dead:heartbeat"

@@ -206,3 +206,32 @@ func BenchmarkHedgedTailLatency(b *testing.B) {
 	defer remote.Close()
 	benchTailLatency(b, remote)
 }
+
+// BenchmarkP2CPick measures the incremental routing cost the ejector
+// adds to every request: one trickle-probe scan plus the power-of-two-
+// choices primary pick over a healthy 5-endpoint fleet (seeded pair
+// sample, two EWMA loads, one compare). This is the per-request price
+// of latency-aware routing and must stay well under a microsecond so
+// attaching an Ejector never shows up in RPC benchmarks.
+func BenchmarkP2CPick(b *testing.B) {
+	e := NewEjector(EjectorConfig{Seed: 42})
+	names := []string{"p1", "p2", "p3", "p4", "p5"}
+	for i, n := range names {
+		for s := 0; s < 8; s++ {
+			e.Observe(n, time.Duration(i+1)*time.Millisecond)
+		}
+	}
+	name := func(i int) string { return names[i] }
+	order := make([]int, len(names))
+	class := make([]int, len(names))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range order {
+			order[j] = j
+			class[j] = 0
+		}
+		e.route(len(names), name, class)
+		e.p2cFront(order, class, name)
+	}
+}

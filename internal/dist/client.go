@@ -48,6 +48,12 @@ type RemoteConfig struct {
 	// request: alive before suspect before dead, so routing avoids
 	// replicas that stopped acknowledging heartbeats.
 	Detector *Detector
+	// Ejector, if non-nil, adds the gray-failure defenses to routing:
+	// every attempt outcome feeds the endpoint's latency EWMA, ejected
+	// latency outliers are routed around (except for trickle probes),
+	// and the primary among equally-live endpoints is picked by power
+	// of two choices on the EWMAs instead of configured order.
+	Ejector *Ejector
 	// Observer receives RPCCompleted/HedgeLaunched/HedgeWon events under
 	// the Remote's name; nil observes nothing.
 	Observer obs.Observer
@@ -233,6 +239,16 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 		launches []time.Time
 		settled  []bool
 	)
+	// Per-attempt ejector bookkeeping, independent of the observer: a
+	// completed attempt feeds its measured latency, and when another
+	// attempt wins the race, the abandoned losers feed their elapsed
+	// time as censored (at-least-this-slow) samples.
+	ej := r.cfg.Ejector
+	var (
+		ejEndpoints []string
+		ejLaunches  []time.Time
+		ejSettled   []bool
+	)
 	// launchNext starts the next attempt in ranked order. Breaker-open
 	// endpoints complete instantly as failed attempts (without dialing),
 	// so the loop below immediately moves past them.
@@ -253,6 +269,11 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 			})
 			launches = append(launches, time.Now())
 			settled = append(settled, false)
+		}
+		if ej != nil {
+			ejEndpoints = append(ejEndpoints, v.endpoints[ep].Name)
+			ejLaunches = append(ejLaunches, time.Now())
+			ejSettled = append(ejSettled, false)
 		}
 		var (
 			brk *resilience.Breaker
@@ -348,9 +369,22 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 				lineage[res.attempt-1].Err = res.err
 				settled[res.attempt-1] = true
 			}
+			if ej != nil {
+				ejSettled[res.attempt-1] = true
+				if res.err == nil {
+					ej.Observe(ejEndpoints[res.attempt-1], res.latency)
+				}
+			}
 			if res.err == nil {
 				if o != nil {
 					obs.EmitHedgeWon(o, name, v.endpoints[res.ep].Name, req, res.attempt)
+				}
+				if ej != nil {
+					for i := range ejSettled {
+						if !ejSettled[i] {
+							ej.ObserveCensored(ejEndpoints[i], time.Since(ejLaunches[i]))
+						}
+					}
 				}
 				finish(res.attempt, nil)
 				cancelAll()
@@ -372,23 +406,50 @@ func (r *Remote[I, O]) Execute(ctx context.Context, input I) (O, error) {
 	return zero, err
 }
 
-// ordered returns endpoint indexes (into the captured view) ranked by
-// the failure detector: alive before suspect before dead, stable
-// within a class. Without a detector the configured order stands.
+// ordered returns endpoint indexes (into the captured view) ranked for
+// this request. The failure detector supplies the liveness class
+// (alive before suspect before dead); the ejector then sinks ejected
+// latency outliers below everything else — unless this decision grants
+// one of them a trickle probe, which is promoted to primary — and
+// finally picks the primary among the leading equal-class endpoints by
+// power of two choices over the latency EWMAs. Without a detector or
+// ejector the configured order stands.
 func (r *Remote[I, O]) ordered(v *epSet) []int {
 	order := make([]int, len(v.endpoints))
 	for i := range order {
 		order[i] = i
 	}
-	if r.cfg.Detector == nil {
+	det, ej := r.cfg.Detector, r.cfg.Ejector
+	if det == nil && ej == nil {
 		return order
 	}
-	rank := make([]obs.ReplicaState, len(order))
-	for i := range order {
-		rank[i] = r.cfg.Detector.State(v.endpoints[i].Name)
+	class := make([]int, len(order))
+	if det != nil {
+		for i := range order {
+			class[i] = int(det.State(v.endpoints[i].Name))
+		}
+	}
+	probe := -1
+	epName := func(i int) string { return v.endpoints[i].Name }
+	if ej != nil {
+		probe = ej.route(len(order), epName, class)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return rank[order[a]] < rank[order[b]]
+		return class[order[a]] < class[order[b]]
 	})
+	if probe >= 0 {
+		// The probe leads; everyone else keeps rank order behind it, so
+		// a hedge rescues the request if the probed endpoint is still
+		// slow.
+		for pos, epi := range order {
+			if epi == probe {
+				copy(order[1:pos+1], order[:pos])
+				order[0] = probe
+				break
+			}
+		}
+	} else if ej != nil {
+		ej.p2cFront(order, class, epName)
+	}
 	return order
 }

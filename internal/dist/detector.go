@@ -8,6 +8,7 @@ import (
 
 	"github.com/softwarefaults/redundancy/internal/obs"
 	"github.com/softwarefaults/redundancy/internal/supervise"
+	"github.com/softwarefaults/redundancy/internal/xrand"
 )
 
 // DetectorConfig parameterizes a failure detector. The zero value
@@ -35,6 +36,25 @@ type DetectorConfig struct {
 	// AccuseDeadAfter is how many accusations mark a replica dead.
 	// Default: AccuseSuspectAfter + 5.
 	AccuseDeadAfter int
+	// SlowSuspectAfter is how many pieces of slowness evidence
+	// (ReportSlow, filed by the latency ejector) mark a replica suspect.
+	// Slowness is the third evidence track: a gray replica answers every
+	// ping on time and never lies, so neither misses nor accusations can
+	// see it — only the latency profile of real requests can. Unlike
+	// accusations the track is reversible (ClearSlow), because slowness
+	// is often environmental and a recovered replica should be allowed
+	// back. Default 3.
+	SlowSuspectAfter int
+	// SlowDeadAfter is how many pieces of slowness evidence mark a
+	// replica dead. Deliberately far above SlowSuspectAfter: a limping
+	// replica still serves correct answers, so demoting it below
+	// crashed replicas should take sustained evidence. Default:
+	// SlowSuspectAfter + 9.
+	SlowDeadAfter int
+	// Seed drives the Rank tie-break shuffle among equal-state
+	// replicas. Zero is a valid seed; campaigns share theirs so ranking
+	// replays deterministically.
+	Seed uint64
 	// Observer receives ReplicaStateChanged events; nil observes nothing.
 	Observer obs.Observer
 }
@@ -61,6 +81,12 @@ func (c DetectorConfig) withDefaults() DetectorConfig {
 	if c.AccuseDeadAfter <= c.AccuseSuspectAfter {
 		c.AccuseDeadAfter = c.AccuseSuspectAfter + 5
 	}
+	if c.SlowSuspectAfter <= 0 {
+		c.SlowSuspectAfter = 3
+	}
+	if c.SlowDeadAfter <= c.SlowSuspectAfter {
+		c.SlowDeadAfter = c.SlowSuspectAfter + 9
+	}
 	return c
 }
 
@@ -70,16 +96,19 @@ type member struct {
 	dial        DialFunc
 	misses      int
 	accusations int
+	slowness    int
 	state       obs.ReplicaState
 	lastSeen    time.Time
 }
 
-// recompute derives the member's state from both evidence streams:
-// consecutive heartbeat misses (omission evidence, reset by any ack)
-// and accumulated accusations (value-fault evidence, never reset). The
-// worse of the two verdicts stands, so a replica that heartbeats
-// perfectly while lying still degrades, and a convicted liar cannot
-// talk its way back to alive by answering pings.
+// recompute derives the member's state from all three evidence
+// streams: consecutive heartbeat misses (omission evidence, reset by
+// any ack), accumulated accusations (value-fault evidence, never
+// reset), and accumulated slowness reports (timing-fault evidence,
+// reset by ClearSlow when the latency profile recovers). The worst
+// verdict stands, so a replica that heartbeats perfectly while lying
+// or limping still degrades — and a convicted liar cannot talk its way
+// back to alive by answering pings.
 func (m *member) recompute(cfg DetectorConfig) {
 	state := obs.ReplicaAlive
 	switch {
@@ -92,6 +121,12 @@ func (m *member) recompute(cfg DetectorConfig) {
 	case m.accusations >= cfg.AccuseDeadAfter:
 		state = obs.ReplicaDead
 	case m.accusations >= cfg.AccuseSuspectAfter && state == obs.ReplicaAlive:
+		state = obs.ReplicaSuspect
+	}
+	switch {
+	case m.slowness >= cfg.SlowDeadAfter:
+		state = obs.ReplicaDead
+	case m.slowness >= cfg.SlowSuspectAfter && state == obs.ReplicaAlive:
 		state = obs.ReplicaSuspect
 	}
 	m.state = state
@@ -120,12 +155,14 @@ type Detector struct {
 
 	mu      sync.Mutex
 	members map[string]*member
+	rng     *xrand.Rand // Rank tie-break stream; guarded by mu
 }
 
 // NewDetector returns a detector with no members; Watch replicas, then
 // either Run it (blocking loop) or drive Poll by hand in tests.
 func NewDetector(cfg DetectorConfig) *Detector {
-	return &Detector{cfg: cfg.withDefaults(), members: make(map[string]*member)}
+	cfg = cfg.withDefaults()
+	return &Detector{cfg: cfg, members: make(map[string]*member), rng: xrand.New(cfg.Seed)}
 }
 
 // Watch adds a replica to the membership, initially alive. Watching an
@@ -170,16 +207,41 @@ func (d *Detector) LastSeen(name string) time.Time {
 }
 
 // Rank implements the pattern executors' Ranker contract over replica
-// names: alive first, then suspect, then dead, stable within a class.
+// names: alive first, then suspect, then dead. Within a class the
+// order is a seeded shuffle, not the caller's order — a stable sort
+// here would pin every non-hedged request to whichever live replica
+// the caller happens to list first, concentrating all traffic (and all
+// wear) on one member of a healthy fleet. The shuffle draws from the
+// detector's seeded stream, so a campaign replays the same spread.
 // Attaching a Detector with pattern.WithRanker makes sequential
 // alternatives try live replicas first and parallel selection prefer a
 // live replica's acceptable result.
 func (d *Detector) Rank(_ string, names []string) []string {
 	out := make([]string, len(names))
 	copy(out, names)
+	d.mu.Lock()
+	class := make(map[string]obs.ReplicaState, len(out))
+	for _, name := range out {
+		if m, ok := d.members[name]; ok {
+			class[name] = m.state
+		}
+	}
 	sort.SliceStable(out, func(a, b int) bool {
-		return d.State(out[a]) < d.State(out[b])
+		return class[out[a]] < class[out[b]]
 	})
+	for lo := 0; lo < len(out); {
+		hi := lo + 1
+		for hi < len(out) && class[out[hi]] == class[out[lo]] {
+			hi++
+		}
+		if run := hi - lo; run > 1 {
+			d.rng.Shuffle(run, func(i, j int) {
+				out[lo+i], out[lo+j] = out[lo+j], out[lo+i]
+			})
+		}
+		lo = hi
+	}
+	d.mu.Unlock()
 	return out
 }
 
@@ -332,17 +394,63 @@ func (d *Detector) Forget(name string) {
 	d.mu.Unlock()
 }
 
+// ReportSlow files one piece of timing-fault evidence against a
+// replica — typically the latency ejector reporting an endpoint whose
+// EWMA is a peer-relative outlier. Like Accuse, reporting an unwatched
+// name registers it (with no dialer). Unlike accusations, slowness is
+// reversible through ClearSlow: limps are frequently environmental and
+// the recovered replica should serve again.
+func (d *Detector) ReportSlow(name string) {
+	d.mu.Lock()
+	m, found := d.members[name]
+	if !found {
+		m = &member{name: name, state: obs.ReplicaAlive}
+		d.members[name] = m
+	}
+	from := m.state
+	m.slowness++
+	m.recompute(d.cfg)
+	to := m.state
+	d.mu.Unlock()
+	if from != to && d.cfg.Observer != nil {
+		obs.EmitReplicaStateChanged(d.cfg.Observer, d.cfg.Name, name, from, to)
+	}
+}
+
+// ClearSlow withdraws all slowness evidence against a replica — the
+// ejector calls it when a probed endpoint's latency profile has
+// recovered and it is reinstated. Misses and accusations are
+// untouched; only the timing track is exculpable.
+func (d *Detector) ClearSlow(name string) {
+	d.mu.Lock()
+	m, found := d.members[name]
+	if !found {
+		d.mu.Unlock()
+		return
+	}
+	from := m.state
+	m.slowness = 0
+	m.recompute(d.cfg)
+	to := m.state
+	d.mu.Unlock()
+	if from != to && d.cfg.Observer != nil {
+		obs.EmitReplicaStateChanged(d.cfg.Observer, d.cfg.Name, name, from, to)
+	}
+}
+
 // Evidence returns the detector's current evidence against a replica:
-// consecutive missed heartbeats (reversible) and accumulated
-// accusations (never reset). Reports and the faultsim stats table use
-// it to show *which* track convicted a replica, not just the verdict.
-func (d *Detector) Evidence(name string) (misses, accusations int) {
+// consecutive missed heartbeats (reversible), accumulated accusations
+// (never reset), and accumulated slowness reports (reversible via
+// ClearSlow). Reports, the control plane's policies, and the faultsim
+// stats table use it to show *which* track convicted a replica, not
+// just the verdict.
+func (d *Detector) Evidence(name string) (misses, accusations, slowness int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if m, ok := d.members[name]; ok {
-		return m.misses, m.accusations
+		return m.misses, m.accusations, m.slowness
 	}
-	return 0, 0
+	return 0, 0, 0
 }
 
 // Accusations returns how many times a replica has been accused.

@@ -99,10 +99,96 @@ func TestDetectorRank(t *testing.T) {
 	if want := []string{"up", "down"}; !reflect.DeepEqual(got, want) {
 		t.Fatalf("Rank: %v, want %v", got, want)
 	}
-	// Stability within a class: equals keep their given order.
-	got = det.Rank("ignored", []string{"up", "stranger"})
-	if want := []string{"up", "stranger"}; !reflect.DeepEqual(got, want) {
-		t.Fatalf("Rank stability: %v, want %v", got, want)
+	// Within a class the order is shuffled, but the class boundary must
+	// hold across calls: alive names always precede the dead one.
+	for i := 0; i < 20; i++ {
+		got = det.Rank("ignored", []string{"stranger", "down", "up"})
+		if len(got) != 3 || got[2] != "down" {
+			t.Fatalf("Rank call %d: %v, want the dead replica last", i, got)
+		}
+	}
+}
+
+func TestDetectorRankSpreadsEqualStates(t *testing.T) {
+	// All three replicas are alive (no evidence against them). A stable
+	// sort here would pin every request to the caller's first name,
+	// concentrating all non-hedged traffic on one replica; the seeded
+	// tie-break must spread primaries across the class.
+	det := NewDetector(DetectorConfig{Seed: 7})
+	names := []string{"r1", "r2", "r3"}
+	firsts := make(map[string]int)
+	const calls = 300
+	for i := 0; i < calls; i++ {
+		firsts[det.Rank("exec", names)[0]]++
+	}
+	for _, name := range names {
+		if firsts[name] < calls/10 {
+			t.Fatalf("replica %s ranked first %d/%d times; equal-state ranking is pinned: %v",
+				name, firsts[name], calls, firsts)
+		}
+	}
+	// Same seed, fresh detector: the spread replays exactly.
+	det2 := NewDetector(DetectorConfig{Seed: 7})
+	firsts2 := make(map[string]int)
+	for i := 0; i < calls; i++ {
+		firsts2[det2.Rank("exec", names)[0]]++
+	}
+	if !reflect.DeepEqual(firsts, firsts2) {
+		t.Fatalf("same seed diverged: %v vs %v", firsts, firsts2)
+	}
+}
+
+func TestDetectorSlownessTrack(t *testing.T) {
+	collector := obs.NewCollector()
+	det := NewDetector(DetectorConfig{
+		SuspectAfter: 2, DeadAfter: 5,
+		SlowSuspectAfter: 3, SlowDeadAfter: 6,
+		Observer: collector,
+	})
+	det.Watch("gray", func(ctx context.Context) (net.Conn, error) { return nil, ErrReplicaUnavailable })
+
+	// Two reports: below the suspect threshold, still alive.
+	det.ReportSlow("gray")
+	det.ReportSlow("gray")
+	if got := det.State("gray"); got != obs.ReplicaAlive {
+		t.Fatalf("2 slowness reports: %v, want alive (SlowSuspectAfter=3)", got)
+	}
+	det.ReportSlow("gray")
+	if got := det.State("gray"); got != obs.ReplicaSuspect {
+		t.Fatalf("3 slowness reports: %v, want suspect", got)
+	}
+	if _, _, slowness := det.Evidence("gray"); slowness != 3 {
+		t.Fatalf("Evidence slowness = %d, want 3", slowness)
+	}
+	for i := 0; i < 3; i++ {
+		det.ReportSlow("gray")
+	}
+	if got := det.State("gray"); got != obs.ReplicaDead {
+		t.Fatalf("6 slowness reports: %v, want dead (SlowDeadAfter=6)", got)
+	}
+
+	// The track is reversible: recovery clears all slowness evidence
+	// and the verdict, unlike accusations.
+	det.ClearSlow("gray")
+	if got := det.State("gray"); got != obs.ReplicaAlive {
+		t.Fatalf("after ClearSlow: %v, want alive", got)
+	}
+	if _, _, slowness := det.Evidence("gray"); slowness != 0 {
+		t.Fatalf("Evidence slowness after clear = %d, want 0", slowness)
+	}
+
+	// Reporting an unwatched name registers it, like Accuse.
+	det.ReportSlow("stranger")
+	if _, _, slowness := det.Evidence("stranger"); slowness != 1 {
+		t.Fatalf("unwatched ReportSlow: slowness = %d, want 1", slowness)
+	}
+
+	// Slowness does not erase the other tracks: a limper that also
+	// lies keeps its accusations through ClearSlow.
+	det.Accuse("gray")
+	det.ClearSlow("gray")
+	if _, accusations, _ := det.Evidence("gray"); accusations != 1 {
+		t.Fatalf("accusations after ClearSlow = %d, want 1 (only timing evidence is exculpable)", accusations)
 	}
 }
 

@@ -1,0 +1,95 @@
+package dist
+
+// FuzzDecodeFrame hammers the v2 wire path's decode side: readFrame
+// (version byte, length prefix, CRC) and decodeEnvelope (gob payload
+// carrying the trace words). The workload and checkpoint layers have
+// had fuzz targets since their PRs; the frame codec is the third
+// parser of untrusted bytes in the repo — every replica server reads
+// frames straight off a network a fault injector deliberately
+// corrupts — and the contract under corruption is: a typed error
+// (ErrBadFrame, ErrFrameTooLarge, ErrVersionMismatch) or an io error,
+// never a panic, never an allocation or read beyond the declared
+// bounds.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with valid frames so mutations explore the near-valid space
+	// where parser bugs live: a ping envelope, a trace-carrying call
+	// envelope, a raw payload, and the empty frame.
+	seed := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			f.Fatalf("seed writeFrame: %v", err)
+		}
+		return buf.Bytes()
+	}
+	ping, err := encodeEnvelope(&envelope{ID: 1, Kind: kindPing})
+	if err != nil {
+		f.Fatal(err)
+	}
+	traced, err := encodeEnvelope(&envelope{
+		ID: 7, Kind: kindCall, Payload: []byte("input"),
+		TraceID: 0xdeadbeefcafe, SpanID: 0x1234,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed(ping))
+	f.Add(seed(traced))
+	f.Add(seed([]byte("hello")))
+	f.Add(seed(nil))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0})             // old wire version 1
+	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // hostile length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			// Corruption must classify as a typed frame error or an io
+			// error (truncated stream) — anything else is an escape.
+			switch {
+			case errors.Is(err, ErrBadFrame),
+				errors.Is(err, ErrFrameTooLarge),
+				errors.Is(err, ErrVersionMismatch),
+				errors.Is(err, io.EOF),
+				errors.Is(err, io.ErrUnexpectedEOF):
+			default:
+				t.Fatalf("readFrame(%d bytes): untyped error %v", len(data), err)
+			}
+			return
+		}
+		// No over-read: the payload cannot exceed what the stream held
+		// past the header, nor the declared size cap.
+		if len(payload) > len(data)-frameHeaderSize {
+			t.Fatalf("readFrame returned %d payload bytes from a %d-byte stream", len(payload), len(data))
+		}
+		if len(payload) > MaxFrameSize {
+			t.Fatalf("readFrame returned %d bytes, above MaxFrameSize", len(payload))
+		}
+		// A frame that round-trips must re-encode byte-identically —
+		// the replay property campaigns rely on.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			t.Fatalf("re-encode of accepted payload failed: %v", err)
+		}
+		back, err := readFrame(&buf)
+		if err != nil || !bytes.Equal(back, payload) {
+			t.Fatalf("accepted frame did not round-trip: %v", err)
+		}
+		// The envelope layer under the frame: corrupt gob (including
+		// mutated trace words) must yield ErrBadFrame, never panic.
+		if env, err := decodeEnvelope(payload); err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decodeEnvelope: untyped error %v", err)
+			}
+		} else if env == nil {
+			t.Fatal("decodeEnvelope returned nil envelope and nil error")
+		}
+	})
+}

@@ -58,6 +58,11 @@ type ExecutorStats struct {
 	suspects  atomic.Int64 // detector transitions into suspect
 	deaths    atomic.Int64 // detector transitions into dead
 
+	// Gray-failure counters (GrayObserver events).
+	ejections     atomic.Int64 // latency-outlier ejections
+	reinstates    atomic.Int64 // probation endpoints restored to rotation
+	probeLaunches atomic.Int64 // trickle probes granted to ejected endpoints
+
 	// Byzantine-voting counters (QuorumObserver events).
 	quorums           atomic.Int64 // requests decided by a quorum verdict
 	voteDisagreements atomic.Int64 // requests whose successful replies disagreed
@@ -236,6 +241,9 @@ type ExecutorSnapshot struct {
 	HedgeWins        int64             `json:"hedge_wins,omitempty"`
 	ReplicaSuspects  int64             `json:"replica_suspects,omitempty"`
 	ReplicaDeaths    int64             `json:"replica_deaths,omitempty"`
+	Ejections        int64             `json:"ejections,omitempty"`
+	Reinstatements   int64             `json:"reinstatements,omitempty"`
+	ProbeLaunches    int64             `json:"probe_launches,omitempty"`
 	QuorumsReached   int64             `json:"quorums_reached,omitempty"`
 	VoteDisagreement int64             `json:"vote_disagreements,omitempty"`
 	ReplicasOutvoted int64             `json:"replicas_outvoted,omitempty"`
@@ -276,6 +284,9 @@ func (c *Collector) Snapshot() []ExecutorSnapshot {
 			HedgeWins:        e.hedgeWins.Load(),
 			ReplicaSuspects:  e.suspects.Load(),
 			ReplicaDeaths:    e.deaths.Load(),
+			Ejections:        e.ejections.Load(),
+			Reinstatements:   e.reinstates.Load(),
+			ProbeLaunches:    e.probeLaunches.Load(),
 			QuorumsReached:   e.quorums.Load(),
 			VoteDisagreement: e.voteDisagreements.Load(),
 			ReplicasOutvoted: e.outvoted.Load(),

@@ -1,0 +1,117 @@
+package obs
+
+// Gray-failure events extend the observation layer with the latency-
+// outlier vocabulary (internal/dist's Ejector): an endpoint ejected
+// because its latency EWMA is a peer-relative outlier, a trickle probe
+// granted to an ejected endpoint during probation, and a probed
+// endpoint reinstated after sustained recovery.
+//
+// Like the distribution events (dist.go) this is an *optional*
+// extension of Observer: observers that want gray-failure events
+// additionally implement GrayObserver, and emitters route through the
+// Emit* helpers so combined observers fan out correctly. The built-in
+// Collector counts ejections, probes, and reinstatements under the
+// ejector's executor name.
+
+import "time"
+
+// GrayObserver is the optional Observer extension receiving latency-
+// outlier ejection events.
+type GrayObserver interface {
+	// ReplicaEjected reports that the ejector removed endpoint from
+	// rotation: its latency EWMA exceeded the ejection threshold
+	// relative to the fleet median at the moment of the verdict.
+	ReplicaEjected(ejector, endpoint string, ewma, median time.Duration)
+	// ProbeLaunched reports that a routing decision granted an ejected
+	// endpoint one trickle probe (a real request routed to it so its
+	// recovery can be observed).
+	ProbeLaunched(ejector, endpoint string)
+	// ReplicaReinstated reports that an ejected endpoint completed
+	// probation — probes consecutive probes came back fast — and was
+	// restored to full rotation.
+	ReplicaReinstated(ejector, endpoint string, probes int)
+}
+
+// EmitReplicaEjected delivers an ejection event to o if it (or any
+// member of a combined observer) implements GrayObserver. Nil
+// observers are ignored.
+func EmitReplicaEjected(o Observer, ejector, endpoint string, ewma, median time.Duration) {
+	if g, ok := o.(GrayObserver); ok {
+		g.ReplicaEjected(ejector, endpoint, ewma, median)
+	}
+}
+
+// EmitProbeLaunched delivers a trickle-probe event to o if it
+// implements GrayObserver. Nil observers are ignored.
+func EmitProbeLaunched(o Observer, ejector, endpoint string) {
+	if g, ok := o.(GrayObserver); ok {
+		g.ProbeLaunched(ejector, endpoint)
+	}
+}
+
+// EmitReplicaReinstated delivers a reinstatement event to o if it
+// implements GrayObserver. Nil observers are ignored.
+func EmitReplicaReinstated(o Observer, ejector, endpoint string, probes int) {
+	if g, ok := o.(GrayObserver); ok {
+		g.ReplicaReinstated(ejector, endpoint, probes)
+	}
+}
+
+// ReplicaEjected implements GrayObserver for Nop.
+func (Nop) ReplicaEjected(string, string, time.Duration, time.Duration) {}
+
+// ProbeLaunched implements GrayObserver for Nop.
+func (Nop) ProbeLaunched(string, string) {}
+
+// ReplicaReinstated implements GrayObserver for Nop.
+func (Nop) ReplicaReinstated(string, string, int) {}
+
+var _ GrayObserver = Nop{}
+
+// ReplicaEjected implements GrayObserver: the event reaches every
+// member that implements the extension.
+func (m multi) ReplicaEjected(ejector, endpoint string, ewma, median time.Duration) {
+	for _, o := range m {
+		if g, ok := o.(GrayObserver); ok {
+			g.ReplicaEjected(ejector, endpoint, ewma, median)
+		}
+	}
+}
+
+// ProbeLaunched implements GrayObserver.
+func (m multi) ProbeLaunched(ejector, endpoint string) {
+	for _, o := range m {
+		if g, ok := o.(GrayObserver); ok {
+			g.ProbeLaunched(ejector, endpoint)
+		}
+	}
+}
+
+// ReplicaReinstated implements GrayObserver.
+func (m multi) ReplicaReinstated(ejector, endpoint string, probes int) {
+	for _, o := range m {
+		if g, ok := o.(GrayObserver); ok {
+			g.ReplicaReinstated(ejector, endpoint, probes)
+		}
+	}
+}
+
+var _ GrayObserver = multi(nil)
+
+// ReplicaEjected implements GrayObserver: ejections are counted under
+// the ejector's executor name.
+func (c *Collector) ReplicaEjected(ejector, _ string, _, _ time.Duration) {
+	c.exec(ejector).ejections.Add(1)
+}
+
+// ProbeLaunched implements GrayObserver.
+func (c *Collector) ProbeLaunched(ejector, _ string) {
+	c.exec(ejector).probeLaunches.Add(1)
+}
+
+// ReplicaReinstated implements GrayObserver.
+func (c *Collector) ReplicaReinstated(ejector, _ string, _ int) {
+	c.exec(ejector).reinstates.Add(1)
+}
+
+var _ GrayObserver = (*Collector)(nil)
